@@ -1,0 +1,63 @@
+"""Experiment E1 — Example 1.1: the ancestor portfolio and the cost of binary recursion.
+
+Paper claim (Introduction / Example 1.1): Programs A–D are semantically
+equivalent, but Program D "represents the truly efficient form since the
+recursion is defined over monadic and not binary (derived) relations"; magic
+sets restrict Programs A and B to the computation performed by Program D.
+
+Reproduced shape: on a forest where john's tree is a fraction of the data,
+the binary-recursive programs derive Θ(answers × persons) ancestor facts,
+while Program D, the Theorem 3.3 monadic rewrite, and the magic-set
+transforms derive Θ(answers).
+"""
+
+import pytest
+
+from repro.core.examples_catalog import program_a, program_b, program_c, program_d
+from repro.core.propagation import propagate_selection
+from repro.core.workloads import parent_forest
+from repro.datalog import evaluate_seminaive
+from repro.datalog.transforms import magic_transform
+
+PERSONS = 350
+DATABASE = parent_forest(PERSONS, seed=1, root_count=6)
+GOLD = evaluate_seminaive(program_d(), DATABASE).answers()
+
+
+def _run(program):
+    result = evaluate_seminaive(program, DATABASE)
+    assert result.answers() == GOLD
+    return result
+
+
+@pytest.mark.parametrize(
+    "label,chain",
+    [("A_left_linear", program_a()), ("B_right_linear", program_b()), ("C_non_linear", program_c())],
+    ids=lambda value: value if isinstance(value, str) else "",
+)
+def test_binary_recursive_original(benchmark, record, label, chain):
+    result = benchmark(_run, chain.program)
+    record(benchmark, "original", result.statistics)
+    benchmark.extra_info["answers"] = len(GOLD)
+
+
+def test_program_d_monadic_target(benchmark, record):
+    result = benchmark(_run, program_d())
+    record(benchmark, "program_d", result.statistics)
+
+
+@pytest.mark.parametrize(
+    "label,chain",
+    [("A", program_a()), ("B", program_b())],
+    ids=lambda value: value if isinstance(value, str) else "",
+)
+def test_magic_set_transformation(benchmark, record, label, chain):
+    transformed = magic_transform(chain.program)
+    result = benchmark(_run, transformed)
+    record(benchmark, "magic", result.statistics)
+
+
+def test_theorem_3_3_monadic_rewrite_of_a(benchmark, record):
+    rewritten = propagate_selection(program_a()).monadic_program
+    result = benchmark(_run, rewritten)
+    record(benchmark, "rewrite", result.statistics)

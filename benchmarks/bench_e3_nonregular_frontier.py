@@ -1,0 +1,67 @@
+"""Experiment E3 — Theorem 3.3(1), "only if" direction and the undecidable frontier.
+
+Paper claim: for constant goals, propagation is possible iff L(H) is regular;
+regularity of a CFL is undecidable (Corollary 3.4), so any procedure is
+necessarily partial.  The library's decision procedure must (i) answer
+NOT_PROPAGATABLE with an explicit proof on the registered non-regular
+families, (ii) answer PROPAGATABLE with a certificate on the decidably
+regular families, and (iii) answer UNKNOWN — never a wrong definite answer —
+on self-embedding programs outside the registry.
+
+Reproduced shape: verdict distribution over a program portfolio plus the cost
+of the analysis itself.
+"""
+
+import pytest
+
+from repro.core.chain import ChainProgram
+from repro.core.counterexamples import anbn_program
+from repro.core.examples_catalog import program_a, program_c, same_generation_program
+from repro.core.propagation import PropagationVerdict, SelectionPropagator
+
+PORTFOLIO = [
+    ("regular_left_linear", program_a(), PropagationVerdict.PROPAGATABLE),
+    ("regular_unary_nonlinear", program_c(), PropagationVerdict.PROPAGATABLE),
+    ("nonregular_anbn", anbn_program(), PropagationVerdict.NOT_PROPAGATABLE),
+    ("nonregular_same_generation", same_generation_program(), None),
+    (
+        "self_embedding_three_letters",
+        ChainProgram.from_text(
+            """
+            ?p(c, Y)
+            p(X, Y) :- b1(X, X1), b3(X1, Y).
+            p(X, Y) :- b1(X, X1), p(X1, Y1), b2(Y1, Y).
+            """
+        ),
+        None,
+    ),
+]
+
+
+@pytest.mark.parametrize("label,chain,expected", PORTFOLIO, ids=[p[0] for p in PORTFOLIO])
+def test_frontier_verdicts(benchmark, label, chain, expected):
+    propagator = SelectionPropagator()
+    result = benchmark(propagator.analyze, chain)
+    benchmark.extra_info["verdict"] = result.verdict.value
+    benchmark.extra_info["reason"] = result.reason
+    if expected is not None:
+        assert result.verdict == expected
+    else:
+        # The frontier: a sound procedure may say NOT_PROPAGATABLE (with a proof)
+        # or UNKNOWN, but never PROPAGATABLE for these non-regular languages.
+        assert result.verdict in (
+            PropagationVerdict.NOT_PROPAGATABLE,
+            PropagationVerdict.UNKNOWN,
+        )
+
+
+def test_full_portfolio_analysis(benchmark):
+    propagator = SelectionPropagator()
+
+    def analyse_all():
+        return [propagator.analyze(chain).verdict for _, chain, _ in PORTFOLIO]
+
+    verdicts = benchmark(analyse_all)
+    benchmark.extra_info["verdict_counts"] = {
+        verdict.value: verdicts.count(verdict) for verdict in set(verdicts)
+    }

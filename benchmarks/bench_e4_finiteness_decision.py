@@ -1,0 +1,72 @@
+"""Experiment E4 — Theorem 3.3(2) / Corollary 3.4: the decidable p(X, X) case.
+
+Paper claim: propagating the selection p(X, X) is possible iff L(H) is
+finite, and finiteness of a context-free language is decidable — so this
+side of the characterisation is effective.
+
+Reproduced shape: the finiteness test scales polynomially with the grammar
+size; the propagation verdict for p(X, X) is always definite (never
+UNKNOWN); bounded programs produce non-recursive monadic rewrites whose size
+equals the number of words of L(H).
+"""
+
+import pytest
+
+from repro.core.chain import ChainProgram, chain_program_from_productions
+from repro.core.counterexamples import cycle_length_program, cycle_program
+from repro.core.grammar_map import to_grammar
+from repro.core.propagation import PropagationVerdict, SelectionPropagator
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Variable
+from repro.languages.cfg_analysis import is_finite_language
+
+
+def finite_program(width: int) -> ChainProgram:
+    """A bounded chain program whose language has ``width`` words of length 2."""
+    productions = tuple(("p", (f"a{i}", f"b{i}")) for i in range(width))
+    return chain_program_from_productions(
+        productions, Atom("p", (Variable("X"), Variable("X")))
+    )
+
+
+def deep_infinite_program(depth: int) -> ChainProgram:
+    """A chain of nonterminals ending in a recursive one (infinite language)."""
+    productions = [("p0", ("p1", "p1"))]
+    for level in range(1, depth):
+        productions.append((f"p{level}", (f"p{level + 1}", f"p{level + 1}")))
+    productions.append((f"p{depth}", ("b",)))
+    productions.append((f"p{depth}", (f"p{depth}", "b")))
+    return chain_program_from_productions(
+        tuple(productions), Atom("p0", (Variable("X"), Variable("X")))
+    )
+
+
+@pytest.mark.parametrize("width", [2, 8, 32])
+def test_finiteness_test_on_bounded_programs(benchmark, width):
+    grammar = to_grammar(finite_program(width))
+    assert benchmark(is_finite_language, grammar) is True
+
+
+@pytest.mark.parametrize("depth", [2, 6, 12])
+def test_finiteness_test_on_unbounded_programs(benchmark, depth):
+    grammar = to_grammar(deep_infinite_program(depth))
+    assert benchmark(is_finite_language, grammar) is False
+
+
+@pytest.mark.parametrize(
+    "label,chain,expected",
+    [
+        ("finite_width_8", finite_program(8), PropagationVerdict.PROPAGATABLE),
+        ("closed_walk_4", cycle_length_program(4), PropagationVerdict.PROPAGATABLE),
+        ("transitive_closure", cycle_program(), PropagationVerdict.NOT_PROPAGATABLE),
+        ("deep_infinite", deep_infinite_program(6), PropagationVerdict.NOT_PROPAGATABLE),
+    ],
+    ids=["finite_width_8", "closed_walk_4", "transitive_closure", "deep_infinite"],
+)
+def test_equality_goal_decision_is_definite(benchmark, label, chain, expected):
+    propagator = SelectionPropagator()
+    result = benchmark(propagator.analyze, chain)
+    assert result.verdict == expected
+    benchmark.extra_info["verdict"] = result.verdict.value
+    if result.monadic_program is not None:
+        benchmark.extra_info["rewrite_rules"] = len(result.monadic_program.rules)

@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark records, besides wall-clock timing, the *hardware-independent*
+cost model of the engines (facts derived, rule firings, iterations) in
+``benchmark.extra_info`` — the numbers EXPERIMENTS.md reports as the
+experiment's "shape".
+"""
+
+import pytest
+
+
+def record_stats(benchmark, label, statistics):
+    """Attach an :class:`EvaluationStatistics` summary to the benchmark record."""
+    summary = statistics.as_dict()
+    for key, value in summary.items():
+        benchmark.extra_info[f"{label}_{key}"] = value
+    for predicate, count in sorted(statistics.facts_per_predicate.items()):
+        benchmark.extra_info[f"{label}_facts[{predicate}]"] = count
+
+
+@pytest.fixture
+def record():
+    return record_stats

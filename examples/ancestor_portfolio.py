@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Example 1.1 end to end: Programs A, B, C, D and the selection-propagation methods.
+
+For each of the four semantically equivalent ancestor programs the script
+reports:
+
+* the associated grammar and language class (left linear / right linear /
+  non-linear but unary, hence regular in every case);
+* the Theorem 3.3 verdict and the constructed monadic program;
+* evaluation cost (facts derived, rule firings) of
+  - the original program,
+  - the classical magic-set transformation (reference [5]),
+  - the grammar-based monadic rewriting (this paper),
+  - Program D itself as the gold standard,
+  all on the same random parent database.
+"""
+
+from repro import propagate_selection
+from repro.core import program_a, program_b, program_c, program_d, to_grammar
+from repro.core.workloads import parent_forest
+from repro.datalog import evaluate_seminaive
+from repro.datalog.transforms import magic_transform
+from repro.languages import format_grammar, regularity_evidence
+
+
+def evaluate(label, program, database):
+    result = evaluate_seminaive(program, database)
+    stats = result.statistics
+    print(
+        f"    {label:<28} answers={len(result.answers()):>4} "
+        f"facts={stats.facts_derived:>6} firings={stats.rule_firings:>6} "
+        f"iterations={stats.iterations:>3}"
+    )
+    return result.answers()
+
+
+def main() -> None:
+    database = parent_forest(800, seed=3)
+    print(f"Random parent forest with {database.fact_count()} par facts; query ?anc(john, Y)\n")
+
+    gold = evaluate_seminaive(program_d(), database).answers()
+
+    for name, chain in (("A", program_a()), ("B", program_b()), ("C", program_c())):
+        grammar = to_grammar(chain)
+        evidence = regularity_evidence(grammar)
+        print(f"Program {name}")
+        print("  grammar:")
+        for line in format_grammar(grammar).splitlines():
+            print(f"    {line}")
+        print(f"  language class : {evidence.reason}")
+
+        verdict = propagate_selection(chain)
+        print(f"  Theorem 3.3    : {verdict.verdict.value} ({verdict.reason.split(';')[0]})")
+
+        print("  evaluation:")
+        answers = evaluate("original (binary recursion)", chain.program, database)
+        magic_answers = evaluate("magic sets [5]", magic_transform(chain.program), database)
+        rewritten = verdict.monadic_program
+        rewrite_answers = evaluate("monadic rewrite (Thm 3.3)", rewritten, database)
+        assert answers == magic_answers == rewrite_answers == gold
+        print()
+
+    print("Program D (the target of propagation)")
+    evaluate("Program D", program_d(), database)
+    print("\nAll four programs return the same ancestors; the monadic forms derive")
+    print("only facts about john's ancestors, while the binary forms derive the")
+    print("ancestor relation for every person in the database.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Section 7 worked example: magic sets as language quotients on ``L(H) = { b1^n b2^n }``.
+
+The script reproduces the paper's discussion:
+
+* the per-rule regular expressions (``Σ* b1 Σ* b2 Σ*`` for both rules);
+* the quotient languages (``b1*`` here, computed from the regular envelope
+  ``b1+ b2+`` because the exact language has no regular certificate);
+* the transformed program with its monadic ``magic`` predicate, compared to
+  the program printed in the paper;
+* the pruning effect on a layered graph with unreachable witness copies.
+"""
+
+from repro.core import anbn_program, analyze_magic, magic_transform_chain, section7_transformed
+from repro.core.workloads import layered_anbn_graph
+from repro.datalog import evaluate_seminaive, format_program
+from repro.languages.regular import enumerate_words
+
+
+def main() -> None:
+    chain = anbn_program()
+    print("Chain program H with L(H) = { b1^n b2^n : n >= 1 }")
+    print("-" * 60)
+    print(format_program(chain.program))
+    print()
+
+    analysis = analyze_magic(chain)
+    print(f"Language automaton exact? {analysis.language_exact} "
+          "(no: the regular envelope b1+ b2+ is used, as the paper suggests)")
+    for index, entry in enumerate(analysis.rule_quotients, start=1):
+        words = enumerate_words(entry.quotient, 4)
+        print(f"  rule {index}: R_{index} = {entry.context_regex}")
+        print(f"           quotient words (<=4): {[' '.join(w) if w else 'ε' for w in words]}")
+    print()
+
+    transformed = magic_transform_chain(chain)
+    print("Transformed program (quotient-derived magic predicate)")
+    print("-" * 60)
+    print(format_program(transformed))
+    print()
+    print("Paper's hand-written transformed program")
+    print("-" * 60)
+    print(format_program(section7_transformed()))
+    print()
+
+    for noise in (0, 2, 8):
+        database = layered_anbn_graph(10, noise_branches=noise)
+        plain = evaluate_seminaive(chain.program, database)
+        magic = evaluate_seminaive(transformed, database)
+        paper = evaluate_seminaive(section7_transformed(), database)
+        assert plain.answers() == magic.answers() == paper.answers()
+        print(
+            f"noise branches={noise:>2}  facts derived: "
+            f"plain={plain.statistics.facts_derived:>5}  "
+            f"quotient magic={magic.statistics.facts_derived:>5}  "
+            f"paper magic={paper.statistics.facts_derived:>5}  "
+            f"(answers: {len(plain.answers())})"
+        )
+    print("\nThe un-selected program derives p facts in every disconnected copy of the")
+    print("witness gadget; the magic-guarded programs only work inside the b1*-reachable")
+    print("part, which is exactly the quotient language the paper computes.")
+
+
+if __name__ == "__main__":
+    main()

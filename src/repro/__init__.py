@@ -1,0 +1,74 @@
+"""repro -- reproduction of *Bounds on the Propagation of Selection into Logic Programs*.
+
+The package is organised in four layers:
+
+``repro.datalog``
+    A from-scratch Datalog substrate: abstract syntax, parser, databases
+    (finite structures), naive/semi-naive/top-down evaluation, and the
+    classical program transformations (adornments, magic sets, constant
+    propagation).
+
+``repro.languages``
+    A formal-language toolkit: context-free grammars with the standard
+    normal forms and decision procedures (emptiness, finiteness),
+    finite automata and regular-language algebra, regular expressions,
+    the Mohri--Nederhof regular approximation and language quotients.
+
+``repro.logic``
+    Finite-model theory tools used by the paper's lower-bound proofs:
+    first-order evaluation over finite structures, the weak monadic
+    second-order theory of one successor (WS1S) compiled to automata,
+    and monadic generalized spectra (MGS).
+
+``repro.core``
+    The paper's contribution: chain programs, the grammar/language map
+    ``H -> G(H), L(H)``, the inf-model ``IG``, the Theorem 3.3 selection
+    propagation decision procedure and monadic rewrites, magic sets as
+    language quotients (Section 7), boundedness and first-order
+    expressibility (Proposition 8.2), and uniform-program containment
+    (Proposition 8.1).
+"""
+
+from repro.datalog import (
+    Atom,
+    Constant,
+    Database,
+    Program,
+    Rule,
+    Variable,
+    evaluate_naive,
+    evaluate_seminaive,
+    evaluate_topdown,
+    parse_program,
+    parse_rule,
+)
+from repro.core.chain import ChainProgram, GoalForm
+from repro.core.propagation import (
+    PropagationResult,
+    PropagationVerdict,
+    SelectionPropagator,
+    propagate_selection,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "ChainProgram",
+    "Constant",
+    "Database",
+    "GoalForm",
+    "Program",
+    "PropagationResult",
+    "PropagationVerdict",
+    "Rule",
+    "SelectionPropagator",
+    "Variable",
+    "evaluate_naive",
+    "evaluate_seminaive",
+    "evaluate_topdown",
+    "parse_program",
+    "parse_rule",
+    "propagate_selection",
+    "__version__",
+]

@@ -1,0 +1,178 @@
+"""Command-line interface: analyse, transform, and evaluate chain programs.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli analyze  program.dl          # Theorem 3.3 verdict + certificate
+    python -m repro.cli grammar  program.dl          # G(H), language class, sample words
+    python -m repro.cli rewrite  program.dl          # the equivalent monadic program, if constructible
+    python -m repro.cli magic    program.dl          # Section 7 quotient-based magic transformation
+    python -m repro.cli evaluate program.dl facts.dl # run the program on a database of facts
+    python -m repro.cli bounded  program.dl          # Proposition 8.2 report
+
+A program file contains a goal line ``?p(c, Y)`` followed by chain rules; a
+facts file contains ground facts, one per clause.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterable, Optional
+
+from repro.core.boundedness import analyze_boundedness
+from repro.core.chain import ChainProgram
+from repro.core.grammar_map import to_grammar
+from repro.core.magic_chain import magic_transform_chain
+from repro.core.propagation import propagate_selection
+from repro.datalog import Database, evaluate_seminaive, format_program, parse_facts, parse_program
+from repro.errors import ReproError
+from repro.languages.cfg import format_grammar
+from repro.languages.cfg_analysis import enumerate_language
+from repro.languages.cfg_properties import regularity_evidence
+
+
+def _load_chain(path: str) -> ChainProgram:
+    with open(path, "r", encoding="utf-8") as handle:
+        return ChainProgram(parse_program(handle.read()))
+
+
+def _load_database(path: str) -> Database:
+    with open(path, "r", encoding="utf-8") as handle:
+        return Database.from_facts(parse_facts(handle.read()))
+
+
+def _print(text: str = "") -> None:
+    sys.stdout.write(text + "\n")
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def command_analyze(arguments: argparse.Namespace) -> int:
+    chain = _load_chain(arguments.program)
+    result = propagate_selection(chain)
+    _print(f"goal form : {result.goal_form.value}")
+    _print(f"verdict   : {result.verdict.value}")
+    _print(f"reason    : {result.reason}")
+    if result.witness is not None:
+        _print(f"proof     : {result.witness.proof}")
+    if result.monadic_program is not None and arguments.show_program:
+        _print()
+        _print("equivalent monadic program:")
+        _print(format_program(result.monadic_program))
+    return 0
+
+
+def command_grammar(arguments: argparse.Namespace) -> int:
+    chain = _load_chain(arguments.program)
+    grammar = to_grammar(chain)
+    _print("G(H):")
+    _print(format_grammar(grammar))
+    evidence = regularity_evidence(grammar)
+    _print()
+    _print(f"regularity certificate : {evidence.reason}")
+    words = enumerate_language(grammar, arguments.max_length)
+    rendered = ", ".join(" ".join(word) for word in words) if words else "(none)"
+    _print(f"words up to length {arguments.max_length}: {rendered}")
+    return 0
+
+
+def command_rewrite(arguments: argparse.Namespace) -> int:
+    chain = _load_chain(arguments.program)
+    result = propagate_selection(chain)
+    if result.monadic_program is None:
+        _print(f"no monadic program constructed: {result.reason}")
+        return 1
+    _print(format_program(result.monadic_program))
+    return 0
+
+
+def command_magic(arguments: argparse.Namespace) -> int:
+    chain = _load_chain(arguments.program)
+    transformed = magic_transform_chain(chain)
+    _print(format_program(transformed))
+    return 0
+
+
+def command_evaluate(arguments: argparse.Namespace) -> int:
+    with open(arguments.program, "r", encoding="utf-8") as handle:
+        program = parse_program(handle.read())
+    database = _load_database(arguments.facts)
+    result = evaluate_seminaive(program, database)
+    answers = sorted(result.answers(), key=repr)
+    for answer in answers:
+        _print("(" + ", ".join(str(value) for value in answer) + ")")
+    _print(f"-- {len(answers)} answers; {result.statistics}")
+    return 0
+
+
+def command_bounded(arguments: argparse.Namespace) -> int:
+    chain = _load_chain(arguments.program)
+    report = analyze_boundedness(chain)
+    _print(f"bounded / first-order expressible : {report.bounded}")
+    if report.bounded:
+        words = ", ".join(" ".join(word) for word in report.language_words)
+        _print(f"L(H) = {{ {words} }}")
+        _print(f"derivation-size bound : {report.derivation_size_bound}")
+        _print(f"first-order form      : {report.first_order_formula}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Argument parsing
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Selection propagation analysis for chain Datalog programs "
+        "(Beeri-Kanellakis-Bancilhon-Ramakrishnan).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser("analyze", help="Theorem 3.3 verdict for the program's goal")
+    analyze.add_argument("program", help="path to the chain program")
+    analyze.add_argument(
+        "--show-program", action="store_true", help="also print the constructed monadic program"
+    )
+    analyze.set_defaults(handler=command_analyze)
+
+    grammar = subparsers.add_parser("grammar", help="print G(H) and its language class")
+    grammar.add_argument("program")
+    grammar.add_argument("--max-length", type=int, default=5, help="word enumeration bound")
+    grammar.set_defaults(handler=command_grammar)
+
+    rewrite = subparsers.add_parser("rewrite", help="print the equivalent monadic program")
+    rewrite.add_argument("program")
+    rewrite.set_defaults(handler=command_rewrite)
+
+    magic = subparsers.add_parser("magic", help="print the Section 7 magic transformation")
+    magic.add_argument("program")
+    magic.set_defaults(handler=command_magic)
+
+    evaluate = subparsers.add_parser("evaluate", help="evaluate a program on a facts file")
+    evaluate.add_argument("program")
+    evaluate.add_argument("facts")
+    evaluate.set_defaults(handler=command_evaluate)
+
+    bounded = subparsers.add_parser("bounded", help="Proposition 8.2 boundedness report")
+    bounded.add_argument("program")
+    bounded.set_defaults(handler=command_bounded)
+
+    return parser
+
+
+def main(argv: Optional[Iterable[str]] = None) -> int:
+    parser = build_parser()
+    arguments = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        return arguments.handler(arguments)
+    except ReproError as error:
+        sys.stderr.write(f"error: {error}\n")
+        return 2
+    except FileNotFoundError as error:
+        sys.stderr.write(f"error: {error}\n")
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

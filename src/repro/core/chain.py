@@ -1,0 +1,184 @@
+"""Chain Datalog programs and their goal forms (Section 2.1 of the paper).
+
+A *chain rule* has the shape::
+
+    r(X, Y) :- r1(X, X1), r2(X1, X2), ..., rn(X_{n-1}, Y)
+
+with all predicates binary, the chain variables distinct, and ``n >= 1``.
+A *chain program* consists solely of chain rules; its goal takes one of six
+forms: ``p(X, Y)``, ``p(X, X)``, ``p(c, Y)``, ``p(X, c)``, ``p(c, c1)``,
+``p(c, c)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Tuple
+
+from repro.datalog.atoms import Atom
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+from repro.errors import NotAChainProgramError, ValidationError
+
+
+class GoalForm(Enum):
+    """The six possible goal forms of a chain program (Section 2.1)."""
+
+    FREE = "p(X, Y)"
+    EQUAL = "p(X, X)"
+    CONSTANT_FIRST = "p(c, Y)"
+    CONSTANT_SECOND = "p(X, c)"
+    CONSTANT_BOTH = "p(c, c1)"
+    CONSTANT_SAME = "p(c, c)"
+
+    @property
+    def has_constant(self) -> bool:
+        """Goal forms whose selection involves at least one constant."""
+        return self in (
+            GoalForm.CONSTANT_FIRST,
+            GoalForm.CONSTANT_SECOND,
+            GoalForm.CONSTANT_BOTH,
+            GoalForm.CONSTANT_SAME,
+        )
+
+
+def classify_goal(goal: Atom) -> GoalForm:
+    """Classify a binary goal atom into one of the six forms."""
+    if goal.arity != 2:
+        raise ValidationError(f"chain-program goals are binary, got {goal}")
+    first, second = goal.terms
+    if isinstance(first, Variable) and isinstance(second, Variable):
+        return GoalForm.EQUAL if first == second else GoalForm.FREE
+    if isinstance(first, Constant) and isinstance(second, Variable):
+        return GoalForm.CONSTANT_FIRST
+    if isinstance(first, Variable) and isinstance(second, Constant):
+        return GoalForm.CONSTANT_SECOND
+    assert isinstance(first, Constant) and isinstance(second, Constant)
+    return GoalForm.CONSTANT_SAME if first == second else GoalForm.CONSTANT_BOTH
+
+
+def is_chain_rule(rule: Rule, idb_hint: Optional[frozenset] = None) -> bool:
+    """Check the chain-rule shape (head and body form one variable chain)."""
+    head = rule.head
+    if head.arity != 2:
+        return False
+    if not all(isinstance(term, Variable) for term in head.terms):
+        return False
+    if not rule.body:
+        return False
+    start, end = head.terms
+    if start == end:
+        return False
+    chain_vars = [start]
+    for atom in rule.body:
+        if atom.arity != 2:
+            return False
+        if not all(isinstance(term, Variable) for term in atom.terms):
+            return False
+        if atom.terms[0] != chain_vars[-1]:
+            return False
+        chain_vars.append(atom.terms[1])
+    if chain_vars[-1] != end:
+        return False
+    return len(set(chain_vars)) == len(chain_vars)
+
+
+@dataclass(frozen=True)
+class ChainProgram:
+    """A validated chain program.
+
+    Wraps a :class:`~repro.datalog.program.Program` whose rules are all chain
+    rules and whose goal (if any) is binary.  The wrapped program is exposed
+    via :attr:`program`; the grammar/language view lives in
+    :mod:`repro.core.grammar_map`.
+    """
+
+    program: Program
+
+    def __init__(self, program: Program):
+        for rule in program.rules:
+            if not is_chain_rule(rule):
+                raise NotAChainProgramError(f"rule is not a chain rule: {rule}")
+        if program.goal is not None:
+            classify_goal(program.goal)
+        arities = program.predicate_arities()
+        for predicate, arity in arities.items():
+            if arity != 2:
+                raise NotAChainProgramError(
+                    f"chain programs use only binary predicates; {predicate} has arity {arity}"
+                )
+        program.validate()
+        object.__setattr__(self, "program", program)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_text(cls, text: str) -> "ChainProgram":
+        """Parse a chain program from the Prolog-like syntax."""
+        from repro.datalog.parser import parse_program
+
+        return cls(parse_program(text))
+
+    # ------------------------------------------------------------------
+    @property
+    def goal(self) -> Optional[Atom]:
+        return self.program.goal
+
+    @property
+    def rules(self) -> Tuple[Rule, ...]:
+        return self.program.rules
+
+    def goal_form(self) -> GoalForm:
+        """The goal's form; raises if the program has no goal."""
+        if self.program.goal is None:
+            raise ValidationError("chain program has no goal")
+        return classify_goal(self.program.goal)
+
+    def goal_predicate(self) -> str:
+        if self.program.goal is None:
+            raise ValidationError("chain program has no goal")
+        return self.program.goal.predicate
+
+    def idb_predicates(self) -> frozenset:
+        return self.program.idb_predicates()
+
+    def edb_predicates(self) -> frozenset:
+        return self.program.edb_predicates()
+
+    def with_goal(self, goal: Atom) -> "ChainProgram":
+        """Return the same rules with a different goal."""
+        return ChainProgram(self.program.with_goal(goal))
+
+    def goal_constants(self) -> Tuple[Constant, ...]:
+        """Constants appearing in the goal (empty for the variable-only forms)."""
+        if self.program.goal is None:
+            return ()
+        return tuple(t for t in self.program.goal.terms if isinstance(t, Constant))
+
+    def __str__(self) -> str:
+        return str(self.program)
+
+
+def chain_rule(head_predicate: str, body_predicates: Tuple[str, ...]) -> Rule:
+    """Build a chain rule from predicate names (variables are generated)."""
+    if not body_predicates:
+        raise ValidationError("chain rules have non-empty bodies")
+    variables = [Variable("X")] + [
+        Variable(f"X{i}") for i in range(1, len(body_predicates))
+    ] + [Variable("Y")]
+    body = tuple(
+        Atom(predicate, (variables[i], variables[i + 1]))
+        for i, predicate in enumerate(body_predicates)
+    )
+    head = Atom(head_predicate, (variables[0], variables[-1]))
+    return Rule(head, body)
+
+
+def chain_program_from_productions(
+    productions: Tuple[Tuple[str, Tuple[str, ...]], ...],
+    goal: Atom,
+) -> ChainProgram:
+    """Build a chain program from grammar-like ``(head, body-predicates)`` pairs."""
+    rules = tuple(chain_rule(head, body) for head, body in productions)
+    return ChainProgram(Program(rules, goal))

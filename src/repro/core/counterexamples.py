@@ -1,0 +1,218 @@
+"""The paper's hard instances, packaged as named, machine-checkable objects.
+
+The undecidability side of Theorem 3.3 means no algorithm can decide, for an
+arbitrary chain program with a constant goal, whether selection propagation
+is possible.  What *can* be done — and what the paper's examples do — is to
+exhibit concrete programs whose language is provably non-regular (or
+provably infinite), for which the answer is therefore known.  This module
+registers those witnesses together with:
+
+* a recogniser that checks (up to renaming) whether a given grammar belongs
+  to the witness family, and
+* a human-readable statement of the non-regularity / infiniteness proof.
+
+The propagation decision procedure consults this registry so that its
+``NOT_PROPAGATABLE`` verdicts are always backed by an explicit proof
+reference rather than a heuristic guess.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.core.chain import ChainProgram
+from repro.core.grammar_map import to_grammar
+from repro.datalog.parser import parse_program
+from repro.languages.cfg import Grammar
+from repro.languages.cfg_transforms import reduce_grammar
+
+
+# ----------------------------------------------------------------------
+# Witness families
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NonRegularityWitness:
+    """A family of grammars whose languages are known to be non-regular."""
+
+    name: str
+    description: str
+    proof: str
+    matcher: Callable[[Grammar], bool]
+
+    def matches(self, grammar: Grammar) -> bool:
+        """Does the (reduced) grammar belong to this family?"""
+        return self.matcher(reduce_grammar(grammar))
+
+
+def _matches_balanced_pair(grammar: Grammar) -> bool:
+    """Match grammars of the exact shape ``S -> a S b | a b`` (with ``a != b``).
+
+    This is the ``{a^n b^n : n >= 1}`` family — the canonical non-regular
+    context-free language, and the language of the paper's Section 7
+    example.
+    """
+    if len(grammar.nonterminals) != 1:
+        return False
+    (start,) = grammar.nonterminals
+    if start != grammar.start:
+        return False
+    productions = grammar.productions_for(start)
+    if len(productions) != 2:
+        return False
+    recursive = [p for p in productions if start in p.rhs]
+    base = [p for p in productions if start not in p.rhs]
+    if len(recursive) != 1 or len(base) != 1:
+        return False
+    rec_rhs = recursive[0].rhs
+    base_rhs = base[0].rhs
+    if len(rec_rhs) != 3 or len(base_rhs) != 2:
+        return False
+    a, middle, b = rec_rhs
+    if middle != start or a == b:
+        return False
+    if a not in grammar.terminals or b not in grammar.terminals:
+        return False
+    return base_rhs == (a, b)
+
+
+def _matches_balanced_block(grammar: Grammar) -> bool:
+    """Match ``S -> a S b`` shapes with longer uniform blocks, e.g. ``S -> a a S b b | a b``.
+
+    Any such language ``{a^{kn+i} b^{ln+j}}`` with matched growth on both
+    sides is non-regular by the pumping lemma as long as both blocks are
+    non-empty and over distinct single letters.
+    """
+    if len(grammar.nonterminals) != 1:
+        return False
+    (start,) = grammar.nonterminals
+    productions = grammar.productions_for(start)
+    recursive = [p for p in productions if start in p.rhs]
+    base = [p for p in productions if start not in p.rhs]
+    if not recursive or not base:
+        return False
+    letters = set()
+    for production in productions:
+        letters.update(s for s in production.rhs if s in grammar.terminals)
+    if len(letters) != 2:
+        return False
+    a, b = sorted(letters)
+    for production in recursive:
+        rhs = production.rhs
+        if rhs.count(start) != 1:
+            return False
+        index = rhs.index(start)
+        left, right = rhs[:index], rhs[index + 1 :]
+        if not left or not right:
+            return False
+        if set(left) != {a} and set(left) != {b}:
+            return False
+        if set(right) != {b} and set(right) != {a}:
+            return False
+        if set(left) == set(right):
+            return False
+    for production in base:
+        rhs = production.rhs
+        if not rhs:
+            return False
+        split = len([s for s in rhs if s == rhs[0]])
+        if set(rhs[:split]) | set(rhs[split:]) != {a, b} or set(rhs[:split]) == set(rhs[split:]):
+            return False
+    return True
+
+
+BALANCED_PAIR = NonRegularityWitness(
+    name="balanced-pair",
+    description="{ b1^n b2^n : n >= 1 } — the Section 7 example language",
+    proof=(
+        "Pumping lemma for regular languages: if the language were regular with pumping "
+        "length p, the word b1^p b2^p could be pumped inside its first block, producing "
+        "b1^{p+k} b2^p for some k > 0, which is not in the language."
+    ),
+    matcher=_matches_balanced_pair,
+)
+
+BALANCED_BLOCK = NonRegularityWitness(
+    name="balanced-block",
+    description="single-nonterminal linear grammars that grow matched blocks of two distinct letters",
+    proof=(
+        "Pumping lemma: the number of leading first-block letters determines the number of "
+        "trailing second-block letters, and this correspondence requires unbounded memory."
+    ),
+    matcher=_matches_balanced_block,
+)
+
+WITNESS_REGISTRY: Tuple[NonRegularityWitness, ...] = (BALANCED_PAIR, BALANCED_BLOCK)
+
+
+def find_nonregularity_witness(grammar: Grammar) -> Optional[NonRegularityWitness]:
+    """Return the first registered witness family the grammar belongs to, if any."""
+    for witness in WITNESS_REGISTRY:
+        if witness.matches(grammar):
+            return witness
+    return None
+
+
+# ----------------------------------------------------------------------
+# The paper's concrete programs
+# ----------------------------------------------------------------------
+def anbn_program(constant: str = "c") -> ChainProgram:
+    """The Section 7 example: ``L(H) = { b1^n b2^n : n >= 1 }`` with goal ``p(c, Y)``."""
+    text = f"""
+    ?p({constant}, Y)
+    p(X, Y) :- b1(X, X1), b2(X1, Y).
+    p(X, Y) :- b1(X, X1), p(X1, Y1), b2(Y1, Y).
+    """
+    return ChainProgram(parse_program(text))
+
+
+def cycle_program() -> ChainProgram:
+    """Program CYCLE of Section 6: ``?p(X, X)`` over the transitive closure of ``b``."""
+    text = """
+    ?p(X, X)
+    p(X, Y) :- b(X, Y).
+    p(X, Y) :- p(X, Z), b(Z, Y).
+    """
+    return ChainProgram(parse_program(text))
+
+
+def unary_infinite_program(constant: str = "c") -> ChainProgram:
+    """A single-EDB chain program with infinite language (``b^+``), goal ``p(c, Y)``.
+
+    Its language is regular (unary alphabet), so the constant-goal selection
+    *is* propagatable; with goal ``p(X, X)`` it is not (infinite language),
+    which is Case (a)/(b) of Lemma 6.1.
+    """
+    text = f"""
+    ?p({constant}, Y)
+    p(X, Y) :- b(X, Y).
+    p(X, Y) :- p(X, Z), b(Z, Y).
+    """
+    return ChainProgram(parse_program(text))
+
+
+def cycle_length_program(length: int) -> ChainProgram:
+    """A chain program whose language is the single word ``b^length`` with goal ``p(X, X)``.
+
+    On a database graph it asks for the nodes lying on a closed walk of
+    exactly ``length`` steps; it distinguishes cycles whose length divides
+    ``length`` from others — the distinguishing ability used in Lemma 6.1,
+    Case (b).
+    """
+    if length < 1:
+        raise ValueError("length must be at least 1")
+    from repro.core.chain import chain_program_from_productions
+    from repro.datalog.atoms import Atom
+    from repro.datalog.terms import Variable
+
+    productions = (("p", tuple("b" for _ in range(length))),)
+    goal = Atom("p", (Variable("X"), Variable("X")))
+    return chain_program_from_productions(productions, goal)
+
+
+def nonregular_selection_instance() -> Tuple[ChainProgram, NonRegularityWitness]:
+    """The canonical NOT_PROPAGATABLE instance: the ``a^n b^n`` program and its proof."""
+    program = anbn_program()
+    witness = find_nonregularity_witness(to_grammar(program))
+    assert witness is not None
+    return program, witness

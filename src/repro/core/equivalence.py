@@ -1,0 +1,130 @@
+"""Finite query equivalence of programs: exact fragments and empirical testing.
+
+Finite query equivalence of chain programs is undecidable in general
+(Shmueli's result, recalled in Section 8), but two fragments are decidable
+with the machinery in this library:
+
+* both languages finite — compare the enumerated languages;
+* at least one side with an exact regular certificate — CFL vs regular
+  containment is decidable in both directions via Bar-Hillel intersection.
+
+For everything else, the library offers honest *empirical* checks: compare
+the languages on all words up to a bound, and compare the query answers on
+randomly generated databases (the definition of finite query equivalence
+quantifies over all databases, so these checks can refute equivalence with a
+certificate but never prove it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.chain import ChainProgram
+from repro.core.grammar_map import to_grammar
+from repro.core.uniform import ContainmentVerdict, language_containment
+from repro.datalog.database import Database
+from repro.datalog.engine.seminaive import evaluate_seminaive
+from repro.datalog.program import Program
+from repro.languages.alphabet import Word
+from repro.languages.cfg_analysis import (
+    enumerate_finite_language,
+    is_finite_language,
+    language_sample_equal,
+)
+
+
+class EquivalenceVerdict(Enum):
+    """Three-valued equivalence answer."""
+
+    EQUIVALENT = "equivalent"
+    NOT_EQUIVALENT = "not equivalent"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class EquivalenceResult:
+    """Verdict, the method that produced it, and a witness when refuted."""
+
+    verdict: EquivalenceVerdict
+    method: str
+    witness: Optional[Word] = None
+
+
+def chain_language_equivalence(
+    left: ChainProgram, right: ChainProgram, sample_length: int = 8
+) -> EquivalenceResult:
+    """Equivalence of the associated languages (= finite query equivalence for equal goals)."""
+    left_grammar = to_grammar(left)
+    right_grammar = to_grammar(right)
+
+    if is_finite_language(left_grammar) and is_finite_language(right_grammar):
+        left_words = enumerate_finite_language(left_grammar)
+        right_words = enumerate_finite_language(right_grammar)
+        if left_words == right_words:
+            return EquivalenceResult(EquivalenceVerdict.EQUIVALENT, "finite language comparison")
+        witness = sorted(left_words ^ right_words)[0]
+        return EquivalenceResult(
+            EquivalenceVerdict.NOT_EQUIVALENT, "finite language comparison", witness
+        )
+
+    forward = language_containment(left, right, sample_length)
+    backward = language_containment(right, left, sample_length)
+    if (
+        forward.verdict == ContainmentVerdict.CONTAINED
+        and backward.verdict == ContainmentVerdict.CONTAINED
+    ):
+        return EquivalenceResult(
+            EquivalenceVerdict.EQUIVALENT, f"{forward.method} / {backward.method}"
+        )
+    for direction in (forward, backward):
+        if direction.verdict == ContainmentVerdict.NOT_CONTAINED:
+            return EquivalenceResult(
+                EquivalenceVerdict.NOT_EQUIVALENT, direction.method, direction.witness
+            )
+    agree, witness = language_sample_equal(left_grammar, right_grammar, sample_length)
+    if not agree:
+        return EquivalenceResult(
+            EquivalenceVerdict.NOT_EQUIVALENT,
+            f"bounded word comparison up to length {sample_length}",
+            witness,
+        )
+    return EquivalenceResult(
+        EquivalenceVerdict.UNKNOWN,
+        f"languages agree on all words up to length {sample_length}; exact equivalence undecided",
+    )
+
+
+@dataclass(frozen=True)
+class EmpiricalEquivalence:
+    """Outcome of comparing two programs' answers on a suite of databases."""
+
+    databases_tested: int
+    agree: bool
+    counterexample: Optional[Database] = None
+    left_answers: Optional[frozenset] = None
+    right_answers: Optional[frozenset] = None
+
+
+def programs_agree_on(
+    left: Program, right: Program, databases: List[Database]
+) -> EmpiricalEquivalence:
+    """Do the two programs produce the same goal answers on every given database?"""
+    for index, database in enumerate(databases):
+        left_answers = evaluate_seminaive(left, database).answers()
+        right_answers = evaluate_seminaive(right, database).answers()
+        if left_answers != right_answers:
+            return EmpiricalEquivalence(index + 1, False, database, left_answers, right_answers)
+    return EmpiricalEquivalence(len(databases), True)
+
+
+def random_equivalence_test(
+    left: Program,
+    right: Program,
+    database_factory: Callable[[int], Database],
+    trials: int = 20,
+) -> EmpiricalEquivalence:
+    """Compare answers on ``trials`` databases produced by ``database_factory(seed)``."""
+    databases = [database_factory(seed) for seed in range(trials)]
+    return programs_agree_on(left, right, databases)

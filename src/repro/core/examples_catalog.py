@@ -1,0 +1,103 @@
+"""Every program literally written in the paper, as a ready-made object.
+
+Example 1.1's four alternative definitions of "the ancestors of john"
+(Programs A–D), the Section 7 ``b1^n b2^n`` program and its transformed
+form, and the Section 6 CYCLE program.  Having them in one catalogue keeps
+tests, examples, and benchmarks in sync with the paper's text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.chain import ChainProgram
+from repro.core.counterexamples import anbn_program, cycle_program
+from repro.core.magic_chain import paper_example_transformed_program
+from repro.datalog.parser import parse_program
+from repro.datalog.program import Program
+
+
+def program_a(constant: str = "john") -> ChainProgram:
+    """Example 1.1, Program A: left-linear ancestor recursion.
+
+    ``?anc(john, Y);  anc(X,Y) :- par(X,Y);  anc(X,Y) :- anc(X,Z), par(Z,Y)``
+    """
+    text = f"""
+    ?anc({constant}, Y)
+    anc(X, Y) :- par(X, Y).
+    anc(X, Y) :- anc(X, Z), par(Z, Y).
+    """
+    return ChainProgram(parse_program(text))
+
+
+def program_b(constant: str = "john") -> ChainProgram:
+    """Example 1.1, Program B: right-linear ancestor recursion.
+
+    ``anc(X,Y) :- par(X,Z), anc(Z,Y)`` — the grammar is right linear.
+    """
+    text = f"""
+    ?anc({constant}, Y)
+    anc(X, Y) :- par(X, Y).
+    anc(X, Y) :- par(X, Z), anc(Z, Y).
+    """
+    return ChainProgram(parse_program(text))
+
+
+def program_c(constant: str = "john") -> ChainProgram:
+    """Example 1.1, Program C: non-linear (divide-and-conquer) ancestor recursion."""
+    text = f"""
+    ?anc({constant}, Y)
+    anc(X, Y) :- par(X, Y).
+    anc(X, Y) :- anc(X, Z), anc(Z, Y).
+    """
+    return ChainProgram(parse_program(text))
+
+
+def program_d(constant: str = "john") -> Program:
+    """Example 1.1, Program D: the truly efficient monadic form.
+
+    ``ancjohn(Y) :- par(john, Y);  ancjohn(Y) :- ancjohn(Z), par(Z, Y)``
+    Not a chain program (its derived predicate is monadic), so it is returned
+    as a plain :class:`Program`.
+    """
+    text = f"""
+    ?anc{constant}(Y)
+    anc{constant}(Y) :- par({constant}, Y).
+    anc{constant}(Y) :- anc{constant}(Z), par(Z, Y).
+    """
+    return parse_program(text)
+
+
+def ancestor_portfolio(constant: str = "john") -> Dict[str, object]:
+    """All four Example 1.1 programs keyed by their paper names."""
+    return {
+        "A": program_a(constant),
+        "B": program_b(constant),
+        "C": program_c(constant),
+        "D": program_d(constant),
+    }
+
+
+def section7_program(constant: str = "c") -> ChainProgram:
+    """The Section 7 example chain program with ``L(H) = { b1^n b2^n }``."""
+    return anbn_program(constant)
+
+
+def section7_transformed(constant: str = "c") -> Program:
+    """The magic-set transformed program exactly as printed in Section 7."""
+    return paper_example_transformed_program(constant)
+
+
+def section6_cycle_program() -> ChainProgram:
+    """Program CYCLE of Section 6 (goal ``p(X, X)`` over transitive closure)."""
+    return cycle_program()
+
+
+def same_generation_program(constant: str = "c") -> ChainProgram:
+    """The same-generation chain program (language ``up^n down^n``), a second non-regular instance."""
+    text = f"""
+    ?sg({constant}, Y)
+    sg(X, Y) :- up(X, X1), down(X1, Y).
+    sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+    """
+    return ChainProgram(parse_program(text))

@@ -1,0 +1,85 @@
+"""The language analogy: ``H ↦ G(H)`` and ``L(H)`` (Section 3 of the paper).
+
+With each EDB predicate we associate a terminal symbol, with each IDB
+predicate a nonterminal symbol; occurrences of predicates in the rules are
+replaced by the associated grammar symbols, variables/parentheses/commas are
+deleted, ``:-`` becomes ``→``, and the goal predicate becomes the start
+symbol.  Because chain rules have nonempty bodies, the languages obtained
+this way are exactly the context-free languages not containing the empty
+string.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.chain import ChainProgram, chain_program_from_productions
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Variable
+from repro.errors import ValidationError
+from repro.languages.cfg import Grammar, Production
+
+
+def to_grammar(chain: ChainProgram, start: str = None) -> Grammar:
+    """The context-free grammar ``G(H)`` of a chain program ``H``.
+
+    The start symbol defaults to the goal predicate; for goal-less programs a
+    start nonterminal must be supplied.
+    """
+    if start is None:
+        if chain.goal is None:
+            raise ValidationError("a goal (or an explicit start symbol) is required")
+        start = chain.goal.predicate
+    idbs = chain.idb_predicates()
+    edbs = chain.edb_predicates()
+    productions = [
+        Production(rule.head.predicate, tuple(atom.predicate for atom in rule.body))
+        for rule in chain.rules
+    ]
+    return Grammar(idbs, edbs, productions, start)
+
+
+def chain_language(chain: ChainProgram) -> Grammar:
+    """Alias for :func:`to_grammar`: the grammar *is* the finite description of ``L(H)``."""
+    return to_grammar(chain)
+
+
+def from_grammar(grammar: Grammar, goal: Atom) -> ChainProgram:
+    """The inverse construction: a chain program whose grammar is (isomorphic to) *grammar*.
+
+    Every production becomes one chain rule; ε-productions are rejected
+    because chain rules have nonempty bodies.
+    """
+    if grammar.has_epsilon_productions():
+        raise ValidationError("chain programs cannot encode ε-productions")
+    if goal.predicate != grammar.start:
+        raise ValidationError(
+            f"goal predicate {goal.predicate!r} differs from the start symbol {grammar.start!r}"
+        )
+    productions: Tuple[Tuple[str, Tuple[str, ...]], ...] = tuple(
+        (production.lhs, production.rhs) for production in grammar.productions
+    )
+    return chain_program_from_productions(productions, goal)
+
+
+def left_linear_grammar_to_program(grammar: Grammar, goal: Atom) -> ChainProgram:
+    """Specialised constructor used by the Theorem 3.3 "if" direction.
+
+    The grammar must be left linear; the resulting chain program is the
+    direct syntactic transcription (Program ``H_left`` in the proof).
+    """
+    from repro.languages.cfg_properties import is_left_linear
+
+    if not is_left_linear(grammar):
+        raise ValidationError("grammar is not left linear")
+    return from_grammar(grammar, goal)
+
+
+def predicate_terminal_map(chain: ChainProgram) -> Dict[str, str]:
+    """The (identity) association between EDB predicates and terminal symbols.
+
+    The map is trivial because we reuse predicate names as grammar symbols,
+    but having it explicit keeps call sites honest about which direction of
+    the analogy they use.
+    """
+    return {name: name for name in sorted(chain.edb_predicates())}

@@ -1,0 +1,151 @@
+"""The inf-model ``IG`` (Section 3) and its finite truncations.
+
+``IG`` is the infinite complete ``k``-ary tree over the EDB alphabet
+``Σ = {b1, ..., bk}`` rooted at the constant ``c``: every node has exactly
+one outgoing edge per symbol, every node except the origin has exactly one
+incoming edge, and nodes correspond one-to-one to strings of ``Σ*``.
+
+Proposition 3.1 states that for a chain program ``H`` with goal ``p(c, Y)``
+and any finite-query-equivalent program ``h``::
+
+    h(IG) = H(IG) = L(H)
+
+Lemma 3.2 (a ground atom is derivable on ``IG`` iff it is derivable on a
+finite subset of ``IG``) is what lets us work with finite truncations: the
+output of a program on the depth-``d`` truncation, intersected with strings
+short enough not to be affected by the missing part of the tree, equals the
+corresponding slice of its output on ``IG``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.core.chain import ChainProgram
+from repro.core.grammar_map import to_grammar
+from repro.datalog.database import Database
+from repro.datalog.engine.seminaive import evaluate_seminaive
+from repro.datalog.program import Program
+from repro.languages.alphabet import Word
+from repro.languages.cfg_analysis import enumerate_language
+
+
+ORIGIN = ""
+
+
+def node_name(path: Sequence[str]) -> str:
+    """The canonical node name of the string ``path`` (symbols joined by ``.``)."""
+    return ".".join(path)
+
+
+def node_word(name: str) -> Word:
+    """Inverse of :func:`node_name`."""
+    if name == ORIGIN:
+        return ()
+    return tuple(name.split("."))
+
+
+@dataclass(frozen=True)
+class InfModelTruncation:
+    """The depth-``d`` truncation of ``IG`` over a fixed EDB alphabet."""
+
+    alphabet: Tuple[str, ...]
+    depth: int
+    database: Database
+    origin: str = ORIGIN
+
+    def nodes(self) -> FrozenSet[str]:
+        """All node names of the truncation."""
+        nodes = {self.origin}
+        for relation in self.alphabet:
+            for (source, target) in self.database.relation(relation):
+                nodes.add(source)
+                nodes.add(target)
+        return frozenset(nodes)
+
+
+def ig_truncation(alphabet: Iterable[str], depth: int) -> InfModelTruncation:
+    """Materialise the nodes of ``IG`` at distance at most *depth* from the origin."""
+    symbols = tuple(sorted(alphabet))
+    database = Database()
+    frontier: List[Tuple[str, ...]] = [()]
+    for _ in range(depth):
+        next_frontier: List[Tuple[str, ...]] = []
+        for path in frontier:
+            for symbol in symbols:
+                child = path + (symbol,)
+                database.add_edge(symbol, node_name(path), node_name(child))
+                next_frontier.append(child)
+        frontier = next_frontier
+    return InfModelTruncation(symbols, depth, database)
+
+
+def program_output_on_truncation(
+    program: Program, truncation: InfModelTruncation, origin_constant: object = ORIGIN
+) -> FrozenSet[Word]:
+    """``h(IG)`` restricted to the truncation: the set of strings selected by the goal.
+
+    The program's goal must select nodes (its answers must be single nodes of
+    the truncation); the answers are translated back into strings over the
+    alphabet.  Constants named ``c`` in programs are interpreted as the
+    origin by renaming: callers should build programs whose goal constant
+    equals ``origin_constant`` (the empty-string node by default).
+    """
+    result = evaluate_seminaive(program, truncation.database)
+    answers = result.answers()
+    words = set()
+    for answer in answers:
+        if len(answer) != 1:
+            raise ValueError(
+                "the goal must select single nodes of IG; got answer tuple "
+                f"of arity {len(answer)}"
+            )
+        words.add(node_word(answer[0]))
+    return frozenset(words)
+
+
+def chain_program_on_truncation(chain: ChainProgram, depth: int) -> FrozenSet[Word]:
+    """``H(IG)`` up to the truncation depth, for a chain program with goal ``p(c, Y)``.
+
+    The goal constant is interpreted as the origin of ``IG`` regardless of its
+    name (the paper's ``c``), by rewriting the goal.
+    """
+    from repro.datalog.atoms import Atom
+    from repro.datalog.terms import Constant, Variable
+
+    goal = chain.goal
+    if goal is None:
+        raise ValueError("the chain program needs a goal of the form p(c, Y)")
+    first, second = goal.terms
+    if not isinstance(first, Constant) or not isinstance(second, Variable):
+        raise ValueError("chain_program_on_truncation expects a goal of the form p(c, Y)")
+    truncation = ig_truncation(sorted(chain.edb_predicates()), depth)
+    adjusted_goal = Atom(goal.predicate, (Constant(ORIGIN), second))
+    program = chain.program.with_goal(adjusted_goal)
+    return program_output_on_truncation(program, truncation)
+
+
+@dataclass(frozen=True)
+class Proposition31Check:
+    """The outcome of checking Proposition 3.1 on a truncation."""
+
+    depth: int
+    program_output: FrozenSet[Word]
+    language_slice: FrozenSet[Word]
+
+    @property
+    def agrees(self) -> bool:
+        return self.program_output == self.language_slice
+
+
+def check_proposition_3_1(chain: ChainProgram, depth: int) -> Proposition31Check:
+    """Compare ``H(IG)`` with ``L(H)`` on all strings of length at most *depth*.
+
+    By Lemma 3.2 the two sets agree on every truncation depth; the check is
+    used both as a unit test of the machinery and as experiment E8.
+    """
+    grammar = to_grammar(chain)
+    output = {word for word in chain_program_on_truncation(chain, depth) if len(word) <= depth}
+    language = {tuple(word) for word in enumerate_language(grammar, depth)}
+    return Proposition31Check(depth, frozenset(output), frozenset(language))

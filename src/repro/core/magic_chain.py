@@ -1,0 +1,182 @@
+"""Magic sets for chain programs as language quotients (Section 7 of the paper).
+
+For a chain program ``H`` with goal ``p(c, Y)``:
+
+* each rule ``r(X, Y) :- r1(X, X1), ..., rn(X_{n-1}, Y)`` yields a regular
+  expression ``R_i`` obtained from the corresponding grammar production by
+  replacing every nonterminal with ``Σ*`` and adding ``Σ*`` at both ends
+  (the paper writes ``*`` for the don't-care);
+* the magic set for the rule's first variable corresponds to the quotient
+  ``L(H) / R_i``;
+* when the quotient (computed here from ``L(H)`` itself if a regular
+  certificate exists, or from the regular envelope ``R(H) ⊇ L(H)``
+  otherwise) is regular, it compiles into monadic *magic* rules that guard
+  the original rules and prune useless applications.
+
+The classical syntactic magic-set transformation (reference [5]) lives in
+:mod:`repro.datalog.transforms.magic`; the present module is the paper's
+language-theoretic reading of it, and the two are compared in benchmark E5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.chain import ChainProgram, GoalForm
+from repro.core.grammar_map import to_grammar
+from repro.datalog.atoms import Atom
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+from repro.errors import ValidationError
+from repro.languages.approximation import RegularEnvelope, regular_envelope, strongly_regular_to_nfa
+from repro.languages.cfg import Grammar
+from repro.languages.cfg_properties import is_strongly_regular
+from repro.languages.regular.dfa import DFA
+from repro.languages.regular.minimize import minimize_dfa
+from repro.languages.regular.operations import dfa_union, right_quotient
+from repro.languages.regular.regex import AnyStar, Concat, Regex, Symbol
+
+MAGIC_PREDICATE = "magic"
+MAGIC_STATE_PREFIX = "magic_state"
+
+
+def rule_context_regex(chain: ChainProgram, rule: Rule) -> Regex:
+    """The paper's per-rule regular expression: ``Σ*`` for every IDB, terminals kept.
+
+    E.g. ``p(X,Y) :- b1(X,X1), p(X1,Y1), b2(Y1,Y)`` yields ``Σ* b1 Σ* b2 Σ*``.
+    """
+    alphabet = sorted(chain.edb_predicates())
+    idbs = chain.idb_predicates()
+    parts: List[Regex] = [AnyStar(alphabet)]
+    for atom in rule.body:
+        if atom.predicate in idbs:
+            parts.append(AnyStar(alphabet))
+        else:
+            parts.append(Symbol(atom.predicate))
+    parts.append(AnyStar(alphabet))
+    return Concat(parts)
+
+
+@dataclass(frozen=True)
+class RuleQuotient:
+    """The quotient analysis of one rule."""
+
+    rule: Rule
+    context_regex: Regex
+    quotient: DFA
+    exact: bool
+
+
+@dataclass(frozen=True)
+class MagicAnalysis:
+    """Quotient languages of every rule plus the language automaton they divide."""
+
+    chain: ChainProgram
+    language_dfa: DFA
+    language_exact: bool
+    rule_quotients: Tuple[RuleQuotient, ...]
+
+    def magic_language(self) -> DFA:
+        """The union of the per-rule quotients (the binding-reachability language)."""
+        result: Optional[DFA] = None
+        for entry in self.rule_quotients:
+            result = entry.quotient if result is None else dfa_union(result, entry.quotient)
+        assert result is not None
+        return minimize_dfa(result)
+
+    @property
+    def all_exact(self) -> bool:
+        return self.language_exact and all(entry.exact for entry in self.rule_quotients)
+
+
+def _language_automaton(grammar: Grammar) -> Tuple[DFA, bool]:
+    """A DFA for ``L(H)`` when a certificate exists, else for the envelope ``R(H)``."""
+    if is_strongly_regular(grammar):
+        return minimize_dfa(strongly_regular_to_nfa(grammar).to_dfa()), True
+    envelope: RegularEnvelope = regular_envelope(grammar)
+    return minimize_dfa(envelope.nfa.to_dfa()), envelope.exact
+
+
+def analyze_magic(chain: ChainProgram) -> MagicAnalysis:
+    """Compute every per-rule quotient of Section 7 for a ``p(c, Y)`` chain program."""
+    if chain.goal is None or chain.goal_form() != GoalForm.CONSTANT_FIRST:
+        raise ValidationError("the quotient construction is defined for goals of the form p(c, Y)")
+    grammar = to_grammar(chain)
+    alphabet = sorted(chain.edb_predicates())
+    language_dfa, exact = _language_automaton(grammar)
+    quotients: List[RuleQuotient] = []
+    for rule in chain.rules:
+        regex = rule_context_regex(chain, rule)
+        quotient = right_quotient(language_dfa, regex.to_nfa(alphabet))
+        quotients.append(RuleQuotient(rule, regex, minimize_dfa(quotient), exact))
+    return MagicAnalysis(chain, language_dfa, exact, tuple(quotients))
+
+
+def magic_rules_from_dfa(
+    magic_dfa: DFA,
+    constant: Constant,
+    magic_predicate: str = MAGIC_PREDICATE,
+    state_prefix: str = MAGIC_STATE_PREFIX,
+) -> Tuple[Rule, ...]:
+    """Monadic rules computing "reachable from ``constant`` along a prefix of the magic language".
+
+    One predicate per DFA state tracks the exact state; the ``magic``
+    predicate holds for every node reached at *any* state, which makes the
+    guard the prefix closure of the quotient language (a superset of the
+    exact magic set — sound for pruning, as discussed in DESIGN.md).
+    """
+    trimmed = magic_dfa.reachable().renumber()
+    x, y = Variable("X"), Variable("Y")
+    rules: List[Rule] = [Rule(Atom(f"{state_prefix}_{trimmed.start}", (constant,)), ())]
+    for (state, symbol), target in sorted(trimmed.transitions.items(), key=repr):
+        rules.append(
+            Rule(
+                Atom(f"{state_prefix}_{target}", (y,)),
+                (Atom(f"{state_prefix}_{state}", (x,)), Atom(symbol, (x, y))),
+            )
+        )
+    for state in sorted(trimmed.states, key=repr):
+        rules.append(
+            Rule(Atom(magic_predicate, (x,)), (Atom(f"{state_prefix}_{state}", (x,)),))
+        )
+    return tuple(rules)
+
+
+def magic_transform_chain(chain: ChainProgram) -> Program:
+    """The full Section 7 transformation of a ``p(c, Y)`` chain program.
+
+    The result guards every original rule with ``magic(X)`` and defines the
+    magic predicate by monadic rules derived from the quotient languages —
+    the generalisation of the transformed program printed in the paper::
+
+        ?p(c, Y)
+        magic(c) :-
+        magic(Y) :- magic(X), b1(X, Y)
+        p(X, Y)  :- magic(X), b1(X, X1), b2(X1, Y)
+        p(X, Y)  :- magic(X), b1(X, X1), p(X1, Y1), b2(Y1, Y)
+    """
+    analysis = analyze_magic(chain)
+    constant = chain.goal.terms[0]
+    assert isinstance(constant, Constant)
+    magic_dfa = analysis.magic_language()
+    rules: List[Rule] = list(magic_rules_from_dfa(magic_dfa, constant))
+    guard = Atom(MAGIC_PREDICATE, (Variable("X"),))
+    for rule in chain.rules:
+        rules.append(Rule(rule.head, (guard,) + rule.body))
+    return Program(tuple(rules), chain.goal)
+
+
+def paper_example_transformed_program(constant: str = "c") -> Program:
+    """The transformed program exactly as printed in Section 7 (for the ``b1^n b2^n`` example)."""
+    from repro.datalog.parser import parse_program
+
+    text = f"""
+    ?p({constant}, Y)
+    magic({constant}).
+    magic(Y) :- magic(X), b1(X, Y).
+    p(X, Y) :- magic(X), b1(X, X1), b2(X1, Y).
+    p(X, Y) :- magic(X), b1(X, X1), p(X1, Y1), b2(Y1, Y).
+    """
+    return parse_program(text)

@@ -1,0 +1,217 @@
+"""The selection-propagation decision procedure (Theorem 3.3 / Corollary 3.4).
+
+Theorem 3.3 characterises the chain programs into which a selection can be
+propagated (i.e. that have a finite-query-equivalent *monadic* program):
+
+1. goals with a constant (``p(c,Y)``, ``p(X,c)``, ``p(c,c1)``, ``p(c,c)``):
+   possible **iff** ``L(H)`` is regular — an undecidable condition;
+2. the goal ``p(X, X)``: possible **iff** ``L(H)`` is finite — decidable.
+
+A faithful implementation therefore has to be *partial* on case (1): this
+module returns three-valued verdicts.  ``PROPAGATABLE`` and
+``NOT_PROPAGATABLE`` are only reported with a certificate (a decidable
+regularity criterion and a constructed monadic program, or a registered
+non-regularity proof); everything else is ``UNKNOWN`` — which is not a
+weakness of the implementation but the content of Corollary 3.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.core.chain import ChainProgram, GoalForm
+from repro.core.counterexamples import NonRegularityWitness, find_nonregularity_witness
+from repro.core.grammar_map import to_grammar
+from repro.core.rewrites import finite_language_to_monadic, monadic_program_from_dfa
+from repro.datalog.program import Program
+from repro.errors import ValidationError
+from repro.languages.approximation import strongly_regular_to_nfa
+from repro.languages.cfg import Grammar
+from repro.languages.cfg_analysis import enumerate_finite_language, is_finite_language
+from repro.languages.cfg_properties import (
+    RegularityEvidence,
+    is_strongly_regular,
+    is_unary_alphabet,
+    regularity_evidence,
+)
+from repro.languages.cfg_transforms import reduce_grammar
+from repro.languages.regular.dfa import DFA
+from repro.languages.regular.minimize import minimize_dfa
+from repro.languages.unary import length_set_to_dfa, unary_length_set
+
+
+class PropagationVerdict(Enum):
+    """Three-valued answer to "can the selection be propagated?"."""
+
+    PROPAGATABLE = "propagatable"
+    NOT_PROPAGATABLE = "not propagatable"
+    UNKNOWN = "unknown"
+    NO_SELECTION = "no selection to propagate"
+
+
+@dataclass(frozen=True)
+class PropagationResult:
+    """Verdict, justification, and (when constructed) the equivalent monadic program."""
+
+    verdict: PropagationVerdict
+    goal_form: GoalForm
+    reason: str
+    grammar: Grammar
+    regularity: Optional[RegularityEvidence] = None
+    witness: Optional[NonRegularityWitness] = None
+    monadic_program: Optional[Program] = None
+    certificate_dfa: Optional[DFA] = None
+    construction_exact: bool = True
+
+    @property
+    def propagatable(self) -> Optional[bool]:
+        """``True``/``False`` when decided, ``None`` on the undecidable frontier."""
+        if self.verdict == PropagationVerdict.PROPAGATABLE:
+            return True
+        if self.verdict == PropagationVerdict.NOT_PROPAGATABLE:
+            return False
+        return None
+
+
+class SelectionPropagator:
+    """Decision procedure plus monadic-program constructor for chain programs."""
+
+    def __init__(self, unary_sample_bound: int = 40):
+        self.unary_sample_bound = unary_sample_bound
+
+    # ------------------------------------------------------------------
+    def analyze(self, chain: ChainProgram) -> PropagationResult:
+        """Apply Theorem 3.3 to the chain program's goal."""
+        if chain.goal is None:
+            raise ValidationError("the chain program has no goal")
+        form = chain.goal_form()
+        grammar = reduce_grammar(to_grammar(chain))
+
+        if form == GoalForm.FREE:
+            return PropagationResult(
+                PropagationVerdict.NO_SELECTION,
+                form,
+                "the goal p(X, Y) applies no selection; Theorem 3.3 does not apply",
+                grammar,
+            )
+
+        if form == GoalForm.EQUAL:
+            return self._analyze_equality_goal(chain, grammar)
+        return self._analyze_constant_goal(chain, grammar, form)
+
+    # ------------------------------------------------------------------
+    def _analyze_equality_goal(self, chain: ChainProgram, grammar: Grammar) -> PropagationResult:
+        """Theorem 3.3 part (2): decidable via finiteness of L(H)."""
+        if is_finite_language(grammar):
+            words = enumerate_finite_language(grammar)
+            program = finite_language_to_monadic(words, chain.goal)
+            return PropagationResult(
+                PropagationVerdict.PROPAGATABLE,
+                GoalForm.EQUAL,
+                f"L(H) is finite ({len(words)} words); the program is equivalent to a union "
+                "of non-recursive rules (Theorem 3.3 part 2, 'if' direction)",
+                grammar,
+                regularity=RegularityEvidence(True, "finite language"),
+                monadic_program=program,
+            )
+        return PropagationResult(
+            PropagationVerdict.NOT_PROPAGATABLE,
+            GoalForm.EQUAL,
+            "L(H) is infinite, so by Theorem 3.3 part 2 no equivalent monadic program exists",
+            grammar,
+            regularity=RegularityEvidence(None, "infinite language"),
+        )
+
+    # ------------------------------------------------------------------
+    def _analyze_constant_goal(
+        self, chain: ChainProgram, grammar: Grammar, form: GoalForm
+    ) -> PropagationResult:
+        """Theorem 3.3 part (1): regular iff propagatable; only partially decidable."""
+        evidence = regularity_evidence(grammar)
+
+        if evidence.regular:
+            program, dfa, exact, note = self._construct_for_constant_goal(chain, grammar, evidence)
+            return PropagationResult(
+                PropagationVerdict.PROPAGATABLE,
+                form,
+                f"L(H) is regular ({evidence.reason}); {note}",
+                grammar,
+                regularity=evidence,
+                monadic_program=program,
+                certificate_dfa=dfa,
+                construction_exact=exact,
+            )
+
+        witness = find_nonregularity_witness(grammar)
+        if witness is not None:
+            return PropagationResult(
+                PropagationVerdict.NOT_PROPAGATABLE,
+                form,
+                f"L(H) belongs to the non-regular family '{witness.name}': {witness.description}",
+                grammar,
+                regularity=RegularityEvidence(False, witness.name),
+                witness=witness,
+            )
+
+        return PropagationResult(
+            PropagationVerdict.UNKNOWN,
+            form,
+            "no decidable regularity certificate applies and no registered non-regularity "
+            "witness matches; the question is undecidable in general (Corollary 3.4)",
+            grammar,
+            regularity=evidence,
+        )
+
+    # ------------------------------------------------------------------
+    def _construct_for_constant_goal(
+        self, chain: ChainProgram, grammar: Grammar, evidence: RegularityEvidence
+    ):
+        """Build a DFA for L(H) under the given certificate, then the monadic program."""
+        if is_finite_language(grammar):
+            words = enumerate_finite_language(grammar)
+            program = finite_language_to_monadic(words, chain.goal)
+            return (
+                program,
+                None,
+                True,
+                f"constructed a union of {len(words)} non-recursive rules",
+            )
+        if is_strongly_regular(grammar):
+            dfa = minimize_dfa(strongly_regular_to_nfa(grammar).to_dfa())
+            program = monadic_program_from_dfa(chain, dfa)
+            return (
+                program,
+                dfa,
+                True,
+                f"constructed a {len(dfa.states)}-state DFA and one monadic predicate per state",
+            )
+        if is_unary_alphabet(grammar):
+            lengths = unary_length_set(grammar, self.unary_sample_bound)
+            (terminal,) = {
+                s for p in grammar.productions for s in p.rhs if s in grammar.terminals
+            }
+            dfa = minimize_dfa(length_set_to_dfa(lengths, terminal))
+            program = monadic_program_from_dfa(chain, dfa)
+            return (
+                program,
+                dfa,
+                lengths.exact,
+                "unary language: built the ultimately periodic length automaton "
+                f"(verified empirically up to length {lengths.verified_up_to})",
+            )
+        # Regular by a structural theorem (e.g. non-self-embedding) but without an
+        # implemented exact automaton construction.
+        return (
+            None,
+            None,
+            True,
+            "regularity is certified, but no automaton construction is implemented for "
+            "this certificate; no monadic program was materialised",
+        )
+
+
+def propagate_selection(chain: ChainProgram) -> PropagationResult:
+    """Convenience wrapper: analyse with default settings."""
+    return SelectionPropagator().analyze(chain)

@@ -1,0 +1,178 @@
+"""The "if" direction of Theorem 3.3: constructing equivalent monadic programs.
+
+Two constructions:
+
+* **Regular case** (constant goals).  If ``L(H)`` is regular with an explicit
+  finite automaton, the query "nodes reachable from ``c`` by a path whose
+  label is in ``L(H)``" is computed by a monadic program with one predicate
+  per automaton state — the generalisation of rewriting a left-linear
+  grammar into Program D of Example 1.1.  The symmetric construction handles
+  the goal ``p(X, c)`` by running the automaton backwards.
+
+* **Finite case** (any goal form, in particular ``p(X, X)``).  If ``L(H)``
+  is finite the program is equivalent to a union of non-recursive (tableau)
+  rules, one per word of the language, which is trivially monadic after the
+  goal selection is applied.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.chain import ChainProgram, GoalForm, classify_goal
+from repro.datalog.atoms import Atom
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+from repro.errors import ValidationError
+from repro.languages.alphabet import Word
+from repro.languages.regular.dfa import DFA
+
+ANSWER_PREDICATE = "answer"
+
+
+def _state_predicate(prefix: str, state: object) -> str:
+    return f"{prefix}_{state}"
+
+
+def dfa_to_monadic_forward(
+    dfa: DFA,
+    constant: Constant,
+    answer_predicate: str = ANSWER_PREDICATE,
+    state_prefix: str = "reach",
+) -> Program:
+    """Monadic rules deriving ``answer(Y)`` = "Y reachable from ``constant`` via a word of L(dfa)".
+
+    One monadic predicate per DFA state; the EDB predicates are the alphabet
+    symbols (binary edge relations), exactly as in the inf-model reading of a
+    database as a labeled directed graph.
+    """
+    trimmed = dfa.reachable().renumber()
+    rules: List[Rule] = []
+    start_predicate = _state_predicate(state_prefix, trimmed.start)
+    rules.append(Rule(Atom(start_predicate, (constant,)), ()))
+    x, y = Variable("X"), Variable("Y")
+    for (state, symbol), target in sorted(trimmed.transitions.items(), key=repr):
+        rules.append(
+            Rule(
+                Atom(_state_predicate(state_prefix, target), (y,)),
+                (Atom(_state_predicate(state_prefix, state), (x,)), Atom(symbol, (x, y))),
+            )
+        )
+    for state in sorted(trimmed.accepting, key=repr):
+        rules.append(
+            Rule(Atom(answer_predicate, (x,)), (Atom(_state_predicate(state_prefix, state), (x,)),))
+        )
+    return Program(tuple(rules), Atom(answer_predicate, (Variable("Y"),)))
+
+
+def dfa_to_monadic_backward(
+    dfa: DFA,
+    constant: Constant,
+    answer_predicate: str = ANSWER_PREDICATE,
+    state_prefix: str = "coreach",
+) -> Program:
+    """Monadic rules deriving ``answer(X)`` = "from X a path labeled by a word of L(dfa) reaches ``constant``"."""
+    trimmed = dfa.reachable().renumber()
+    rules: List[Rule] = []
+    x, y = Variable("X"), Variable("Y")
+    for state in sorted(trimmed.accepting, key=repr):
+        rules.append(Rule(Atom(_state_predicate(state_prefix, state), (constant,)), ()))
+    for (state, symbol), target in sorted(trimmed.transitions.items(), key=repr):
+        rules.append(
+            Rule(
+                Atom(_state_predicate(state_prefix, state), (x,)),
+                (Atom(symbol, (x, y)), Atom(_state_predicate(state_prefix, target), (y,))),
+            )
+        )
+    rules.append(
+        Rule(Atom(answer_predicate, (x,)), (Atom(_state_predicate(state_prefix, trimmed.start), (x,)),))
+    )
+    return Program(tuple(rules), Atom(answer_predicate, (Variable("X"),)))
+
+
+# ----------------------------------------------------------------------
+# Finite languages: union of tableau (non-recursive) rules
+# ----------------------------------------------------------------------
+def _word_body(word: Word, first_term, last_term) -> Tuple[Atom, ...]:
+    """The conjunctive body describing a path labeled by *word* from *first_term* to *last_term*."""
+    if not word:
+        raise ValidationError("chain-program languages never contain the empty word")
+    atoms: List[Atom] = []
+    previous = first_term
+    for index, symbol in enumerate(word):
+        is_last = index == len(word) - 1
+        target = last_term if is_last else Variable(f"W{index + 1}")
+        atoms.append(Atom(symbol, (previous, target)))
+        previous = target
+    return tuple(atoms)
+
+
+def finite_language_to_monadic(
+    words: Iterable[Word], goal: Atom, answer_predicate: str = ANSWER_PREDICATE
+) -> Program:
+    """A non-recursive monadic program equivalent to selecting *goal* on a finite-language chain query.
+
+    ``words`` is the (finite) language ``L(H)``; the construction emits one
+    rule per word.  Every goal form except the selection-free ``p(X, Y)`` is
+    supported (that form needs a binary answer predicate, so there is nothing
+    monadic to build — Theorem 3.3 only speaks about the five selection
+    forms).
+    """
+    form = classify_goal(goal)
+    first, second = goal.terms
+    rules: List[Rule] = []
+    words = sorted(set(tuple(word) for word in words))
+    if form == GoalForm.FREE:
+        raise ValidationError("the goal p(X, Y) applies no selection; nothing to propagate")
+
+    if form == GoalForm.EQUAL:
+        x = Variable("X")
+        for word in words:
+            rules.append(Rule(Atom(answer_predicate, (x,)), _word_body(word, x, x)))
+        return Program(tuple(rules), Atom(answer_predicate, (x,)))
+
+    if form == GoalForm.CONSTANT_FIRST:
+        y = Variable("Y")
+        for word in words:
+            rules.append(Rule(Atom(answer_predicate, (y,)), _word_body(word, first, y)))
+        return Program(tuple(rules), Atom(answer_predicate, (y,)))
+
+    if form == GoalForm.CONSTANT_SECOND:
+        x = Variable("X")
+        for word in words:
+            rules.append(Rule(Atom(answer_predicate, (x,)), _word_body(word, x, second)))
+        return Program(tuple(rules), Atom(answer_predicate, (x,)))
+
+    # Both arguments constant: build the forward rules and select the second constant.
+    y = Variable("Y")
+    for word in words:
+        rules.append(Rule(Atom(answer_predicate, (y,)), _word_body(word, first, y)))
+    return Program(tuple(rules), Atom(answer_predicate, (second,)))
+
+
+# ----------------------------------------------------------------------
+# Dispatcher used by the propagation decision procedure
+# ----------------------------------------------------------------------
+def monadic_program_from_dfa(chain: ChainProgram, dfa: DFA) -> Program:
+    """Build the monadic program equivalent to *chain* given a DFA for ``L(H)``.
+
+    Only the goal forms with a constant are meaningful here (Theorem 3.3
+    part 1); the ``p(X, X)`` form goes through the finite-language
+    construction instead.
+    """
+    goal = chain.goal
+    if goal is None:
+        raise ValidationError("the chain program has no goal")
+    form = classify_goal(goal)
+    first, second = goal.terms
+    if form == GoalForm.CONSTANT_FIRST:
+        return dfa_to_monadic_forward(dfa, first)
+    if form == GoalForm.CONSTANT_SECOND:
+        return dfa_to_monadic_backward(dfa, second)
+    if form in (GoalForm.CONSTANT_BOTH, GoalForm.CONSTANT_SAME):
+        program = dfa_to_monadic_forward(dfa, first)
+        return program.with_goal(Atom(ANSWER_PREDICATE, (second,)))
+    raise ValidationError(
+        f"the DFA construction applies to constant goals; goal form is {form.name}"
+    )

@@ -1,0 +1,165 @@
+"""Uniform chain programs and their containment problem (Proposition 8.1).
+
+A *uniform* program associates with every IDB ``p`` a dedicated EDB ``b_p``
+of the same arity appearing exactly in the rule ``p(X, Y) :- b_p(X, Y)``.
+Proposition 8.1: finite query containment and equivalence of uniform chain
+programs are **undecidable** in general (via Blattner's undecidability of
+sentential-form equality), and **decidable** for uniform chain programs with
+a single IDB.
+
+What is implemented here:
+
+* ``uniformize`` — turn any chain program into its uniform companion;
+* the decidable fragments of containment used by the library: containment
+  is decided exactly whenever the right-hand program has a regular
+  certificate (CFL ⊆ regular is decidable via the Bar-Hillel construction),
+  and whenever both languages are finite;
+* a bounded sentential-form / word comparison for the general case, which
+  can refute containment with a witness but never affirm it — mirroring the
+  undecidability result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Tuple
+
+from repro.core.chain import ChainProgram, chain_rule
+from repro.core.grammar_map import to_grammar
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.languages.alphabet import Word
+from repro.languages.approximation import strongly_regular_to_nfa
+from repro.languages.cfg_analysis import (
+    enumerate_finite_language,
+    is_finite_language,
+    language_sample_equal,
+    strings_of_length,
+)
+from repro.languages.cfg_properties import is_strongly_regular
+from repro.languages.cfg_transforms import reduce_grammar
+from repro.languages.intersection import cfl_subset_of_regular
+from repro.languages.regular.minimize import minimize_dfa
+
+
+UNIFORM_EDB_PREFIX = "base_"
+
+
+def uniformize(chain: ChainProgram) -> ChainProgram:
+    """Add, for every IDB ``p``, the EDB ``base_p`` and the rule ``p(X, Y) :- base_p(X, Y)``."""
+    extra_rules: Tuple[Rule, ...] = tuple(
+        chain_rule(predicate, (f"{UNIFORM_EDB_PREFIX}{predicate}",))
+        for predicate in sorted(chain.idb_predicates())
+    )
+    return ChainProgram(Program(chain.rules + extra_rules, chain.goal))
+
+
+def is_uniform(chain: ChainProgram) -> bool:
+    """Does every IDB have its dedicated single-use base EDB rule?"""
+    idbs = chain.idb_predicates()
+    for predicate in idbs:
+        expected_edb = f"{UNIFORM_EDB_PREFIX}{predicate}"
+        defining = [
+            rule
+            for rule in chain.rules
+            if rule.head.predicate == predicate
+            and len(rule.body) == 1
+            and rule.body[0].predicate == expected_edb
+        ]
+        if len(defining) != 1:
+            return False
+        uses = sum(
+            1 for rule in chain.rules for atom in rule.body if atom.predicate == expected_edb
+        )
+        if uses != 1:
+            return False
+    return True
+
+
+def has_single_idb(chain: ChainProgram) -> bool:
+    """The decidable case of Proposition 8.1."""
+    return len(chain.idb_predicates()) == 1
+
+
+class ContainmentVerdict(Enum):
+    """Three-valued containment answer."""
+
+    CONTAINED = "contained"
+    NOT_CONTAINED = "not contained"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class ContainmentResult:
+    """Verdict plus the method used and, when refuted, a witness word."""
+
+    verdict: ContainmentVerdict
+    method: str
+    witness: Optional[Word] = None
+
+
+def language_containment(
+    left: ChainProgram, right: ChainProgram, sample_length: int = 8
+) -> ContainmentResult:
+    """Decide (when possible) ``L(left) ⊆ L(right)``.
+
+    For chain programs, finite query containment coincides with containment
+    of the associated languages (by the path-witness claim used in the proof
+    of Theorem 3.3), so this is the containment test behind
+    Proposition 8.1's experiments.
+    """
+    left_grammar = reduce_grammar(to_grammar(left))
+    right_grammar = reduce_grammar(to_grammar(right))
+
+    if is_strongly_regular(right_grammar):
+        dfa = minimize_dfa(strongly_regular_to_nfa(right_grammar).to_dfa())
+        contained, witness = cfl_subset_of_regular(left_grammar, dfa)
+        if contained:
+            return ContainmentResult(ContainmentVerdict.CONTAINED, "CFL ⊆ regular (Bar-Hillel)")
+        return ContainmentResult(
+            ContainmentVerdict.NOT_CONTAINED, "CFL ⊆ regular (Bar-Hillel)", witness
+        )
+
+    if is_finite_language(left_grammar):
+        words = enumerate_finite_language(left_grammar)
+        for word in sorted(words):
+            from repro.languages.cfg_analysis import cfg_membership
+
+            if not cfg_membership(right_grammar, word):
+                return ContainmentResult(
+                    ContainmentVerdict.NOT_CONTAINED, "finite left language, membership check", word
+                )
+        return ContainmentResult(ContainmentVerdict.CONTAINED, "finite left language, membership check")
+
+    # Bounded refutation attempt.
+    for length in range(1, sample_length + 1):
+        left_words = strings_of_length(left_grammar, length)
+        right_words = strings_of_length(right_grammar, length)
+        difference = left_words - right_words
+        if difference:
+            return ContainmentResult(
+                ContainmentVerdict.NOT_CONTAINED,
+                f"bounded word comparison up to length {sample_length}",
+                sorted(difference)[0],
+            )
+    return ContainmentResult(
+        ContainmentVerdict.UNKNOWN, f"bounded word comparison up to length {sample_length}"
+    )
+
+
+def language_equivalence(
+    left: ChainProgram, right: ChainProgram, sample_length: int = 8
+) -> Tuple[ContainmentResult, ContainmentResult]:
+    """Both containment directions (equivalence holds when both are CONTAINED)."""
+    return (
+        language_containment(left, right, sample_length),
+        language_containment(right, left, sample_length),
+    )
+
+
+def bounded_equivalence_check(
+    left: ChainProgram, right: ChainProgram, max_length: int = 8
+) -> Tuple[bool, Optional[Word]]:
+    """Compare the two languages on all words up to *max_length* (refutation-only)."""
+    return language_sample_equal(to_grammar(left), to_grammar(right), max_length)

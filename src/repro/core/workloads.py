@@ -1,0 +1,161 @@
+"""Synthetic workload generators for the experiments.
+
+The paper evaluates nothing empirically itself, but its motivation rests on
+the relative cost of evaluating binary-recursive versus monadic-recursive
+programs (the performance study it cites).  These generators produce the
+database families the benchmarks run on:
+
+* random *parent forests* for the ancestor programs of Example 1.1;
+* labeled random graphs for arbitrary chain programs;
+* labeled chains, cycles, and the layered graphs on which the
+  ``b1^n b2^n`` program of Section 7 has long witnesses;
+* truncations of the inf-model ``IG`` (re-exported from
+  :mod:`repro.core.inf_model`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.inf_model import ig_truncation  # noqa: F401  (re-export for workload users)
+from repro.datalog.database import Database
+
+
+def parent_forest(
+    person_count: int,
+    seed: int = 0,
+    root: str = "john",
+    relation: str = "par",
+    branching: int = 3,
+    root_count: int = 1,
+) -> Database:
+    """A random forest of parent edges rooted (in part) at *root*.
+
+    ``par(x, y)`` means "x is a parent of y" (matching Example 1.1, where the
+    ancestors of ``john`` are found by following ``par`` edges forward from
+    ``john``).  The first tree is rooted at *root* so that the canonical
+    query ``?anc(john, Y)`` has a non-trivial answer set.
+
+    With ``root_count > 1`` the forest has several independent trees; only the
+    first is rooted at *root*, so the selection ``?anc(john, Y)`` touches a
+    fraction of the data — the situation in which selection propagation and
+    magic sets prune work.
+    """
+    rng = random.Random(seed)
+    people = [root] + [f"p{i}" for i in range(1, person_count)]
+    database = Database()
+    # people[0..root_count-1] are tree roots; every later person joins the tree
+    # (index mod root_count) and attaches to a random member of that tree,
+    # preferring recent members so the trees grow deep rather than flat.
+    tree_members = [[people[i]] for i in range(min(root_count, person_count))]
+    for index in range(root_count, person_count):
+        members = tree_members[index % root_count]
+        low = max(0, len(members) - branching * 4)
+        parent = members[rng.randint(low, len(members) - 1)]
+        database.add_edge(relation, parent, people[index])
+        members.append(people[index])
+    return database
+
+
+def chain_database(length: int, relation: str = "par", prefix: str = "n") -> Database:
+    """A single path ``n0 -> n1 -> ... -> n_length`` (worst case for ancestor depth)."""
+    database = Database()
+    for index in range(length):
+        database.add_edge(relation, f"{prefix}{index}", f"{prefix}{index + 1}")
+    return database
+
+
+def cycle_database(length: int, relation: str = "b", prefix: str = "c") -> Database:
+    """A directed cycle of the given length."""
+    database = Database()
+    for index in range(length):
+        database.add_edge(relation, f"{prefix}{index}", f"{prefix}{(index + 1) % length}")
+    return database
+
+
+def labeled_random_graph(
+    node_count: int,
+    edge_count: int,
+    alphabet: Sequence[str],
+    seed: int = 0,
+    prefix: str = "v",
+) -> Database:
+    """A random directed multigraph with edges labeled by the EDB alphabet."""
+    rng = random.Random(seed)
+    nodes = [f"{prefix}{i}" for i in range(node_count)]
+    database = Database()
+    for _ in range(edge_count):
+        source = rng.choice(nodes)
+        target = rng.choice(nodes)
+        label = rng.choice(list(alphabet))
+        database.add_edge(label, source, target)
+    return database
+
+
+def layered_anbn_graph(
+    depth: int,
+    first: str = "b1",
+    second: str = "b2",
+    origin: str = "c",
+    noise_branches: int = 0,
+    seed: int = 0,
+) -> Database:
+    """A graph on which the ``b1^n b2^n`` query from *origin* has witnesses for every ``n <= depth``.
+
+    The graph is a ``b1``-labeled spine ``c -> a1 -> ... -> a_depth`` with, from
+    every spine node ``a_n``, a ``b2``-labeled descent of length ``n`` back to a
+    distinct answer node.  Each *noise branch* is a disconnected copy of the
+    same spine-and-descent gadget that is **not reachable from the origin**:
+    the un-selected query derives ``p`` facts all over those copies, whereas
+    the magic-set / quotient pruning of experiment E5 never touches them.
+    """
+    del seed  # the structure is deterministic; the parameter is kept for API symmetry
+    database = Database()
+
+    def add_gadget(root: str, tag: str) -> None:
+        spine = [root] + [f"{tag}a{i}" for i in range(1, depth + 1)]
+        for index in range(depth):
+            database.add_edge(first, spine[index], spine[index + 1])
+        for n in range(1, depth + 1):
+            previous = spine[n]
+            for step in range(1, n + 1):
+                node = f"{tag}d{n}_{step}"
+                database.add_edge(second, previous, node)
+                previous = node
+
+    add_gadget(origin, "")
+    for branch in range(noise_branches):
+        add_gadget(f"noise{branch}", f"noise{branch}_")
+    return database
+
+
+def same_generation_database(
+    depth: int, branching: int = 2, up: str = "up", down: str = "down", prefix: str = "g"
+) -> Database:
+    """A balanced tree encoded with ``up`` (child -> parent) and ``down`` (parent -> child) edges.
+
+    The classic same-generation workload: ``sg = up^n down^n`` paths connect
+    nodes of equal depth, giving another natural non-regular chain query.
+    """
+    database = Database()
+    current = [f"{prefix}0"]
+    identifier = 1
+    for _level in range(depth):
+        next_level = []
+        for parent in current:
+            for _ in range(branching):
+                child = f"{prefix}{identifier}"
+                identifier += 1
+                database.add_edge(up, child, parent)
+                database.add_edge(down, parent, child)
+                next_level.append(child)
+        current = next_level
+    return database
+
+
+def database_suite(
+    sizes: Iterable[int], factory, **kwargs
+) -> List[Database]:
+    """Apply a generator to a list of sizes (convenience for scaling experiments)."""
+    return [factory(size, **kwargs) for size in sizes]

@@ -1,0 +1,199 @@
+"""The Lemma 5.1 construction, executable: monadic programs on strings via WS1S.
+
+Lemma 5.1 proves that if a *monadic* program ``h`` is finite-query-equivalent
+to a chain program ``H`` with goal ``p(c, c)``, then ``L(H)`` is regular.
+The proof rewrites both programs over string-shaped databases (monadic letter
+predicates plus one ``next`` relation), expresses the semantics of the
+monadic program as a WS1S formula with a prefix of universal second-order
+quantifiers, and invokes Büchi–Elgot.
+
+This module implements the constructive core of that argument for monadic
+programs directly: given a monadic program over letter predicates and
+``next``, it produces the WS1S formula ``φ6`` and extracts the regular
+language of strings on which the program derives its goal — thereby
+exhibiting, for concrete monadic programs, the regular language that
+Lemma 5.1 says must exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+from repro.errors import ValidationError
+from repro.languages.regular.dfa import DFA
+from repro.languages.regular.minimize import minimize_dfa
+from repro.logic.ws1s import (
+    ContainsZero,
+    Singleton,
+    SubsetEq,
+    SuccSets,
+    WAnd,
+    WExists,
+    WFormula,
+    WImplies,
+    WNot,
+    WTrue,
+    fo_forall,
+    fo_zero,
+    forall_many,
+    member,
+    partition_word_dfa,
+)
+
+
+@dataclass(frozen=True)
+class StringProgramEncoding:
+    """A monadic program over a string signature: letter EDBs plus ``next``."""
+
+    program: Program
+    letter_predicates: Tuple[str, ...]
+    next_predicate: str = "next"
+    goal_constant_track: str = "POS0"
+
+
+def _letter_track(predicate: str) -> str:
+    return f"LETTER_{predicate}"
+
+
+def _idb_track(predicate: str) -> str:
+    return f"IDB_{predicate}"
+
+
+def _string_structure_formula(letter_tracks: Sequence[str]) -> WFormula:
+    """``φ2`` of Lemma 5.1: the letter sets are pairwise disjoint.
+
+    The paper's ``φ3`` additionally requires the letters to cover a complete
+    initial segment; for the word-language extraction that follows
+    (:func:`repro.logic.ws1s.partition_word_dfa`) only assignments that *are*
+    contiguous strings starting at 0 are ever queried, so pairwise
+    disjointness is the only structural conjunct we need to assert.
+    """
+    position = "PPART"
+    disjoint_parts: List[WFormula] = []
+    for i, first in enumerate(letter_tracks):
+        for second in letter_tracks[i + 1 :]:
+            disjoint_parts.append(
+                WNot(WAnd((member(position, first), member(position, second))))
+            )
+    if not disjoint_parts:
+        return WTrue()
+    return fo_forall(position, WAnd(disjoint_parts))
+
+
+def _at_least_one(parts: Sequence[WFormula]) -> WFormula:
+    from repro.logic.ws1s import WOr
+
+    return WOr(tuple(parts))
+
+
+def _rule_formula(rule: Rule, encoding: StringProgramEncoding) -> WFormula:
+    """One rule viewed as a universally quantified Horn clause over positions (``φ4``/``φ5``)."""
+    variable_tracks: Dict[str, str] = {}
+    constraints: List[WFormula] = []
+
+    def track_of(term) -> str:
+        if isinstance(term, Variable):
+            if term.name not in variable_tracks:
+                variable_tracks[term.name] = f"POSVAR_{term.name}"
+            return variable_tracks[term.name]
+        if isinstance(term, Constant):
+            # Lemma 5.1 interprets the constant c as the integer 0.
+            return encoding.goal_constant_track
+        raise ValidationError(f"unexpected term {term!r}")
+
+    def atom_formula(atom) -> WFormula:
+        if atom.predicate == encoding.next_predicate:
+            left, right = atom.terms
+            return SuccSets(track_of(left), track_of(right))
+        if atom.arity != 1:
+            raise ValidationError(
+                f"the Lemma 5.1 encoding needs monadic predicates or next; got {atom}"
+            )
+        (term,) = atom.terms
+        if atom.predicate in encoding.letter_predicates:
+            return member(track_of(term), _letter_track(atom.predicate))
+        return member(track_of(term), _idb_track(atom.predicate))
+
+    body_parts = [atom_formula(atom) for atom in rule.body]
+    head_part = atom_formula(rule.head)
+    implication = WImplies(WAnd(body_parts) if body_parts else WTrue(), head_part)
+
+    # Safety condition of Lemma 5.1 (step 4): restrict the first-order
+    # quantification to positions that belong to the input string, i.e. carry
+    # a letter.  Without it, the interpreted successor would let rules fire on
+    # positions beyond the database's active domain.
+    def in_string(track: str) -> WFormula:
+        return _at_least_one(
+            [member(track, _letter_track(p)) for p in encoding.letter_predicates]
+        )
+
+    quantified = implication
+    for name, track in variable_tracks.items():
+        del name
+        quantified = fo_forall(track, WImplies(in_string(track), quantified))
+    if constraints:
+        quantified = WAnd([*constraints, quantified])
+    return quantified
+
+
+def program_semantics_formula(encoding: StringProgramEncoding) -> WFormula:
+    """``φ6``: for all IDB interpretations, (all rules hold) implies the goal holds.
+
+    The free second-order variables of the result are the letter tracks (and
+    the goal-constant position track, which is constrained to be ``{0}``).
+    """
+    program = encoding.program
+    goal = program.goal
+    if goal is None:
+        raise ValidationError("the monadic program needs a goal")
+    if goal.arity != 1 or not isinstance(goal.terms[0], Constant):
+        raise ValidationError("the Lemma 5.1 encoding expects a goal of the form w(c)")
+
+    rule_parts = [_rule_formula(rule, encoding) for rule in program.rules]
+    goal_track = _idb_track(goal.predicate)
+    goal_holds = member(encoding.goal_constant_track, goal_track)
+    implication = WImplies(WAnd(rule_parts), goal_holds)
+
+    idb_tracks = sorted({_idb_track(p) for p in program.idb_predicates()})
+    universally = forall_many(idb_tracks, implication)
+
+    constant_is_zero = fo_zero(encoding.goal_constant_track)
+    partition = _string_structure_formula([_letter_track(p) for p in encoding.letter_predicates])
+    return WExists(
+        encoding.goal_constant_track,
+        WAnd((Singleton(encoding.goal_constant_track), constant_is_zero, partition, universally)),
+    )
+
+
+def accepted_string_language(encoding: StringProgramEncoding) -> DFA:
+    """The regular language of strings on which the monadic program derives its goal.
+
+    This is the executable content of Lemma 5.1: the language is produced as
+    an explicit DFA over the letter alphabet, witnessing its regularity.
+    """
+    formula = program_semantics_formula(encoding)
+    automaton = formula.automaton()
+    letters = {_letter_track(p): p for p in encoding.letter_predicates}
+    return minimize_dfa(partition_word_dfa(automaton, letters))
+
+
+def string_database(word: Sequence[str], letter_predicates: Sequence[str], next_predicate: str = "next"):
+    """The string database used to cross-check the WS1S answer against direct evaluation.
+
+    Positions are integers ``0..n-1``; ``next(i, i+1)`` holds, and the letter
+    predicate of position ``i`` holds at ``i``.
+    """
+    from repro.datalog.database import Database
+
+    database = Database()
+    for index, symbol in enumerate(word):
+        if symbol not in letter_predicates:
+            raise ValidationError(f"symbol {symbol!r} is not a declared letter predicate")
+        database.add_fact(symbol, (index,))
+        if index + 1 < len(word):
+            database.add_fact(next_predicate, (index, index + 1))
+    return database

@@ -1,0 +1,50 @@
+"""The Datalog substrate: syntax, databases, evaluation, and transformations."""
+
+from repro.datalog.atoms import Atom, ground_atom
+from repro.datalog.database import Database
+from repro.datalog.engine import (
+    DerivationAnalyzer,
+    DerivationTree,
+    EvaluationResult,
+    EvaluationStatistics,
+    TopDownEvaluator,
+    evaluate_naive,
+    evaluate_seminaive,
+    evaluate_topdown,
+    select_answers,
+)
+from repro.datalog.parser import parse_atom, parse_facts, parse_program, parse_rule, parse_term
+from repro.datalog.pretty import format_atom, format_database, format_program, format_rule
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule, fact
+from repro.datalog.terms import Constant, Term, Variable
+
+__all__ = [
+    "Atom",
+    "Constant",
+    "Database",
+    "DerivationAnalyzer",
+    "DerivationTree",
+    "EvaluationResult",
+    "EvaluationStatistics",
+    "Program",
+    "Rule",
+    "Term",
+    "TopDownEvaluator",
+    "Variable",
+    "evaluate_naive",
+    "evaluate_seminaive",
+    "evaluate_topdown",
+    "fact",
+    "format_atom",
+    "format_database",
+    "format_program",
+    "format_rule",
+    "ground_atom",
+    "parse_atom",
+    "parse_facts",
+    "parse_program",
+    "parse_rule",
+    "parse_term",
+    "select_answers",
+]

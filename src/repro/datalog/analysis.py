@@ -1,0 +1,160 @@
+"""Static analysis of Datalog programs: dependency graphs, recursion, linearity."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+
+
+@dataclass(frozen=True)
+class DependencyGraph:
+    """The predicate dependency graph of a program.
+
+    There is an edge ``p -> q`` when some rule with head predicate ``p`` uses
+    ``q`` in its body.  Strongly connected components of this graph are the
+    program's mutually recursive predicate groups.
+    """
+
+    edges: FrozenSet[Tuple[str, str]]
+    nodes: FrozenSet[str]
+
+    def successors(self, node: str) -> FrozenSet[str]:
+        """Predicates that *node* depends on directly."""
+        return frozenset(target for source, target in self.edges if source == node)
+
+    def predecessors(self, node: str) -> FrozenSet[str]:
+        """Predicates directly depending on *node*."""
+        return frozenset(source for source, target in self.edges if target == node)
+
+    def strongly_connected_components(self) -> List[FrozenSet[str]]:
+        """Tarjan's algorithm; components are returned in reverse topological order."""
+        index_counter = [0]
+        stack: List[str] = []
+        lowlink: Dict[str, int] = {}
+        index: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        components: List[FrozenSet[str]] = []
+        adjacency: Dict[str, List[str]] = {node: [] for node in self.nodes}
+        for source, target in self.edges:
+            adjacency.setdefault(source, []).append(target)
+
+        def strong_connect(node: str) -> None:
+            index[node] = index_counter[0]
+            lowlink[node] = index_counter[0]
+            index_counter[0] += 1
+            stack.append(node)
+            on_stack.add(node)
+            for successor in adjacency.get(node, ()):
+                if successor not in index:
+                    strong_connect(successor)
+                    lowlink[node] = min(lowlink[node], lowlink[successor])
+                elif successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index[successor])
+            if lowlink[node] == index[node]:
+                component = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(frozenset(component))
+
+        for node in sorted(self.nodes):
+            if node not in index:
+                strong_connect(node)
+        return components
+
+    def reachable_from(self, start: str) -> FrozenSet[str]:
+        """Predicates reachable from *start* (including itself)."""
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for successor in self.successors(node):
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+        return frozenset(seen)
+
+
+def dependency_graph(program: Program) -> DependencyGraph:
+    """Build the predicate dependency graph of *program*."""
+    edges = set()
+    nodes = set(program.predicates())
+    for rule in program.rules:
+        for atom in rule.body:
+            edges.add((rule.head.predicate, atom.predicate))
+    return DependencyGraph(frozenset(edges), frozenset(nodes))
+
+
+def recursive_predicates(program: Program) -> FrozenSet[str]:
+    """IDB predicates involved in recursion (their SCC has a cycle)."""
+    graph = dependency_graph(program)
+    edges = graph.edges
+    recursive = set()
+    for component in graph.strongly_connected_components():
+        if len(component) > 1:
+            recursive.update(component)
+        else:
+            (node,) = component
+            if (node, node) in edges:
+                recursive.add(node)
+    return frozenset(recursive & program.idb_predicates())
+
+
+def is_recursive(program: Program) -> bool:
+    """True if the program has at least one recursive predicate."""
+    return bool(recursive_predicates(program))
+
+
+def is_linear_rule(rule: Rule, recursive: FrozenSet[str]) -> bool:
+    """A rule is linear if its body mentions at most one recursive predicate occurrence."""
+    occurrences = sum(1 for atom in rule.body if atom.predicate in recursive)
+    return occurrences <= 1
+
+
+def is_linear_program(program: Program) -> bool:
+    """True if every rule mentions at most one recursive IDB occurrence in its body.
+
+    Program C of Example 1.1 (``anc(X,Y) :- anc(X,Z), anc(Z,Y)``) is the
+    canonical non-linear program.
+    """
+    recursive = recursive_predicates(program)
+    return all(is_linear_rule(rule, recursive) for rule in program.rules)
+
+
+def relevant_rules(program: Program) -> Tuple[Rule, ...]:
+    """Rules whose head predicate is reachable from the goal predicate.
+
+    If the program has no goal, every rule is relevant.
+    """
+    if program.goal is None:
+        return program.rules
+    graph = dependency_graph(program)
+    reachable = graph.reachable_from(program.goal.predicate)
+    return tuple(rule for rule in program.rules if rule.head.predicate in reachable)
+
+
+def predicate_usage(program: Program) -> Dict[str, int]:
+    """Number of body occurrences of each predicate."""
+    usage: Dict[str, int] = {}
+    for rule in program.rules:
+        for atom in rule.body:
+            usage[atom.predicate] = usage.get(atom.predicate, 0) + 1
+    return usage
+
+
+def stratification(program: Program) -> List[FrozenSet[str]]:
+    """Predicate strata in dependency (bottom-up) order.
+
+    Pure Datalog has no negation, so every program is trivially stratified;
+    the strata returned here are the SCCs of the dependency graph in
+    topological order, which the semi-naive engine can evaluate one at a
+    time.
+    """
+    graph = dependency_graph(program)
+    return graph.strongly_connected_components()

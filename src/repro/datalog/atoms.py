@@ -1,0 +1,81 @@
+"""Atoms: predicate symbols applied to vectors of terms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Tuple
+
+from repro.datalog.terms import Constant, Term, Variable, make_term
+
+
+@dataclass(frozen=True)
+class Atom:
+    """An atom ``r(u1, ..., ua)``.
+
+    ``predicate`` is the predicate symbol, ``terms`` the argument vector.
+    Atoms are immutable and hashable, so ground atoms double as facts and
+    members of Herbrand bases.
+    """
+
+    predicate: str
+    terms: Tuple[Term, ...]
+
+    def __init__(self, predicate: str, terms: Iterable = ()):  # noqa: D401
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "terms", tuple(make_term(t) for t in terms))
+
+    @property
+    def arity(self) -> int:
+        """Number of arguments of the atom."""
+        return len(self.terms)
+
+    def is_ground(self) -> bool:
+        """Return ``True`` if the atom contains no variables."""
+        return all(isinstance(t, Constant) for t in self.terms)
+
+    def variables(self) -> Tuple[Variable, ...]:
+        """Variables occurring in the atom, in order of first occurrence."""
+        seen = []
+        for term in self.terms:
+            if isinstance(term, Variable) and term not in seen:
+                seen.append(term)
+        return tuple(seen)
+
+    def constants(self) -> Tuple[Constant, ...]:
+        """Constants occurring in the atom, in order of first occurrence."""
+        seen = []
+        for term in self.terms:
+            if isinstance(term, Constant) and term not in seen:
+                seen.append(term)
+        return tuple(seen)
+
+    def substitute(self, substitution: Mapping[Variable, Term]) -> "Atom":
+        """Apply a substitution (a mapping from variables to terms)."""
+        new_terms = tuple(
+            substitution.get(t, t) if isinstance(t, Variable) else t for t in self.terms
+        )
+        return Atom(self.predicate, new_terms)
+
+    def rename_predicate(self, new_name: str) -> "Atom":
+        """Return a copy of the atom with a different predicate symbol."""
+        return Atom(new_name, self.terms)
+
+    def as_fact_tuple(self) -> Tuple:
+        """Return the tuple of constant values of a ground atom."""
+        if not self.is_ground():
+            raise ValueError(f"atom {self} is not ground")
+        return tuple(t.value for t in self.terms)
+
+    def __str__(self) -> str:
+        if not self.terms:
+            return self.predicate
+        args = ", ".join(str(t) for t in self.terms)
+        return f"{self.predicate}({args})"
+
+    def __repr__(self) -> str:
+        return f"Atom({self.predicate!r}, {self.terms!r})"
+
+
+def ground_atom(predicate: str, values: Iterable) -> Atom:
+    """Build a ground atom from raw constant values."""
+    return Atom(predicate, tuple(Constant(v) for v in values))

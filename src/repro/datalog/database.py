@@ -1,0 +1,140 @@
+"""Databases: finite structures interpreting the EDB predicates.
+
+A database of arity ``(a1, ..., ak)`` is a vector of finite relations
+(Section 2.1).  Here a :class:`Database` maps predicate names to sets of
+tuples of plain Python values (the constants of the domain).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Set, Tuple
+
+from repro.datalog.atoms import Atom, ground_atom
+
+
+class Database:
+    """A mutable finite structure: predicate name -> set of tuples."""
+
+    def __init__(self, relations: Optional[Mapping[str, Iterable[Tuple]]] = None):
+        self._relations: Dict[str, Set[Tuple]] = {}
+        if relations:
+            for name, tuples in relations.items():
+                self._relations[name] = {tuple(t) for t in tuples}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_facts(cls, facts: Iterable[Atom]) -> "Database":
+        """Build a database from ground atoms."""
+        database = cls()
+        for atom in facts:
+            database.add_fact(atom.predicate, atom.as_fact_tuple())
+        return database
+
+    def copy(self) -> "Database":
+        """Return a deep copy."""
+        return Database({name: set(tuples) for name, tuples in self._relations.items()})
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_fact(self, predicate: str, values: Tuple) -> bool:
+        """Add a tuple to a relation; return ``True`` if it was new."""
+        relation = self._relations.setdefault(predicate, set())
+        values = tuple(values)
+        if values in relation:
+            return False
+        relation.add(values)
+        return True
+
+    def add_edge(self, predicate: str, source, target) -> bool:
+        """Convenience for binary relations (labeled graph edges)."""
+        return self.add_fact(predicate, (source, target))
+
+    def update(self, other: "Database") -> None:
+        """Add all facts of *other* to this database."""
+        for name, tuples in other._relations.items():
+            self._relations.setdefault(name, set()).update(tuples)
+
+    def remove_relation(self, predicate: str) -> None:
+        """Drop a relation entirely (no error if absent)."""
+        self._relations.pop(predicate, None)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def relation(self, predicate: str) -> FrozenSet[Tuple]:
+        """The set of tuples of a relation (empty if the relation is absent)."""
+        return frozenset(self._relations.get(predicate, frozenset()))
+
+    def relations(self) -> Dict[str, FrozenSet[Tuple]]:
+        """All relations as an immutable snapshot."""
+        return {name: frozenset(tuples) for name, tuples in self._relations.items()}
+
+    def predicates(self) -> FrozenSet[str]:
+        """Names of the non-empty relations."""
+        return frozenset(name for name, tuples in self._relations.items() if tuples)
+
+    def contains(self, predicate: str, values: Tuple) -> bool:
+        """True if the given tuple belongs to the relation."""
+        return tuple(values) in self._relations.get(predicate, ())
+
+    def facts(self) -> Iterator[Atom]:
+        """Iterate over all facts as ground atoms."""
+        for name in sorted(self._relations):
+            for values in sorted(self._relations[name], key=repr):
+                yield ground_atom(name, values)
+
+    def active_domain(self) -> FrozenSet:
+        """All domain elements occurring in some tuple."""
+        domain = set()
+        for tuples in self._relations.values():
+            for values in tuples:
+                domain.update(values)
+        return frozenset(domain)
+
+    def fact_count(self) -> int:
+        """Total number of tuples across all relations."""
+        return sum(len(tuples) for tuples in self._relations.values())
+
+    def restrict(self, predicates: Iterable[str]) -> "Database":
+        """Return a database containing only the named relations."""
+        names = set(predicates)
+        return Database(
+            {name: set(tuples) for name, tuples in self._relations.items() if name in names}
+        )
+
+    def rename(self, mapping: Mapping[str, str]) -> "Database":
+        """Return a database with relations renamed according to *mapping*."""
+        renamed = Database()
+        for name, tuples in self._relations.items():
+            new_name = mapping.get(name, name)
+            for values in tuples:
+                renamed.add_fact(new_name, values)
+        return renamed
+
+    # ------------------------------------------------------------------
+    # Comparison
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        mine = {name: tuples for name, tuples in self._relations.items() if tuples}
+        theirs = {name: tuples for name, tuples in other._relations.items() if tuples}
+        return mine == theirs
+
+    def __hash__(self):  # pragma: no cover - databases are mutable
+        raise TypeError("Database objects are mutable and unhashable")
+
+    def __contains__(self, fact: Atom) -> bool:
+        return self.contains(fact.predicate, fact.as_fact_tuple())
+
+    def __len__(self) -> int:
+        return self.fact_count()
+
+    def __repr__(self) -> str:
+        counts = ", ".join(
+            f"{name}:{len(tuples)}" for name, tuples in sorted(self._relations.items())
+        )
+        return f"Database({counts})"

@@ -1,0 +1,20 @@
+"""Evaluation engines for Datalog programs."""
+
+from repro.datalog.engine.base import EvaluationResult, select_answers
+from repro.datalog.engine.derivation import DerivationAnalyzer, DerivationTree
+from repro.datalog.engine.naive import evaluate_naive
+from repro.datalog.engine.seminaive import evaluate_seminaive
+from repro.datalog.engine.stats import EvaluationStatistics
+from repro.datalog.engine.topdown import TopDownEvaluator, evaluate_topdown
+
+__all__ = [
+    "DerivationAnalyzer",
+    "DerivationTree",
+    "EvaluationResult",
+    "EvaluationStatistics",
+    "TopDownEvaluator",
+    "evaluate_naive",
+    "evaluate_seminaive",
+    "evaluate_topdown",
+    "select_answers",
+]

@@ -1,0 +1,178 @@
+"""Shared machinery for the bottom-up evaluation engines.
+
+This module provides:
+
+* :class:`EvaluationResult` — the minimum model restricted to IDB predicates,
+  the full model, the goal answers, and the evaluation statistics;
+* body matching (:func:`match_body`) with light-weight hash indexes so the
+  engines stay far from quadratic behaviour on the benchmark workloads;
+* :func:`select_answers` — the selection described by the goal atom
+  (Section 2.1: the output is obtained by performing the selections described
+  by the goal on the interpretation of its predicate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from repro.datalog.atoms import Atom
+from repro.datalog.database import Database
+from repro.datalog.engine.stats import EvaluationStatistics
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+from repro.datalog.unify import Substitution, match_atom
+
+
+class RelationIndex:
+    """Hash indexes over a database, keyed by (predicate, argument position, value)."""
+
+    def __init__(self, database: Database):
+        self._database = database
+        self._indexes: Dict[Tuple[str, int], Dict[object, List[Tuple]]] = {}
+
+    def tuples(self, predicate: str) -> FrozenSet[Tuple]:
+        """All tuples of a relation."""
+        return self._database.relation(predicate)
+
+    def probe(self, predicate: str, position: int, value) -> List[Tuple]:
+        """Tuples of *predicate* whose argument at *position* equals *value*."""
+        key = (predicate, position)
+        index = self._indexes.get(key)
+        if index is None:
+            index = {}
+            for values in self._database.relation(predicate):
+                if position < len(values):
+                    index.setdefault(values[position], []).append(values)
+            self._indexes[key] = index
+        return index.get(value, [])
+
+
+def candidate_tuples(
+    atom: Atom, index: RelationIndex, substitution: Substitution
+) -> Iterable[Tuple]:
+    """Tuples worth matching against *atom* given the bindings accumulated so far."""
+    best: Optional[Tuple[int, object]] = None
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            best = (position, term.value)
+            break
+        bound = substitution.get(term)
+        if isinstance(bound, Constant):
+            best = (position, bound.value)
+            break
+    if best is None:
+        return index.tuples(atom.predicate)
+    position, value = best
+    return index.probe(atom.predicate, position, value)
+
+
+def match_body(
+    body: Tuple[Atom, ...],
+    index: RelationIndex,
+    initial: Optional[Substitution] = None,
+    delta_position: Optional[int] = None,
+    delta_index: Optional[RelationIndex] = None,
+) -> Iterator[Substitution]:
+    """Enumerate substitutions that satisfy *body* against the indexed database.
+
+    When ``delta_position`` is given, the atom at that position is matched
+    against ``delta_index`` (the per-iteration delta) instead of the full
+    database — the standard semi-naive specialisation.
+    """
+
+    def extend(position: int, substitution: Substitution) -> Iterator[Substitution]:
+        if position == len(body):
+            yield substitution
+            return
+        atom = body[position]
+        source = delta_index if (delta_index is not None and position == delta_position) else index
+        for values in candidate_tuples(atom, source, substitution):
+            extended = match_atom(atom, values, substitution)
+            if extended is not None:
+                yield from extend(position + 1, extended)
+
+    yield from extend(0, dict(initial) if initial else {})
+
+
+def select_answers(goal: Atom, tuples: Iterable[Tuple]) -> FrozenSet[Tuple]:
+    """Apply the selection described by *goal* to the tuples of its predicate.
+
+    The output arity equals the number of distinct variables in the goal
+    (Section 2.1); constants filter, repeated variables force equality, and
+    a goal with no variables denotes a boolean query whose positive answer
+    is the set containing the empty tuple.
+    """
+    positions: List[int] = []
+    seen: Dict[Variable, int] = {}
+    for position, term in enumerate(goal.terms):
+        if isinstance(term, Variable) and term not in seen:
+            seen[term] = position
+            positions.append(position)
+
+    answers = set()
+    for values in tuples:
+        if len(values) != len(goal.terms):
+            continue
+        bindings: Dict[Variable, object] = {}
+        ok = True
+        for term, value in zip(goal.terms, values):
+            if isinstance(term, Constant):
+                if term.value != value:
+                    ok = False
+                    break
+            else:
+                if term in bindings and bindings[term] != value:
+                    ok = False
+                    break
+                bindings[term] = value
+        if ok:
+            answers.add(tuple(values[p] for p in positions))
+    return frozenset(answers)
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of evaluating a program over a database."""
+
+    program: Program
+    input_database: Database
+    idb_facts: Database
+    statistics: EvaluationStatistics
+
+    def full_model(self) -> Database:
+        """The minimum model ``M(B, H)``: input facts plus derived facts."""
+        model = self.input_database.copy()
+        model.update(self.idb_facts)
+        return model
+
+    def relation(self, predicate: str) -> FrozenSet[Tuple]:
+        """The derived relation for an IDB predicate."""
+        return self.idb_facts.relation(predicate)
+
+    def answers(self, goal: Optional[Atom] = None) -> FrozenSet[Tuple]:
+        """The answers to the goal (defaults to the program's goal)."""
+        goal = goal if goal is not None else self.program.goal
+        if goal is None:
+            raise ValueError("no goal supplied and the program has none")
+        relation = self.idb_facts.relation(goal.predicate)
+        if not relation and goal.predicate in self.input_database.predicates():
+            relation = self.input_database.relation(goal.predicate)
+        return select_answers(goal, relation)
+
+    def boolean_answer(self, goal: Optional[Atom] = None) -> bool:
+        """For goals without variables: whether the query is true."""
+        return bool(self.answers(goal))
+
+
+def split_rules(program: Program) -> Tuple[Tuple[Rule, ...], Tuple[Rule, ...]]:
+    """Split a program's rules into ground facts and proper rules.
+
+    Ground fact rules (empty body, ground head) are loaded directly into the
+    database before fixpoint iteration begins; rules with empty bodies and
+    variables in the head are rejected by safety checking earlier.
+    """
+    facts = tuple(rule for rule in program.rules if rule.is_fact())
+    proper = tuple(rule for rule in program.rules if not rule.is_fact())
+    return facts, proper

@@ -1,0 +1,163 @@
+"""Derivation trees and proof-depth accounting.
+
+Section 2.1 defines the operational semantics of Datalog via derivation
+trees; Section 8 defines *boundedness* in terms of the size of derivation
+trees.  This module computes, for every fact of the minimum model, the
+minimum derivation-tree height and size, and can reconstruct an explicit
+tree — the machinery behind the Proposition 8.2 experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.datalog.atoms import Atom, ground_atom
+from repro.datalog.database import Database
+from repro.datalog.engine.base import RelationIndex, match_body
+from repro.datalog.engine.naive import evaluate_naive
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+
+
+@dataclass(frozen=True)
+class DerivationTree:
+    """A derivation tree: a ground atom, the rule used, and child subtrees.
+
+    Leaves are database facts; their ``rule`` is ``None`` and they have no
+    children (property (1) of the paper's definition).
+    """
+
+    fact: Atom
+    rule: Optional[Rule]
+    children: Tuple["DerivationTree", ...] = ()
+
+    def height(self) -> int:
+        """Height of the tree (a single leaf has height 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.height() for child in self.children)
+
+    def size(self) -> int:
+        """Number of nodes of the tree."""
+        return 1 + sum(child.size() for child in self.children)
+
+    def leaves(self) -> Tuple[Atom, ...]:
+        """The database facts the tree rests on."""
+        if not self.children:
+            return (self.fact,)
+        result = []
+        for child in self.children:
+            result.extend(child.leaves())
+        return tuple(result)
+
+
+class DerivationAnalyzer:
+    """Minimum proof heights and explicit derivation trees for a program run."""
+
+    def __init__(self, program: Program, database: Database):
+        self.program = program
+        self.database = database
+        self._result = evaluate_naive(program, database)
+        self._model = self._result.full_model()
+        self._heights = self._compute_heights()
+
+    # ------------------------------------------------------------------
+    def _compute_heights(self) -> Dict[Tuple[str, Tuple], int]:
+        """Minimum derivation height per derived fact (EDB facts have height 1)."""
+        heights: Dict[Tuple[str, Tuple], int] = {}
+        for fact in self.database.facts():
+            heights[(fact.predicate, fact.as_fact_tuple())] = 1
+
+        fact_rules = [rule for rule in self.program.rules if rule.is_fact()]
+        for rule in fact_rules:
+            heights[(rule.head.predicate, rule.head.as_fact_tuple())] = 1
+
+        proper_rules = [rule for rule in self.program.rules if not rule.is_fact()]
+        index = RelationIndex(self._model)
+        changed = True
+        while changed:
+            changed = False
+            for rule in proper_rules:
+                for substitution in match_body(rule.body, index):
+                    body_heights = []
+                    ok = True
+                    for atom in rule.body:
+                        key = (atom.predicate, atom.substitute(substitution).as_fact_tuple())
+                        if key not in heights:
+                            ok = False
+                            break
+                        body_heights.append(heights[key])
+                    if not ok:
+                        continue
+                    head = rule.head.substitute(substitution)
+                    key = (head.predicate, head.as_fact_tuple())
+                    candidate = 1 + max(body_heights) if body_heights else 1
+                    if key not in heights or candidate < heights[key]:
+                        heights[key] = candidate
+                        changed = True
+        return heights
+
+    # ------------------------------------------------------------------
+    def proof_height(self, fact: Atom) -> Optional[int]:
+        """Minimum derivation-tree height of a ground atom, or ``None`` if underivable."""
+        return self._heights.get((fact.predicate, fact.as_fact_tuple()))
+
+    def max_goal_proof_height(self) -> int:
+        """Maximum over goal answers of the minimum proof height (0 if no answers).
+
+        A program is bounded w.r.t. its goal when this quantity is bounded by
+        a constant independent of the database (Section 8).
+        """
+        goal = self.program.goal
+        if goal is None:
+            raise ValueError("the program has no goal")
+        relation = self._result.relation(goal.predicate)
+        heights = [
+            self._heights.get((goal.predicate, values))
+            for values in relation
+        ]
+        heights = [h for h in heights if h is not None]
+        return max(heights) if heights else 0
+
+    def derivation_tree(self, fact: Atom) -> Optional[DerivationTree]:
+        """An explicit minimum-height derivation tree for *fact* (or ``None``)."""
+        key = (fact.predicate, fact.as_fact_tuple())
+        if key not in self._heights:
+            return None
+        return self._build_tree(fact)
+
+    def _build_tree(self, fact: Atom) -> DerivationTree:
+        key = (fact.predicate, fact.as_fact_tuple())
+        height = self._heights[key]
+        if height == 1 and self.database.contains(fact.predicate, fact.as_fact_tuple()):
+            return DerivationTree(fact, None, ())
+        index = RelationIndex(self._model)
+        for rule in self.program.rules:
+            if rule.head.predicate != fact.predicate:
+                continue
+            if rule.is_fact():
+                if rule.head.as_fact_tuple() == fact.as_fact_tuple():
+                    return DerivationTree(fact, rule, ())
+                continue
+            # Bind the head against the target fact, then search bodies.
+            from repro.datalog.unify import match_atom
+
+            head_binding = match_atom(rule.head, fact.as_fact_tuple())
+            if head_binding is None:
+                continue
+            for substitution in match_body(rule.body, index, initial=head_binding):
+                child_keys = [
+                    (atom.predicate, atom.substitute(substitution).as_fact_tuple())
+                    for atom in rule.body
+                ]
+                if any(k not in self._heights for k in child_keys):
+                    continue
+                if 1 + max(self._heights[k] for k in child_keys) != height:
+                    continue
+                children = tuple(
+                    self._build_tree(ground_atom(pred, values)) for pred, values in child_keys
+                )
+                return DerivationTree(fact, rule, children)
+        # Fall back: the fact is in the model but only via the database.
+        return DerivationTree(fact, None, ())

@@ -1,0 +1,74 @@
+"""Naive bottom-up evaluation: iterate all rules over the full model until fixpoint.
+
+This is the textbook (Gauss–Seidel-free) fixpoint computation of the minimum
+model ``M(B, H)`` of Section 2.1.  It recomputes every rule over the whole
+model at every iteration, so it derives the same facts over and over — the
+:class:`~repro.datalog.engine.stats.EvaluationStatistics` duplicate counter
+makes that waste visible, which is exactly the waste the paper's selection
+propagation and the magic-set transformation are designed to avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.datalog.database import Database
+from repro.datalog.engine.base import (
+    EvaluationResult,
+    RelationIndex,
+    match_body,
+    split_rules,
+)
+from repro.datalog.engine.stats import EvaluationStatistics
+from repro.datalog.program import Program
+from repro.errors import EvaluationError
+
+
+def evaluate_naive(
+    program: Program, database: Database, max_iterations: Optional[int] = None
+) -> EvaluationResult:
+    """Compute the minimum model of *program* over *database* naively.
+
+    Parameters
+    ----------
+    program:
+        The Datalog program (must be safe).
+    database:
+        The EDB instance; it is not modified.
+    max_iterations:
+        Optional safety valve; exceeded iterations raise :class:`EvaluationError`.
+    """
+    program.validate()
+    statistics = EvaluationStatistics()
+    working = database.copy()
+
+    fact_rules, proper_rules = split_rules(program)
+    for rule in fact_rules:
+        is_new = working.add_fact(rule.head.predicate, rule.head.as_fact_tuple())
+        statistics.record_firing()
+        statistics.record_fact(rule.head.predicate, is_new)
+
+    changed = True
+    while changed:
+        changed = False
+        statistics.iterations += 1
+        if max_iterations is not None and statistics.iterations > max_iterations:
+            raise EvaluationError(f"naive evaluation exceeded {max_iterations} iterations")
+        index = RelationIndex(working)
+        pending = set()
+        for rule in proper_rules:
+            for substitution in match_body(rule.body, index):
+                statistics.record_firing()
+                head = rule.head.substitute(substitution)
+                values = head.as_fact_tuple()
+                key = (head.predicate, values)
+                is_new = not working.contains(head.predicate, values) and key not in pending
+                statistics.record_fact(head.predicate, is_new)
+                if is_new:
+                    pending.add(key)
+        for predicate, values in pending:
+            if working.add_fact(predicate, values):
+                changed = True
+
+    idb_facts = working.restrict(program.idb_predicates())
+    return EvaluationResult(program, database, idb_facts, statistics)

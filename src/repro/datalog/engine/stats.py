@@ -1,0 +1,67 @@
+"""Evaluation statistics: the hardware-independent cost model used by all benchmarks.
+
+The paper's motivation (and the performance study it cites) is about the
+*amount of work* evaluation performs — how many rule instantiations fire and
+how many facts are derived — not about wall-clock time on particular
+hardware.  Every engine in :mod:`repro.datalog.engine` therefore reports an
+:class:`EvaluationStatistics` object with those counts; benchmarks compare
+the counts (shape) in addition to timing the runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class EvaluationStatistics:
+    """Counters accumulated during one evaluation run."""
+
+    iterations: int = 0
+    rule_firings: int = 0
+    facts_derived: int = 0
+    duplicate_derivations: int = 0
+    facts_per_predicate: Dict[str, int] = field(default_factory=dict)
+
+    def record_firing(self) -> None:
+        """Count one successful body instantiation."""
+        self.rule_firings += 1
+
+    def record_fact(self, predicate: str, is_new: bool) -> None:
+        """Count one produced head fact; duplicates are tracked separately."""
+        if is_new:
+            self.facts_derived += 1
+            self.facts_per_predicate[predicate] = self.facts_per_predicate.get(predicate, 0) + 1
+        else:
+            self.duplicate_derivations += 1
+
+    def merge(self, other: "EvaluationStatistics") -> "EvaluationStatistics":
+        """Combine two statistics objects (used when evaluation is staged)."""
+        merged = EvaluationStatistics(
+            iterations=self.iterations + other.iterations,
+            rule_firings=self.rule_firings + other.rule_firings,
+            facts_derived=self.facts_derived + other.facts_derived,
+            duplicate_derivations=self.duplicate_derivations + other.duplicate_derivations,
+            facts_per_predicate=dict(self.facts_per_predicate),
+        )
+        for predicate, count in other.facts_per_predicate.items():
+            merged.facts_per_predicate[predicate] = (
+                merged.facts_per_predicate.get(predicate, 0) + count
+            )
+        return merged
+
+    def as_dict(self) -> Dict[str, int]:
+        """Flat summary used by benchmark reports."""
+        return {
+            "iterations": self.iterations,
+            "rule_firings": self.rule_firings,
+            "facts_derived": self.facts_derived,
+            "duplicate_derivations": self.duplicate_derivations,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"iterations={self.iterations} rule_firings={self.rule_firings} "
+            f"facts_derived={self.facts_derived} duplicates={self.duplicate_derivations}"
+        )

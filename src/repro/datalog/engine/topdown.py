@@ -1,0 +1,159 @@
+"""A memoizing (tabled) top-down evaluator.
+
+The magic-set transformation (Section 7 and [5] in the paper) is usually
+presented as a bottom-up simulation of top-down evaluation with memoing.
+Having an actual top-down evaluator lets the benchmarks compare three ways
+of answering a selection query:
+
+* bottom-up over the original program (computes everything, then selects),
+* bottom-up over the magic-transformed / monadic-rewritten program,
+* top-down with tabling (only explores subqueries reachable from the goal).
+
+The evaluator computes, for every *call pattern* (a predicate with some
+argument positions bound to constants), the set of matching facts of the
+minimum model.  Recursion is handled by iterating the whole computation to a
+global fixpoint, which always terminates because tables only grow and are
+bounded by the finite Herbrand base.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.datalog.atoms import Atom
+from repro.datalog.database import Database
+from repro.datalog.engine.base import EvaluationResult, RelationIndex, candidate_tuples
+from repro.datalog.engine.stats import EvaluationStatistics
+from repro.datalog.program import Program
+from repro.datalog.terms import Constant, Variable
+from repro.datalog.unify import Substitution, match_atom
+
+Call = Tuple[str, Tuple[Optional[object], ...]]
+
+
+def _call_of(atom: Atom, substitution: Substitution) -> Call:
+    pattern: List[Optional[object]] = []
+    for term in atom.terms:
+        if isinstance(term, Constant):
+            pattern.append(term.value)
+        else:
+            bound = substitution.get(term)
+            pattern.append(bound.value if isinstance(bound, Constant) else None)
+    return (atom.predicate, tuple(pattern))
+
+
+def _matches_call(values: Tuple, call: Call) -> bool:
+    return all(bound is None or bound == value for bound, value in zip(call[1], values))
+
+
+class TopDownEvaluator:
+    """Tabled top-down evaluation of a Datalog program."""
+
+    def __init__(self, program: Program, database: Database):
+        program.validate()
+        self.program = program
+        self.database = database
+        self.statistics = EvaluationStatistics()
+        self._idb = program.idb_predicates()
+        self._edb_index = RelationIndex(database)
+        self._tables: Dict[Call, Set[Tuple]] = {}
+        self._changed = False
+
+    # ------------------------------------------------------------------
+    def query(self, goal: Optional[Atom] = None) -> FrozenSet[Tuple]:
+        """Answers to *goal* (defaults to the program goal), as full predicate tuples."""
+        goal = goal if goal is not None else self.program.goal
+        if goal is None:
+            raise ValueError("no goal supplied and the program has none")
+        root = _call_of(goal, {})
+        while True:
+            self._changed = False
+            self.statistics.iterations += 1
+            self._solve(root, set())
+            if not self._changed:
+                break
+        return frozenset(self._tables.get(root, set()))
+
+    def result(self, goal: Optional[Atom] = None) -> EvaluationResult:
+        """Package the relevant part of the minimum model as an :class:`EvaluationResult`."""
+        goal = goal if goal is not None else self.program.goal
+        tuples = self.query(goal)
+        idb_facts = Database()
+        for call, answers in self._tables.items():
+            for values in answers:
+                idb_facts.add_fact(call[0], values)
+        result_goal = goal
+        program = self.program if self.program.goal == result_goal else self.program.with_goal(
+            result_goal
+        )
+        del tuples
+        return EvaluationResult(program, self.database, idb_facts, self.statistics)
+
+    # ------------------------------------------------------------------
+    def _solve(self, call: Call, active: Set[Call]) -> Set[Tuple]:
+        table = self._tables.setdefault(call, set())
+        if call in active:
+            return table
+        active = active | {call}
+        predicate = call[0]
+        for rule in self.program.rules_for(predicate):
+            renamed = rule.rename_variables("__td")
+            head_binding: Substitution = {}
+            consistent = True
+            for term, bound in zip(renamed.head.terms, call[1]):
+                if bound is None:
+                    continue
+                if isinstance(term, Constant):
+                    if term.value != bound:
+                        consistent = False
+                        break
+                else:
+                    existing = head_binding.get(term)
+                    if existing is not None and existing != Constant(bound):
+                        consistent = False
+                        break
+                    head_binding[term] = Constant(bound)
+            if not consistent:
+                continue
+            for substitution in self._solve_body(renamed.body, 0, head_binding, active):
+                self.statistics.record_firing()
+                head = renamed.head.substitute(substitution)
+                if not head.is_ground():
+                    continue
+                values = head.as_fact_tuple()
+                is_new = values not in table
+                self.statistics.record_fact(predicate, is_new)
+                if is_new:
+                    table.add(values)
+                    self._changed = True
+        return table
+
+    def _solve_body(
+        self,
+        body: Tuple[Atom, ...],
+        position: int,
+        substitution: Substitution,
+        active: Set[Call],
+    ):
+        if position == len(body):
+            yield substitution
+            return
+        atom = body[position]
+        if atom.predicate in self._idb:
+            call = _call_of(atom, substitution)
+            answers = set(self._solve(call, active))
+            for values in answers:
+                extended = match_atom(atom, values, substitution)
+                if extended is not None:
+                    yield from self._solve_body(body, position + 1, extended, active)
+        else:
+            for values in candidate_tuples(atom, self._edb_index, substitution):
+                extended = match_atom(atom, values, substitution)
+                if extended is not None:
+                    yield from self._solve_body(body, position + 1, extended, active)
+
+
+def evaluate_topdown(program: Program, database: Database, goal: Optional[Atom] = None):
+    """Convenience wrapper: build an evaluator, run the goal, return the result."""
+    evaluator = TopDownEvaluator(program, database)
+    return evaluator.result(goal)

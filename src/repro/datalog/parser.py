@@ -1,0 +1,213 @@
+"""Parser for the Prolog-like Datalog syntax used in the paper.
+
+The accepted syntax mirrors Example 1.1::
+
+    ?anc(john, Y)
+    anc(X, Y) :- par(X, Y).
+    anc(X, Y) :- anc(X, Z), par(Z, Y).
+
+* A line starting with ``?`` declares the goal atom.
+* Rules are ``head :- body.``; facts are ``head.`` (trailing period optional).
+* Identifiers starting with an upper-case letter or ``_`` are variables;
+  everything else (lower-case identifiers, integers, quoted strings) is a
+  constant or predicate symbol depending on position.
+* ``%`` and ``#`` start comments that run to the end of the line.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.datalog.atoms import Atom
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Term, Variable
+from repro.errors import ParseError
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>[%\#][^\n]*)
+  | (?P<IMPLIES>:-)
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<COMMA>,)
+  | (?P<PERIOD>\.)
+  | (?P<QUERY>\?)
+  | (?P<STRING>"[^"]*"|'[^']*')
+  | (?P<NUMBER>-?\d+)
+  | (?P<IDENT>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    line = 1
+    line_start = 0
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[position]!r}", line, position - line_start + 1
+            )
+        kind = match.lastgroup
+        token_text = match.group()
+        if kind not in ("WS", "COMMENT"):
+            yield _Token(kind, token_text, line, match.start() - line_start + 1)
+        newlines = token_text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = match.start() + token_text.rfind("\n") + 1
+        position = match.end()
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str):
+        self._tokens: List[_Token] = list(_tokenize(text))
+        self._index = 0
+
+    # -- token helpers -------------------------------------------------
+    def _peek(self) -> Optional[_Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind} but found {token.text!r}", token.line, token.column
+            )
+        return token
+
+    def _accept(self, kind: str) -> Optional[_Token]:
+        token = self._peek()
+        if token is not None and token.kind == kind:
+            self._index += 1
+            return token
+        return None
+
+    def at_end(self) -> bool:
+        return self._peek() is None
+
+    # -- grammar -------------------------------------------------------
+    def parse_term(self) -> Term:
+        token = self._next()
+        if token.kind == "NUMBER":
+            return Constant(int(token.text))
+        if token.kind == "STRING":
+            return Constant(token.text[1:-1])
+        if token.kind == "IDENT":
+            if token.text[0].isupper() or token.text[0] == "_":
+                return Variable(token.text)
+            return Constant(token.text)
+        raise ParseError(f"expected a term but found {token.text!r}", token.line, token.column)
+
+    def parse_atom(self) -> Atom:
+        name_token = self._expect("IDENT")
+        predicate = name_token.text
+        terms: List[Term] = []
+        if self._accept("LPAREN"):
+            if not self._accept("RPAREN"):
+                terms.append(self.parse_term())
+                while self._accept("COMMA"):
+                    terms.append(self.parse_term())
+                self._expect("RPAREN")
+        return Atom(predicate, tuple(terms))
+
+    def parse_rule(self) -> Rule:
+        head = self.parse_atom()
+        body: List[Atom] = []
+        if self._accept("IMPLIES"):
+            token = self._peek()
+            if token is not None and token.kind == "IDENT":
+                body.append(self.parse_atom())
+                while self._accept("COMMA"):
+                    body.append(self.parse_atom())
+        self._accept("PERIOD")
+        return Rule(head, tuple(body))
+
+    def parse_program(self) -> Program:
+        goal: Optional[Atom] = None
+        rules: List[Rule] = []
+        while not self.at_end():
+            if self._accept("QUERY"):
+                if goal is not None:
+                    token = self._peek()
+                    raise ParseError(
+                        "multiple goals declared",
+                        token.line if token else None,
+                        token.column if token else None,
+                    )
+                goal = self.parse_atom()
+                self._accept("PERIOD")
+            else:
+                rules.append(self.parse_rule())
+        return Program(tuple(rules), goal)
+
+
+def parse_term(text: str) -> Term:
+    """Parse a single term."""
+    parser = _Parser(text)
+    term = parser.parse_term()
+    if not parser.at_end():
+        raise ParseError(f"trailing input after term: {text!r}")
+    return term
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom, e.g. ``anc(john, Y)``."""
+    parser = _Parser(text)
+    atom = parser.parse_atom()
+    parser._accept("PERIOD")
+    if not parser.at_end():
+        raise ParseError(f"trailing input after atom: {text!r}")
+    return atom
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a single rule, e.g. ``anc(X, Y) :- par(X, Y).``."""
+    parser = _Parser(text)
+    rule = parser.parse_rule()
+    if not parser.at_end():
+        raise ParseError(f"trailing input after rule: {text!r}")
+    return rule
+
+
+def parse_program(text: str) -> Program:
+    """Parse a whole program (any number of rules plus an optional ``?goal``)."""
+    return _Parser(text).parse_program()
+
+
+def parse_facts(text: str) -> Tuple[Atom, ...]:
+    """Parse a sequence of ground facts (one per period-terminated clause)."""
+    program = parse_program(text)
+    facts = []
+    for rule in program.rules:
+        if rule.body:
+            raise ParseError(f"expected a fact but found rule {rule}")
+        if not rule.head.is_ground():
+            raise ParseError(f"fact {rule.head} is not ground")
+        facts.append(rule.head)
+    return tuple(facts)

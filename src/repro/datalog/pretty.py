@@ -1,0 +1,57 @@
+"""Pretty-printing of Datalog objects (round-trips with :mod:`repro.datalog.parser`)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.datalog.atoms import Atom
+from repro.datalog.database import Database
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Term, Variable
+
+
+def format_term(term: Term) -> str:
+    """Render a term; quoted if a constant would otherwise read as a variable."""
+    if isinstance(term, Variable):
+        return term.name
+    value = term.value
+    if isinstance(value, str):
+        if value and (value[0].isupper() or value[0] == "_" or not value.isidentifier()):
+            return f'"{value}"'
+        return value
+    return str(value)
+
+
+def format_atom(atom: Atom) -> str:
+    """Render an atom."""
+    if not atom.terms:
+        return atom.predicate
+    return f"{atom.predicate}({', '.join(format_term(t) for t in atom.terms)})"
+
+
+def format_rule(rule: Rule) -> str:
+    """Render a rule with a trailing period."""
+    if not rule.body:
+        return f"{format_atom(rule.head)}."
+    body = ", ".join(format_atom(atom) for atom in rule.body)
+    return f"{format_atom(rule.head)} :- {body}."
+
+
+def format_program(program: Program) -> str:
+    """Render a program; the goal line (if any) comes first, as in the paper."""
+    lines = []
+    if program.goal is not None:
+        lines.append(f"?{format_atom(program.goal)}")
+    lines.extend(format_rule(rule) for rule in program.rules)
+    return "\n".join(lines)
+
+
+def format_database(database: Database) -> str:
+    """Render a database as a list of facts."""
+    return "\n".join(f"{format_atom(fact)}." for fact in database.facts())
+
+
+def format_rules(rules: Iterable[Rule]) -> str:
+    """Render a sequence of rules, one per line."""
+    return "\n".join(format_rule(rule) for rule in rules)

@@ -1,0 +1,175 @@
+"""Datalog programs: finite sets of rules plus a goal atom.
+
+Following Section 2.1 of the paper, a DATALOG program consists of a finite
+set of rules and a special *goal* atom whose predicate appears in the head of
+some rule.  Predicates that appear in rule heads are IDBs; predicates that
+only appear in bodies are EDBs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from repro.datalog.atoms import Atom
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Program:
+    """An immutable Datalog program.
+
+    Parameters
+    ----------
+    rules:
+        The rules of the program.
+    goal:
+        The goal atom.  It is optional so that rule sets can be manipulated
+        before a goal is attached; most analyses require a goal.
+    """
+
+    rules: Tuple[Rule, ...]
+    goal: Optional[Atom] = None
+
+    def __init__(self, rules: Iterable[Rule], goal: Optional[Atom] = None):
+        object.__setattr__(self, "rules", tuple(rules))
+        object.__setattr__(self, "goal", goal)
+
+    # ------------------------------------------------------------------
+    # Predicate classification
+    # ------------------------------------------------------------------
+    def idb_predicates(self) -> FrozenSet[str]:
+        """Predicates defined by some rule head (the derived predicates)."""
+        return frozenset(rule.head.predicate for rule in self.rules)
+
+    def edb_predicates(self) -> FrozenSet[str]:
+        """Predicates that occur only in rule bodies (the database predicates)."""
+        idbs = self.idb_predicates()
+        edbs = set()
+        for rule in self.rules:
+            for atom in rule.body:
+                if atom.predicate not in idbs:
+                    edbs.add(atom.predicate)
+        return frozenset(edbs)
+
+    def predicates(self) -> FrozenSet[str]:
+        """All predicate symbols mentioned by the program."""
+        names = set()
+        for rule in self.rules:
+            names.add(rule.head.predicate)
+            names.update(atom.predicate for atom in rule.body)
+        if self.goal is not None:
+            names.add(self.goal.predicate)
+        return frozenset(names)
+
+    def predicate_arities(self) -> Dict[str, int]:
+        """Mapping from predicate symbol to its arity.
+
+        Raises :class:`ValidationError` if a predicate is used with two
+        different arities.
+        """
+        arities: Dict[str, int] = {}
+        atoms = [rule.head for rule in self.rules]
+        atoms.extend(atom for rule in self.rules for atom in rule.body)
+        if self.goal is not None:
+            atoms.append(self.goal)
+        for atom in atoms:
+            known = arities.get(atom.predicate)
+            if known is None:
+                arities[atom.predicate] = atom.arity
+            elif known != atom.arity:
+                raise ValidationError(
+                    f"predicate {atom.predicate} used with arities {known} and {atom.arity}"
+                )
+        return arities
+
+    def is_monadic(self) -> bool:
+        """True if every IDB predicate has arity at most one (Section 2.1, definition 2)."""
+        arities = self.predicate_arities()
+        return all(arities[p] <= 1 for p in self.idb_predicates())
+
+    # ------------------------------------------------------------------
+    # Structural access
+    # ------------------------------------------------------------------
+    def rules_for(self, predicate: str) -> Tuple[Rule, ...]:
+        """The rules whose head predicate is *predicate*."""
+        return tuple(rule for rule in self.rules if rule.head.predicate == predicate)
+
+    def constants(self) -> Tuple[Constant, ...]:
+        """All constants occurring in rules or the goal."""
+        seen = []
+        for rule in self.rules:
+            for constant in rule.constants():
+                if constant not in seen:
+                    seen.append(constant)
+        if self.goal is not None:
+            for constant in self.goal.constants():
+                if constant not in seen:
+                    seen.append(constant)
+        return tuple(seen)
+
+    def variables(self) -> Tuple[Variable, ...]:
+        """All variables occurring in the rules."""
+        seen = []
+        for rule in self.rules:
+            for var in rule.variables():
+                if var not in seen:
+                    seen.append(var)
+        return tuple(seen)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def is_safe(self) -> bool:
+        """True if every rule is range restricted."""
+        return all(rule.is_safe() for rule in self.rules)
+
+    def validate(self) -> None:
+        """Check arity consistency, safety and that the goal is an IDB."""
+        self.predicate_arities()
+        for rule in self.rules:
+            rule.check_safe()
+        if self.goal is not None and self.goal.predicate not in self.idb_predicates():
+            raise ValidationError(
+                f"goal predicate {self.goal.predicate} is not defined by any rule"
+            )
+
+    # ------------------------------------------------------------------
+    # Functional updates
+    # ------------------------------------------------------------------
+    def with_goal(self, goal: Atom) -> "Program":
+        """Return a copy of the program with a different goal."""
+        return Program(self.rules, goal)
+
+    def with_rules(self, rules: Iterable[Rule]) -> "Program":
+        """Return a copy of the program with a different rule set."""
+        return Program(tuple(rules), self.goal)
+
+    def add_rules(self, rules: Iterable[Rule]) -> "Program":
+        """Return a copy of the program with extra rules appended."""
+        return Program(self.rules + tuple(rules), self.goal)
+
+    def rename_predicates(self, mapping: Dict[str, str]) -> "Program":
+        """Consistently rename predicate symbols according to *mapping*."""
+
+        def rename_atom(atom: Atom) -> Atom:
+            return Atom(mapping.get(atom.predicate, atom.predicate), atom.terms)
+
+        new_rules = tuple(
+            Rule(rename_atom(rule.head), tuple(rename_atom(a) for a in rule.body))
+            for rule in self.rules
+        )
+        new_goal = rename_atom(self.goal) if self.goal is not None else None
+        return Program(new_rules, new_goal)
+
+    def __str__(self) -> str:
+        lines = []
+        if self.goal is not None:
+            lines.append(f"?{self.goal}")
+        lines.extend(str(rule) for rule in self.rules)
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.rules)

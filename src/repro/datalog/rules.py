@@ -1,0 +1,90 @@
+"""Rules (Horn clauses) of Datalog programs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Tuple
+
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Constant, Term, Variable
+from repro.errors import UnsafeRuleError
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A rule ``head :- body``.
+
+    ``body`` may be empty, in which case the rule asserts a fact (possibly
+    with variables; such rules are only safe when the head is ground).
+    """
+
+    head: Atom
+    body: Tuple[Atom, ...]
+
+    def __init__(self, head: Atom, body: Iterable[Atom] = ()):  # noqa: D401
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "body", tuple(body))
+
+    def is_fact(self) -> bool:
+        """Return ``True`` if the body is empty."""
+        return not self.body
+
+    def variables(self) -> Tuple[Variable, ...]:
+        """All variables of the rule, in order of first occurrence."""
+        seen = []
+        for atom in (self.head, *self.body):
+            for var in atom.variables():
+                if var not in seen:
+                    seen.append(var)
+        return tuple(seen)
+
+    def constants(self) -> Tuple[Constant, ...]:
+        """All constants of the rule, in order of first occurrence."""
+        seen = []
+        for atom in (self.head, *self.body):
+            for constant in atom.constants():
+                if constant not in seen:
+                    seen.append(constant)
+        return tuple(seen)
+
+    def body_predicates(self) -> Tuple[str, ...]:
+        """Predicate symbols occurring in the body, with duplicates."""
+        return tuple(atom.predicate for atom in self.body)
+
+    def is_safe(self) -> bool:
+        """A rule is safe (range restricted) if every head variable occurs in the body."""
+        body_vars = set()
+        for atom in self.body:
+            body_vars.update(atom.variables())
+        return all(var in body_vars for var in self.head.variables())
+
+    def check_safe(self) -> None:
+        """Raise :class:`UnsafeRuleError` if the rule is not safe."""
+        if not self.is_safe():
+            raise UnsafeRuleError(f"rule {self} has head variables not bound in its body")
+
+    def substitute(self, substitution: Mapping[Variable, Term]) -> "Rule":
+        """Apply a substitution to head and body."""
+        return Rule(
+            self.head.substitute(substitution),
+            tuple(atom.substitute(substitution) for atom in self.body),
+        )
+
+    def rename_variables(self, suffix: str) -> "Rule":
+        """Rename every variable by appending *suffix* (used to avoid capture)."""
+        mapping = {var: Variable(var.name + suffix) for var in self.variables()}
+        return self.substitute(mapping)
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        body_text = ", ".join(str(atom) for atom in self.body)
+        return f"{self.head} :- {body_text}."
+
+    def __repr__(self) -> str:
+        return f"Rule({self.head!r}, {self.body!r})"
+
+
+def fact(head: Atom) -> Rule:
+    """Build a fact rule (empty body) from a ground atom."""
+    return Rule(head, ())

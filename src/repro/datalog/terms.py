@@ -1,0 +1,88 @@
+"""Terms of the Datalog language: variables and constants.
+
+The paper (Section 2.1) assumes three disjoint countably infinite sets of
+symbols: constants, variables, and predicates.  Here variables and constants
+are immutable value objects; predicates are plain strings attached to atoms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Union
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A Datalog variable, e.g. ``X``, ``Y1``.
+
+    Variables compare and hash by name only, so two occurrences of ``X`` in
+    the same rule denote the same variable.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+@dataclass(frozen=True, order=True)
+class Constant:
+    """A Datalog constant, e.g. ``john`` or ``42``.
+
+    The value may be any hashable Python object; the parser produces strings
+    and integers.
+    """
+
+    value: Hashable
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+
+Term = Union[Variable, Constant]
+
+
+def is_variable(term: Term) -> bool:
+    """Return ``True`` if *term* is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: Term) -> bool:
+    """Return ``True`` if *term* is a :class:`Constant`."""
+    return isinstance(term, Constant)
+
+
+def make_term(value) -> Term:
+    """Coerce a raw Python value into a term.
+
+    Strings starting with an upper-case letter or underscore become
+    variables (the Prolog convention used throughout the paper); anything
+    else becomes a constant.  Existing terms are returned unchanged.
+    """
+    if isinstance(value, (Variable, Constant)):
+        return value
+    if isinstance(value, str) and value and (value[0].isupper() or value[0] == "_"):
+        return Variable(value)
+    return Constant(value)
+
+
+def fresh_variable(base: str, used: set) -> Variable:
+    """Return a variable named after *base* that does not occur in *used*.
+
+    ``used`` is a set of variable names; the chosen name is added to it.
+    """
+    if base not in used:
+        used.add(base)
+        return Variable(base)
+    index = 1
+    while f"{base}_{index}" in used:
+        index += 1
+    name = f"{base}_{index}"
+    used.add(name)
+    return Variable(name)

@@ -1,0 +1,36 @@
+"""Program transformations: adornments, magic sets, constant propagation, canonicalisation."""
+
+from repro.datalog.transforms.adornment import (
+    AdornedProgram,
+    adorn_program,
+    adorned_name,
+    adornments_used,
+    split_adorned_name,
+)
+from repro.datalog.transforms.constants import (
+    binding_invariant_positions,
+    propagate_goal_constant,
+)
+from repro.datalog.transforms.magic import magic_predicates, magic_transform
+from repro.datalog.transforms.rectify import (
+    collapse_database,
+    collapse_edbs,
+    eliminate_zero_ary,
+    rename_apart,
+)
+
+__all__ = [
+    "AdornedProgram",
+    "adorn_program",
+    "adorned_name",
+    "adornments_used",
+    "binding_invariant_positions",
+    "collapse_database",
+    "collapse_edbs",
+    "eliminate_zero_ary",
+    "magic_predicates",
+    "magic_transform",
+    "propagate_goal_constant",
+    "rename_apart",
+    "split_adorned_name",
+]

@@ -1,0 +1,119 @@
+"""Adorned programs: binding-pattern propagation with left-to-right sideways information passing.
+
+Adornments are the bookkeeping device of the magic-set transformation
+([5, 23] in the paper): an IDB predicate is annotated with a string over
+``{b, f}`` describing which argument positions are bound when the predicate
+is called during a top-down evaluation of the goal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.datalog.atoms import Atom
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+from repro.errors import ValidationError
+
+ADORNMENT_SEPARATOR = "__"
+
+
+def adornment_of_atom(atom: Atom, bound_variables: Set[Variable]) -> str:
+    """The ``b``/``f`` pattern of *atom* given the variables already bound."""
+    letters = []
+    for term in atom.terms:
+        if isinstance(term, Constant) or term in bound_variables:
+            letters.append("b")
+        else:
+            letters.append("f")
+    return "".join(letters)
+
+
+def adorned_name(predicate: str, adornment: str) -> str:
+    """The predicate symbol used for an adorned copy, e.g. ``anc__bf``."""
+    return f"{predicate}{ADORNMENT_SEPARATOR}{adornment}"
+
+
+def split_adorned_name(name: str) -> Tuple[str, str]:
+    """Invert :func:`adorned_name`; raises if the name is not adorned."""
+    if ADORNMENT_SEPARATOR not in name:
+        raise ValidationError(f"{name} is not an adorned predicate name")
+    predicate, _, adornment = name.rpartition(ADORNMENT_SEPARATOR)
+    return predicate, adornment
+
+
+def bound_terms(atom: Atom, adornment: str) -> Tuple:
+    """The terms of *atom* at the bound positions of *adornment*."""
+    return tuple(term for term, letter in zip(atom.terms, adornment) if letter == "b")
+
+
+@dataclass(frozen=True)
+class AdornedProgram:
+    """The result of adorning a program with respect to its goal."""
+
+    program: Program
+    goal_adornment: str
+    original_goal: Atom
+
+    @property
+    def goal_predicate(self) -> str:
+        return self.original_goal.predicate
+
+
+def adorn_program(program: Program) -> AdornedProgram:
+    """Adorn *program* with respect to its goal, using left-to-right SIPS.
+
+    The goal must be present and its predicate must be an IDB.  IDB
+    predicates in rule bodies are renamed to their adorned copies; EDB atoms
+    are left untouched.
+    """
+    if program.goal is None:
+        raise ValidationError("cannot adorn a program without a goal")
+    program.validate()
+    idb = program.idb_predicates()
+    goal = program.goal
+    goal_adornment = "".join(
+        "b" if isinstance(term, Constant) else "f" for term in goal.terms
+    )
+
+    worklist: List[Tuple[str, str]] = [(goal.predicate, goal_adornment)]
+    processed: Set[Tuple[str, str]] = set()
+    adorned_rules: List[Rule] = []
+
+    while worklist:
+        predicate, adornment = worklist.pop()
+        if (predicate, adornment) in processed:
+            continue
+        processed.add((predicate, adornment))
+        for rule in program.rules_for(predicate):
+            bound: Set[Variable] = set()
+            for term, letter in zip(rule.head.terms, adornment):
+                if letter == "b" and isinstance(term, Variable):
+                    bound.add(term)
+            new_body: List[Atom] = []
+            for atom in rule.body:
+                if atom.predicate in idb:
+                    body_adornment = adornment_of_atom(atom, bound)
+                    new_body.append(atom.rename_predicate(adorned_name(atom.predicate, body_adornment)))
+                    if (atom.predicate, body_adornment) not in processed:
+                        worklist.append((atom.predicate, body_adornment))
+                else:
+                    new_body.append(atom)
+                bound.update(atom.variables())
+            new_head = rule.head.rename_predicate(adorned_name(predicate, adornment))
+            adorned_rules.append(Rule(new_head, tuple(new_body)))
+
+    adorned_goal = goal.rename_predicate(adorned_name(goal.predicate, goal_adornment))
+    adorned = Program(tuple(adorned_rules), adorned_goal)
+    return AdornedProgram(adorned, goal_adornment, goal)
+
+
+def adornments_used(adorned: AdornedProgram) -> Dict[str, Set[str]]:
+    """Map each original IDB predicate to the set of adornments generated for it."""
+    usage: Dict[str, Set[str]] = {}
+    for rule in adorned.program.rules:
+        predicate, adornment = split_adorned_name(rule.head.predicate)
+        usage.setdefault(predicate, set()).add(adornment)
+    return usage

@@ -1,0 +1,146 @@
+"""Naive constant propagation: the Program A → Program D rewriting of Example 1.1.
+
+When a goal binds an argument to a constant and every recursive rule passes
+that argument *unchanged* to its recursive calls, the binding can be pushed
+into the program directly: the bound argument is dropped, the recursive
+predicate becomes monadic, and base rules substitute the constant.  This is
+the "naive propagation of the binding of X to john" described in the paper's
+introduction, and it is exactly what turns::
+
+    ?anc(john, Y)
+    anc(X, Y) :- par(X, Y)
+    anc(X, Y) :- anc(X, Z), par(Z, Y)
+
+into::
+
+    ?ancjohn(Y)
+    ancjohn(Y) :- par(john, Y)
+    ancjohn(Y) :- ancjohn(Z), par(Z, Y)
+
+The rewriting is purely syntactic and only applies when the binding is
+invariant; for chain programs in general the grammar-based construction in
+:mod:`repro.core.rewrites` is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.datalog.atoms import Atom
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+from repro.errors import ValidationError
+
+
+def _bound_positions(goal: Atom) -> Tuple[int, ...]:
+    return tuple(
+        position for position, term in enumerate(goal.terms) if isinstance(term, Constant)
+    )
+
+
+def binding_invariant_positions(program: Program) -> Tuple[int, ...]:
+    """Goal argument positions whose binding is passed unchanged through all recursion.
+
+    A bound position ``i`` of the goal predicate is *invariant* when, in every
+    rule for an IDB predicate reachable from the goal, the head term at
+    position ``i`` is syntactically identical to the term at position ``i`` of
+    every recursive body occurrence of the same predicate.  Only the goal
+    predicate itself is considered here (the transformation below specialises
+    one predicate); mutual recursion falls back to the grammar-based rewrites.
+    """
+    goal = program.goal
+    if goal is None:
+        raise ValidationError("constant propagation requires a goal")
+    invariant: List[int] = []
+    for position in _bound_positions(goal):
+        ok = True
+        for rule in program.rules_for(goal.predicate):
+            head_term = rule.head.terms[position]
+            for atom in rule.body:
+                if atom.predicate != goal.predicate:
+                    continue
+                if atom.terms[position] != head_term:
+                    ok = False
+                    break
+            if not ok:
+                break
+        if ok:
+            invariant.append(position)
+    return tuple(invariant)
+
+
+def propagate_goal_constant(
+    program: Program, position: Optional[int] = None, specialized_suffix: Optional[str] = None
+) -> Program:
+    """Specialise the goal predicate by pushing one bound goal argument into the rules.
+
+    Parameters
+    ----------
+    program:
+        Program whose goal has at least one constant argument.
+    position:
+        Which bound goal position to propagate; defaults to the first
+        binding-invariant one.
+    specialized_suffix:
+        Suffix for the specialised predicate name; defaults to the constant
+        value (as in ``ancjohn``).
+
+    Raises
+    ------
+    ValidationError
+        If the binding is not invariant through the recursion (the rewriting
+        would then be unsound) or if other IDB predicates depend on the goal
+        predicate.
+    """
+    goal = program.goal
+    if goal is None:
+        raise ValidationError("constant propagation requires a goal")
+    invariant = binding_invariant_positions(program)
+    if position is None:
+        if not invariant:
+            raise ValidationError("no binding-invariant bound goal position to propagate")
+        position = invariant[0]
+    elif position not in invariant:
+        raise ValidationError(f"goal position {position} is not binding invariant")
+
+    constant = goal.terms[position]
+    if not isinstance(constant, Constant):
+        raise ValidationError(f"goal position {position} is not bound to a constant")
+
+    target = goal.predicate
+    for rule in program.rules:
+        if rule.head.predicate == target:
+            continue
+        if any(atom.predicate == target for atom in rule.body):
+            raise ValidationError(
+                f"predicate {target} is used by other rules; cannot specialise it in isolation"
+            )
+
+    suffix = specialized_suffix if specialized_suffix is not None else str(constant.value)
+    specialized = f"{target}{suffix}"
+
+    def drop_position(atom: Atom) -> Atom:
+        terms = tuple(term for index, term in enumerate(atom.terms) if index != position)
+        return Atom(specialized, terms)
+
+    new_rules: List[Rule] = []
+    for rule in program.rules:
+        if rule.head.predicate != target:
+            new_rules.append(rule)
+            continue
+        head_term = rule.head.terms[position]
+        substitution: Dict[Variable, Constant] = {}
+        if isinstance(head_term, Variable):
+            substitution[head_term] = constant
+        elif head_term != constant:
+            # This rule can never contribute to the selected goal.
+            continue
+        bound_rule = rule.substitute(substitution)
+        new_body = tuple(
+            drop_position(atom) if atom.predicate == target else atom for atom in bound_rule.body
+        )
+        new_rules.append(Rule(drop_position(bound_rule.head), new_body))
+
+    new_goal = drop_position(goal)
+    return Program(tuple(new_rules), new_goal)

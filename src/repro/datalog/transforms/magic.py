@@ -1,0 +1,99 @@
+"""The generalized magic-set transformation of Bancilhon, Maier, Sagiv, and Ullman.
+
+Reference [5] of the paper.  Given a program and a goal with constants, the
+transformation produces a new program whose bottom-up evaluation only derives
+facts "relevant" to the goal bindings, simulating top-down evaluation.  The
+paper's Section 7 explains the same transformation for chain programs in
+terms of language quotients; :mod:`repro.core.magic_chain` implements that
+language view, while this module is the classical syntactic version usable
+on any Datalog program (it handles Programs A and B of Example 1.1, and the
+adorned magic rules for Program C).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.datalog.atoms import Atom
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant
+from repro.datalog.transforms.adornment import (
+    AdornedProgram,
+    adorn_program,
+    bound_terms,
+    split_adorned_name,
+)
+from repro.errors import ValidationError
+
+MAGIC_PREFIX = "magic_"
+
+
+def magic_name(adorned_predicate: str) -> str:
+    """The magic predicate associated with an adorned predicate name."""
+    return MAGIC_PREFIX + adorned_predicate
+
+
+def magic_transform(program: Program) -> Program:
+    """Apply the generalized magic-set transformation to *program*.
+
+    The program must have a goal containing at least one constant (otherwise
+    there is no binding to propagate and the transformation would be the
+    identity up to renaming).
+    """
+    if program.goal is None:
+        raise ValidationError("magic sets require a goal")
+    if not any(isinstance(term, Constant) for term in program.goal.terms):
+        raise ValidationError("magic sets require a goal with at least one bound argument")
+
+    adorned: AdornedProgram = adorn_program(program)
+    idb_adorned = adorned.program.idb_predicates()
+
+    magic_rules: List[Rule] = []
+    modified_rules: List[Rule] = []
+
+    for rule in adorned.program.rules:
+        head_predicate = rule.head.predicate
+        _, head_adornment = split_adorned_name(head_predicate)
+        head_bound = bound_terms(rule.head, head_adornment)
+        magic_head_atom = Atom(magic_name(head_predicate), head_bound)
+
+        # Modified rule: guard the original rule with its magic predicate.
+        if head_bound:
+            modified_rules.append(Rule(rule.head, (magic_head_atom,) + rule.body))
+        else:
+            modified_rules.append(rule)
+
+        # Magic rules: one per IDB body occurrence.
+        for position, atom in enumerate(rule.body):
+            if atom.predicate not in idb_adorned:
+                continue
+            _, body_adornment = split_adorned_name(atom.predicate)
+            body_bound = bound_terms(atom, body_adornment)
+            if not body_bound:
+                continue
+            magic_body_head = Atom(magic_name(atom.predicate), body_bound)
+            prefix = rule.body[:position]
+            if head_bound:
+                magic_rules.append(Rule(magic_body_head, (magic_head_atom,) + prefix))
+            else:
+                magic_rules.append(Rule(magic_body_head, prefix))
+
+    # Seed: the goal bindings.
+    goal = adorned.program.goal
+    assert goal is not None
+    _, goal_adornment = split_adorned_name(goal.predicate)
+    seed_terms = bound_terms(goal, goal_adornment)
+    seed = Rule(Atom(magic_name(goal.predicate), seed_terms), ())
+
+    transformed_rules = (seed,) + tuple(magic_rules) + tuple(modified_rules)
+    return Program(transformed_rules, goal)
+
+
+def magic_predicates(program: Program) -> List[str]:
+    """The magic predicates defined by a transformed program."""
+    return sorted(
+        predicate
+        for predicate in program.idb_predicates()
+        if predicate.startswith(MAGIC_PREFIX)
+    )

@@ -1,0 +1,71 @@
+"""Canonicalisation helpers used by the paper's proofs.
+
+These small rewritings appear inside the arguments of Sections 4–6:
+
+* replacing zero-ary IDB predicates by unary ones applied to a constant
+  (Lemma 4.1, Lemma 5.1: "predicates of arity zero can be simulated by new
+  predicates of arity one and the constant c");
+* collapsing all EDB predicates into a single EDB (end of Lemma 6.1: "replace
+  all EDB predicates in H and in its finite query equivalent monadic h with
+  one EDB predicate b");
+* renaming predicates apart so two programs can be evaluated on the same
+  database without interference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.datalog.atoms import Atom
+from repro.datalog.database import Database
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant
+
+
+def eliminate_zero_ary(program: Program, constant_value="c0") -> Program:
+    """Replace every zero-ary IDB predicate ``p`` by ``p(c0)`` for a fixed constant."""
+    arities = program.predicate_arities()
+    idb = program.idb_predicates()
+    zero_ary = {name for name in idb if arities[name] == 0}
+    if not zero_ary:
+        return program
+    constant = Constant(constant_value)
+
+    def fix(atom: Atom) -> Atom:
+        if atom.predicate in zero_ary:
+            return Atom(atom.predicate, (constant,))
+        return atom
+
+    rules = tuple(
+        Rule(fix(rule.head), tuple(fix(atom) for atom in rule.body)) for rule in program.rules
+    )
+    goal = fix(program.goal) if program.goal is not None else None
+    return Program(rules, goal)
+
+
+def collapse_edbs(program: Program, merged_name: str = "b") -> Tuple[Program, Dict[str, str]]:
+    """Replace every EDB predicate by a single EDB predicate *merged_name*.
+
+    Returns the rewritten program and the mapping from old EDB names to the
+    merged name (useful for rewriting databases consistently with
+    :func:`collapse_database`).  All EDBs must share one arity.
+    """
+    edbs = program.edb_predicates()
+    arities = program.predicate_arities()
+    edb_arities = {arities[name] for name in edbs}
+    if len(edb_arities) > 1:
+        raise ValueError(f"cannot collapse EDBs of different arities: {sorted(edb_arities)}")
+    mapping = {name: merged_name for name in edbs}
+    return program.rename_predicates(mapping), mapping
+
+
+def collapse_database(database: Database, mapping: Dict[str, str]) -> Database:
+    """Merge database relations according to the mapping from :func:`collapse_edbs`."""
+    return database.rename(mapping)
+
+
+def rename_apart(program: Program, suffix: str) -> Program:
+    """Rename every IDB predicate by appending *suffix* (EDBs are shared)."""
+    mapping = {name: name + suffix for name in program.idb_predicates()}
+    return program.rename_predicates(mapping)

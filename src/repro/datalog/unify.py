@@ -1,0 +1,95 @@
+"""Substitutions, matching, and unification for Datalog atoms."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Constant, Term, Variable
+
+Substitution = Dict[Variable, Term]
+
+
+def apply_substitution(term: Term, substitution: Substitution) -> Term:
+    """Apply a substitution to a single term (one step; Datalog terms are flat)."""
+    if isinstance(term, Variable):
+        return substitution.get(term, term)
+    return term
+
+
+def match_atom(
+    pattern: Atom, fact_values: Tuple, substitution: Optional[Substitution] = None
+) -> Optional[Substitution]:
+    """Match a (possibly non-ground) atom against a tuple of constant values.
+
+    This is one-way matching: only variables of *pattern* are bound.  Returns
+    the extended substitution, or ``None`` if matching fails.  The input
+    substitution is not modified.
+    """
+    if len(pattern.terms) != len(fact_values):
+        return None
+    bindings: Substitution = dict(substitution) if substitution else {}
+    for term, value in zip(pattern.terms, fact_values):
+        if isinstance(term, Constant):
+            if term.value != value:
+                return None
+        else:
+            bound = bindings.get(term)
+            if bound is None:
+                bindings[term] = Constant(value)
+            elif isinstance(bound, Constant):
+                if bound.value != value:
+                    return None
+            else:  # pragma: no cover - bottom-up matching only binds constants
+                bindings[term] = Constant(value)
+    return bindings
+
+
+def unify_atoms(
+    left: Atom, right: Atom, substitution: Optional[Substitution] = None
+) -> Optional[Substitution]:
+    """Unify two atoms (both may contain variables).
+
+    Datalog terms are flat (no function symbols), so unification reduces to
+    resolving variable/variable and variable/constant pairs with union-find
+    style chasing through the substitution.
+    """
+    if left.predicate != right.predicate or left.arity != right.arity:
+        return None
+    bindings: Substitution = dict(substitution) if substitution else {}
+
+    def resolve(term: Term) -> Term:
+        while isinstance(term, Variable) and term in bindings:
+            term = bindings[term]
+        return term
+
+    for l_term, r_term in zip(left.terms, right.terms):
+        l_resolved = resolve(l_term)
+        r_resolved = resolve(r_term)
+        if l_resolved == r_resolved:
+            continue
+        if isinstance(l_resolved, Variable):
+            bindings[l_resolved] = r_resolved
+        elif isinstance(r_resolved, Variable):
+            bindings[r_resolved] = l_resolved
+        else:
+            return None
+    return bindings
+
+
+def ground_atom_with(atom: Atom, substitution: Substitution) -> Atom:
+    """Apply a substitution and assert the result is ground."""
+    result = atom.substitute(substitution)
+    if not result.is_ground():
+        raise ValueError(f"substitution does not ground atom {atom}")
+    return result
+
+
+def compose(outer: Substitution, inner: Substitution) -> Substitution:
+    """Compose substitutions: apply *inner* first, then *outer*."""
+    composed: Substitution = {}
+    for var, term in inner.items():
+        composed[var] = apply_substitution(term, outer)
+    for var, term in outer.items():
+        composed.setdefault(var, term)
+    return composed

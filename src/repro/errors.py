@@ -1,0 +1,47 @@
+"""Exception hierarchy shared by all repro subpackages."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParseError(ReproError):
+    """Raised when Datalog or regular-expression text cannot be parsed."""
+
+    def __init__(self, message, line=None, column=None):
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", column {column})" if column is not None else ")")
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class ValidationError(ReproError):
+    """Raised when a program, rule, or grammar violates a structural requirement."""
+
+
+class NotAChainProgramError(ValidationError):
+    """Raised when a program presented as a chain program contains a non-chain rule."""
+
+
+class UnsafeRuleError(ValidationError):
+    """Raised when a rule has head variables that do not occur in its body."""
+
+
+class EvaluationError(ReproError):
+    """Raised when evaluation of a program over a database fails."""
+
+
+class LanguageAnalysisError(ReproError):
+    """Raised when a language-theoretic analysis cannot be carried out."""
+
+
+class UndecidableError(LanguageAnalysisError):
+    """Raised when an exact answer is requested for a question that is undecidable.
+
+    The library never guesses: procedures that sit on the undecidable
+    frontier (CFL regularity, general chain-program equivalence) either
+    return a three-valued verdict or raise this error when a definite
+    answer is demanded.
+    """

@@ -1,0 +1,93 @@
+"""Formal-language toolkit: grammars, automata, approximations, quotients."""
+
+from repro.languages.alphabet import EPSILON, Word, word, word_from_text, word_to_text
+from repro.languages.approximation import (
+    RegularEnvelope,
+    mohri_nederhof_transform,
+    regular_envelope,
+    strongly_regular_to_nfa,
+)
+from repro.languages.cfg import Grammar, Production, format_grammar, parse_grammar
+from repro.languages.cfg_analysis import (
+    cfg_membership,
+    enumerate_finite_language,
+    enumerate_language,
+    is_empty_language,
+    is_finite_language,
+    language_sample_equal,
+    shortest_word,
+    strings_of_length,
+)
+from repro.languages.cfg_properties import (
+    RegularityEvidence,
+    is_left_linear,
+    is_linear,
+    is_right_linear,
+    is_self_embedding,
+    is_strongly_regular,
+    is_unary_alphabet,
+    regularity_evidence,
+)
+from repro.languages.cfg_transforms import (
+    eliminate_epsilon,
+    eliminate_unit_productions,
+    reduce_grammar,
+    to_chomsky_normal_form,
+)
+from repro.languages.quotient import (
+    EnvelopeQuotient,
+    cfl_quotient_member,
+    envelope_quotient,
+    regular_quotient,
+)
+from repro.languages.regular import DFA, NFA
+from repro.languages.sampling import random_sentence, random_sentences, sentential_forms
+from repro.languages.unary import UltimatelyPeriodicSet, length_set_to_dfa, unary_length_set
+
+__all__ = [
+    "DFA",
+    "EPSILON",
+    "EnvelopeQuotient",
+    "Grammar",
+    "NFA",
+    "Production",
+    "RegularEnvelope",
+    "RegularityEvidence",
+    "UltimatelyPeriodicSet",
+    "Word",
+    "cfg_membership",
+    "cfl_quotient_member",
+    "eliminate_epsilon",
+    "eliminate_unit_productions",
+    "enumerate_finite_language",
+    "enumerate_language",
+    "envelope_quotient",
+    "format_grammar",
+    "is_empty_language",
+    "is_finite_language",
+    "is_left_linear",
+    "is_linear",
+    "is_right_linear",
+    "is_self_embedding",
+    "is_strongly_regular",
+    "is_unary_alphabet",
+    "language_sample_equal",
+    "length_set_to_dfa",
+    "mohri_nederhof_transform",
+    "parse_grammar",
+    "random_sentence",
+    "random_sentences",
+    "reduce_grammar",
+    "regular_envelope",
+    "regular_quotient",
+    "regularity_evidence",
+    "sentential_forms",
+    "shortest_word",
+    "strings_of_length",
+    "strongly_regular_to_nfa",
+    "to_chomsky_normal_form",
+    "unary_length_set",
+    "word",
+    "word_from_text",
+    "word_to_text",
+]

@@ -1,0 +1,45 @@
+"""Alphabets: finite sets of terminal symbols.
+
+Symbols are plain strings (``"b1"``, ``"par"`` ...).  Words are tuples of
+symbols, *not* character strings, because the EDB predicate names that label
+chain-program grammars are multi-character.  The empty word is ``()``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+Word = Tuple[str, ...]
+
+EPSILON: Word = ()
+
+
+def word(symbols: Iterable[str]) -> Word:
+    """Build a word from an iterable of symbols."""
+    return tuple(symbols)
+
+
+def word_from_text(text: str, separator: str = " ") -> Word:
+    """Parse a word from text: symbols separated by *separator* (default space).
+
+    An empty string denotes the empty word.
+    """
+    text = text.strip()
+    if not text:
+        return EPSILON
+    return tuple(text.split(separator))
+
+
+def word_to_text(value: Sequence[str], separator: str = " ") -> str:
+    """Render a word; the empty word renders as ``"ε"``."""
+    if not value:
+        return "ε"
+    return separator.join(value)
+
+
+def validate_alphabet(symbols: Iterable[str]) -> frozenset:
+    """Return the alphabet as a frozenset, rejecting the empty-string symbol."""
+    alphabet = frozenset(symbols)
+    if "" in alphabet:
+        raise ValueError("the empty string cannot be an alphabet symbol")
+    return alphabet

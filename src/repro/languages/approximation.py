@@ -1,0 +1,242 @@
+"""Exact and approximate finite automata for context-free grammars.
+
+Two constructions due to Mohri and Nederhof:
+
+* for a **strongly regular** grammar (every mutually recursive nonterminal
+  set is uniformly left- or right-linear with respect to itself) an exact
+  finite automaton is built directly;
+* for an arbitrary grammar, a grammar transformation produces a strongly
+  regular grammar whose language is a **superset** of the original one — the
+  "regular envelope" ``R(H) ⊇ L(H)`` that Section 7 of the paper suggests
+  using when the exact quotient is not available: *"let L(H) be contained in
+  a regular language R(H), instead of L(H)/R use R(H)/R"*.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import LanguageAnalysisError
+from repro.languages.cfg import Grammar, Production
+from repro.languages.cfg_properties import (
+    component_linearity,
+    is_strongly_regular,
+    mutually_recursive_sets,
+)
+from repro.languages.cfg_transforms import reduce_grammar
+from repro.languages.regular.nfa import NFA
+
+
+# ----------------------------------------------------------------------
+# Exact construction for strongly regular grammars
+# ----------------------------------------------------------------------
+class _FABuilder:
+    """Builds an NFA for a strongly regular grammar (Nederhof's ``make_fa``)."""
+
+    def __init__(self, grammar: Grammar):
+        self.grammar = grammar
+        self.components = mutually_recursive_sets(grammar)
+        self.component_of: Dict[str, FrozenSet[str]] = {}
+        for component in self.components:
+            for member in component:
+                self.component_of[member] = component
+        self.linearity = {
+            component: component_linearity(grammar, component) for component in self.components
+        }
+        self.transitions: Dict[Tuple[object, Optional[str]], Set[object]] = {}
+        self.states: Set[object] = set()
+        self._counter = itertools.count()
+        self._expansion_depth = 0
+
+    # -- state helpers ---------------------------------------------------
+    def new_state(self, label: str = "q") -> object:
+        state = (label, next(self._counter))
+        self.states.add(state)
+        return state
+
+    def add_edge(self, source: object, symbol: Optional[str], target: object) -> None:
+        self.transitions.setdefault((source, symbol), set()).add(target)
+        self.states.add(source)
+        self.states.add(target)
+
+    # -- the recursive construction ---------------------------------------
+    def make_fa(self, source: object, sequence: Sequence[str], target: object) -> None:
+        grammar = self.grammar
+        if len(sequence) == 0:
+            self.add_edge(source, None, target)
+            return
+        if len(sequence) == 1:
+            symbol = sequence[0]
+            if symbol in grammar.terminals:
+                self.add_edge(source, symbol, target)
+                return
+            self._make_fa_nonterminal(source, symbol, target)
+            return
+        middle = self.new_state()
+        self.make_fa(source, sequence[:1], middle)
+        self.make_fa(middle, sequence[1:], target)
+
+    def _make_fa_nonterminal(self, source: object, nonterminal: str, target: object) -> None:
+        component = self.component_of[nonterminal]
+        linearity = self.linearity[component]
+        if not linearity.recursive:
+            self._expansion_depth += 1
+            if self._expansion_depth > 10_000:
+                raise LanguageAnalysisError(
+                    "non-recursive expansion exceeded the safety bound"
+                )
+            for production in self.grammar.productions_for(nonterminal):
+                self.make_fa(source, production.rhs, target)
+            self._expansion_depth -= 1
+            return
+
+        # Recursive component: one sub-state per member for this occurrence.
+        member_state = {member: self.new_state(f"{member}") for member in sorted(component)}
+        if linearity.right_linear:
+            for member in component:
+                for production in self.grammar.productions_for(member):
+                    rhs = production.rhs
+                    member_positions = [i for i, s in enumerate(rhs) if s in component]
+                    if member_positions:
+                        position = member_positions[-1]
+                        prefix, last = rhs[:position], rhs[position]
+                        # Strong regularity guarantees the member is the last symbol.
+                        self.make_fa(member_state[member], prefix, member_state[last])
+                    else:
+                        self.make_fa(member_state[member], rhs, target)
+            self.add_edge(source, None, member_state[nonterminal])
+        else:
+            # Left-linear component (the symmetric construction).
+            for member in component:
+                for production in self.grammar.productions_for(member):
+                    rhs = production.rhs
+                    member_positions = [i for i, s in enumerate(rhs) if s in component]
+                    if member_positions:
+                        position = member_positions[0]
+                        first, suffix = rhs[position], rhs[position + 1 :]
+                        self.make_fa(member_state[first], suffix, member_state[member])
+                    else:
+                        self.make_fa(source, rhs, member_state[member])
+            self.add_edge(member_state[nonterminal], None, target)
+
+
+def strongly_regular_to_nfa(grammar: Grammar) -> NFA:
+    """Exact NFA for a strongly regular grammar.
+
+    Raises :class:`LanguageAnalysisError` if the grammar is not strongly
+    regular (use :func:`regular_envelope` in that case).
+    """
+    reduced = reduce_grammar(grammar)
+    if not reduced.productions:
+        return NFA({0}, grammar.terminals, {}, 0, set())
+    if not is_strongly_regular(reduced):
+        raise LanguageAnalysisError("grammar is not strongly regular")
+    builder = _FABuilder(reduced)
+    start = builder.new_state("start")
+    accept = builder.new_state("accept")
+    builder.make_fa(start, (reduced.start,), accept)
+    return NFA(builder.states, reduced.terminals, builder.transitions, start, {accept})
+
+
+# ----------------------------------------------------------------------
+# Mohri–Nederhof superset transformation
+# ----------------------------------------------------------------------
+def mohri_nederhof_transform(grammar: Grammar) -> Grammar:
+    """Transform an arbitrary grammar into a strongly regular superset grammar.
+
+    Every mutually recursive set that violates the strong-regularity
+    condition is rewritten: each member ``A`` gets a companion ``A'``
+    (written ``A__cont``), and each production ``A -> α0 B1 α1 ... Bk αk``
+    (``Bi`` in the component) is flattened into right-linear pieces::
+
+        A   -> α0 B1
+        B1' -> α1 B2 ... Bk' -> αk A'
+
+    with ``A -> α0 A'`` when ``k = 0`` and ``A' -> ε`` closing the loop.
+    The resulting language contains the original one.
+    """
+    reduced = reduce_grammar(grammar)
+    if not reduced.productions:
+        return reduced
+    components = mutually_recursive_sets(reduced)
+    bad_components = [
+        component
+        for component in components
+        if not component_linearity(reduced, component).strongly_regular
+    ]
+    if not bad_components:
+        return reduced
+
+    continuation: Dict[str, str] = {}
+    new_productions: List[Production] = []
+    bad_members: Set[str] = set()
+    for component in bad_components:
+        for member in component:
+            bad_members.add(member)
+            continuation[member] = f"{member}__cont"
+
+    for production in reduced.productions:
+        lhs = production.lhs
+        if lhs not in bad_members:
+            new_productions.append(production)
+            continue
+        component = next(c for c in bad_components if lhs in c)
+        rhs = production.rhs
+        member_positions = [i for i, symbol in enumerate(rhs) if symbol in component]
+        if not member_positions:
+            new_productions.append(Production(lhs, rhs + (continuation[lhs],)))
+            continue
+        # A -> alpha0 B1
+        first_position = member_positions[0]
+        new_productions.append(
+            Production(lhs, rhs[:first_position] + (rhs[first_position],))
+        )
+        # Bi' -> alpha_i B_{i+1}
+        for left_index, right_index in zip(member_positions, member_positions[1:]):
+            segment = rhs[left_index + 1 : right_index]
+            new_productions.append(
+                Production(
+                    continuation[rhs[left_index]], segment + (rhs[right_index],)
+                )
+            )
+        # Bk' -> alpha_k A'
+        last_position = member_positions[-1]
+        new_productions.append(
+            Production(
+                continuation[rhs[last_position]],
+                rhs[last_position + 1 :] + (continuation[lhs],),
+            )
+        )
+
+    for member in sorted(bad_members):
+        new_productions.append(Production(continuation[member], ()))
+
+    nonterminals = set(reduced.nonterminals) | set(continuation.values())
+    return Grammar(nonterminals, reduced.terminals, new_productions, reduced.start)
+
+
+@dataclass(frozen=True)
+class RegularEnvelope:
+    """A regular superset of a context-free language (exact when possible)."""
+
+    nfa: NFA
+    exact: bool
+    method: str
+
+
+def regular_envelope(grammar: Grammar) -> RegularEnvelope:
+    """A finite automaton ``A`` with ``L(grammar) ⊆ L(A)``.
+
+    The automaton is exact (``L(A) = L(grammar)``) when the grammar is
+    strongly regular; otherwise the Mohri–Nederhof transformation is applied
+    first and the automaton recognises a proper superset in general.
+    """
+    reduced = reduce_grammar(grammar)
+    if is_strongly_regular(reduced):
+        return RegularEnvelope(strongly_regular_to_nfa(reduced), True, "strongly-regular exact")
+    transformed = mohri_nederhof_transform(reduced)
+    return RegularEnvelope(
+        strongly_regular_to_nfa(transformed), False, "Mohri–Nederhof superset approximation"
+    )

@@ -1,0 +1,204 @@
+"""Context-free grammars.
+
+Section 3 of the paper associates a context-free grammar ``G(H)`` with every
+chain program ``H``: IDB predicates become nonterminals, EDB predicates
+become terminals, the goal predicate becomes the start symbol.  This module
+provides the grammar data structure that the rest of the library analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ValidationError
+from repro.languages.alphabet import Word
+
+
+@dataclass(frozen=True)
+class Production:
+    """A production ``lhs -> rhs`` where ``rhs`` is a (possibly empty) symbol sequence."""
+
+    lhs: str
+    rhs: Tuple[str, ...]
+
+    def __init__(self, lhs: str, rhs: Sequence[str]):
+        object.__setattr__(self, "lhs", lhs)
+        object.__setattr__(self, "rhs", tuple(rhs))
+
+    def is_epsilon(self) -> bool:
+        """True if the right-hand side is empty."""
+        return not self.rhs
+
+    def __str__(self) -> str:
+        rhs = " ".join(self.rhs) if self.rhs else "ε"
+        return f"{self.lhs} -> {rhs}"
+
+
+@dataclass(frozen=True)
+class Grammar:
+    """An immutable context-free grammar."""
+
+    nonterminals: FrozenSet[str]
+    terminals: FrozenSet[str]
+    productions: Tuple[Production, ...]
+    start: str
+
+    def __init__(
+        self,
+        nonterminals: Iterable[str],
+        terminals: Iterable[str],
+        productions: Iterable[Production],
+        start: str,
+    ):
+        object.__setattr__(self, "nonterminals", frozenset(nonterminals))
+        object.__setattr__(self, "terminals", frozenset(terminals))
+        object.__setattr__(self, "productions", tuple(productions))
+        object.__setattr__(self, "start", start)
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.nonterminals & self.terminals:
+            overlap = sorted(self.nonterminals & self.terminals)
+            raise ValidationError(f"symbols used as both terminal and nonterminal: {overlap}")
+        if self.start not in self.nonterminals:
+            raise ValidationError(f"start symbol {self.start!r} is not a nonterminal")
+        for production in self.productions:
+            if production.lhs not in self.nonterminals:
+                raise ValidationError(f"production head {production.lhs!r} is not a nonterminal")
+            for symbol in production.rhs:
+                if symbol not in self.nonterminals and symbol not in self.terminals:
+                    raise ValidationError(
+                        f"unknown symbol {symbol!r} in production {production}"
+                    )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_productions(
+        cls,
+        productions: Iterable[Tuple[str, Sequence[str]]],
+        start: str,
+        terminals: Optional[Iterable[str]] = None,
+    ) -> "Grammar":
+        """Build a grammar from ``(lhs, rhs)`` pairs.
+
+        If *terminals* is not given, every right-hand-side symbol that never
+        occurs as a left-hand side is treated as a terminal.
+        """
+        production_objects = [Production(lhs, rhs) for lhs, rhs in productions]
+        nonterminals = {production.lhs for production in production_objects}
+        nonterminals.add(start)
+        if terminals is None:
+            terminal_set = {
+                symbol
+                for production in production_objects
+                for symbol in production.rhs
+                if symbol not in nonterminals
+            }
+        else:
+            terminal_set = set(terminals)
+        return cls(nonterminals, terminal_set, production_objects, start)
+
+    # ------------------------------------------------------------------
+    def productions_for(self, nonterminal: str) -> Tuple[Production, ...]:
+        """Productions whose left-hand side is *nonterminal*."""
+        return tuple(p for p in self.productions if p.lhs == nonterminal)
+
+    def is_terminal(self, symbol: str) -> bool:
+        return symbol in self.terminals
+
+    def is_nonterminal(self, symbol: str) -> bool:
+        return symbol in self.nonterminals
+
+    def has_epsilon_productions(self) -> bool:
+        """True if some production has an empty right-hand side."""
+        return any(p.is_epsilon() for p in self.productions)
+
+    def with_start(self, start: str) -> "Grammar":
+        """Return a copy with a different start symbol (must already be a nonterminal)."""
+        return Grammar(self.nonterminals, self.terminals, self.productions, start)
+
+    def with_productions(self, productions: Iterable[Production]) -> "Grammar":
+        """Return a grammar with the given production set (symbols recomputed)."""
+        production_list = list(productions)
+        nonterminals = {p.lhs for p in production_list} | {self.start}
+        terminals = {
+            symbol
+            for production in production_list
+            for symbol in production.rhs
+            if symbol not in nonterminals
+        }
+        return Grammar(nonterminals, terminals, production_list, self.start)
+
+    def fresh_nonterminal(self, base: str) -> str:
+        """A nonterminal name based on *base* not already used by the grammar."""
+        if base not in self.nonterminals and base not in self.terminals:
+            return base
+        index = 1
+        while f"{base}_{index}" in self.nonterminals or f"{base}_{index}" in self.terminals:
+            index += 1
+        return f"{base}_{index}"
+
+    def production_map(self) -> Dict[str, List[Tuple[str, ...]]]:
+        """Mapping from nonterminal to the list of its right-hand sides."""
+        mapping: Dict[str, List[Tuple[str, ...]]] = {n: [] for n in self.nonterminals}
+        for production in self.productions:
+            mapping[production.lhs].append(production.rhs)
+        return mapping
+
+    def __str__(self) -> str:
+        lines = [f"start: {self.start}"]
+        lines.extend(str(p) for p in self.productions)
+        return "\n".join(lines)
+
+
+def parse_grammar(text: str, start: Optional[str] = None) -> Grammar:
+    """Parse a grammar from text.
+
+    Each non-empty, non-comment line reads ``A -> X Y Z`` or ``A -> X | Y Z``.
+    ``ε`` (or ``epsilon``) denotes the empty right-hand side.  The start
+    symbol defaults to the left-hand side of the first production.
+    """
+    productions: List[Tuple[str, Tuple[str, ...]]] = []
+    first_lhs: Optional[str] = None
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if "->" not in line:
+            raise ValidationError(f"cannot parse grammar line: {raw_line!r}")
+        lhs, _, rhs_text = line.partition("->")
+        lhs = lhs.strip()
+        if first_lhs is None:
+            first_lhs = lhs
+        for alternative in rhs_text.split("|"):
+            symbols = tuple(
+                symbol
+                for symbol in alternative.split()
+                if symbol not in ("ε", "epsilon", "eps")
+            )
+            productions.append((lhs, symbols))
+    if first_lhs is None:
+        raise ValidationError("grammar text contains no productions")
+    return Grammar.from_productions(productions, start or first_lhs)
+
+
+def format_grammar(grammar: Grammar) -> str:
+    """Render a grammar grouped by nonterminal, start symbol first."""
+    mapping = grammar.production_map()
+    order = [grammar.start] + sorted(n for n in mapping if n != grammar.start)
+    lines = []
+    for nonterminal in order:
+        alternatives = mapping.get(nonterminal, [])
+        if not alternatives:
+            continue
+        rendered = " | ".join(" ".join(rhs) if rhs else "ε" for rhs in alternatives)
+        lines.append(f"{nonterminal} -> {rendered}")
+    return "\n".join(lines)
+
+
+def derives_word(grammar: Grammar, sentence: Word) -> bool:
+    """Convenience wrapper around CYK membership (see :mod:`cfg_analysis`)."""
+    from repro.languages.cfg_analysis import cfg_membership
+
+    return cfg_membership(grammar, sentence)

@@ -1,0 +1,279 @@
+"""Structural properties of context-free grammars bearing on regularity.
+
+CFL regularity is undecidable (this is what makes Theorem 3.3(1) a lower
+bound), but several *decidable sufficient conditions* are classical:
+
+* a left-linear or right-linear grammar generates a regular language;
+* a **non-self-embedding** grammar generates a regular language (Chomsky);
+* a **strongly regular** grammar in the sense of Mohri and Nederhof (every
+  mutually recursive nonterminal set is uniformly left- or right-linear with
+  respect to itself) generates a regular language, and an equivalent finite
+  automaton can be constructed directly;
+* every context-free language over a **one-letter alphabet** is regular
+  (Parikh's theorem).
+
+These checks power the `PROPAGATABLE` side of the selection-propagation
+decision procedure; when none applies the procedure reports `UNKNOWN`,
+which is exactly the undecidable frontier the paper identifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.languages.cfg import Grammar, Production
+from repro.languages.cfg_transforms import reduce_grammar
+
+
+# ----------------------------------------------------------------------
+# Linearity
+# ----------------------------------------------------------------------
+def is_left_linear(grammar: Grammar) -> bool:
+    """Every production has at most one nonterminal, and it is the first symbol."""
+    for production in grammar.productions:
+        nonterminal_positions = [
+            index for index, symbol in enumerate(production.rhs) if symbol in grammar.nonterminals
+        ]
+        if len(nonterminal_positions) > 1:
+            return False
+        if nonterminal_positions and nonterminal_positions[0] != 0:
+            return False
+    return True
+
+
+def is_right_linear(grammar: Grammar) -> bool:
+    """Every production has at most one nonterminal, and it is the last symbol."""
+    for production in grammar.productions:
+        nonterminal_positions = [
+            index for index, symbol in enumerate(production.rhs) if symbol in grammar.nonterminals
+        ]
+        if len(nonterminal_positions) > 1:
+            return False
+        if nonterminal_positions and nonterminal_positions[0] != len(production.rhs) - 1:
+            return False
+    return True
+
+
+def is_linear(grammar: Grammar) -> bool:
+    """Every production has at most one nonterminal (anywhere in the right-hand side)."""
+    for production in grammar.productions:
+        count = sum(1 for symbol in production.rhs if symbol in grammar.nonterminals)
+        if count > 1:
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Self-embedding
+# ----------------------------------------------------------------------
+def is_self_embedding(grammar: Grammar) -> bool:
+    """True if some useful nonterminal ``A`` satisfies ``A ⇒+ αAβ`` with ``α, β ≠ ε``.
+
+    By Chomsky's theorem a grammar that is *not* self-embedding generates a
+    regular language.  The check computes, for each ordered pair of
+    nonterminals ``(A, B)``, whether ``A ⇒+ αBβ`` together with flags telling
+    whether something can appear to the left (``α`` non-empty) and to the
+    right (``β`` non-empty) of ``B``; the flags are propagated transitively.
+    """
+    reduced = reduce_grammar(grammar)
+    if not reduced.productions:
+        return False
+
+    # relation[(A, B)] = set of (left_nonempty, right_nonempty) flag pairs
+    relation: Dict[Tuple[str, str], Set[Tuple[bool, bool]]] = {}
+
+    def add(a: str, b: str, flags: Tuple[bool, bool]) -> bool:
+        existing = relation.setdefault((a, b), set())
+        if flags in existing:
+            return False
+        existing.add(flags)
+        return True
+
+    # One-step relation from productions.
+    for production in reduced.productions:
+        rhs = production.rhs
+        for index, symbol in enumerate(rhs):
+            if symbol in reduced.nonterminals:
+                add(production.lhs, symbol, (index > 0, index < len(rhs) - 1))
+
+    changed = True
+    while changed:
+        changed = False
+        snapshot = {key: frozenset(value) for key, value in relation.items()}
+        for (a, b), flag_set in snapshot.items():
+            for (b2, c), flag_set2 in snapshot.items():
+                if b2 != b:
+                    continue
+                for left1, right1 in flag_set:
+                    for left2, right2 in flag_set2:
+                        if add(a, c, (left1 or left2, right1 or right2)):
+                            changed = True
+
+    return any((True, True) in flags for (a, b), flags in relation.items() if a == b)
+
+
+# ----------------------------------------------------------------------
+# Strong regularity (Mohri–Nederhof)
+# ----------------------------------------------------------------------
+def mutually_recursive_sets(grammar: Grammar) -> List[FrozenSet[str]]:
+    """Strongly connected components of the nonterminal "uses" graph."""
+    adjacency: Dict[str, Set[str]] = {n: set() for n in grammar.nonterminals}
+    for production in grammar.productions:
+        for symbol in production.rhs:
+            if symbol in grammar.nonterminals:
+                adjacency[production.lhs].add(symbol)
+
+    index_counter = [0]
+    stack: List[str] = []
+    lowlink: Dict[str, int] = {}
+    index: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    components: List[FrozenSet[str]] = []
+
+    def strong_connect(node: str) -> None:
+        index[node] = index_counter[0]
+        lowlink[node] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        for successor in adjacency.get(node, ()):  # pragma: no branch
+            if successor not in index:
+                strong_connect(successor)
+                lowlink[node] = min(lowlink[node], lowlink[successor])
+            elif successor in on_stack:
+                lowlink[node] = min(lowlink[node], index[successor])
+        if lowlink[node] == index[node]:
+            component = set()
+            while True:
+                member = stack.pop()
+                on_stack.discard(member)
+                component.add(member)
+                if member == node:
+                    break
+            components.append(frozenset(component))
+
+    for node in sorted(grammar.nonterminals):
+        if node not in index:
+            strong_connect(node)
+    return components
+
+
+def _is_recursive_component(grammar: Grammar, component: FrozenSet[str]) -> bool:
+    if len(component) > 1:
+        return True
+    (node,) = component
+    for production in grammar.productions_for(node):
+        if node in production.rhs:
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class ComponentLinearity:
+    """How one mutually recursive nonterminal set uses its own members."""
+
+    component: FrozenSet[str]
+    recursive: bool
+    right_linear: bool
+    left_linear: bool
+
+    @property
+    def strongly_regular(self) -> bool:
+        return (not self.recursive) or self.right_linear or self.left_linear
+
+
+def component_linearity(grammar: Grammar, component: FrozenSet[str]) -> ComponentLinearity:
+    """Classify how productions of a component place component nonterminals."""
+    recursive = _is_recursive_component(grammar, component)
+    right_linear = True
+    left_linear = True
+    for production in grammar.productions:
+        if production.lhs not in component:
+            continue
+        member_positions = [
+            index for index, symbol in enumerate(production.rhs) if symbol in component
+        ]
+        if not member_positions:
+            continue
+        if len(member_positions) > 1:
+            right_linear = False
+            left_linear = False
+            continue
+        position = member_positions[0]
+        if position != len(production.rhs) - 1:
+            right_linear = False
+        if position != 0:
+            left_linear = False
+    return ComponentLinearity(component, recursive, right_linear, left_linear)
+
+
+def is_strongly_regular(grammar: Grammar) -> bool:
+    """Mohri–Nederhof condition: each recursive component is uniformly left- or right-linear.
+
+    Strongly regular grammars generate regular languages and admit an exact
+    finite-automaton construction (see :mod:`repro.languages.approximation`).
+    """
+    reduced = reduce_grammar(grammar)
+    if not reduced.productions:
+        return True
+    return all(
+        component_linearity(reduced, component).strongly_regular
+        for component in mutually_recursive_sets(reduced)
+    )
+
+
+def is_unary_alphabet(grammar: Grammar) -> bool:
+    """True if the (reduced) grammar uses at most one terminal symbol.
+
+    By Parikh's theorem every context-free language over a one-letter
+    alphabet is regular; this is the argument the paper's Section 6 uses for
+    chain programs with a single EDB predicate.
+    """
+    reduced = reduce_grammar(grammar)
+    used_terminals = {
+        symbol
+        for production in reduced.productions
+        for symbol in production.rhs
+        if symbol in reduced.terminals
+    }
+    return len(used_terminals) <= 1
+
+
+@dataclass(frozen=True)
+class RegularityEvidence:
+    """A decidable certificate that a grammar's language is regular (or none)."""
+
+    regular: Optional[bool]
+    reason: str
+
+    @classmethod
+    def unknown(cls, reason: str = "no decidable criterion applied") -> "RegularityEvidence":
+        return cls(None, reason)
+
+
+def regularity_evidence(grammar: Grammar) -> RegularityEvidence:
+    """Apply the decidable sufficient conditions for regularity in order.
+
+    Returns evidence with ``regular=True`` and the criterion used, or
+    ``regular=None`` when no criterion applies (the undecidable frontier:
+    the answer may be either way).  The function never returns
+    ``regular=False`` — non-regularity cannot be certified structurally.
+    """
+    from repro.languages.cfg_analysis import is_finite_language
+
+    if is_finite_language(grammar):
+        return RegularityEvidence(True, "finite language")
+    if is_left_linear(grammar):
+        return RegularityEvidence(True, "left-linear grammar")
+    if is_right_linear(grammar):
+        return RegularityEvidence(True, "right-linear grammar")
+    if is_strongly_regular(grammar):
+        return RegularityEvidence(True, "strongly regular grammar (Mohri–Nederhof)")
+    if not is_self_embedding(grammar):
+        return RegularityEvidence(True, "non-self-embedding grammar (Chomsky)")
+    if is_unary_alphabet(grammar):
+        return RegularityEvidence(True, "unary terminal alphabet (Parikh)")
+    return RegularityEvidence.unknown(
+        "grammar is self-embedding and not strongly regular; regularity is undecidable in general"
+    )

@@ -1,0 +1,245 @@
+"""Standard context-free grammar transformations.
+
+Reduction (removal of useless symbols), ε-elimination, unit elimination, and
+conversion to Chomsky normal form.  These are the textbook constructions from
+Hopcroft & Ullman (reference [20] of the paper); the decision procedures in
+:mod:`repro.languages.cfg_analysis` build on them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.errors import LanguageAnalysisError
+from repro.languages.cfg import Grammar, Production
+
+
+# ----------------------------------------------------------------------
+# Useless-symbol removal
+# ----------------------------------------------------------------------
+def generating_nonterminals(grammar: Grammar) -> FrozenSet[str]:
+    """Nonterminals that derive at least one terminal string."""
+    generating: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for production in grammar.productions:
+            if production.lhs in generating:
+                continue
+            if all(
+                symbol in grammar.terminals or symbol in generating for symbol in production.rhs
+            ):
+                generating.add(production.lhs)
+                changed = True
+    return frozenset(generating)
+
+
+def reachable_symbols(grammar: Grammar) -> FrozenSet[str]:
+    """Symbols reachable from the start symbol."""
+    reachable: Set[str] = {grammar.start}
+    frontier = [grammar.start]
+    production_map = grammar.production_map()
+    while frontier:
+        symbol = frontier.pop()
+        for rhs in production_map.get(symbol, ()):
+            for child in rhs:
+                if child not in reachable:
+                    reachable.add(child)
+                    if child in grammar.nonterminals:
+                        frontier.append(child)
+    return frozenset(reachable)
+
+
+def reduce_grammar(grammar: Grammar) -> Grammar:
+    """Remove non-generating and unreachable symbols (in that order).
+
+    If the start symbol itself is not generating, the result is a grammar
+    with the start symbol and no productions (its language is empty).
+    """
+    generating = generating_nonterminals(grammar)
+    if grammar.start not in generating:
+        return Grammar({grammar.start}, frozenset(), (), grammar.start)
+    kept = [
+        production
+        for production in grammar.productions
+        if production.lhs in generating
+        and all(
+            symbol in grammar.terminals or symbol in generating for symbol in production.rhs
+        )
+    ]
+    intermediate = Grammar(
+        generating, grammar.terminals, kept, grammar.start
+    )
+    reachable = reachable_symbols(intermediate)
+    final_productions = [
+        production
+        for production in intermediate.productions
+        if production.lhs in reachable
+        and all(symbol in reachable for symbol in production.rhs)
+    ]
+    nonterminals = {s for s in reachable if s in intermediate.nonterminals} | {grammar.start}
+    terminals = {s for s in reachable if s in grammar.terminals}
+    return Grammar(nonterminals, terminals, final_productions, grammar.start)
+
+
+# ----------------------------------------------------------------------
+# ε-elimination
+# ----------------------------------------------------------------------
+def nullable_nonterminals(grammar: Grammar) -> FrozenSet[str]:
+    """Nonterminals that derive the empty word."""
+    nullable: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for production in grammar.productions:
+            if production.lhs in nullable:
+                continue
+            if all(symbol in nullable for symbol in production.rhs):
+                nullable.add(production.lhs)
+                changed = True
+    return frozenset(nullable)
+
+
+def eliminate_epsilon(grammar: Grammar) -> Tuple[Grammar, bool]:
+    """Remove ε-productions.
+
+    Returns the new grammar and a flag telling whether the original language
+    contained the empty word (the new grammar never generates ε).
+    """
+    nullable = nullable_nonterminals(grammar)
+    start_nullable = grammar.start in nullable
+    new_productions: Set[Production] = set()
+    for production in grammar.productions:
+        rhs = production.rhs
+        nullable_positions = [i for i, symbol in enumerate(rhs) if symbol in nullable]
+        # Enumerate all subsets of nullable positions to drop.
+        count = len(nullable_positions)
+        if count > 16:
+            raise LanguageAnalysisError(
+                f"too many nullable symbols in one production ({count}) for ε-elimination"
+            )
+        for mask in range(1 << count):
+            dropped = {
+                nullable_positions[bit] for bit in range(count) if mask & (1 << bit)
+            }
+            new_rhs = tuple(symbol for i, symbol in enumerate(rhs) if i not in dropped)
+            if new_rhs:
+                new_productions.add(Production(production.lhs, new_rhs))
+    result = Grammar(
+        grammar.nonterminals, grammar.terminals, sorted(new_productions, key=str), grammar.start
+    )
+    return result, start_nullable
+
+
+# ----------------------------------------------------------------------
+# Unit elimination
+# ----------------------------------------------------------------------
+def eliminate_unit_productions(grammar: Grammar) -> Grammar:
+    """Remove productions of the form ``A -> B`` with ``B`` a nonterminal.
+
+    Assumes ε-productions have already been removed.
+    """
+    unit_pairs: Set[Tuple[str, str]] = {(n, n) for n in grammar.nonterminals}
+    changed = True
+    while changed:
+        changed = False
+        for production in grammar.productions:
+            if len(production.rhs) == 1 and production.rhs[0] in grammar.nonterminals:
+                for (a, b) in list(unit_pairs):
+                    if b == production.lhs and (a, production.rhs[0]) not in unit_pairs:
+                        unit_pairs.add((a, production.rhs[0]))
+                        changed = True
+    new_productions: Set[Production] = set()
+    for (a, b) in unit_pairs:
+        for production in grammar.productions_for(b):
+            if len(production.rhs) == 1 and production.rhs[0] in grammar.nonterminals:
+                continue
+            new_productions.add(Production(a, production.rhs))
+    return Grammar(
+        grammar.nonterminals, grammar.terminals, sorted(new_productions, key=str), grammar.start
+    )
+
+
+# ----------------------------------------------------------------------
+# Chomsky normal form
+# ----------------------------------------------------------------------
+def to_chomsky_normal_form(grammar: Grammar) -> Tuple[Grammar, bool]:
+    """Convert to Chomsky normal form.
+
+    Returns ``(cnf_grammar, accepts_epsilon)``.  The CNF grammar never
+    generates ε; if the original language contains the empty word the flag
+    records it.  The grammar is reduced first, so an empty language yields a
+    grammar with no productions.
+    """
+    reduced = reduce_grammar(grammar)
+    if not reduced.productions:
+        nullable = grammar.start in nullable_nonterminals(grammar)
+        return reduced, nullable
+    no_epsilon, accepts_epsilon = eliminate_epsilon(reduced)
+    no_units = eliminate_unit_productions(no_epsilon)
+    no_units = reduce_grammar(no_units)
+
+    # Replace terminals in long right-hand sides with dedicated nonterminals.
+    terminal_alias: Dict[str, str] = {}
+    productions: List[Production] = []
+    used_names: Set[str] = set(no_units.nonterminals) | set(no_units.terminals)
+
+    def alias_for(terminal: str) -> str:
+        if terminal not in terminal_alias:
+            base = f"T_{terminal}"
+            name = base
+            index = 1
+            while name in used_names:
+                name = f"{base}_{index}"
+                index += 1
+            used_names.add(name)
+            terminal_alias[terminal] = name
+        return terminal_alias[terminal]
+
+    long_productions: List[Production] = []
+    for production in no_units.productions:
+        rhs = production.rhs
+        if len(rhs) == 1:
+            productions.append(production)
+            continue
+        new_rhs = tuple(
+            alias_for(symbol) if symbol in no_units.terminals else symbol for symbol in rhs
+        )
+        long_productions.append(Production(production.lhs, new_rhs))
+    for terminal, alias in terminal_alias.items():
+        productions.append(Production(alias, (terminal,)))
+
+    # Binarize long right-hand sides.
+    counter = [0]
+
+    def fresh(base: str) -> str:
+        while True:
+            counter[0] += 1
+            name = f"{base}_{counter[0]}"
+            if name not in used_names:
+                used_names.add(name)
+                return name
+
+    for production in long_productions:
+        rhs = production.rhs
+        if len(rhs) == 2:
+            productions.append(production)
+            continue
+        current_lhs = production.lhs
+        remaining = list(rhs)
+        while len(remaining) > 2:
+            first = remaining.pop(0)
+            continuation = fresh(f"{production.lhs}_bin")
+            productions.append(Production(current_lhs, (first, continuation)))
+            current_lhs = continuation
+        productions.append(Production(current_lhs, tuple(remaining)))
+
+    nonterminals = {p.lhs for p in productions} | {no_units.start}
+    terminals = {
+        symbol
+        for p in productions
+        for symbol in p.rhs
+        if symbol not in nonterminals
+    }
+    cnf = Grammar(nonterminals, terminals, productions, no_units.start)
+    return reduce_grammar(cnf), accepts_epsilon

@@ -1,0 +1,99 @@
+"""Intersection of a context-free language with a regular language (Bar-Hillel).
+
+The intersection of a CFL with a regular language is context free, and the
+construction is effective.  Two consequences used by the reproduction:
+
+* ``L(G) ⊆ L(A)`` is decidable whenever ``A`` is a finite automaton
+  (``L(G) ∩ complement(L(A)) = ∅`` and CFL emptiness is decidable) — this is
+  the decidable fragment of chain-program containment exploited for
+  Proposition 8.1 and by the equivalence checker;
+* the exact part of a language captured by a regular envelope can be
+  inspected (e.g. which short strings of the envelope are genuine).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.languages.cfg import Grammar, Production
+from repro.languages.cfg_analysis import is_empty_language, shortest_word
+from repro.languages.cfg_transforms import reduce_grammar, to_chomsky_normal_form
+from repro.languages.regular.dfa import DFA
+from repro.languages.regular.operations import dfa_complement
+from repro.languages.alphabet import Word
+
+
+def intersect_grammar_dfa(grammar: Grammar, dfa: DFA) -> Grammar:
+    """The Bar-Hillel "triple" construction for ``L(grammar) ∩ L(dfa)``.
+
+    The grammar is first brought to Chomsky normal form (so right-hand sides
+    have length at most two and the construction stays polynomial in the
+    number of automaton states); the empty word is handled separately.
+    """
+    cnf, accepts_epsilon = to_chomsky_normal_form(grammar)
+    total = dfa.complete(set(cnf.terminals) | set(dfa.alphabet))
+    states = sorted(total.states, key=repr)
+
+    def triple(state_in: object, symbol: str, state_out: object) -> str:
+        return f"[{state_in!r},{symbol},{state_out!r}]"
+
+    productions: List[Production] = []
+    start = "S_intersect"
+
+    for accept_state in total.accepting:
+        productions.append(
+            Production(start, (triple(total.start, cnf.start, accept_state),))
+        )
+    if accepts_epsilon and total.start in total.accepting:
+        productions.append(Production(start, ()))
+
+    for production in cnf.productions:
+        lhs = production.lhs
+        rhs = production.rhs
+        if len(rhs) == 1 and rhs[0] in cnf.terminals:
+            symbol = rhs[0]
+            for state in states:
+                target = total.delta(state, symbol)
+                if target is not None:
+                    productions.append(Production(triple(state, lhs, target), (symbol,)))
+        elif len(rhs) == 2:
+            left_symbol, right_symbol = rhs
+            for state_in in states:
+                for middle in states:
+                    for state_out in states:
+                        productions.append(
+                            Production(
+                                triple(state_in, lhs, state_out),
+                                (
+                                    triple(state_in, left_symbol, middle),
+                                    triple(middle, right_symbol, state_out),
+                                ),
+                            )
+                        )
+    nonterminals = {p.lhs for p in productions} | {start}
+    for production in productions:
+        for symbol in production.rhs:
+            if symbol.startswith("[") and symbol.endswith("]"):
+                nonterminals.add(symbol)
+    terminals = set(cnf.terminals)
+    result = Grammar(nonterminals, terminals, productions, start)
+    return reduce_grammar(result)
+
+
+def cfl_intersects_regular(grammar: Grammar, dfa: DFA) -> bool:
+    """Is ``L(grammar) ∩ L(dfa)`` non-empty?"""
+    return not is_empty_language(intersect_grammar_dfa(grammar, dfa))
+
+
+def cfl_subset_of_regular(grammar: Grammar, dfa: DFA) -> Tuple[bool, Optional[Word]]:
+    """Decide ``L(grammar) ⊆ L(dfa)``.
+
+    Returns ``(True, None)`` or ``(False, witness)`` where the witness is a
+    shortest word of ``L(grammar) - L(dfa)``.
+    """
+    alphabet = set(grammar.terminals) | set(dfa.alphabet)
+    complement = dfa_complement(dfa, alphabet)
+    difference = intersect_grammar_dfa(grammar, complement)
+    if is_empty_language(difference):
+        return True, None
+    return False, shortest_word(difference)

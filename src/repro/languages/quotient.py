@@ -1,0 +1,109 @@
+"""Language quotients in the sense of Section 7 of the paper.
+
+The quotient of a context-free language ``L`` by a regular language ``R`` is
+
+    ``L / R = { x | there is a string y in R such that xy is in L }``.
+
+Computing the quotient of a CFL exactly yields another CFL; the paper's
+observation is that *it often happens that the quotients L(H)/R are
+regular*, and that when they are (or when a regular envelope is used
+instead) they correspond to monadic "magic" programs.  This module offers:
+
+* the exact regular/regular quotient (always regular);
+* the envelope quotient ``R(H)/R`` recommended by the paper when ``L(H)``
+  itself has no regular certificate;
+* a bounded membership oracle for the exact CFL/regular quotient, used by
+  tests to confirm that the regular quotients computed here agree with the
+  definition on all short strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.languages.alphabet import Word
+from repro.languages.approximation import RegularEnvelope, regular_envelope
+from repro.languages.cfg import Grammar
+from repro.languages.cfg_analysis import cfg_membership, strings_of_length
+from repro.languages.regular.dfa import DFA
+from repro.languages.regular.nfa import NFA
+from repro.languages.regular.operations import right_quotient
+from repro.languages.regular.properties import enumerate_words
+
+
+def regular_quotient(language: DFA, divisor: NFA) -> DFA:
+    """Exact right quotient of a regular language by a regular language."""
+    return right_quotient(language, divisor)
+
+
+@dataclass(frozen=True)
+class EnvelopeQuotient:
+    """The quotient of a grammar's regular envelope by a regular divisor."""
+
+    quotient: DFA
+    envelope: RegularEnvelope
+
+    @property
+    def exact(self) -> bool:
+        """True when the envelope was exact, so the quotient equals ``L(H)/R``."""
+        return self.envelope.exact
+
+
+def envelope_quotient(grammar: Grammar, divisor: NFA) -> EnvelopeQuotient:
+    """Quotient ``R(H)/R`` where ``R(H)`` is the grammar's regular envelope.
+
+    When the grammar is strongly regular the envelope is exact and so is the
+    quotient; otherwise the result is a superset of ``L(H)/R``, which is the
+    sound direction for magic-set pruning (a larger magic set never loses
+    answers, it merely prunes less).
+    """
+    envelope = regular_envelope(grammar)
+    quotient = right_quotient(envelope.nfa.to_dfa(), divisor)
+    return EnvelopeQuotient(quotient, envelope)
+
+
+def cfl_quotient_member(
+    grammar: Grammar, divisor: NFA, prefix: Word, max_suffix_length: int = 12
+) -> Optional[bool]:
+    """Bounded membership test for the exact quotient ``L(grammar)/L(divisor)``.
+
+    Returns ``True`` if some witness suffix of length at most
+    *max_suffix_length* exists, ``False`` if provably none exists within the
+    bound **and** the divisor language is finite with all words within the
+    bound, and ``None`` when the bounded search is inconclusive.
+    """
+    from repro.languages.regular.properties import is_finite_language
+
+    witnesses = enumerate_words(divisor, max_suffix_length)
+    for suffix in witnesses:
+        if cfg_membership(grammar, tuple(prefix) + tuple(suffix)):
+            return True
+    if is_finite_language(divisor):
+        longest = max((len(word) for word in witnesses), default=0)
+        if longest <= max_suffix_length:
+            return False
+    return None
+
+
+def quotient_sample(
+    grammar: Grammar, divisor: NFA, max_prefix_length: int, max_suffix_length: int = 12
+) -> Iterable[Word]:
+    """Prefixes (up to a length bound) that belong to the exact quotient.
+
+    This enumerates candidate prefixes from the grammar's own sentential
+    prefixes (every quotient member is a prefix of a word of ``L``) and keeps
+    those with a bounded witness; used by tests and the Section 7 example.
+    """
+    members = []
+    seen = set()
+    for length in range(max_prefix_length + 1):
+        for sentence in strings_of_length(grammar, length + max_suffix_length):
+            for cut in range(min(length, len(sentence)) + 1):
+                prefix = sentence[:cut]
+                if len(prefix) > max_prefix_length or prefix in seen:
+                    continue
+                seen.add(prefix)
+                if cfl_quotient_member(grammar, divisor, prefix, max_suffix_length):
+                    members.append(prefix)
+    return sorted(set(members))

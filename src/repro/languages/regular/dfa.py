@@ -1,0 +1,134 @@
+"""Deterministic finite automata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
+
+from repro.languages.alphabet import Word
+
+DEAD_STATE = "__dead__"
+
+
+@dataclass(frozen=True)
+class DFA:
+    """A (possibly partial) DFA: missing transitions are implicitly rejecting."""
+
+    states: FrozenSet[object]
+    alphabet: FrozenSet[str]
+    transitions: Mapping[Tuple[object, str], object]
+    start: object
+    accepting: FrozenSet[object]
+
+    def __init__(
+        self,
+        states: Iterable[object],
+        alphabet: Iterable[str],
+        transitions: Mapping[Tuple[object, str], object],
+        start: object,
+        accepting: Iterable[object],
+    ):
+        object.__setattr__(self, "states", frozenset(states))
+        object.__setattr__(self, "alphabet", frozenset(alphabet))
+        object.__setattr__(self, "transitions", dict(transitions))
+        object.__setattr__(self, "start", start)
+        object.__setattr__(self, "accepting", frozenset(accepting))
+
+    # ------------------------------------------------------------------
+    def delta(self, state: object, symbol: str) -> Optional[object]:
+        """The transition function; ``None`` when undefined (implicit dead state)."""
+        return self.transitions.get((state, symbol))
+
+    def run(self, sentence: Word) -> Optional[object]:
+        """The state reached after reading the word, or ``None`` if the run dies."""
+        state = self.start
+        for symbol in sentence:
+            state = self.delta(state, symbol)
+            if state is None:
+                return None
+        return state
+
+    def accepts(self, sentence: Word) -> bool:
+        """Membership test."""
+        state = self.run(sentence)
+        return state is not None and state in self.accepting
+
+    # ------------------------------------------------------------------
+    def complete(self, alphabet: Optional[Iterable[str]] = None) -> "DFA":
+        """Return a total DFA over the (possibly extended) alphabet."""
+        symbols = set(self.alphabet)
+        if alphabet is not None:
+            symbols |= set(alphabet)
+        transitions: Dict[Tuple[object, str], object] = dict(self.transitions)
+        states: Set[object] = set(self.states)
+        needs_dead = False
+        for state in self.states:
+            for symbol in symbols:
+                if (state, symbol) not in transitions:
+                    transitions[(state, symbol)] = DEAD_STATE
+                    needs_dead = True
+        if needs_dead:
+            states.add(DEAD_STATE)
+            for symbol in symbols:
+                transitions[(DEAD_STATE, symbol)] = DEAD_STATE
+        return DFA(states, symbols, transitions, self.start, self.accepting)
+
+    def reachable(self) -> "DFA":
+        """Restrict to states reachable from the start state."""
+        seen: Set[object] = {self.start}
+        frontier = [self.start]
+        while frontier:
+            state = frontier.pop()
+            for symbol in self.alphabet:
+                target = self.delta(state, symbol)
+                if target is not None and target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        transitions = {
+            (state, symbol): target
+            for (state, symbol), target in self.transitions.items()
+            if state in seen and target in seen
+        }
+        return DFA(seen, self.alphabet, transitions, self.start, self.accepting & seen)
+
+    def renumber(self) -> "DFA":
+        """Rename states to consecutive integers (BFS order from the start state)."""
+        ordering: Dict[object, int] = {self.start: 0}
+        frontier = [self.start]
+        while frontier:
+            state = frontier.pop(0)
+            for symbol in sorted(self.alphabet):
+                target = self.delta(state, symbol)
+                if target is not None and target not in ordering:
+                    ordering[target] = len(ordering)
+                    frontier.append(target)
+        for state in sorted(self.states, key=repr):
+            if state not in ordering:
+                ordering[state] = len(ordering)
+        transitions = {
+            (ordering[state], symbol): ordering[target]
+            for (state, symbol), target in self.transitions.items()
+        }
+        return DFA(
+            ordering.values(),
+            self.alphabet,
+            transitions,
+            0,
+            {ordering[state] for state in self.accepting},
+        )
+
+    def to_nfa(self):
+        """View the DFA as an NFA."""
+        from repro.languages.regular.nfa import NFA
+
+        transitions = {
+            (state, symbol): {target} for (state, symbol), target in self.transitions.items()
+        }
+        return NFA(self.states, self.alphabet, transitions, self.start, self.accepting)
+
+    def with_accepting(self, accepting: Iterable[object]) -> "DFA":
+        """Return a copy with a different accepting set."""
+        return DFA(self.states, self.alphabet, self.transitions, self.start, accepting)
+
+    def __len__(self) -> int:
+        return len(self.states)

@@ -1,0 +1,44 @@
+"""Equivalence and inclusion of regular languages."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from repro.languages.alphabet import Word
+from repro.languages.regular.dfa import DFA
+from repro.languages.regular.nfa import NFA
+from repro.languages.regular.operations import dfa_difference, dfa_symmetric_difference
+from repro.languages.regular.properties import is_empty_language, shortest_accepted_word
+
+Automaton = Union[DFA, NFA]
+
+
+def _as_dfa(automaton: Automaton) -> DFA:
+    if isinstance(automaton, DFA):
+        return automaton
+    return automaton.to_dfa()
+
+
+def is_subset(left: Automaton, right: Automaton) -> bool:
+    """``L(left) ⊆ L(right)``."""
+    return is_empty_language(dfa_difference(_as_dfa(left), _as_dfa(right)))
+
+
+def is_equivalent(left: Automaton, right: Automaton) -> bool:
+    """``L(left) = L(right)``."""
+    return is_empty_language(dfa_symmetric_difference(_as_dfa(left), _as_dfa(right)))
+
+
+def difference_witness(left: Automaton, right: Automaton) -> Optional[Word]:
+    """A shortest word in exactly one of the two languages, or ``None`` if equal."""
+    return shortest_accepted_word(dfa_symmetric_difference(_as_dfa(left), _as_dfa(right)))
+
+
+def containment_witness(left: Automaton, right: Automaton) -> Optional[Word]:
+    """A shortest word of ``L(left) - L(right)``, or ``None`` if contained."""
+    return shortest_accepted_word(dfa_difference(_as_dfa(left), _as_dfa(right)))
+
+
+def compare(left: Automaton, right: Automaton) -> Tuple[bool, bool]:
+    """Return ``(left ⊆ right, right ⊆ left)``."""
+    return is_subset(left, right), is_subset(right, left)

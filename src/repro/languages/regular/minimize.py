@@ -1,0 +1,67 @@
+"""DFA minimisation (Moore's partition refinement)."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.languages.regular.dfa import DFA
+
+
+def minimize_dfa(dfa: DFA) -> DFA:
+    """Return the minimal DFA for ``L(dfa)``.
+
+    The input is first completed and restricted to reachable states; the
+    classical partition-refinement algorithm then merges equivalent states.
+    The result is renumbered canonically (BFS from the start state), so two
+    equivalent languages over the same alphabet yield isomorphic minimal
+    DFAs that can be compared structurally.
+    """
+    total = dfa.complete().reachable()
+    states = sorted(total.states, key=repr)
+    alphabet = sorted(total.alphabet)
+
+    accepting = set(total.accepting)
+    partition_of: Dict[object, int] = {
+        state: (0 if state in accepting else 1) for state in states
+    }
+    # If all states are accepting (or none are) we start with one block.
+    blocks = sorted(set(partition_of.values()))
+    remap = {block: index for index, block in enumerate(blocks)}
+    partition_of = {state: remap[block] for state, block in partition_of.items()}
+
+    changed = True
+    while changed:
+        changed = False
+        signature_to_block: Dict[Tuple, int] = {}
+        new_partition: Dict[object, int] = {}
+        for state in states:
+            signature = (
+                partition_of[state],
+                tuple(partition_of[total.delta(state, symbol)] for symbol in alphabet),
+            )
+            if signature not in signature_to_block:
+                signature_to_block[signature] = len(signature_to_block)
+            new_partition[state] = signature_to_block[signature]
+        if new_partition != partition_of:
+            partition_of = new_partition
+            changed = True
+
+    block_count = len(set(partition_of.values()))
+    transitions: Dict[Tuple[int, str], int] = {}
+    for state in states:
+        for symbol in alphabet:
+            transitions[(partition_of[state], symbol)] = partition_of[total.delta(state, symbol)]
+    accepting_blocks = {partition_of[state] for state in accepting}
+    minimal = DFA(
+        range(block_count),
+        total.alphabet,
+        transitions,
+        partition_of[total.start],
+        accepting_blocks,
+    )
+    return minimal.reachable().renumber()
+
+
+def nerode_index(dfa: DFA) -> int:
+    """The number of states of the minimal DFA (the Myhill–Nerode index)."""
+    return len(minimize_dfa(dfa).states)

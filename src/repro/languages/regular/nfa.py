@@ -1,0 +1,136 @@
+"""Nondeterministic finite automata (with ε-transitions)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
+
+from repro.languages.alphabet import Word
+
+Transition = Tuple[object, Optional[str]]
+
+
+@dataclass(frozen=True)
+class NFA:
+    """An NFA: states are arbitrary hashable objects; ``None`` labels ε-transitions."""
+
+    states: FrozenSet[object]
+    alphabet: FrozenSet[str]
+    transitions: Mapping[Transition, FrozenSet[object]]
+    start: object
+    accepting: FrozenSet[object]
+
+    def __init__(
+        self,
+        states: Iterable[object],
+        alphabet: Iterable[str],
+        transitions: Mapping[Transition, Iterable[object]],
+        start: object,
+        accepting: Iterable[object],
+    ):
+        object.__setattr__(self, "states", frozenset(states))
+        object.__setattr__(self, "alphabet", frozenset(alphabet))
+        normalized: Dict[Transition, FrozenSet[object]] = {
+            key: frozenset(value) for key, value in transitions.items() if value
+        }
+        object.__setattr__(self, "transitions", normalized)
+        object.__setattr__(self, "start", start)
+        object.__setattr__(self, "accepting", frozenset(accepting))
+
+    # ------------------------------------------------------------------
+    def epsilon_closure(self, states: Iterable[object]) -> FrozenSet[object]:
+        """ε-closure of a set of states."""
+        closure: Set[object] = set(states)
+        frontier = list(closure)
+        while frontier:
+            state = frontier.pop()
+            for target in self.transitions.get((state, None), ()):  # ε moves
+                if target not in closure:
+                    closure.add(target)
+                    frontier.append(target)
+        return frozenset(closure)
+
+    def step(self, states: Iterable[object], symbol: str) -> FrozenSet[object]:
+        """One symbol step (including the closing ε-closure)."""
+        moved: Set[object] = set()
+        for state in states:
+            moved.update(self.transitions.get((state, symbol), ()))
+        return self.epsilon_closure(moved)
+
+    def accepts(self, sentence: Word) -> bool:
+        """Membership test."""
+        current = self.epsilon_closure({self.start})
+        for symbol in sentence:
+            current = self.step(current, symbol)
+            if not current:
+                return False
+        return bool(current & self.accepting)
+
+    def reachable_states(self) -> FrozenSet[object]:
+        """States reachable from the start state (via any transitions)."""
+        seen: Set[object] = {self.start}
+        frontier = [self.start]
+        while frontier:
+            state = frontier.pop()
+            for (source, _symbol), targets in self.transitions.items():
+                if source != state:
+                    continue
+                for target in targets:
+                    if target not in seen:
+                        seen.add(target)
+                        frontier.append(target)
+        return frozenset(seen)
+
+    def renumber(self) -> "NFA":
+        """Rename states to consecutive integers (stable on repr ordering)."""
+        ordering = {state: index for index, state in enumerate(sorted(self.states, key=repr))}
+        transitions: Dict[Transition, Set[object]] = {}
+        for (state, symbol), targets in self.transitions.items():
+            transitions[(ordering[state], symbol)] = {ordering[t] for t in targets}
+        return NFA(
+            ordering.values(),
+            self.alphabet,
+            transitions,
+            ordering[self.start],
+            {ordering[state] for state in self.accepting},
+        )
+
+    def to_dfa(self) -> "DFA":
+        """Subset construction."""
+        from repro.languages.regular.dfa import DFA
+
+        start = self.epsilon_closure({self.start})
+        states = {start}
+        transitions: Dict[Tuple[FrozenSet[object], str], FrozenSet[object]] = {}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for symbol in self.alphabet:
+                target = self.step(current, symbol)
+                if not target:
+                    continue
+                transitions[(current, symbol)] = target
+                if target not in states:
+                    states.add(target)
+                    frontier.append(target)
+        accepting = {state for state in states if state & self.accepting}
+        return DFA(states, self.alphabet, transitions, start, accepting).renumber()
+
+    def with_alphabet(self, alphabet: Iterable[str]) -> "NFA":
+        """Extend the alphabet (no new transitions are added)."""
+        return NFA(
+            self.states, set(self.alphabet) | set(alphabet), self.transitions, self.start, self.accepting
+        )
+
+
+def literal_nfa(sentence: Word, alphabet: Optional[Iterable[str]] = None) -> NFA:
+    """An NFA accepting exactly one word."""
+    states = list(range(len(sentence) + 1))
+    transitions = {(i, symbol): {i + 1} for i, symbol in enumerate(sentence)}
+    return NFA(
+        states,
+        set(alphabet) if alphabet is not None else set(sentence),
+        transitions,
+        0,
+        {len(sentence)},
+    )

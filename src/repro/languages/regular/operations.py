@@ -1,0 +1,268 @@
+"""Regular-language algebra: boolean operations, concatenation, star, reversal, quotients.
+
+The quotient operation is the one Section 7 of the paper is built on: the
+magic set of a chain-program rule corresponds to the quotient ``L(H)/R`` of
+the program's language by a regular language read off the rule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Set, Tuple
+
+from repro.languages.regular.dfa import DFA
+from repro.languages.regular.nfa import NFA
+
+
+# ----------------------------------------------------------------------
+# NFA constructions (Thompson-style)
+# ----------------------------------------------------------------------
+def _tag(nfa: NFA, tag: str) -> NFA:
+    """Rename states by wrapping them in a tagged tuple, so unions are disjoint."""
+    mapping = {state: (tag, state) for state in nfa.states}
+    transitions = {
+        ((tag, state), symbol): {(tag, target) for target in targets}
+        for (state, symbol), targets in nfa.transitions.items()
+    }
+    return NFA(
+        mapping.values(),
+        nfa.alphabet,
+        transitions,
+        (tag, nfa.start),
+        {(tag, state) for state in nfa.accepting},
+    )
+
+
+def nfa_union(left: NFA, right: NFA) -> NFA:
+    """Language union."""
+    left_tagged = _tag(left, "L")
+    right_tagged = _tag(right, "R")
+    start = ("U", "start")
+    transitions: Dict = dict(left_tagged.transitions)
+    transitions.update(right_tagged.transitions)
+    transitions[(start, None)] = {left_tagged.start, right_tagged.start}
+    return NFA(
+        set(left_tagged.states) | set(right_tagged.states) | {start},
+        set(left.alphabet) | set(right.alphabet),
+        transitions,
+        start,
+        set(left_tagged.accepting) | set(right_tagged.accepting),
+    )
+
+
+def nfa_concat(left: NFA, right: NFA) -> NFA:
+    """Language concatenation."""
+    left_tagged = _tag(left, "L")
+    right_tagged = _tag(right, "R")
+    transitions: Dict = dict(left_tagged.transitions)
+    transitions.update(right_tagged.transitions)
+    for state in left_tagged.accepting:
+        existing = set(transitions.get((state, None), set()))
+        existing.add(right_tagged.start)
+        transitions[(state, None)] = existing
+    return NFA(
+        set(left_tagged.states) | set(right_tagged.states),
+        set(left.alphabet) | set(right.alphabet),
+        transitions,
+        left_tagged.start,
+        right_tagged.accepting,
+    )
+
+
+def nfa_star(inner: NFA) -> NFA:
+    """Kleene star."""
+    tagged = _tag(inner, "S")
+    start = ("S", "start")
+    transitions: Dict = dict(tagged.transitions)
+    transitions[(start, None)] = {tagged.start}
+    for state in tagged.accepting:
+        existing = set(transitions.get((state, None), set()))
+        existing.add(tagged.start)
+        transitions[(state, None)] = existing
+    return NFA(
+        set(tagged.states) | {start},
+        inner.alphabet,
+        transitions,
+        start,
+        set(tagged.accepting) | {start},
+    )
+
+
+def nfa_reverse(nfa: NFA) -> NFA:
+    """The reversal of the language."""
+    transitions: Dict = {}
+    for (state, symbol), targets in nfa.transitions.items():
+        for target in targets:
+            transitions.setdefault((target, symbol), set()).add(state)
+    start = ("REV", "start")
+    transitions[(start, None)] = set(nfa.accepting)
+    return NFA(
+        set(nfa.states) | {start},
+        nfa.alphabet,
+        transitions,
+        start,
+        {nfa.start},
+    )
+
+
+def empty_language_nfa(alphabet: Iterable[str]) -> NFA:
+    """An NFA accepting nothing."""
+    return NFA({0}, alphabet, {}, 0, set())
+
+
+def epsilon_nfa(alphabet: Iterable[str]) -> NFA:
+    """An NFA accepting only the empty word."""
+    return NFA({0}, alphabet, {}, 0, {0})
+
+
+def symbol_nfa(symbol: str, alphabet: Iterable[str] = ()) -> NFA:
+    """An NFA accepting exactly the one-symbol word."""
+    return NFA({0, 1}, set(alphabet) | {symbol}, {(0, symbol): {1}}, 0, {1})
+
+
+def sigma_star_nfa(alphabet: Iterable[str]) -> NFA:
+    """An NFA accepting every word over the alphabet."""
+    symbols = set(alphabet)
+    return NFA({0}, symbols, {(0, symbol): {0} for symbol in symbols}, 0, {0})
+
+
+# ----------------------------------------------------------------------
+# DFA product constructions
+# ----------------------------------------------------------------------
+def _product(left: DFA, right: DFA, accept) -> DFA:
+    alphabet = set(left.alphabet) | set(right.alphabet)
+    left_total = left.complete(alphabet)
+    right_total = right.complete(alphabet)
+    start = (left_total.start, right_total.start)
+    states: Set[Tuple] = {start}
+    transitions: Dict[Tuple[Tuple, str], Tuple] = {}
+    frontier = [start]
+    while frontier:
+        current = frontier.pop()
+        for symbol in alphabet:
+            target = (
+                left_total.delta(current[0], symbol),
+                right_total.delta(current[1], symbol),
+            )
+            transitions[(current, symbol)] = target
+            if target not in states:
+                states.add(target)
+                frontier.append(target)
+    accepting = {
+        state
+        for state in states
+        if accept(state[0] in left_total.accepting, state[1] in right_total.accepting)
+    }
+    return DFA(states, alphabet, transitions, start, accepting).renumber()
+
+
+def dfa_intersection(left: DFA, right: DFA) -> DFA:
+    """Language intersection."""
+    return _product(left, right, lambda a, b: a and b)
+
+
+def dfa_union(left: DFA, right: DFA) -> DFA:
+    """Language union."""
+    return _product(left, right, lambda a, b: a or b)
+
+
+def dfa_difference(left: DFA, right: DFA) -> DFA:
+    """Language difference ``L(left) - L(right)``."""
+    return _product(left, right, lambda a, b: a and not b)
+
+
+def dfa_symmetric_difference(left: DFA, right: DFA) -> DFA:
+    """Symmetric difference (useful for equivalence checking)."""
+    return _product(left, right, lambda a, b: a != b)
+
+
+def dfa_complement(dfa: DFA, alphabet: Iterable[str] = ()) -> DFA:
+    """Complement with respect to ``(dfa.alphabet ∪ alphabet)*``."""
+    total = dfa.complete(alphabet)
+    return total.with_accepting(set(total.states) - set(total.accepting))
+
+
+# ----------------------------------------------------------------------
+# Quotients and closures
+# ----------------------------------------------------------------------
+def right_quotient(language: DFA, divisor: NFA) -> DFA:
+    """The right quotient ``L / R = { x | exists y in R with xy in L }``.
+
+    This is the paper's Section 7 quotient: ``language`` plays the role of
+    ``L(H)`` (or its regular envelope) and ``divisor`` the per-rule regular
+    language ``R``.  The construction marks as accepting every state of
+    ``language`` from which some word of ``divisor`` leads to acceptance.
+    """
+    divisor_dfa = divisor.to_dfa()
+    alphabet = set(language.alphabet) | set(divisor_dfa.alphabet)
+    language_total = language.complete(alphabet)
+    divisor_total = divisor_dfa.complete(alphabet)
+
+    # Build the product graph and compute which pairs can reach a doubly
+    # accepting pair (co-reachability).
+    pairs = {
+        (l_state, r_state)
+        for l_state in language_total.states
+        for r_state in divisor_total.states
+    }
+    forward: Dict[Tuple, Set[Tuple]] = {pair: set() for pair in pairs}
+    for (l_state, r_state) in pairs:
+        for symbol in alphabet:
+            target = (
+                language_total.delta(l_state, symbol),
+                divisor_total.delta(r_state, symbol),
+            )
+            forward[(l_state, r_state)].add(target)
+    good = {
+        pair
+        for pair in pairs
+        if pair[0] in language_total.accepting and pair[1] in divisor_total.accepting
+    }
+    # Reverse reachability to the good set.
+    reverse: Dict[Tuple, Set[Tuple]] = {pair: set() for pair in pairs}
+    for source, targets in forward.items():
+        for target in targets:
+            reverse.setdefault(target, set()).add(source)
+    co_reachable = set(good)
+    frontier = list(good)
+    while frontier:
+        pair = frontier.pop()
+        for predecessor in reverse.get(pair, ()):  # pragma: no branch
+            if predecessor not in co_reachable:
+                co_reachable.add(predecessor)
+                frontier.append(predecessor)
+
+    accepting = {
+        state
+        for state in language_total.states
+        if (state, divisor_total.start) in co_reachable
+    }
+    return language_total.with_accepting(accepting).reachable().renumber()
+
+
+def left_quotient(language: DFA, divisor: NFA) -> DFA:
+    """The left quotient ``R \\ L = { y | exists x in R with xy in L }``."""
+    from repro.languages.regular.nfa import NFA as _NFA
+
+    reversed_language = nfa_reverse(language.to_nfa()).to_dfa()
+    reversed_divisor = nfa_reverse(divisor)
+    reversed_quotient = right_quotient(reversed_language, reversed_divisor)
+    del _NFA
+    return nfa_reverse(reversed_quotient.to_nfa()).to_dfa()
+
+
+def prefix_closure(dfa: DFA) -> DFA:
+    """The language of all prefixes of words of ``L(dfa)``."""
+    trimmed = dfa.reachable()
+    # A state is useful if an accepting state is reachable from it.
+    reverse: Dict[object, Set[object]] = {}
+    for (state, _symbol), target in trimmed.transitions.items():
+        reverse.setdefault(target, set()).add(state)
+    useful = set(trimmed.accepting)
+    frontier = list(trimmed.accepting)
+    while frontier:
+        state = frontier.pop()
+        for predecessor in reverse.get(state, ()):  # pragma: no branch
+            if predecessor not in useful:
+                useful.add(predecessor)
+                frontier.append(predecessor)
+    return trimmed.with_accepting(useful)

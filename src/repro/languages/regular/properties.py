@@ -1,0 +1,119 @@
+"""Decision procedures and enumeration for regular languages."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.languages.alphabet import Word
+from repro.languages.regular.dfa import DFA
+from repro.languages.regular.nfa import NFA
+
+Automaton = Union[DFA, NFA]
+
+
+def _as_dfa(automaton: Automaton) -> DFA:
+    if isinstance(automaton, DFA):
+        return automaton
+    return automaton.to_dfa()
+
+
+def is_empty_language(automaton: Automaton) -> bool:
+    """True if the automaton accepts no word."""
+    dfa = _as_dfa(automaton).reachable()
+    return not dfa.accepting
+
+
+def is_universal(automaton: Automaton) -> bool:
+    """True if the automaton accepts every word over its alphabet."""
+    from repro.languages.regular.operations import dfa_complement
+
+    return is_empty_language(dfa_complement(_as_dfa(automaton)))
+
+
+def is_finite_language(automaton: Automaton) -> bool:
+    """True if the accepted language is finite.
+
+    The language is infinite iff some cycle lies on a path from the start
+    state to an accepting state.
+    """
+    dfa = _as_dfa(automaton).reachable()
+    if not dfa.accepting:
+        return True
+    # Useful states: reachable (all are) and co-reachable to acceptance.
+    reverse: Dict[object, Set[object]] = {}
+    for (state, _symbol), target in dfa.transitions.items():
+        reverse.setdefault(target, set()).add(state)
+    useful = set(dfa.accepting)
+    frontier = list(dfa.accepting)
+    while frontier:
+        state = frontier.pop()
+        for predecessor in reverse.get(state, ()):  # pragma: no branch
+            if predecessor not in useful:
+                useful.add(predecessor)
+                frontier.append(predecessor)
+    # Cycle detection restricted to useful states.
+    color: Dict[object, int] = {}
+
+    def has_cycle(state: object) -> bool:
+        color[state] = 1
+        for symbol in dfa.alphabet:
+            target = dfa.delta(state, symbol)
+            if target is None or target not in useful:
+                continue
+            status = color.get(target, 0)
+            if status == 1:
+                return True
+            if status == 0 and has_cycle(target):
+                return True
+        color[state] = 2
+        return False
+
+    return not any(has_cycle(state) for state in useful if color.get(state, 0) == 0)
+
+
+def shortest_accepted_word(automaton: Automaton) -> Optional[Word]:
+    """A shortest accepted word (BFS), or ``None`` if the language is empty."""
+    dfa = _as_dfa(automaton)
+    queue = deque([(dfa.start, ())])
+    visited = {dfa.start}
+    while queue:
+        state, word = queue.popleft()
+        if state in dfa.accepting:
+            return word
+        for symbol in sorted(dfa.alphabet):
+            target = dfa.delta(state, symbol)
+            if target is not None and target not in visited:
+                visited.add(target)
+                queue.append((target, word + (symbol,)))
+    return None
+
+
+def enumerate_words(
+    automaton: Automaton, max_length: int, max_count: Optional[int] = None
+) -> List[Word]:
+    """All accepted words up to *max_length* in length-lexicographic order."""
+    dfa = _as_dfa(automaton)
+    results: List[Word] = []
+    layer: List[Tuple[object, Word]] = [(dfa.start, ())]
+    for length in range(max_length + 1):
+        for state, word in sorted(layer, key=lambda item: item[1]):
+            if state in dfa.accepting:
+                results.append(word)
+                if max_count is not None and len(results) >= max_count:
+                    return results
+        next_layer: List[Tuple[object, Word]] = []
+        for state, word in layer:
+            for symbol in sorted(dfa.alphabet):
+                target = dfa.delta(state, symbol)
+                if target is not None:
+                    next_layer.append((target, word + (symbol,)))
+        layer = next_layer
+        if not layer:
+            break
+    return results
+
+
+def words_of_length(automaton: Automaton, length: int) -> List[Word]:
+    """All accepted words of exactly the given length."""
+    return [word for word in enumerate_words(automaton, length) if len(word) == length]

@@ -1,0 +1,284 @@
+"""Regular expressions: AST, parser, Thompson construction, and state elimination.
+
+Section 7 of the paper builds, for each chain rule, a regular expression by
+replacing every nonterminal with ``*`` (here rendered as ``Σ*``) and keeping
+the terminals; those expressions are compiled to NFAs here and fed to the
+quotient construction.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
+
+from repro.errors import ParseError
+from repro.languages.regular.dfa import DFA
+from repro.languages.regular.nfa import NFA
+from repro.languages.regular.operations import (
+    empty_language_nfa,
+    epsilon_nfa,
+    nfa_concat,
+    nfa_star,
+    nfa_union,
+    sigma_star_nfa,
+    symbol_nfa,
+)
+
+
+class Regex:
+    """Base class of regular-expression AST nodes."""
+
+    def to_nfa(self, alphabet: Iterable[str] = ()) -> NFA:
+        """Compile to an NFA over at least the given alphabet."""
+        raise NotImplementedError
+
+    def __or__(self, other: "Regex") -> "Regex":
+        return Union_((self, other))
+
+    def __add__(self, other: "Regex") -> "Regex":
+        return Concat((self, other))
+
+    def star(self) -> "Regex":
+        """Kleene star of this expression."""
+        return Star(self)
+
+
+@dataclass(frozen=True)
+class EmptySet(Regex):
+    """The empty language."""
+
+    def to_nfa(self, alphabet: Iterable[str] = ()) -> NFA:
+        return empty_language_nfa(alphabet)
+
+    def __str__(self) -> str:
+        return "∅"
+
+
+@dataclass(frozen=True)
+class Epsilon(Regex):
+    """The language containing only the empty word."""
+
+    def to_nfa(self, alphabet: Iterable[str] = ()) -> NFA:
+        return epsilon_nfa(alphabet)
+
+    def __str__(self) -> str:
+        return "ε"
+
+
+@dataclass(frozen=True)
+class Symbol(Regex):
+    """A single alphabet symbol."""
+
+    name: str
+
+    def to_nfa(self, alphabet: Iterable[str] = ()) -> NFA:
+        return symbol_nfa(self.name, alphabet)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class AnyStar(Regex):
+    """``Σ*`` over a fixed alphabet — the paper's ``*`` placeholder."""
+
+    alphabet: FrozenSet[str]
+
+    def __init__(self, alphabet: Iterable[str]):
+        object.__setattr__(self, "alphabet", frozenset(alphabet))
+
+    def to_nfa(self, alphabet: Iterable[str] = ()) -> NFA:
+        return sigma_star_nfa(set(self.alphabet) | set(alphabet))
+
+    def __str__(self) -> str:
+        return "Σ*"
+
+
+@dataclass(frozen=True)
+class Concat(Regex):
+    """Concatenation of sub-expressions."""
+
+    parts: Tuple[Regex, ...]
+
+    def __init__(self, parts: Iterable[Regex]):
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def to_nfa(self, alphabet: Iterable[str] = ()) -> NFA:
+        if not self.parts:
+            return epsilon_nfa(alphabet)
+        result = self.parts[0].to_nfa(alphabet)
+        for part in self.parts[1:]:
+            result = nfa_concat(result, part.to_nfa(alphabet))
+        return result
+
+    def __str__(self) -> str:
+        return " ".join(_wrap(part) for part in self.parts) if self.parts else "ε"
+
+
+@dataclass(frozen=True)
+class Union_(Regex):
+    """Union (alternation) of sub-expressions."""
+
+    parts: Tuple[Regex, ...]
+
+    def __init__(self, parts: Iterable[Regex]):
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def to_nfa(self, alphabet: Iterable[str] = ()) -> NFA:
+        if not self.parts:
+            return empty_language_nfa(alphabet)
+        result = self.parts[0].to_nfa(alphabet)
+        for part in self.parts[1:]:
+            result = nfa_union(result, part.to_nfa(alphabet))
+        return result
+
+    def __str__(self) -> str:
+        return " | ".join(str(part) for part in self.parts) if self.parts else "∅"
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    """Kleene star of a sub-expression."""
+
+    inner: Regex
+
+    def to_nfa(self, alphabet: Iterable[str] = ()) -> NFA:
+        return nfa_star(self.inner.to_nfa(alphabet))
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner)}*"
+
+
+def _wrap(expression: Regex) -> str:
+    text = str(expression)
+    if isinstance(expression, (Union_, Concat)) and len(expression.parts) > 1:
+        return f"({text})"
+    return text
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+_TOKEN = re.compile(r"\s*(?:(?P<sym>[A-Za-z0-9_]+)|(?P<op>[()|*])|(?P<eps>ε))")
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse a regular expression.
+
+    Symbols are identifiers (``b1``, ``par`` ...); juxtaposition (separated by
+    whitespace or parentheses) is concatenation; ``|`` is union, ``*`` the
+    Kleene star, ``ε`` the empty word.
+    """
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            if text[position:].strip():
+                raise ParseError(f"cannot tokenize regex at: {text[position:]!r}")
+            break
+        if match.group("sym") is not None:
+            tokens.append(("sym", match.group("sym")))
+        elif match.group("eps") is not None:
+            tokens.append(("eps", "ε"))
+        else:
+            tokens.append(("op", match.group("op")))
+        position = match.end()
+
+    index = [0]
+
+    def peek() -> Optional[Tuple[str, str]]:
+        return tokens[index[0]] if index[0] < len(tokens) else None
+
+    def advance() -> Tuple[str, str]:
+        token = peek()
+        if token is None:
+            raise ParseError("unexpected end of regular expression")
+        index[0] += 1
+        return token
+
+    def parse_union() -> Regex:
+        parts = [parse_concat()]
+        while peek() == ("op", "|"):
+            advance()
+            parts.append(parse_concat())
+        return parts[0] if len(parts) == 1 else Union_(parts)
+
+    def parse_concat() -> Regex:
+        parts: List[Regex] = []
+        while True:
+            token = peek()
+            if token is None or token in (("op", ")"), ("op", "|")):
+                break
+            parts.append(parse_postfix())
+        if not parts:
+            return Epsilon()
+        return parts[0] if len(parts) == 1 else Concat(parts)
+
+    def parse_postfix() -> Regex:
+        expression = parse_primary()
+        while peek() == ("op", "*"):
+            advance()
+            expression = Star(expression)
+        return expression
+
+    def parse_primary() -> Regex:
+        kind, value = advance()
+        if kind == "sym":
+            return Symbol(value)
+        if kind == "eps":
+            return Epsilon()
+        if (kind, value) == ("op", "("):
+            inner = parse_union()
+            closing = advance()
+            if closing != ("op", ")"):
+                raise ParseError("expected ')' in regular expression")
+            return inner
+        raise ParseError(f"unexpected token {value!r} in regular expression")
+
+    expression = parse_union()
+    if peek() is not None:
+        raise ParseError(f"trailing tokens in regular expression: {tokens[index[0]:]}")
+    return expression
+
+
+# ----------------------------------------------------------------------
+# Automaton -> regex (state elimination)
+# ----------------------------------------------------------------------
+def automaton_to_regex(automaton: Union[DFA, NFA]) -> Regex:
+    """Convert an automaton to an equivalent regular expression by state elimination."""
+    dfa = automaton if isinstance(automaton, DFA) else automaton.to_dfa()
+    dfa = dfa.reachable().renumber()
+
+    initial = "I"
+    final = "F"
+    labels: Dict[Tuple[object, object], Regex] = {}
+
+    def add(source, target, expression: Regex) -> None:
+        existing = labels.get((source, target))
+        labels[(source, target)] = expression if existing is None else Union_((existing, expression))
+
+    for (state, symbol), target in dfa.transitions.items():
+        add(state, target, Symbol(symbol))
+    add(initial, dfa.start, Epsilon())
+    for state in dfa.accepting:
+        add(state, final, Epsilon())
+
+    states = sorted(dfa.states, key=repr)
+    for state in states:
+        loop = labels.pop((state, state), None)
+        loop_regex: Regex = Star(loop) if loop is not None else Epsilon()
+        incoming = [(source, expr) for (source, target), expr in labels.items() if target == state and source != state]
+        outgoing = [(target, expr) for (source, target), expr in labels.items() if source == state and target != state]
+        for source, in_expr in incoming:
+            for target, out_expr in outgoing:
+                add(source, target, Concat((in_expr, loop_regex, out_expr)))
+        labels = {
+            key: expr
+            for key, expr in labels.items()
+            if key[0] != state and key[1] != state
+        }
+
+    result = labels.get((initial, final))
+    return result if result is not None else EmptySet()

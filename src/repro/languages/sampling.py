@@ -1,0 +1,114 @@
+"""Sampling and enumeration helpers for context-free languages."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.errors import LanguageAnalysisError
+from repro.languages.alphabet import Word
+from repro.languages.cfg import Grammar
+from repro.languages.cfg_analysis import shortest_lengths
+
+
+def random_sentence(
+    grammar: Grammar,
+    rng: Optional[random.Random] = None,
+    max_length: int = 50,
+    bias_short: float = 0.75,
+) -> Word:
+    """Sample one word of the language by a guided random derivation.
+
+    The sampler expands the leftmost nonterminal, preferring productions
+    whose shortest completion keeps the sentential form within *max_length*;
+    ``bias_short`` is the probability of picking among the shortest-yield
+    productions (a crude but effective way to terminate quickly).
+
+    Raises :class:`LanguageAnalysisError` when the grammar generates nothing.
+    """
+    rng = rng if rng is not None else random.Random()
+    minimal = shortest_lengths(grammar)
+    if grammar.start not in minimal:
+        raise LanguageAnalysisError("the grammar generates no word")
+
+    def minimal_yield(symbols: Sequence[str]) -> int:
+        total = 0
+        for symbol in symbols:
+            if symbol in grammar.terminals:
+                total += 1
+            else:
+                total += minimal.get(symbol, max_length + 1)
+        return total
+
+    sentential: List[str] = [grammar.start]
+    guard = 0
+    while any(symbol in grammar.nonterminals for symbol in sentential):
+        guard += 1
+        if guard > 10_000:
+            raise LanguageAnalysisError("random derivation did not terminate")
+        position = next(
+            index for index, symbol in enumerate(sentential) if symbol in grammar.nonterminals
+        )
+        nonterminal = sentential[position]
+        candidates = [
+            production
+            for production in grammar.productions_for(nonterminal)
+            if nonterminal in minimal
+        ]
+        if not candidates:
+            raise LanguageAnalysisError(f"nonterminal {nonterminal} generates no word")
+        rest_cost = minimal_yield(sentential[:position] + sentential[position + 1 :])
+        affordable = [
+            production
+            for production in candidates
+            if rest_cost + minimal_yield(production.rhs) <= max_length
+        ]
+        pool = affordable if affordable else candidates
+        if rng.random() < bias_short:
+            best = min(minimal_yield(production.rhs) for production in pool)
+            pool = [
+                production for production in pool if minimal_yield(production.rhs) == best
+            ]
+        production = rng.choice(pool)
+        sentential[position : position + 1] = list(production.rhs)
+    return tuple(sentential)
+
+
+def random_sentences(
+    grammar: Grammar,
+    count: int,
+    seed: Optional[int] = None,
+    max_length: int = 50,
+) -> List[Word]:
+    """Sample *count* words (with repetition possible)."""
+    rng = random.Random(seed)
+    return [random_sentence(grammar, rng, max_length) for _ in range(count)]
+
+
+def sentential_forms(grammar: Grammar, max_steps: int, max_count: int = 500) -> List[Word]:
+    """All sentential forms reachable from the start symbol in at most *max_steps* steps.
+
+    Sentential forms (strings over terminals *and* nonterminals derivable
+    from the start symbol) are the objects whose equality problem Blattner
+    proved undecidable — the reduction behind Proposition 8.1's
+    undecidability of uniform chain-program containment.
+    """
+    current = {(grammar.start,)}
+    seen = set(current)
+    for _ in range(max_steps):
+        next_forms = set()
+        for form in current:
+            for index, symbol in enumerate(form):
+                if symbol not in grammar.nonterminals:
+                    continue
+                for production in grammar.productions_for(symbol):
+                    new_form = form[:index] + production.rhs + form[index + 1 :]
+                    if new_form not in seen:
+                        next_forms.add(new_form)
+        seen.update(next_forms)
+        current = next_forms
+        if len(seen) > max_count:
+            break
+        if not current:
+            break
+    return sorted(seen, key=lambda form: (len(form), form))

@@ -1,0 +1,157 @@
+"""Context-free languages over a one-letter alphabet.
+
+By Parikh's theorem every context-free language over a unary alphabet is
+regular: its set of word lengths is ultimately periodic.  Lemma 6.1 of the
+paper leans on exactly this structure (chain programs with a single EDB).
+
+An exact symbolic computation of the semilinear set is possible but heavy;
+this module recovers the ultimately periodic length set *empirically* —
+lengths are enumerated up to a bound, the minimal ``(threshold, period)``
+pair consistent with the sample is selected, and the hypothesis is verified
+against the grammar on a strictly larger window.  The result object records
+the verification bound so callers can treat the certificate honestly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Set, Tuple
+
+from repro.errors import LanguageAnalysisError
+from repro.languages.cfg import Grammar
+from repro.languages.cfg_analysis import is_finite_language, strings_of_length
+from repro.languages.cfg_transforms import reduce_grammar, to_chomsky_normal_form
+from repro.languages.regular.dfa import DFA
+
+
+@dataclass(frozen=True)
+class UltimatelyPeriodicSet:
+    """An ultimately periodic set of nonnegative integers.
+
+    The set is ``initial ∪ { n >= threshold : (n - threshold) mod period in residues }``.
+    A finite set is represented with ``period = 0`` and empty residues.
+    """
+
+    initial: FrozenSet[int]
+    threshold: int
+    period: int
+    residues: FrozenSet[int]
+    verified_up_to: int
+    exact: bool
+
+    def __contains__(self, value: int) -> bool:
+        if value in self.initial:
+            return True
+        if self.period == 0 or value < self.threshold:
+            return False
+        return (value - self.threshold) % self.period in self.residues
+
+    def is_finite(self) -> bool:
+        return self.period == 0 or not self.residues
+
+    def members_up_to(self, bound: int) -> Tuple[int, ...]:
+        return tuple(value for value in range(bound + 1) if value in self)
+
+
+def _generated_lengths(grammar: Grammar, bound: int) -> Set[int]:
+    """Lengths of generated words up to *bound*, via per-length counting."""
+    lengths: Set[int] = set()
+    for length in range(bound + 1):
+        if strings_of_length(grammar, length):
+            lengths.add(length)
+    return lengths
+
+
+def unary_length_set(
+    grammar: Grammar, sample_bound: int = 40, verify_bound: Optional[int] = None
+) -> UltimatelyPeriodicSet:
+    """Recover the ultimately periodic length set of a unary-alphabet CFL.
+
+    Parameters
+    ----------
+    grammar:
+        A grammar whose reduced form uses at most one terminal symbol.
+    sample_bound:
+        Lengths up to this bound are used to guess the periodic structure.
+    verify_bound:
+        The guess is re-checked on lengths up to this bound (default
+        ``2 * sample_bound``); the result records the bound and whether the
+        certificate is exact (finite languages) or empirical.
+    """
+    reduced = reduce_grammar(grammar)
+    used_terminals = {
+        symbol
+        for production in reduced.productions
+        for symbol in production.rhs
+        if symbol in reduced.terminals
+    }
+    if len(used_terminals) > 1:
+        raise LanguageAnalysisError("grammar is not over a unary alphabet")
+    verify_bound = verify_bound if verify_bound is not None else 2 * sample_bound
+
+    if is_finite_language(grammar):
+        cnf, accepts_epsilon = to_chomsky_normal_form(grammar)
+        max_length = 2 ** max(0, len(cnf.nonterminals) - 1)
+        lengths = _generated_lengths(grammar, max_length)
+        if accepts_epsilon:
+            lengths.add(0)
+        return UltimatelyPeriodicSet(
+            frozenset(lengths), 0, 0, frozenset(), max_length, True
+        )
+
+    sample = _generated_lengths(grammar, sample_bound)
+    verification = _generated_lengths(grammar, verify_bound)
+
+    best: Optional[Tuple[int, int, FrozenSet[int], FrozenSet[int]]] = None
+    for period in range(1, sample_bound // 2 + 1):
+        for threshold in range(sample_bound // 2 + 1):
+            residues = frozenset(
+                (value - threshold) % period for value in sample if value >= threshold
+            )
+            initial = frozenset(value for value in sample if value < threshold)
+            candidate = UltimatelyPeriodicSet(
+                initial, threshold, period, residues, verify_bound, False
+            )
+            if all((value in candidate) == (value in verification) for value in range(verify_bound + 1)):
+                best = (threshold, period, residues, initial)
+                break
+        if best is not None:
+            break
+    if best is None:
+        raise LanguageAnalysisError(
+            "could not fit an ultimately periodic set within the sampling bound; "
+            "increase sample_bound"
+        )
+    threshold, period, residues, initial = best
+    return UltimatelyPeriodicSet(initial, threshold, period, residues, verify_bound, False)
+
+
+def length_set_to_dfa(lengths: UltimatelyPeriodicSet, symbol: str) -> DFA:
+    """A DFA over ``{symbol}`` accepting words whose length lies in the set."""
+    if lengths.period == 0 or not lengths.residues:
+        maximum = max(lengths.initial) if lengths.initial else 0
+        states = list(range(maximum + 2))
+        transitions = {(i, symbol): i + 1 for i in range(maximum + 1)}
+        accepting = {value for value in lengths.initial}
+        return DFA(states, {symbol}, transitions, 0, accepting)
+
+    prefix_length = lengths.threshold
+    states = [("prefix", i) for i in range(prefix_length)] + [
+        ("cycle", r) for r in range(lengths.period)
+    ]
+    transitions = {}
+    for i in range(prefix_length):
+        target = ("prefix", i + 1) if i + 1 < prefix_length else ("cycle", 0)
+        transitions[(("prefix", i), symbol)] = target
+    for r in range(lengths.period):
+        transitions[(("cycle", r), symbol)] = ("cycle", (r + 1) % lengths.period)
+    accepting = set()
+    for i in range(prefix_length):
+        if i in lengths.initial or i in lengths:
+            accepting.add(("prefix", i))
+    for r in range(lengths.period):
+        if r in lengths.residues:
+            accepting.add(("cycle", r))
+    start = ("prefix", 0) if prefix_length else ("cycle", 0)
+    # When the threshold is zero the prefix part is empty and lengths.initial too.
+    return DFA(states if states else [("cycle", 0)], {symbol}, transitions, start, accepting)

@@ -1,0 +1,152 @@
+"""Monadic fixpoint programs (Chandra–Harel) and Example 6.3 of the paper.
+
+Section 6 closes with the observation that the inexpressibility of the CYCLE
+query by monadic *Datalog* depends on the absence of negation: the richer
+formalism of monadic fixpoint programs — rules whose bodies are first-order
+formulas monotone in the head predicate — *can* express cyclicity.  The
+paper's Example 6.3 uses the single rule::
+
+    w(X) :- w(X) ∨ ∀Y. (b(X, Y) → w(Y))
+
+whose least fixpoint marks exactly the nodes that do not lie on (and cannot
+reach) a directed cycle; the graph is cyclic iff some node remains unmarked.
+
+This module provides a small evaluator for such programs: each monadic
+predicate is defined by one first-order formula over the structure's
+relations, the already-computed fixpoint predicates, and the predicate
+itself; the formula is required to be *monotone* in the fixpoint predicates
+(checked semantically during iteration — the iteration is inflationary, so a
+non-monotone body cannot silently corrupt the result).  Corollary 5.4's
+subject (monadic fixpoints with interpreted successor) can be built from the
+same ingredients by adding a ``succ`` relation to the structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Tuple
+
+from repro.logic.fo import Formula, Var
+from repro.logic.structures import FiniteStructure
+
+
+@dataclass(frozen=True)
+class MonadicFixpointRule:
+    """One fixpoint definition: ``predicate(variable) <- body``.
+
+    ``body`` is a first-order formula whose free variable is ``variable``;
+    it may mention the structure's relations, previously defined fixpoint
+    predicates, and ``predicate`` itself (positively, for the least fixpoint
+    to be meaningful).
+    """
+
+    predicate: str
+    variable: str
+    body: Formula
+
+
+@dataclass(frozen=True)
+class MonadicFixpointProgram:
+    """A sequence of monadic fixpoint definitions evaluated in order.
+
+    Later rules may refer to the fixpoints of earlier ones, which gives the
+    (non-nested) composition the paper's Example 6.3 needs: compute the
+    marked nodes, then take a first-order difference.
+    """
+
+    rules: Tuple[MonadicFixpointRule, ...]
+
+    def __init__(self, rules: Iterable[MonadicFixpointRule]):
+        object.__setattr__(self, "rules", tuple(rules))
+
+    def predicates(self) -> Tuple[str, ...]:
+        return tuple(rule.predicate for rule in self.rules)
+
+
+@dataclass
+class FixpointEvaluation:
+    """The result of evaluating a monadic fixpoint program."""
+
+    interpretations: Dict[str, FrozenSet[Tuple]]
+    iterations: Dict[str, int]
+
+    def relation(self, predicate: str) -> FrozenSet[Tuple]:
+        return self.interpretations.get(predicate, frozenset())
+
+    def members(self, predicate: str) -> FrozenSet:
+        """The set of elements (not 1-tuples) in a monadic predicate."""
+        return frozenset(value for (value,) in self.relation(predicate))
+
+
+def evaluate_fixpoint_program(
+    program: MonadicFixpointProgram,
+    structure: FiniteStructure,
+    max_iterations: int = 10_000,
+) -> FixpointEvaluation:
+    """Evaluate each rule to its least (inflationary) fixpoint, in order."""
+    interpretations: Dict[str, FrozenSet[Tuple]] = {}
+    iteration_counts: Dict[str, int] = {}
+    for rule in program.rules:
+        current: FrozenSet[Tuple] = frozenset()
+        iterations = 0
+        while True:
+            iterations += 1
+            if iterations > max_iterations:  # pragma: no cover - defensive guard
+                raise RuntimeError(f"fixpoint for {rule.predicate} did not converge")
+            context: Dict[str, FrozenSet[Tuple]] = dict(interpretations)
+            context[rule.predicate] = current
+            new = set(current)
+            for element in structure.domain:
+                if (element,) in new:
+                    continue
+                if rule.body.evaluate(structure, {rule.variable: element}, context):
+                    new.add((element,))
+            frozen = frozenset(new)
+            if frozen == current:
+                break
+            current = frozen
+        interpretations[rule.predicate] = current
+        iteration_counts[rule.predicate] = iterations
+    return FixpointEvaluation(interpretations, iteration_counts)
+
+
+# ----------------------------------------------------------------------
+# Example 6.3: cyclicity via a monadic fixpoint with universal quantification
+# ----------------------------------------------------------------------
+def example_6_3_program(edge: str = "b", marked: str = "w") -> MonadicFixpointProgram:
+    """The paper's Example 6.3 rule ``w(X) :- w(X) ∨ ∀Y (b(X, Y) → w(Y))``.
+
+    The least fixpoint first marks all nodes of out-degree 0, then nodes all
+    of whose successors are marked, and so on; unmarked nodes are exactly
+    those from which an infinite (hence cyclic) path exists.
+    """
+    from repro.logic.fo import Forall, Implies, Or, Rel
+
+    x, y = Var("X"), Var("Y")
+    body = Or(
+        (
+            Rel(marked, (x,)),
+            Forall("Y", Implies(Rel(edge, (x, y)), Rel(marked, (y,)))),
+        )
+    )
+    return MonadicFixpointProgram((MonadicFixpointRule(marked, "X", body),))
+
+
+def is_cyclic_via_monadic_fixpoint(structure: FiniteStructure, edge: str = "b") -> bool:
+    """Example 6.3 end to end: the graph has a cycle iff some node stays unmarked.
+
+    This is the expressiveness gap the paper points out: monadic Datalog
+    cannot define this query (Lemma 6.1), but one monadic fixpoint whose body
+    uses universal quantification (negation) can.
+    """
+    program = example_6_3_program(edge)
+    evaluation = evaluate_fixpoint_program(program, structure)
+    marked = evaluation.members("w")
+    return bool(set(structure.domain) - set(marked))
+
+
+def nodes_on_or_reaching_cycles(structure: FiniteStructure, edge: str = "b") -> FrozenSet:
+    """The complement of the Example 6.3 fixpoint: nodes with an infinite outgoing path."""
+    program = example_6_3_program(edge)
+    evaluation = evaluate_fixpoint_program(program, structure)
+    return frozenset(set(structure.domain) - evaluation.members("w"))

@@ -1,0 +1,330 @@
+"""First-order logic over finite structures.
+
+Used for three purposes in the reproduction:
+
+* evaluating the first-order query equivalent to a *bounded* chain program
+  (Proposition 8.2);
+* the first-order sentences inside monadic generalized spectra (Section 6);
+* cross-checking that unions of non-recursive rules and their FO forms agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
+
+from repro.logic.structures import FiniteStructure
+
+
+# ----------------------------------------------------------------------
+# Terms
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Var:
+    """A first-order variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """A reference to a named constant of the structure."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Term = object  # Var | Const
+
+
+def _evaluate_term(term: Term, structure: FiniteStructure, assignment: Mapping[str, object]):
+    if isinstance(term, Var):
+        if term.name not in assignment:
+            raise ValueError(f"unbound variable {term.name}")
+        return assignment[term.name]
+    if isinstance(term, Const):
+        return structure.constant(term.name)
+    raise TypeError(f"not a term: {term!r}")
+
+
+# ----------------------------------------------------------------------
+# Formulas
+# ----------------------------------------------------------------------
+class Formula:
+    """Base class for first-order formulas."""
+
+    def evaluate(
+        self,
+        structure: FiniteStructure,
+        assignment: Optional[Mapping[str, object]] = None,
+        interpretations: Optional[Mapping[str, FrozenSet[Tuple]]] = None,
+    ) -> bool:
+        """Truth value in *structure* under *assignment*.
+
+        ``interpretations`` supplies relations not stored in the structure —
+        the monadic second-order variables of an MGS are passed this way.
+        """
+        return self._eval(structure, dict(assignment or {}), dict(interpretations or {}))
+
+    def _eval(self, structure, assignment, interpretations) -> bool:
+        raise NotImplementedError
+
+    def free_variables(self) -> FrozenSet[str]:
+        """Names of the free first-order variables."""
+        return frozenset(self._free())
+
+    def _free(self) -> Set[str]:
+        raise NotImplementedError
+
+    # Convenience connective constructors -------------------------------------------------
+    def __and__(self, other: "Formula") -> "Formula":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or((self, other))
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Rel(Formula):
+    """An atomic formula ``r(t1, ..., tk)``."""
+
+    name: str
+    terms: Tuple[Term, ...]
+
+    def __init__(self, name: str, terms: Iterable[Term]):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "terms", tuple(terms))
+
+    def _eval(self, structure, assignment, interpretations) -> bool:
+        values = tuple(_evaluate_term(term, structure, assignment) for term in self.terms)
+        if self.name in interpretations:
+            return values in interpretations[self.name]
+        return values in structure.relation(self.name)
+
+    def _free(self) -> Set[str]:
+        return {term.name for term in self.terms if isinstance(term, Var)}
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(t) for t in self.terms)})"
+
+
+@dataclass(frozen=True)
+class Eq(Formula):
+    """Equality of two terms."""
+
+    left: Term
+    right: Term
+
+    def _eval(self, structure, assignment, interpretations) -> bool:
+        return _evaluate_term(self.left, structure, assignment) == _evaluate_term(
+            self.right, structure, assignment
+        )
+
+    def _free(self) -> Set[str]:
+        return {t.name for t in (self.left, self.right) if isinstance(t, Var)}
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class Top(Formula):
+    """The true formula."""
+
+    def _eval(self, structure, assignment, interpretations) -> bool:
+        return True
+
+    def _free(self) -> Set[str]:
+        return set()
+
+    def __str__(self) -> str:
+        return "⊤"
+
+
+@dataclass(frozen=True)
+class Bottom(Formula):
+    """The false formula."""
+
+    def _eval(self, structure, assignment, interpretations) -> bool:
+        return False
+
+    def _free(self) -> Set[str]:
+        return set()
+
+    def __str__(self) -> str:
+        return "⊥"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    inner: Formula
+
+    def _eval(self, structure, assignment, interpretations) -> bool:
+        return not self.inner._eval(structure, assignment, interpretations)
+
+    def _free(self) -> Set[str]:
+        return set(self.inner._free())
+
+    def __str__(self) -> str:
+        return f"¬({self.inner})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction of any number of formulas."""
+
+    parts: Tuple[Formula, ...]
+
+    def __init__(self, parts: Iterable[Formula]):
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def _eval(self, structure, assignment, interpretations) -> bool:
+        return all(part._eval(structure, assignment, interpretations) for part in self.parts)
+
+    def _free(self) -> Set[str]:
+        names: Set[str] = set()
+        for part in self.parts:
+            names |= part._free()
+        return names
+
+    def __str__(self) -> str:
+        return " ∧ ".join(f"({part})" for part in self.parts) if self.parts else "⊤"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Disjunction of any number of formulas."""
+
+    parts: Tuple[Formula, ...]
+
+    def __init__(self, parts: Iterable[Formula]):
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def _eval(self, structure, assignment, interpretations) -> bool:
+        return any(part._eval(structure, assignment, interpretations) for part in self.parts)
+
+    def _free(self) -> Set[str]:
+        names: Set[str] = set()
+        for part in self.parts:
+            names |= part._free()
+        return names
+
+    def __str__(self) -> str:
+        return " ∨ ".join(f"({part})" for part in self.parts) if self.parts else "⊥"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    """Implication."""
+
+    antecedent: Formula
+    consequent: Formula
+
+    def _eval(self, structure, assignment, interpretations) -> bool:
+        if not self.antecedent._eval(structure, assignment, interpretations):
+            return True
+        return self.consequent._eval(structure, assignment, interpretations)
+
+    def _free(self) -> Set[str]:
+        return self.antecedent._free() | self.consequent._free()
+
+    def __str__(self) -> str:
+        return f"({self.antecedent}) → ({self.consequent})"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """First-order existential quantification over the domain."""
+
+    variable: str
+    body: Formula
+
+    def _eval(self, structure, assignment, interpretations) -> bool:
+        for element in structure.domain:
+            assignment[self.variable] = element
+            if self.body._eval(structure, assignment, interpretations):
+                del assignment[self.variable]
+                return True
+        assignment.pop(self.variable, None)
+        return False
+
+    def _free(self) -> Set[str]:
+        return self.body._free() - {self.variable}
+
+    def __str__(self) -> str:
+        return f"∃{self.variable}.({self.body})"
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    """First-order universal quantification over the domain."""
+
+    variable: str
+    body: Formula
+
+    def _eval(self, structure, assignment, interpretations) -> bool:
+        for element in structure.domain:
+            assignment[self.variable] = element
+            if not self.body._eval(structure, assignment, interpretations):
+                del assignment[self.variable]
+                return False
+        assignment.pop(self.variable, None)
+        return True
+
+    def _free(self) -> Set[str]:
+        return self.body._free() - {self.variable}
+
+    def __str__(self) -> str:
+        return f"∀{self.variable}.({self.body})"
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def exists_many(variables: Iterable[str], body: Formula) -> Formula:
+    """Nested existential quantification."""
+    result = body
+    for variable in reversed(list(variables)):
+        result = Exists(variable, result)
+    return result
+
+
+def forall_many(variables: Iterable[str], body: Formula) -> Formula:
+    """Nested universal quantification."""
+    result = body
+    for variable in reversed(list(variables)):
+        result = Forall(variable, result)
+    return result
+
+
+def evaluate_query(
+    formula: Formula,
+    structure: FiniteStructure,
+    output_variables: Tuple[str, ...],
+    interpretations: Optional[Mapping[str, FrozenSet[Tuple]]] = None,
+) -> FrozenSet[Tuple]:
+    """The answers of a first-order query: all bindings of the output variables."""
+    answers = set()
+
+    def assign(position: int, assignment: Dict[str, object]) -> None:
+        if position == len(output_variables):
+            if formula.evaluate(structure, assignment, interpretations):
+                answers.add(tuple(assignment[v] for v in output_variables))
+            return
+        for element in structure.domain:
+            assignment[output_variables[position]] = element
+            assign(position + 1, assignment)
+        assignment.pop(output_variables[position], None)
+
+    assign(0, {})
+    return frozenset(answers)

@@ -1,0 +1,137 @@
+"""Finite relational structures.
+
+A database of Section 2.1 *is* a finite structure; this module provides the
+structure view used by the finite-model-theory tools (first-order
+evaluation, monadic generalized spectra, symmetry arguments), together with
+constructors for the structures the paper's proofs use: directed paths,
+directed cycles, and paths-with-disjoint-cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from repro.datalog.database import Database
+
+
+@dataclass(frozen=True)
+class FiniteStructure:
+    """A finite structure: a domain, named relations, and named constants."""
+
+    domain: FrozenSet[object]
+    relations: Mapping[str, FrozenSet[Tuple]]
+    constants: Mapping[str, object] = field(default_factory=dict)
+
+    def __init__(
+        self,
+        domain: Iterable[object],
+        relations: Mapping[str, Iterable[Tuple]],
+        constants: Optional[Mapping[str, object]] = None,
+    ):
+        object.__setattr__(self, "domain", frozenset(domain))
+        object.__setattr__(
+            self,
+            "relations",
+            {name: frozenset(tuple(t) for t in tuples) for name, tuples in relations.items()},
+        )
+        object.__setattr__(self, "constants", dict(constants or {}))
+        for name, element in self.constants.items():
+            if element not in self.domain:
+                raise ValueError(f"constant {name} = {element!r} is not in the domain")
+        for name, tuples in self.relations.items():
+            for values in tuples:
+                for value in values:
+                    if value not in self.domain:
+                        raise ValueError(f"relation {name} mentions {value!r} outside the domain")
+
+    # ------------------------------------------------------------------
+    def relation(self, name: str) -> FrozenSet[Tuple]:
+        """Tuples of the named relation (empty if absent)."""
+        return self.relations.get(name, frozenset())
+
+    def constant(self, name: str) -> object:
+        """The interpretation of a named constant."""
+        return self.constants[name]
+
+    def size(self) -> int:
+        """Cardinality of the domain."""
+        return len(self.domain)
+
+    def with_constants(self, constants: Mapping[str, object]) -> "FiniteStructure":
+        """Return a copy with extra named constants."""
+        merged = dict(self.constants)
+        merged.update(constants)
+        return FiniteStructure(self.domain, self.relations, merged)
+
+    def with_relations(self, relations: Mapping[str, Iterable[Tuple]]) -> "FiniteStructure":
+        """Return a copy with extra (or replaced) relations."""
+        merged: Dict[str, Iterable[Tuple]] = dict(self.relations)
+        merged.update(relations)
+        return FiniteStructure(self.domain, merged, self.constants)
+
+    # ------------------------------------------------------------------
+    def to_database(self) -> Database:
+        """The Datalog view of the structure (constants are dropped)."""
+        return Database({name: set(tuples) for name, tuples in self.relations.items()})
+
+    @classmethod
+    def from_database(
+        cls,
+        database: Database,
+        constants: Optional[Mapping[str, object]] = None,
+        extra_domain: Iterable[object] = (),
+    ) -> "FiniteStructure":
+        """Wrap a database; the domain is its active domain plus any extras."""
+        domain = set(database.active_domain()) | set(extra_domain)
+        if constants:
+            domain.update(constants.values())
+        return cls(domain, database.relations(), constants)
+
+
+# ----------------------------------------------------------------------
+# The structures used by the paper's lower-bound arguments
+# ----------------------------------------------------------------------
+def directed_path(length: int, relation: str = "b", prefix: str = "p") -> FiniteStructure:
+    """A directed path with ``length`` edges (hence ``length + 1`` nodes)."""
+    nodes = [f"{prefix}{i}" for i in range(length + 1)]
+    edges = {(nodes[i], nodes[i + 1]) for i in range(length)}
+    return FiniteStructure(nodes, {relation: edges})
+
+
+def directed_cycle(length: int, relation: str = "b", prefix: str = "c") -> FiniteStructure:
+    """A directed cycle with ``length`` nodes (length >= 1)."""
+    if length < 1:
+        raise ValueError("a cycle needs at least one node")
+    nodes = [f"{prefix}{i}" for i in range(length)]
+    edges = {(nodes[i], nodes[(i + 1) % length]) for i in range(length)}
+    return FiniteStructure(nodes, {relation: edges})
+
+
+def path_with_disjoint_cycle(
+    path_length: int, cycle_length: int, relation: str = "b"
+) -> FiniteStructure:
+    """The structure of Lemma 6.2: a path plus a disjoint cycle.
+
+    Fagin's Ehrenfeucht–Fraïssé argument plays the game between the plain
+    path and this structure; the executable experiments use both to exhibit
+    the behaviour of monadic programs and MGS search on them.
+    """
+    path = directed_path(path_length, relation, prefix="p")
+    cycle = directed_cycle(cycle_length, relation, prefix="c")
+    domain = set(path.domain) | set(cycle.domain)
+    edges = set(path.relation(relation)) | set(cycle.relation(relation))
+    return FiniteStructure(domain, {relation: edges})
+
+
+def union_structure(left: FiniteStructure, right: FiniteStructure) -> FiniteStructure:
+    """Disjoint-union-by-name of two structures (domains must already be disjoint)."""
+    if left.domain & right.domain:
+        raise ValueError("structures are not disjoint")
+    relations: Dict[str, set] = {}
+    for source in (left, right):
+        for name, tuples in source.relations.items():
+            relations.setdefault(name, set()).update(tuples)
+    constants = dict(left.constants)
+    constants.update(right.constants)
+    return FiniteStructure(set(left.domain) | set(right.domain), relations, constants)

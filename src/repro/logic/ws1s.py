@@ -1,0 +1,531 @@
+"""WS1S: the weak monadic second-order theory of one successor, compiled to automata.
+
+Section 5 of the paper proves its bound by translating a monadic Datalog
+program into a WS1S formula and invoking the Büchi–Elgot–Trakhtenbrot
+theorem: *every family of finite sets definable in WS1S corresponds to a
+regular language of finite words*.  This module makes that theorem
+executable in the standard (MONA-style) way:
+
+* every variable is a second-order variable ranging over finite sets of
+  nonnegative integers, encoded as a 0/1 *track* of a finite word;
+* first-order variables are singleton-constrained second-order variables
+  (the sugar constructors below add the constraint);
+* every formula is compiled to a deterministic finite automaton over the
+  alphabet of bit-vectors, closed under trailing-zero padding;
+* satisfiability, validity, model enumeration, and the extraction of
+  ``Language(φ)`` (the regular language of encodings of ``Models(φ)``) are
+  then automaton computations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.languages.regular.dfa import DFA
+from repro.languages.regular.minimize import minimize_dfa
+from repro.languages.regular.nfa import NFA
+from repro.languages.regular.operations import dfa_intersection, dfa_union, dfa_complement
+from repro.languages.regular.properties import enumerate_words, is_empty_language
+
+Letter = Tuple[int, ...]
+
+
+# ----------------------------------------------------------------------
+# Track automata
+# ----------------------------------------------------------------------
+def _letters(track_count: int) -> List[Letter]:
+    return [tuple(bits) for bits in itertools.product((0, 1), repeat=track_count)]
+
+
+@dataclass(frozen=True)
+class TrackAutomaton:
+    """A DFA over bit-vector letters, one track per free variable (sorted by name)."""
+
+    tracks: Tuple[str, ...]
+    dfa: DFA
+
+    def accepts_assignment(self, assignment: Mapping[str, Iterable[int]]) -> bool:
+        """Does the automaton accept the encoding of the given sets?"""
+        sets = {name: frozenset(assignment.get(name, ())) for name in self.tracks}
+        length = 0
+        for values in sets.values():
+            if values:
+                length = max(length, max(values) + 1)
+        word = []
+        for position in range(length):
+            word.append(tuple(1 if position in sets[name] else 0 for name in self.tracks))
+        return self.dfa.accepts(tuple(word))
+
+    def zero_letter(self) -> Letter:
+        return tuple(0 for _ in self.tracks)
+
+
+def _pad_closure(dfa: DFA, zero: Letter) -> DFA:
+    """Make acceptance invariant under appending all-zero letters."""
+    # A state is accepting if some accepting state is reachable via zero letters.
+    reachable_by_zero: Dict[object, Set[object]] = {}
+    accepting = set(dfa.accepting)
+    changed = True
+    new_accepting = set(accepting)
+    while changed:
+        changed = False
+        for state in dfa.states:
+            if state in new_accepting:
+                continue
+            target = dfa.delta(state, zero)
+            if target is not None and target in new_accepting:
+                new_accepting.add(state)
+                changed = True
+    del reachable_by_zero
+    return dfa.with_accepting(new_accepting)
+
+
+def _cylindrify(automaton: TrackAutomaton, tracks: Sequence[str]) -> TrackAutomaton:
+    """Extend an automaton to a superset of its tracks (new bits are unconstrained)."""
+    new_tracks = tuple(sorted(set(tracks) | set(automaton.tracks)))
+    if new_tracks == automaton.tracks:
+        return automaton
+    old_index = {name: automaton.tracks.index(name) for name in automaton.tracks}
+    positions = [old_index.get(name) for name in new_tracks]
+    letters = _letters(len(new_tracks))
+    transitions: Dict[Tuple[object, Letter], object] = {}
+    for (state, old_letter), target in automaton.dfa.transitions.items():
+        for letter in letters:
+            projected = tuple(
+                letter[i] for i, position in enumerate(positions) if position is not None
+            )
+            if projected == old_letter:
+                transitions[(state, letter)] = target
+    dfa = DFA(automaton.dfa.states, letters, transitions, automaton.dfa.start, automaton.dfa.accepting)
+    return TrackAutomaton(new_tracks, dfa)
+
+
+def _combine(
+    left: TrackAutomaton, right: TrackAutomaton, operation
+) -> TrackAutomaton:
+    tracks = tuple(sorted(set(left.tracks) | set(right.tracks)))
+    left_aligned = _cylindrify(left, tracks)
+    right_aligned = _cylindrify(right, tracks)
+    letters = _letters(len(tracks))
+    left_dfa = left_aligned.dfa.complete(letters)
+    right_dfa = right_aligned.dfa.complete(letters)
+    combined = operation(left_dfa, right_dfa)
+    return TrackAutomaton(tracks, minimize_dfa(combined))
+
+
+def _negate(automaton: TrackAutomaton) -> TrackAutomaton:
+    letters = _letters(len(automaton.tracks))
+    completed = automaton.dfa.complete(letters)
+    negated = dfa_complement(completed)
+    zero = automaton.zero_letter()
+    return TrackAutomaton(automaton.tracks, minimize_dfa(_pad_closure(negated, zero)))
+
+
+def _project(automaton: TrackAutomaton, track: str) -> TrackAutomaton:
+    """Existentially quantify one track away."""
+    if track not in automaton.tracks:
+        return automaton
+    index = automaton.tracks.index(track)
+    new_tracks = tuple(name for name in automaton.tracks if name != track)
+    transitions: Dict[Tuple[object, Optional[str]], Set[object]] = {}
+    for (state, letter), target in automaton.dfa.transitions.items():
+        new_letter = tuple(bit for i, bit in enumerate(letter) if i != index)
+        transitions.setdefault((state, new_letter), set()).add(target)
+    nfa = NFA(
+        automaton.dfa.states,
+        _letters(len(new_tracks)),
+        transitions,
+        automaton.dfa.start,
+        automaton.dfa.accepting,
+    )
+    dfa = nfa.to_dfa()
+    zero = tuple(0 for _ in new_tracks)
+    return TrackAutomaton(new_tracks, minimize_dfa(_pad_closure(dfa, zero)))
+
+
+def _single_state_automaton(tracks: Tuple[str, ...], allowed) -> TrackAutomaton:
+    letters = [letter for letter in _letters(len(tracks)) if allowed(letter)]
+    transitions = {(0, letter): 0 for letter in letters}
+    return TrackAutomaton(tracks, DFA({0}, _letters(len(tracks)), transitions, 0, {0}))
+
+
+# ----------------------------------------------------------------------
+# Formulas
+# ----------------------------------------------------------------------
+class WFormula:
+    """Base class of WS1S formulas (all variables are second order)."""
+
+    def free_variables(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def automaton(self) -> TrackAutomaton:
+        """Compile to a track automaton over the formula's free variables."""
+        raise NotImplementedError
+
+    def __and__(self, other: "WFormula") -> "WFormula":
+        return WAnd((self, other))
+
+    def __or__(self, other: "WFormula") -> "WFormula":
+        return WOr((self, other))
+
+    def __invert__(self) -> "WFormula":
+        return WNot(self)
+
+
+@dataclass(frozen=True)
+class SubsetEq(WFormula):
+    """``X ⊆ Y``."""
+
+    left: str
+    right: str
+
+    def free_variables(self) -> FrozenSet[str]:
+        return frozenset({self.left, self.right})
+
+    def automaton(self) -> TrackAutomaton:
+        tracks = tuple(sorted({self.left, self.right}))
+        left_index = tracks.index(self.left)
+        right_index = tracks.index(self.right)
+        if self.left == self.right:
+            return _single_state_automaton(tracks, lambda letter: True)
+        return _single_state_automaton(
+            tracks, lambda letter: not (letter[left_index] == 1 and letter[right_index] == 0)
+        )
+
+
+@dataclass(frozen=True)
+class SetEqual(WFormula):
+    """``X = Y`` (as sets)."""
+
+    left: str
+    right: str
+
+    def free_variables(self) -> FrozenSet[str]:
+        return frozenset({self.left, self.right})
+
+    def automaton(self) -> TrackAutomaton:
+        tracks = tuple(sorted({self.left, self.right}))
+        if self.left == self.right:
+            return _single_state_automaton(tracks, lambda letter: True)
+        return _single_state_automaton(tracks, lambda letter: letter[0] == letter[1])
+
+
+@dataclass(frozen=True)
+class IsEmptySet(WFormula):
+    """``X = ∅``."""
+
+    name: str
+
+    def free_variables(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def automaton(self) -> TrackAutomaton:
+        return _single_state_automaton((self.name,), lambda letter: letter[0] == 0)
+
+
+@dataclass(frozen=True)
+class Singleton(WFormula):
+    """``|X| = 1``."""
+
+    name: str
+
+    def free_variables(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def automaton(self) -> TrackAutomaton:
+        tracks = (self.name,)
+        transitions = {
+            (0, (0,)): 0,
+            (0, (1,)): 1,
+            (1, (0,)): 1,
+        }
+        return TrackAutomaton(tracks, DFA({0, 1}, _letters(1), transitions, 0, {1}))
+
+
+@dataclass(frozen=True)
+class SuccSets(WFormula):
+    """``X = {i}`` and ``Y = {i + 1}`` for some position ``i`` (the interpreted succ)."""
+
+    first: str
+    second: str
+
+    def free_variables(self) -> FrozenSet[str]:
+        return frozenset({self.first, self.second})
+
+    def automaton(self) -> TrackAutomaton:
+        if self.first == self.second:
+            # X = {i} and X = {i+1} is unsatisfiable.
+            return TrackAutomaton((self.first,), DFA({0}, _letters(1), {}, 0, set()))
+        tracks = tuple(sorted({self.first, self.second}))
+        first_index = tracks.index(self.first)
+        second_index = tracks.index(self.second)
+        # States: 0 = nothing seen, 1 = saw X (expect Y now), 2 = done.
+        transitions: Dict[Tuple[object, Letter], object] = {}
+        for letter in _letters(2):
+            x_bit, y_bit = letter[first_index], letter[second_index]
+            if x_bit == 0 and y_bit == 0:
+                transitions[(0, letter)] = 0
+                transitions[(2, letter)] = 2
+            elif x_bit == 1 and y_bit == 0:
+                transitions[(0, letter)] = 1
+            elif x_bit == 0 and y_bit == 1:
+                transitions[(1, letter)] = 2
+        return TrackAutomaton(tracks, DFA({0, 1, 2}, _letters(2), transitions, 0, {2}))
+
+
+@dataclass(frozen=True)
+class ContainsZero(WFormula):
+    """``0 ∈ X``."""
+
+    name: str
+
+    def free_variables(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def automaton(self) -> TrackAutomaton:
+        tracks = (self.name,)
+        transitions = {
+            (0, (1,)): 1,
+            (1, (0,)): 1,
+            (1, (1,)): 1,
+        }
+        return TrackAutomaton(tracks, DFA({0, 1}, _letters(1), transitions, 0, {1}))
+
+
+@dataclass(frozen=True)
+class WTrue(WFormula):
+    """The true formula (no free variables)."""
+
+    def free_variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def automaton(self) -> TrackAutomaton:
+        return _single_state_automaton((), lambda letter: True)
+
+
+@dataclass(frozen=True)
+class WFalse(WFormula):
+    """The false formula (no free variables)."""
+
+    def free_variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def automaton(self) -> TrackAutomaton:
+        return TrackAutomaton((), DFA({0}, _letters(0), {}, 0, set()))
+
+
+@dataclass(frozen=True)
+class WNot(WFormula):
+    """Negation."""
+
+    inner: WFormula
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.inner.free_variables()
+
+    def automaton(self) -> TrackAutomaton:
+        return _negate(self.inner.automaton())
+
+
+@dataclass(frozen=True)
+class WAnd(WFormula):
+    """Conjunction."""
+
+    parts: Tuple[WFormula, ...]
+
+    def __init__(self, parts: Iterable[WFormula]):
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def free_variables(self) -> FrozenSet[str]:
+        names: Set[str] = set()
+        for part in self.parts:
+            names |= part.free_variables()
+        return frozenset(names)
+
+    def automaton(self) -> TrackAutomaton:
+        if not self.parts:
+            return WTrue().automaton()
+        result = self.parts[0].automaton()
+        for part in self.parts[1:]:
+            result = _combine(result, part.automaton(), dfa_intersection)
+        return result
+
+
+@dataclass(frozen=True)
+class WOr(WFormula):
+    """Disjunction."""
+
+    parts: Tuple[WFormula, ...]
+
+    def __init__(self, parts: Iterable[WFormula]):
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def free_variables(self) -> FrozenSet[str]:
+        names: Set[str] = set()
+        for part in self.parts:
+            names |= part.free_variables()
+        return frozenset(names)
+
+    def automaton(self) -> TrackAutomaton:
+        if not self.parts:
+            return WFalse().automaton()
+        result = self.parts[0].automaton()
+        for part in self.parts[1:]:
+            result = _combine(result, part.automaton(), dfa_union)
+        return result
+
+
+def WImplies(antecedent: WFormula, consequent: WFormula) -> WFormula:
+    """Implication (sugar)."""
+    return WOr((WNot(antecedent), consequent))
+
+
+@dataclass(frozen=True)
+class WExists(WFormula):
+    """Existential (weak, second-order) quantification."""
+
+    variable: str
+    body: WFormula
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.body.free_variables() - {self.variable}
+
+    def automaton(self) -> TrackAutomaton:
+        inner = self.body.automaton()
+        return _project(inner, self.variable)
+
+
+def WForall(variable: str, body: WFormula) -> WFormula:
+    """Universal quantification (sugar: ``¬∃¬``)."""
+    return WNot(WExists(variable, WNot(body)))
+
+
+def exists_many(variables: Iterable[str], body: WFormula) -> WFormula:
+    """Nested existential quantification."""
+    result = body
+    for variable in reversed(list(variables)):
+        result = WExists(variable, result)
+    return result
+
+
+def forall_many(variables: Iterable[str], body: WFormula) -> WFormula:
+    """Nested universal quantification."""
+    result = body
+    for variable in reversed(list(variables)):
+        result = WForall(variable, result)
+    return result
+
+
+# ----------------------------------------------------------------------
+# First-order sugar (first-order variables are singleton sets)
+# ----------------------------------------------------------------------
+def member(element: str, container: str) -> WFormula:
+    """``x ∈ Y`` where ``x`` is a first-order (singleton) variable."""
+    return SubsetEq(element, container)
+
+
+def fo_equal(left: str, right: str) -> WFormula:
+    """Equality of two first-order variables."""
+    return SetEqual(left, right)
+
+
+def fo_succ(left: str, right: str) -> WFormula:
+    """``right = left + 1`` for first-order variables."""
+    return SuccSets(left, right)
+
+
+def fo_zero(variable: str) -> WFormula:
+    """``variable = 0`` for a first-order variable."""
+    return WAnd((Singleton(variable), ContainsZero(variable)))
+
+
+def fo_exists(variable: str, body: WFormula) -> WFormula:
+    """First-order existential quantification (adds the singleton constraint)."""
+    return WExists(variable, WAnd((Singleton(variable), body)))
+
+
+def fo_forall(variable: str, body: WFormula) -> WFormula:
+    """First-order universal quantification."""
+    return WNot(fo_exists(variable, WNot(body)))
+
+
+# ----------------------------------------------------------------------
+# Top-level queries
+# ----------------------------------------------------------------------
+def is_satisfiable(formula: WFormula) -> bool:
+    """Is there an assignment of finite sets satisfying the formula?"""
+    automaton = formula.automaton()
+    return not is_empty_language(automaton.dfa)
+
+
+def is_valid_sentence(formula: WFormula) -> bool:
+    """Truth of a sentence (no free variables).
+
+    The automaton of a sentence accepts either every word or no word (after
+    padding closure), so truth is acceptance of the empty word.
+    """
+    if formula.free_variables():
+        raise ValueError("is_valid_sentence expects a sentence (no free variables)")
+    automaton = formula.automaton()
+    return automaton.dfa.accepts(())
+
+
+def models_language(formula: WFormula) -> TrackAutomaton:
+    """The automaton for ``Language(φ)``: the regular language encoding ``Models(φ)``.
+
+    This is the executable form of the fundamental property the paper quotes
+    in Section 2.2: *Language(φ) is a regular language for each φ*.
+    """
+    return formula.automaton()
+
+
+def enumerate_models(
+    formula: WFormula, max_length: int, max_count: Optional[int] = None
+) -> List[Dict[str, FrozenSet[int]]]:
+    """Enumerate satisfying assignments (as finite sets) up to an encoding length."""
+    automaton = formula.automaton()
+    assignments: List[Dict[str, FrozenSet[int]]] = []
+    seen: Set[Tuple[Tuple[str, Tuple[int, ...]], ...]] = set()
+    for word in enumerate_words(automaton.dfa, max_length, max_count=None):
+        sets: Dict[str, Set[int]] = {name: set() for name in automaton.tracks}
+        for position, letter in enumerate(word):
+            for track, bit in zip(automaton.tracks, letter):
+                if bit:
+                    sets[track].add(position)
+        key = tuple(sorted((name, tuple(sorted(values))) for name, values in sets.items()))
+        if key in seen:
+            continue
+        seen.add(key)
+        assignments.append({name: frozenset(values) for name, values in sets.items()})
+        if max_count is not None and len(assignments) >= max_count:
+            break
+    return assignments
+
+
+def partition_word_dfa(
+    automaton: TrackAutomaton, letter_of_track: Mapping[str, str]
+) -> DFA:
+    """Convert a track automaton into a word DFA over named letters.
+
+    ``letter_of_track`` maps each track to an alphabet symbol.  Positions are
+    expected to carry exactly one 1-bit (the partition constraint of
+    Lemma 5.1's ``φ2``/``φ3``); transitions on any other bit pattern are
+    dropped.  The resulting DFA recognises the set of strings whose
+    position-wise block membership satisfies the formula.
+    """
+    tracks = automaton.tracks
+    missing = [track for track in tracks if track not in letter_of_track]
+    if missing:
+        raise ValueError(f"no letter given for tracks {missing}")
+    transitions: Dict[Tuple[object, str], object] = {}
+    for (state, letter), target in automaton.dfa.transitions.items():
+        if sum(letter) != 1:
+            continue
+        index = letter.index(1)
+        symbol = letter_of_track[tracks[index]]
+        transitions[(state, symbol)] = target
+    alphabet = set(letter_of_track.values())
+    dfa = DFA(automaton.dfa.states, alphabet, transitions, automaton.dfa.start, automaton.dfa.accepting)
+    return minimize_dfa(dfa.reachable())

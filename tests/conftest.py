@@ -1,0 +1,66 @@
+"""Shared fixtures: the paper's programs and small databases."""
+
+import pytest
+
+from repro.core.examples_catalog import (
+    program_a,
+    program_b,
+    program_c,
+    program_d,
+    section7_program,
+)
+from repro.datalog import Database, parse_program
+
+
+@pytest.fixture
+def ancestor_a():
+    """Example 1.1 Program A (left-linear ancestor recursion, goal ?anc(john, Y))."""
+    return program_a()
+
+
+@pytest.fixture
+def ancestor_b():
+    return program_b()
+
+
+@pytest.fixture
+def ancestor_c():
+    return program_c()
+
+
+@pytest.fixture
+def ancestor_d():
+    return program_d()
+
+
+@pytest.fixture
+def anbn():
+    """The Section 7 program with L(H) = { b1^n b2^n }."""
+    return section7_program()
+
+
+@pytest.fixture
+def family_database():
+    """A small family tree: john -> mary -> sue -> tim, plus an unrelated branch."""
+    database = Database()
+    for parent, child in [
+        ("john", "mary"),
+        ("mary", "sue"),
+        ("sue", "tim"),
+        ("ann", "bob"),
+        ("bob", "carl"),
+    ]:
+        database.add_edge("par", parent, child)
+    return database
+
+
+@pytest.fixture
+def transitive_closure_program():
+    """Plain transitive closure of b with a free goal."""
+    return parse_program(
+        """
+        ?p(X, Y)
+        p(X, Y) :- b(X, Y).
+        p(X, Y) :- p(X, Z), b(Z, Y).
+        """
+    )

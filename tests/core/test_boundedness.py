@@ -1,0 +1,102 @@
+"""Unit tests for Proposition 8.2 (boundedness / FO-expressibility / finiteness)."""
+
+import pytest
+
+from repro.core.boundedness import (
+    analyze_boundedness,
+    first_order_query,
+    is_bounded,
+    measure_proof_depths,
+)
+from repro.core.chain import ChainProgram
+from repro.core.counterexamples import cycle_length_program
+from repro.core.examples_catalog import program_a, section7_program
+from repro.core.workloads import chain_database
+from repro.datalog import evaluate_seminaive
+from repro.errors import ValidationError
+from repro.logic.fo import evaluate_query
+from repro.logic.structures import FiniteStructure
+
+
+GRANDPARENT = ChainProgram.from_text(
+    """
+    ?gp(john, Y)
+    gp(X, Y) :- par(X, X1), par(X1, Y).
+    """
+)
+
+
+class TestDecision:
+    def test_non_recursive_program_is_bounded(self):
+        assert is_bounded(GRANDPARENT)
+
+    def test_finite_recursive_language_is_bounded(self):
+        assert is_bounded(cycle_length_program(3))
+
+    def test_ancestor_is_unbounded(self):
+        assert not is_bounded(program_a())
+
+    def test_anbn_is_unbounded(self):
+        assert not is_bounded(section7_program())
+
+
+class TestReports:
+    def test_bounded_report_contents(self):
+        report = analyze_boundedness(GRANDPARENT)
+        assert report.bounded and report.first_order_expressible
+        assert report.language_words == (("par", "par"),)
+        assert report.derivation_size_bound >= 2
+        assert report.first_order_formula is not None
+        assert report.output_variables == ("Y",)
+
+    def test_unbounded_report(self):
+        report = analyze_boundedness(program_a())
+        assert not report.bounded
+        assert report.first_order_formula is None
+
+    def test_fo_formula_for_unbounded_program_rejected(self):
+        with pytest.raises(ValidationError):
+            first_order_query(program_a())
+
+
+class TestFirstOrderEquivalence:
+    def test_fo_formula_matches_datalog_answers(self):
+        database = chain_database(10)
+        database.add_edge("par", "john", "n0")
+        report = analyze_boundedness(GRANDPARENT)
+        structure = FiniteStructure.from_database(database, constants={"john": "john"})
+        fo_answers = evaluate_query(
+            report.first_order_formula, structure, report.output_variables
+        )
+        datalog_answers = evaluate_seminaive(GRANDPARENT.program, database).answers()
+        assert fo_answers == datalog_answers
+
+    def test_equality_goal_fo_formula(self):
+        chain = cycle_length_program(3)
+        formula, outputs = first_order_query(chain)
+        assert outputs == ("X",)
+        from repro.logic.structures import directed_cycle
+
+        structure = directed_cycle(3)
+        answers = evaluate_query(formula, structure, outputs)
+        assert len(answers) == 3
+
+
+class TestEmpiricalDepths:
+    def test_bounded_program_has_constant_depth(self):
+        databases = [chain_database(n) for n in (4, 8, 16)]
+        for database in databases:
+            database.add_edge("par", "john", "n0")
+        measurements = measure_proof_depths(GRANDPARENT, databases)
+        heights = {m.max_proof_height for m in measurements}
+        assert heights == {2}
+
+    def test_unbounded_program_depth_grows(self):
+        databases = []
+        for n in (4, 8, 16):
+            database = chain_database(n)
+            database.add_edge("par", "john", "n0")
+            databases.append(database)
+        measurements = measure_proof_depths(program_a(), databases)
+        heights = [m.max_proof_height for m in measurements]
+        assert heights[0] < heights[1] < heights[2]

@@ -1,0 +1,115 @@
+"""Unit tests for chain-program validation and goal classification."""
+
+import pytest
+
+from repro.core.chain import (
+    ChainProgram,
+    GoalForm,
+    chain_program_from_productions,
+    chain_rule,
+    classify_goal,
+    is_chain_rule,
+)
+from repro.datalog.atoms import Atom
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.terms import Constant, Variable
+from repro.errors import NotAChainProgramError, ValidationError
+
+
+class TestChainRules:
+    def test_single_atom_chain_rule(self):
+        assert is_chain_rule(parse_rule("anc(X, Y) :- par(X, Y)."))
+
+    def test_long_chain_rule(self):
+        assert is_chain_rule(parse_rule("p(X, Y) :- a(X, X1), b(X1, X2), c(X2, Y)."))
+
+    def test_broken_chain_rejected(self):
+        assert not is_chain_rule(parse_rule("p(X, Y) :- a(X, X1), b(X2, Y)."))
+
+    def test_repeated_chain_variable_rejected(self):
+        assert not is_chain_rule(parse_rule("p(X, Y) :- a(X, X), a(X, Y)."))
+
+    def test_empty_body_rejected(self):
+        assert not is_chain_rule(parse_rule("p(X, Y)."))
+
+    def test_constants_rejected(self):
+        assert not is_chain_rule(parse_rule("p(X, Y) :- a(X, c), a(c, Y)."))
+
+    def test_non_binary_rejected(self):
+        assert not is_chain_rule(parse_rule("p(X, Y) :- a(X, Y, Z)."))
+
+    def test_head_equal_variables_rejected(self):
+        assert not is_chain_rule(parse_rule("p(X, X) :- a(X, X)."))
+
+    def test_chain_rule_builder(self):
+        rule = chain_rule("p", ("a", "b"))
+        assert is_chain_rule(rule)
+        assert rule.body_predicates() == ("a", "b")
+
+
+class TestGoalForms:
+    @pytest.mark.parametrize(
+        "goal,expected",
+        [
+            (Atom("p", (Variable("X"), Variable("Y"))), GoalForm.FREE),
+            (Atom("p", (Variable("X"), Variable("X"))), GoalForm.EQUAL),
+            (Atom("p", (Constant("c"), Variable("Y"))), GoalForm.CONSTANT_FIRST),
+            (Atom("p", (Variable("X"), Constant("c"))), GoalForm.CONSTANT_SECOND),
+            (Atom("p", (Constant("c"), Constant("d"))), GoalForm.CONSTANT_BOTH),
+            (Atom("p", (Constant("c"), Constant("c"))), GoalForm.CONSTANT_SAME),
+        ],
+    )
+    def test_classification(self, goal, expected):
+        assert classify_goal(goal) == expected
+
+    def test_non_binary_goal_rejected(self):
+        with pytest.raises(ValidationError):
+            classify_goal(Atom("p", (Variable("X"),)))
+
+    def test_has_constant(self):
+        assert GoalForm.CONSTANT_FIRST.has_constant
+        assert not GoalForm.FREE.has_constant
+        assert not GoalForm.EQUAL.has_constant
+
+
+class TestChainProgram:
+    def test_example_programs_validate(self, ancestor_a, ancestor_b, ancestor_c, anbn):
+        for chain in (ancestor_a, ancestor_b, ancestor_c, anbn):
+            assert isinstance(chain, ChainProgram)
+
+    def test_goal_metadata(self, ancestor_a):
+        assert ancestor_a.goal_form() == GoalForm.CONSTANT_FIRST
+        assert ancestor_a.goal_predicate() == "anc"
+        assert ancestor_a.goal_constants() == (Constant("john"),)
+        assert ancestor_a.idb_predicates() == {"anc"}
+        assert ancestor_a.edb_predicates() == {"par"}
+
+    def test_non_chain_rule_rejected(self):
+        program = parse_program(
+            """
+            ?p(c, Y)
+            p(X, Y) :- b(Y, X).
+            """
+        )
+        with pytest.raises(NotAChainProgramError):
+            ChainProgram(program)
+
+    def test_monadic_program_rejected(self):
+        with pytest.raises(NotAChainProgramError):
+            ChainProgram(parse_program("?w(Y)\nw(Y) :- par(c, Y)."))
+
+    def test_with_goal(self, ancestor_a):
+        free = ancestor_a.with_goal(Atom("anc", (Variable("X"), Variable("Y"))))
+        assert free.goal_form() == GoalForm.FREE
+
+    def test_from_productions(self):
+        chain = chain_program_from_productions(
+            (("p", ("a", "p", "b")), ("p", ("a", "b"))),
+            Atom("p", (Constant("c"), Variable("Y"))),
+        )
+        assert len(chain.rules) == 2
+        assert chain.goal_form() == GoalForm.CONSTANT_FIRST
+
+    def test_from_text(self):
+        chain = ChainProgram.from_text("?p(c, Y)\np(X, Y) :- b(X, Y).")
+        assert chain.goal_predicate() == "p"

@@ -1,0 +1,125 @@
+"""Unit tests for the counterexample registry, the program catalogue, and workload generators."""
+
+from repro.core.counterexamples import (
+    BALANCED_PAIR,
+    anbn_program,
+    cycle_length_program,
+    cycle_program,
+    find_nonregularity_witness,
+    nonregular_selection_instance,
+    unary_infinite_program,
+)
+from repro.core.examples_catalog import (
+    ancestor_portfolio,
+    program_a,
+    program_b,
+    program_c,
+    program_d,
+    same_generation_program,
+    section6_cycle_program,
+    section7_program,
+    section7_transformed,
+)
+from repro.core.grammar_map import to_grammar
+from repro.core.workloads import (
+    chain_database,
+    cycle_database,
+    database_suite,
+    labeled_random_graph,
+    layered_anbn_graph,
+    parent_forest,
+    same_generation_database,
+)
+from repro.datalog import evaluate_seminaive
+from repro.languages.cfg import parse_grammar
+
+
+class TestWitnessRegistry:
+    def test_anbn_matches_balanced_pair(self):
+        grammar = to_grammar(anbn_program())
+        witness = find_nonregularity_witness(grammar)
+        assert witness is BALANCED_PAIR
+
+    def test_renamed_symbols_still_match(self):
+        grammar = parse_grammar("q -> up q down | up down")
+        assert find_nonregularity_witness(grammar) is not None
+
+    def test_regular_grammars_do_not_match(self):
+        for grammar_text in ("p -> a | p a", "p -> a | a p", "p -> a b"):
+            assert find_nonregularity_witness(parse_grammar(grammar_text)) is None
+
+    def test_nonregular_selection_instance(self):
+        program, witness = nonregular_selection_instance()
+        assert witness.matches(to_grammar(program))
+        assert witness.proof
+
+    def test_cycle_and_unary_programs_validate(self):
+        assert cycle_program().goal_form().name == "EQUAL"
+        assert unary_infinite_program().goal_form().name == "CONSTANT_FIRST"
+        assert len(cycle_length_program(4).rules) == 1
+
+
+class TestCatalogue:
+    def test_portfolio_has_four_programs(self):
+        portfolio = ancestor_portfolio()
+        assert set(portfolio) == {"A", "B", "C", "D"}
+
+    def test_all_programs_answer_the_same_query(self, family_database):
+        expected = {("mary",), ("sue",), ("tim",)}
+        for chain in (program_a(), program_b(), program_c()):
+            assert evaluate_seminaive(chain.program, family_database).answers() == expected
+        assert evaluate_seminaive(program_d(), family_database).answers() == expected
+
+    def test_program_d_is_monadic_not_chain(self):
+        assert program_d().is_monadic()
+
+    def test_section7_programs(self):
+        assert to_grammar(section7_program()).terminals == {"b1", "b2"}
+        transformed = section7_transformed()
+        assert "magic" in transformed.idb_predicates()
+
+    def test_section6_and_same_generation(self):
+        assert section6_cycle_program().goal_form().name == "EQUAL"
+        assert same_generation_program().edb_predicates() == {"up", "down"}
+
+
+class TestWorkloads:
+    def test_parent_forest_shape(self):
+        database = parent_forest(50, seed=1)
+        assert database.fact_count() == 49
+        assert "john" in database.active_domain()
+
+    def test_parent_forest_deterministic(self):
+        assert parent_forest(30, seed=4) == parent_forest(30, seed=4)
+
+    def test_chain_and_cycle(self):
+        assert chain_database(5).fact_count() == 5
+        cycle = cycle_database(5)
+        assert cycle.fact_count() == 5
+        sources = {edge[0] for edge in cycle.relation("b")}
+        assert len(sources) == 5
+
+    def test_labeled_random_graph(self):
+        database = labeled_random_graph(10, 30, ["b1", "b2"], seed=0)
+        assert database.fact_count() <= 30
+        assert set(database.predicates()) <= {"b1", "b2"}
+
+    def test_layered_anbn_graph_has_witnesses(self):
+        database = layered_anbn_graph(5)
+        answers = evaluate_seminaive(section7_program().program, database).answers()
+        assert len(answers) == 5
+
+    def test_layered_noise_is_unreachable(self):
+        noisy = layered_anbn_graph(5, noise_branches=2)
+        answers = evaluate_seminaive(section7_program().program, noisy).answers()
+        assert len(answers) == 5  # noise adds no answers from the origin
+
+    def test_same_generation_database(self):
+        database = same_generation_database(3, branching=2)
+        sg = same_generation_program(constant="g1")  # g1 is a depth-1 node of the tree
+        answers = evaluate_seminaive(sg.program, database).answers()
+        assert answers  # siblings exist at depth >= 1
+
+    def test_database_suite(self):
+        suite = database_suite([3, 5], chain_database)
+        assert [d.fact_count() for d in suite] == [3, 5]

@@ -1,0 +1,77 @@
+"""Unit tests for the chain-program / grammar correspondence (Section 3)."""
+
+import pytest
+
+from repro.core.chain import GoalForm
+from repro.core.grammar_map import (
+    from_grammar,
+    left_linear_grammar_to_program,
+    predicate_terminal_map,
+    to_grammar,
+)
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Constant, Variable
+from repro.errors import ValidationError
+from repro.languages.cfg import parse_grammar
+from repro.languages.cfg_analysis import enumerate_language
+from repro.languages.cfg_properties import is_left_linear, is_right_linear
+
+
+class TestToGrammar:
+    def test_program_a_is_left_linear(self, ancestor_a):
+        grammar = to_grammar(ancestor_a)
+        assert grammar.start == "anc"
+        assert grammar.terminals == {"par"}
+        assert is_left_linear(grammar)
+
+    def test_program_b_is_right_linear(self, ancestor_b):
+        assert is_right_linear(to_grammar(ancestor_b))
+
+    def test_all_ancestor_grammars_define_par_plus(self, ancestor_a, ancestor_b, ancestor_c):
+        for chain in (ancestor_a, ancestor_b, ancestor_c):
+            words = enumerate_language(to_grammar(chain), 4)
+            assert words == [("par",) * n for n in range(1, 5)]
+
+    def test_anbn_language(self, anbn):
+        grammar = to_grammar(anbn)
+        words = set(enumerate_language(grammar, 4))
+        assert words == {("b1", "b2"), ("b1", "b1", "b2", "b2")}
+
+    def test_goal_less_program_needs_explicit_start(self, ancestor_a):
+        free = ancestor_a.program.with_goal(None)
+        from repro.core.chain import ChainProgram
+
+        chain = ChainProgram(free)
+        with pytest.raises(ValidationError):
+            to_grammar(chain)
+        assert to_grammar(chain, start="anc").start == "anc"
+
+    def test_terminal_map_is_identity(self, anbn):
+        assert predicate_terminal_map(anbn) == {"b1": "b1", "b2": "b2"}
+
+
+class TestFromGrammar:
+    def test_round_trip(self, anbn):
+        grammar = to_grammar(anbn)
+        rebuilt = from_grammar(grammar, anbn.goal)
+        assert to_grammar(rebuilt).productions == grammar.productions
+
+    def test_goal_must_match_start(self):
+        grammar = parse_grammar("p -> a")
+        with pytest.raises(ValidationError):
+            from_grammar(grammar, Atom("q", (Constant("c"), Variable("Y"))))
+
+    def test_epsilon_rejected(self):
+        grammar = parse_grammar("p -> a | ε")
+        with pytest.raises(ValidationError):
+            from_grammar(grammar, Atom("p", (Constant("c"), Variable("Y"))))
+
+    def test_left_linear_constructor(self):
+        grammar = parse_grammar("p -> a | p a")
+        chain = left_linear_grammar_to_program(grammar, Atom("p", (Constant("c"), Variable("Y"))))
+        assert chain.goal_form() == GoalForm.CONSTANT_FIRST
+
+    def test_left_linear_constructor_rejects_right_linear(self):
+        grammar = parse_grammar("p -> a | a p")
+        with pytest.raises(ValidationError):
+            left_linear_grammar_to_program(grammar, Atom("p", (Constant("c"), Variable("Y"))))

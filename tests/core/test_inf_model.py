@@ -1,0 +1,55 @@
+"""Unit tests for the inf-model IG and Proposition 3.1."""
+
+from repro.core.counterexamples import anbn_program
+from repro.core.examples_catalog import program_a, program_b, program_c
+from repro.core.inf_model import (
+    check_proposition_3_1,
+    chain_program_on_truncation,
+    ig_truncation,
+    node_name,
+    node_word,
+)
+
+
+class TestTruncation:
+    def test_node_naming_round_trip(self):
+        assert node_word(node_name(("b1", "b2"))) == ("b1", "b2")
+        assert node_word(node_name(())) == ()
+
+    def test_tree_shape(self):
+        truncation = ig_truncation(["b1", "b2"], 3)
+        # A binary tree of depth 3 has 2 + 4 + 8 = 14 edges and 15 nodes.
+        assert truncation.database.fact_count() == 14
+        assert len(truncation.nodes()) == 15
+
+    def test_every_non_origin_node_has_one_incoming_edge(self):
+        truncation = ig_truncation(["a", "b"], 3)
+        incoming = {}
+        for label in ("a", "b"):
+            for (source, target) in truncation.database.relation(label):
+                incoming[target] = incoming.get(target, 0) + 1
+        assert all(count == 1 for count in incoming.values())
+        assert truncation.origin not in incoming
+
+    def test_unary_truncation_is_a_path(self):
+        truncation = ig_truncation(["b"], 5)
+        assert truncation.database.fact_count() == 5
+
+
+class TestProgramOutput:
+    def test_output_strings_are_language_words(self, anbn):
+        words = chain_program_on_truncation(anbn, 6)
+        assert ("b1", "b2") in words
+        assert ("b1", "b1", "b2", "b2") in words
+        assert all(len(word) % 2 == 0 for word in words)
+
+    def test_proposition_3_1_for_ancestor_programs(self):
+        for chain in (program_a(), program_b(), program_c()):
+            assert check_proposition_3_1(chain, 5).agrees
+
+    def test_proposition_3_1_for_anbn(self):
+        assert check_proposition_3_1(anbn_program(), 6).agrees
+
+    def test_output_respects_depth(self, anbn):
+        shallow = chain_program_on_truncation(anbn, 2)
+        assert shallow == {("b1", "b2")}

@@ -1,0 +1,108 @@
+"""Unit tests for Section 7: magic sets as language quotients."""
+
+import pytest
+
+from repro.core.counterexamples import anbn_program
+from repro.core.examples_catalog import program_a, section7_transformed
+from repro.core.magic_chain import (
+    analyze_magic,
+    magic_transform_chain,
+    rule_context_regex,
+)
+from repro.core.workloads import layered_anbn_graph
+from repro.datalog import evaluate_seminaive
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Variable
+from repro.errors import ValidationError
+from repro.languages.regular.properties import enumerate_words
+
+
+class TestContextRegex:
+    def test_recursive_rule_regex(self, anbn):
+        recursive = [rule for rule in anbn.rules if len(rule.body) == 3][0]
+        regex = rule_context_regex(anbn, recursive)
+        nfa = regex.to_nfa(("b1", "b2"))
+        # The regex is Σ* b1 Σ* b2 Σ*: it must accept any word containing b1 before b2.
+        assert nfa.accepts(("b1", "b2"))
+        assert nfa.accepts(("b2", "b1", "b1", "b2", "b1"))
+        assert not nfa.accepts(("b2", "b1"))
+        assert not nfa.accepts(("b1",))
+
+    def test_base_rule_regex(self, anbn):
+        base = [rule for rule in anbn.rules if len(rule.body) == 2][0]
+        regex = rule_context_regex(anbn, base)
+        nfa = regex.to_nfa(("b1", "b2"))
+        assert nfa.accepts(("b1", "b2"))
+        assert not nfa.accepts(("b2",))
+
+
+class TestAnalysis:
+    def test_quotients_are_b1_star(self, anbn):
+        analysis = analyze_magic(anbn)
+        assert not analysis.language_exact  # envelope b1+ b2+ used
+        for entry in analysis.rule_quotients:
+            words = set(enumerate_words(entry.quotient, 3))
+            assert words == {(), ("b1",), ("b1", "b1"), ("b1", "b1", "b1")}
+
+    def test_magic_language_union(self, anbn):
+        analysis = analyze_magic(anbn)
+        magic = analysis.magic_language()
+        assert magic.accepts(("b1", "b1"))
+        assert not magic.accepts(("b2",))
+
+    def test_exact_for_left_linear(self):
+        analysis = analyze_magic(program_a())
+        assert analysis.language_exact
+        assert analysis.all_exact
+
+    def test_requires_constant_first_goal(self, anbn):
+        equality = anbn.with_goal(Atom("p", (Variable("X"), Variable("X"))))
+        with pytest.raises(ValidationError):
+            analyze_magic(equality)
+
+
+class TestTransformation:
+    def test_answers_preserved_and_pruned(self, anbn):
+        transformed = magic_transform_chain(anbn)
+        database = layered_anbn_graph(8, noise_branches=3)
+        plain = evaluate_seminaive(anbn.program, database)
+        magic = evaluate_seminaive(transformed, database)
+        assert plain.answers() == magic.answers()
+        assert magic.statistics.facts_derived < plain.statistics.facts_derived
+
+    def test_agrees_with_paper_written_transformation(self, anbn):
+        database = layered_anbn_graph(6, noise_branches=2)
+        ours = evaluate_seminaive(magic_transform_chain(anbn), database)
+        paper = evaluate_seminaive(section7_transformed(), database)
+        assert ours.answers() == paper.answers()
+
+    def test_transformed_program_guards_every_original_rule(self, anbn):
+        transformed = magic_transform_chain(anbn)
+        guarded = [
+            rule
+            for rule in transformed.rules
+            if rule.head.predicate == "p" and rule.body and rule.body[0].predicate == "magic"
+        ]
+        assert len(guarded) == len(anbn.rules)
+
+    def test_magic_predicates_are_monadic(self, anbn):
+        transformed = magic_transform_chain(anbn)
+        arities = transformed.predicate_arities()
+        monadic = [p for p in transformed.idb_predicates() if p != "p"]
+        assert monadic
+        assert all(arities[p] == 1 for p in monadic)
+
+    def test_ancestor_program_magic(self):
+        chain = program_a()
+        transformed = magic_transform_chain(chain)
+        from repro.core.workloads import parent_forest
+
+        database = parent_forest(80, seed=5, root_count=4)
+        plain = evaluate_seminaive(chain.program, database)
+        magic = evaluate_seminaive(transformed, database)
+        assert plain.answers() == magic.answers()
+        # Fewer facts of the binary predicate anc are derived under the magic guard.
+        assert (
+            magic.statistics.facts_per_predicate["anc"]
+            < plain.statistics.facts_per_predicate["anc"]
+        )

@@ -1,0 +1,111 @@
+"""Unit tests for the Theorem 3.3 decision procedure."""
+
+import pytest
+
+from repro.core.chain import ChainProgram, GoalForm
+from repro.core.counterexamples import anbn_program, cycle_length_program, cycle_program
+from repro.core.examples_catalog import program_a, program_b, program_c, same_generation_program
+from repro.core.propagation import PropagationVerdict, SelectionPropagator, propagate_selection
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Constant, Variable
+from repro.errors import ValidationError
+
+
+class TestConstantGoals:
+    """Theorem 3.3 part (1)."""
+
+    def test_left_linear_is_propagatable(self):
+        result = propagate_selection(program_a())
+        assert result.verdict == PropagationVerdict.PROPAGATABLE
+        assert result.monadic_program is not None
+        assert result.monadic_program.is_monadic()
+        assert result.construction_exact
+
+    def test_right_linear_is_propagatable(self):
+        result = propagate_selection(program_b())
+        assert result.verdict == PropagationVerdict.PROPAGATABLE
+        assert result.regularity.reason == "right-linear grammar"
+
+    def test_nonlinear_unary_is_propagatable(self):
+        result = propagate_selection(program_c())
+        assert result.verdict == PropagationVerdict.PROPAGATABLE
+        assert result.monadic_program is not None
+
+    def test_anbn_is_not_propagatable(self):
+        result = propagate_selection(anbn_program())
+        assert result.verdict == PropagationVerdict.NOT_PROPAGATABLE
+        assert result.witness is not None
+        assert "pumping" in result.witness.proof.lower()
+
+    def test_same_generation_is_unknown(self):
+        # up^n down^n over two letters is non-regular, but it does not match the
+        # registered witness families exactly as written (the matcher is shape-based),
+        # so the honest answer from the decision procedure is a definite NOT_PROPAGATABLE
+        # only if a witness matches, otherwise UNKNOWN.
+        result = propagate_selection(same_generation_program())
+        assert result.verdict in (
+            PropagationVerdict.NOT_PROPAGATABLE,
+            PropagationVerdict.UNKNOWN,
+        )
+        assert result.propagatable in (False, None)
+
+    def test_goal_with_both_constants(self):
+        chain = program_a().with_goal(Atom("anc", (Constant("john"), Constant("mary"))))
+        result = propagate_selection(chain)
+        assert result.verdict == PropagationVerdict.PROPAGATABLE
+        assert result.goal_form == GoalForm.CONSTANT_BOTH
+
+    def test_goal_constant_second(self):
+        chain = program_b().with_goal(Atom("anc", (Variable("X"), Constant("tim"))))
+        result = propagate_selection(chain)
+        assert result.verdict == PropagationVerdict.PROPAGATABLE
+        assert result.monadic_program is not None
+
+
+class TestEqualityGoal:
+    """Theorem 3.3 part (2): decidable."""
+
+    def test_infinite_language_not_propagatable(self):
+        result = propagate_selection(cycle_program())
+        assert result.verdict == PropagationVerdict.NOT_PROPAGATABLE
+        assert result.propagatable is False
+
+    def test_finite_language_propagatable(self):
+        result = propagate_selection(cycle_length_program(4))
+        assert result.verdict == PropagationVerdict.PROPAGATABLE
+        assert result.monadic_program is not None
+        assert result.monadic_program.is_monadic()
+
+    def test_equality_goal_never_unknown(self):
+        # Part (2) is decidable, so UNKNOWN must never be returned for p(X, X).
+        for chain in (cycle_program(), cycle_length_program(2), cycle_length_program(5)):
+            result = propagate_selection(chain)
+            assert result.verdict in (
+                PropagationVerdict.PROPAGATABLE,
+                PropagationVerdict.NOT_PROPAGATABLE,
+            )
+
+
+class TestOtherForms:
+    def test_free_goal_reports_no_selection(self, transitive_closure_program):
+        chain = ChainProgram(transitive_closure_program)
+        result = propagate_selection(chain)
+        assert result.verdict == PropagationVerdict.NO_SELECTION
+        assert result.propagatable is None
+
+    def test_missing_goal_rejected(self, ancestor_a):
+        goalless = ChainProgram(ancestor_a.program.with_goal(None))
+        with pytest.raises(ValidationError):
+            SelectionPropagator().analyze(goalless)
+
+    def test_result_carries_grammar(self):
+        result = propagate_selection(program_a())
+        assert result.grammar.start == "anc"
+
+    def test_verdicts_are_sound_never_both(self):
+        for chain in (program_a(), program_b(), program_c(), anbn_program(), cycle_program()):
+            result = propagate_selection(chain)
+            if result.verdict == PropagationVerdict.PROPAGATABLE:
+                assert result.regularity is not None and result.regularity.regular
+            if result.verdict == PropagationVerdict.NOT_PROPAGATABLE:
+                assert result.monadic_program is None

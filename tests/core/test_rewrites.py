@@ -1,0 +1,114 @@
+"""Unit tests for the Theorem 3.3 "if"-direction constructions."""
+
+import pytest
+
+from repro.core.rewrites import (
+    dfa_to_monadic_backward,
+    dfa_to_monadic_forward,
+    finite_language_to_monadic,
+    monadic_program_from_dfa,
+)
+from repro.datalog import Database, evaluate_seminaive
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Constant, Variable
+from repro.errors import ValidationError
+from repro.languages.regular.regex import parse_regex
+
+
+def par_plus_dfa():
+    return parse_regex("par par*").to_nfa(("par",)).to_dfa()
+
+
+@pytest.fixture
+def two_chain_db():
+    """Two disjoint par-chains, one starting at john and one at ann."""
+    database = Database()
+    previous = "john"
+    for index in range(4):
+        database.add_edge("par", previous, f"j{index}")
+        previous = f"j{index}"
+    previous = "ann"
+    for index in range(3):
+        database.add_edge("par", previous, f"a{index}")
+        previous = f"a{index}"
+    return database
+
+
+class TestForwardConstruction:
+    def test_program_is_monadic(self):
+        program = dfa_to_monadic_forward(par_plus_dfa(), Constant("john"))
+        assert program.is_monadic()
+        program.validate()
+
+    def test_reachability_semantics(self, two_chain_db):
+        program = dfa_to_monadic_forward(par_plus_dfa(), Constant("john"))
+        answers = evaluate_seminaive(program, two_chain_db).answers()
+        assert answers == {("j0",), ("j1",), ("j2",), ("j3",)}
+
+    def test_epsilon_accepting_dfa_includes_the_constant(self, two_chain_db):
+        dfa = parse_regex("par*").to_nfa(("par",)).to_dfa()
+        program = dfa_to_monadic_forward(dfa, Constant("john"))
+        answers = evaluate_seminaive(program, two_chain_db).answers()
+        assert ("john",) in answers
+
+
+class TestBackwardConstruction:
+    def test_program_is_monadic(self):
+        program = dfa_to_monadic_backward(par_plus_dfa(), Constant("tim"))
+        assert program.is_monadic()
+
+    def test_co_reachability_semantics(self, two_chain_db):
+        program = dfa_to_monadic_backward(par_plus_dfa(), Constant("j3"))
+        answers = evaluate_seminaive(program, two_chain_db).answers()
+        assert answers == {("john",), ("j0",), ("j1",), ("j2",)}
+
+
+class TestFiniteLanguageConstruction:
+    WORDS = [("par",), ("par", "par")]
+
+    def test_constant_first(self, two_chain_db):
+        goal = Atom("p", (Constant("john"), Variable("Y")))
+        program = finite_language_to_monadic(self.WORDS, goal)
+        assert program.is_monadic()
+        answers = evaluate_seminaive(program, two_chain_db).answers()
+        assert answers == {("j0",), ("j1",)}
+
+    def test_constant_second(self, two_chain_db):
+        goal = Atom("p", (Variable("X"), Constant("j1")))
+        program = finite_language_to_monadic(self.WORDS, goal)
+        answers = evaluate_seminaive(program, two_chain_db).answers()
+        assert answers == {("john",), ("j0",)}
+
+    def test_equality_goal_on_cycle(self):
+        goal = Atom("p", (Variable("X"), Variable("X")))
+        program = finite_language_to_monadic([("b", "b", "b")], goal)
+        database = Database({"b": [(0, 1), (1, 2), (2, 0), (5, 6)]})
+        answers = evaluate_seminaive(program, database).answers()
+        assert answers == {(0,), (1,), (2,)}
+
+    def test_both_constants_boolean(self, two_chain_db):
+        goal = Atom("p", (Constant("john"), Constant("j1")))
+        program = finite_language_to_monadic(self.WORDS, goal)
+        assert evaluate_seminaive(program, two_chain_db).boolean_answer()
+        goal_false = Atom("p", (Constant("john"), Constant("a0")))
+        program_false = finite_language_to_monadic(self.WORDS, goal_false)
+        assert not evaluate_seminaive(program_false, two_chain_db).boolean_answer()
+
+    def test_free_goal_rejected(self):
+        with pytest.raises(ValidationError):
+            finite_language_to_monadic(self.WORDS, Atom("p", (Variable("X"), Variable("Y"))))
+
+    def test_empty_word_rejected(self):
+        with pytest.raises(ValidationError):
+            finite_language_to_monadic([()], Atom("p", (Constant("c"), Variable("Y"))))
+
+
+class TestDispatcher:
+    def test_dispatch_by_goal_form(self, ancestor_a):
+        program = monadic_program_from_dfa(ancestor_a, par_plus_dfa())
+        assert program.is_monadic()
+
+    def test_dispatch_rejects_equality_goal(self, ancestor_a):
+        equality = ancestor_a.with_goal(Atom("anc", (Variable("X"), Variable("X"))))
+        with pytest.raises(ValidationError):
+            monadic_program_from_dfa(equality, par_plus_dfa())

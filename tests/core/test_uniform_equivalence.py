@@ -1,0 +1,129 @@
+"""Unit tests for Proposition 8.1 (uniform programs, containment) and equivalence checking."""
+
+from repro.core.chain import ChainProgram
+from repro.core.counterexamples import anbn_program
+from repro.core.equivalence import (
+    EquivalenceVerdict,
+    chain_language_equivalence,
+    programs_agree_on,
+    random_equivalence_test,
+)
+from repro.core.examples_catalog import program_a, program_b, program_c
+from repro.core.uniform import (
+    ContainmentVerdict,
+    bounded_equivalence_check,
+    has_single_idb,
+    is_uniform,
+    language_containment,
+    language_equivalence,
+    uniformize,
+)
+from repro.core.workloads import parent_forest
+
+
+class TestUniformity:
+    def test_uniformize_adds_base_rules(self, ancestor_a):
+        uniform = uniformize(ancestor_a)
+        assert is_uniform(uniform)
+        assert "base_anc" in uniform.edb_predicates()
+        assert len(uniform.rules) == len(ancestor_a.rules) + 1
+
+    def test_plain_program_is_not_uniform(self, ancestor_a):
+        assert not is_uniform(ancestor_a)
+
+    def test_uniformize_preserves_chain_shape(self, anbn):
+        uniform = uniformize(anbn)
+        assert is_uniform(uniform)
+        assert isinstance(uniform, ChainProgram)
+
+    def test_single_idb(self, ancestor_a, anbn):
+        assert has_single_idb(ancestor_a)
+        assert has_single_idb(anbn)
+
+
+class TestContainment:
+    def test_ancestor_programs_mutually_contained(self):
+        forward = language_containment(program_a(), program_b())
+        backward = language_containment(program_b(), program_a())
+        assert forward.verdict == ContainmentVerdict.CONTAINED
+        assert backward.verdict == ContainmentVerdict.CONTAINED
+
+    def test_proper_containment_refuted_with_witness(self):
+        smaller = ChainProgram.from_text("?p(c, Y)\np(X, Y) :- par(X, Y).")
+        larger = program_a()
+        assert language_containment(smaller, larger).verdict == ContainmentVerdict.CONTAINED
+        refutation = language_containment(larger, smaller)
+        assert refutation.verdict == ContainmentVerdict.NOT_CONTAINED
+        assert refutation.witness == ("par", "par")
+
+    def test_anbn_contained_in_its_envelope_program(self):
+        envelope_program = ChainProgram.from_text(
+            """
+            ?q(c, Y)
+            q(X, Y) :- b1(X, X1), r(X1, Y).
+            q(X, Y) :- b1(X, X1), q(X1, Y).
+            r(X, Y) :- b2(X, Y).
+            r(X, Y) :- b2(X, X1), r(X1, Y).
+            """
+        )
+        result = language_containment(anbn_program(), envelope_program)
+        assert result.verdict == ContainmentVerdict.CONTAINED
+
+    def test_anbn_not_containing_envelope(self):
+        envelope_program = ChainProgram.from_text(
+            """
+            ?q(c, Y)
+            q(X, Y) :- b1(X, X1), r(X1, Y).
+            q(X, Y) :- b1(X, X1), q(X1, Y).
+            r(X, Y) :- b2(X, Y).
+            r(X, Y) :- b2(X, X1), r(X1, Y).
+            """
+        )
+        result = language_containment(envelope_program, anbn_program())
+        assert result.verdict == ContainmentVerdict.NOT_CONTAINED
+        assert result.witness is not None
+
+    def test_language_equivalence_pairs(self):
+        forward, backward = language_equivalence(program_a(), program_b())
+        assert forward.verdict == backward.verdict == ContainmentVerdict.CONTAINED
+
+    def test_bounded_equivalence_check(self):
+        agree, witness = bounded_equivalence_check(program_a(), program_c(), 5)
+        assert agree and witness is None
+
+
+class TestEquivalence:
+    def test_ancestor_portfolio_equivalent(self):
+        result = chain_language_equivalence(program_a(), program_b())
+        assert result.verdict == EquivalenceVerdict.EQUIVALENT
+
+    def test_different_languages_refuted(self):
+        doubled = ChainProgram.from_text(
+            """
+            ?anc(john, Y)
+            anc(X, Y) :- par(X, X1), par(X1, Y).
+            anc(X, Y) :- anc(X, X1), anc(X1, Y).
+            """
+        )
+        result = chain_language_equivalence(program_a(), doubled)
+        assert result.verdict == EquivalenceVerdict.NOT_EQUIVALENT
+        assert result.witness == ("par",)
+
+    def test_finite_language_comparison(self):
+        left = ChainProgram.from_text("?p(c, Y)\np(X, Y) :- a(X, Y).")
+        right = ChainProgram.from_text("?p(c, Y)\np(X, Y) :- a(X, Y).\np(X, Y) :- a(X, X1), a(X1, Y).")
+        result = chain_language_equivalence(left, right)
+        assert result.verdict == EquivalenceVerdict.NOT_EQUIVALENT
+
+    def test_empirical_agreement(self):
+        left = program_a().program
+        right = program_b().program
+        outcome = random_equivalence_test(left, right, lambda seed: parent_forest(40, seed=seed), 5)
+        assert outcome.agree
+
+    def test_empirical_disagreement_found(self):
+        left = program_a().program
+        smaller = ChainProgram.from_text("?anc(john, Y)\nanc(X, Y) :- par(X, Y).").program
+        outcome = programs_agree_on(left, smaller, [parent_forest(40, seed=2)])
+        assert not outcome.agree
+        assert outcome.counterexample is not None

@@ -1,0 +1,96 @@
+"""Unit tests for program analysis (dependency graph, recursion, linearity)."""
+
+from repro.datalog.analysis import (
+    dependency_graph,
+    is_linear_program,
+    is_recursive,
+    predicate_usage,
+    recursive_predicates,
+    relevant_rules,
+    stratification,
+)
+from repro.datalog.parser import parse_program
+
+
+class TestDependencyGraph:
+    def test_edges(self, ancestor_a):
+        graph = dependency_graph(ancestor_a.program)
+        assert ("anc", "par") in graph.edges
+        assert ("anc", "anc") in graph.edges
+
+    def test_successors_predecessors(self, ancestor_a):
+        graph = dependency_graph(ancestor_a.program)
+        assert graph.successors("anc") == {"par", "anc"}
+        assert graph.predecessors("par") == {"anc"}
+
+    def test_reachable_from(self):
+        program = parse_program(
+            """
+            a(X) :- b(X).
+            b(X) :- c(X).
+            d(X) :- e(X).
+            """
+        )
+        graph = dependency_graph(program)
+        assert graph.reachable_from("a") == {"a", "b", "c"}
+
+    def test_sccs_identify_mutual_recursion(self):
+        program = parse_program(
+            """
+            p(X) :- q(X).
+            q(X) :- p(X).
+            r(X) :- p(X).
+            """
+        )
+        graph = dependency_graph(program)
+        components = graph.strongly_connected_components()
+        assert frozenset({"p", "q"}) in components
+
+
+class TestRecursion:
+    def test_recursive_predicates(self, ancestor_a):
+        assert recursive_predicates(ancestor_a.program) == {"anc"}
+        assert is_recursive(ancestor_a.program)
+
+    def test_non_recursive(self):
+        program = parse_program("gp(X, Y) :- par(X, Z), par(Z, Y).")
+        assert not is_recursive(program)
+        assert recursive_predicates(program) == frozenset()
+
+    def test_linear_vs_nonlinear(self, ancestor_a, ancestor_c):
+        assert is_linear_program(ancestor_a.program)
+        assert not is_linear_program(ancestor_c.program)
+
+
+class TestMisc:
+    def test_relevant_rules_filters_unreachable(self):
+        program = parse_program(
+            """
+            ?a(X)
+            a(X) :- b(X).
+            z(X) :- b(X).
+            """
+        )
+        kept = relevant_rules(program)
+        assert [rule.head.predicate for rule in kept] == ["a"]
+
+    def test_relevant_rules_without_goal_keeps_all(self):
+        program = parse_program("a(X) :- b(X).\nz(X) :- b(X).")
+        assert len(relevant_rules(program)) == 2
+
+    def test_predicate_usage(self, ancestor_a):
+        usage = predicate_usage(ancestor_a.program)
+        assert usage["par"] == 2
+        assert usage["anc"] == 1
+
+    def test_stratification_orders_components(self):
+        program = parse_program(
+            """
+            top(X) :- mid(X).
+            mid(X) :- base(X).
+            mid(X) :- mid(X).
+            """
+        )
+        strata = stratification(program)
+        flat = [predicate for stratum in strata for predicate in stratum]
+        assert flat.index("base") < flat.index("mid") < flat.index("top")

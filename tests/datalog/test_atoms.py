@@ -1,0 +1,60 @@
+"""Unit tests for repro.datalog.atoms."""
+
+import pytest
+
+from repro.datalog.atoms import Atom, ground_atom
+from repro.datalog.terms import Constant, Variable
+
+
+class TestAtomBasics:
+    def test_terms_are_coerced(self):
+        atom = Atom("par", ("X", "john"))
+        assert atom.terms == (Variable("X"), Constant("john"))
+
+    def test_arity(self):
+        assert Atom("p", ("X", "Y")).arity == 2
+        assert Atom("q", ()).arity == 0
+
+    def test_is_ground(self):
+        assert ground_atom("par", ("john", "mary")).is_ground()
+        assert not Atom("par", ("X", "mary")).is_ground()
+
+    def test_variables_in_order_without_duplicates(self):
+        atom = Atom("p", ("X", "Y", "X"))
+        assert atom.variables() == (Variable("X"), Variable("Y"))
+
+    def test_constants(self):
+        atom = Atom("p", ("a", "X", "b", "a"))
+        assert atom.constants() == (Constant("a"), Constant("b"))
+
+    def test_str(self):
+        assert str(Atom("anc", ("john", "Y"))) == "anc(john, Y)"
+        assert str(Atom("flag", ())) == "flag"
+
+    def test_hashable_and_equal(self):
+        assert Atom("p", ("X",)) == Atom("p", ("X",))
+        assert len({Atom("p", ("X",)), Atom("p", ("X",))}) == 1
+
+
+class TestSubstitution:
+    def test_substitute_variable(self):
+        atom = Atom("par", ("X", "Y"))
+        result = atom.substitute({Variable("X"): Constant("john")})
+        assert result == Atom("par", (Constant("john"), Variable("Y")))
+
+    def test_substitute_leaves_constants(self):
+        atom = Atom("par", ("john", "Y"))
+        result = atom.substitute({Variable("Y"): Constant("mary")})
+        assert result.is_ground()
+
+    def test_rename_predicate(self):
+        assert Atom("p", ("X",)).rename_predicate("q") == Atom("q", ("X",))
+
+
+class TestFactTuple:
+    def test_as_fact_tuple(self):
+        assert ground_atom("par", ("john", "mary")).as_fact_tuple() == ("john", "mary")
+
+    def test_as_fact_tuple_requires_ground(self):
+        with pytest.raises(ValueError):
+            Atom("par", ("X", "mary")).as_fact_tuple()

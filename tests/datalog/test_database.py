@@ -1,0 +1,76 @@
+"""Unit tests for repro.datalog.database."""
+
+from repro.datalog.atoms import ground_atom
+from repro.datalog.database import Database
+
+
+class TestMutation:
+    def test_add_fact_returns_newness(self):
+        database = Database()
+        assert database.add_fact("par", ("a", "b"))
+        assert not database.add_fact("par", ("a", "b"))
+
+    def test_add_edge(self):
+        database = Database()
+        database.add_edge("b", 1, 2)
+        assert database.contains("b", (1, 2))
+
+    def test_update_merges(self):
+        left = Database({"p": [(1,)]})
+        right = Database({"p": [(2,)], "q": [(3,)]})
+        left.update(right)
+        assert left.relation("p") == {(1,), (2,)}
+        assert left.relation("q") == {(3,)}
+
+    def test_remove_relation(self):
+        database = Database({"p": [(1,)]})
+        database.remove_relation("p")
+        assert database.relation("p") == frozenset()
+
+
+class TestAccess:
+    def test_relation_of_missing_predicate_is_empty(self):
+        assert Database().relation("nope") == frozenset()
+
+    def test_active_domain(self):
+        database = Database({"par": [("a", "b"), ("b", "c")]})
+        assert database.active_domain() == {"a", "b", "c"}
+
+    def test_fact_count_and_len(self):
+        database = Database({"p": [(1,), (2,)], "q": [(1, 2)]})
+        assert database.fact_count() == 3
+        assert len(database) == 3
+
+    def test_facts_iteration_round_trip(self):
+        database = Database({"par": [("a", "b")]})
+        facts = list(database.facts())
+        assert facts == [ground_atom("par", ("a", "b"))]
+        assert Database.from_facts(facts) == database
+
+    def test_contains_atom(self):
+        database = Database({"par": [("a", "b")]})
+        assert ground_atom("par", ("a", "b")) in database
+        assert ground_atom("par", ("b", "a")) not in database
+
+    def test_restrict(self):
+        database = Database({"p": [(1,)], "q": [(2,)]})
+        restricted = database.restrict(["p"])
+        assert restricted.predicates() == {"p"}
+
+    def test_rename_merges_relations(self):
+        database = Database({"b1": [(1, 2)], "b2": [(2, 3)]})
+        merged = database.rename({"b1": "b", "b2": "b"})
+        assert merged.relation("b") == {(1, 2), (2, 3)}
+
+
+class TestEquality:
+    def test_equality_ignores_empty_relations(self):
+        left = Database({"p": [(1,)], "q": []})
+        right = Database({"p": [(1,)]})
+        assert left == right
+
+    def test_copy_is_independent(self):
+        original = Database({"p": [(1,)]})
+        clone = original.copy()
+        clone.add_fact("p", (2,))
+        assert original.relation("p") == {(1,)}

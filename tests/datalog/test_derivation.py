@@ -1,0 +1,52 @@
+"""Unit tests for derivation trees and proof-depth analysis."""
+
+from repro.datalog import Database
+from repro.datalog.atoms import ground_atom
+from repro.datalog.engine.derivation import DerivationAnalyzer
+
+
+class TestProofHeights:
+    def test_edb_fact_has_height_one(self, ancestor_a, family_database):
+        analyzer = DerivationAnalyzer(ancestor_a.program, family_database)
+        assert analyzer.proof_height(ground_atom("par", ("john", "mary"))) == 1
+
+    def test_direct_child_has_height_two(self, ancestor_a, family_database):
+        analyzer = DerivationAnalyzer(ancestor_a.program, family_database)
+        assert analyzer.proof_height(ground_atom("anc", ("john", "mary"))) == 2
+
+    def test_depth_grows_along_chain(self, ancestor_a, family_database):
+        analyzer = DerivationAnalyzer(ancestor_a.program, family_database)
+        near = analyzer.proof_height(ground_atom("anc", ("john", "mary")))
+        far = analyzer.proof_height(ground_atom("anc", ("john", "tim")))
+        assert far > near
+
+    def test_underivable_fact(self, ancestor_a, family_database):
+        analyzer = DerivationAnalyzer(ancestor_a.program, family_database)
+        assert analyzer.proof_height(ground_atom("anc", ("tim", "john"))) is None
+
+    def test_max_goal_proof_height(self, ancestor_a, family_database):
+        analyzer = DerivationAnalyzer(ancestor_a.program, family_database)
+        assert analyzer.max_goal_proof_height() == 4  # john -> mary -> sue -> tim
+
+
+class TestTrees:
+    def test_tree_structure(self, ancestor_a, family_database):
+        analyzer = DerivationAnalyzer(ancestor_a.program, family_database)
+        tree = analyzer.derivation_tree(ground_atom("anc", ("john", "sue")))
+        assert tree is not None
+        assert tree.fact == ground_atom("anc", ("john", "sue"))
+        assert tree.rule is not None
+        assert tree.height() == analyzer.proof_height(ground_atom("anc", ("john", "sue")))
+        leaves = tree.leaves()
+        assert ground_atom("par", ("john", "mary")) in leaves
+        assert ground_atom("par", ("mary", "sue")) in leaves
+
+    def test_leaf_tree(self, ancestor_a, family_database):
+        analyzer = DerivationAnalyzer(ancestor_a.program, family_database)
+        tree = analyzer.derivation_tree(ground_atom("par", ("john", "mary")))
+        assert tree.rule is None
+        assert tree.size() == 1
+
+    def test_missing_fact_has_no_tree(self, ancestor_a, family_database):
+        analyzer = DerivationAnalyzer(ancestor_a.program, family_database)
+        assert analyzer.derivation_tree(ground_atom("anc", ("tim", "john"))) is None

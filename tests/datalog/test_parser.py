@@ -1,0 +1,105 @@
+"""Unit tests for the Datalog parser."""
+
+import pytest
+
+from repro.datalog.atoms import Atom
+from repro.datalog.parser import parse_atom, parse_facts, parse_program, parse_rule, parse_term
+from repro.datalog.terms import Constant, Variable
+from repro.errors import ParseError
+
+
+class TestTerms:
+    def test_variable(self):
+        assert parse_term("X1") == Variable("X1")
+
+    def test_constant_identifier(self):
+        assert parse_term("john") == Constant("john")
+
+    def test_integer(self):
+        assert parse_term("42") == Constant(42)
+
+    def test_negative_integer(self):
+        assert parse_term("-3") == Constant(-3)
+
+    def test_quoted_string(self):
+        assert parse_term('"John Smith"') == Constant("John Smith")
+
+
+class TestAtomsAndRules:
+    def test_atom(self):
+        assert parse_atom("anc(john, Y)") == Atom("anc", (Constant("john"), Variable("Y")))
+
+    def test_zero_ary_atom(self):
+        assert parse_atom("flag") == Atom("flag", ())
+
+    def test_rule(self):
+        rule = parse_rule("anc(X, Y) :- anc(X, Z), par(Z, Y).")
+        assert rule.head.predicate == "anc"
+        assert [a.predicate for a in rule.body] == ["anc", "par"]
+
+    def test_fact(self):
+        rule = parse_rule("par(john, mary).")
+        assert rule.is_fact()
+        assert rule.head.is_ground()
+
+    def test_trailing_period_optional(self):
+        assert parse_rule("p(X) :- b(X)") == parse_rule("p(X) :- b(X).")
+
+
+class TestPrograms:
+    def test_example_1_1_program_a(self):
+        program = parse_program(
+            """
+            ?anc(john, Y)
+            anc(X, Y) :- par(X, Y).
+            anc(X, Y) :- anc(X, Z), par(Z, Y).
+            """
+        )
+        assert program.goal == Atom("anc", (Constant("john"), Variable("Y")))
+        assert len(program.rules) == 2
+        assert program.idb_predicates() == {"anc"}
+        assert program.edb_predicates() == {"par"}
+
+    def test_comments_are_ignored(self):
+        program = parse_program(
+            """
+            % a comment
+            p(X) :- b(X).  # trailing comment
+            """
+        )
+        assert len(program.rules) == 1
+
+    def test_goal_is_optional(self):
+        program = parse_program("p(X) :- b(X).")
+        assert program.goal is None
+
+    def test_multiple_goals_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("?p(X)\n?q(X)\np(X) :- b(X).")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_program("p(X) :- b(X) & c(X).")
+
+    def test_parse_facts(self):
+        facts = parse_facts("par(john, mary). par(mary, sue).")
+        assert len(facts) == 2
+        assert all(fact.is_ground() for fact in facts)
+
+    def test_parse_facts_rejects_rules(self):
+        with pytest.raises(ParseError):
+            parse_facts("p(X) :- b(X).")
+
+    def test_parse_facts_rejects_non_ground(self):
+        with pytest.raises(ParseError):
+            parse_facts("par(X, mary).")
+
+
+class TestRoundTrip:
+    def test_pretty_parse_round_trip(self, ancestor_a):
+        from repro.datalog.pretty import format_program
+
+        text = format_program(ancestor_a.program)
+        reparsed = parse_program(text)
+        assert reparsed.rules == ancestor_a.program.rules
+        assert reparsed.goal == ancestor_a.program.goal

@@ -1,0 +1,74 @@
+"""Unit tests for repro.datalog.program."""
+
+import pytest
+
+from repro.datalog.atoms import Atom
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.program import Program
+from repro.errors import UnsafeRuleError, ValidationError
+
+
+class TestClassification:
+    def test_idb_edb_split(self, ancestor_a):
+        program = ancestor_a.program
+        assert program.idb_predicates() == {"anc"}
+        assert program.edb_predicates() == {"par"}
+
+    def test_predicates_includes_goal(self):
+        program = parse_program("?q(X)\nq(X) :- b(X).")
+        assert "q" in program.predicates()
+        assert "b" in program.predicates()
+
+    def test_arities(self, ancestor_a):
+        assert ancestor_a.program.predicate_arities() == {"anc": 2, "par": 2}
+
+    def test_inconsistent_arity_rejected(self):
+        program = parse_program("p(X) :- b(X).\np(X, Y) :- b(X), b(Y).")
+        with pytest.raises(ValidationError):
+            program.predicate_arities()
+
+    def test_is_monadic(self, ancestor_a, ancestor_d):
+        assert not ancestor_a.program.is_monadic()
+        assert ancestor_d.is_monadic()
+
+    def test_monadic_allows_binary_edbs(self):
+        program = parse_program("?w(Y)\nw(Y) :- par(c, Y).")
+        assert program.is_monadic()
+
+
+class TestValidation:
+    def test_valid_program(self, ancestor_a):
+        ancestor_a.program.validate()
+
+    def test_unsafe_rule_rejected(self):
+        program = parse_program("p(X, Y) :- b(X, X).")
+        with pytest.raises(UnsafeRuleError):
+            program.validate()
+
+    def test_goal_must_be_idb(self):
+        program = parse_program("?q(X)\np(X) :- b(X).")
+        with pytest.raises(ValidationError):
+            program.validate()
+
+
+class TestUpdates:
+    def test_with_goal(self, ancestor_a):
+        new_goal = Atom("anc", ("X", "Y"))
+        updated = ancestor_a.program.with_goal(new_goal)
+        assert updated.goal == new_goal
+        assert updated.rules == ancestor_a.program.rules
+
+    def test_add_rules(self, ancestor_a):
+        extra = parse_rule("anc(X, Y) :- par(X, Y).")
+        updated = ancestor_a.program.add_rules([extra])
+        assert len(updated) == len(ancestor_a.program) + 1
+
+    def test_rename_predicates(self, ancestor_a):
+        renamed = ancestor_a.program.rename_predicates({"anc": "ancestor"})
+        assert renamed.idb_predicates() == {"ancestor"}
+        assert renamed.goal.predicate == "ancestor"
+        assert renamed.edb_predicates() == {"par"}
+
+    def test_rules_for(self, ancestor_a):
+        assert len(ancestor_a.program.rules_for("anc")) == 2
+        assert ancestor_a.program.rules_for("par") == ()

@@ -1,0 +1,168 @@
+"""Property-based tests (hypothesis) for the Datalog substrate's core data structures."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog.atoms import Atom
+from repro.datalog.database import Database
+from repro.datalog.engine.base import select_answers
+from repro.datalog.engine.derivation import DerivationAnalyzer
+from repro.datalog.engine.seminaive import evaluate_seminaive
+from repro.datalog.parser import parse_program
+from repro.datalog.pretty import format_program
+from repro.datalog.terms import Constant, Variable
+from repro.datalog.unify import match_atom, unify_atoms
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+values = st.one_of(st.integers(min_value=0, max_value=5), st.sampled_from(["a", "b", "c"]))
+tuples2 = st.tuples(values, values)
+relation_names = st.sampled_from(["p", "q", "r"])
+
+
+@st.composite
+def databases(draw):
+    database = Database()
+    for _ in range(draw(st.integers(min_value=0, max_value=12))):
+        database.add_fact(draw(relation_names), draw(tuples2))
+    return database
+
+
+@st.composite
+def goal_atoms(draw):
+    def term():
+        if draw(st.booleans()):
+            return Variable(draw(st.sampled_from(["X", "Y"])))
+        return Constant(draw(values))
+
+    return Atom(draw(relation_names), (term(), term()))
+
+
+# ----------------------------------------------------------------------
+# Database invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(databases())
+def test_database_facts_round_trip(database):
+    rebuilt = Database.from_facts(database.facts())
+    assert rebuilt == database
+    assert rebuilt.fact_count() == database.fact_count()
+
+
+@settings(max_examples=50, deadline=None)
+@given(databases(), databases())
+def test_database_update_is_union(left, right):
+    merged = left.copy()
+    merged.update(right)
+    for predicate in left.predicates() | right.predicates():
+        assert merged.relation(predicate) == left.relation(predicate) | right.relation(predicate)
+    assert merged.fact_count() <= left.fact_count() + right.fact_count()
+
+
+@settings(max_examples=50, deadline=None)
+@given(databases())
+def test_copy_isolated_from_mutation(database):
+    clone = database.copy()
+    clone.add_fact("fresh", (0, 0))
+    assert "fresh" not in database.predicates()
+
+
+@settings(max_examples=50, deadline=None)
+@given(databases())
+def test_active_domain_covers_every_tuple(database):
+    domain = database.active_domain()
+    for _, tuples in database.relations().items():
+        for row in tuples:
+            assert all(value in domain for value in row)
+
+
+# ----------------------------------------------------------------------
+# Matching / unification
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(goal_atoms(), tuples2)
+def test_match_produces_a_grounding_substitution(atom, row):
+    bindings = match_atom(atom, row)
+    if bindings is not None:
+        assert atom.substitute(bindings).as_fact_tuple() == row
+    else:
+        # Matching fails only because of a constant clash or repeated-variable clash.
+        constants_clash = any(
+            isinstance(term, Constant) and term.value != value
+            for term, value in zip(atom.terms, row)
+        )
+        repeated_clash = (
+            atom.terms[0] == atom.terms[1]
+            and isinstance(atom.terms[0], Variable)
+            and row[0] != row[1]
+        )
+        assert constants_clash or repeated_clash
+
+
+@settings(max_examples=60, deadline=None)
+@given(goal_atoms(), goal_atoms())
+def test_unification_is_symmetric_in_success(left, right):
+    assert (unify_atoms(left, right) is None) == (unify_atoms(right, left) is None)
+
+
+# ----------------------------------------------------------------------
+# Goal selection semantics
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(goal_atoms(), st.sets(tuples2, max_size=10))
+def test_select_answers_agrees_with_matching(goal, rows):
+    answers = select_answers(goal, rows)
+    matching_rows = [row for row in rows if match_atom(goal, row) is not None]
+    # One answer per matching row projection; count of distinct projections matches.
+    projections = set()
+    for row in matching_rows:
+        bindings = match_atom(goal, row)
+        projections.add(tuple(bindings[v].value for v in goal.variables()))
+    assert answers == projections
+
+
+# ----------------------------------------------------------------------
+# Engine / provenance invariants
+# ----------------------------------------------------------------------
+TRANSITIVE = parse_program(
+    """
+    ?t(X, Y)
+    t(X, Y) :- p(X, Y).
+    t(X, Y) :- t(X, Z), p(Z, Y).
+    """
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(databases())
+def test_proof_heights_exist_for_every_derived_fact(database):
+    analyzer = DerivationAnalyzer(TRANSITIVE, database)
+    result = evaluate_seminaive(TRANSITIVE, database)
+    for row in result.relation("t"):
+        height = analyzer.proof_height(Atom("t", tuple(Constant(v) for v in row)))
+        assert height is not None and height >= 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(databases())
+def test_iterations_bound_proof_heights(database):
+    result = evaluate_seminaive(TRANSITIVE, database)
+    analyzer = DerivationAnalyzer(TRANSITIVE, database)
+    heights = [
+        analyzer.proof_height(Atom("t", tuple(Constant(v) for v in row)))
+        for row in result.relation("t")
+    ]
+    if heights:
+        # Semi-naive needs at least (max proof height - 1) productive iterations.
+        assert result.statistics.iterations + 1 >= max(heights)
+
+
+@settings(max_examples=30, deadline=None)
+@given(databases())
+def test_pretty_parse_round_trip_on_programs(database):
+    del database  # the round-trip concerns the program text, not data
+    text = format_program(TRANSITIVE)
+    reparsed = parse_program(text)
+    assert reparsed.rules == TRANSITIVE.rules
+    assert reparsed.goal == TRANSITIVE.goal

@@ -1,0 +1,65 @@
+"""Unit tests for repro.datalog.rules."""
+
+import pytest
+
+from repro.datalog.atoms import Atom
+from repro.datalog.rules import Rule, fact
+from repro.datalog.terms import Constant, Variable
+from repro.errors import UnsafeRuleError
+
+
+def make_ancestor_rule():
+    return Rule(
+        Atom("anc", ("X", "Y")),
+        (Atom("anc", ("X", "Z")), Atom("par", ("Z", "Y"))),
+    )
+
+
+class TestRuleBasics:
+    def test_is_fact(self):
+        assert fact(Atom("par", ("a", "b"))).is_fact()
+        assert not make_ancestor_rule().is_fact()
+
+    def test_variables_in_order(self):
+        rule = make_ancestor_rule()
+        assert rule.variables() == (Variable("X"), Variable("Y"), Variable("Z"))
+
+    def test_constants(self):
+        rule = Rule(Atom("p", ("X",)), (Atom("b", ("c", "X")),))
+        assert rule.constants() == (Constant("c"),)
+
+    def test_body_predicates(self):
+        assert make_ancestor_rule().body_predicates() == ("anc", "par")
+
+    def test_str_round_trips_shape(self):
+        text = str(make_ancestor_rule())
+        assert text.startswith("anc(X, Y) :- ")
+        assert text.endswith(".")
+
+
+class TestSafety:
+    def test_safe_rule(self):
+        assert make_ancestor_rule().is_safe()
+
+    def test_unsafe_rule(self):
+        rule = Rule(Atom("p", ("X", "Y")), (Atom("b", ("X", "X")),))
+        assert not rule.is_safe()
+        with pytest.raises(UnsafeRuleError):
+            rule.check_safe()
+
+    def test_ground_fact_is_safe(self):
+        assert fact(Atom("p", ("a",))).is_safe()
+
+
+class TestRewriting:
+    def test_substitute(self):
+        rule = make_ancestor_rule()
+        bound = rule.substitute({Variable("X"): Constant("john")})
+        assert bound.head == Atom("anc", ("john", "Y"))
+        assert bound.body[0] == Atom("anc", ("john", "Z"))
+
+    def test_rename_variables(self):
+        rule = make_ancestor_rule()
+        renamed = rule.rename_variables("_1")
+        assert Variable("X_1") in renamed.variables()
+        assert not set(rule.variables()) & set(renamed.variables())

@@ -1,0 +1,77 @@
+"""Unit tests for repro.datalog.terms."""
+
+import pytest
+
+from repro.datalog.terms import Constant, Variable, fresh_variable, is_constant, is_variable, make_term
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_hashable(self):
+        assert len({Variable("X"), Variable("X"), Variable("Y")}) == 2
+
+    def test_str(self):
+        assert str(Variable("X1")) == "X1"
+
+    def test_repr_roundtrip(self):
+        assert eval(repr(Variable("Z"))) == Variable("Z")
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant("john") == Constant("john")
+        assert Constant(1) != Constant(2)
+
+    def test_string_and_int_constants_differ(self):
+        assert Constant("1") != Constant(1)
+
+    def test_str(self):
+        assert str(Constant("john")) == "john"
+
+    def test_hashable(self):
+        assert len({Constant("a"), Constant("a"), Constant("b")}) == 2
+
+
+class TestMakeTerm:
+    def test_uppercase_is_variable(self):
+        assert make_term("X") == Variable("X")
+        assert make_term("Xyz") == Variable("Xyz")
+
+    def test_underscore_is_variable(self):
+        assert make_term("_foo") == Variable("_foo")
+
+    def test_lowercase_is_constant(self):
+        assert make_term("john") == Constant("john")
+
+    def test_integer_is_constant(self):
+        assert make_term(42) == Constant(42)
+
+    def test_existing_terms_pass_through(self):
+        variable = Variable("X")
+        constant = Constant("c")
+        assert make_term(variable) is variable
+        assert make_term(constant) is constant
+
+    def test_predicates(self):
+        assert is_variable(Variable("X"))
+        assert not is_variable(Constant("c"))
+        assert is_constant(Constant("c"))
+        assert not is_constant(Variable("X"))
+
+
+class TestFreshVariable:
+    def test_unused_base_is_kept(self):
+        used = set()
+        assert fresh_variable("X", used) == Variable("X")
+        assert "X" in used
+
+    def test_collision_appends_suffix(self):
+        used = {"X"}
+        first = fresh_variable("X", used)
+        second = fresh_variable("X", used)
+        assert first != Variable("X")
+        assert first != second
+        assert first.name.startswith("X")

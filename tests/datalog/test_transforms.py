@@ -1,0 +1,141 @@
+"""Unit tests for adornments, magic sets, constant propagation, and canonicalisation."""
+
+import pytest
+
+from repro.datalog import Database, evaluate_seminaive, parse_program
+from repro.datalog.transforms import (
+    adorn_program,
+    adornments_used,
+    binding_invariant_positions,
+    collapse_database,
+    collapse_edbs,
+    eliminate_zero_ary,
+    magic_predicates,
+    magic_transform,
+    propagate_goal_constant,
+    rename_apart,
+)
+from repro.errors import ValidationError
+
+
+class TestAdornment:
+    def test_goal_adornment_bf(self, ancestor_a):
+        adorned = adorn_program(ancestor_a.program)
+        assert adorned.goal_adornment == "bf"
+        assert adorned.program.goal.predicate == "anc__bf"
+
+    def test_left_linear_produces_single_adornment(self, ancestor_a):
+        adorned = adorn_program(ancestor_a.program)
+        assert adornments_used(adorned) == {"anc": {"bf"}}
+
+    def test_right_linear_body_call_stays_bound(self, ancestor_b):
+        adorned = adorn_program(ancestor_b.program)
+        # par(X, Z) binds Z before the recursive call anc(Z, Y), so the call is bf.
+        assert adornments_used(adorned) == {"anc": {"bf"}}
+
+    def test_edb_atoms_untouched(self, ancestor_a):
+        adorned = adorn_program(ancestor_a.program)
+        predicates = {atom.predicate for rule in adorned.program.rules for atom in rule.body}
+        assert "par" in predicates
+
+    def test_requires_goal(self):
+        program = parse_program("p(X, Y) :- b(X, Y).")
+        with pytest.raises(ValidationError):
+            adorn_program(program)
+
+
+class TestMagicSets:
+    @pytest.fixture
+    def chain_db(self):
+        database = Database()
+        for i in range(10):
+            database.add_edge("par", f"n{i}", f"n{i + 1}")
+        database.add_edge("par", "john", "n0")
+        # A second chain not reachable from john: the binary-recursive original
+        # derives ancestor facts for it, the magic-restricted program does not.
+        for i in range(10):
+            database.add_edge("par", f"m{i}", f"m{i + 1}")
+        return database
+
+    def test_answers_preserved(self, ancestor_a, ancestor_b, ancestor_c, chain_db):
+        for chain in (ancestor_a, ancestor_b, ancestor_c):
+            original = evaluate_seminaive(chain.program, chain_db).answers()
+            transformed = magic_transform(chain.program)
+            rewritten = evaluate_seminaive(transformed, chain_db).answers()
+            assert original == rewritten
+
+    def test_magic_prunes_work(self, ancestor_b, chain_db):
+        original = evaluate_seminaive(ancestor_b.program, chain_db)
+        transformed = evaluate_seminaive(magic_transform(ancestor_b.program), chain_db)
+        assert transformed.statistics.facts_derived < original.statistics.facts_derived
+
+    def test_magic_predicates_named(self, ancestor_a):
+        transformed = magic_transform(ancestor_a.program)
+        assert magic_predicates(transformed) == ["magic_anc__bf"]
+
+    def test_requires_constant_in_goal(self, transitive_closure_program):
+        with pytest.raises(ValidationError):
+            magic_transform(transitive_closure_program)
+
+    def test_seed_fact_present(self, ancestor_a):
+        transformed = magic_transform(ancestor_a.program)
+        seeds = [rule for rule in transformed.rules if rule.is_fact()]
+        assert len(seeds) == 1
+        assert seeds[0].head.predicate == "magic_anc__bf"
+        assert seeds[0].head.as_fact_tuple() == ("john",)
+
+
+class TestConstantPropagation:
+    def test_program_a_becomes_program_d(self, ancestor_a, family_database):
+        propagated = propagate_goal_constant(ancestor_a.program)
+        assert propagated.is_monadic()
+        original = evaluate_seminaive(ancestor_a.program, family_database).answers()
+        rewritten = evaluate_seminaive(propagated, family_database).answers()
+        assert original == rewritten
+
+    def test_invariant_positions(self, ancestor_a, ancestor_b):
+        assert binding_invariant_positions(ancestor_a.program) == (0,)
+        # Program B passes a *different* variable to the recursive call.
+        assert binding_invariant_positions(ancestor_b.program) == ()
+
+    def test_non_invariant_binding_rejected(self, ancestor_b):
+        with pytest.raises(ValidationError):
+            propagate_goal_constant(ancestor_b.program)
+
+    def test_requires_constant(self, transitive_closure_program):
+        with pytest.raises(ValidationError):
+            propagate_goal_constant(transitive_closure_program)
+
+
+class TestRectify:
+    def test_eliminate_zero_ary(self):
+        program = parse_program(
+            """
+            ?found
+            found :- edge(X, Y).
+            """
+        )
+        rewritten = eliminate_zero_ary(program)
+        assert rewritten.predicate_arities()["found"] == 1
+        database = Database({"edge": [(1, 2)]})
+        assert evaluate_seminaive(rewritten, database).boolean_answer() is True
+
+    def test_collapse_edbs(self, anbn):
+        collapsed, mapping = collapse_edbs(anbn.program)
+        assert collapsed.edb_predicates() == {"b"}
+        assert set(mapping) == {"b1", "b2"}
+
+    def test_collapse_database(self):
+        database = Database({"b1": [(1, 2)], "b2": [(3, 4)]})
+        merged = collapse_database(database, {"b1": "b", "b2": "b"})
+        assert merged.relation("b") == {(1, 2), (3, 4)}
+
+    def test_collapse_requires_uniform_arity(self):
+        program = parse_program("p(X) :- b(X), q(X, Y), r(Y).")
+        with pytest.raises(ValueError):
+            collapse_edbs(program)
+
+    def test_rename_apart(self, ancestor_a):
+        renamed = rename_apart(ancestor_a.program, "_v2")
+        assert renamed.idb_predicates() == {"anc_v2"}
+        assert renamed.edb_predicates() == {"par"}

@@ -1,0 +1,67 @@
+"""Unit tests for matching and unification."""
+
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Constant, Variable
+from repro.datalog.unify import compose, match_atom, unify_atoms
+
+
+class TestMatchAtom:
+    def test_simple_match(self):
+        bindings = match_atom(Atom("par", ("X", "Y")), ("john", "mary"))
+        assert bindings == {Variable("X"): Constant("john"), Variable("Y"): Constant("mary")}
+
+    def test_constant_mismatch(self):
+        assert match_atom(Atom("par", ("john", "Y")), ("mary", "sue")) is None
+
+    def test_constant_match(self):
+        assert match_atom(Atom("par", ("john", "Y")), ("john", "sue")) is not None
+
+    def test_repeated_variable_must_agree(self):
+        assert match_atom(Atom("p", ("X", "X")), ("a", "a")) is not None
+        assert match_atom(Atom("p", ("X", "X")), ("a", "b")) is None
+
+    def test_existing_bindings_respected(self):
+        existing = {Variable("X"): Constant("john")}
+        assert match_atom(Atom("par", ("X", "Y")), ("john", "m"), existing) is not None
+        assert match_atom(Atom("par", ("X", "Y")), ("mary", "m"), existing) is None
+
+    def test_arity_mismatch(self):
+        assert match_atom(Atom("p", ("X",)), ("a", "b")) is None
+
+    def test_input_substitution_not_mutated(self):
+        existing = {Variable("X"): Constant("john")}
+        match_atom(Atom("par", ("X", "Y")), ("john", "m"), existing)
+        assert existing == {Variable("X"): Constant("john")}
+
+
+class TestUnifyAtoms:
+    def test_unifies_variable_with_constant(self):
+        result = unify_atoms(Atom("p", ("X", "b")), Atom("p", ("a", "Y")))
+        assert result[Variable("X")] == Constant("a")
+        assert result[Variable("Y")] == Constant("b")
+
+    def test_predicate_mismatch(self):
+        assert unify_atoms(Atom("p", ("X",)), Atom("q", ("X",))) is None
+
+    def test_constant_clash(self):
+        assert unify_atoms(Atom("p", ("a",)), Atom("p", ("b",))) is None
+
+    def test_variable_chain(self):
+        result = unify_atoms(Atom("p", ("X", "X")), Atom("p", ("Y", "a")))
+        # X and Y both end at the constant a after chasing bindings.
+        def resolve(term):
+            while isinstance(term, Variable) and term in result:
+                term = result[term]
+            return term
+
+        assert resolve(Variable("X")) == Constant("a")
+        assert resolve(Variable("Y")) == Constant("a")
+
+
+class TestCompose:
+    def test_inner_applied_first(self):
+        inner = {Variable("X"): Variable("Y")}
+        outer = {Variable("Y"): Constant("a")}
+        composed = compose(outer, inner)
+        assert composed[Variable("X")] == Constant("a")
+        assert composed[Variable("Y")] == Constant("a")

@@ -1,0 +1,148 @@
+"""Integration tests replaying the paper's worked examples end to end."""
+
+import pytest
+
+from repro.core.chain import GoalForm
+from repro.core.counterexamples import anbn_program, cycle_length_program, cycle_program
+from repro.core.examples_catalog import (
+    ancestor_portfolio,
+    program_a,
+    program_b,
+    program_c,
+    program_d,
+    section7_transformed,
+)
+from repro.core.grammar_map import to_grammar
+from repro.core.inf_model import check_proposition_3_1
+from repro.core.magic_chain import magic_transform_chain
+from repro.core.propagation import PropagationVerdict, propagate_selection
+from repro.core.workloads import chain_database, cycle_database, layered_anbn_graph, parent_forest
+from repro.datalog import evaluate_seminaive
+from repro.datalog.transforms import magic_transform, propagate_goal_constant
+from repro.languages.cfg_analysis import enumerate_language
+from repro.languages.cfg_properties import is_left_linear, is_right_linear, is_linear
+from repro.logic.ef import monadic_colour_uniformity_on_cycle
+
+
+class TestExample11:
+    """Example 1.1: the four ancestor programs and their treatment."""
+
+    def test_grammar_shapes_match_the_paper(self):
+        assert is_left_linear(to_grammar(program_a()))
+        assert is_right_linear(to_grammar(program_b()))
+        assert not is_linear(to_grammar(program_c()))
+
+    def test_all_grammars_define_par_plus(self):
+        expected = [("par",) * n for n in range(1, 6)]
+        for chain in (program_a(), program_b(), program_c()):
+            assert enumerate_language(to_grammar(chain), 5) == expected
+
+    def test_programs_semantically_equivalent_on_databases(self):
+        for seed in range(3):
+            database = parent_forest(120, seed=seed)
+            answers = {
+                name: evaluate_seminaive(
+                    chain.program if hasattr(chain, "program") else chain, database
+                ).answers()
+                for name, chain in ancestor_portfolio().items()
+            }
+            assert answers["A"] == answers["B"] == answers["C"] == answers["D"]
+
+    def test_naive_propagation_turns_a_into_d(self):
+        database = parent_forest(100, seed=2)
+        rewritten = propagate_goal_constant(program_a().program)
+        assert rewritten.is_monadic()
+        assert (
+            evaluate_seminaive(rewritten, database).answers()
+            == evaluate_seminaive(program_d(), database).answers()
+        )
+
+    def test_monadic_form_is_cheaper_than_binary_form(self):
+        database = chain_database(80, relation="par")
+        database.add_edge("par", "john", "n0")
+        binary = evaluate_seminaive(program_a().program, database)
+        monadic = evaluate_seminaive(program_d(), database)
+        assert binary.answers() == monadic.answers()
+        # The binary program derives Θ(n²) ancestor facts, the monadic one Θ(n).
+        assert binary.statistics.facts_derived > 5 * monadic.statistics.facts_derived
+
+    def test_magic_sets_restrict_a_and_b_to_program_d_behaviour(self):
+        # Several independent family trees: only john's tree is relevant to the goal.
+        database = parent_forest(150, seed=4, root_count=5)
+        gold = evaluate_seminaive(program_d(), database)
+        for chain in (program_a(), program_b()):
+            transformed = evaluate_seminaive(magic_transform(chain.program), database)
+            assert transformed.answers() == gold.answers()
+            # The magic-restricted evaluation derives far fewer facts of the binary
+            # recursive predicate than the unrestricted binary recursion.
+            unrestricted = evaluate_seminaive(chain.program, database)
+            binary_facts_magic = transformed.statistics.facts_per_predicate.get("anc__bf", 0)
+            binary_facts_plain = unrestricted.statistics.facts_per_predicate.get("anc", 0)
+            assert binary_facts_magic < binary_facts_plain
+
+
+class TestSection7:
+    """The a^n b^n example: quotients, magic rules, pruning."""
+
+    def test_verdict_and_proof(self, anbn):
+        result = propagate_selection(anbn)
+        assert result.verdict == PropagationVerdict.NOT_PROPAGATABLE
+        assert result.witness is not None
+
+    def test_quotient_magic_agrees_with_paper_magic(self, anbn):
+        database = layered_anbn_graph(7, noise_branches=2)
+        plain = evaluate_seminaive(anbn.program, database)
+        ours = evaluate_seminaive(magic_transform_chain(anbn), database)
+        paper = evaluate_seminaive(section7_transformed(), database)
+        assert plain.answers() == ours.answers() == paper.answers()
+        # The pruning target is the binary recursive predicate p: the guarded programs
+        # derive its facts only inside the magic (b1-reachable) region.
+        assert ours.statistics.facts_per_predicate["p"] < plain.statistics.facts_per_predicate["p"]
+        assert paper.statistics.facts_per_predicate["p"] < plain.statistics.facts_per_predicate["p"]
+
+    def test_proposition_3_1_on_the_example(self, anbn):
+        assert check_proposition_3_1(anbn, 6).agrees
+
+
+class TestSection6:
+    """Lemma 6.1's executable consequences for the CYCLE query."""
+
+    def test_cycle_query_not_propagatable(self):
+        result = propagate_selection(cycle_program())
+        assert result.verdict == PropagationVerdict.NOT_PROPAGATABLE
+        assert result.goal_form == GoalForm.EQUAL
+
+    def test_cycle_query_actually_detects_cycles(self):
+        cycle = cycle_database(6)
+        path = chain_database(6, relation="b")
+        assert evaluate_seminaive(cycle_program().program, cycle).answers()
+        assert not evaluate_seminaive(cycle_program().program, path).answers()
+
+    def test_monadic_programs_colour_large_cycles_uniformly(self):
+        from repro.datalog import parse_program
+
+        monadic = parse_program(
+            """
+            ?w(X)
+            w(X) :- b(X, Y).
+            w(X) :- b(X, Y), w(Y).
+            """
+        )
+        for length in (5, 9, 13):
+            assert monadic_colour_uniformity_on_cycle(monadic, length)
+
+    def test_finite_length_query_distinguishes_cycles(self):
+        chain = cycle_length_program(3)
+        on_three = evaluate_seminaive(chain.program, cycle_database(3)).answers()
+        on_four = evaluate_seminaive(chain.program, cycle_database(4)).answers()
+        assert on_three and not on_four
+
+    def test_bounded_case_is_propagatable_and_equivalent(self):
+        chain = cycle_length_program(3)
+        result = propagate_selection(chain)
+        assert result.verdict == PropagationVerdict.PROPAGATABLE
+        for database in (cycle_database(3), cycle_database(4), cycle_database(6)):
+            assert (
+                evaluate_seminaive(chain.program, database).answers()
+                == evaluate_seminaive(result.monadic_program, database).answers()
+            )

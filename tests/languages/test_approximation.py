@@ -1,0 +1,89 @@
+"""Unit tests for the exact FA construction and the Mohri–Nederhof envelope."""
+
+from repro.languages.approximation import (
+    mohri_nederhof_transform,
+    regular_envelope,
+    strongly_regular_to_nfa,
+)
+from repro.languages.cfg import parse_grammar
+from repro.languages.cfg_analysis import enumerate_language
+from repro.languages.cfg_properties import is_strongly_regular
+from repro.languages.regular.equivalence import is_equivalent
+from repro.languages.regular.regex import parse_regex
+import pytest
+
+from repro.errors import LanguageAnalysisError
+
+
+class TestExactConstruction:
+    def test_left_linear_ancestor(self):
+        grammar = parse_grammar("anc -> par | anc par")
+        nfa = strongly_regular_to_nfa(grammar)
+        expected = parse_regex("par par*").to_nfa(("par",)).to_dfa()
+        assert is_equivalent(nfa.to_dfa(), expected)
+
+    def test_right_linear(self):
+        grammar = parse_grammar("anc -> par | par anc")
+        nfa = strongly_regular_to_nfa(grammar)
+        expected = parse_regex("par par*").to_nfa(("par",)).to_dfa()
+        assert is_equivalent(nfa.to_dfa(), expected)
+
+    def test_two_letter_right_linear(self):
+        grammar = parse_grammar("S -> a S | b T | b\nT -> a T | a")
+        nfa = strongly_regular_to_nfa(grammar)
+        for word in enumerate_language(grammar, 5):
+            assert nfa.accepts(word)
+        assert not nfa.accepts(("b", "b"))
+
+    def test_non_recursive_nonterminals_are_inlined(self):
+        grammar = parse_grammar("S -> A B\nA -> a | a a\nB -> b")
+        nfa = strongly_regular_to_nfa(grammar)
+        assert nfa.accepts(("a", "b"))
+        assert nfa.accepts(("a", "a", "b"))
+        assert not nfa.accepts(("a", "a", "a", "b"))
+
+    def test_rejects_non_strongly_regular(self):
+        with pytest.raises(LanguageAnalysisError):
+            strongly_regular_to_nfa(parse_grammar("S -> a S b | a b"))
+
+    def test_exactness_on_samples(self):
+        grammar = parse_grammar("S -> a S | b T\nT -> b T | b")
+        nfa = strongly_regular_to_nfa(grammar)
+        words = set(enumerate_language(grammar, 6))
+        from repro.languages.regular.properties import enumerate_words
+
+        automaton_words = {w for w in enumerate_words(nfa.to_dfa(), 6)}
+        assert words == automaton_words
+
+
+class TestMohriNederhof:
+    def test_transform_is_strongly_regular(self):
+        grammar = parse_grammar("S -> a S b | a b")
+        transformed = mohri_nederhof_transform(grammar)
+        assert is_strongly_regular(transformed)
+
+    def test_transform_is_superset(self):
+        grammar = parse_grammar("S -> a S b | a b")
+        transformed = mohri_nederhof_transform(grammar)
+        for word in enumerate_language(grammar, 8):
+            from repro.languages.cfg_analysis import cfg_membership
+
+            assert cfg_membership(transformed, word)
+
+    def test_envelope_of_anbn_is_a_plus_b_plus(self):
+        grammar = parse_grammar("S -> a S b | a b")
+        envelope = regular_envelope(grammar)
+        assert not envelope.exact
+        expected = parse_regex("a a* b b*").to_nfa(("a", "b")).to_dfa()
+        assert is_equivalent(envelope.nfa.to_dfa(), expected)
+
+    def test_envelope_exact_for_strongly_regular(self):
+        grammar = parse_grammar("anc -> par | anc par")
+        envelope = regular_envelope(grammar)
+        assert envelope.exact
+
+    def test_envelope_contains_language_for_nonlinear(self):
+        grammar = parse_grammar("S -> S S | a")
+        envelope = regular_envelope(grammar)
+        for word in enumerate_language(grammar, 5):
+            assert envelope.nfa.accepts(word)

@@ -1,0 +1,94 @@
+"""Unit tests for NFA/DFA basics, determinisation, and renumbering."""
+
+from repro.languages.regular.dfa import DFA
+from repro.languages.regular.nfa import NFA, literal_nfa
+
+
+def ab_star_nfa():
+    """(a b)* as an NFA with an ε-transition."""
+    return NFA(
+        {0, 1, 2},
+        {"a", "b"},
+        {(0, "a"): {1}, (1, "b"): {2}, (2, None): {0}},
+        0,
+        {0, 2},
+    )
+
+
+class TestNFA:
+    def test_epsilon_closure(self):
+        nfa = ab_star_nfa()
+        assert nfa.epsilon_closure({2}) == {0, 2}
+
+    def test_accepts(self):
+        nfa = ab_star_nfa()
+        assert nfa.accepts(())
+        assert nfa.accepts(("a", "b"))
+        assert nfa.accepts(("a", "b", "a", "b"))
+        assert not nfa.accepts(("a",))
+        assert not nfa.accepts(("b", "a"))
+
+    def test_literal(self):
+        nfa = literal_nfa(("x", "y"))
+        assert nfa.accepts(("x", "y"))
+        assert not nfa.accepts(("x",))
+        assert not nfa.accepts(("x", "y", "x"))
+
+    def test_reachable_states(self):
+        nfa = NFA({0, 1, 99}, {"a"}, {(0, "a"): {1}}, 0, {1})
+        assert 99 not in nfa.reachable_states()
+
+    def test_renumber_preserves_language(self):
+        nfa = ab_star_nfa().renumber()
+        assert nfa.accepts(("a", "b"))
+        assert not nfa.accepts(("a",))
+
+
+class TestSubsetConstruction:
+    def test_dfa_equivalent_to_nfa(self):
+        nfa = ab_star_nfa()
+        dfa = nfa.to_dfa()
+        for word in [(), ("a",), ("a", "b"), ("a", "b", "a"), ("a", "b", "a", "b"), ("b",)]:
+            assert dfa.accepts(word) == nfa.accepts(word)
+
+    def test_dfa_is_deterministic(self):
+        dfa = ab_star_nfa().to_dfa()
+        seen = set()
+        for (state, symbol) in dfa.transitions:
+            assert (state, symbol) not in seen
+            seen.add((state, symbol))
+
+
+class TestDFA:
+    def simple_dfa(self):
+        return DFA({0, 1}, {"a"}, {(0, "a"): 1, (1, "a"): 0}, 0, {1})
+
+    def test_accepts_odd_length(self):
+        dfa = self.simple_dfa()
+        assert dfa.accepts(("a",))
+        assert not dfa.accepts(("a", "a"))
+
+    def test_partial_transitions_reject(self):
+        dfa = DFA({0, 1}, {"a", "b"}, {(0, "a"): 1}, 0, {1})
+        assert not dfa.accepts(("b",))
+
+    def test_complete_adds_dead_state(self):
+        dfa = DFA({0, 1}, {"a", "b"}, {(0, "a"): 1}, 0, {1}).complete()
+        assert len(dfa.states) == 3
+        for state in dfa.states:
+            for symbol in dfa.alphabet:
+                assert dfa.delta(state, symbol) is not None
+
+    def test_reachable_trims(self):
+        dfa = DFA({0, 1, 2}, {"a"}, {(0, "a"): 1}, 0, {1, 2})
+        trimmed = dfa.reachable()
+        assert 2 not in trimmed.states
+
+    def test_renumber_start_is_zero(self):
+        dfa = DFA({"s", "t"}, {"a"}, {("s", "a"): "t"}, "s", {"t"}).renumber()
+        assert dfa.start == 0
+        assert dfa.accepts(("a",))
+
+    def test_to_nfa_round_trip(self):
+        dfa = self.simple_dfa()
+        assert dfa.to_nfa().to_dfa().accepts(("a",))

@@ -1,0 +1,90 @@
+"""Unit tests for grammar construction, parsing, and formatting."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.languages.cfg import Grammar, Production, format_grammar, parse_grammar
+
+
+class TestConstruction:
+    def test_from_productions_infers_terminals(self):
+        grammar = Grammar.from_productions([("S", ("a", "S")), ("S", ("a",))], "S")
+        assert grammar.terminals == {"a"}
+        assert grammar.nonterminals == {"S"}
+
+    def test_explicit_terminals(self):
+        grammar = Grammar.from_productions([("S", ("a",))], "S", terminals=["a", "b"])
+        assert grammar.terminals == {"a", "b"}
+
+    def test_start_must_be_nonterminal(self):
+        with pytest.raises(ValidationError):
+            Grammar({"S"}, {"a"}, [Production("S", ("a",))], "T")
+
+    def test_symbol_cannot_be_both(self):
+        with pytest.raises(ValidationError):
+            Grammar({"S", "a"}, {"a"}, [Production("S", ("a",))], "S")
+
+    def test_unknown_symbol_rejected(self):
+        with pytest.raises(ValidationError):
+            Grammar({"S"}, {"a"}, [Production("S", ("a", "b"))], "S")
+
+    def test_epsilon_production(self):
+        grammar = Grammar.from_productions([("S", ())], "S")
+        assert grammar.has_epsilon_productions()
+
+
+class TestParsing:
+    def test_parse_simple(self):
+        grammar = parse_grammar("S -> a S b | a b")
+        assert len(grammar.productions) == 2
+        assert grammar.start == "S"
+        assert grammar.terminals == {"a", "b"}
+
+    def test_parse_epsilon(self):
+        grammar = parse_grammar("S -> a S | ε")
+        assert grammar.has_epsilon_productions()
+
+    def test_parse_multiline_with_comments(self):
+        grammar = parse_grammar(
+            """
+            # ancestors
+            anc -> par
+            anc -> anc par
+            """
+        )
+        assert grammar.start == "anc"
+        assert len(grammar.productions) == 2
+
+    def test_parse_explicit_start(self):
+        grammar = parse_grammar("A -> a\nB -> b", start="B")
+        assert grammar.start == "B"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValidationError):
+            parse_grammar("this is not a grammar")
+
+    def test_format_round_trip(self):
+        grammar = parse_grammar("S -> a S b | a b")
+        reparsed = parse_grammar(format_grammar(grammar))
+        assert set(reparsed.productions) == set(grammar.productions)
+        assert reparsed.start == grammar.start
+
+
+class TestAccessors:
+    def test_productions_for(self):
+        grammar = parse_grammar("S -> a S | b\nT -> a")
+        assert len(grammar.productions_for("S")) == 2
+        assert len(grammar.productions_for("T")) == 1
+
+    def test_fresh_nonterminal(self):
+        grammar = parse_grammar("S -> a")
+        assert grammar.fresh_nonterminal("T") == "T"
+        assert grammar.fresh_nonterminal("S") != "S"
+
+    def test_with_start(self):
+        grammar = parse_grammar("S -> a T\nT -> b")
+        assert grammar.with_start("T").start == "T"
+
+    def test_production_map(self):
+        grammar = parse_grammar("S -> a S | b")
+        assert grammar.production_map()["S"] == [("a", "S"), ("b",)]

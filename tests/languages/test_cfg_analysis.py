@@ -1,0 +1,112 @@
+"""Unit tests for CFL decision procedures and enumeration."""
+
+import pytest
+
+from repro.errors import LanguageAnalysisError
+from repro.languages.cfg import parse_grammar
+from repro.languages.cfg_analysis import (
+    cfg_membership,
+    enumerate_finite_language,
+    enumerate_language,
+    is_empty_language,
+    is_finite_language,
+    language_sample_equal,
+    shortest_lengths,
+    shortest_word,
+    strings_of_length,
+)
+
+
+ANBN = parse_grammar("S -> a S b | a b")
+ASTAR = parse_grammar("S -> a S | a")
+FINITE = parse_grammar("S -> a b | a c")
+EMPTY = parse_grammar("S -> a S")
+
+
+class TestEmptiness:
+    def test_empty(self):
+        assert is_empty_language(EMPTY)
+
+    def test_nonempty(self):
+        assert not is_empty_language(ANBN)
+
+    def test_epsilon_only_language_is_not_empty(self):
+        grammar = parse_grammar("S -> ε")
+        assert not is_empty_language(grammar)
+
+
+class TestFiniteness:
+    def test_finite(self):
+        assert is_finite_language(FINITE)
+
+    def test_infinite_linear(self):
+        assert not is_finite_language(ASTAR)
+
+    def test_infinite_self_embedding(self):
+        assert not is_finite_language(ANBN)
+
+    def test_empty_language_is_finite(self):
+        assert is_finite_language(EMPTY)
+
+    def test_unit_cycle_does_not_fool_the_test(self):
+        grammar = parse_grammar("S -> T\nT -> S | a")
+        assert is_finite_language(grammar)
+
+
+class TestMembership:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            (("a", "b"), True),
+            (("a", "a", "b", "b"), True),
+            (("a", "a", "b"), False),
+            (("b", "a"), False),
+            ((), False),
+        ],
+    )
+    def test_anbn(self, word, expected):
+        assert cfg_membership(ANBN, word) is expected
+
+    def test_epsilon_membership(self):
+        grammar = parse_grammar("S -> a S | ε")
+        assert cfg_membership(grammar, ())
+        assert cfg_membership(grammar, ("a", "a"))
+
+
+class TestEnumeration:
+    def test_strings_of_length(self):
+        assert strings_of_length(ANBN, 2) == {("a", "b")}
+        assert strings_of_length(ANBN, 3) == frozenset()
+        assert strings_of_length(ANBN, 4) == {("a", "a", "b", "b")}
+
+    def test_enumerate_language_ordering(self):
+        words = enumerate_language(ASTAR, 3)
+        assert words == [("a",), ("a", "a"), ("a", "a", "a")]
+
+    def test_enumerate_finite_language(self):
+        assert enumerate_finite_language(FINITE) == {("a", "b"), ("a", "c")}
+
+    def test_enumerate_finite_rejects_infinite(self):
+        with pytest.raises(LanguageAnalysisError):
+            enumerate_finite_language(ASTAR)
+
+    def test_shortest_word(self):
+        assert shortest_word(ANBN) == ("a", "b")
+        assert shortest_word(EMPTY) is None
+
+    def test_shortest_lengths(self):
+        lengths = shortest_lengths(ANBN)
+        assert lengths["S"] == 2
+
+    def test_language_sample_equal(self):
+        left = parse_grammar("S -> a S | a")
+        right = parse_grammar("S -> S a | a")
+        agree, witness = language_sample_equal(left, right, 5)
+        assert agree and witness is None
+
+    def test_language_sample_difference_witness(self):
+        left = parse_grammar("S -> a S | a")
+        right = parse_grammar("S -> a a S | a a")
+        agree, witness = language_sample_equal(left, right, 5)
+        assert not agree
+        assert witness == ("a",)

@@ -1,0 +1,98 @@
+"""Unit tests for structural grammar properties (linearity, self-embedding, strong regularity)."""
+
+from repro.languages.cfg import parse_grammar
+from repro.languages.cfg_properties import (
+    is_left_linear,
+    is_linear,
+    is_right_linear,
+    is_self_embedding,
+    is_strongly_regular,
+    is_unary_alphabet,
+    mutually_recursive_sets,
+    regularity_evidence,
+)
+
+
+LEFT = parse_grammar("anc -> par | anc par")
+RIGHT = parse_grammar("anc -> par | par anc")
+NONLINEAR = parse_grammar("anc -> par | anc anc")
+ANBN = parse_grammar("S -> a S b | a b")
+
+
+class TestLinearity:
+    def test_left_linear(self):
+        assert is_left_linear(LEFT)
+        assert not is_left_linear(RIGHT)
+
+    def test_right_linear(self):
+        assert is_right_linear(RIGHT)
+        assert not is_right_linear(LEFT)
+
+    def test_linear(self):
+        assert is_linear(LEFT) and is_linear(RIGHT) and is_linear(ANBN)
+        assert not is_linear(NONLINEAR)
+
+
+class TestSelfEmbedding:
+    def test_anbn_is_self_embedding(self):
+        assert is_self_embedding(ANBN)
+
+    def test_left_linear_is_not(self):
+        assert not is_self_embedding(LEFT)
+
+    def test_indirect_self_embedding(self):
+        grammar = parse_grammar("S -> a T\nT -> S b | c")
+        assert is_self_embedding(grammar)
+
+    def test_useless_self_embedding_ignored(self):
+        # The self-embedding nonterminal U is unreachable, so it does not count.
+        grammar = parse_grammar("S -> a\nU -> a U b | c")
+        assert not is_self_embedding(grammar)
+
+
+class TestStrongRegularity:
+    def test_left_and_right_linear_are_strongly_regular(self):
+        assert is_strongly_regular(LEFT)
+        assert is_strongly_regular(RIGHT)
+
+    def test_anbn_is_not(self):
+        assert not is_strongly_regular(ANBN)
+
+    def test_nonlinear_recursion_is_not(self):
+        assert not is_strongly_regular(NONLINEAR)
+
+    def test_mixed_components(self):
+        # S is right-linear w.r.t. its own component even though it uses T freely.
+        grammar = parse_grammar("S -> a T S | a\nT -> b")
+        assert is_strongly_regular(grammar)
+
+    def test_mutually_recursive_sets(self):
+        grammar = parse_grammar("S -> a T\nT -> b S | c")
+        components = mutually_recursive_sets(grammar)
+        assert frozenset({"S", "T"}) in components
+
+
+class TestEvidence:
+    def test_unary(self):
+        assert is_unary_alphabet(NONLINEAR)
+        assert not is_unary_alphabet(ANBN)
+
+    def test_evidence_finite(self):
+        grammar = parse_grammar("S -> a b")
+        assert regularity_evidence(grammar).reason == "finite language"
+
+    def test_evidence_left_linear(self):
+        assert regularity_evidence(LEFT).regular is True
+
+    def test_evidence_unary_for_nonlinear(self):
+        evidence = regularity_evidence(NONLINEAR)
+        assert evidence.regular is True
+        assert "unary" in evidence.reason or "Parikh" in evidence.reason
+
+    def test_evidence_unknown_for_anbn(self):
+        evidence = regularity_evidence(ANBN)
+        assert evidence.regular is None
+
+    def test_evidence_never_claims_nonregular(self):
+        for grammar in (LEFT, RIGHT, NONLINEAR, ANBN):
+            assert regularity_evidence(grammar).regular is not False

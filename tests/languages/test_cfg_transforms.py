@@ -1,0 +1,92 @@
+"""Unit tests for grammar normal forms."""
+
+from repro.languages.cfg import parse_grammar
+from repro.languages.cfg_analysis import cfg_membership, enumerate_language
+from repro.languages.cfg_transforms import (
+    eliminate_epsilon,
+    eliminate_unit_productions,
+    generating_nonterminals,
+    nullable_nonterminals,
+    reachable_symbols,
+    reduce_grammar,
+    to_chomsky_normal_form,
+)
+
+
+class TestReduction:
+    def test_non_generating_removed(self):
+        grammar = parse_grammar("S -> a | U\nU -> U b")
+        reduced = reduce_grammar(grammar)
+        assert "U" not in reduced.nonterminals
+
+    def test_unreachable_removed(self):
+        grammar = parse_grammar("S -> a\nT -> b")
+        reduced = reduce_grammar(grammar)
+        assert "T" not in reduced.nonterminals
+        assert "b" not in reduced.terminals
+
+    def test_empty_language_collapses(self):
+        grammar = parse_grammar("S -> S a")
+        reduced = reduce_grammar(grammar)
+        assert reduced.productions == ()
+
+    def test_generating_and_reachable_sets(self):
+        grammar = parse_grammar("S -> A b\nA -> a\nC -> c")
+        assert generating_nonterminals(grammar) == {"S", "A", "C"}
+        assert "C" not in reachable_symbols(grammar)
+
+
+class TestEpsilonAndUnits:
+    def test_nullable_detection(self):
+        grammar = parse_grammar("S -> A B\nA -> ε\nB -> b | ε")
+        assert nullable_nonterminals(grammar) == {"S", "A", "B"}
+
+    def test_epsilon_elimination_preserves_nonempty_words(self):
+        grammar = parse_grammar("S -> a S b | ε")
+        stripped, had_epsilon = eliminate_epsilon(grammar)
+        assert had_epsilon
+        assert not stripped.has_epsilon_productions()
+        words = enumerate_language(stripped, 4)
+        assert ("a", "b") in words
+        assert ("a", "a", "b", "b") in words
+        assert () not in words
+
+    def test_unit_elimination(self):
+        grammar = parse_grammar("S -> T\nT -> a")
+        no_units = eliminate_unit_productions(grammar)
+        assert all(
+            not (len(p.rhs) == 1 and p.rhs[0] in no_units.nonterminals)
+            for p in no_units.productions
+        )
+        assert cfg_membership(no_units, ("a",))
+
+
+class TestCNF:
+    def test_cnf_shape(self):
+        grammar = parse_grammar("S -> a S b S | c")
+        cnf, accepts_epsilon = to_chomsky_normal_form(grammar)
+        assert not accepts_epsilon
+        for production in cnf.productions:
+            assert len(production.rhs) in (1, 2)
+            if len(production.rhs) == 1:
+                assert production.rhs[0] in cnf.terminals
+            else:
+                assert all(symbol in cnf.nonterminals for symbol in production.rhs)
+
+    def test_cnf_preserves_language_sample(self):
+        grammar = parse_grammar("S -> a S b | a b | S S")
+        cnf, _ = to_chomsky_normal_form(grammar)
+        original = set(enumerate_language(grammar, 6))
+        converted = set(enumerate_language(cnf, 6))
+        assert original == converted
+
+    def test_cnf_epsilon_flag(self):
+        grammar = parse_grammar("S -> a S | ε")
+        _, accepts_epsilon = to_chomsky_normal_form(grammar)
+        assert accepts_epsilon
+
+    def test_cnf_of_empty_language(self):
+        grammar = parse_grammar("S -> S a")
+        cnf, accepts_epsilon = to_chomsky_normal_form(grammar)
+        assert cnf.productions == ()
+        assert not accepts_epsilon

@@ -1,0 +1,156 @@
+"""Property-based tests (hypothesis) for the regular-language and grammar algebra."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.languages.cfg import Grammar
+from repro.languages.cfg_analysis import (
+    cfg_membership,
+    enumerate_language,
+    is_finite_language,
+    strings_of_length,
+)
+from repro.languages.cfg_transforms import reduce_grammar, to_chomsky_normal_form
+from repro.languages.approximation import regular_envelope
+from repro.languages.regular.equivalence import is_equivalent
+from repro.languages.regular.minimize import minimize_dfa
+from repro.languages.regular.operations import (
+    dfa_complement,
+    dfa_intersection,
+    dfa_union,
+    right_quotient,
+)
+from repro.languages.regular.regex import Concat, Epsilon, Regex, Star, Symbol, Union_
+
+ALPHABET = ("a", "b")
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+def regexes(max_depth=3) -> st.SearchStrategy:
+    base = st.sampled_from([Symbol("a"), Symbol("b"), Epsilon()])
+    return st.recursive(
+        base,
+        lambda children: st.one_of(
+            st.tuples(children, children).map(lambda pair: Concat(pair)),
+            st.tuples(children, children).map(lambda pair: Union_(pair)),
+            children.map(Star),
+        ),
+        max_leaves=6,
+    )
+
+
+def short_words(max_length=4):
+    words = [()]
+    for length in range(1, max_length + 1):
+        words.extend(itertools.product(ALPHABET, repeat=length))
+    return words
+
+
+WORDS = short_words()
+
+
+def grammars() -> st.SearchStrategy:
+    """Small random grammars over nonterminals {S, T} and terminals {a, b}."""
+    symbols = ["S", "T", "a", "b"]
+    rhs = st.lists(st.sampled_from(symbols), min_size=1, max_size=3).map(tuple)
+    production = st.tuples(st.sampled_from(["S", "T"]), rhs)
+    return st.lists(production, min_size=1, max_size=5).map(
+        # Terminals are inferred: a right-hand-side "T" with no T-production is
+        # simply treated as a terminal symbol, which is still a valid grammar.
+        lambda productions: Grammar.from_productions(productions, "S")
+    )
+
+
+# ----------------------------------------------------------------------
+# Regular-language properties
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(regexes())
+def test_minimisation_preserves_the_language(expression: Regex):
+    dfa = expression.to_nfa(ALPHABET).to_dfa()
+    minimal = minimize_dfa(dfa)
+    assert is_equivalent(dfa, minimal)
+    assert len(minimal.states) <= len(dfa.complete().states)
+
+
+@settings(max_examples=40, deadline=None)
+@given(regexes(), regexes())
+def test_boolean_operations_agree_with_word_level_semantics(left: Regex, right: Regex):
+    left_dfa = left.to_nfa(ALPHABET).to_dfa()
+    right_dfa = right.to_nfa(ALPHABET).to_dfa()
+    union = dfa_union(left_dfa, right_dfa)
+    intersection = dfa_intersection(left_dfa, right_dfa)
+    complement = dfa_complement(left_dfa, ALPHABET)
+    for word in WORDS:
+        in_left, in_right = left_dfa.accepts(word), right_dfa.accepts(word)
+        assert union.accepts(word) == (in_left or in_right)
+        assert intersection.accepts(word) == (in_left and in_right)
+        assert complement.accepts(word) == (not in_left)
+
+
+@settings(max_examples=30, deadline=None)
+@given(regexes(), regexes())
+def test_right_quotient_agrees_with_its_definition(language: Regex, divisor: Regex):
+    language_dfa = language.to_nfa(ALPHABET).to_dfa()
+    divisor_nfa = divisor.to_nfa(ALPHABET)
+    quotient = right_quotient(language_dfa, divisor_nfa)
+    divisor_words = [word for word in WORDS if divisor_nfa.accepts(word)]
+    for prefix in WORDS:
+        if len(prefix) > 2:
+            continue
+        expected = any(language_dfa.accepts(tuple(prefix) + tuple(suffix)) for suffix in divisor_words)
+        if expected:
+            # The quotient must contain every prefix with a short witness; the converse
+            # may involve witnesses longer than the enumeration bound, so it is not asserted.
+            assert quotient.accepts(prefix)
+
+
+# ----------------------------------------------------------------------
+# Grammar properties
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(grammars())
+def test_cnf_preserves_short_words(grammar: Grammar):
+    cnf, accepts_epsilon = to_chomsky_normal_form(grammar)
+    for length in range(0, 5):
+        original = strings_of_length(grammar, length)
+        converted = strings_of_length(cnf, length) | ({()} if accepts_epsilon and length == 0 else set())
+        assert original == converted
+
+
+@settings(max_examples=40, deadline=None)
+@given(grammars())
+def test_reduction_preserves_short_words(grammar: Grammar):
+    reduced = reduce_grammar(grammar)
+    for length in range(0, 5):
+        assert strings_of_length(grammar, length) == strings_of_length(reduced, length)
+
+
+@settings(max_examples=40, deadline=None)
+@given(grammars())
+def test_finiteness_is_consistent_with_enumeration(grammar: Grammar):
+    finite = is_finite_language(grammar)
+    if finite:
+        cnf, _ = to_chomsky_normal_form(grammar)
+        bound = 2 ** max(0, len(cnf.nonterminals) - 1)
+        assert strings_of_length(grammar, bound + 1) == frozenset()
+
+
+@settings(max_examples=30, deadline=None)
+@given(grammars())
+def test_regular_envelope_contains_the_language(grammar: Grammar):
+    envelope = regular_envelope(grammar)
+    for word in enumerate_language(grammar, 5):
+        assert envelope.nfa.accepts(word)
+
+
+@settings(max_examples=30, deadline=None)
+@given(grammars())
+def test_membership_agrees_with_enumeration(grammar: Grammar):
+    words = set(enumerate_language(grammar, 4))
+    for word in WORDS:
+        if len(word) <= 4:
+            assert cfg_membership(grammar, word) == (tuple(word) in words)

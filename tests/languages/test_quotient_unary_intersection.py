@@ -1,0 +1,133 @@
+"""Unit tests for CFL/regular quotients, unary languages, Bar-Hillel intersection, sampling."""
+
+import pytest
+
+from repro.errors import LanguageAnalysisError
+from repro.languages.cfg import parse_grammar
+from repro.languages.cfg_analysis import cfg_membership, enumerate_language, is_empty_language
+from repro.languages.intersection import (
+    cfl_intersects_regular,
+    cfl_subset_of_regular,
+    intersect_grammar_dfa,
+)
+from repro.languages.quotient import cfl_quotient_member, envelope_quotient, regular_quotient
+from repro.languages.regular.properties import enumerate_words
+from repro.languages.regular.regex import AnyStar, Concat, Symbol, parse_regex
+from repro.languages.sampling import random_sentence, random_sentences, sentential_forms
+from repro.languages.unary import length_set_to_dfa, unary_length_set
+
+ANBN = parse_grammar("S -> b1 S b2 | b1 b2")
+SIGMA = ("b1", "b2")
+
+
+def section7_divisor():
+    return Concat(
+        (AnyStar(SIGMA), Symbol("b1"), AnyStar(SIGMA), Symbol("b2"), AnyStar(SIGMA))
+    ).to_nfa(SIGMA)
+
+
+class TestQuotients:
+    def test_envelope_quotient_of_section7_example(self):
+        result = envelope_quotient(ANBN, section7_divisor())
+        words = set(enumerate_words(result.quotient, 3))
+        assert words == {(), ("b1",), ("b1", "b1"), ("b1", "b1", "b1")}
+        assert not result.exact  # the envelope b1+ b2+ was used
+
+    def test_regular_quotient_matches_right_quotient(self):
+        language = parse_regex("a a b").to_nfa(("a", "b")).to_dfa()
+        divisor = parse_regex("b").to_nfa(("a", "b"))
+        quotient = regular_quotient(language, divisor)
+        assert quotient.accepts(("a", "a"))
+        assert not quotient.accepts(("a", "a", "b"))
+
+    def test_cfl_quotient_member_bounded(self):
+        divisor = section7_divisor()
+        assert cfl_quotient_member(ANBN, divisor, ("b1",)) is True
+        assert cfl_quotient_member(ANBN, divisor, ("b2",)) in (False, None)
+
+    def test_quotient_sample_prefixes(self):
+        from repro.languages.quotient import quotient_sample
+
+        members = quotient_sample(ANBN, section7_divisor(), max_prefix_length=2, max_suffix_length=6)
+        assert ("b1",) in members
+
+
+class TestUnary:
+    def test_bplus_length_set(self):
+        grammar = parse_grammar("p -> b | p b")
+        lengths = unary_length_set(grammar, sample_bound=20)
+        assert 0 not in lengths
+        assert all(n in lengths for n in range(1, 15))
+
+    def test_even_lengths(self):
+        grammar = parse_grammar("p -> b b | p b b")
+        lengths = unary_length_set(grammar, sample_bound=20)
+        assert 2 in lengths and 4 in lengths
+        assert 3 not in lengths
+
+    def test_finite_unary(self):
+        grammar = parse_grammar("p -> b b b")
+        lengths = unary_length_set(grammar)
+        assert lengths.exact
+        assert lengths.is_finite()
+        assert 3 in lengths and 2 not in lengths
+
+    def test_length_set_to_dfa(self):
+        grammar = parse_grammar("p -> b b | p b b")
+        lengths = unary_length_set(grammar, sample_bound=20)
+        dfa = length_set_to_dfa(lengths, "b")
+        assert dfa.accepts(("b", "b"))
+        assert dfa.accepts(tuple("b" for _ in range(8)))
+        assert not dfa.accepts(("b",))
+
+    def test_rejects_binary_alphabet(self):
+        with pytest.raises(LanguageAnalysisError):
+            unary_length_set(ANBN)
+
+
+class TestIntersection:
+    def test_intersection_membership(self):
+        even_as = parse_regex("(b1 b1)* | (b1 b1)* b1 b2 (b1|b2)*").to_nfa(SIGMA).to_dfa()
+        product = intersect_grammar_dfa(ANBN, even_as)
+        # Words of anbn that the DFA also accepts.
+        assert not is_empty_language(product)
+        for word in enumerate_language(product, 6):
+            assert cfg_membership(ANBN, word)
+            assert even_as.accepts(word)
+
+    def test_empty_intersection(self):
+        only_b2_first = parse_regex("b2 (b1|b2)*").to_nfa(SIGMA).to_dfa()
+        assert not cfl_intersects_regular(ANBN, only_b2_first)
+
+    def test_subset_holds(self):
+        envelope = parse_regex("b1 b1* b2 b2*").to_nfa(SIGMA).to_dfa()
+        contained, witness = cfl_subset_of_regular(ANBN, envelope)
+        assert contained and witness is None
+
+    def test_subset_fails_with_witness(self):
+        too_small = parse_regex("b1 b2").to_nfa(SIGMA).to_dfa()
+        contained, witness = cfl_subset_of_regular(ANBN, too_small)
+        assert not contained
+        assert witness == ("b1", "b1", "b2", "b2")
+
+
+class TestSampling:
+    def test_random_sentence_is_in_language(self):
+        for seed in range(5):
+            word = random_sentence(ANBN, max_length=20)
+            assert cfg_membership(ANBN, word)
+
+    def test_random_sentences_seeded(self):
+        first = random_sentences(ANBN, 5, seed=1)
+        second = random_sentences(ANBN, 5, seed=1)
+        assert first == second
+
+    def test_random_sentence_empty_language(self):
+        with pytest.raises(LanguageAnalysisError):
+            random_sentence(parse_grammar("S -> a S"))
+
+    def test_sentential_forms(self):
+        forms = sentential_forms(ANBN, 2)
+        assert ("S",) in forms
+        assert ("b1", "S", "b2") in forms
+        assert ("b1", "b2") in forms

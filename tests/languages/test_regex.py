@@ -1,0 +1,91 @@
+"""Unit tests for regular-expression parsing, compilation, and state elimination."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.languages.regular.regex import (
+    AnyStar,
+    Concat,
+    EmptySet,
+    Epsilon,
+    Star,
+    Symbol,
+    Union_,
+    automaton_to_regex,
+    parse_regex,
+)
+from repro.languages.regular.equivalence import is_equivalent
+
+
+class TestParsing:
+    def test_symbol(self):
+        assert parse_regex("b1") == Symbol("b1")
+
+    def test_concat_and_union_precedence(self):
+        expression = parse_regex("a b | c")
+        assert isinstance(expression, Union_)
+        assert expression.parts[0] == Concat((Symbol("a"), Symbol("b")))
+
+    def test_star_binds_tightest(self):
+        expression = parse_regex("a b*")
+        assert expression == Concat((Symbol("a"), Star(Symbol("b"))))
+
+    def test_parentheses(self):
+        expression = parse_regex("(a | b)*")
+        assert isinstance(expression, Star)
+
+    def test_epsilon(self):
+        assert parse_regex("ε") == Epsilon()
+
+    def test_errors(self):
+        with pytest.raises(ParseError):
+            parse_regex("(a")
+        with pytest.raises(ParseError):
+            parse_regex("a +")
+
+
+class TestCompilation:
+    @pytest.mark.parametrize(
+        "pattern,accepted,rejected",
+        [
+            ("a*", [(), ("a", "a")], [("b",)]),
+            ("a | b b", [("a",), ("b", "b")], [("b",), ("a", "b")]),
+            ("(a b)* a", [("a",), ("a", "b", "a")], [("a", "b")]),
+            ("ε", [()], [("a",)]),
+        ],
+    )
+    def test_membership(self, pattern, accepted, rejected):
+        nfa = parse_regex(pattern).to_nfa(("a", "b"))
+        for word in accepted:
+            assert nfa.accepts(word), (pattern, word)
+        for word in rejected:
+            assert not nfa.accepts(word), (pattern, word)
+
+    def test_empty_set(self):
+        assert not EmptySet().to_nfa(("a",)).accepts(())
+
+    def test_any_star(self):
+        nfa = AnyStar(("a", "b")).to_nfa()
+        assert nfa.accepts(("a", "b", "b", "a"))
+
+    def test_operators_on_ast(self):
+        expression = (Symbol("a") | Symbol("b")).star()
+        nfa = expression.to_nfa(("a", "b"))
+        assert nfa.accepts(("a", "b", "a"))
+
+
+class TestStateElimination:
+    @pytest.mark.parametrize("pattern", ["a*", "a b | b a", "(a | b) a*", "a (b a)*"])
+    def test_round_trip(self, pattern):
+        original = parse_regex(pattern).to_nfa(("a", "b")).to_dfa()
+        back = automaton_to_regex(original).to_nfa(("a", "b")).to_dfa()
+        assert is_equivalent(original, back)
+
+    def test_empty_automaton(self):
+        from repro.languages.regular.operations import empty_language_nfa
+
+        expression = automaton_to_regex(empty_language_nfa(("a",)))
+        assert not expression.to_nfa(("a",)).accepts(("a",))
+
+    def test_str_renders(self):
+        assert "b1" in str(parse_regex("b1 b2*"))

@@ -1,0 +1,160 @@
+"""Unit tests for regular-language algebra, including the Section 7 quotient."""
+
+import pytest
+
+from repro.languages.regular import (
+    dfa_complement,
+    dfa_difference,
+    dfa_intersection,
+    dfa_union,
+    is_empty_language,
+    is_equivalent,
+    is_finite_language,
+    is_subset,
+    left_quotient,
+    minimize_dfa,
+    nerode_index,
+    nfa_concat,
+    nfa_reverse,
+    nfa_star,
+    nfa_union,
+    parse_regex,
+    prefix_closure,
+    right_quotient,
+    shortest_accepted_word,
+    enumerate_words,
+)
+
+
+def lang(text, alphabet=("a", "b")):
+    return parse_regex(text).to_nfa(alphabet).to_dfa()
+
+
+class TestBooleanAlgebra:
+    def test_union(self):
+        result = dfa_union(lang("a a"), lang("b"))
+        assert result.accepts(("a", "a")) and result.accepts(("b",))
+        assert not result.accepts(("a",))
+
+    def test_intersection(self):
+        result = dfa_intersection(lang("a* b"), lang("a b*"))
+        assert result.accepts(("a", "b"))
+        assert not result.accepts(("a", "a", "b"))
+        assert not result.accepts(("a", "b", "b"))
+
+    def test_difference(self):
+        result = dfa_difference(lang("a*"), lang("a a*"))
+        assert result.accepts(())
+        assert not result.accepts(("a",))
+
+    def test_complement(self):
+        result = dfa_complement(lang("a*"))
+        assert not result.accepts(("a", "a"))
+        assert result.accepts(("b",))
+
+    def test_de_morgan(self):
+        left, right = lang("a b*"), lang("a* b")
+        lhs = dfa_complement(dfa_union(left, right))
+        rhs = dfa_intersection(dfa_complement(left), dfa_complement(right))
+        assert is_equivalent(lhs, rhs)
+
+
+class TestConstructions:
+    def test_concat(self):
+        nfa = nfa_concat(parse_regex("a").to_nfa(), parse_regex("b").to_nfa())
+        assert nfa.accepts(("a", "b"))
+        assert not nfa.accepts(("a",))
+
+    def test_star(self):
+        nfa = nfa_star(parse_regex("a b").to_nfa())
+        assert nfa.accepts(())
+        assert nfa.accepts(("a", "b", "a", "b"))
+        assert not nfa.accepts(("a", "a"))
+
+    def test_union_nfa(self):
+        nfa = nfa_union(parse_regex("a").to_nfa(), parse_regex("b b").to_nfa())
+        assert nfa.accepts(("a",)) and nfa.accepts(("b", "b"))
+
+    def test_reverse(self):
+        nfa = nfa_reverse(parse_regex("a b b").to_nfa())
+        assert nfa.accepts(("b", "b", "a"))
+        assert not nfa.accepts(("a", "b", "b"))
+
+
+class TestInclusion:
+    def test_subset(self):
+        assert is_subset(lang("a a"), lang("a*"))
+        assert not is_subset(lang("a*"), lang("a a"))
+
+    def test_equivalence_of_different_regexes(self):
+        assert is_equivalent(lang("a a* | ε"), lang("a*"))
+
+    def test_emptiness_and_finiteness(self):
+        assert is_empty_language(dfa_difference(lang("a"), lang("a")))
+        assert is_finite_language(lang("a b | b a"))
+        assert not is_finite_language(lang("a*"))
+
+    def test_shortest_word(self):
+        assert shortest_accepted_word(lang("a a a | a b")) == ("a", "b")
+
+    def test_enumerate_words(self):
+        words = enumerate_words(lang("a*"), 2)
+        assert words == [(), ("a",), ("a", "a")]
+
+
+class TestMinimisation:
+    def test_minimize_reduces_states(self):
+        bloated = parse_regex("(a | a a) a*").to_nfa(("a",)).to_dfa()
+        minimal = minimize_dfa(bloated)
+        assert len(minimal.states) <= len(bloated.states)
+        assert is_equivalent(minimal, bloated)
+
+    def test_nerode_index(self):
+        # a* over {a} needs exactly one state (all-accepting loop).
+        assert nerode_index(parse_regex("a*").to_nfa(("a",)).to_dfa()) == 1
+
+    def test_minimize_distinguishes_languages(self):
+        assert not is_equivalent(lang("a"), lang("a a"))
+
+
+class TestQuotients:
+    def test_paper_example_quotient(self):
+        """Quotient of b1+ b2+ (the envelope of {b1^n b2^n}) by Σ* b1 Σ* b2 Σ* is b1*."""
+        alphabet = ("b1", "b2")
+        envelope = parse_regex("b1 b1* b2 b2*").to_nfa(alphabet).to_dfa()
+        divisor = parse_regex("(b1 | b2)* b1 (b1 | b2)* b2 (b1 | b2)*").to_nfa(alphabet)
+        quotient = right_quotient(envelope, divisor)
+        expected = parse_regex("b1*").to_nfa(alphabet).to_dfa()
+        assert is_equivalent(quotient, expected)
+
+    def test_right_quotient_definition_on_samples(self):
+        alphabet = ("a", "b")
+        language = lang("a a b b | a b")
+        divisor = parse_regex("b").to_nfa(alphabet)
+        quotient = right_quotient(language, divisor)
+        # x is in the quotient iff x + 'b' is in the language.
+        assert quotient.accepts(("a",))
+        assert quotient.accepts(("a", "a", "b"))
+        assert not quotient.accepts(("a", "b"))
+
+    def test_left_quotient(self):
+        alphabet = ("a", "b")
+        language = lang("a b b")
+        divisor = parse_regex("a").to_nfa(alphabet)
+        quotient = left_quotient(language, divisor)
+        assert quotient.accepts(("b", "b"))
+        assert not quotient.accepts(("a", "b", "b"))
+
+    def test_quotient_by_empty_language_is_empty(self):
+        alphabet = ("a",)
+        language = lang("a a", alphabet)
+        from repro.languages.regular import empty_language_nfa
+
+        quotient = right_quotient(language, empty_language_nfa(alphabet))
+        assert is_empty_language(quotient)
+
+    def test_prefix_closure(self):
+        closed = prefix_closure(lang("a b a"))
+        for word in [(), ("a",), ("a", "b"), ("a", "b", "a")]:
+            assert closed.accepts(word)
+        assert not closed.accepts(("b",))

@@ -1,0 +1,89 @@
+"""Unit tests for monadic fixpoint programs and Example 6.3."""
+
+from repro.logic.fixpoint import (
+    MonadicFixpointProgram,
+    MonadicFixpointRule,
+    evaluate_fixpoint_program,
+    example_6_3_program,
+    is_cyclic_via_monadic_fixpoint,
+    nodes_on_or_reaching_cycles,
+)
+from repro.logic.fo import And, Exists, Or, Rel, Var
+from repro.logic.mgs import has_directed_cycle
+from repro.logic.structures import (
+    FiniteStructure,
+    directed_cycle,
+    directed_path,
+    path_with_disjoint_cycle,
+    union_structure,
+)
+
+
+class TestEvaluator:
+    def test_reachability_fixpoint(self):
+        # reach(X) <- start(X) ∨ ∃Y (reach(Y) ∧ b(Y, X))
+        x, y = Var("X"), Var("Y")
+        body = Or(
+            (
+                Rel("start", (x,)),
+                Exists("Y", And((Rel("reach", (y,)), Rel("b", (y, x))))),
+            )
+        )
+        program = MonadicFixpointProgram((MonadicFixpointRule("reach", "X", body),))
+        structure = FiniteStructure(
+            {"a", "b", "c", "d"},
+            {"b": [("a", "b"), ("b", "c")], "start": [("a",)]},
+        )
+        evaluation = evaluate_fixpoint_program(program, structure)
+        assert evaluation.members("reach") == {"a", "b", "c"}
+        assert evaluation.iterations["reach"] >= 3
+
+    def test_later_rules_see_earlier_fixpoints(self):
+        x = Var("X")
+        first = MonadicFixpointRule("p", "X", Rel("base", (x,)))
+        second = MonadicFixpointRule("q", "X", Rel("p", (x,)))
+        program = MonadicFixpointProgram((first, second))
+        structure = FiniteStructure({1, 2}, {"base": [(1,)]})
+        evaluation = evaluate_fixpoint_program(program, structure)
+        assert evaluation.members("q") == {1}
+
+    def test_empty_program(self):
+        evaluation = evaluate_fixpoint_program(
+            MonadicFixpointProgram(()), FiniteStructure({1}, {})
+        )
+        assert evaluation.relation("anything") == frozenset()
+
+
+class TestExample63:
+    def test_cycle_detected(self):
+        assert is_cyclic_via_monadic_fixpoint(directed_cycle(4))
+
+    def test_path_is_acyclic(self):
+        assert not is_cyclic_via_monadic_fixpoint(directed_path(4))
+
+    def test_path_plus_cycle(self):
+        structure = path_with_disjoint_cycle(3, 4)
+        assert is_cyclic_via_monadic_fixpoint(structure)
+        # Only the cycle nodes stay unmarked: the path cannot reach the disjoint cycle.
+        unmarked = nodes_on_or_reaching_cycles(structure)
+        assert unmarked == {f"c{i}" for i in range(4)}
+
+    def test_agrees_with_reference_checker_on_small_structures(self):
+        structures = [
+            directed_path(3),
+            directed_cycle(3),
+            path_with_disjoint_cycle(2, 3),
+            union_structure(directed_path(2, prefix="x"), directed_cycle(2, prefix="y")),
+            FiniteStructure({1, 2, 3}, {"b": [(1, 2), (2, 3), (3, 1), (1, 1)]}),
+        ]
+        for structure in structures:
+            assert is_cyclic_via_monadic_fixpoint(structure) == has_directed_cycle(structure)
+
+    def test_marking_order_matches_the_paper_description(self):
+        # "first marking all nodes of graph b that have outdegree 0, then marking all
+        #  nodes whose children have been marked, etc."
+        structure = directed_path(2)  # p0 -> p1 -> p2
+        program = example_6_3_program()
+        evaluation = evaluate_fixpoint_program(program, structure)
+        assert evaluation.members("w") == {"p0", "p1", "p2"}
+        assert evaluation.iterations["w"] == 4  # three marking rounds plus the stable check

@@ -1,0 +1,107 @@
+"""Unit tests for first-order evaluation over finite structures."""
+
+from repro.logic.fo import (
+    And,
+    Bottom,
+    Const,
+    Eq,
+    Exists,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    Rel,
+    Top,
+    Var,
+    evaluate_query,
+    exists_many,
+    forall_many,
+)
+from repro.logic.structures import FiniteStructure, directed_cycle, directed_path
+
+
+def graph():
+    return FiniteStructure(
+        {"a", "b", "c"},
+        {"edge": [("a", "b"), ("b", "c")]},
+        {"source": "a"},
+    )
+
+
+class TestAtoms:
+    def test_relation_atom(self):
+        formula = Rel("edge", (Var("X"), Var("Y")))
+        assert formula.evaluate(graph(), {"X": "a", "Y": "b"})
+        assert not formula.evaluate(graph(), {"X": "b", "Y": "a"})
+
+    def test_constant_reference(self):
+        formula = Rel("edge", (Const("source"), Var("Y")))
+        assert formula.evaluate(graph(), {"Y": "b"})
+
+    def test_equality(self):
+        assert Eq(Var("X"), Var("Y")).evaluate(graph(), {"X": "a", "Y": "a"})
+        assert not Eq(Var("X"), Const("source")).evaluate(graph(), {"X": "b"})
+
+    def test_interpretations_override(self):
+        formula = Rel("w", (Var("X"),))
+        assert formula.evaluate(graph(), {"X": "a"}, {"w": frozenset({("a",)})})
+        assert not formula.evaluate(graph(), {"X": "b"}, {"w": frozenset({("a",)})})
+
+    def test_top_bottom(self):
+        assert Top().evaluate(graph())
+        assert not Bottom().evaluate(graph())
+
+
+class TestConnectivesAndQuantifiers:
+    def test_not_and_or(self):
+        edge = Rel("edge", (Var("X"), Var("Y")))
+        formula = Or((edge, Not(edge)))
+        assert formula.evaluate(graph(), {"X": "a", "Y": "c"})
+
+    def test_implication(self):
+        formula = Implies(Bottom(), Rel("edge", (Var("X"), Var("X"))))
+        assert formula.evaluate(graph(), {"X": "a"})
+
+    def test_exists(self):
+        formula = Exists("Y", Rel("edge", (Var("X"), Var("Y"))))
+        assert formula.evaluate(graph(), {"X": "a"})
+        assert not formula.evaluate(graph(), {"X": "c"})
+
+    def test_forall(self):
+        has_out_edge = Exists("Y", Rel("edge", (Var("X"), Var("Y"))))
+        assert not Forall("X", has_out_edge).evaluate(graph())
+        cycle = FiniteStructure.from_database(directed_cycle(3).to_database())
+        has_out = Exists("Y", Rel("b", (Var("X"), Var("Y"))))
+        assert Forall("X", has_out).evaluate(cycle)
+
+    def test_nested_helpers(self):
+        two_step = exists_many(
+            ["Y", "Z"],
+            And((Rel("edge", (Var("X"), Var("Y"))), Rel("edge", (Var("Y"), Var("Z"))))),
+        )
+        assert two_step.evaluate(graph(), {"X": "a"})
+        assert forall_many(["X"], Top()).evaluate(graph())
+
+    def test_free_variables(self):
+        formula = Exists("Y", Rel("edge", (Var("X"), Var("Y"))))
+        assert formula.free_variables() == {"X"}
+
+
+class TestQueries:
+    def test_evaluate_query(self):
+        formula = Exists("Z", And((Rel("edge", (Var("X"), Var("Z"))), Rel("edge", (Var("Z"), Var("Y"))))))
+        answers = evaluate_query(formula, graph(), ("X", "Y"))
+        assert answers == {("a", "c")}
+
+    def test_boolean_query(self):
+        formula = Exists("X", Exists("Y", Rel("edge", (Var("X"), Var("Y")))))
+        assert evaluate_query(formula, graph(), ()) == {()}
+        empty = FiniteStructure({"a"}, {"edge": []})
+        assert evaluate_query(formula, empty, ()) == frozenset()
+
+    def test_path_structure_queries(self):
+        path = directed_path(2)
+        start_nodes = evaluate_query(
+            Not(Exists("Z", Rel("b", (Var("Z"), Var("X"))))), path, ("X",)
+        )
+        assert start_nodes == {("p0",)}

@@ -1,0 +1,130 @@
+"""Unit tests for monadic generalized spectra and the cycle-symmetry arguments."""
+
+import pytest
+
+from repro.core.examples_catalog import program_d, section6_cycle_program
+from repro.datalog import parse_program
+from repro.logic.ef import (
+    boolean_answer_on_cycle,
+    colour_sets_on_structure,
+    distinguishability_on_cycles,
+    monadic_colour_uniformity_on_cycle,
+    program_symbol_count,
+)
+from repro.logic.mgs import (
+    cyclic_graph_spec,
+    disconnected_graph_spec,
+    has_directed_cycle,
+    is_disconnected,
+    is_unreachable,
+    nonreachability_spec,
+)
+from repro.logic.structures import (
+    FiniteStructure,
+    directed_cycle,
+    directed_path,
+    path_with_disjoint_cycle,
+    union_structure,
+)
+
+
+class TestDisconnectivitySpec:
+    """Example 2.2.1: disconnected graphs are an MGS."""
+
+    def test_disconnected_structure_satisfies_spec(self):
+        structure = path_with_disjoint_cycle(2, 3)
+        assert disconnected_graph_spec().check(structure)
+        assert is_disconnected(structure)
+
+    def test_connected_structure_fails_spec(self):
+        structure = directed_path(4)
+        assert not disconnected_graph_spec().check(structure)
+        assert not is_disconnected(structure)
+
+    def test_search_agrees_with_reference_on_small_graphs(self):
+        spec = disconnected_graph_spec()
+        for structure in (directed_path(3), directed_cycle(4), path_with_disjoint_cycle(1, 3)):
+            assert spec.check(structure) == is_disconnected(structure)
+
+
+class TestNonReachabilitySpec:
+    """Example 2.2.2: source-sink non-reachability is an MGS."""
+
+    def make(self, reachable: bool) -> FiniteStructure:
+        edges = [("s", "m"), ("m", "t")] if reachable else [("s", "m"), ("t", "m")]
+        return FiniteStructure({"s", "m", "t"}, {"b": edges}, {"c1": "s", "c2": "t"})
+
+    def test_unreachable_satisfies_spec(self):
+        structure = self.make(reachable=False)
+        assert nonreachability_spec().check(structure)
+        assert is_unreachable(structure)
+
+    def test_reachable_fails_spec(self):
+        structure = self.make(reachable=True)
+        assert not nonreachability_spec().check(structure)
+        assert not is_unreachable(structure)
+
+
+class TestCyclicitySpec:
+    """Example 2.2.3: graphs with a directed cycle are an MGS."""
+
+    def test_cycle_detected(self):
+        assert cyclic_graph_spec().check(directed_cycle(4))
+        assert has_directed_cycle(directed_cycle(4))
+
+    def test_acyclic_rejected(self):
+        assert not cyclic_graph_spec().check(directed_path(4))
+        assert not has_directed_cycle(directed_path(4))
+
+    def test_path_plus_cycle_detected(self):
+        structure = path_with_disjoint_cycle(2, 3)
+        assert cyclic_graph_spec().check(structure)
+
+    def test_witness_is_closed_under_edges_inside_colour(self):
+        witness = cyclic_graph_spec().witness(directed_cycle(3))
+        assert witness is not None
+        assert len(witness["w"]) >= 1
+
+    def test_domain_guard(self):
+        with pytest.raises(ValueError):
+            cyclic_graph_spec().check(directed_cycle(20))
+
+
+class TestCycleSymmetry:
+    """The executable parts of Lemma 6.1."""
+
+    def test_monadic_program_colours_cycles_uniformly(self):
+        monadic = parse_program(
+            """
+            ?w(X)
+            w(X) :- b(X, Y).
+            w(X) :- b(X, Y), w(Y).
+            """
+        )
+        for length in (3, 5, 8):
+            assert monadic_colour_uniformity_on_cycle(monadic, length)
+
+    def test_colour_sets_on_path_are_not_uniform(self):
+        monadic = parse_program(
+            """
+            ?w(X)
+            w(X) :- b(X, Y).
+            """
+        )
+        colours = colour_sets_on_structure(monadic, directed_path(3))
+        assert len(set(colours.values())) > 1
+
+    def test_chain_program_distinguishes_cycles_monadic_cannot(self):
+        from repro.core.counterexamples import cycle_length_program
+
+        # The length-3 closed-walk query holds on a 3-cycle but not on a 4-cycle.
+        chain = cycle_length_program(3)
+        outcome = distinguishability_on_cycles(chain.program, 3, 4)
+        assert outcome.distinguishes
+
+    def test_cycle_program_detects_cycles(self):
+        cycle = section6_cycle_program()
+        assert boolean_answer_on_cycle(cycle.program, 5)
+
+    def test_program_symbol_count_positive(self):
+        assert program_symbol_count(program_d()) > 0

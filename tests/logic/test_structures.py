@@ -1,0 +1,81 @@
+"""Unit tests for finite structures."""
+
+import pytest
+
+from repro.datalog import Database
+from repro.logic.structures import (
+    FiniteStructure,
+    directed_cycle,
+    directed_path,
+    path_with_disjoint_cycle,
+    union_structure,
+)
+
+
+class TestConstruction:
+    def test_basic(self):
+        structure = FiniteStructure({1, 2}, {"b": [(1, 2)]}, {"c": 1})
+        assert structure.size() == 2
+        assert structure.relation("b") == {(1, 2)}
+        assert structure.constant("c") == 1
+
+    def test_constant_must_be_in_domain(self):
+        with pytest.raises(ValueError):
+            FiniteStructure({1}, {}, {"c": 2})
+
+    def test_relation_must_stay_in_domain(self):
+        with pytest.raises(ValueError):
+            FiniteStructure({1}, {"b": [(1, 2)]})
+
+    def test_missing_relation_is_empty(self):
+        assert FiniteStructure({1}, {}).relation("nope") == frozenset()
+
+    def test_with_constants_and_relations(self):
+        structure = FiniteStructure({1, 2}, {"b": [(1, 2)]})
+        extended = structure.with_constants({"c": 1}).with_relations({"r": [(2, 1)]})
+        assert extended.constant("c") == 1
+        assert extended.relation("r") == {(2, 1)}
+
+
+class TestDatabaseBridge:
+    def test_round_trip(self):
+        database = Database({"par": [("a", "b")]})
+        structure = FiniteStructure.from_database(database, constants={"c": "a"})
+        assert structure.relation("par") == {("a", "b")}
+        assert structure.to_database() == database
+
+    def test_extra_domain(self):
+        structure = FiniteStructure.from_database(Database(), extra_domain=["x"])
+        assert structure.domain == {"x"}
+
+
+class TestBuilders:
+    def test_directed_path(self):
+        path = directed_path(3)
+        assert path.size() == 4
+        assert len(path.relation("b")) == 3
+
+    def test_directed_cycle(self):
+        cycle = directed_cycle(4)
+        assert cycle.size() == 4
+        assert len(cycle.relation("b")) == 4
+        # Every node has out-degree one.
+        sources = [edge[0] for edge in cycle.relation("b")]
+        assert len(set(sources)) == 4
+
+    def test_cycle_requires_positive_length(self):
+        with pytest.raises(ValueError):
+            directed_cycle(0)
+
+    def test_path_with_disjoint_cycle(self):
+        both = path_with_disjoint_cycle(3, 4)
+        assert both.size() == 4 + 4
+        assert len(both.relation("b")) == 3 + 4
+
+    def test_union_requires_disjoint_domains(self):
+        with pytest.raises(ValueError):
+            union_structure(directed_path(2), directed_path(2))
+
+    def test_union(self):
+        merged = union_structure(directed_path(2, prefix="p"), directed_cycle(3, prefix="q"))
+        assert merged.size() == 3 + 3

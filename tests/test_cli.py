@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM_A = """
+?anc(john, Y)
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- anc(X, Z), par(Z, Y).
+"""
+
+ANBN = """
+?p(c, Y)
+p(X, Y) :- b1(X, X1), b2(X1, Y).
+p(X, Y) :- b1(X, X1), p(X1, Y1), b2(Y1, Y).
+"""
+
+FACTS = """
+par(john, mary).
+par(mary, sue).
+par(ann, bob).
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "program.dl"
+    path.write_text(PROGRAM_A)
+    return str(path)
+
+
+@pytest.fixture
+def anbn_file(tmp_path):
+    path = tmp_path / "anbn.dl"
+    path.write_text(ANBN)
+    return str(path)
+
+
+@pytest.fixture
+def facts_file(tmp_path):
+    path = tmp_path / "facts.dl"
+    path.write_text(FACTS)
+    return str(path)
+
+
+class TestAnalyze:
+    def test_propagatable_program(self, program_file, capsys):
+        assert main(["analyze", program_file, "--show-program"]) == 0
+        output = capsys.readouterr().out
+        assert "propagatable" in output
+        assert "left-linear" in output
+        assert "answer" in output  # the printed monadic program
+
+    def test_not_propagatable_program(self, anbn_file, capsys):
+        assert main(["analyze", anbn_file]) == 0
+        output = capsys.readouterr().out
+        assert "not propagatable" in output
+        assert "Pumping" in output or "pumping" in output
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "missing.dl")]) == 2
+
+    def test_non_chain_program_reports_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.dl"
+        path.write_text("?p(c, Y)\np(X, Y) :- b(Y, X).")
+        assert main(["analyze", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestGrammarAndRewrite:
+    def test_grammar_report(self, program_file, capsys):
+        assert main(["grammar", program_file, "--max-length", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "anc -> par | anc par" in output
+        assert "par par par" in output
+
+    def test_rewrite_success(self, program_file, capsys):
+        assert main(["rewrite", program_file]) == 0
+        assert "answer" in capsys.readouterr().out
+
+    def test_rewrite_failure_for_nonregular(self, anbn_file, capsys):
+        assert main(["rewrite", anbn_file]) == 1
+        assert "no monadic program" in capsys.readouterr().out
+
+    def test_magic_output(self, anbn_file, capsys):
+        assert main(["magic", anbn_file]) == 0
+        output = capsys.readouterr().out
+        assert "magic(X)" in output
+
+
+class TestEvaluateAndBounded:
+    def test_evaluate(self, program_file, facts_file, capsys):
+        assert main(["evaluate", program_file, facts_file]) == 0
+        output = capsys.readouterr().out
+        assert "(mary)" in output
+        assert "(sue)" in output
+        assert "2 answers" in output
+
+    def test_bounded_report_for_unbounded_program(self, program_file, capsys):
+        assert main(["bounded", program_file]) == 0
+        assert "False" in capsys.readouterr().out
+
+    def test_bounded_report_for_bounded_program(self, tmp_path, capsys):
+        path = tmp_path / "gp.dl"
+        path.write_text("?gp(john, Y)\ngp(X, Y) :- par(X, X1), par(X1, Y).")
+        assert main(["bounded", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "True" in output
+        assert "par par" in output
