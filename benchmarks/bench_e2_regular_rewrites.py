@@ -16,7 +16,7 @@ from repro.core.chain import ChainProgram
 from repro.core.examples_catalog import program_a, program_b
 from repro.core.propagation import PropagationVerdict, SelectionPropagator
 from repro.core.workloads import labeled_random_graph, parent_forest
-from repro.datalog import evaluate_seminaive
+from repro.datalog import QuerySession
 
 TWO_LETTER = ChainProgram.from_text(
     """
@@ -63,11 +63,12 @@ def test_decision_and_construction(benchmark, record, label, chain, database):
 @pytest.mark.parametrize("label,chain,database", CASES, ids=[c[0] for c in CASES])
 def test_original_vs_rewritten_evaluation(benchmark, record, label, chain, database):
     analysis = SelectionPropagator().analyze(chain)
-    monadic = analysis.monadic_program
+    original_session = QuerySession(chain, database)
+    rewritten_session = analysis.session(database)
 
     def run_both():
-        original = evaluate_seminaive(chain.program, database)
-        rewritten = evaluate_seminaive(monadic, database)
+        original = original_session.evaluate(fresh=True)
+        rewritten = rewritten_session.evaluate(fresh=True)
         assert original.answers() == rewritten.answers()
         return original, rewritten
 

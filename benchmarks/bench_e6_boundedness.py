@@ -16,7 +16,7 @@ from repro.core.chain import ChainProgram
 from repro.core.counterexamples import cycle_length_program
 from repro.core.examples_catalog import program_a, section7_program
 from repro.core.workloads import chain_database
-from repro.datalog import evaluate_seminaive
+from repro.datalog import QuerySession
 from repro.logic.fo import evaluate_query
 from repro.logic.structures import FiniteStructure
 
@@ -74,6 +74,6 @@ def test_first_order_evaluation_matches_datalog(benchmark):
         return evaluate_query(report.first_order_formula, structure, report.output_variables)
 
     fo_answers = benchmark(run_fo)
-    datalog_answers = evaluate_seminaive(GRANDPARENT.program, database).answers()
+    datalog_answers = QuerySession(GRANDPARENT, database).answers()
     assert fo_answers == datalog_answers
     benchmark.extra_info["answers"] = len(fo_answers)

@@ -18,7 +18,7 @@ from repro.core.counterexamples import anbn_program
 from repro.core.examples_catalog import program_a, program_b
 from repro.core.inf_model import check_proposition_3_1, ig_truncation
 from repro.core.ws1s_bridge import StringProgramEncoding, accepted_string_language, string_database
-from repro.datalog import evaluate_seminaive, parse_program
+from repro.datalog import QuerySession, parse_program
 
 PROGRAMS = [("ancestor_A", program_a()), ("ancestor_B", program_b()), ("anbn", anbn_program())]
 
@@ -80,7 +80,7 @@ def test_ws1s_language_extraction(benchmark, label, text):
     for length in range(0, 4):
         for word in itertools.product(("a", "b"), repeat=length):
             database = string_database(word, ("a", "b"))
-            derived = bool(evaluate_seminaive(program, database).answers())
+            derived = bool(QuerySession(program, database).answers())
             if derived != dfa.accepts(word):
                 mismatches += 1
     assert mismatches == 0

@@ -19,7 +19,7 @@ checkers on all small structures.
 import pytest
 
 from repro.core.counterexamples import cycle_length_program, cycle_program
-from repro.datalog import evaluate_seminaive, parse_program
+from repro.datalog import QuerySession, parse_program
 from repro.logic.ef import colour_sets_on_structure, monadic_colour_uniformity_on_cycle
 from repro.logic.mgs import (
     cyclic_graph_spec,
@@ -63,8 +63,8 @@ def test_cycle_program_distinguishes_what_monadic_programs_cannot(benchmark):
     chain = cycle_length_program(3)
 
     def evaluate_on_both():
-        on_three = evaluate_seminaive(chain.program, directed_cycle(3).to_database()).answers()
-        on_four = evaluate_seminaive(chain.program, directed_cycle(4).to_database()).answers()
+        on_three = QuerySession(chain, directed_cycle(3).to_database()).answers()
+        on_four = QuerySession(chain, directed_cycle(4).to_database()).answers()
         return on_three, on_four
 
     on_three, on_four = benchmark(evaluate_on_both)
@@ -73,8 +73,8 @@ def test_cycle_program_distinguishes_what_monadic_programs_cannot(benchmark):
 
 @pytest.mark.parametrize("size", [15, 40])
 def test_cycle_query_evaluation_cost(benchmark, record, size):
-    structure = path_with_disjoint_cycle(size, size)
-    result = benchmark(evaluate_seminaive, cycle_program().program, structure.to_database())
+    session = QuerySession(cycle_program(), path_with_disjoint_cycle(size, size).to_database())
+    result = benchmark(session.evaluate, fresh=True)
     assert result.answers()
     record(benchmark, "cycle_query", result.statistics)
 

@@ -15,16 +15,15 @@ reports:
   all on the same random parent database.
 """
 
-from repro import propagate_selection
+from repro import QuerySession, propagate_selection
 from repro.core import program_a, program_b, program_c, program_d, to_grammar
 from repro.core.workloads import parent_forest
-from repro.datalog import evaluate_seminaive
-from repro.datalog.transforms import magic_transform
+from repro.datalog.transforms import MagicSets
 from repro.languages import format_grammar, regularity_evidence
 
 
-def evaluate(label, program, database):
-    result = evaluate_seminaive(program, database)
+def evaluate(label, session):
+    result = session.evaluate()
     stats = result.statistics
     print(
         f"    {label:<28} answers={len(result.answers()):>4} "
@@ -38,7 +37,7 @@ def main() -> None:
     database = parent_forest(800, seed=3)
     print(f"Random parent forest with {database.fact_count()} par facts; query ?anc(john, Y)\n")
 
-    gold = evaluate_seminaive(program_d(), database).answers()
+    gold = QuerySession(program_d(), database).answers()
 
     for name, chain in (("A", program_a()), ("B", program_b()), ("C", program_c())):
         grammar = to_grammar(chain)
@@ -53,15 +52,15 @@ def main() -> None:
         print(f"  Theorem 3.3    : {verdict.verdict.value} ({verdict.reason.split(';')[0]})")
 
         print("  evaluation:")
-        answers = evaluate("original (binary recursion)", chain.program, database)
-        magic_answers = evaluate("magic sets [5]", magic_transform(chain.program), database)
-        rewritten = verdict.monadic_program
-        rewrite_answers = evaluate("monadic rewrite (Thm 3.3)", rewritten, database)
+        session = QuerySession(chain, database)
+        answers = evaluate("original (binary recursion)", session)
+        magic_answers = evaluate("magic sets [5]", session.with_transforms(MagicSets()))
+        rewrite_answers = evaluate("monadic rewrite (Thm 3.3)", verdict.session(database))
         assert answers == magic_answers == rewrite_answers == gold
         print()
 
     print("Program D (the target of propagation)")
-    evaluate("Program D", program_d(), database)
+    evaluate("Program D", QuerySession(program_d(), database))
     print("\nAll four programs return the same ancestors; the monadic forms derive")
     print("only facts about john's ancestors, while the binary forms derive the")
     print("ancestor relation for every person in the database.")

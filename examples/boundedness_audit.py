@@ -21,7 +21,7 @@ from repro.core import (
     section7_program,
 )
 from repro.core.workloads import chain_database, labeled_random_graph
-from repro.datalog import evaluate_seminaive
+from repro.datalog import QuerySession
 from repro.logic.fo import evaluate_query
 from repro.logic.structures import FiniteStructure
 
@@ -66,7 +66,7 @@ def main() -> None:
     report = analyze_boundedness(grandparent)
     structure = FiniteStructure.from_database(database)
     fo_answers = evaluate_query(report.first_order_formula, structure, report.output_variables)
-    datalog_answers = evaluate_seminaive(grandparent.program, database).answers()
+    datalog_answers = QuerySession(grandparent, database).answers()
     print(f"FO formula answers == Datalog answers for the grandparent query: "
           f"{fo_answers == datalog_answers} ({len(fo_answers)} tuples)")
 

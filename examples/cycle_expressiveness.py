@@ -17,7 +17,7 @@ The script demonstrates the three layers of the paper's Section 6 argument:
 """
 
 from repro.core import cycle_length_program, cycle_program, propagate_selection
-from repro.datalog import evaluate_seminaive, parse_program
+from repro.datalog import QuerySession, parse_program
 from repro.logic import (
     cyclic_graph_spec,
     directed_cycle,
@@ -49,8 +49,8 @@ def main() -> None:
         uniform = monadic_colour_uniformity_on_cycle(monadic, length)
         print(f"  monadic program colours a {length}-cycle uniformly: {uniform}")
     chain = cycle_length_program(3)
-    on3 = bool(evaluate_seminaive(chain.program, directed_cycle(3).to_database()).answers())
-    on4 = bool(evaluate_seminaive(chain.program, directed_cycle(4).to_database()).answers())
+    on3 = bool(QuerySession(chain, directed_cycle(3).to_database()).answers())
+    on4 = bool(QuerySession(chain, directed_cycle(4).to_database()).answers())
     print(f"  the closed-walk-of-length-3 chain query distinguishes a 3-cycle ({on3}) "
           f"from a 4-cycle ({on4})\n")
 

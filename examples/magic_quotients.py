@@ -13,7 +13,7 @@ The script reproduces the paper's discussion:
 
 from repro.core import anbn_program, analyze_magic, magic_transform_chain, section7_transformed
 from repro.core.workloads import layered_anbn_graph
-from repro.datalog import evaluate_seminaive, format_program
+from repro.datalog import QuerySession, format_program
 from repro.languages.regular import enumerate_words
 
 
@@ -45,9 +45,9 @@ def main() -> None:
 
     for noise in (0, 2, 8):
         database = layered_anbn_graph(10, noise_branches=noise)
-        plain = evaluate_seminaive(chain.program, database)
-        magic = evaluate_seminaive(transformed, database)
-        paper = evaluate_seminaive(section7_transformed(), database)
+        plain = QuerySession(chain, database).evaluate()
+        magic = QuerySession(transformed, database).evaluate()
+        paper = QuerySession(section7_transformed(), database).evaluate()
         assert plain.answers() == magic.answers() == paper.answers()
         print(
             f"noise branches={noise:>2}  facts derived: "

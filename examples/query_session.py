@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Walkthrough of the unified evaluation API: sessions, engines, transform pipelines.
+
+The paper compares evaluation strategies for one selection query; the
+library mirrors that with three first-class pieces:
+
+* the **engine registry** (:mod:`repro.datalog.engine.registry`) — every
+  strategy (naive, semi-naive, tabled top-down, magic-then-semi-naive) is an
+  object looked up by name;
+* the **transform pipeline** (:mod:`repro.datalog.transforms.pipeline`) —
+  rewrites compose and record per-stage provenance;
+* the **query session** (:class:`repro.datalog.QuerySession`) — one facade
+  tying a program, a database, a pipeline, and an engine choice together.
+
+Run with ``PYTHONPATH=src python examples/query_session.py``.
+"""
+
+from repro import ChainProgram, QuerySession, available_engines, get_engine
+from repro.core.propagation import MonadicRewrite
+from repro.core.workloads import parent_forest
+from repro.datalog.transforms import MagicSets
+
+
+def main() -> None:
+    program = ChainProgram.from_text(
+        """
+        ?anc(john, Y)
+        anc(X, Y) :- par(X, Y).
+        anc(X, Y) :- anc(X, Z), par(Z, Y).
+        """
+    )
+    database = parent_forest(400, seed=11)
+    print(f"Query ?anc(john, Y) over {database.fact_count()} parent facts\n")
+
+    # 1. One engine, explicitly.
+    result = get_engine("seminaive").evaluate(program.program, database)
+    print(f"get_engine('seminaive'): {len(result.answers())} answers, {result.statistics}\n")
+
+    # 2. The same through a session; engines are a run-time choice.
+    session = QuerySession(program, database)
+    print("Engine portfolio on the original program:")
+    for name in available_engines():
+        stats = session.evaluate(engine=name).statistics
+        print(f"  {name:<10} facts={stats.facts_derived:>6} firings={stats.rule_firings:>6}")
+    print()
+
+    # 3. Transforms compose into pipelines with provenance.
+    magic = session.with_transforms(MagicSets())
+    rewrite = session.with_transforms(MonadicRewrite())
+    print("Magic-set pipeline provenance:")
+    print("  " + magic.explain().replace("\n", "\n  "))
+    print()
+
+    baseline = session.answers()
+    for label, candidate in (("magic sets", magic), ("monadic rewrite", rewrite)):
+        stats = candidate.evaluate().statistics
+        agree = candidate.answers() == baseline
+        print(
+            f"  {label:<16} answers agree={agree}  "
+            f"facts={stats.facts_derived:>6} firings={stats.rule_firings:>6}"
+        )
+    print()
+    print("The transformed programs derive only john-relevant facts; the original")
+    print("binary recursion computes the full ancestor relation before selecting.")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,8 +11,8 @@ This script
    parent database and compares answers and work.
 """
 
-from repro import ChainProgram, propagate_selection
-from repro.datalog import evaluate_seminaive, format_program
+from repro import ChainProgram, QuerySession, propagate_selection
+from repro.datalog import format_program
 from repro.core.workloads import parent_forest
 
 
@@ -40,8 +40,8 @@ def main() -> None:
     print()
 
     database = parent_forest(500, seed=7)
-    original = evaluate_seminaive(program.program, database)
-    rewritten = evaluate_seminaive(result.monadic_program, database)
+    original = QuerySession(program, database).evaluate()
+    rewritten = result.session(database).evaluate()
 
     print(f"Database             : {database.fact_count()} parent facts")
     print(f"Answers agree        : {original.answers() == rewritten.answers()}")

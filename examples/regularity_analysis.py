@@ -24,7 +24,7 @@ from repro.core import (
     unary_infinite_program,
 )
 from repro.core.ws1s_bridge import StringProgramEncoding, accepted_string_language, string_database
-from repro.datalog import evaluate_seminaive, parse_program
+from repro.datalog import QuerySession, parse_program
 from repro.languages import format_grammar, is_self_embedding, is_strongly_regular, regularity_evidence
 from repro.languages.regular import enumerate_words
 
@@ -76,7 +76,7 @@ def main() -> None:
     agreement = True
     for word in [("b2",), ("b1", "b2"), ("b1", "b1", "b2"), ("b2", "b1"), ("b1", "b1")]:
         database = string_database(word, ("b1", "b2"))
-        derived = bool(evaluate_seminaive(monadic, database).answers())
+        derived = bool(QuerySession(monadic, database).answers())
         agreement &= derived == dfa.accepts(word)
     print(f"WS1S-extracted language agrees with direct evaluation on sample strings: {agreement}")
 

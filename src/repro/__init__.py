@@ -34,13 +34,17 @@ from repro.datalog import (
     Constant,
     Database,
     Program,
+    QuerySession,
     Rule,
     Variable,
+    available_engines,
     evaluate_naive,
     evaluate_seminaive,
     evaluate_topdown,
+    get_engine,
     parse_program,
     parse_rule,
+    register_engine,
 )
 from repro.core.chain import ChainProgram, GoalForm
 from repro.core.propagation import (
@@ -61,14 +65,18 @@ __all__ = [
     "Program",
     "PropagationResult",
     "PropagationVerdict",
+    "QuerySession",
     "Rule",
     "SelectionPropagator",
     "Variable",
+    "available_engines",
     "evaluate_naive",
     "evaluate_seminaive",
     "evaluate_topdown",
+    "get_engine",
     "parse_program",
     "parse_rule",
     "propagate_selection",
+    "register_engine",
     "__version__",
 ]

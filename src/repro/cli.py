@@ -7,7 +7,14 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli rewrite  program.dl          # the equivalent monadic program, if constructible
     python -m repro.cli magic    program.dl          # Section 7 quotient-based magic transformation
     python -m repro.cli evaluate program.dl facts.dl # run the program on a database of facts
+    python -m repro.cli engines                      # list the registered evaluation engines
     python -m repro.cli bounded  program.dl          # Proposition 8.2 report
+
+``evaluate`` is a thin wrapper over the unified evaluation API: it builds a
+:class:`repro.datalog.QuerySession` and dispatches to any engine registered
+in :mod:`repro.datalog.engine.registry` — pick one with ``--engine``
+(``naive``, ``seminaive``, ``topdown``, ``magic``, or anything a plugin has
+registered; see ``engines``).
 
 A program file contains a goal line ``?p(c, Y)`` followed by chain rules; a
 facts file contains ground facts, one per clause.
@@ -24,7 +31,8 @@ from repro.core.chain import ChainProgram
 from repro.core.grammar_map import to_grammar
 from repro.core.magic_chain import magic_transform_chain
 from repro.core.propagation import propagate_selection
-from repro.datalog import Database, evaluate_seminaive, format_program, parse_facts, parse_program
+from repro.datalog import Database, QuerySession, format_program, parse_facts, parse_program
+from repro.datalog.engine import engine_descriptions
 from repro.errors import ReproError
 from repro.languages.cfg import format_grammar
 from repro.languages.cfg_analysis import enumerate_language
@@ -98,11 +106,20 @@ def command_evaluate(arguments: argparse.Namespace) -> int:
     with open(arguments.program, "r", encoding="utf-8") as handle:
         program = parse_program(handle.read())
     database = _load_database(arguments.facts)
-    result = evaluate_seminaive(program, database)
+    session = QuerySession(program, database)
+    result = session.evaluate(engine=arguments.engine, max_iterations=arguments.max_iterations)
     answers = sorted(result.answers(), key=repr)
     for answer in answers:
         _print("(" + ", ".join(str(value) for value in answer) + ")")
-    _print(f"-- {len(answers)} answers; {result.statistics}")
+    _print(f"-- {len(answers)} answers; engine={arguments.engine}; {result.statistics}")
+    return 0
+
+
+def command_engines(arguments: argparse.Namespace) -> int:
+    descriptions = engine_descriptions()
+    width = max((len(name) for name in descriptions), default=0)
+    for name, description in descriptions.items():
+        _print(f"{name.ljust(width)}  {description}")
     return 0
 
 
@@ -152,7 +169,23 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate = subparsers.add_parser("evaluate", help="evaluate a program on a facts file")
     evaluate.add_argument("program")
     evaluate.add_argument("facts")
+    evaluate.add_argument(
+        "--engine",
+        default=QuerySession.DEFAULT_ENGINE,
+        help="evaluation strategy from the engine registry; resolved at run time so "
+        "programmatically registered engines work too (default: %(default)s; "
+        "see the `engines` subcommand for the registered set)",
+    )
+    evaluate.add_argument(
+        "--max-iterations",
+        type=int,
+        default=None,
+        help="abort fixpoint iteration after this many rounds",
+    )
     evaluate.set_defaults(handler=command_evaluate)
+
+    engines = subparsers.add_parser("engines", help="list the registered evaluation engines")
+    engines.set_defaults(handler=command_engines)
 
     bounded = subparsers.add_parser("bounded", help="Proposition 8.2 boundedness report")
     bounded.add_argument("program")

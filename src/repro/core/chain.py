@@ -120,6 +120,11 @@ class ChainProgram:
 
         return cls(parse_program(text))
 
+    @classmethod
+    def coerce(cls, program) -> "ChainProgram":
+        """Return *program* as a :class:`ChainProgram`, wrapping a plain :class:`Program`."""
+        return program if isinstance(program, cls) else cls(program)
+
     # ------------------------------------------------------------------
     @property
     def goal(self) -> Optional[Atom]:

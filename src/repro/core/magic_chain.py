@@ -168,6 +168,23 @@ def magic_transform_chain(chain: ChainProgram) -> Program:
     return Program(tuple(rules), chain.goal)
 
 
+@dataclass(frozen=True)
+class ChainMagic:
+    """The Section 7 quotient-based magic transformation as a pipeline Transform.
+
+    The language-theoretic counterpart of
+    :class:`repro.datalog.transforms.MagicSets`: it requires a chain program
+    with a ``p(c, Y)`` goal and guards every rule with monadic magic
+    predicates derived from the quotient languages.  Benchmark E5 compares
+    the two inside the same :class:`~repro.datalog.session.QuerySession`.
+    """
+
+    name: str = "chain-magic"
+
+    def apply(self, program: Program) -> Program:
+        return magic_transform_chain(ChainProgram.coerce(program))
+
+
 def paper_example_transformed_program(constant: str = "c") -> Program:
     """The transformed program exactly as printed in Section 7 (for the ``b1^n b2^n`` example)."""
     from repro.datalog.parser import parse_program

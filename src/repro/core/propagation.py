@@ -25,7 +25,9 @@ from repro.core.chain import ChainProgram, GoalForm
 from repro.core.counterexamples import NonRegularityWitness, find_nonregularity_witness
 from repro.core.grammar_map import to_grammar
 from repro.core.rewrites import finite_language_to_monadic, monadic_program_from_dfa
+from repro.datalog.database import Database
 from repro.datalog.program import Program
+from repro.datalog.session import QuerySession
 from repro.errors import ValidationError
 from repro.languages.approximation import strongly_regular_to_nfa
 from repro.languages.cfg import Grammar
@@ -73,6 +75,19 @@ class PropagationResult:
         if self.verdict == PropagationVerdict.NOT_PROPAGATABLE:
             return False
         return None
+
+    def session(self, database: Database) -> QuerySession:
+        """A :class:`QuerySession` running the constructed monadic program.
+
+        Raises :class:`ValidationError` when no monadic program was
+        materialised (non-propagatable or unknown verdicts, or certified
+        regularity without an automaton construction).
+        """
+        if self.monadic_program is None:
+            raise ValidationError(
+                f"no monadic program was constructed ({self.verdict.value}: {self.reason})"
+            )
+        return QuerySession(self.monadic_program, database)
 
 
 class SelectionPropagator:
@@ -215,3 +230,27 @@ class SelectionPropagator:
 def propagate_selection(chain: ChainProgram) -> PropagationResult:
     """Convenience wrapper: analyse with default settings."""
     return SelectionPropagator().analyze(chain)
+
+
+@dataclass(frozen=True)
+class MonadicRewrite:
+    """The Theorem 3.3 monadic rewrite as a pipeline :class:`Transform`.
+
+    Applies :func:`propagate_selection` to the (chain) program and returns
+    the constructed finite-query-equivalent monadic program.  Raises
+    :class:`ValidationError` when the verdict does not come with a
+    construction — callers wanting the three-valued verdict itself should
+    use :func:`propagate_selection` directly.
+    """
+
+    name: str = "monadic-rewrite"
+    unary_sample_bound: int = 40
+
+    def apply(self, program: Program) -> Program:
+        chain = ChainProgram.coerce(program)
+        result = SelectionPropagator(self.unary_sample_bound).analyze(chain)
+        if result.monadic_program is None:
+            raise ValidationError(
+                f"selection cannot be propagated ({result.verdict.value}: {result.reason})"
+            )
+        return result.monadic_program

@@ -5,18 +5,23 @@ from repro.datalog.database import Database
 from repro.datalog.engine import (
     DerivationAnalyzer,
     DerivationTree,
+    Engine,
     EvaluationResult,
     EvaluationStatistics,
     TopDownEvaluator,
+    available_engines,
     evaluate_naive,
     evaluate_seminaive,
     evaluate_topdown,
+    get_engine,
+    register_engine,
     select_answers,
 )
 from repro.datalog.parser import parse_atom, parse_facts, parse_program, parse_rule, parse_term
 from repro.datalog.pretty import format_atom, format_database, format_program, format_rule
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule, fact
+from repro.datalog.session import QuerySession
 from repro.datalog.terms import Constant, Term, Variable
 
 __all__ = [
@@ -25,13 +30,16 @@ __all__ = [
     "Database",
     "DerivationAnalyzer",
     "DerivationTree",
+    "Engine",
     "EvaluationResult",
     "EvaluationStatistics",
     "Program",
+    "QuerySession",
     "Rule",
     "Term",
     "TopDownEvaluator",
     "Variable",
+    "available_engines",
     "evaluate_naive",
     "evaluate_seminaive",
     "evaluate_topdown",
@@ -40,11 +48,13 @@ __all__ = [
     "format_database",
     "format_program",
     "format_rule",
+    "get_engine",
     "ground_atom",
     "parse_atom",
     "parse_facts",
     "parse_program",
     "parse_rule",
     "parse_term",
+    "register_engine",
     "select_answers",
 ]

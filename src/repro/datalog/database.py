@@ -3,13 +3,29 @@
 A database of arity ``(a1, ..., ak)`` is a vector of finite relations
 (Section 2.1).  Here a :class:`Database` maps predicate names to sets of
 tuples of plain Python values (the constants of the domain).
+
+Because the bottom-up engines probe the same relations thousands of times
+per fixpoint iteration, the database maintains two acceleration structures
+incrementally instead of letting every caller rebuild them:
+
+* **cached snapshots** — :meth:`relation` returns a per-predicate
+  ``frozenset`` that is cached until the relation mutates, so repeated
+  full-relation scans during fixpoint iteration are O(1) instead of an
+  O(n) copy per call;
+* **persistent hash indexes** — :meth:`probe` answers "which tuples of
+  ``p`` have value ``v`` at position ``i``" from a hash index that is built
+  lazily on first use and then *maintained* by :meth:`add_fact` /
+  :meth:`update`, so the indexes survive across fixpoint iterations rather
+  than being rebuilt from scratch each round.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.datalog.atoms import Atom, ground_atom
+
+_EMPTY: Tuple = ()
 
 
 class Database:
@@ -17,6 +33,13 @@ class Database:
 
     def __init__(self, relations: Optional[Mapping[str, Iterable[Tuple]]] = None):
         self._relations: Dict[str, Set[Tuple]] = {}
+        # predicate -> cached frozenset snapshot (dropped on mutation)
+        self._snapshots: Dict[str, FrozenSet[Tuple]] = {}
+        # predicate -> position -> value -> list of tuples (maintained on add)
+        self._indexes: Dict[str, Dict[int, Dict[object, List[Tuple]]]] = {}
+        # bumped on every mutation; lets caches (e.g. QuerySession results)
+        # detect that the data changed underneath them
+        self._version = 0
         if relations:
             for name, tuples in relations.items():
                 self._relations[name] = {tuple(t) for t in tuples}
@@ -33,12 +56,22 @@ class Database:
         return database
 
     def copy(self) -> "Database":
-        """Return a deep copy."""
+        """Return a deep copy (indexes are rebuilt lazily on the copy)."""
         return Database({name: set(tuples) for name, tuples in self._relations.items()})
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
+    def _note_added(self, predicate: str, values: Tuple) -> None:
+        """Maintain the snapshot cache and live indexes after adding a tuple."""
+        self._version += 1
+        self._snapshots.pop(predicate, None)
+        indexes = self._indexes.get(predicate)
+        if indexes:
+            for position, index in indexes.items():
+                if position < len(values):
+                    index.setdefault(values[position], []).append(values)
+
     def add_fact(self, predicate: str, values: Tuple) -> bool:
         """Add a tuple to a relation; return ``True`` if it was new."""
         relation = self._relations.setdefault(predicate, set())
@@ -46,6 +79,7 @@ class Database:
         if values in relation:
             return False
         relation.add(values)
+        self._note_added(predicate, values)
         return True
 
     def add_edge(self, predicate: str, source, target) -> bool:
@@ -55,22 +89,69 @@ class Database:
     def update(self, other: "Database") -> None:
         """Add all facts of *other* to this database."""
         for name, tuples in other._relations.items():
-            self._relations.setdefault(name, set()).update(tuples)
+            relation = self._relations.setdefault(name, set())
+            fresh = tuples - relation
+            if not fresh:
+                continue
+            relation.update(fresh)
+            for values in fresh:
+                self._note_added(name, values)
 
     def remove_relation(self, predicate: str) -> None:
         """Drop a relation entirely (no error if absent)."""
+        self._version += 1
         self._relations.pop(predicate, None)
+        self._snapshots.pop(predicate, None)
+        self._indexes.pop(predicate, None)
 
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter; unequal values mean the data changed."""
+        return self._version
+
     def relation(self, predicate: str) -> FrozenSet[Tuple]:
-        """The set of tuples of a relation (empty if the relation is absent)."""
-        return frozenset(self._relations.get(predicate, frozenset()))
+        """The set of tuples of a relation (empty if the relation is absent).
+
+        The returned ``frozenset`` is a cached, read-only snapshot: it is
+        reused across calls until the relation next mutates, so hot-path
+        callers may probe it repeatedly without paying a copy per call.
+        """
+        snapshot = self._snapshots.get(predicate)
+        if snapshot is None:
+            snapshot = frozenset(self._relations.get(predicate, _EMPTY))
+            self._snapshots[predicate] = snapshot
+        return snapshot
+
+    def probe(self, predicate: str, position: int, value) -> Sequence[Tuple]:
+        """Tuples of *predicate* whose argument at *position* equals *value*.
+
+        Served from a persistent hash index keyed by ``(position, value)``.
+        The index for a position is built on first probe and thereafter
+        maintained incrementally by :meth:`add_fact` / :meth:`update`.
+
+        The result is a read-only *view* into the index, not a copy (copying
+        on every probe would defeat the hot path): it must not be mutated,
+        and whether it reflects tuples added later is unspecified (non-empty
+        buckets do; the shared empty result does not).  Callers holding a
+        result across mutations — no engine does — should materialise it
+        first (``tuple(db.probe(...))``).
+        """
+        indexes = self._indexes.setdefault(predicate, {})
+        index = indexes.get(position)
+        if index is None:
+            index = {}
+            for values in self._relations.get(predicate, _EMPTY):
+                if position < len(values):
+                    index.setdefault(values[position], []).append(values)
+            indexes[position] = index
+        return index.get(value, _EMPTY)
 
     def relations(self) -> Dict[str, FrozenSet[Tuple]]:
         """All relations as an immutable snapshot."""
-        return {name: frozenset(tuples) for name, tuples in self._relations.items()}
+        return {name: self.relation(name) for name in self._relations}
 
     def predicates(self) -> FrozenSet[str]:
         """Names of the non-empty relations."""

@@ -1,8 +1,57 @@
-"""Evaluation engines for Datalog programs."""
+"""Evaluation engines for Datalog programs, behind one registry.
 
+The paper (conf_pods_BeeriKBR87) is a comparison of evaluation strategies
+for a selection query, and this package mirrors that: every strategy is an
+:class:`~repro.datalog.engine.registry.Engine` — an object with a ``name``
+and an ``evaluate(program, database, *, max_iterations=None)`` method
+returning an :class:`EvaluationResult` — registered under a stable name.
+
+The supported workflow::
+
+    from repro.datalog.engine import available_engines, get_engine
+
+    available_engines()                  # ('magic', 'naive', 'seminaive', 'topdown')
+    result = get_engine("topdown").evaluate(program, database)
+    result.answers()                     # the goal's selected tuples
+
+or, one level up, through the :class:`~repro.datalog.session.QuerySession`
+facade, which also composes program transforms::
+
+    from repro.datalog import QuerySession
+
+    QuerySession(program, database).evaluate(engine="seminaive").answers()
+
+Custom strategies join via :func:`register_engine`; the bundled ones are
+
+* ``naive`` — full-model fixpoint iteration (:func:`evaluate_naive`);
+* ``seminaive`` — differential fixpoint (:func:`evaluate_seminaive`);
+* ``topdown`` — memoizing top-down resolution (:class:`TopDownEvaluator`);
+* ``magic`` — generalized magic-set rewrite, then semi-naive bottom-up.
+
+The free functions ``evaluate_naive`` / ``evaluate_seminaive`` /
+``evaluate_topdown`` remain exported as backwards-compatible shims; new
+code should go through the registry or a session so the strategy stays a
+run-time choice.
+"""
+
+# RelationIndex stays importable from repro.datalog.engine.base for
+# backwards compatibility but is deliberately not re-exported here: it is a
+# deprecated shim over Database's built-in indexes.
 from repro.datalog.engine.base import EvaluationResult, select_answers
 from repro.datalog.engine.derivation import DerivationAnalyzer, DerivationTree
 from repro.datalog.engine.naive import evaluate_naive
+from repro.datalog.engine.registry import (
+    Engine,
+    EngineNotApplicableError,
+    EngineNotFoundError,
+    FunctionEngine,
+    TransformedEngine,
+    available_engines,
+    engine_descriptions,
+    get_engine,
+    register_engine,
+    unregister_engine,
+)
 from repro.datalog.engine.seminaive import evaluate_seminaive
 from repro.datalog.engine.stats import EvaluationStatistics
 from repro.datalog.engine.topdown import TopDownEvaluator, evaluate_topdown
@@ -10,11 +59,21 @@ from repro.datalog.engine.topdown import TopDownEvaluator, evaluate_topdown
 __all__ = [
     "DerivationAnalyzer",
     "DerivationTree",
+    "Engine",
+    "EngineNotApplicableError",
+    "EngineNotFoundError",
     "EvaluationResult",
     "EvaluationStatistics",
+    "FunctionEngine",
     "TopDownEvaluator",
+    "TransformedEngine",
+    "available_engines",
+    "engine_descriptions",
     "evaluate_naive",
     "evaluate_seminaive",
     "evaluate_topdown",
+    "get_engine",
+    "register_engine",
     "select_answers",
+    "unregister_engine",
 ]

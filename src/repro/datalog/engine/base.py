@@ -4,8 +4,10 @@ This module provides:
 
 * :class:`EvaluationResult` — the minimum model restricted to IDB predicates,
   the full model, the goal answers, and the evaluation statistics;
-* body matching (:func:`match_body`) with light-weight hash indexes so the
-  engines stay far from quadratic behaviour on the benchmark workloads;
+* body matching (:func:`match_body`) against the database's persistent hash
+  indexes (:meth:`repro.datalog.database.Database.probe`), so the engines stay
+  far from quadratic behaviour on the benchmark workloads without rebuilding
+  indexes at every fixpoint iteration;
 * :func:`select_answers` — the selection described by the goal atom
   (Section 2.1: the output is obtained by performing the selections described
   by the goal on the interpretation of its predicate).
@@ -14,7 +16,7 @@ This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.datalog.atoms import Atom
 from repro.datalog.database import Database
@@ -26,33 +28,36 @@ from repro.datalog.unify import Substitution, match_atom
 
 
 class RelationIndex:
-    """Hash indexes over a database, keyed by (predicate, argument position, value)."""
+    """Deprecated compatibility shim over :class:`Database`'s built-in indexes.
+
+    Indexes now live inside the database itself and are maintained
+    incrementally on mutation (see :meth:`Database.probe`), so this wrapper
+    only forwards.  New code should pass the :class:`Database` straight to
+    :func:`match_body` / :func:`candidate_tuples`.
+    """
 
     def __init__(self, database: Database):
         self._database = database
-        self._indexes: Dict[Tuple[str, int], Dict[object, List[Tuple]]] = {}
 
     def tuples(self, predicate: str) -> FrozenSet[Tuple]:
         """All tuples of a relation."""
         return self._database.relation(predicate)
 
-    def probe(self, predicate: str, position: int, value) -> List[Tuple]:
+    def relation(self, predicate: str) -> FrozenSet[Tuple]:
+        """Alias matching the :class:`Database` interface."""
+        return self._database.relation(predicate)
+
+    def probe(self, predicate: str, position: int, value) -> Sequence[Tuple]:
         """Tuples of *predicate* whose argument at *position* equals *value*."""
-        key = (predicate, position)
-        index = self._indexes.get(key)
-        if index is None:
-            index = {}
-            for values in self._database.relation(predicate):
-                if position < len(values):
-                    index.setdefault(values[position], []).append(values)
-            self._indexes[key] = index
-        return index.get(value, [])
+        return self._database.probe(predicate, position, value)
 
 
-def candidate_tuples(
-    atom: Atom, index: RelationIndex, substitution: Substitution
-) -> Iterable[Tuple]:
-    """Tuples worth matching against *atom* given the bindings accumulated so far."""
+def candidate_tuples(atom: Atom, index, substitution: Substitution) -> Iterable[Tuple]:
+    """Tuples worth matching against *atom* given the bindings accumulated so far.
+
+    *index* is anything exposing the :class:`Database` probe interface —
+    normally the database itself, or a legacy :class:`RelationIndex` shim.
+    """
     best: Optional[Tuple[int, object]] = None
     for position, term in enumerate(atom.terms):
         if isinstance(term, Constant):
@@ -63,23 +68,25 @@ def candidate_tuples(
             best = (position, bound.value)
             break
     if best is None:
-        return index.tuples(atom.predicate)
+        return index.relation(atom.predicate)
     position, value = best
     return index.probe(atom.predicate, position, value)
 
 
 def match_body(
     body: Tuple[Atom, ...],
-    index: RelationIndex,
+    index,
     initial: Optional[Substitution] = None,
     delta_position: Optional[int] = None,
-    delta_index: Optional[RelationIndex] = None,
+    delta_index=None,
 ) -> Iterator[Substitution]:
     """Enumerate substitutions that satisfy *body* against the indexed database.
 
-    When ``delta_position`` is given, the atom at that position is matched
-    against ``delta_index`` (the per-iteration delta) instead of the full
-    database — the standard semi-naive specialisation.
+    *index* (and *delta_index*) are databases — or any object exposing
+    ``relation``/``probe``.  When ``delta_position`` is given, the atom at
+    that position is matched against ``delta_index`` (the per-iteration
+    delta) instead of the full database — the standard semi-naive
+    specialisation.
     """
 
     def extend(position: int, substitution: Substitution) -> Iterator[Substitution]:

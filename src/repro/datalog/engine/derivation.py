@@ -14,7 +14,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.datalog.atoms import Atom, ground_atom
 from repro.datalog.database import Database
-from repro.datalog.engine.base import RelationIndex, match_body
+from repro.datalog.engine.base import match_body
 from repro.datalog.engine.naive import evaluate_naive
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
@@ -74,7 +74,7 @@ class DerivationAnalyzer:
             heights[(rule.head.predicate, rule.head.as_fact_tuple())] = 1
 
         proper_rules = [rule for rule in self.program.rules if not rule.is_fact()]
-        index = RelationIndex(self._model)
+        index = self._model
         changed = True
         while changed:
             changed = False
@@ -132,7 +132,7 @@ class DerivationAnalyzer:
         height = self._heights[key]
         if height == 1 and self.database.contains(fact.predicate, fact.as_fact_tuple()):
             return DerivationTree(fact, None, ())
-        index = RelationIndex(self._model)
+        index = self._model
         for rule in self.program.rules:
             if rule.head.predicate != fact.predicate:
                 continue

@@ -15,7 +15,6 @@ from typing import Optional
 from repro.datalog.database import Database
 from repro.datalog.engine.base import (
     EvaluationResult,
-    RelationIndex,
     match_body,
     split_rules,
 )
@@ -54,10 +53,9 @@ def evaluate_naive(
         statistics.iterations += 1
         if max_iterations is not None and statistics.iterations > max_iterations:
             raise EvaluationError(f"naive evaluation exceeded {max_iterations} iterations")
-        index = RelationIndex(working)
         pending = set()
         for rule in proper_rules:
-            for substitution in match_body(rule.body, index):
+            for substitution in match_body(rule.body, working):
                 statistics.record_firing()
                 head = rule.head.substitute(substitution)
                 values = head.as_fact_tuple()

@@ -1,0 +1,226 @@
+"""The engine protocol and registry: one front door for every evaluator.
+
+The paper compares evaluation strategies for the same selection query —
+naive and semi-naive bottom-up, magic-transformed bottom-up, and memoing
+top-down.  This module makes each strategy a first-class :class:`Engine`
+that can be looked up by name, so the CLI, the :class:`QuerySession`
+facade, and the benchmarks all dispatch through one interface::
+
+    from repro.datalog.engine import get_engine
+
+    result = get_engine("seminaive").evaluate(program, database)
+    answers = result.answers()
+
+Engines registered by default:
+
+======================  =====================================================
+``naive``               textbook full-model fixpoint iteration
+``seminaive``           differential fixpoint with per-iteration deltas
+``topdown``             memoizing (tabled) top-down resolution
+``magic``               generalized magic-set rewrite, then semi-naive
+======================  =====================================================
+
+Third-party strategies plug in via :func:`register_engine`; anything with a
+``name`` and an ``evaluate(program, database, *, max_iterations=None)``
+returning an :class:`~repro.datalog.engine.base.EvaluationResult` conforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Protocol, Tuple, runtime_checkable
+
+from repro.datalog.database import Database
+from repro.datalog.engine.base import EvaluationResult
+from repro.datalog.program import Program
+from repro.errors import EvaluationError, ReproError
+
+
+class EngineNotFoundError(ReproError):
+    """Raised when :func:`get_engine` is asked for an unknown engine name."""
+
+
+class EngineNotApplicableError(ReproError):
+    """Raised when an engine's program rewrite rejects the input program.
+
+    This is the one error class :meth:`QuerySession.compare` treats as "this
+    engine simply does not apply here" (e.g. magic sets on a goal without
+    constants).  Anything else an engine raises — including an invalid
+    *rewritten* program — is a genuine failure and propagates.
+    """
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """What an evaluation strategy must provide to join the registry."""
+
+    name: str
+
+    def evaluate(
+        self,
+        program: Program,
+        database: Database,
+        *,
+        max_iterations: Optional[int] = None,
+    ) -> EvaluationResult:
+        """Answer the program's goal over *database*; never mutates the input."""
+        ...  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Engine] = {}
+
+
+def register_engine(engine: Engine, *, replace: bool = False) -> Engine:
+    """Add *engine* to the registry under ``engine.name``.
+
+    Registering a second engine under an existing name requires
+    ``replace=True`` — silent shadowing hides configuration mistakes.
+    Returns the engine so the call can be used as a decorator-ish one-liner.
+    """
+    name = engine.name
+    if not replace and name in _REGISTRY:
+        raise ValueError(f"engine {name!r} is already registered (pass replace=True)")
+    _REGISTRY[name] = engine
+    return engine
+
+
+def unregister_engine(name: str) -> None:
+    """Remove an engine from the registry (no error if absent)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_engine(name: str) -> Engine:
+    """Look up a registered engine by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise EngineNotFoundError(
+            f"unknown engine {name!r}; registered engines: {known}"
+        ) from None
+
+
+def available_engines() -> Tuple[str, ...]:
+    """Names of all registered engines, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def engine_descriptions() -> Dict[str, str]:
+    """Mapping from engine name to its one-line description (for CLI listings)."""
+    return {
+        name: (getattr(engine, "description", "") or "").strip()
+        for name, engine in sorted(_REGISTRY.items())
+    }
+
+
+# ----------------------------------------------------------------------
+# Built-in engines
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FunctionEngine:
+    """Adapter turning an ``evaluate(program, database, max_iterations)`` function into an Engine."""
+
+    name: str
+    description: str
+    function: Callable[..., EvaluationResult]
+    supports_max_iterations: bool = True
+
+    def evaluate(
+        self,
+        program: Program,
+        database: Database,
+        *,
+        max_iterations: Optional[int] = None,
+    ) -> EvaluationResult:
+        if self.supports_max_iterations:
+            return self.function(program, database, max_iterations=max_iterations)
+        if max_iterations is not None:
+            # Silently running unbounded would defeat the caller's safety valve.
+            raise EvaluationError(
+                f"engine {self.name!r} does not support max_iterations"
+            )
+        return self.function(program, database)
+
+
+@dataclass(frozen=True)
+class TransformedEngine:
+    """An engine that rewrites the program first, then delegates to another engine.
+
+    The result's statistics are those of the delegate run over the rewritten
+    program; the rewritten program itself is what the result reports, which
+    keeps the per-predicate fact counts honest (magic predicates show up as
+    the extra work they are).
+    """
+
+    name: str
+    description: str
+    transform: Callable[[Program], Program]
+    delegate: str = "seminaive"
+
+    def evaluate(
+        self,
+        program: Program,
+        database: Database,
+        *,
+        max_iterations: Optional[int] = None,
+    ) -> EvaluationResult:
+        from repro.errors import ValidationError
+
+        try:
+            rewritten = self.transform(program)
+        except ValidationError as error:
+            raise EngineNotApplicableError(
+                f"engine {self.name!r} cannot rewrite this program: {error}"
+            ) from error
+        return get_engine(self.delegate).evaluate(
+            rewritten, database, max_iterations=max_iterations
+        )
+
+
+def _topdown(
+    program: Program, database: Database, max_iterations: Optional[int] = None
+) -> EvaluationResult:
+    from repro.datalog.engine.topdown import evaluate_topdown
+
+    return evaluate_topdown(program, database, max_iterations=max_iterations)
+
+
+def _register_builtins() -> None:
+    from repro.datalog.engine.naive import evaluate_naive
+    from repro.datalog.engine.seminaive import evaluate_seminaive
+    from repro.datalog.transforms.magic import magic_transform
+
+    register_engine(
+        FunctionEngine(
+            "naive",
+            "naive bottom-up: re-evaluate every rule over the full model until fixpoint",
+            evaluate_naive,
+        )
+    )
+    register_engine(
+        FunctionEngine(
+            "seminaive",
+            "semi-naive bottom-up: differential fixpoint over per-iteration deltas",
+            evaluate_seminaive,
+        )
+    )
+    register_engine(
+        FunctionEngine(
+            "topdown",
+            "memoizing top-down: tabled resolution exploring only goal-reachable subqueries",
+            _topdown,
+        )
+    )
+    register_engine(
+        TransformedEngine(
+            "magic",
+            "generalized magic-set rewrite (requires a goal with a constant), then semi-naive",
+            magic_transform,
+        )
+    )
+
+
+_register_builtins()

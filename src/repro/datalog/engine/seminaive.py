@@ -15,7 +15,6 @@ from typing import Optional
 from repro.datalog.database import Database
 from repro.datalog.engine.base import (
     EvaluationResult,
-    RelationIndex,
     match_body,
     split_rules,
 )
@@ -46,10 +45,9 @@ def evaluate_seminaive(
 
     # Initial round: every rule evaluated once over the EDB (and initial facts).
     statistics.iterations += 1
-    index = RelationIndex(working)
     next_delta = Database()
     for rule in proper_rules:
-        for substitution in match_body(rule.body, index):
+        for substitution in match_body(rule.body, working):
             statistics.record_firing()
             head = rule.head.substitute(substitution)
             values = head.as_fact_tuple()
@@ -66,8 +64,6 @@ def evaluate_seminaive(
         statistics.iterations += 1
         if max_iterations is not None and statistics.iterations > max_iterations:
             raise EvaluationError(f"semi-naive evaluation exceeded {max_iterations} iterations")
-        index = RelationIndex(working)
-        delta_index = RelationIndex(delta)
         next_delta = Database()
         delta_predicates = delta.predicates()
         for rule in proper_rules:
@@ -78,7 +74,7 @@ def evaluate_seminaive(
             ]
             for position in positions:
                 for substitution in match_body(
-                    rule.body, index, delta_position=position, delta_index=delta_index
+                    rule.body, working, delta_position=position, delta_index=delta
                 ):
                     statistics.record_firing()
                     head = rule.head.substitute(substitution)

@@ -22,11 +22,12 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.datalog.atoms import Atom
 from repro.datalog.database import Database
-from repro.datalog.engine.base import EvaluationResult, RelationIndex, candidate_tuples
+from repro.datalog.engine.base import EvaluationResult, candidate_tuples
 from repro.datalog.engine.stats import EvaluationStatistics
 from repro.datalog.program import Program
 from repro.datalog.terms import Constant, Variable
 from repro.datalog.unify import Substitution, match_atom
+from repro.errors import EvaluationError
 
 Call = Tuple[str, Tuple[Optional[object], ...]]
 
@@ -55,29 +56,37 @@ class TopDownEvaluator:
         self.database = database
         self.statistics = EvaluationStatistics()
         self._idb = program.idb_predicates()
-        self._edb_index = RelationIndex(database)
         self._tables: Dict[Call, Set[Tuple]] = {}
         self._changed = False
 
     # ------------------------------------------------------------------
-    def query(self, goal: Optional[Atom] = None) -> FrozenSet[Tuple]:
+    def query(
+        self, goal: Optional[Atom] = None, max_iterations: Optional[int] = None
+    ) -> FrozenSet[Tuple]:
         """Answers to *goal* (defaults to the program goal), as full predicate tuples."""
         goal = goal if goal is not None else self.program.goal
         if goal is None:
             raise ValueError("no goal supplied and the program has none")
         root = _call_of(goal, {})
+        start = self.statistics.iterations  # bound is per query, not per evaluator lifetime
         while True:
             self._changed = False
             self.statistics.iterations += 1
+            if max_iterations is not None and self.statistics.iterations - start > max_iterations:
+                raise EvaluationError(
+                    f"top-down evaluation exceeded {max_iterations} iterations"
+                )
             self._solve(root, set())
             if not self._changed:
                 break
         return frozenset(self._tables.get(root, set()))
 
-    def result(self, goal: Optional[Atom] = None) -> EvaluationResult:
+    def result(
+        self, goal: Optional[Atom] = None, max_iterations: Optional[int] = None
+    ) -> EvaluationResult:
         """Package the relevant part of the minimum model as an :class:`EvaluationResult`."""
         goal = goal if goal is not None else self.program.goal
-        tuples = self.query(goal)
+        tuples = self.query(goal, max_iterations=max_iterations)
         idb_facts = Database()
         for call, answers in self._tables.items():
             for values in answers:
@@ -147,13 +156,18 @@ class TopDownEvaluator:
                 if extended is not None:
                     yield from self._solve_body(body, position + 1, extended, active)
         else:
-            for values in candidate_tuples(atom, self._edb_index, substitution):
+            for values in candidate_tuples(atom, self.database, substitution):
                 extended = match_atom(atom, values, substitution)
                 if extended is not None:
                     yield from self._solve_body(body, position + 1, extended, active)
 
 
-def evaluate_topdown(program: Program, database: Database, goal: Optional[Atom] = None):
+def evaluate_topdown(
+    program: Program,
+    database: Database,
+    goal: Optional[Atom] = None,
+    max_iterations: Optional[int] = None,
+):
     """Convenience wrapper: build an evaluator, run the goal, return the result."""
     evaluator = TopDownEvaluator(program, database)
-    return evaluator.result(goal)
+    return evaluator.result(goal, max_iterations=max_iterations)

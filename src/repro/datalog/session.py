@@ -1,0 +1,216 @@
+"""Query sessions: one object tying a program, a database, transforms, and engines.
+
+The paper's experiments all have the same shape — take a selection query,
+optionally rewrite the program (magic sets, monadic rewrite, constant
+propagation), then evaluate it under some strategy and compare the work
+done.  :class:`QuerySession` packages that shape::
+
+    from repro.datalog import QuerySession
+    from repro.datalog.transforms import MagicSets
+
+    session = QuerySession(program, database)
+    plain = session.evaluate(engine="seminaive")
+    magic = session.with_transforms(MagicSets()).evaluate(engine="seminaive")
+    assert plain.answers() == magic.answers()
+
+Sessions are immutable builders: :meth:`with_transforms` /
+:meth:`with_database` return new sessions, and the transformed program and
+evaluation results are cached per session, so repeated ``evaluate`` calls
+(e.g. inside a benchmark loop) re-run only the engine, not the rewrites.
+Result caches are tied to the database's mutation counter
+(:attr:`Database.version`): mutating the database invalidates them
+automatically, so a session never serves answers for data that no longer
+exists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from repro.datalog.database import Database
+from repro.datalog.engine.base import EvaluationResult
+from repro.datalog.engine.registry import (
+    EngineNotApplicableError,
+    available_engines,
+    get_engine,
+)
+from repro.datalog.program import Program
+from repro.datalog.transforms.pipeline import Pipeline, PipelineOutcome, Transform
+
+
+def _as_program(program) -> Program:
+    """Accept a :class:`Program` or any wrapper exposing ``.program`` (e.g. ChainProgram)."""
+    if isinstance(program, Program):
+        return program
+    inner = getattr(program, "program", None)
+    if isinstance(inner, Program):
+        return inner
+    raise TypeError(f"expected a Program (or a wrapper with .program), got {type(program).__name__}")
+
+
+class QuerySession:
+    """A fluent facade over transforms + engine registry for one query."""
+
+    DEFAULT_ENGINE = "seminaive"
+
+    def __init__(
+        self,
+        program,
+        database: Database,
+        transforms: Iterable[Transform] = (),
+    ):
+        self._program = _as_program(program)
+        self._database = database
+        self._pipeline = transforms if isinstance(transforms, Pipeline) else Pipeline(transforms)
+        self._outcome: Optional[PipelineOutcome] = None
+        # (engine name, max_iterations) -> (engine object, result); the engine
+        # object is kept both to pin it alive and to detect replacement.
+        self._results: Dict[Tuple[str, Optional[int]], Tuple[object, EvaluationResult]] = {}
+        self._results_version = database.version
+
+    # ------------------------------------------------------------------
+    # Builder steps
+    # ------------------------------------------------------------------
+    def with_transforms(self, *transforms: Transform) -> "QuerySession":
+        """A new session whose pipeline has *transforms* appended."""
+        return QuerySession(self._program, self._database, self._pipeline.then(*transforms))
+
+    def with_database(self, database: Database) -> "QuerySession":
+        """A new session over a different database (same program and pipeline).
+
+        The already-computed pipeline outcome carries over — transforms
+        depend only on the (immutable) program, so re-running them for a
+        database sweep would be pure waste.
+        """
+        session = QuerySession(self._program, database, self._pipeline)
+        session._outcome = self._outcome
+        return session
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def program(self) -> Program:
+        """The original (untransformed) program."""
+        return self._program
+
+    @property
+    def database(self) -> Database:
+        return self._database
+
+    @property
+    def pipeline(self) -> Pipeline:
+        return self._pipeline
+
+    @property
+    def provenance(self) -> PipelineOutcome:
+        """Per-stage provenance of the transform pipeline (computed once)."""
+        if self._outcome is None:
+            self._outcome = self._pipeline.apply(self._program)
+        return self._outcome
+
+    @property
+    def transformed_program(self) -> Program:
+        """The program after all transforms (the one engines actually run)."""
+        return self.provenance.program
+
+    def explain(self) -> str:
+        """Human-readable account of what the pipeline did to the program."""
+        header = f"program: {len(self._program.rules)} rules, goal {self._program.goal}"
+        return header + "\n" + self.provenance.describe()
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        engine: str = DEFAULT_ENGINE,
+        *,
+        max_iterations: Optional[int] = None,
+        fresh: bool = False,
+    ) -> EvaluationResult:
+        """Run the transformed program under the named engine.
+
+        Results are cached per ``(engine, max_iterations)`` and invalidated
+        automatically when the database mutates (its :attr:`~Database.version`
+        changes).  Pass ``fresh=True`` to force a re-run regardless
+        (benchmarks timing the engine itself should, so the cache does not
+        hide the work).
+        """
+        if self._database.version != self._results_version:
+            self._results.clear()
+            self._results_version = self._database.version
+        resolved = get_engine(engine)
+        key = (engine, max_iterations)
+        cached = self._results.get(key)
+        # Identity-compare against the engine that produced the cached result,
+        # so register_engine(..., replace=True) never serves stale results
+        # (holding the object also keeps its id from being recycled).
+        if fresh or cached is None or cached[0] is not resolved:
+            result = resolved.evaluate(
+                self.transformed_program, self._database, max_iterations=max_iterations
+            )
+            self._results[key] = (resolved, result)
+        return self._results[key][1]
+
+    def answers(
+        self,
+        engine: str = DEFAULT_ENGINE,
+        *,
+        max_iterations: Optional[int] = None,
+        fresh: bool = False,
+    ) -> FrozenSet[Tuple]:
+        """The goal answers under the named engine.
+
+        Like :meth:`evaluate`, answers are cached but never stale: database
+        mutations invalidate the cache automatically.  ``fresh=True`` still
+        forces a re-run (e.g. for timing).
+        """
+        return self.evaluate(engine, max_iterations=max_iterations, fresh=fresh).answers()
+
+    def refresh(self) -> "QuerySession":
+        """Drop all cached evaluation results unconditionally.
+
+        The transformed program and pipeline provenance are kept — transforms
+        depend only on the program, which is immutable.  Returns ``self`` for
+        chaining.
+        """
+        self._results.clear()
+        return self
+
+    def compare(
+        self,
+        engines: Optional[Iterable[str]] = None,
+        *,
+        max_iterations: Optional[int] = None,
+    ) -> Dict[str, EvaluationResult]:
+        """Evaluate under several engines (default: all registered) and collect results.
+
+        When running the default portfolio, engines whose rewrite rejects the
+        program up front (raising :class:`EngineNotApplicableError`, e.g.
+        ``magic`` on a goal without constants) are skipped silently.  Anything
+        else — an invalid program, a transform bug producing an invalid
+        rewritten program, an exceeded ``max_iterations`` — always propagates,
+        so a partial result dict never masks an engine that started and
+        failed.
+        """
+        explicit = engines is not None
+        names = tuple(engines) if explicit else available_engines()
+        # Run the session's own pipeline and validate the program first: a
+        # transform failure or an invalid program is a failure of the whole
+        # comparison, never a per-engine skip.
+        self.transformed_program.validate()
+        results: Dict[str, EvaluationResult] = {}
+        for name in names:
+            try:
+                results[name] = self.evaluate(name, max_iterations=max_iterations)
+            except EngineNotApplicableError:
+                if explicit:
+                    raise
+        return results
+
+    def __repr__(self) -> str:
+        return (
+            f"QuerySession(goal={self._program.goal}, rules={len(self._program.rules)}, "
+            f"pipeline={self._pipeline!r}, database={self._database!r})"
+        )

@@ -1,4 +1,10 @@
-"""Program transformations: adornments, magic sets, constant propagation, canonicalisation."""
+"""Program transformations: adornments, magic sets, constant propagation, canonicalisation.
+
+Each rewrite is available both as a plain function and as a named
+:class:`~repro.datalog.transforms.pipeline.Transform` instance that
+composes in a :class:`~repro.datalog.transforms.pipeline.Pipeline` with
+per-stage provenance (see :mod:`repro.datalog.transforms.pipeline`).
+"""
 
 from repro.datalog.transforms.adornment import (
     AdornedProgram,
@@ -12,6 +18,17 @@ from repro.datalog.transforms.constants import (
     propagate_goal_constant,
 )
 from repro.datalog.transforms.magic import magic_predicates, magic_transform
+from repro.datalog.transforms.pipeline import (
+    Adorn,
+    FunctionTransform,
+    MagicSets,
+    Pipeline,
+    PipelineOutcome,
+    PropagateConstants,
+    Rectify,
+    Transform,
+    TransformStage,
+)
 from repro.datalog.transforms.rectify import (
     collapse_database,
     collapse_edbs,
@@ -20,7 +37,16 @@ from repro.datalog.transforms.rectify import (
 )
 
 __all__ = [
+    "Adorn",
     "AdornedProgram",
+    "FunctionTransform",
+    "MagicSets",
+    "Pipeline",
+    "PipelineOutcome",
+    "PropagateConstants",
+    "Rectify",
+    "Transform",
+    "TransformStage",
     "adorn_program",
     "adorned_name",
     "adornments_used",

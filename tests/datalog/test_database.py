@@ -74,3 +74,76 @@ class TestEquality:
         clone = original.copy()
         clone.add_fact("p", (2,))
         assert original.relation("p") == {(1,)}
+
+
+class TestIncrementalIndexes:
+    """The persistent hash indexes and cached snapshots behind the hot path."""
+
+    def test_relation_snapshot_is_cached_until_mutation(self):
+        database = Database({"par": [("a", "b")]})
+        first = database.relation("par")
+        assert database.relation("par") is first  # O(1) repeat access
+        database.add_fact("par", ("b", "c"))
+        second = database.relation("par")
+        assert second is not first
+        assert second == {("a", "b"), ("b", "c")}
+        assert first == {("a", "b")}  # old snapshot is immutable history
+
+    def test_probe_returns_matching_tuples_only(self):
+        database = Database({"par": [("a", "b"), ("a", "c"), ("b", "c")]})
+        assert sorted(database.probe("par", 0, "a")) == [("a", "b"), ("a", "c")]
+        assert sorted(database.probe("par", 1, "c")) == [("a", "c"), ("b", "c")]
+        assert list(database.probe("par", 0, "zzz")) == []
+        assert list(database.probe("absent", 0, "a")) == []
+
+    def test_probe_index_is_maintained_on_add_fact(self):
+        database = Database({"par": [("a", "b")]})
+        assert list(database.probe("par", 0, "a")) == [("a", "b")]  # builds the index
+        database.add_fact("par", ("a", "c"))
+        assert sorted(database.probe("par", 0, "a")) == [("a", "b"), ("a", "c")]
+        database.add_fact("par", ("a", "c"))  # duplicate: must not double-index
+        assert sorted(database.probe("par", 0, "a")) == [("a", "b"), ("a", "c")]
+
+    def test_probe_index_is_maintained_on_update(self):
+        database = Database({"par": [("a", "b")]})
+        assert list(database.probe("par", 1, "b")) == [("a", "b")]
+        other = Database({"par": [("c", "b"), ("a", "b")], "anc": [("x", "y")]})
+        database.update(other)
+        assert sorted(database.probe("par", 1, "b")) == [("a", "b"), ("c", "b")]
+        assert list(database.probe("anc", 0, "x")) == [("x", "y")]
+        assert database.relation("par") == {("a", "b"), ("c", "b")}
+
+    def test_remove_relation_drops_snapshot_and_indexes(self):
+        database = Database({"par": [("a", "b")]})
+        database.relation("par")
+        database.probe("par", 0, "a")
+        database.remove_relation("par")
+        assert database.relation("par") == frozenset()
+        assert list(database.probe("par", 0, "a")) == []
+        database.add_fact("par", ("x", "y"))
+        assert list(database.probe("par", 0, "x")) == [("x", "y")]
+
+    def test_probe_ignores_short_tuples(self):
+        database = Database({"mixed": [("a",), ("a", "b")]})
+        assert list(database.probe("mixed", 1, "b")) == [("a", "b")]
+
+    def test_copy_does_not_share_indexes(self):
+        database = Database({"par": [("a", "b")]})
+        database.probe("par", 0, "a")
+        clone = database.copy()
+        clone.add_fact("par", ("a", "c"))
+        assert sorted(clone.probe("par", 0, "a")) == [("a", "b"), ("a", "c")]
+        assert list(database.probe("par", 0, "a")) == [("a", "b")]
+
+    def test_version_counter_bumps_on_every_mutation(self):
+        database = Database({"par": [("a", "b")]})
+        v0 = database.version
+        assert database.add_fact("par", ("b", "c")) and database.version > v0
+        v1 = database.version
+        assert not database.add_fact("par", ("b", "c"))  # duplicate: no change
+        assert database.version == v1
+        database.update(Database({"anc": [("a", "c")]}))
+        assert database.version > v1
+        v2 = database.version
+        database.remove_relation("anc")
+        assert database.version > v2

@@ -1,0 +1,253 @@
+"""Transform pipelines (provenance) and the QuerySession facade."""
+
+import pytest
+
+from repro.core.examples_catalog import program_a, section7_program
+from repro.core.magic_chain import ChainMagic
+from repro.core.propagation import MonadicRewrite
+from repro.core.workloads import layered_anbn_graph, parent_forest
+from repro.datalog import Database, QuerySession, parse_program
+from repro.datalog.transforms import (
+    Adorn,
+    FunctionTransform,
+    MagicSets,
+    Pipeline,
+    PropagateConstants,
+    Rectify,
+)
+from repro.errors import ValidationError
+
+DATABASE = parent_forest(60, seed=21, root_count=2)
+
+
+# ----------------------------------------------------------------------
+# Pipeline
+# ----------------------------------------------------------------------
+def test_empty_pipeline_is_identity_with_no_stages():
+    outcome = Pipeline().apply(program_a().program)
+    assert outcome.program is program_a().program or outcome.program == program_a().program
+    assert outcome.stages == ()
+    assert "identity" in outcome.describe()
+
+
+def test_pipeline_records_per_stage_provenance():
+    program = program_a().program
+    pipeline = Pipeline([Rectify(), MagicSets()])
+    outcome = pipeline.apply(program)
+    assert [stage.name for stage in outcome.stages] == ["rectify", "magic"]
+    # Rectify is a no-op here (no zero-ary predicates); magic adds rules.
+    assert not outcome.stage("rectify").changed()
+    assert outcome.stage("magic").changed()
+    assert outcome.stage("magic").rules_added > 0
+    assert outcome.stage("magic").input_program == program
+    assert outcome.stage("magic").output_program == outcome.program
+    with pytest.raises(KeyError):
+        outcome.stage("nonexistent")
+
+
+def test_pipeline_then_is_immutable_composition():
+    base = Pipeline([Rectify()])
+    extended = base.then(MagicSets())
+    assert len(base) == 1
+    assert len(extended) == 2
+    assert [t.name for t in extended.transforms] == ["rectify", "magic"]
+
+
+def test_pipeline_rejects_non_transforms():
+    with pytest.raises(TypeError):
+        Pipeline([object()])
+
+
+def test_function_transform_wraps_plain_callables():
+    seen = []
+
+    def tag(program):
+        seen.append(program)
+        return program
+
+    outcome = Pipeline([FunctionTransform("tag", tag)]).apply(program_a().program)
+    assert seen and outcome.stages[0].name == "tag"
+
+
+def test_standard_transforms_preserve_answers():
+    program = program_a().program
+    baseline = QuerySession(program, DATABASE).answers()
+    for transform in (MagicSets(), PropagateConstants(), Adorn(), MonadicRewrite()):
+        transformed = QuerySession(program, DATABASE).with_transforms(transform)
+        assert transformed.answers() == baseline, transform.name
+
+
+def test_chain_magic_transform_preserves_answers():
+    chain = section7_program()
+    database = layered_anbn_graph(6, noise_branches=2)
+    plain = QuerySession(chain, database)
+    magic = plain.with_transforms(ChainMagic())
+    assert magic.answers() == plain.answers()
+    assert magic.provenance.stage("chain-magic").rules_added > 0
+
+
+# ----------------------------------------------------------------------
+# QuerySession
+# ----------------------------------------------------------------------
+def test_session_accepts_chain_program_wrappers():
+    session = QuerySession(program_a(), DATABASE)
+    assert session.program == program_a().program
+
+
+def test_session_rejects_non_programs():
+    with pytest.raises(TypeError):
+        QuerySession("not a program", DATABASE)
+
+
+def test_with_transforms_returns_new_session():
+    base = QuerySession(program_a(), DATABASE)
+    derived = base.with_transforms(MagicSets())
+    assert base.pipeline.transforms == ()
+    assert [t.name for t in derived.pipeline.transforms] == ["magic"]
+    assert derived is not base
+
+
+def test_with_database_swaps_data_only():
+    other = Database()
+    other.add_edge("par", "john", "only")
+    session = QuerySession(program_a(), DATABASE).with_database(other)
+    assert session.answers() == frozenset({("only",)})
+
+
+def test_evaluate_caches_per_engine_and_fresh_forces_rerun():
+    session = QuerySession(program_a(), DATABASE)
+    first = session.evaluate()
+    assert session.evaluate() is first
+    assert session.evaluate(fresh=True) is not first
+    assert session.evaluate("naive") is not session.evaluate("seminaive")
+
+
+def test_answers_track_database_mutations_automatically():
+    database = Database({"par": [("john", "mary")]})
+    session = QuerySession(program_a(), database)
+    assert session.answers() == frozenset({("mary",)})
+    database.add_fact("par", ("mary", "sue"))
+    # The database version bump invalidates the session's result cache.
+    assert session.answers() == frozenset({("mary",), ("sue",)})
+    database.remove_relation("par")
+    assert session.answers() == frozenset()
+    # fresh/refresh remain as explicit escape hatches (e.g. for timing).
+    assert session.answers(fresh=True) == frozenset()
+    assert session.refresh().answers() == frozenset()
+
+
+def test_with_database_reuses_pipeline_outcome():
+    session = QuerySession(program_a(), DATABASE).with_transforms(MagicSets())
+    outcome = session.provenance
+    other = Database({"par": [("john", "only")]})
+    moved = session.with_database(other)
+    assert moved.provenance is outcome
+    assert moved.answers() == frozenset({("only",)})
+
+
+def test_transformed_program_is_computed_once():
+    session = QuerySession(program_a(), DATABASE).with_transforms(MagicSets())
+    assert session.transformed_program is session.transformed_program
+    assert session.provenance is session.provenance
+
+
+def test_explain_mentions_stages():
+    session = QuerySession(program_a(), DATABASE).with_transforms(MagicSets())
+    text = session.explain()
+    assert "magic" in text and "goal" in text
+
+
+def test_compare_explicit_engine_list_propagates_errors():
+    # A goal without constants: the magic engine must reject it loudly when
+    # explicitly requested, but be skipped by the default portfolio.
+    program = parse_program(
+        """
+        ?anc(X, Y)
+        anc(X, Y) :- par(X, Y).
+        anc(X, Y) :- anc(X, Z), par(Z, Y).
+        """
+    )
+    from repro.datalog.engine import EngineNotApplicableError
+
+    session = QuerySession(program, DATABASE)
+    portfolio = session.compare()
+    assert "magic" not in portfolio and "seminaive" in portfolio
+    with pytest.raises(EngineNotApplicableError):
+        session.compare(engines=["magic"])
+
+
+def test_compare_propagates_pipeline_failures():
+    # A failing session-level transform is a total failure, not an empty
+    # "all engines agree" dict.
+    session = QuerySession(section7_program(), DATABASE).with_transforms(MonadicRewrite())
+    with pytest.raises(ValidationError, match="cannot be propagated"):
+        session.compare()
+
+
+def test_compare_propagates_broken_engine_transforms():
+    # A registered engine whose rewrite *succeeds* but emits an invalid
+    # program is a bug, not a rejection: compare() must surface it.
+    from repro.datalog.engine import TransformedEngine, register_engine, unregister_engine
+    from repro.datalog import Program
+    from repro.datalog.parser import parse_atom
+
+    def broken(program):
+        return Program(program.rules, parse_atom("ghost(john, Y)"))
+
+    register_engine(TransformedEngine("broken-test", "emits invalid programs", broken))
+    try:
+        with pytest.raises(ValidationError, match="ghost"):
+            QuerySession(program_a(), DATABASE).compare()
+    finally:
+        unregister_engine("broken-test")
+
+
+def test_replaced_engine_does_not_serve_stale_cache():
+    from repro.datalog import evaluate_seminaive
+    from repro.datalog.engine import FunctionEngine, get_engine, register_engine
+
+    session = QuerySession(program_a(), DATABASE)
+    original_engine = get_engine("seminaive")
+    first = session.evaluate("seminaive")
+    clone = FunctionEngine("seminaive", "replacement", evaluate_seminaive)
+    register_engine(clone, replace=True)
+    try:
+        assert session.evaluate("seminaive") is not first
+        assert session.evaluate("seminaive").answers() == first.answers()
+    finally:
+        register_engine(original_engine, replace=True)
+
+
+def test_compare_propagates_invalid_program_errors():
+    # An invalid program (goal predicate undefined) fails every engine's
+    # validate(); compare() must raise, not return an empty dict.
+    from repro.datalog import Program
+    from repro.datalog.parser import parse_atom, parse_rule
+
+    invalid = Program((parse_rule("anc(X, Y) :- par(X, Y)."),), parse_atom("ghost(john, Y)"))
+    with pytest.raises(ValidationError, match="ghost"):
+        QuerySession(invalid, DATABASE).compare()
+
+
+def test_compare_propagates_genuine_evaluation_failures():
+    # A too-small iteration budget is an evaluation failure, not a program
+    # rejection: the default portfolio must not swallow it into a partial
+    # (or empty) result dict that vacuously "agrees".
+    from repro.errors import EvaluationError
+
+    session = QuerySession(program_a(), DATABASE)
+    with pytest.raises(EvaluationError):
+        session.compare(max_iterations=1)
+
+
+def test_monadic_rewrite_raises_on_nonregular_language():
+    with pytest.raises(ValidationError, match="cannot be propagated"):
+        MonadicRewrite().apply(section7_program().program)
+
+
+def test_propagation_result_session_roundtrip():
+    from repro.core.propagation import propagate_selection
+
+    result = propagate_selection(program_a())
+    session = result.session(DATABASE)
+    assert session.answers() == QuerySession(program_a(), DATABASE).answers()

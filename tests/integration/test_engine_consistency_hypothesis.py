@@ -17,7 +17,13 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.chain import ChainProgram, chain_program_from_productions
 from repro.core.propagation import PropagationVerdict, propagate_selection
-from repro.datalog import Database, evaluate_naive, evaluate_seminaive, evaluate_topdown
+from repro.datalog import (
+    Database,
+    QuerySession,
+    evaluate_naive,
+    evaluate_seminaive,
+    evaluate_topdown,
+)
 from repro.datalog.atoms import Atom
 from repro.datalog.terms import Constant, Variable
 from repro.datalog.transforms import magic_transform
@@ -72,6 +78,24 @@ def test_all_engines_agree(chain: ChainProgram, database: Database):
     seminaive = evaluate_seminaive(chain.program, database).answers()
     topdown = evaluate_topdown(chain.program, database).answers()
     assert naive == seminaive == topdown
+
+
+@settings(max_examples=30, deadline=None)
+@given(chain_programs(), labeled_databases())
+def test_every_registered_engine_agrees_via_query_session(
+    chain: ChainProgram, database: Database
+):
+    """The registry-wide generalisation of the three-engine agreement property.
+
+    Any engine registered now or by a later PR is held to the same contract:
+    identical goal answers on random chain programs and databases.  The goal
+    ``p(c, Y)`` always has a constant, so even the ``magic`` engine applies.
+    """
+    results = QuerySession(chain, database).compare()
+    assert set(results) >= {"magic", "naive", "seminaive", "topdown"}
+    answer_sets = {name: result.answers() for name, result in results.items()}
+    reference = answer_sets["seminaive"]
+    assert all(answers == reference for answers in answer_sets.values()), answer_sets
 
 
 @settings(max_examples=30, deadline=None)

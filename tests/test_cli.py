@@ -97,6 +97,31 @@ class TestEvaluateAndBounded:
         assert "(sue)" in output
         assert "2 answers" in output
 
+    @pytest.mark.parametrize("engine", ["naive", "seminaive", "topdown", "magic"])
+    def test_evaluate_with_every_registered_engine(self, program_file, facts_file, capsys, engine):
+        assert main(["evaluate", program_file, facts_file, "--engine", engine]) == 0
+        output = capsys.readouterr().out
+        assert "(mary)" in output
+        assert "(sue)" in output
+        assert f"engine={engine}" in output
+
+    def test_evaluate_rejects_unknown_engine(self, program_file, facts_file, capsys):
+        assert main(["evaluate", program_file, facts_file, "--engine", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown engine 'nope'" in err
+        assert "seminaive" in err  # the error lists what is registered
+
+    def test_evaluate_max_iterations_reports_error(self, program_file, facts_file, capsys):
+        assert main(["evaluate", program_file, facts_file, "--max-iterations", "1"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_engines_listing(self, capsys):
+        assert main(["engines"]) == 0
+        output = capsys.readouterr().out
+        for name in ("naive", "seminaive", "topdown", "magic"):
+            assert name in output
+        assert "semi-naive" in output  # descriptions are printed too
+
     def test_bounded_report_for_unbounded_program(self, program_file, capsys):
         assert main(["bounded", program_file]) == 0
         assert "False" in capsys.readouterr().out
