@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Reduce a pytest-benchmark JSON report to per-test medians.
+
+CI uploads the result as a ``BENCH_*`` workflow artifact so the benchmark
+trajectory can be compared across commits without storing full reports.
+
+Usage: python scripts/bench_medians.py <pytest-benchmark.json> <out.json>
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def medians(report: dict) -> dict:
+    """Map each benchmark's name to its median (seconds) and cost-model extras."""
+    summary = {}
+    for bench in report.get("benchmarks", ()):
+        summary[bench["name"]] = {
+            "median_seconds": bench["stats"]["median"],
+            "rounds": bench["stats"]["rounds"],
+            "extra_info": bench.get("extra_info", {}),
+        }
+    return summary
+
+
+def main(argv) -> int:
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    source, destination = argv
+    with open(source, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    summary = {
+        "machine_info": report.get("machine_info", {}),
+        "datetime": report.get("datetime"),
+        "commit_info": report.get("commit_info", {}),
+        "medians": medians(report),
+    }
+    with open(destination, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+    print(f"wrote {len(summary['medians'])} medians to {destination}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -32,7 +32,7 @@ from repro.core.grammar_map import to_grammar
 from repro.core.magic_chain import magic_transform_chain
 from repro.core.propagation import propagate_selection
 from repro.datalog import Database, QuerySession, format_program, parse_facts, parse_program
-from repro.datalog.engine import engine_descriptions
+from repro.datalog.engine import compile_program_plan, engine_descriptions, get_engine
 from repro.errors import ReproError
 from repro.languages.cfg import format_grammar
 from repro.languages.cfg_analysis import enumerate_language
@@ -107,6 +107,27 @@ def command_evaluate(arguments: argparse.Namespace) -> int:
         program = parse_program(handle.read())
     database = _load_database(arguments.facts)
     session = QuerySession(program, database)
+    if arguments.explain:
+        # Explain the plan for what the engine actually evaluates: engines
+        # that rewrite the program internally (e.g. ``magic``) run a
+        # different plan than the session's program would, and non-planning
+        # engines (``topdown``) use no bottom-up join plan at all.
+        engine_object = get_engine(arguments.engine)
+        engine_transform = getattr(engine_object, "transform", None)
+        if engine_transform is not None:
+            _print(session.explain())
+            _print(f"engine {arguments.engine!r} rewrites the program before evaluating:")
+            rewritten = engine_transform(session.transformed_program)
+            _print(compile_program_plan(rewritten, database).describe())
+        elif getattr(engine_object, "supports_planner", False):
+            _print(session.explain(plans=True))
+        else:
+            _print(session.explain())
+            _print(
+                f"engine {arguments.engine!r} does not use the bottom-up join planner; "
+                "no join plan to show"
+            )
+        _print()
     result = session.evaluate(engine=arguments.engine, max_iterations=arguments.max_iterations)
     answers = sorted(result.answers(), key=repr)
     for answer in answers:
@@ -181,6 +202,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="abort fixpoint iteration after this many rounds",
+    )
+    evaluate.add_argument(
+        "--explain",
+        action="store_true",
+        help="before evaluating, print the transform pipeline provenance and the "
+        "join plan: SCC strata plus the chosen join order per rule",
     )
     evaluate.set_defaults(handler=command_evaluate)
 

@@ -49,6 +49,7 @@ class BoundednessReport:
 
     @property
     def first_order_expressible(self) -> bool:
+        """Proposition 8.2's equivalence: bounded iff FO-expressible iff ``L(H)`` finite."""
         return self.bounded
 
 
@@ -82,6 +83,7 @@ def first_order_query(chain: ChainProgram) -> Tuple[Formula, Tuple[str, ...]]:
     first, second = chain.goal.terms
 
     def as_term(term, default_name):
+        """Map a goal term to an FO term: constants stay, variables get canonical names."""
         if isinstance(term, Constant):
             return Const(str(term.value))
         return Var(default_name)

@@ -128,10 +128,12 @@ class ChainProgram:
     # ------------------------------------------------------------------
     @property
     def goal(self) -> Optional[Atom]:
+        """The selection goal ``p(u, v)`` whose propagation Theorem 3.3 decides."""
         return self.program.goal
 
     @property
     def rules(self) -> Tuple[Rule, ...]:
+        """The underlying program's chain rules (Section 2.1)."""
         return self.program.rules
 
     def goal_form(self) -> GoalForm:
@@ -141,14 +143,17 @@ class ChainProgram:
         return classify_goal(self.program.goal)
 
     def goal_predicate(self) -> str:
+        """The goal's predicate symbol; raises if the program has no goal."""
         if self.program.goal is None:
             raise ValidationError("chain program has no goal")
         return self.program.goal.predicate
 
     def idb_predicates(self) -> frozenset:
+        """Derived predicates — the nonterminals of the grammar ``G(H)`` (Section 3)."""
         return self.program.idb_predicates()
 
     def edb_predicates(self) -> frozenset:
+        """Database predicates — the terminal alphabet of ``G(H)`` (Section 3)."""
         return self.program.edb_predicates()
 
     def with_goal(self, goal: Atom) -> "ChainProgram":

@@ -136,6 +136,7 @@ class Proposition31Check:
 
     @property
     def agrees(self) -> bool:
+        """Whether ``H(IG)`` and ``L(H)`` coincide on this truncation (Lemma 3.2 says: always)."""
         return self.program_output == self.language_slice
 
 

@@ -88,6 +88,7 @@ class MagicAnalysis:
 
     @property
     def all_exact(self) -> bool:
+        """True when every quotient used ``L(H)`` itself, not a regular envelope ``R(H)``."""
         return self.language_exact and all(entry.exact for entry in self.rule_quotients)
 
 
@@ -182,6 +183,7 @@ class ChainMagic:
     name: str = "chain-magic"
 
     def apply(self, program: Program) -> Program:
+        """Apply the Section 7 quotient-based magic rewrite as a pipeline stage."""
         return magic_transform_chain(ChainProgram.coerce(program))
 
 

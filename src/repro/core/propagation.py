@@ -247,6 +247,7 @@ class MonadicRewrite:
     unary_sample_bound: int = 40
 
     def apply(self, program: Program) -> Program:
+        """Run Theorem 3.3 and return the equivalent monadic program, or raise."""
         chain = ChainProgram.coerce(program)
         result = SelectionPropagator(self.unary_sample_bound).analyze(chain)
         if result.monadic_program is None:

@@ -114,6 +114,7 @@ def layered_anbn_graph(
     database = Database()
 
     def add_gadget(root: str, tag: str) -> None:
+        """One spine-and-descent copy; *tag* keeps the copies disjoint."""
         spine = [root] + [f"{tag}a{i}" for i in range(1, depth + 1)]
         for index in range(depth):
             database.add_edge(first, spine[index], spine[index + 1])

@@ -96,6 +96,7 @@ def _rule_formula(rule: Rule, encoding: StringProgramEncoding) -> WFormula:
     constraints: List[WFormula] = []
 
     def track_of(term) -> str:
+        """The WS1S first-order track carrying this term's string position."""
         if isinstance(term, Variable):
             if term.name not in variable_tracks:
                 variable_tracks[term.name] = f"POSVAR_{term.name}"
@@ -106,6 +107,7 @@ def _rule_formula(rule: Rule, encoding: StringProgramEncoding) -> WFormula:
         raise ValidationError(f"unexpected term {term!r}")
 
     def atom_formula(atom) -> WFormula:
+        """One body/head atom as a WS1S membership (or successor) constraint."""
         if atom.predicate == encoding.next_predicate:
             left, right = atom.terms
             return SuccSets(track_of(left), track_of(right))
@@ -127,6 +129,7 @@ def _rule_formula(rule: Rule, encoding: StringProgramEncoding) -> WFormula:
     # a letter.  Without it, the interpreted successor would let rules fire on
     # positions beyond the database's active domain.
     def in_string(track: str) -> WFormula:
+        """The position carries some input letter (Lemma 5.1's safety restriction)."""
         return _at_least_one(
             [member(track, _letter_track(p)) for p in encoding.letter_predicates]
         )

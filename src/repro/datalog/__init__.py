@@ -8,6 +8,8 @@ from repro.datalog.engine import (
     Engine,
     EvaluationResult,
     EvaluationStatistics,
+    Planner,
+    ProgramPlan,
     TopDownEvaluator,
     available_engines,
     evaluate_naive,
@@ -33,7 +35,9 @@ __all__ = [
     "Engine",
     "EvaluationResult",
     "EvaluationStatistics",
+    "Planner",
     "Program",
+    "ProgramPlan",
     "QuerySession",
     "Rule",
     "Term",

@@ -153,6 +153,15 @@ class Database:
         """All relations as an immutable snapshot."""
         return {name: self.relation(name) for name in self._relations}
 
+    def cardinality(self, predicate: str) -> int:
+        """Number of tuples currently in a relation (0 if absent).
+
+        O(1); this is the statistic the join planner's smallest-first
+        heuristic reads (:mod:`repro.datalog.engine.planner`).
+        """
+        relation = self._relations.get(predicate)
+        return len(relation) if relation is not None else 0
+
     def predicates(self) -> FrozenSet[str]:
         """Names of the non-empty relations."""
         return frozenset(name for name, tuples in self._relations.items() if tuples)

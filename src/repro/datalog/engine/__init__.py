@@ -40,6 +40,13 @@ run-time choice.
 from repro.datalog.engine.base import EvaluationResult, select_answers
 from repro.datalog.engine.derivation import DerivationAnalyzer, DerivationTree
 from repro.datalog.engine.naive import evaluate_naive
+from repro.datalog.engine.planner import (
+    JoinPlan,
+    Planner,
+    ProgramPlan,
+    Stratum,
+    compile_program_plan,
+)
 from repro.datalog.engine.registry import (
     Engine,
     EngineNotApplicableError,
@@ -65,9 +72,14 @@ __all__ = [
     "EvaluationResult",
     "EvaluationStatistics",
     "FunctionEngine",
+    "JoinPlan",
+    "Planner",
+    "ProgramPlan",
+    "Stratum",
     "TopDownEvaluator",
     "TransformedEngine",
     "available_engines",
+    "compile_program_plan",
     "engine_descriptions",
     "evaluate_naive",
     "evaluate_seminaive",

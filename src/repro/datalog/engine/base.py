@@ -79,6 +79,7 @@ def match_body(
     initial: Optional[Substitution] = None,
     delta_position: Optional[int] = None,
     delta_index=None,
+    order: Optional[Sequence[int]] = None,
 ) -> Iterator[Substitution]:
     """Enumerate substitutions that satisfy *body* against the indexed database.
 
@@ -87,18 +88,34 @@ def match_body(
     that position is matched against ``delta_index`` (the per-iteration
     delta) instead of the full database — the standard semi-naive
     specialisation.
-    """
 
-    def extend(position: int, substitution: Substitution) -> Iterator[Substitution]:
-        if position == len(body):
+    *order*, when given, lists original body positions in the sequence the
+    join should execute them (a :class:`~repro.datalog.engine.planner.JoinPlan`
+    order).  ``delta_position`` always refers to the *original* body
+    position, whatever the execution order.  Reordering never changes the
+    set of substitutions produced — conjunction is commutative — only the
+    work done to enumerate them.
+    """
+    positions = tuple(order) if order is not None else tuple(range(len(body)))
+    sequence = tuple(
+        (
+            body[position],
+            delta_index
+            if (delta_index is not None and position == delta_position)
+            else index,
+        )
+        for position in positions
+    )
+
+    def extend(step: int, substitution: Substitution) -> Iterator[Substitution]:
+        if step == len(sequence):
             yield substitution
             return
-        atom = body[position]
-        source = delta_index if (delta_index is not None and position == delta_position) else index
+        atom, source = sequence[step]
         for values in candidate_tuples(atom, source, substitution):
             extended = match_atom(atom, values, substitution)
             if extended is not None:
-                yield from extend(position + 1, extended)
+                yield from extend(step + 1, extended)
 
     yield from extend(0, dict(initial) if initial else {})
 

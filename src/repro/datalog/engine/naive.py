@@ -1,11 +1,19 @@
-"""Naive bottom-up evaluation: iterate all rules over the full model until fixpoint.
+"""Naive bottom-up evaluation: iterate a stratum's rules over the full model.
 
-This is the textbook (Gauss–Seidel-free) fixpoint computation of the minimum
-model ``M(B, H)`` of Section 2.1.  It recomputes every rule over the whole
-model at every iteration, so it derives the same facts over and over — the
+This is the textbook fixpoint computation of the minimum model ``M(B, H)``
+of Section 2.1, kept deliberately wasteful *within* a recursive stratum: it
+recomputes every rule over the whole model at every iteration, so it
+derives the same facts over and over — the
 :class:`~repro.datalog.engine.stats.EvaluationStatistics` duplicate counter
 makes that waste visible, which is exactly the waste the paper's selection
 propagation and the magic-set transformation are designed to avoid.
+
+It does share the planner's structural optimisations with the semi-naive
+engine (see :mod:`repro.datalog.engine.planner`): bodies are joined in the
+planned order, and evaluation proceeds stratum by stratum so non-recursive
+strata run in a single pass.  What stays naive is the differential part —
+inside a recursive stratum there are no deltas, every round redoes all the
+work.
 """
 
 from __future__ import annotations
@@ -18,13 +26,17 @@ from repro.datalog.engine.base import (
     match_body,
     split_rules,
 )
+from repro.datalog.engine.planner import Planner, compile_program_plan
 from repro.datalog.engine.stats import EvaluationStatistics
 from repro.datalog.program import Program
 from repro.errors import EvaluationError
 
 
 def evaluate_naive(
-    program: Program, database: Database, max_iterations: Optional[int] = None
+    program: Program,
+    database: Database,
+    max_iterations: Optional[int] = None,
+    planner: Optional[Planner] = None,
 ) -> EvaluationResult:
     """Compute the minimum model of *program* over *database* naively.
 
@@ -35,38 +47,56 @@ def evaluate_naive(
     database:
         The EDB instance; it is not modified.
     max_iterations:
-        Optional safety valve; exceeded iterations raise :class:`EvaluationError`.
+        Optional safety valve over the total rounds across all strata;
+        exceeded iterations raise :class:`EvaluationError`.
+    planner:
+        Optional :class:`~repro.datalog.engine.planner.Planner` whose cache
+        serves the compiled join/stratification plan.
     """
     program.validate()
     statistics = EvaluationStatistics()
     working = database.copy()
 
-    fact_rules, proper_rules = split_rules(program)
+    fact_rules, _ = split_rules(program)
     for rule in fact_rules:
         is_new = working.add_fact(rule.head.predicate, rule.head.as_fact_tuple())
         statistics.record_firing()
         statistics.record_fact(rule.head.predicate, is_new)
 
-    changed = True
-    while changed:
-        changed = False
-        statistics.iterations += 1
-        if max_iterations is not None and statistics.iterations > max_iterations:
-            raise EvaluationError(f"naive evaluation exceeded {max_iterations} iterations")
-        pending = set()
-        for rule in proper_rules:
-            for substitution in match_body(rule.body, working):
-                statistics.record_firing()
-                head = rule.head.substitute(substitution)
-                values = head.as_fact_tuple()
-                key = (head.predicate, values)
-                is_new = not working.contains(head.predicate, values) and key not in pending
-                statistics.record_fact(head.predicate, is_new)
-                if is_new:
-                    pending.add(key)
-        for predicate, values in pending:
-            if working.add_fact(predicate, values):
-                changed = True
+    if planner is not None:
+        plan = planner.plan(program, database, statistics=statistics)
+    else:
+        plan = compile_program_plan(program, database)
+        statistics.record_plan(cache_hit=False)
+
+    for stratum in plan.strata:
+        statistics.record_stratum()
+        changed = True
+        while changed:
+            changed = False
+            statistics.record_iteration(stratum.label)
+            if max_iterations is not None and statistics.iterations > max_iterations:
+                raise EvaluationError(
+                    f"naive evaluation exceeded {max_iterations} iterations"
+                )
+            pending = set()
+            for rule in stratum.rules:
+                join_plan = plan.join_plan(rule)
+                predicate = rule.head.predicate
+                for substitution in match_body(rule.body, working, order=join_plan.order):
+                    statistics.record_firing()
+                    values = join_plan.head_values(substitution)
+                    key = (predicate, values)
+                    is_new = not working.contains(predicate, values) and key not in pending
+                    statistics.record_fact(predicate, is_new)
+                    if is_new:
+                        pending.add(key)
+            for predicate, values in pending:
+                if working.add_fact(predicate, values):
+                    changed = True
+            if not stratum.recursive:
+                # Every body predicate is already at fixpoint: one pass suffices.
+                break
 
     idb_facts = working.restrict(program.idb_predicates())
     return EvaluationResult(program, database, idb_facts, statistics)

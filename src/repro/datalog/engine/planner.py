@@ -1,0 +1,400 @@
+"""Cost-guided join planning and SCC stratification for the bottom-up engines.
+
+The paper's rewrites (magic sets, Theorem 3.3's monadic rewrite) shrink the
+set of *facts* an evaluation has to derive; this module makes sure the
+evaluator does not squander those savings on the *joins* it performs to
+derive them.  Two classic, rewrite-compatible optimisations live here:
+
+**Join planning.**  For each rule a :class:`JoinPlan` fixes the order in
+which body atoms are matched.  The order is chosen greedily: always prefer
+an atom that can be answered by an index probe — one with a constant
+argument or a variable already bound by earlier atoms (served by
+:meth:`repro.datalog.database.Database.probe`) — and among equally
+probeable atoms take the one over the smallest relation
+(:meth:`repro.datalog.database.Database.cardinality`).  For semi-naive
+evaluation every plan also carries *delta variants*: one per recursive body
+atom, with the delta atom moved to the front (the per-iteration delta is
+the smallest relation in sight) and the rest re-ordered under the bindings
+the delta atom provides.
+
+**SCC stratification.**  A :class:`ProgramPlan` groups the program's rules
+into :class:`Stratum` objects — the strongly connected components of the
+predicate dependency graph (:mod:`repro.datalog.analysis`), in bottom-up
+topological order.  Each stratum reaches its own fixpoint before the next
+one starts, so non-recursive strata are evaluated in exactly one pass and a
+chain program's long dependency chain costs O(rules) rule scans instead of
+O(strata × rules).
+
+Plans are compiled once per evaluation from the EDB's cardinalities;
+:class:`Planner` additionally memoises them per ``(program, database,
+version)`` so a :class:`~repro.datalog.session.QuerySession` re-running the
+same query (e.g. inside a benchmark loop) pays for planning once.
+``ProgramPlan.describe()`` is the ``EXPLAIN`` surface printed by
+``repro evaluate --explain``.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.datalog.analysis import dependency_graph
+from repro.datalog.atoms import Atom
+from repro.datalog.database import Database
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+
+
+@dataclass(frozen=True)
+class AtomStep:
+    """One step of a join plan: match *atom* (at original body *position*).
+
+    ``access`` is the access path predicted at plan time: ``"probe"`` when
+    the atom has a constant or an already-bound variable (so the database's
+    hash index applies), ``"scan"`` for a full-relation scan, ``"delta"``
+    when the atom is matched against the per-iteration delta.  ``estimate``
+    is the relation cardinality the choice was based on.
+    """
+
+    position: int
+    atom: Atom
+    access: str
+    probe_hint: Optional[str]
+    estimate: int
+
+    def describe(self) -> str:
+        if self.access == "delta":
+            return f"{self.atom} [delta]"
+        if self.access == "probe":
+            return f"{self.atom} [probe {self.probe_hint}, ~{self.estimate} rows]"
+        return f"{self.atom} [scan {self.atom.predicate}, ~{self.estimate} rows]"
+
+
+@dataclass(frozen=True)
+class DeltaVariant:
+    """A delta-specialised ordering: the atom at *position* reads the delta."""
+
+    position: int
+    order: Tuple[int, ...]
+    steps: Tuple[AtomStep, ...]
+
+    def describe(self) -> str:
+        chain = " -> ".join(step.describe() for step in self.steps)
+        return f"delta on {self.steps[0].atom}: {chain}"
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """The compiled evaluation order for one rule's body.
+
+    ``order`` lists original body positions in execution order; the engines
+    hand it to :func:`repro.datalog.engine.base.match_body`.  ``variants``
+    holds one :class:`DeltaVariant` per body position that can receive
+    semi-naive deltas (atoms whose predicate is in the head's stratum).
+    ``head_spec`` precompiles head-tuple extraction — one ``(variable,
+    constant)`` pair per head argument — so engines build a derived fact's
+    value tuple straight from the substitution without instantiating an
+    :class:`~repro.datalog.atoms.Atom` per firing.
+    """
+
+    rule: Rule
+    order: Tuple[int, ...]
+    steps: Tuple[AtomStep, ...]
+    variants: Tuple[DeltaVariant, ...]
+    head_spec: Tuple[Tuple[Optional[Variable], object], ...] = ()
+
+    def head_values(self, substitution) -> Tuple:
+        """The head fact's value tuple under *substitution* (must bind all head vars)."""
+        return tuple(
+            substitution[variable].value if variable is not None else constant
+            for variable, constant in self.head_spec
+        )
+
+    def describe(self) -> str:
+        lines = [f"{self.rule}"]
+        if self.order:
+            chain = " -> ".join(step.describe() for step in self.steps)
+            lines.append(f"  order: {chain}")
+        for variant in self.variants:
+            lines.append(f"  {variant.describe()}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Stratum:
+    """One strongly connected component of IDB predicates, with its rules."""
+
+    index: int
+    predicates: FrozenSet[str]
+    rules: Tuple[Rule, ...]
+    recursive: bool
+
+    @property
+    def label(self) -> str:
+        """Stable display name: the member predicates, sorted."""
+        return ",".join(sorted(self.predicates))
+
+
+@dataclass
+class ProgramPlan:
+    """Strata plus per-rule join plans for one (program, database) pair."""
+
+    program: Program
+    strata: Tuple[Stratum, ...]
+    plans: Dict[Rule, JoinPlan] = field(default_factory=dict)
+
+    def join_plan(self, rule: Rule) -> JoinPlan:
+        """The compiled plan for *rule* (every proper rule has one)."""
+        return self.plans[rule]
+
+    def describe(self) -> str:
+        """Human-readable EXPLAIN output: strata, then per-rule join orders."""
+        rule_count = sum(len(stratum.rules) for stratum in self.strata)
+        lines = [f"join plan: {len(self.strata)} strata, {rule_count} rules"]
+        for stratum in self.strata:
+            kind = "recursive" if stratum.recursive else "single pass"
+            lines.append(f"stratum {stratum.index + 1}: {stratum.label} [{kind}]")
+            for rule in stratum.rules:
+                plan = self.plans[rule]
+                for line in plan.describe().splitlines():
+                    lines.append("  " + line)
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Ordering heuristic
+# ----------------------------------------------------------------------
+def _probe_hint(atom: Atom, bound: Set[Variable]) -> Optional[str]:
+    """How :func:`candidate_tuples` will probe *atom* under *bound*, if at all.
+
+    Mirrors its search exactly: the first argument (in term order) that is a
+    constant or an already-bound variable is the probe column.
+    """
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            return f"{atom.predicate}[{position}]={term.value}"
+        if isinstance(term, Variable) and term in bound:
+            return f"{atom.predicate}[{position}]={term.name}"
+    return None
+
+
+def order_body(
+    body: Sequence[Atom],
+    estimates: Dict[str, int],
+    bound: Optional[Set[Variable]] = None,
+    first: Optional[int] = None,
+) -> Tuple[int, ...]:
+    """Greedy join order over *body*: probeable atoms first, smallest next.
+
+    At every step the next atom is the one minimising
+    ``(not probeable, cardinality estimate, unbound variable count, original
+    position)`` given the variables bound so far; *first* pins an atom to
+    the front (the semi-naive delta atom).  Returns original body positions
+    in execution order.
+    """
+    bound_vars: Set[Variable] = set(bound) if bound else set()
+    order: List[int] = []
+    remaining = list(range(len(body)))
+    if first is not None:
+        remaining.remove(first)
+        order.append(first)
+        bound_vars.update(body[first].variables())
+
+    while remaining:
+
+        def cost(position: int) -> Tuple[int, int, int, int]:
+            atom = body[position]
+            probeable = _probe_hint(atom, bound_vars) is not None
+            unbound = sum(1 for v in atom.variables() if v not in bound_vars)
+            return (
+                0 if probeable else 1,
+                estimates.get(atom.predicate, 0),
+                unbound,
+                position,
+            )
+
+        best = min(remaining, key=cost)
+        remaining.remove(best)
+        order.append(best)
+        bound_vars.update(body[best].variables())
+    return tuple(order)
+
+
+def _steps_for(
+    body: Sequence[Atom],
+    order: Tuple[int, ...],
+    estimates: Dict[str, int],
+    delta_position: Optional[int] = None,
+) -> Tuple[AtomStep, ...]:
+    """Annotate an ordering with the access path each step will use."""
+    bound: Set[Variable] = set()
+    steps: List[AtomStep] = []
+    for position in order:
+        atom = body[position]
+        estimate = estimates.get(atom.predicate, 0)
+        if position == delta_position:
+            steps.append(AtomStep(position, atom, "delta", None, estimate))
+        else:
+            hint = _probe_hint(atom, bound)
+            access = "probe" if hint is not None else "scan"
+            steps.append(AtomStep(position, atom, access, hint, estimate))
+        bound.update(atom.variables())
+    return tuple(steps)
+
+
+def plan_rule(
+    rule: Rule,
+    initial_estimates: Dict[str, int],
+    steady_estimates: Optional[Dict[str, int]] = None,
+    delta_predicates: FrozenSet[str] = frozenset(),
+) -> JoinPlan:
+    """Compile the :class:`JoinPlan` for one rule.
+
+    *delta_predicates* are the predicates of the rule's own stratum: every
+    body occurrence of one gets a delta-specialised variant with that atom
+    moved to the front.  The static order is chosen under
+    *initial_estimates* (same-stratum relations are near-empty when the
+    stratum's first pass runs); the delta variants under *steady_estimates*
+    (mid-fixpoint, when those relations have grown).
+    """
+    if steady_estimates is None:
+        steady_estimates = initial_estimates
+    order = order_body(rule.body, initial_estimates)
+    steps = _steps_for(rule.body, order, initial_estimates)
+    variants = []
+    for position, atom in enumerate(rule.body):
+        if atom.predicate in delta_predicates:
+            variant_order = order_body(rule.body, steady_estimates, first=position)
+            variant_steps = _steps_for(rule.body, variant_order, steady_estimates, position)
+            variants.append(DeltaVariant(position, variant_order, variant_steps))
+    head_spec = tuple(
+        (term, None) if isinstance(term, Variable) else (None, term.value)
+        for term in rule.head.terms
+    )
+    return JoinPlan(rule, order, steps, tuple(variants), head_spec)
+
+
+# ----------------------------------------------------------------------
+# Program-level compilation
+# ----------------------------------------------------------------------
+def cardinality_estimates(program: Program, database: Database) -> Dict[str, int]:
+    """Per-predicate cardinality estimates at plan time.
+
+    EDB predicates report their exact current cardinality; IDB relations do
+    not exist yet when the plan is compiled, so they are pessimistically
+    estimated at the database's total fact count — which makes the planner
+    prefer joining through concrete (usually smaller) EDB relations first.
+    Stratum compilation refines this per stratum: a stratum's *own*
+    predicates are estimated near-empty for the static (first-pass) order,
+    because when that order runs the stratum has derived nothing yet.
+    """
+    idb = program.idb_predicates()
+    total = max(database.fact_count(), 1)
+    estimates: Dict[str, int] = {}
+    for predicate in program.predicates():
+        if predicate in idb:
+            estimates[predicate] = total
+        else:
+            estimates[predicate] = database.cardinality(predicate)
+    return estimates
+
+
+def compile_program_plan(program: Program, database: Database) -> ProgramPlan:
+    """Compile strata and per-rule join plans for *program* over *database*."""
+    proper_rules = tuple(rule for rule in program.rules if not rule.is_fact())
+    graph = dependency_graph(program)
+    estimates = cardinality_estimates(program, database)
+
+    strata: List[Stratum] = []
+    plans: Dict[Rule, JoinPlan] = {}
+    for component in graph.strongly_connected_components():
+        rules: List[Rule] = []
+        for rule in proper_rules:
+            if rule.head.predicate in component:
+                rules.append(rule)
+        if not rules:
+            continue
+        recursive = len(component) > 1 or any(
+            (predicate, predicate) in graph.edges for predicate in component
+        )
+        predicates = frozenset(component)
+        delta_predicates = predicates if recursive else frozenset()
+        # The stratum's own relations hold (at most) fact-rule facts when its
+        # first pass runs, so the static order treats them as near-empty; the
+        # delta variants run mid-fixpoint and keep the pessimistic estimate.
+        initial_estimates = dict(estimates)
+        for predicate in predicates:
+            initial_estimates[predicate] = 0
+        for rule in rules:
+            if rule not in plans:
+                plans[rule] = plan_rule(rule, initial_estimates, estimates, delta_predicates)
+        strata.append(Stratum(len(strata), predicates, tuple(rules), recursive))
+    return ProgramPlan(program, tuple(strata), plans)
+
+
+class Planner:
+    """Memoising front end over :func:`compile_program_plan`.
+
+    A :class:`~repro.datalog.session.QuerySession` keeps one planner for its
+    lifetime and passes it to every engine run, so repeated queries over the
+    same program and database reuse the compiled plan.  The cache keys on
+    the identities of the program and database plus the database's mutation
+    counter (:attr:`~repro.datalog.database.Database.version`): mutating the
+    data invalidates the plan, because the cardinalities it was based on are
+    stale.
+    """
+
+    MAX_ENTRIES = 128
+
+    def __init__(self) -> None:
+        # (id(program), id(database)) -> (version, plan, weak program ref,
+        # weak database ref).  Weak refs mean the cache never keeps a swept
+        # database alive, and a recycled id is detected because its dead ref
+        # no longer matches the new object.
+        self._cache: Dict[
+            Tuple[int, int], Tuple[int, ProgramPlan, "weakref.ref", "weakref.ref"]
+        ] = {}
+        self.plans_compiled = 0
+        self.cache_hits = 0
+
+    def plan(self, program: Program, database: Database, statistics=None) -> ProgramPlan:
+        """The (possibly cached) :class:`ProgramPlan` for this pair.
+
+        When *statistics* (an
+        :class:`~repro.datalog.engine.stats.EvaluationStatistics`) is given,
+        the compile/hit is recorded there as well.
+        """
+        key = (id(program), id(database))
+        entry = self._cache.get(key)
+        if (
+            entry is not None
+            and entry[0] == database.version
+            and entry[2]() is program
+            and entry[3]() is database
+        ):
+            self.cache_hits += 1
+            # Re-insert so eviction order is least-recently-used, not FIFO.
+            del self._cache[key]
+            self._cache[key] = entry
+            if statistics is not None:
+                statistics.record_plan(cache_hit=True)
+            return entry[1]
+        plan = compile_program_plan(program, database)
+        if len(self._cache) >= self.MAX_ENTRIES:
+            # Engines that rewrite the program per call (e.g. ``magic``) mint
+            # a fresh Program object every evaluation; without a bound those
+            # one-shot entries would accumulate forever.  Drop dead entries
+            # first, then the oldest, so hot pairs survive eviction.
+            for stale in [
+                k for k, (_, _, p, d) in self._cache.items() if p() is None or d() is None
+            ]:
+                del self._cache[stale]
+            while len(self._cache) >= self.MAX_ENTRIES:
+                self._cache.pop(next(iter(self._cache)))
+        self._cache[key] = (database.version, plan, weakref.ref(program), weakref.ref(database))
+        self.plans_compiled += 1
+        if statistics is not None:
+            statistics.record_plan(cache_hit=False)
+        return plan

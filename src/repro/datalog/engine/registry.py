@@ -52,7 +52,15 @@ class EngineNotApplicableError(ReproError):
 
 @runtime_checkable
 class Engine(Protocol):
-    """What an evaluation strategy must provide to join the registry."""
+    """What an evaluation strategy must provide to join the registry.
+
+    Engines that can exploit a shared join/stratification plan cache
+    additionally expose a truthy ``supports_planner`` attribute and accept a
+    ``planner=`` keyword (a :class:`~repro.datalog.engine.planner.Planner`)
+    in ``evaluate``; callers such as :class:`~repro.datalog.session.QuerySession`
+    only pass one when the engine advertises support, so plain engines need
+    not know planning exists.
+    """
 
     name: str
 
@@ -121,12 +129,18 @@ def engine_descriptions() -> Dict[str, str]:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class FunctionEngine:
-    """Adapter turning an ``evaluate(program, database, max_iterations)`` function into an Engine."""
+    """Adapter turning an ``evaluate(program, database, max_iterations)`` function into an Engine.
+
+    ``supports_planner`` marks functions that also accept a ``planner=``
+    keyword (the bottom-up engines); a planner passed to an engine that does
+    not is simply ignored — it is a performance hint, never semantics.
+    """
 
     name: str
     description: str
     function: Callable[..., EvaluationResult]
     supports_max_iterations: bool = True
+    supports_planner: bool = False
 
     def evaluate(
         self,
@@ -134,15 +148,19 @@ class FunctionEngine:
         database: Database,
         *,
         max_iterations: Optional[int] = None,
+        planner=None,
     ) -> EvaluationResult:
+        kwargs = {}
+        if self.supports_planner and planner is not None:
+            kwargs["planner"] = planner
         if self.supports_max_iterations:
-            return self.function(program, database, max_iterations=max_iterations)
+            return self.function(program, database, max_iterations=max_iterations, **kwargs)
         if max_iterations is not None:
             # Silently running unbounded would defeat the caller's safety valve.
             raise EvaluationError(
                 f"engine {self.name!r} does not support max_iterations"
             )
-        return self.function(program, database)
+        return self.function(program, database, **kwargs)
 
 
 @dataclass(frozen=True)
@@ -160,12 +178,18 @@ class TransformedEngine:
     transform: Callable[[Program], Program]
     delegate: str = "seminaive"
 
+    @property
+    def supports_planner(self) -> bool:
+        """Forward a planner exactly when the delegate engine can use one."""
+        return bool(getattr(get_engine(self.delegate), "supports_planner", False))
+
     def evaluate(
         self,
         program: Program,
         database: Database,
         *,
         max_iterations: Optional[int] = None,
+        planner=None,
     ) -> EvaluationResult:
         from repro.errors import ValidationError
 
@@ -175,8 +199,12 @@ class TransformedEngine:
             raise EngineNotApplicableError(
                 f"engine {self.name!r} cannot rewrite this program: {error}"
             ) from error
-        return get_engine(self.delegate).evaluate(
-            rewritten, database, max_iterations=max_iterations
+        delegate = get_engine(self.delegate)
+        kwargs = {}
+        if planner is not None and getattr(delegate, "supports_planner", False):
+            kwargs["planner"] = planner
+        return delegate.evaluate(
+            rewritten, database, max_iterations=max_iterations, **kwargs
         )
 
 
@@ -196,15 +224,19 @@ def _register_builtins() -> None:
     register_engine(
         FunctionEngine(
             "naive",
-            "naive bottom-up: re-evaluate every rule over the full model until fixpoint",
+            "naive bottom-up: re-evaluate every rule over the full model until fixpoint"
+            " (stratified, planned joins)",
             evaluate_naive,
+            supports_planner=True,
         )
     )
     register_engine(
         FunctionEngine(
             "seminaive",
-            "semi-naive bottom-up: differential fixpoint over per-iteration deltas",
+            "semi-naive bottom-up: differential fixpoint over per-iteration deltas"
+            " (stratified, planned joins)",
             evaluate_seminaive,
+            supports_planner=True,
         )
     )
     register_engine(

@@ -23,10 +23,33 @@ class EvaluationStatistics:
     facts_derived: int = 0
     duplicate_derivations: int = 0
     facts_per_predicate: Dict[str, int] = field(default_factory=dict)
+    # stratified evaluation: how many SCC strata ran, and the fixpoint
+    # rounds each needed (key = stratum label, i.e. its sorted predicates)
+    strata: int = 0
+    iterations_per_stratum: Dict[str, int] = field(default_factory=dict)
+    # join planning: compiled fresh vs served from a Planner's cache
+    plans_compiled: int = 0
+    plan_cache_hits: int = 0
 
     def record_firing(self) -> None:
         """Count one successful body instantiation."""
         self.rule_firings += 1
+
+    def record_iteration(self, stratum: str) -> None:
+        """Count one fixpoint round, attributed to *stratum*."""
+        self.iterations += 1
+        self.iterations_per_stratum[stratum] = self.iterations_per_stratum.get(stratum, 0) + 1
+
+    def record_stratum(self) -> None:
+        """Count one SCC stratum whose fixpoint ran to completion."""
+        self.strata += 1
+
+    def record_plan(self, cache_hit: bool) -> None:
+        """Count one program plan: compiled fresh, or reused from a cache."""
+        if cache_hit:
+            self.plan_cache_hits += 1
+        else:
+            self.plans_compiled += 1
 
     def record_fact(self, predicate: str, is_new: bool) -> None:
         """Count one produced head fact; duplicates are tracked separately."""
@@ -44,10 +67,18 @@ class EvaluationStatistics:
             facts_derived=self.facts_derived + other.facts_derived,
             duplicate_derivations=self.duplicate_derivations + other.duplicate_derivations,
             facts_per_predicate=dict(self.facts_per_predicate),
+            strata=self.strata + other.strata,
+            iterations_per_stratum=dict(self.iterations_per_stratum),
+            plans_compiled=self.plans_compiled + other.plans_compiled,
+            plan_cache_hits=self.plan_cache_hits + other.plan_cache_hits,
         )
         for predicate, count in other.facts_per_predicate.items():
             merged.facts_per_predicate[predicate] = (
                 merged.facts_per_predicate.get(predicate, 0) + count
+            )
+        for stratum, count in other.iterations_per_stratum.items():
+            merged.iterations_per_stratum[stratum] = (
+                merged.iterations_per_stratum.get(stratum, 0) + count
             )
         return merged
 
@@ -58,6 +89,9 @@ class EvaluationStatistics:
             "rule_firings": self.rule_firings,
             "facts_derived": self.facts_derived,
             "duplicate_derivations": self.duplicate_derivations,
+            "strata": self.strata,
+            "plans_compiled": self.plans_compiled,
+            "plan_cache_hits": self.plan_cache_hits,
         }
 
     def __str__(self) -> str:

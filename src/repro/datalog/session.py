@@ -29,6 +29,7 @@ from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
 from repro.datalog.database import Database
 from repro.datalog.engine.base import EvaluationResult
+from repro.datalog.engine.planner import Planner, ProgramPlan
 from repro.datalog.engine.registry import (
     EngineNotApplicableError,
     available_engines,
@@ -58,11 +59,15 @@ class QuerySession:
         program,
         database: Database,
         transforms: Iterable[Transform] = (),
+        planner: Optional[Planner] = None,
     ):
         self._program = _as_program(program)
         self._database = database
         self._pipeline = transforms if isinstance(transforms, Pipeline) else Pipeline(transforms)
         self._outcome: Optional[PipelineOutcome] = None
+        # Shared join-plan cache: engines that support planning compile each
+        # (program, database) plan once and reuse it across repeated queries.
+        self._planner = planner if planner is not None else Planner()
         # (engine name, max_iterations) -> (engine object, result); the engine
         # object is kept both to pin it alive and to detect replacement.
         self._results: Dict[Tuple[str, Optional[int]], Tuple[object, EvaluationResult]] = {}
@@ -72,17 +77,24 @@ class QuerySession:
     # Builder steps
     # ------------------------------------------------------------------
     def with_transforms(self, *transforms: Transform) -> "QuerySession":
-        """A new session whose pipeline has *transforms* appended."""
-        return QuerySession(self._program, self._database, self._pipeline.then(*transforms))
+        """A new session whose pipeline has *transforms* appended.
+
+        The derived session shares this one's :class:`Planner`, so join
+        plans compiled for a common (program, database) pair are reused.
+        """
+        return QuerySession(
+            self._program, self._database, self._pipeline.then(*transforms), planner=self._planner
+        )
 
     def with_database(self, database: Database) -> "QuerySession":
         """A new session over a different database (same program and pipeline).
 
         The already-computed pipeline outcome carries over — transforms
         depend only on the (immutable) program, so re-running them for a
-        database sweep would be pure waste.
+        database sweep would be pure waste.  The planner carries over too;
+        its cache keys on the database, so plans never leak across data.
         """
-        session = QuerySession(self._program, database, self._pipeline)
+        session = QuerySession(self._program, database, self._pipeline, planner=self._planner)
         session._outcome = self._outcome
         return session
 
@@ -114,10 +126,32 @@ class QuerySession:
         """The program after all transforms (the one engines actually run)."""
         return self.provenance.program
 
-    def explain(self) -> str:
-        """Human-readable account of what the pipeline did to the program."""
+    @property
+    def planner(self) -> Planner:
+        """The session's shared join-plan cache."""
+        return self._planner
+
+    def query_plan(self) -> ProgramPlan:
+        """The stratification + join plan the bottom-up engines will execute.
+
+        Compiled (or served from the session's planner cache) for the
+        *transformed* program over the current database — exactly what
+        ``evaluate()`` hands the engines.
+        """
+        return self._planner.plan(self.transformed_program, self._database)
+
+    def explain(self, *, plans: bool = False) -> str:
+        """Human-readable account of what the pipeline did to the program.
+
+        With ``plans=True`` the EXPLAIN output of :meth:`query_plan` is
+        appended: the SCC strata and, per rule, the chosen join order with
+        the predicted access path (probe vs scan) of every body atom.
+        """
         header = f"program: {len(self._program.rules)} rules, goal {self._program.goal}"
-        return header + "\n" + self.provenance.describe()
+        text = header + "\n" + self.provenance.describe()
+        if plans:
+            text += "\n" + self.query_plan().describe()
+        return text
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -147,8 +181,14 @@ class QuerySession:
         # so register_engine(..., replace=True) never serves stale results
         # (holding the object also keeps its id from being recycled).
         if fresh or cached is None or cached[0] is not resolved:
+            kwargs = {}
+            if getattr(resolved, "supports_planner", False):
+                kwargs["planner"] = self._planner
             result = resolved.evaluate(
-                self.transformed_program, self._database, max_iterations=max_iterations
+                self.transformed_program,
+                self._database,
+                max_iterations=max_iterations,
+                **kwargs,
             )
             self._results[key] = (resolved, result)
         return self._results[key][1]

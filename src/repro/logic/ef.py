@@ -72,6 +72,7 @@ class CycleDistinguishability:
 
     @property
     def distinguishes(self) -> bool:
+        """Whether the program separates the two cycles — Lemma 6.1 says it cannot."""
         return self.answer_a != self.answer_b
 
 

@@ -60,6 +60,7 @@ class MonadicFixpointProgram:
         object.__setattr__(self, "rules", tuple(rules))
 
     def predicates(self) -> Tuple[str, ...]:
+        """The fixpoint predicates, in rule order (simultaneous induction)."""
         return tuple(rule.predicate for rule in self.rules)
 
 
@@ -71,6 +72,7 @@ class FixpointEvaluation:
     iterations: Dict[str, int]
 
     def relation(self, predicate: str) -> FrozenSet[Tuple]:
+        """The computed least-fixpoint interpretation of a predicate (1-tuples)."""
         return self.interpretations.get(predicate, frozenset())
 
     def members(self, predicate: str) -> FrozenSet:

@@ -317,6 +317,7 @@ def evaluate_query(
     answers = set()
 
     def assign(position: int, assignment: Dict[str, object]) -> None:
+        """Enumerate domain bindings for the output variables, depth first."""
         if position == len(output_variables):
             if formula.evaluate(structure, assignment, interpretations):
                 answers.add(tuple(assignment[v] for v in output_variables))

@@ -202,6 +202,7 @@ def has_directed_cycle(structure: FiniteStructure, edge: str = "b") -> bool:
     colour: Dict[object, int] = {}
 
     def visit(node: object) -> bool:
+        """DFS with grey/black colouring; a grey successor closes a cycle."""
         colour[node] = 1
         for successor in adjacency[node]:
             state = colour.get(successor, 0)

@@ -59,6 +59,7 @@ class TrackAutomaton:
         return self.dfa.accepts(tuple(word))
 
     def zero_letter(self) -> Letter:
+        """The all-zero letter (every track bit off) used for padding closure."""
         return tuple(0 for _ in self.tracks)
 
 
@@ -158,6 +159,7 @@ class WFormula:
     """Base class of WS1S formulas (all variables are second order)."""
 
     def free_variables(self) -> FrozenSet[str]:
+        """The second-order variables the compiled automaton needs tracks for."""
         raise NotImplementedError
 
     def automaton(self) -> TrackAutomaton:
@@ -185,6 +187,7 @@ class SubsetEq(WFormula):
         return frozenset({self.left, self.right})
 
     def automaton(self) -> TrackAutomaton:
+        """One-state automaton rejecting any position with the left bit set but not the right."""
         tracks = tuple(sorted({self.left, self.right}))
         left_index = tracks.index(self.left)
         right_index = tracks.index(self.right)
@@ -206,6 +209,7 @@ class SetEqual(WFormula):
         return frozenset({self.left, self.right})
 
     def automaton(self) -> TrackAutomaton:
+        """One-state automaton requiring both track bits to agree at every position."""
         tracks = tuple(sorted({self.left, self.right}))
         if self.left == self.right:
             return _single_state_automaton(tracks, lambda letter: True)
@@ -222,6 +226,7 @@ class IsEmptySet(WFormula):
         return frozenset({self.name})
 
     def automaton(self) -> TrackAutomaton:
+        """One-state automaton allowing only 0-bits on the track."""
         return _single_state_automaton((self.name,), lambda letter: letter[0] == 0)
 
 
@@ -235,6 +240,7 @@ class Singleton(WFormula):
         return frozenset({self.name})
 
     def automaton(self) -> TrackAutomaton:
+        """Two states counting the 1-bits on the track; accept after exactly one."""
         tracks = (self.name,)
         transitions = {
             (0, (0,)): 0,
@@ -255,6 +261,7 @@ class SuccSets(WFormula):
         return frozenset({self.first, self.second})
 
     def automaton(self) -> TrackAutomaton:
+        """Three states enforcing a 1-bit on X immediately followed by one on Y."""
         if self.first == self.second:
             # X = {i} and X = {i+1} is unsatisfiable.
             return TrackAutomaton((self.first,), DFA({0}, _letters(1), {}, 0, set()))
@@ -285,6 +292,7 @@ class ContainsZero(WFormula):
         return frozenset({self.name})
 
     def automaton(self) -> TrackAutomaton:
+        """Accept iff the very first letter carries the track's bit."""
         tracks = (self.name,)
         transitions = {
             (0, (1,)): 1,
@@ -302,6 +310,7 @@ class WTrue(WFormula):
         return frozenset()
 
     def automaton(self) -> TrackAutomaton:
+        """The universal one-state automaton over zero tracks."""
         return _single_state_automaton((), lambda letter: True)
 
 
@@ -313,6 +322,7 @@ class WFalse(WFormula):
         return frozenset()
 
     def automaton(self) -> TrackAutomaton:
+        """An automaton with no accepting states (over zero tracks)."""
         return TrackAutomaton((), DFA({0}, _letters(0), {}, 0, set()))
 
 
@@ -326,6 +336,7 @@ class WNot(WFormula):
         return self.inner.free_variables()
 
     def automaton(self) -> TrackAutomaton:
+        """Complement the inner automaton, then re-close under zero padding."""
         return _negate(self.inner.automaton())
 
 
@@ -345,6 +356,7 @@ class WAnd(WFormula):
         return frozenset(names)
 
     def automaton(self) -> TrackAutomaton:
+        """Product (intersection) of the conjuncts' automata over aligned tracks."""
         if not self.parts:
             return WTrue().automaton()
         result = self.parts[0].automaton()
@@ -369,6 +381,7 @@ class WOr(WFormula):
         return frozenset(names)
 
     def automaton(self) -> TrackAutomaton:
+        """Product (union) of the disjuncts' automata over aligned tracks."""
         if not self.parts:
             return WFalse().automaton()
         result = self.parts[0].automaton()
@@ -393,6 +406,7 @@ class WExists(WFormula):
         return self.body.free_variables() - {self.variable}
 
     def automaton(self) -> TrackAutomaton:
+        """Project the quantified variable's track away (subset construction)."""
         inner = self.body.automaton()
         return _project(inner, self.variable)
 

@@ -1,0 +1,314 @@
+"""The join planner: ordering heuristics, SCC strata, parity, and caching."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.counterexamples import anbn_program
+from repro.core.examples_catalog import (
+    program_a,
+    program_b,
+    program_c,
+    program_d,
+    same_generation_program,
+    section7_transformed,
+)
+from repro.core.workloads import (
+    labeled_random_graph,
+    layered_anbn_graph,
+    parent_forest,
+    same_generation_database,
+)
+from repro.datalog import Database, Program, QuerySession
+from repro.datalog.engine import compile_program_plan, evaluate_naive, evaluate_seminaive
+from repro.datalog.engine.base import match_body, split_rules
+from repro.datalog.engine.planner import Planner, order_body, plan_rule
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.rules import Rule
+
+
+def unplanned_model(program: Program, database: Database) -> Database:
+    """Reference evaluator: textbook naive fixpoint, textual atom order, no strata.
+
+    Deliberately independent of the planner so plan-vs-unplanned parity is a
+    real oracle, not the engine checked against itself.
+    """
+    program.validate()
+    working = database.copy()
+    fact_rules, proper_rules = split_rules(program)
+    for rule in fact_rules:
+        working.add_fact(rule.head.predicate, rule.head.as_fact_tuple())
+    changed = True
+    while changed:
+        changed = False
+        for rule in proper_rules:
+            for substitution in match_body(rule.body, working):
+                head = rule.head.substitute(substitution)
+                if working.add_fact(head.predicate, head.as_fact_tuple()):
+                    changed = True
+    return working.restrict(program.idb_predicates())
+
+
+# ----------------------------------------------------------------------
+# Ordering heuristic units
+# ----------------------------------------------------------------------
+class TestOrdering:
+    def test_smallest_relation_goes_first_when_nothing_is_bound(self):
+        rule = parse_rule("h(X, Y) :- big(X, Z), small(Z, Y).")
+        order = order_body(rule.body, {"big": 1000, "small": 3})
+        assert order == (1, 0)
+
+    def test_constant_atom_beats_a_smaller_scan(self):
+        # edge(c, Z) is index-probeable thanks to the constant, so it leads
+        # even though its relation is larger than tiny's.
+        rule = parse_rule("h(Z, Y) :- tiny(W, Y), edge(c, Z).")
+        order = order_body(rule.body, {"tiny": 2, "edge": 500})
+        assert order == (1, 0)
+
+    def test_bound_variables_propagate_through_the_greedy_chain(self):
+        rule = parse_rule("h(X, W) :- a(X, Y), b(Y, Z), c(Z, W).")
+        order = order_body(rule.body, {"a": 5, "b": 500, "c": 400})
+        # a is smallest so it leads; then b and c are both larger, but b
+        # becomes probeable through Y while c stays an unbound scan.
+        assert order == (0, 1, 2)
+
+    def test_explicit_first_pins_the_delta_atom(self):
+        rule = parse_rule("anc(X, Y) :- par(X, Z), anc(Z, Y).")
+        order = order_body(rule.body, {"par": 10, "anc": 10}, first=1)
+        assert order == (1, 0)
+
+    def test_delta_variants_lead_with_the_delta_atom(self):
+        rule = parse_rule("anc(X, Y) :- par(X, Z), anc(Z, Y).")
+        plan = plan_rule(rule, {"par": 10, "anc": 50}, delta_predicates=frozenset({"anc"}))
+        (variant,) = plan.variants
+        assert variant.position == 1
+        assert variant.order[0] == 1
+        # With Z bound by the delta atom, par is reached by an index probe.
+        assert variant.steps[1].access == "probe"
+
+    def test_probe_hint_matches_candidate_tuples_column_choice(self):
+        # candidate_tuples probes the FIRST constant-or-bound argument in
+        # term order; the explain hint must report that same column.
+        rule = parse_rule("h(X) :- p(X, c).")
+        plan = plan_rule(rule, {"p": 10}, delta_predicates=frozenset({"p"}))
+        (step,) = plan.steps
+        assert step.access == "probe" and step.probe_hint == "p[1]=c"
+        rule = parse_rule("t(X, Y) :- t(X, Z), e(Z, c).")
+        plan = plan_rule(rule, {"t": 5, "e": 10}, delta_predicates=frozenset({"t"}))
+        (variant,) = plan.variants
+        # After the delta atom binds Z, e's first probe-able argument is
+        # position 0 (bound Z), not the later constant at position 1.
+        assert variant.steps[1].probe_hint == "e[0]=Z"
+
+    def test_head_values_skips_atom_construction(self):
+        rule = parse_rule("h(X, c, X) :- p(X, Y).")
+        plan = plan_rule(rule, {"p": 1})
+        (substitution,) = match_body(rule.body, Database({"p": [(1, 2)]}))
+        assert plan.head_values(substitution) == (1, "c", 1)
+
+
+# ----------------------------------------------------------------------
+# Stratification
+# ----------------------------------------------------------------------
+class TestStrata:
+    def test_chain_of_dependencies_yields_one_stratum_each_in_order(self):
+        program = parse_program(
+            """
+            ?p3(X, Y)
+            p1(X, Y) :- e(X, Y).
+            p2(X, Y) :- p1(X, Y).
+            p3(X, Y) :- p2(X, Y).
+            """
+        )
+        plan = compile_program_plan(program, Database({"e": [(1, 2)]}))
+        assert [sorted(s.predicates) for s in plan.strata] == [["p1"], ["p2"], ["p3"]]
+        assert all(not s.recursive for s in plan.strata)
+
+    def test_self_loop_marks_the_stratum_recursive(self):
+        plan = compile_program_plan(program_a().program, Database())
+        (stratum,) = plan.strata
+        assert stratum.recursive and stratum.predicates == {"anc"}
+
+    def test_mutual_recursion_shares_a_stratum(self):
+        program = parse_program(
+            """
+            ?odd(X, Y)
+            odd(X, Y) :- e(X, Z), even(Z, Y).
+            even(X, Y) :- e(X, Z), odd(Z, Y).
+            even(X, Y) :- e(X, Y).
+            """
+        )
+        plan = compile_program_plan(program, Database({"e": [(1, 2)]}))
+        (stratum,) = plan.strata
+        assert stratum.recursive and stratum.predicates == {"odd", "even"}
+
+    def test_nonrecursive_strata_take_exactly_one_pass(self):
+        program = parse_program(
+            """
+            ?p4(X, Y)
+            p1(X, Y) :- e(X, Y).
+            p2(X, Y) :- p1(X, Y).
+            p3(X, Y) :- p2(X, Y).
+            p4(X, Y) :- p3(X, Y).
+            """
+        )
+        database = Database({"e": [(i, i + 1) for i in range(20)]})
+        result = evaluate_seminaive(program, database)
+        assert result.statistics.strata == 4
+        assert all(
+            count == 1 for count in result.statistics.iterations_per_stratum.values()
+        )
+        assert result.relation("p4") == database.relation("e")
+
+    def test_explain_lists_strata_and_join_orders(self):
+        plan = compile_program_plan(program_b().program, parent_forest(30, seed=3))
+        text = plan.describe()
+        assert "stratum 1: anc [recursive]" in text
+        assert "delta on anc(Z, Y)" in text
+        assert "probe par" in text
+
+
+# ----------------------------------------------------------------------
+# Plan-vs-unplanned parity over the examples catalogue
+# ----------------------------------------------------------------------
+CATALOGUE = [
+    ("program_a", program_a().program, parent_forest(40, seed=5, root_count=3)),
+    ("program_b", program_b().program, parent_forest(40, seed=5, root_count=3)),
+    ("program_c", program_c().program, parent_forest(25, seed=5, root_count=2)),
+    ("program_d", program_d(), parent_forest(40, seed=5, root_count=3)),
+    ("anbn", anbn_program().program, layered_anbn_graph(5, noise_branches=3)),
+    ("section7_magic", section7_transformed(), layered_anbn_graph(5, noise_branches=3)),
+    (
+        "same_generation",
+        same_generation_program().program,
+        same_generation_database(depth=3, branching=2),
+    ),
+    (
+        "random_graph",
+        program_b().program,
+        labeled_random_graph(18, 40, ("par",), seed=9, prefix="john"),
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "label,program,database", CATALOGUE, ids=[entry[0] for entry in CATALOGUE]
+)
+def test_planned_engines_match_unplanned_reference(label, program, database):
+    expected = unplanned_model(program, database)
+    for evaluate in (evaluate_naive, evaluate_seminaive):
+        result = evaluate(program, database)
+        assert result.idb_facts == expected, f"{evaluate.__name__} diverged on {label}"
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: reordering body atoms never changes the model
+# ----------------------------------------------------------------------
+edge_tuples = st.tuples(
+    st.integers(min_value=0, max_value=4), st.integers(min_value=0, max_value=4)
+)
+
+
+@st.composite
+def edge_databases(draw):
+    database = Database()
+    for _ in range(draw(st.integers(min_value=1, max_value=14))):
+        database.add_fact(draw(st.sampled_from(["e", "f"])), draw(edge_tuples))
+    return database
+
+
+PROGRAM_POOL = [
+    parse_program(
+        """
+        ?t(X, Y)
+        t(X, Y) :- e(X, Y).
+        t(X, Y) :- t(X, Z), e(Z, Y).
+        """
+    ),
+    parse_program(
+        """
+        ?t(X, Y)
+        t(X, Y) :- e(X, Y).
+        t(X, Y) :- e(X, Z), f(Z, W), t(W, Y).
+        """
+    ),
+    parse_program(
+        """
+        ?s(X, Y)
+        t(X, Y) :- e(X, Y).
+        t(X, Y) :- t(X, Z), t(Z, Y).
+        s(X, Y) :- f(X, Z), t(Z, Y).
+        """
+    ),
+]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.sampled_from(range(len(PROGRAM_POOL))),
+    edge_databases(),
+    st.randoms(use_true_random=False),
+)
+def test_body_reordering_never_changes_the_model(program_index, database, rng):
+    program = PROGRAM_POOL[program_index]
+    shuffled_rules = []
+    for rule in program.rules:
+        body = list(rule.body)
+        rng.shuffle(body)
+        shuffled_rules.append(Rule(rule.head, tuple(body)))
+    shuffled = Program(tuple(shuffled_rules), program.goal)
+
+    baseline = unplanned_model(program, database)
+    for variant in (program, shuffled):
+        for evaluate in (evaluate_naive, evaluate_seminaive):
+            assert evaluate(variant, database).idb_facts == baseline
+
+
+# ----------------------------------------------------------------------
+# Plan caching on sessions
+# ----------------------------------------------------------------------
+class TestPlannerCache:
+    def test_repeated_session_queries_reuse_the_compiled_plan(self):
+        session = QuerySession(program_a(), parent_forest(30, seed=2))
+        first = session.evaluate(fresh=True)
+        second = session.evaluate(fresh=True)
+        assert first.statistics.plans_compiled == 1
+        assert first.statistics.plan_cache_hits == 0
+        assert second.statistics.plan_cache_hits == 1
+        assert second.statistics.plans_compiled == 0
+
+    def test_database_mutation_invalidates_the_plan(self):
+        database = parent_forest(30, seed=2)
+        session = QuerySession(program_a(), database)
+        session.evaluate(fresh=True)
+        database.add_fact("par", ("john", "newcomer"))
+        result = session.evaluate(fresh=True)
+        assert result.statistics.plans_compiled == 1
+        assert ("newcomer",) in result.answers()
+
+    def test_direct_evaluation_without_planner_still_plans(self):
+        result = evaluate_seminaive(program_a().program, parent_forest(20, seed=1))
+        assert result.statistics.plans_compiled == 1
+
+    def test_planner_is_shared_across_derived_sessions(self):
+        session = QuerySession(program_a(), parent_forest(30, seed=2))
+        derived = session.with_database(parent_forest(25, seed=4))
+        assert derived.planner is session.planner
+
+    def test_planner_cache_is_bounded(self):
+        planner = Planner()
+        database = Database({"e": [(1, 2)]})
+        programs = [
+            parse_program(f"?p{i}(X, Y)\np{i}(X, Y) :- e(X, Y).") for i in range(200)
+        ]
+        for program in programs:
+            planner.plan(program, database)
+        assert len(planner._cache) <= 128
+
+    def test_query_plan_matches_what_evaluate_runs(self):
+        session = QuerySession(program_b(), parent_forest(30, seed=2))
+        plan = session.query_plan()
+        session.evaluate(fresh=True)
+        assert session.query_plan() is plan  # cached, not recompiled
+        assert "delta on anc" in session.explain(plans=True)

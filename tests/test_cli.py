@@ -115,6 +115,35 @@ class TestEvaluateAndBounded:
         assert main(["evaluate", program_file, facts_file, "--max-iterations", "1"]) == 2
         assert "error" in capsys.readouterr().err
 
+    def test_evaluate_explain_prints_join_plan(self, program_file, facts_file, capsys):
+        assert main(["evaluate", program_file, facts_file, "--explain"]) == 0
+        output = capsys.readouterr().out
+        assert "stratum 1: anc [recursive]" in output
+        assert "order:" in output  # the chosen join order per rule
+        assert "delta on anc(X, Z)" in output
+        assert "probe par" in output
+        assert "(mary)" in output  # answers still follow the plan dump
+
+    def test_evaluate_explain_shows_the_rewritten_plan_for_magic(
+        self, program_file, facts_file, capsys
+    ):
+        # The magic engine rewrites internally; EXPLAIN must describe the
+        # plan for the program it actually runs, not the original rules.
+        assert main(["evaluate", program_file, facts_file, "--engine", "magic", "--explain"]) == 0
+        output = capsys.readouterr().out
+        assert "rewrites the program before evaluating" in output
+        assert "magic_anc" in output  # strata/join orders over the rewritten rules
+        assert "(mary)" in output
+
+    def test_evaluate_explain_notes_non_planning_engines(self, program_file, facts_file, capsys):
+        assert main(
+            ["evaluate", program_file, facts_file, "--engine", "topdown", "--explain"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "does not use the bottom-up join planner" in output
+        assert "stratum" not in output  # no plan the engine will not execute
+        assert "(mary)" in output
+
     def test_engines_listing(self, capsys):
         assert main(["engines"]) == 0
         output = capsys.readouterr().out
