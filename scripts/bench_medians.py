@@ -4,13 +4,27 @@
 CI uploads the result as a ``BENCH_*`` workflow artifact so the benchmark
 trajectory can be compared across commits without storing full reports.
 
+With ``--traffic OUT.json`` an additional summary artifact is written for
+the prepared-query traffic experiment (E10): the prepared vs ad-hoc
+medians, the resulting amortization speedup, and the per-path request
+throughput — the numbers the ISSUE's >=3x acceptance gate is about.
+
 Usage: python scripts/bench_medians.py <pytest-benchmark.json> <out.json>
+           [--traffic <traffic-out.json>]
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
+
+TRAFFIC_PREPARED = "test_prepared_magic_fresh_constant"
+TRAFFIC_ADHOC = "test_adhoc_magic_fresh_constant"
+TRAFFIC_EXTRAS = (
+    "test_prepared_execute_many_window",
+    "test_service_cached_traffic",
+)
 
 
 def medians(report: dict) -> dict:
@@ -25,22 +39,67 @@ def medians(report: dict) -> dict:
     return summary
 
 
+def traffic_summary(median_map: dict) -> dict:
+    """The E10 traffic shape: amortization speedup and request throughput."""
+    summary: dict = {"benchmarks": {}}
+    for name, entry in median_map.items():
+        if name in (TRAFFIC_PREPARED, TRAFFIC_ADHOC) or name in TRAFFIC_EXTRAS:
+            seconds = entry["median_seconds"]
+            summary["benchmarks"][name] = {
+                "median_seconds": seconds,
+                "requests_per_second": (1.0 / seconds) if seconds else None,
+                "extra_info": entry["extra_info"],
+            }
+    prepared = median_map.get(TRAFFIC_PREPARED)
+    adhoc = median_map.get(TRAFFIC_ADHOC)
+    if prepared and adhoc and prepared["median_seconds"]:
+        speedup = adhoc["median_seconds"] / prepared["median_seconds"]
+        summary["prepared_vs_adhoc_speedup"] = speedup
+        summary["meets_3x_gate"] = speedup >= 3.0
+    window = median_map.get(TRAFFIC_EXTRAS[0])
+    if window:
+        size = window["extra_info"].get("window_size")
+        if size:
+            summary["execute_many_seconds_per_binding"] = (
+                window["median_seconds"] / size
+            )
+    return summary
+
+
 def main(argv) -> int:
-    if len(argv) != 2:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
-    source, destination = argv
-    with open(source, "r", encoding="utf-8") as handle:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("source", help="pytest-benchmark JSON report")
+    parser.add_argument("destination", help="medians output JSON")
+    parser.add_argument(
+        "--traffic",
+        metavar="OUT.json",
+        help="also write the E10 prepared-traffic summary artifact",
+    )
+    arguments = parser.parse_args(argv)
+    with open(arguments.source, "r", encoding="utf-8") as handle:
         report = json.load(handle)
+    median_map = medians(report)
     summary = {
         "machine_info": report.get("machine_info", {}),
         "datetime": report.get("datetime"),
         "commit_info": report.get("commit_info", {}),
-        "medians": medians(report),
+        "medians": median_map,
     }
-    with open(destination, "w", encoding="utf-8") as handle:
+    with open(arguments.destination, "w", encoding="utf-8") as handle:
         json.dump(summary, handle, indent=2, sort_keys=True)
-    print(f"wrote {len(summary['medians'])} medians to {destination}")
+    print(f"wrote {len(median_map)} medians to {arguments.destination}")
+    if arguments.traffic:
+        traffic = {
+            "machine_info": report.get("machine_info", {}),
+            "datetime": report.get("datetime"),
+            "commit_info": report.get("commit_info", {}),
+        }
+        traffic.update(traffic_summary(median_map))
+        with open(arguments.traffic, "w", encoding="utf-8") as handle:
+            json.dump(traffic, handle, indent=2, sort_keys=True)
+        gate = traffic.get("prepared_vs_adhoc_speedup")
+        detail = f" (speedup {gate:.1f}x)" if gate is not None else ""
+        print(f"wrote traffic summary to {arguments.traffic}{detail}")
     return 0
 
 

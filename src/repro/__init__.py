@@ -33,6 +33,9 @@ from repro.datalog import (
     Atom,
     Constant,
     Database,
+    DatalogService,
+    Parameter,
+    PreparedQuery,
     Program,
     QuerySession,
     Rule,
@@ -61,7 +64,10 @@ __all__ = [
     "ChainProgram",
     "Constant",
     "Database",
+    "DatalogService",
     "GoalForm",
+    "Parameter",
+    "PreparedQuery",
     "Program",
     "PropagationResult",
     "PropagationVerdict",

@@ -7,6 +7,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli rewrite  program.dl          # the equivalent monadic program, if constructible
     python -m repro.cli magic    program.dl          # Section 7 quotient-based magic transformation
     python -m repro.cli evaluate program.dl facts.dl # run the program on a database of facts
+    python -m repro.cli evaluate q.dl facts.dl --param who=john   # prepared parameterized query
+    python -m repro.cli serve-bench q.dl facts.dl --threads 8     # DatalogService traffic driver
     python -m repro.cli engines                      # list the registered evaluation engines
     python -m repro.cli bounded  program.dl          # Proposition 8.2 report
 
@@ -23,17 +25,28 @@ facts file contains ground facts, one per clause.
 from __future__ import annotations
 
 import argparse
+import re
 import sys
-from typing import Iterable, Optional
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.boundedness import analyze_boundedness
 from repro.core.chain import ChainProgram
 from repro.core.grammar_map import to_grammar
 from repro.core.magic_chain import magic_transform_chain
 from repro.core.propagation import propagate_selection
-from repro.datalog import Database, QuerySession, format_program, parse_facts, parse_program
+from repro.datalog import (
+    Database,
+    DatalogService,
+    QuerySession,
+    format_program,
+    parse_facts,
+    parse_program,
+)
 from repro.datalog.engine import compile_program_plan, engine_descriptions, get_engine
-from repro.errors import ReproError
+from repro.datalog.transforms import MagicSets, PropagateConstants, Rectify
+from repro.errors import ReproError, ValidationError
 from repro.languages.cfg import format_grammar
 from repro.languages.cfg_analysis import enumerate_language
 from repro.languages.cfg_properties import regularity_evidence
@@ -51,6 +64,36 @@ def _load_database(path: str) -> Database:
 
 def _print(text: str = "") -> None:
     sys.stdout.write(text + "\n")
+
+
+def _parse_param_value(text: str):
+    """``--param`` values: integers stay integers, quotes strip, rest is a string."""
+    if re.fullmatch(r"-?\d+", text):
+        return int(text)
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in "\"'":
+        return text[1:-1]
+    return text
+
+
+def _parse_params(pairs: Iterable[str]) -> Dict[str, object]:
+    """Parse repeated ``--param name=value`` options into a bindings dict."""
+    params: Dict[str, object] = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        name = name.lstrip("$").strip()
+        if not sep or not name:
+            raise ValidationError(
+                f"--param expects name=value, got {pair!r}"
+            )
+        params[name] = _parse_param_value(value.strip())
+    return params
+
+
+_TRANSFORMS = {
+    "magic": MagicSets,
+    "rectify": Rectify,
+    "constants": PropagateConstants,
+}
 
 
 # ----------------------------------------------------------------------
@@ -107,6 +150,32 @@ def command_evaluate(arguments: argparse.Namespace) -> int:
         program = parse_program(handle.read())
     database = _load_database(arguments.facts)
     session = QuerySession(program, database)
+    params = _parse_params(arguments.param)
+    declared = {parameter.name for parameter in program.parameters()}
+    if declared:
+        # Parameterized template: compile once, execute with the bindings.
+        if set(params) != declared:
+            wanted = ", ".join(f"${name}" for name in sorted(declared))
+            raise ValidationError(
+                f"program declares parameters {wanted}; bind each with --param name=value"
+            )
+        prepared = session.prepare(engine=arguments.engine)
+        if arguments.explain:
+            _print(prepared.describe())
+            _print()
+        result = prepared.execute(params, max_iterations=arguments.max_iterations)
+        answers = sorted(result.answers(), key=repr)
+        for answer in answers:
+            _print("(" + ", ".join(str(value) for value in answer) + ")")
+        _print(
+            f"-- {len(answers)} answers; engine={arguments.engine} "
+            f"(prepared, executed as {prepared.default_engine}); {result.statistics}"
+        )
+        return 0
+    if params:
+        raise ValidationError(
+            "--param given but the program declares no $parameters in its goal"
+        )
     if arguments.explain:
         # Explain the plan for what the engine actually evaluates: engines
         # that rewrite the program internally (e.g. ``magic``) run a
@@ -133,6 +202,76 @@ def command_evaluate(arguments: argparse.Namespace) -> int:
     for answer in answers:
         _print("(" + ", ".join(str(value) for value in answer) + ")")
     _print(f"-- {len(answers)} answers; engine={arguments.engine}; {result.statistics}")
+    return 0
+
+
+def command_serve_bench(arguments: argparse.Namespace) -> int:
+    """Drive a DatalogService with synthetic traffic and report throughput."""
+    with open(arguments.program, "r", encoding="utf-8") as handle:
+        program = parse_program(handle.read())
+    if not program.parameters():
+        raise ValidationError(
+            "serve-bench needs a parameterized goal (e.g. ?anc($who, Y)) so each "
+            "request can carry a different binding"
+        )
+    database = _load_database(arguments.facts)
+    transforms = tuple(_TRANSFORMS[name]() for name in arguments.transform)
+    service = DatalogService(database, cache_size=arguments.cache_size)
+    service.register_program(
+        "bench", program, transforms=transforms, engine=arguments.engine
+    )
+
+    compile_start = time.perf_counter()
+    prepared = service.prepare("bench")
+    prepared.plan()
+    compile_seconds = time.perf_counter() - compile_start
+    names = prepared.parameters
+
+    pool = sorted(database.active_domain(), key=repr)[: max(arguments.distinct, 1)]
+    if not pool:
+        raise ValidationError("the facts file is empty; nothing to bind parameters to")
+
+    latencies: List[float] = [0.0] * arguments.requests
+    answer_counts: List[int] = [0] * arguments.requests
+
+    def request(index: int) -> None:
+        bindings = {
+            name: pool[(index + offset) % len(pool)]
+            for offset, name in enumerate(names)
+        }
+        started = time.perf_counter()
+        answers = service.execute("bench", bindings, fresh=arguments.no_cache)
+        latencies[index] = time.perf_counter() - started
+        answer_counts[index] = len(answers)
+
+    wall_start = time.perf_counter()
+    if arguments.threads > 1:
+        with ThreadPoolExecutor(max_workers=arguments.threads) as pool_executor:
+            list(pool_executor.map(request, range(arguments.requests)))
+    else:
+        for index in range(arguments.requests):
+            request(index)
+    wall = time.perf_counter() - wall_start
+
+    ordered = sorted(latencies)
+
+    def percentile(fraction: float) -> float:
+        return ordered[min(len(ordered) - 1, int(fraction * len(ordered)))]
+
+    statistics = service.statistics()
+    _print(f"program    : {arguments.program} (parameters: "
+           + ", ".join(f"${name}" for name in names) + ")")
+    _print(f"transforms : {', '.join(arguments.transform) or '(none)'}; "
+           f"engine={arguments.engine}; prepare+plan {compile_seconds * 1e3:.2f} ms (once)")
+    _print(f"traffic    : {arguments.requests} requests, {arguments.threads} threads, "
+           f"{len(pool)} distinct constants")
+    _print(f"wall time  : {wall:.3f} s  ->  {arguments.requests / wall:,.0f} req/s")
+    _print(f"latency    : p50 {percentile(0.50) * 1e3:.3f} ms, "
+           f"p95 {percentile(0.95) * 1e3:.3f} ms, max {ordered[-1] * 1e3:.3f} ms")
+    _print(f"answers    : {sum(answer_counts)} total across all requests")
+    _print(f"cache      : {statistics['cache_hits']} hits, "
+           f"{statistics['cache_misses']} misses, "
+           f"{statistics['executions']} engine executions")
     return 0
 
 
@@ -209,7 +348,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="before evaluating, print the transform pipeline provenance and the "
         "join plan: SCC strata plus the chosen join order per rule",
     )
+    evaluate.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="bind a goal parameter (repeatable); required once per $parameter "
+        "declared by the program, e.g. --param who=john",
+    )
     evaluate.set_defaults(handler=command_evaluate)
+
+    serve_bench = subparsers.add_parser(
+        "serve-bench",
+        help="drive a DatalogService with synthetic traffic over a parameterized "
+        "query and report throughput/latency",
+    )
+    serve_bench.add_argument("program", help="program with a parameterized goal")
+    serve_bench.add_argument("facts", help="facts file providing the database")
+    serve_bench.add_argument("--requests", type=int, default=1000, help="total requests")
+    serve_bench.add_argument("--threads", type=int, default=8, help="worker threads")
+    serve_bench.add_argument(
+        "--distinct", type=int, default=32,
+        help="distinct constants drawn from the active domain",
+    )
+    serve_bench.add_argument(
+        "--engine", default=QuerySession.DEFAULT_ENGINE,
+        help="execution engine (default: %(default)s)",
+    )
+    serve_bench.add_argument(
+        "--transform", action="append", default=[], choices=sorted(_TRANSFORMS),
+        help="pipeline stage applied at prepare time (repeatable), e.g. --transform magic",
+    )
+    serve_bench.add_argument(
+        "--cache-size", type=int, default=256, help="bounded LRU result-cache entries"
+    )
+    serve_bench.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the result cache so every request runs the engine",
+    )
+    serve_bench.set_defaults(handler=command_serve_bench)
 
     engines = subparsers.add_parser("engines", help="list the registered evaluation engines")
     engines.set_defaults(handler=command_engines)

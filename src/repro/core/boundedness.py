@@ -24,7 +24,7 @@ from repro.core.chain import ChainProgram, GoalForm
 from repro.core.grammar_map import to_grammar
 from repro.datalog.database import Database
 from repro.datalog.engine.derivation import DerivationAnalyzer
-from repro.datalog.engine.seminaive import evaluate_seminaive
+from repro.datalog.engine.registry import get_engine
 from repro.datalog.terms import Constant, Variable
 from repro.errors import ValidationError
 from repro.languages.alphabet import Word
@@ -145,7 +145,7 @@ def measure_proof_depths(
     measurements = []
     for database in databases:
         analyzer = DerivationAnalyzer(chain.program, database)
-        result = evaluate_seminaive(chain.program, database)
+        result = get_engine("seminaive").evaluate(chain.program, database)
         measurements.append(
             DepthMeasurement(
                 database.fact_count(),

@@ -25,7 +25,7 @@ from repro.core.chain import ChainProgram
 from repro.core.grammar_map import to_grammar
 from repro.core.uniform import ContainmentVerdict, language_containment
 from repro.datalog.database import Database
-from repro.datalog.engine.seminaive import evaluate_seminaive
+from repro.datalog.engine.registry import get_engine
 from repro.datalog.program import Program
 from repro.languages.alphabet import Word
 from repro.languages.cfg_analysis import (
@@ -112,8 +112,8 @@ def programs_agree_on(
 ) -> EmpiricalEquivalence:
     """Do the two programs produce the same goal answers on every given database?"""
     for index, database in enumerate(databases):
-        left_answers = evaluate_seminaive(left, database).answers()
-        right_answers = evaluate_seminaive(right, database).answers()
+        left_answers = get_engine("seminaive").evaluate(left, database).answers()
+        right_answers = get_engine("seminaive").evaluate(right, database).answers()
         if left_answers != right_answers:
             return EmpiricalEquivalence(index + 1, False, database, left_answers, right_answers)
     return EmpiricalEquivalence(len(databases), True)

@@ -25,7 +25,7 @@ from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
 from repro.core.chain import ChainProgram
 from repro.core.grammar_map import to_grammar
 from repro.datalog.database import Database
-from repro.datalog.engine.seminaive import evaluate_seminaive
+from repro.datalog.engine.registry import get_engine
 from repro.datalog.program import Program
 from repro.languages.alphabet import Word
 from repro.languages.cfg_analysis import enumerate_language
@@ -92,7 +92,7 @@ def program_output_on_truncation(
     origin by renaming: callers should build programs whose goal constant
     equals ``origin_constant`` (the empty-string node by default).
     """
-    result = evaluate_seminaive(program, truncation.database)
+    result = get_engine("seminaive").evaluate(program, truncation.database)
     answers = result.answers()
     words = set()
     for answer in answers:

@@ -66,6 +66,29 @@ def chain_database(length: int, relation: str = "par", prefix: str = "n") -> Dat
     return database
 
 
+def chain_forest(
+    chain_count: int, chain_length: int, relation: str = "par", prefix: str = "r"
+) -> Database:
+    """Many disjoint short chains: ``r0 -> r0n0 -> ...``, one per root.
+
+    The traffic workload for prepared-query experiments (E10): each root's
+    selection ``?anc(rk, Y)`` touches exactly its own chain, so per-query
+    engine work stays small and constant while the total EDB grows with
+    ``chain_count`` — the regime where rewrite/plan amortization and O(1)
+    working-set forks dominate end-to-end latency.
+    """
+    database = Database()
+    facts = []
+    for chain in range(chain_count):
+        previous = f"{prefix}{chain}"
+        for index in range(chain_length):
+            node = f"{prefix}{chain}n{index}"
+            facts.append((relation, (previous, node)))
+            previous = node
+    database.add_facts(facts)
+    return database
+
+
 def cycle_database(length: int, relation: str = "b", prefix: str = "c") -> Database:
     """A directed cycle of the given length."""
     database = Database()

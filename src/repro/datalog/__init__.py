@@ -20,24 +20,32 @@ from repro.datalog.engine import (
     select_answers,
 )
 from repro.datalog.parser import parse_atom, parse_facts, parse_program, parse_rule, parse_term
+from repro.datalog.prepared import AnswerCursor, BoundQuery, PreparedQuery
 from repro.datalog.pretty import format_atom, format_database, format_program, format_rule
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule, fact
+from repro.datalog.service import DatalogService, QueryNotRegisteredError
 from repro.datalog.session import QuerySession
-from repro.datalog.terms import Constant, Term, Variable
+from repro.datalog.terms import Constant, Parameter, Term, Variable
 
 __all__ = [
+    "AnswerCursor",
     "Atom",
+    "BoundQuery",
     "Constant",
     "Database",
+    "DatalogService",
     "DerivationAnalyzer",
     "DerivationTree",
     "Engine",
     "EvaluationResult",
     "EvaluationStatistics",
+    "Parameter",
     "Planner",
+    "PreparedQuery",
     "Program",
     "ProgramPlan",
+    "QueryNotRegisteredError",
     "QuerySession",
     "Rule",
     "Term",

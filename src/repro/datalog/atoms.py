@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Tuple
 
-from repro.datalog.terms import Constant, Term, Variable, make_term
+from repro.datalog.terms import Constant, Parameter, Term, Variable, make_term
 
 
 @dataclass(frozen=True)
@@ -48,6 +48,32 @@ class Atom:
             if isinstance(term, Constant) and term not in seen:
                 seen.append(term)
         return tuple(seen)
+
+    def parameters(self) -> Tuple[Parameter, ...]:
+        """Parameters occurring in the atom, in order of first occurrence."""
+        seen = []
+        for term in self.terms:
+            if isinstance(term, Parameter) and term not in seen:
+                seen.append(term)
+        return tuple(seen)
+
+    def bind_parameters(self, bindings: Mapping[str, object]) -> "Atom":
+        """Replace each parameter with the constant bound to its name.
+
+        Parameters absent from *bindings* are left in place, so partial
+        binding composes; values are wrapped in :class:`Constant` unless
+        they already are terms.
+        """
+        if not any(isinstance(t, Parameter) for t in self.terms):
+            return self
+
+        def bind(term: Term) -> Term:
+            if isinstance(term, Parameter) and term.name in bindings:
+                value = bindings[term.name]
+                return value if isinstance(value, Constant) else Constant(value)
+            return term
+
+        return Atom(self.predicate, tuple(bind(t) for t in self.terms))
 
     def substitute(self, substitution: Mapping[Variable, Term]) -> "Atom":
         """Apply a substitution (a mapping from variables to terms)."""

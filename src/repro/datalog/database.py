@@ -51,13 +51,22 @@ class Database:
     def from_facts(cls, facts: Iterable[Atom]) -> "Database":
         """Build a database from ground atoms."""
         database = cls()
-        for atom in facts:
-            database.add_fact(atom.predicate, atom.as_fact_tuple())
+        database.add_facts(facts)
         return database
 
     def copy(self) -> "Database":
         """Return a deep copy (indexes are rebuilt lazily on the copy)."""
         return Database({name: set(tuples) for name, tuples in self._relations.items()})
+
+    def overlay(self) -> "OverlayDatabase":
+        """An O(1) copy-on-write fork: reads fall through, writes stay local.
+
+        The prepared-query execution path uses overlays as per-execution
+        working sets so that running a query does not pay an O(data) copy
+        of the EDB (see :mod:`repro.datalog.prepared`).  The base database
+        must not be mutated while the overlay is in use.
+        """
+        return OverlayDatabase(self)
 
     # ------------------------------------------------------------------
     # Mutation
@@ -85,6 +94,42 @@ class Database:
     def add_edge(self, predicate: str, source, target) -> bool:
         """Convenience for binary relations (labeled graph edges)."""
         return self.add_fact(predicate, (source, target))
+
+    def add_facts(self, facts: Iterable) -> int:
+        """Bulk insert; returns the number of facts that were actually new.
+
+        *facts* may mix ground :class:`~repro.datalog.atoms.Atom` objects
+        and ``(predicate, values)`` pairs.  Unlike a loop of
+        :meth:`add_fact` calls, the snapshots and live indexes of each
+        touched relation are updated in one pass and :attr:`version` is
+        bumped exactly once, so a 10k-fact load costs one invalidation
+        instead of 10k.
+        """
+        grouped: Dict[str, Set[Tuple]] = {}
+        for fact in facts:
+            if isinstance(fact, Atom):
+                grouped.setdefault(fact.predicate, set()).add(fact.as_fact_tuple())
+            else:
+                predicate, values = fact
+                grouped.setdefault(predicate, set()).add(tuple(values))
+        added = 0
+        for predicate, tuples in grouped.items():
+            relation = self._relations.setdefault(predicate, set())
+            fresh = tuples - relation
+            if not fresh:
+                continue
+            relation.update(fresh)
+            added += len(fresh)
+            self._snapshots.pop(predicate, None)
+            indexes = self._indexes.get(predicate)
+            if indexes:
+                for position, index in indexes.items():
+                    for values in fresh:
+                        if position < len(values):
+                            index.setdefault(values[position], []).append(values)
+        if added:
+            self._version += 1
+        return added
 
     def update(self, other: "Database") -> None:
         """Add all facts of *other* to this database."""
@@ -228,3 +273,152 @@ class Database:
             f"{name}:{len(tuples)}" for name, tuples in sorted(self._relations.items())
         )
         return f"Database({counts})"
+
+
+class OverlayDatabase(Database):
+    """A copy-on-write view over a base database.
+
+    Reads see the union of the base and the overlay's local facts; writes
+    only ever touch the local side, and a fact already present in the base
+    is never duplicated locally (so cardinalities stay additive).  Creating
+    an overlay is O(1) — no relation is copied — which is what lets a
+    prepared query execute thousands of times per second over a large EDB:
+    each execution's working set is a fresh overlay instead of a deep copy.
+
+    Contract: the base database must not be mutated while the overlay is in
+    use (the prepared execution path guarantees this by keying its caches
+    on :attr:`Database.version` and rebuilding on change).  Engines only
+    ever add facts to their working set, so the overlay does not support
+    removing base relations.
+    """
+
+    def __init__(self, base: Database):
+        super().__init__()
+        self._base = base
+
+    @property
+    def base(self) -> Database:
+        """The database this overlay reads through to."""
+        return self._base
+
+    # ------------------------------------------------------------------
+    # Mutation (local side only)
+    # ------------------------------------------------------------------
+    def add_fact(self, predicate: str, values: Tuple) -> bool:
+        values = tuple(values)
+        if self._base.contains(predicate, values):
+            return False
+        return super().add_fact(predicate, values)
+
+    def add_facts(self, facts: Iterable) -> int:
+        added = 0
+        for fact in facts:
+            if isinstance(fact, Atom):
+                predicate, values = fact.predicate, fact.as_fact_tuple()
+            else:
+                predicate, values = fact[0], tuple(fact[1])
+            if self.add_fact(predicate, values):
+                added += 1
+        return added
+
+    def update(self, other: Database) -> None:
+        for name, tuples in other._relations.items():
+            for values in tuples:
+                self.add_fact(name, values)
+
+    def remove_relation(self, predicate: str) -> None:
+        raise TypeError("an OverlayDatabase cannot remove relations of its base")
+
+    # ------------------------------------------------------------------
+    # Access (union of base and local)
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        return self._base.version + self._version
+
+    def relation(self, predicate: str) -> FrozenSet[Tuple]:
+        local = self._relations.get(predicate)
+        if not local:
+            return self._base.relation(predicate)
+        snapshot = self._snapshots.get(predicate)
+        if snapshot is None:
+            base = self._base.relation(predicate)
+            snapshot = (base | local) if base else frozenset(local)
+            self._snapshots[predicate] = snapshot
+        return snapshot
+
+    def probe(self, predicate: str, position: int, value) -> Sequence[Tuple]:
+        local = self._relations.get(predicate)
+        if not local:
+            return self._base.probe(predicate, position, value)
+        mine = super().probe(predicate, position, value)
+        if not self._base.cardinality(predicate):
+            return mine
+        theirs = self._base.probe(predicate, position, value)
+        if not theirs:
+            return mine
+        if not mine:
+            return theirs
+        return tuple(theirs) + tuple(mine)
+
+    def relations(self) -> Dict[str, FrozenSet[Tuple]]:
+        names = set(self._relations) | set(self._base._relations)
+        return {name: self.relation(name) for name in names}
+
+    def cardinality(self, predicate: str) -> int:
+        # Local facts are disjoint from the base by construction (add_fact
+        # refuses duplicates), so the counts are additive.
+        local = self._relations.get(predicate)
+        return self._base.cardinality(predicate) + (len(local) if local else 0)
+
+    def predicates(self) -> FrozenSet[str]:
+        return self._base.predicates() | super().predicates()
+
+    def contains(self, predicate: str, values: Tuple) -> bool:
+        return super().contains(predicate, values) or self._base.contains(predicate, values)
+
+    def facts(self) -> Iterator[Atom]:
+        for name in sorted(set(self._relations) | set(self._base._relations)):
+            for values in sorted(self.relation(name), key=repr):
+                yield ground_atom(name, values)
+
+    def active_domain(self) -> FrozenSet:
+        return self._base.active_domain() | super().active_domain()
+
+    def fact_count(self) -> int:
+        return self._base.fact_count() + super().fact_count()
+
+    def materialize(self) -> Database:
+        """Flatten the overlay into an independent plain :class:`Database`."""
+        return Database({name: set(tuples) for name, tuples in self.relations().items()})
+
+    def restrict(self, predicates: Iterable[str]) -> Database:
+        names = set(predicates)
+        present = (set(self._relations) | set(self._base._relations)) & names
+        return Database({name: set(self.relation(name)) for name in present})
+
+    def rename(self, mapping: Mapping[str, str]) -> Database:
+        return self.materialize().rename(mapping)
+
+    def copy(self) -> Database:
+        """A fresh fork of the base while unwritten; a deep copy afterwards.
+
+        Engines call ``database.copy()`` once to obtain their working set;
+        for a pristine overlay that is O(1), which is the whole point.
+        """
+        if not any(self._relations.values()):
+            return OverlayDatabase(self._base)
+        return self.materialize()
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        flattened = other.materialize() if isinstance(other, OverlayDatabase) else other
+        return self.materialize() == flattened
+
+    def __hash__(self):  # pragma: no cover - databases are mutable
+        raise TypeError("Database objects are mutable and unhashable")
+
+    def __repr__(self) -> str:
+        local = sum(len(tuples) for tuples in self._relations.values())
+        return f"OverlayDatabase(base={self._base!r}, local_facts={local})"

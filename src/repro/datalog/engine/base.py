@@ -15,6 +15,7 @@ This module provides:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -23,8 +24,9 @@ from repro.datalog.database import Database
 from repro.datalog.engine.stats import EvaluationStatistics
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
-from repro.datalog.terms import Constant, Variable
+from repro.datalog.terms import Constant, Parameter, Variable
 from repro.datalog.unify import Substitution, match_atom
+from repro.errors import EvaluationError
 
 
 class RelationIndex:
@@ -37,6 +39,12 @@ class RelationIndex:
     """
 
     def __init__(self, database: Database):
+        warnings.warn(
+            "RelationIndex is deprecated: Database maintains its own indexes; "
+            "pass the Database itself to match_body/candidate_tuples",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._database = database
 
     def tuples(self, predicate: str) -> FrozenSet[Tuple]:
@@ -131,6 +139,11 @@ def select_answers(goal: Atom, tuples: Iterable[Tuple]) -> FrozenSet[Tuple]:
     positions: List[int] = []
     seen: Dict[Variable, int] = {}
     for position, term in enumerate(goal.terms):
+        if isinstance(term, Parameter):
+            raise EvaluationError(
+                f"goal {goal} has unbound parameter ${term.name}; bind it first "
+                "(PreparedQuery.bind / DatalogService.execute)"
+            )
         if isinstance(term, Variable) and term not in seen:
             seen[term] = position
             positions.append(position)

@@ -15,7 +15,7 @@ from typing import Dict, Optional, Tuple
 from repro.datalog.atoms import Atom, ground_atom
 from repro.datalog.database import Database
 from repro.datalog.engine.base import match_body
-from repro.datalog.engine.naive import evaluate_naive
+from repro.datalog.engine.naive import _evaluate as _evaluate_naive
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
 
@@ -58,7 +58,7 @@ class DerivationAnalyzer:
     def __init__(self, program: Program, database: Database):
         self.program = program
         self.database = database
-        self._result = evaluate_naive(program, database)
+        self._result = _evaluate_naive(program, database)
         self._model = self._result.full_model()
         self._heights = self._compute_heights()
 

@@ -18,6 +18,7 @@ work.
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 from repro.datalog.database import Database
@@ -26,17 +27,18 @@ from repro.datalog.engine.base import (
     match_body,
     split_rules,
 )
-from repro.datalog.engine.planner import Planner, compile_program_plan
+from repro.datalog.engine.planner import Planner, ProgramPlan, compile_program_plan
 from repro.datalog.engine.stats import EvaluationStatistics
 from repro.datalog.program import Program
 from repro.errors import EvaluationError
 
 
-def evaluate_naive(
+def _evaluate(
     program: Program,
     database: Database,
     max_iterations: Optional[int] = None,
     planner: Optional[Planner] = None,
+    plan: Optional[ProgramPlan] = None,
 ) -> EvaluationResult:
     """Compute the minimum model of *program* over *database* naively.
 
@@ -52,6 +54,8 @@ def evaluate_naive(
     planner:
         Optional :class:`~repro.datalog.engine.planner.Planner` whose cache
         serves the compiled join/stratification plan.
+    plan:
+        Optional precompiled plan (the prepared-query path); used as-is.
     """
     program.validate()
     statistics = EvaluationStatistics()
@@ -63,7 +67,9 @@ def evaluate_naive(
         statistics.record_firing()
         statistics.record_fact(rule.head.predicate, is_new)
 
-    if planner is not None:
+    if plan is not None:
+        statistics.record_plan(cache_hit=True)
+    elif planner is not None:
         plan = planner.plan(program, database, statistics=statistics)
     else:
         plan = compile_program_plan(program, database)
@@ -100,3 +106,22 @@ def evaluate_naive(
 
     idb_facts = working.restrict(program.idb_predicates())
     return EvaluationResult(program, database, idb_facts, statistics)
+
+
+def evaluate_naive(
+    program: Program,
+    database: Database,
+    max_iterations: Optional[int] = None,
+    planner: Optional[Planner] = None,
+    plan: Optional[ProgramPlan] = None,
+) -> EvaluationResult:
+    """Deprecated free-function shim; use ``get_engine("naive").evaluate``."""
+    warnings.warn(
+        "evaluate_naive() is deprecated; use "
+        "get_engine('naive').evaluate(...) or QuerySession instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _evaluate(
+        program, database, max_iterations=max_iterations, planner=planner, plan=plan
+    )

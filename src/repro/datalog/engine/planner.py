@@ -44,7 +44,7 @@ from repro.datalog.atoms import Atom
 from repro.datalog.database import Database
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
-from repro.datalog.terms import Constant, Variable
+from repro.datalog.terms import Constant, Parameter, Variable
 
 
 @dataclass(frozen=True)
@@ -170,11 +170,16 @@ def _probe_hint(atom: Atom, bound: Set[Variable]) -> Optional[str]:
     """How :func:`candidate_tuples` will probe *atom* under *bound*, if at all.
 
     Mirrors its search exactly: the first argument (in term order) that is a
-    constant or an already-bound variable is the probe column.
+    constant or an already-bound variable is the probe column.  Parameter
+    slots count as bound — the concrete constant arrives at execution time,
+    but the access path (index probe on that position) is fixed now, which
+    is what lets a prepared query reuse one plan for every binding.
     """
     for position, term in enumerate(atom.terms):
         if isinstance(term, Constant):
             return f"{atom.predicate}[{position}]={term.value}"
+        if isinstance(term, Parameter):
+            return f"{atom.predicate}[{position}]=${term.name}"
         if isinstance(term, Variable) and term in bound:
             return f"{atom.predicate}[{position}]={term.name}"
     return None
@@ -290,11 +295,18 @@ def cardinality_estimates(program: Program, database: Database) -> Dict[str, int
     predicates are estimated near-empty for the static (first-pass) order,
     because when that order runs the stratum has derived nothing yet.
     """
+    from repro.datalog.transforms.parameters import is_parameter_relation
+
     idb = program.idb_predicates()
     total = max(database.fact_count(), 1)
     estimates: Dict[str, int] = {}
     for predicate in program.predicates():
-        if predicate in idb:
+        if is_parameter_relation(predicate):
+            # Deferred parameter seeds: exactly one fact per binding at run
+            # time (a handful under execute_many), regardless of what the
+            # database holds at plan time.
+            estimates[predicate] = 1
+        elif predicate in idb:
             estimates[predicate] = total
         else:
             estimates[predicate] = database.cardinality(predicate)

@@ -131,9 +131,12 @@ def engine_descriptions() -> Dict[str, str]:
 class FunctionEngine:
     """Adapter turning an ``evaluate(program, database, max_iterations)`` function into an Engine.
 
-    ``supports_planner`` marks functions that also accept a ``planner=``
-    keyword (the bottom-up engines); a planner passed to an engine that does
-    not is simply ignored — it is a performance hint, never semantics.
+    ``supports_planner`` marks functions that also accept ``planner=`` and
+    ``plan=`` keywords (the bottom-up engines); a planner passed to an
+    engine that does not is simply ignored — it is a performance hint,
+    never semantics.  A precompiled ``plan`` is different: it *is*
+    semantics (it carries the strata the engine executes), so passing one
+    to an engine that cannot honour it raises.
     """
 
     name: str
@@ -149,10 +152,17 @@ class FunctionEngine:
         *,
         max_iterations: Optional[int] = None,
         planner=None,
+        plan=None,
     ) -> EvaluationResult:
         kwargs = {}
         if self.supports_planner and planner is not None:
             kwargs["planner"] = planner
+        if plan is not None:
+            if not self.supports_planner:
+                raise EvaluationError(
+                    f"engine {self.name!r} cannot execute a precompiled plan"
+                )
+            kwargs["plan"] = plan
         if self.supports_max_iterations:
             return self.function(program, database, max_iterations=max_iterations, **kwargs)
         if max_iterations is not None:
@@ -190,9 +200,18 @@ class TransformedEngine:
         *,
         max_iterations: Optional[int] = None,
         planner=None,
+        plan=None,
     ) -> EvaluationResult:
         from repro.errors import ValidationError
 
+        if plan is not None:
+            # A precompiled plan describes the *unrewritten* program; running
+            # it against the rewrite's output would execute the wrong strata.
+            raise EvaluationError(
+                f"engine {self.name!r} rewrites the program per call and cannot "
+                "execute a precompiled plan; prepare the query instead "
+                "(QuerySession.prepare folds the rewrite into the pipeline)"
+            )
         try:
             rewritten = self.transform(program)
         except ValidationError as error:
@@ -211,14 +230,14 @@ class TransformedEngine:
 def _topdown(
     program: Program, database: Database, max_iterations: Optional[int] = None
 ) -> EvaluationResult:
-    from repro.datalog.engine.topdown import evaluate_topdown
+    from repro.datalog.engine.topdown import _evaluate
 
-    return evaluate_topdown(program, database, max_iterations=max_iterations)
+    return _evaluate(program, database, max_iterations=max_iterations)
 
 
 def _register_builtins() -> None:
-    from repro.datalog.engine.naive import evaluate_naive
-    from repro.datalog.engine.seminaive import evaluate_seminaive
+    from repro.datalog.engine.naive import _evaluate as naive_evaluate
+    from repro.datalog.engine.seminaive import _evaluate as seminaive_evaluate
     from repro.datalog.transforms.magic import magic_transform
 
     register_engine(
@@ -226,7 +245,7 @@ def _register_builtins() -> None:
             "naive",
             "naive bottom-up: re-evaluate every rule over the full model until fixpoint"
             " (stratified, planned joins)",
-            evaluate_naive,
+            naive_evaluate,
             supports_planner=True,
         )
     )
@@ -235,7 +254,7 @@ def _register_builtins() -> None:
             "seminaive",
             "semi-naive bottom-up: differential fixpoint over per-iteration deltas"
             " (stratified, planned joins)",
-            evaluate_seminaive,
+            seminaive_evaluate,
             supports_planner=True,
         )
     )

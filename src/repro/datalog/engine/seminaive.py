@@ -21,6 +21,7 @@ Two evaluation-level optimisations come from
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 from repro.datalog.database import Database
@@ -29,17 +30,18 @@ from repro.datalog.engine.base import (
     match_body,
     split_rules,
 )
-from repro.datalog.engine.planner import Planner, compile_program_plan
+from repro.datalog.engine.planner import Planner, ProgramPlan, compile_program_plan
 from repro.datalog.engine.stats import EvaluationStatistics
 from repro.datalog.program import Program
 from repro.errors import EvaluationError
 
 
-def evaluate_seminaive(
+def _evaluate(
     program: Program,
     database: Database,
     max_iterations: Optional[int] = None,
     planner: Optional[Planner] = None,
+    plan: Optional[ProgramPlan] = None,
 ) -> EvaluationResult:
     """Compute the minimum model of *program* over *database* semi-naively.
 
@@ -47,6 +49,10 @@ def evaluate_seminaive(
     normally the :class:`~repro.datalog.session.QuerySession`'s), serves the
     compiled :class:`~repro.datalog.engine.planner.ProgramPlan` from its
     cache across repeated evaluations; otherwise the plan is compiled fresh.
+    *plan*, when supplied (the prepared-query path), is used as-is — the
+    caller guarantees it was compiled for this program's proper rules; the
+    program may additionally carry ground fact rules (per-binding seeds),
+    which are loaded before the fixpoint like any other facts.
     ``max_iterations`` bounds the *total* fixpoint rounds across all strata.
     """
     program.validate()
@@ -62,7 +68,9 @@ def evaluate_seminaive(
         is_new = working.add_fact(rule.head.predicate, values)
         statistics.record_fact(rule.head.predicate, is_new)
 
-    if planner is not None:
+    if plan is not None:
+        statistics.record_plan(cache_hit=True)
+    elif planner is not None:
         plan = planner.plan(program, database, statistics=statistics)
     else:
         plan = compile_program_plan(program, database)
@@ -133,3 +141,27 @@ def evaluate_seminaive(
 
     idb_facts = working.restrict(idb_predicates)
     return EvaluationResult(program, database, idb_facts, statistics)
+
+
+def evaluate_seminaive(
+    program: Program,
+    database: Database,
+    max_iterations: Optional[int] = None,
+    planner: Optional[Planner] = None,
+    plan: Optional[ProgramPlan] = None,
+) -> EvaluationResult:
+    """Deprecated free-function shim; use ``get_engine("seminaive").evaluate``.
+
+    The registry (:mod:`repro.datalog.engine.registry`) and the
+    :class:`~repro.datalog.session.QuerySession` facade are the supported
+    entry points; this wrapper only remains so old imports keep working.
+    """
+    warnings.warn(
+        "evaluate_seminaive() is deprecated; use "
+        "get_engine('seminaive').evaluate(...) or QuerySession instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _evaluate(
+        program, database, max_iterations=max_iterations, planner=planner, plan=plan
+    )

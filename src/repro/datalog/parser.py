@@ -9,8 +9,9 @@ The accepted syntax mirrors Example 1.1::
 * A line starting with ``?`` declares the goal atom.
 * Rules are ``head :- body.``; facts are ``head.`` (trailing period optional).
 * Identifiers starting with an upper-case letter or ``_`` are variables;
-  everything else (lower-case identifiers, integers, quoted strings) is a
-  constant or predicate symbol depending on position.
+  ``$name`` is a query parameter (a placeholder for a constant bound at
+  execution time); everything else (lower-case identifiers, integers,
+  quoted strings) is a constant or predicate symbol depending on position.
 * ``%`` and ``#`` start comments that run to the end of the line.
 """
 
@@ -23,7 +24,7 @@ from typing import Iterator, List, Optional, Tuple
 from repro.datalog.atoms import Atom
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
-from repro.datalog.terms import Constant, Term, Variable
+from repro.datalog.terms import Constant, Parameter, Term, Variable
 from repro.errors import ParseError
 
 _TOKEN_PATTERN = re.compile(
@@ -38,6 +39,7 @@ _TOKEN_PATTERN = re.compile(
   | (?P<QUERY>\?)
   | (?P<STRING>"[^"]*"|'[^']*')
   | (?P<NUMBER>-?\d+)
+  | (?P<PARAM>\$[A-Za-z_][A-Za-z0-9_]*)
   | (?P<IDENT>[A-Za-z_][A-Za-z0-9_]*)
     """,
     re.VERBOSE,
@@ -118,6 +120,8 @@ class _Parser:
             return Constant(int(token.text))
         if token.kind == "STRING":
             return Constant(token.text[1:-1])
+        if token.kind == "PARAM":
+            return Parameter(token.text[1:])
         if token.kind == "IDENT":
             if token.text[0].isupper() or token.text[0] == "_":
                 return Variable(token.text)

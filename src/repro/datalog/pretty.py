@@ -8,13 +8,15 @@ from repro.datalog.atoms import Atom
 from repro.datalog.database import Database
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
-from repro.datalog.terms import Constant, Term, Variable
+from repro.datalog.terms import Constant, Parameter, Term, Variable
 
 
 def format_term(term: Term) -> str:
     """Render a term; quoted if a constant would otherwise read as a variable."""
     if isinstance(term, Variable):
         return term.name
+    if isinstance(term, Parameter):
+        return f"${term.name}"
     value = term.value
     if isinstance(value, str):
         if value and (value[0].isupper() or value[0] == "_" or not value.isidentifier()):

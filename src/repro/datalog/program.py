@@ -13,7 +13,7 @@ from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
 from repro.datalog.atoms import Atom
 from repro.datalog.rules import Rule
-from repro.datalog.terms import Constant, Variable
+from repro.datalog.terms import Constant, Parameter, Variable
 from repro.errors import ValidationError
 
 
@@ -119,6 +119,25 @@ class Program:
                     seen.append(var)
         return tuple(seen)
 
+    def parameters(self) -> Tuple[Parameter, ...]:
+        """All parameters of the goal and rules, goal first, in order of occurrence.
+
+        A program with parameters is a *template*: it cannot be evaluated
+        directly but can be compiled once per binding pattern into a
+        :class:`~repro.datalog.prepared.PreparedQuery` and then executed
+        many times with different constants.
+        """
+        seen = []
+        if self.goal is not None:
+            for parameter in self.goal.parameters():
+                if parameter not in seen:
+                    seen.append(parameter)
+        for rule in self.rules:
+            for parameter in rule.parameters():
+                if parameter not in seen:
+                    seen.append(parameter)
+        return tuple(seen)
+
     # ------------------------------------------------------------------
     # Validation
     # ------------------------------------------------------------------
@@ -127,10 +146,23 @@ class Program:
         return all(rule.is_safe() for rule in self.rules)
 
     def validate(self) -> None:
-        """Check arity consistency, safety and that the goal is an IDB."""
+        """Check arity consistency, safety, rule groundability, and the goal.
+
+        Goal *parameters* are legal (the program is then a prepared-query
+        template); parameters inside rules are not — they must first be
+        compiled away into deferred seed rules by
+        :func:`repro.datalog.transforms.parameters.parameterize_rules`
+        (which :meth:`repro.datalog.session.QuerySession.prepare` does).
+        """
         self.predicate_arities()
         for rule in self.rules:
             rule.check_safe()
+            if rule.parameters():
+                raise ValidationError(
+                    f"rule {rule} contains unbound parameters; prepare the query "
+                    "(QuerySession.prepare or DatalogService.prepare) instead of "
+                    "evaluating the template directly"
+                )
         if self.goal is not None and self.goal.predicate not in self.idb_predicates():
             raise ValidationError(
                 f"goal predicate {self.goal.predicate} is not defined by any rule"

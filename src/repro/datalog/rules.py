@@ -6,7 +6,7 @@ from dataclasses import dataclass
 from typing import Iterable, Mapping, Tuple
 
 from repro.datalog.atoms import Atom
-from repro.datalog.terms import Constant, Term, Variable
+from repro.datalog.terms import Constant, Parameter, Term, Variable
 from repro.errors import UnsafeRuleError
 
 
@@ -46,6 +46,22 @@ class Rule:
                 if constant not in seen:
                     seen.append(constant)
         return tuple(seen)
+
+    def parameters(self) -> Tuple[Parameter, ...]:
+        """All parameters of the rule, in order of first occurrence."""
+        seen = []
+        for atom in (self.head, *self.body):
+            for parameter in atom.parameters():
+                if parameter not in seen:
+                    seen.append(parameter)
+        return tuple(seen)
+
+    def bind_parameters(self, bindings: Mapping[str, object]) -> "Rule":
+        """Replace bound parameters with constants in head and body."""
+        return Rule(
+            self.head.bind_parameters(bindings),
+            tuple(atom.bind_parameters(bindings) for atom in self.body),
+        )
 
     def body_predicates(self) -> Tuple[str, ...]:
         """Predicate symbols occurring in the body, with duplicates."""

@@ -1,0 +1,368 @@
+"""DatalogService: a thread-safe traffic layer over prepared queries.
+
+The ROADMAP's north star is a system serving heavy traffic — many clients,
+many distinct constants, one shared database.  This module is that front
+door::
+
+    from repro.datalog import Database, DatalogService
+    from repro.datalog.transforms import MagicSets
+
+    service = DatalogService(database)
+    service.register_program(
+        "ancestors",
+        \"\"\"?anc($who, Y)
+           anc(X, Y) :- par(X, Y).
+           anc(X, Y) :- anc(X, Z), par(Z, Y).\"\"\",
+        transforms=(MagicSets(),),
+    )
+    service.execute("ancestors", who="john")      # frozenset of answers
+    service.execute_many("ancestors", [{"who": w} for w in pool])
+    for row in service.cursor("ancestors", who="john"):
+        ...
+
+Contract:
+
+* **Registration and preparation** are serialized by the service lock;
+  preparation happens at most once per registered query and is amortized
+  across all subsequent traffic.
+* **Execution** takes one short critical section (the LRU cache lookup);
+  the engine run itself is lock-free: concurrent ``execute`` calls share
+  the prepared plan and the database snapshot (whose lazily built
+  snapshots/indexes tolerate concurrent readers) and each run over their
+  own copy-on-write overlay, so threads never contend on the fixpoint.
+* **Results** are immutable ``frozenset`` values cached in a bounded LRU
+  keyed by ``(query, engine, params, write epoch, database.version)`` —
+  every write installs a new epoch, implicitly invalidating every cached
+  answer without a scan.
+* **Writes** go through :meth:`add_facts`, which never mutates the
+  snapshot in-flight readers are using: it copies the current database,
+  applies the batch, and atomically swaps the new snapshot in.  Requests
+  already running finish against the old snapshot; the next request sees
+  the new one.  Mutating the database object *directly* while requests
+  are in flight is outside the contract (the version component of the
+  cache key still prevents stale serving, but concurrent reads against an
+  in-place mutation are not protected).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_program
+from repro.datalog.terms import Constant
+from repro.datalog.prepared import AnswerCursor, PreparedQuery
+from repro.datalog.program import Program
+from repro.datalog.transforms.pipeline import Pipeline, Transform
+from repro.errors import EvaluationError
+
+
+class QueryNotRegisteredError(EvaluationError):
+    """Raised when a service is asked for a query name it does not know."""
+
+
+class DatalogService:
+    """Thread-safe registry + prepared-query executor + bounded result cache."""
+
+    def __init__(
+        self,
+        database: Optional[Database] = None,
+        *,
+        cache_size: int = 256,
+        default_engine: str = "seminaive",
+    ):
+        if cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
+        self._database = database if database is not None else Database()
+        self._default_engine = default_engine
+        self._cache_size = cache_size
+        self._lock = threading.RLock()
+        # name -> (template program, pipeline, default engine name)
+        self._programs: Dict[str, Tuple[Program, Pipeline, str]] = {}
+        # name -> (PreparedQuery, epoch it was compiled under); the tuple is
+        # read atomically without the lock on the hot path, so a stale entry
+        # observed during a write swap still carries its own (old) epoch and
+        # can never poison the cache for the new snapshot.
+        self._prepared: Dict[str, Tuple[PreparedQuery, int]] = {}
+        # bumped whenever add_facts installs a new database snapshot; part of
+        # every cache key, so a swap invalidates all cached answers at once
+        self._epoch = 0
+        # (name, engine, params, epoch, db version) -> answers, LRU order
+        self._cache: "OrderedDict[Tuple, FrozenSet[Tuple]]" = OrderedDict()
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._executions = 0
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    @property
+    def database(self) -> Database:
+        """The current database snapshot queries run over.
+
+        :meth:`add_facts` replaces this snapshot rather than mutating it, so
+        a reference obtained here stays internally consistent but may grow
+        stale after a write — re-read the property per request.
+        """
+        return self._database
+
+    def register_program(
+        self,
+        name: str,
+        program,
+        *,
+        transforms: Iterable[Transform] = (),
+        engine: Optional[str] = None,
+        replace: bool = False,
+    ) -> None:
+        """Register a query template under *name*.
+
+        *program* is a :class:`~repro.datalog.program.Program` or Datalog
+        source text (parsed here); its goal may carry ``$parameters``.
+        *transforms* become the prepared pipeline (e.g. ``MagicSets()``);
+        *engine* fixes the default execution strategy.  Re-registering an
+        existing name requires ``replace=True`` and drops the old prepared
+        query and its cached results.
+        """
+        template = parse_program(program) if isinstance(program, str) else program
+        if not isinstance(template, Program):
+            inner = getattr(template, "program", None)
+            if isinstance(inner, Program):
+                template = inner
+            else:
+                raise TypeError(
+                    f"expected a Program or source text, got {type(program).__name__}"
+                )
+        if template.goal is None:
+            raise EvaluationError(f"query {name!r} has no goal")
+        pipeline = (
+            transforms if isinstance(transforms, Pipeline) else Pipeline(transforms)
+        )
+        with self._lock:
+            if not replace and name in self._programs:
+                raise ValueError(
+                    f"query {name!r} is already registered (pass replace=True)"
+                )
+            self._programs[name] = (template, pipeline, engine or self._default_engine)
+            self._prepared.pop(name, None)
+            for key in [key for key in self._cache if key[0] == name]:
+                del self._cache[key]
+
+    def registered_queries(self) -> Tuple[str, ...]:
+        """Names of all registered queries, sorted."""
+        with self._lock:
+            return tuple(sorted(self._programs))
+
+    def prepare(self, name: str) -> PreparedQuery:
+        """The (lazily compiled, cached) prepared query for *name*.
+
+        The first call per name pays for the pipeline, the deferred-seed
+        compilation, and the join plan; every later call — and every
+        :meth:`execute` — reuses the same object.
+        """
+        return self._prepared_entry(name)[0]
+
+    def _prepared_entry(self, name: str) -> Tuple[PreparedQuery, int]:
+        # Lock-free fast path: a plain dict read is atomic under the GIL,
+        # and entries are only ever inserted whole or dropped, never
+        # mutated in place.
+        entry = self._prepared.get(name)
+        if entry is not None:
+            return entry
+        with self._lock:
+            entry = self._prepared.get(name)
+            if entry is not None:
+                return entry
+            try:
+                template, pipeline, engine = self._programs[name]
+            except KeyError:
+                known = ", ".join(sorted(self._programs)) or "(none)"
+                raise QueryNotRegisteredError(
+                    f"no query registered under {name!r}; registered: {known}"
+                ) from None
+            prepared = PreparedQuery(
+                template, self._database, pipeline, default_engine=engine
+            )
+            entry = (prepared, self._epoch)
+            self._prepared[name] = entry
+            return entry
+
+    # ------------------------------------------------------------------
+    # Traffic path
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        name: str,
+        params: Optional[Mapping[str, object]] = None,
+        *,
+        engine: Optional[str] = None,
+        fresh: bool = False,
+        max_iterations: Optional[int] = None,
+        **kw_params,
+    ) -> FrozenSet[Tuple]:
+        """Answers for one request; served from the LRU cache when possible.
+
+        The cache key includes the service's write epoch and the snapshot's
+        :attr:`Database.version`, so results are never stale: any write
+        silently invalidates every cached entry.  ``fresh=True`` bypasses
+        the cache (benchmarks).
+        """
+        bindings = dict(params or {})
+        bindings.update(kw_params)
+        prepared, epoch = self._prepared_entry(name)
+        key = self._cache_key(name, prepared, epoch, bindings, engine)
+        if not fresh and self._cache_size:
+            with self._lock:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache.move_to_end(key)
+                    self._cache_hits += 1
+                    return cached
+                self._cache_misses += 1
+        answers = prepared.answers(
+            bindings, engine=engine, max_iterations=max_iterations
+        )
+        with self._lock:
+            self._executions += 1
+            if not fresh and self._cache_size:
+                self._cache[key] = answers
+                self._cache.move_to_end(key)
+                while len(self._cache) > self._cache_size:
+                    self._cache.popitem(last=False)
+        return answers
+
+    def _cache_key(
+        self,
+        name: str,
+        prepared: PreparedQuery,
+        epoch: int,
+        bindings: Mapping[str, object],
+        engine: Optional[str],
+    ) -> Tuple:
+        # Normalise Constant-wrapped values so `who="john"` and
+        # `who=Constant("john")` share one entry, and key on the *prepared
+        # query's* snapshot (not self._database, which a concurrent write
+        # may have swapped) so an answer computed against an old snapshot
+        # can only ever be cached under that old snapshot's epoch/version.
+        normalized = frozenset(
+            (key, value.value if isinstance(value, Constant) else value)
+            for key, value in bindings.items()
+        )
+        return (
+            name,
+            engine or prepared.default_engine,
+            normalized,
+            epoch,
+            prepared.database.version,
+        )
+
+    def execute_many(
+        self,
+        name: str,
+        bindings_list: Iterable[Mapping[str, object]],
+        *,
+        engine: Optional[str] = None,
+        max_iterations: Optional[int] = None,
+    ) -> List[FrozenSet[Tuple]]:
+        """Answers for a batch of requests, sharing one fixpoint when sound.
+
+        Delegates to :meth:`PreparedQuery.execute_many`; the batch bypasses
+        the result cache (it exists to amortize the fixpoint itself), but
+        its per-binding answers are inserted into the cache afterwards so
+        follow-up single requests hit.  The execution counter reflects
+        engine work actually done: one for a shared fixpoint, one per
+        binding otherwise.
+        """
+        materialized = [dict(bindings) for bindings in bindings_list]
+        prepared, epoch = self._prepared_entry(name)
+        results = prepared.execute_many(
+            materialized, engine=engine, max_iterations=max_iterations
+        )
+        if materialized:
+            engine_runs = (
+                1
+                if prepared.uses_shared_fixpoint(len(materialized), engine)
+                else len(materialized)
+            )
+            with self._lock:
+                self._executions += engine_runs
+                if self._cache_size:
+                    for bindings, answers in zip(materialized, results):
+                        key = self._cache_key(name, prepared, epoch, bindings, engine)
+                        self._cache[key] = answers
+                        self._cache.move_to_end(key)
+                    while len(self._cache) > self._cache_size:
+                        self._cache.popitem(last=False)
+        return results
+
+    def cursor(
+        self,
+        name: str,
+        params: Optional[Mapping[str, object]] = None,
+        *,
+        engine: Optional[str] = None,
+        batch_size: int = 256,
+        max_iterations: Optional[int] = None,
+        **kw_params,
+    ) -> AnswerCursor:
+        """A streaming cursor over one request's answers (cache-served)."""
+        answers = self.execute(
+            name,
+            params,
+            engine=engine,
+            max_iterations=max_iterations,
+            **kw_params,
+        )
+        return AnswerCursor(answers, batch_size)
+
+    # ------------------------------------------------------------------
+    # Writes and observability
+    # ------------------------------------------------------------------
+    def add_facts(self, facts: Iterable) -> int:
+        """Bulk-load facts by installing a new database snapshot.
+
+        The current snapshot is copied, the batch applied (single version
+        bump), and the copy atomically swapped in; requests already running
+        finish safely against the old snapshot, and a new epoch invalidates
+        every cached result and every prepared compilation (they recompile
+        lazily against the new snapshot).  Writes therefore cost O(data) —
+        batch them — but never block or corrupt concurrent reads.
+        """
+        with self._lock:
+            fresh = self._database.copy()
+            added = fresh.add_facts(facts)
+            if added:
+                self._database = fresh
+                self._prepared.clear()
+                self._epoch += 1
+            return added
+
+    def statistics(self) -> Dict[str, int]:
+        """Operational counters: cache behaviour and work performed."""
+        with self._lock:
+            return {
+                "registered_queries": len(self._programs),
+                "prepared_queries": len(self._prepared),
+                "executions": self._executions,
+                "cache_entries": len(self._cache),
+                "cache_hits": self._cache_hits,
+                "cache_misses": self._cache_misses,
+                "write_epoch": self._epoch,
+                "database_version": self._database.version,
+                "database_facts": self._database.fact_count(),
+            }
+
+    def clear_cache(self) -> None:
+        """Drop all cached results (counters are kept)."""
+        with self._lock:
+            self._cache.clear()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"DatalogService(queries={sorted(self._programs)}, "
+                f"cache={len(self._cache)}/{self._cache_size}, "
+                f"database={self._database!r})"
+            )

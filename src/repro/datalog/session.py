@@ -35,6 +35,7 @@ from repro.datalog.engine.registry import (
     available_engines,
     get_engine,
 )
+from repro.datalog.prepared import PreparedQuery
 from repro.datalog.program import Program
 from repro.datalog.transforms.pipeline import Pipeline, PipelineOutcome, Transform
 
@@ -72,6 +73,8 @@ class QuerySession:
         # object is kept both to pin it alive and to detect replacement.
         self._results: Dict[Tuple[str, Optional[int]], Tuple[object, EvaluationResult]] = {}
         self._results_version = database.version
+        # engine name -> PreparedQuery compiled for this session's pipeline
+        self._prepared: Dict[str, PreparedQuery] = {}
 
     # ------------------------------------------------------------------
     # Builder steps
@@ -152,6 +155,32 @@ class QuerySession:
         if plans:
             text += "\n" + self.query_plan().describe()
         return text
+
+    # ------------------------------------------------------------------
+    # Prepared queries
+    # ------------------------------------------------------------------
+    def prepare(self, engine: str = DEFAULT_ENGINE) -> PreparedQuery:
+        """Compile this session's query once; execute it per binding afterwards.
+
+        The session's program may contain :class:`~repro.datalog.terms.Parameter`
+        terms (``?anc($who, Y)``): the pipeline, the deferred-seed
+        compilation, and the join plan all run now, and the returned
+        :class:`~repro.datalog.prepared.PreparedQuery` is then bound and
+        executed with concrete constants — thousands of times, concurrently
+        — without repeating any of that work.
+
+        Rewrite engines (``magic``) are folded into the pipeline: the
+        rewrite becomes a compiled stage and execution runs the delegate
+        engine (``seminaive``).  Prepared queries are cached per engine
+        name on the session.
+        """
+        prepared = self._prepared.get(engine)
+        if prepared is None:
+            prepared = PreparedQuery(
+                self._program, self._database, self._pipeline, default_engine=engine
+            )
+            self._prepared[engine] = prepared
+        return prepared
 
     # ------------------------------------------------------------------
     # Evaluation

@@ -1,8 +1,17 @@
-"""Terms of the Datalog language: variables and constants.
+"""Terms of the Datalog language: variables, constants, and parameters.
 
 The paper (Section 2.1) assumes three disjoint countably infinite sets of
 symbols: constants, variables, and predicates.  Here variables and constants
 are immutable value objects; predicates are plain strings attached to atoms.
+
+:class:`Parameter` is the one extension beyond the paper's syntax: a named
+placeholder (written ``$who``) for a constant that will be supplied at
+execution time.  The paper's rewrites — adornment, magic sets, constant
+propagation — depend only on *which* goal argument positions are bound, not
+on the concrete constants, so a parameter behaves like a constant for every
+binding-pattern analysis while letting the expensive rewrite be compiled
+once and executed many times with different bindings (see
+:mod:`repro.datalog.prepared`).
 """
 
 from __future__ import annotations
@@ -45,7 +54,27 @@ class Constant:
         return f"Constant({self.value!r})"
 
 
-Term = Union[Variable, Constant]
+@dataclass(frozen=True, order=True)
+class Parameter:
+    """A named query parameter, e.g. ``$who``.
+
+    A parameter stands for a constant whose value is supplied when a
+    prepared query is bound (:meth:`repro.datalog.prepared.PreparedQuery.bind`).
+    For binding-pattern analyses (adornment, magic sets, join planning) a
+    parameter slot counts as *bound*, exactly like a constant; engines
+    refuse to evaluate programs still containing unbound parameters.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name!r})"
+
+
+Term = Union[Variable, Constant, Parameter]
 
 
 def is_variable(term: Term) -> bool:
@@ -58,17 +87,26 @@ def is_constant(term: Term) -> bool:
     return isinstance(term, Constant)
 
 
+def is_parameter(term: Term) -> bool:
+    """Return ``True`` if *term* is a :class:`Parameter`."""
+    return isinstance(term, Parameter)
+
+
 def make_term(value) -> Term:
     """Coerce a raw Python value into a term.
 
     Strings starting with an upper-case letter or underscore become
-    variables (the Prolog convention used throughout the paper); anything
-    else becomes a constant.  Existing terms are returned unchanged.
+    variables (the Prolog convention used throughout the paper); strings
+    starting with ``$`` become parameters; anything else becomes a
+    constant.  Existing terms are returned unchanged.
     """
-    if isinstance(value, (Variable, Constant)):
+    if isinstance(value, (Variable, Constant, Parameter)):
         return value
-    if isinstance(value, str) and value and (value[0].isupper() or value[0] == "_"):
-        return Variable(value)
+    if isinstance(value, str) and value:
+        if value[0].isupper() or value[0] == "_":
+            return Variable(value)
+        if value[0] == "$" and len(value) > 1:
+            return Parameter(value[1:])
     return Constant(value)
 
 

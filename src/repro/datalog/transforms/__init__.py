@@ -18,6 +18,12 @@ from repro.datalog.transforms.constants import (
     propagate_goal_constant,
 )
 from repro.datalog.transforms.magic import magic_predicates, magic_transform
+from repro.datalog.transforms.parameters import (
+    is_parameter_relation,
+    parameter_relation,
+    parameter_seed_rules,
+    parameterize_rules,
+)
 from repro.datalog.transforms.pipeline import (
     Adorn,
     FunctionTransform,
@@ -54,8 +60,12 @@ __all__ = [
     "collapse_database",
     "collapse_edbs",
     "eliminate_zero_ary",
+    "is_parameter_relation",
     "magic_predicates",
     "magic_transform",
+    "parameter_relation",
+    "parameter_seed_rules",
+    "parameterize_rules",
     "propagate_goal_constant",
     "rename_apart",
     "split_adorned_name",

@@ -14,17 +14,22 @@ from typing import Dict, List, Set, Tuple
 from repro.datalog.atoms import Atom
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
-from repro.datalog.terms import Constant, Variable
+from repro.datalog.terms import Constant, Parameter, Variable
 from repro.errors import ValidationError
 
 ADORNMENT_SEPARATOR = "__"
 
 
 def adornment_of_atom(atom: Atom, bound_variables: Set[Variable]) -> str:
-    """The ``b``/``f`` pattern of *atom* given the variables already bound."""
+    """The ``b``/``f`` pattern of *atom* given the variables already bound.
+
+    Parameters count as bound: the adornment describes *which* positions
+    carry a binding, not the concrete constant, which is exactly why a
+    prepared query can reuse one adorned program for every binding.
+    """
     letters = []
     for term in atom.terms:
-        if isinstance(term, Constant) or term in bound_variables:
+        if isinstance(term, (Constant, Parameter)) or term in bound_variables:
             letters.append("b")
         else:
             letters.append("f")
@@ -75,7 +80,7 @@ def adorn_program(program: Program) -> AdornedProgram:
     idb = program.idb_predicates()
     goal = program.goal
     goal_adornment = "".join(
-        "b" if isinstance(term, Constant) else "f" for term in goal.terms
+        "b" if isinstance(term, (Constant, Parameter)) else "f" for term in goal.terms
     )
 
     worklist: List[Tuple[str, str]] = [(goal.predicate, goal_adornment)]

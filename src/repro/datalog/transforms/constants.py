@@ -29,13 +29,15 @@ from typing import Dict, List, Optional, Tuple
 from repro.datalog.atoms import Atom
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
-from repro.datalog.terms import Constant, Variable
+from repro.datalog.terms import Constant, Parameter, Variable
 from repro.errors import ValidationError
 
 
 def _bound_positions(goal: Atom) -> Tuple[int, ...]:
     return tuple(
-        position for position, term in enumerate(goal.terms) if isinstance(term, Constant)
+        position
+        for position, term in enumerate(goal.terms)
+        if isinstance(term, (Constant, Parameter))
     )
 
 
@@ -105,7 +107,7 @@ def propagate_goal_constant(
         raise ValidationError(f"goal position {position} is not binding invariant")
 
     constant = goal.terms[position]
-    if not isinstance(constant, Constant):
+    if not isinstance(constant, (Constant, Parameter)):
         raise ValidationError(f"goal position {position} is not bound to a constant")
 
     target = goal.predicate
@@ -117,7 +119,12 @@ def propagate_goal_constant(
                 f"predicate {target} is used by other rules; cannot specialise it in isolation"
             )
 
-    suffix = specialized_suffix if specialized_suffix is not None else str(constant.value)
+    if specialized_suffix is not None:
+        suffix = specialized_suffix
+    elif isinstance(constant, Parameter):
+        suffix = f"_{constant.name}"
+    else:
+        suffix = str(constant.value)
     specialized = f"{target}{suffix}"
 
     def drop_position(atom: Atom) -> Atom:
@@ -133,6 +140,15 @@ def propagate_goal_constant(
         substitution: Dict[Variable, Constant] = {}
         if isinstance(head_term, Variable):
             substitution[head_term] = constant
+        elif isinstance(constant, Parameter):
+            # Whether a constant-pinned head matches the parameter is only
+            # known at bind time; specialising here would be unsound.
+            raise ValidationError(
+                f"rule {rule} pins goal position {position} to {head_term}; "
+                "cannot specialise against parameter ${} at prepare time".format(
+                    constant.name
+                )
+            )
         elif head_term != constant:
             # This rule can never contribute to the selected goal.
             continue

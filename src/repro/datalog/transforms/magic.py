@@ -17,7 +17,7 @@ from typing import List
 from repro.datalog.atoms import Atom
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
-from repro.datalog.terms import Constant
+from repro.datalog.terms import Constant, Parameter
 from repro.datalog.transforms.adornment import (
     AdornedProgram,
     adorn_program,
@@ -37,13 +37,18 @@ def magic_name(adorned_predicate: str) -> str:
 def magic_transform(program: Program) -> Program:
     """Apply the generalized magic-set transformation to *program*.
 
-    The program must have a goal containing at least one constant (otherwise
-    there is no binding to propagate and the transformation would be the
-    identity up to renaming).
+    The program must have a goal containing at least one bound argument — a
+    constant or a :class:`~repro.datalog.terms.Parameter` (otherwise there
+    is no binding to propagate and the transformation would be the identity
+    up to renaming).  With parameters, the seed rule carries the parameters;
+    :func:`repro.datalog.transforms.parameters.parameterize_rules` then
+    turns it into a deferred seed read from a ``__param_*`` relation, so
+    the rewrite is compiled once per binding pattern and the concrete
+    constants only arrive at execution time.
     """
     if program.goal is None:
         raise ValidationError("magic sets require a goal")
-    if not any(isinstance(term, Constant) for term in program.goal.terms):
+    if not any(isinstance(term, (Constant, Parameter)) for term in program.goal.terms):
         raise ValidationError("magic sets require a goal with at least one bound argument")
 
     adorned: AdornedProgram = adorn_program(program)

@@ -1,0 +1,99 @@
+"""Compiling parameters away: deferred seeding through ``__param_*`` relations.
+
+The rewrites of the paper (adornment, magic sets, constant propagation)
+depend only on the goal's *binding pattern*, so they happily carry
+:class:`~repro.datalog.terms.Parameter` terms through — a magic-set
+transformation of ``?anc($who, Y)`` produces the seed rule
+``magic_anc__bf($who).``.  Engines, however, need ground programs.  This
+module closes the gap with a purely syntactic final compile step:
+
+* :func:`parameterize_rules` rewrites every rule that still mentions a
+  parameter, replacing each occurrence of ``$who`` with a fresh variable
+  constrained by a new body atom ``__param_who(V)`` — the magic seed above
+  becomes ``magic_anc__bf(V) :- __param_who(V).``;
+* :func:`parameter_seed_rules` builds, at bind time, the ground facts
+  ``__param_who(john).`` that make those relations non-empty.
+
+The result is that *all* per-binding state lives in tiny single-fact
+relations appended at execution time, while the rewritten rules — and the
+join/stratification plan compiled for them — are shared by every binding
+(see :mod:`repro.datalog.prepared`).  Parameters in the *goal* atom are
+left in place: the goal is the answer-selection template and is bound
+separately when answers are extracted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from repro.datalog.atoms import Atom, ground_atom
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Parameter, Term, Variable, fresh_variable
+
+PARAMETER_RELATION_PREFIX = "__param_"
+
+
+def parameter_relation(name: str) -> str:
+    """The relation holding the bound value of parameter *name* at run time."""
+    return PARAMETER_RELATION_PREFIX + name
+
+
+def is_parameter_relation(predicate: str) -> bool:
+    """True if *predicate* is a deferred-seed relation minted by this module."""
+    return predicate.startswith(PARAMETER_RELATION_PREFIX)
+
+
+def parameter_seed_rules(bindings: Mapping[str, object]) -> Tuple[Rule, ...]:
+    """One ground fact rule ``__param_<name>(value).`` per binding.
+
+    Appended to a prepared program at execution time; loading them is the
+    *only* per-binding work besides the fixpoint itself.
+    """
+    return tuple(
+        Rule(ground_atom(parameter_relation(name), (value,)), ())
+        for name, value in sorted(bindings.items(), key=lambda item: item[0])
+    )
+
+
+def _replace_parameters(atom: Atom, mapping: Dict[Parameter, Variable]) -> Atom:
+    if not any(isinstance(term, Parameter) for term in atom.terms):
+        return atom
+    terms: Tuple[Term, ...] = tuple(
+        mapping[term] if isinstance(term, Parameter) else term for term in atom.terms
+    )
+    return Atom(atom.predicate, terms)
+
+
+def parameterize_rules(program: Program) -> Program:
+    """Rewrite parameterized rules into deferred-seed form.
+
+    Every rule mentioning parameters has each parameter ``$p`` replaced by
+    a fresh variable bound by a prepended body atom ``__param_p(V)``; rules
+    without parameters (the common case) are kept identical, so join plans
+    compiled for them stay valid.  The goal atom is returned unchanged —
+    its parameters are bound at answer-extraction time.
+    """
+    new_rules: List[Rule] = []
+    changed = False
+    for rule in program.rules:
+        rule_parameters = rule.parameters()
+        if not rule_parameters:
+            new_rules.append(rule)
+            continue
+        changed = True
+        used = {variable.name for variable in rule.variables()}
+        mapping: Dict[Parameter, Variable] = {
+            parameter: fresh_variable(f"P_{parameter.name}", used)
+            for parameter in rule_parameters
+        }
+        guards = tuple(
+            Atom(parameter_relation(parameter.name), (variable,))
+            for parameter, variable in mapping.items()
+        )
+        head = _replace_parameters(rule.head, mapping)
+        body = guards + tuple(_replace_parameters(atom, mapping) for atom in rule.body)
+        new_rules.append(Rule(head, body))
+    if not changed:
+        return program
+    return Program(tuple(new_rules), program.goal)

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Tuple
 
 from repro.datalog.database import Database
-from repro.datalog.engine.seminaive import evaluate_seminaive
+from repro.datalog.engine.registry import get_engine
 from repro.datalog.program import Program
 from repro.logic.structures import FiniteStructure, directed_cycle
 
@@ -29,7 +29,7 @@ def colour_sets_on_structure(
 ) -> Dict[object, FrozenSet[str]]:
     """For each domain element, the set of monadic IDB predicates it ends up in."""
     database = structure.to_database()
-    result = evaluate_seminaive(program, database)
+    result = get_engine("seminaive").evaluate(program, database)
     arities = program.predicate_arities()
     monadic_idbs = [p for p in program.idb_predicates() if arities[p] == 1]
     colours: Dict[object, set] = {element: set() for element in structure.domain}
@@ -79,7 +79,7 @@ class CycleDistinguishability:
 def boolean_answer_on_cycle(program: Program, cycle_length: int, edge: str = "b") -> bool:
     """Evaluate a program with a boolean (variable-free or ``p(X, X)``-style) goal on a cycle."""
     structure = directed_cycle(cycle_length, edge)
-    result = evaluate_seminaive(program, structure.to_database())
+    result = get_engine("seminaive").evaluate(program, structure.to_database())
     return bool(result.answers())
 
 

@@ -12,7 +12,9 @@ from repro.core.chain import ChainProgram
 from repro.core.counterexamples import cycle_length_program
 from repro.core.examples_catalog import program_a, section7_program
 from repro.core.workloads import chain_database
-from repro.datalog import evaluate_seminaive
+from repro.datalog import get_engine
+
+evaluate_seminaive = get_engine("seminaive").evaluate
 from repro.errors import ValidationError
 from repro.logic.fo import evaluate_query
 from repro.logic.structures import FiniteStructure

@@ -30,7 +30,9 @@ from repro.core.workloads import (
     parent_forest,
     same_generation_database,
 )
-from repro.datalog import evaluate_seminaive
+from repro.datalog import get_engine
+
+evaluate_seminaive = get_engine("seminaive").evaluate
 from repro.languages.cfg import parse_grammar
 
 

@@ -10,7 +10,9 @@ from repro.core.magic_chain import (
     rule_context_regex,
 )
 from repro.core.workloads import layered_anbn_graph
-from repro.datalog import evaluate_seminaive
+from repro.datalog import get_engine
+
+evaluate_seminaive = get_engine("seminaive").evaluate
 from repro.datalog.atoms import Atom
 from repro.datalog.terms import Variable
 from repro.errors import ValidationError

@@ -8,7 +8,9 @@ from repro.core.rewrites import (
     finite_language_to_monadic,
     monadic_program_from_dfa,
 )
-from repro.datalog import Database, evaluate_seminaive
+from repro.datalog import Database, get_engine
+
+evaluate_seminaive = get_engine("seminaive").evaluate
 from repro.datalog.atoms import Atom
 from repro.datalog.terms import Constant, Variable
 from repro.errors import ValidationError

@@ -8,7 +8,9 @@ from repro.core.ws1s_bridge import (
     program_semantics_formula,
     string_database,
 )
-from repro.datalog import evaluate_seminaive, parse_program
+from repro.datalog import get_engine, parse_program
+
+evaluate_seminaive = get_engine("seminaive").evaluate
 from repro.errors import ValidationError
 from repro.languages.regular.properties import is_finite_language
 

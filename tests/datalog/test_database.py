@@ -1,5 +1,7 @@
 """Unit tests for repro.datalog.database."""
 
+import pytest
+
 from repro.datalog.atoms import ground_atom
 from repro.datalog.database import Database
 
@@ -147,3 +149,123 @@ class TestIncrementalIndexes:
         v2 = database.version
         database.remove_relation("anc")
         assert database.version > v2
+
+
+class TestAddFacts:
+    def test_bulk_insert_mixes_atoms_and_pairs(self):
+        from repro.datalog import ground_atom
+
+        database = Database()
+        added = database.add_facts(
+            [ground_atom("par", ("a", "b")), ("par", ("b", "c")), ("anc", ("a", "c"))]
+        )
+        assert added == 3
+        assert database.relation("par") == {("a", "b"), ("b", "c")}
+        assert database.relation("anc") == {("a", "c")}
+
+    def test_bulk_insert_bumps_version_exactly_once(self):
+        database = Database({"par": [("a", "b")]})
+        v0 = database.version
+        added = database.add_facts([("par", ("x", str(i))) for i in range(1000)])
+        assert added == 1000
+        assert database.version == v0 + 1
+
+    def test_duplicates_are_not_counted_and_do_not_bump(self):
+        database = Database({"par": [("a", "b")]})
+        v0 = database.version
+        assert database.add_facts([("par", ("a", "b")), ("par", ("a", "b"))]) == 0
+        assert database.version == v0
+
+    def test_bulk_insert_maintains_live_indexes_and_snapshots(self):
+        database = Database({"par": [("a", "b")]})
+        database.relation("par")  # warm the snapshot
+        assert list(database.probe("par", 0, "a")) == [("a", "b")]  # build the index
+        database.add_facts([("par", ("a", "c")), ("par", ("d", "e"))])
+        assert sorted(database.probe("par", 0, "a")) == [("a", "b"), ("a", "c")]
+        assert database.relation("par") == {("a", "b"), ("a", "c"), ("d", "e")}
+
+    def test_from_facts_goes_through_bulk_insert(self):
+        from repro.datalog import ground_atom
+
+        database = Database.from_facts(
+            [ground_atom("par", ("a", "b")), ground_atom("par", ("b", "c"))]
+        )
+        assert database.fact_count() == 2
+        assert database.version == 1
+
+
+class TestOverlayDatabase:
+    def base(self):
+        return Database({"par": [("a", "b"), ("b", "c")], "anc": [("a", "b")]})
+
+    def test_reads_fall_through_to_the_base(self):
+        base = self.base()
+        overlay = base.overlay()
+        assert overlay.relation("par") == base.relation("par")
+        assert overlay.contains("par", ("a", "b"))
+        assert overlay.cardinality("par") == 2
+        assert overlay.predicates() == base.predicates()
+        assert list(overlay.probe("par", 0, "a")) == [("a", "b")]
+
+    def test_writes_stay_local(self):
+        base = self.base()
+        version = base.version
+        overlay = base.overlay()
+        assert overlay.add_fact("anc", ("a", "c"))
+        assert overlay.contains("anc", ("a", "c"))
+        assert not base.contains("anc", ("a", "c"))
+        assert base.version == version
+        assert overlay.relation("anc") == {("a", "b"), ("a", "c")}
+        assert overlay.cardinality("anc") == 2
+
+    def test_base_duplicates_are_refused(self):
+        overlay = self.base().overlay()
+        assert not overlay.add_fact("par", ("a", "b"))
+        assert overlay.add_facts([("par", ("a", "b")), ("par", ("z", "w"))]) == 1
+        assert overlay.fact_count() == self.base().fact_count() + 1
+
+    def test_probe_merges_base_and_local_buckets(self):
+        overlay = self.base().overlay()
+        overlay.add_fact("par", ("a", "x"))
+        assert sorted(overlay.probe("par", 0, "a")) == [("a", "b"), ("a", "x")]
+        # predicates absent locally keep the base's index path
+        assert list(overlay.probe("anc", 0, "a")) == [("a", "b")]
+
+    def test_copy_of_pristine_overlay_is_a_fresh_fork(self):
+        overlay = self.base().overlay()
+        fork = overlay.copy()
+        fork.add_fact("anc", ("x", "y"))
+        assert not overlay.contains("anc", ("x", "y"))
+
+    def test_copy_of_written_overlay_is_independent(self):
+        overlay = self.base().overlay()
+        overlay.add_fact("anc", ("a", "c"))
+        clone = overlay.copy()
+        assert clone.contains("anc", ("a", "c"))
+        clone.add_fact("anc", ("a", "d"))
+        assert not overlay.contains("anc", ("a", "d"))
+
+    def test_restrict_and_materialize_see_the_union(self):
+        overlay = self.base().overlay()
+        overlay.add_fact("anc", ("a", "c"))
+        restricted = overlay.restrict(["anc"])
+        assert restricted.relation("anc") == {("a", "b"), ("a", "c")}
+        assert restricted == overlay.restrict(["anc"])
+        full = overlay.materialize()
+        assert full.relation("par") == self.base().relation("par")
+        assert full.relation("anc") == {("a", "b"), ("a", "c")}
+
+    def test_update_from_delta_skips_base_facts(self):
+        overlay = self.base().overlay()
+        overlay.update(Database({"par": [("a", "b"), ("q", "r")]}))
+        assert overlay.cardinality("par") == 3  # only ("q","r") was new
+
+    def test_version_reflects_local_writes(self):
+        overlay = self.base().overlay()
+        v0 = overlay.version
+        overlay.add_fact("anc", ("a", "c"))
+        assert overlay.version > v0
+
+    def test_cannot_remove_relations(self):
+        with pytest.raises(TypeError, match="cannot remove"):
+            self.base().overlay().remove_relation("par")

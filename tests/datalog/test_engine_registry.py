@@ -24,11 +24,12 @@ from repro.datalog.engine import (
     FunctionEngine,
     available_engines,
     engine_descriptions,
-    evaluate_seminaive,
     get_engine,
     register_engine,
     unregister_engine,
 )
+
+evaluate_seminaive = get_engine("seminaive").evaluate
 
 
 # ----------------------------------------------------------------------
@@ -169,3 +170,40 @@ def test_parity_holds_via_direct_registry_calls(label, program, database):
     reference = get_engine("seminaive").evaluate(program, database).answers()
     assert get_engine("naive").evaluate(program, database).answers() == reference
     assert get_engine("topdown").evaluate(program, database).answers() == reference
+
+
+# ----------------------------------------------------------------------
+# Deprecated shims
+# ----------------------------------------------------------------------
+class TestDeprecatedShims:
+    def test_evaluate_free_functions_warn(self, family_database):
+        import repro.datalog.engine.naive as naive_module
+        import repro.datalog.engine.seminaive as seminaive_module
+        import repro.datalog.engine.topdown as topdown_module
+
+        program = program_a().program
+        for shim in (
+            naive_module.evaluate_naive,
+            seminaive_module.evaluate_seminaive,
+            topdown_module.evaluate_topdown,
+        ):
+            with pytest.warns(DeprecationWarning, match="deprecated"):
+                result = shim(program, family_database)
+            assert result.answers() == {("mary",), ("sue",), ("tim",)}
+
+    def test_relation_index_warns_but_still_forwards(self, family_database):
+        from repro.datalog.engine.base import RelationIndex
+
+        with pytest.warns(DeprecationWarning, match="RelationIndex"):
+            index = RelationIndex(family_database)
+        assert index.relation("par") == family_database.relation("par")
+        assert list(index.probe("par", 0, "john")) == [("john", "mary")]
+
+    def test_registry_engines_do_not_warn(self, family_database):
+        import warnings
+
+        program = program_a().program
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            for name in ("naive", "seminaive", "topdown", "magic"):
+                get_engine(name).evaluate(program, family_database)

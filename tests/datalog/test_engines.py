@@ -2,13 +2,11 @@
 
 import pytest
 
-from repro.datalog import (
-    Database,
-    evaluate_naive,
-    evaluate_seminaive,
-    evaluate_topdown,
-    parse_program,
-)
+from repro.datalog import Database, get_engine, parse_program
+
+evaluate_naive = get_engine("naive").evaluate
+evaluate_seminaive = get_engine("seminaive").evaluate
+evaluate_topdown = get_engine("topdown").evaluate
 from repro.datalog.engine.base import select_answers
 from repro.datalog.atoms import Atom
 from repro.errors import EvaluationError

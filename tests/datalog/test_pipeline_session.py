@@ -203,13 +203,12 @@ def test_compare_propagates_broken_engine_transforms():
 
 
 def test_replaced_engine_does_not_serve_stale_cache():
-    from repro.datalog import evaluate_seminaive
     from repro.datalog.engine import FunctionEngine, get_engine, register_engine
 
     session = QuerySession(program_a(), DATABASE)
     original_engine = get_engine("seminaive")
     first = session.evaluate("seminaive")
-    clone = FunctionEngine("seminaive", "replacement", evaluate_seminaive)
+    clone = FunctionEngine("seminaive", "replacement", original_engine.evaluate)
     register_engine(clone, replace=True)
     try:
         assert session.evaluate("seminaive") is not first

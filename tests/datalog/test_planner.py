@@ -21,7 +21,10 @@ from repro.core.workloads import (
     same_generation_database,
 )
 from repro.datalog import Database, Program, QuerySession
-from repro.datalog.engine import compile_program_plan, evaluate_naive, evaluate_seminaive
+from repro.datalog.engine import compile_program_plan, get_engine
+
+evaluate_naive = get_engine("naive").evaluate
+evaluate_seminaive = get_engine("seminaive").evaluate
 from repro.datalog.engine.base import match_body, split_rules
 from repro.datalog.engine.planner import Planner, order_body, plan_rule
 from repro.datalog.parser import parse_program, parse_rule

@@ -1,0 +1,373 @@
+"""Prepared parameterized queries: Parameter terms, deferred seeds, execution."""
+
+import pytest
+
+from repro.core.workloads import parent_forest
+from repro.datalog import (
+    Atom,
+    Constant,
+    Database,
+    Parameter,
+    QuerySession,
+    Variable,
+    format_program,
+    parse_atom,
+    parse_program,
+)
+from repro.datalog.prepared import AnswerCursor, PreparedQuery, resolve_prepared_engine
+from repro.datalog.terms import make_term
+from repro.datalog.transforms import (
+    MagicSets,
+    PropagateConstants,
+    adorn_program,
+    magic_transform,
+    parameter_relation,
+    parameter_seed_rules,
+    parameterize_rules,
+)
+from repro.errors import EvaluationError, ValidationError
+
+TEMPLATE_TEXT = """
+?anc($who, Y)
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- anc(X, Z), par(Z, Y).
+"""
+
+CONSTANT_TEXT = """
+?anc(john, Y)
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- anc(X, Z), par(Z, Y).
+"""
+
+DATABASE = parent_forest(120, seed=9, root_count=4)
+
+
+# ----------------------------------------------------------------------
+# Parameter terms: parsing, printing, coercion
+# ----------------------------------------------------------------------
+class TestParameterTerms:
+    def test_parser_reads_dollar_identifiers_as_parameters(self):
+        atom = parse_atom("anc($who, Y)")
+        assert atom.terms == (Parameter("who"), Variable("Y"))
+
+    def test_pretty_printer_round_trips_parameters(self):
+        program = parse_program(TEMPLATE_TEXT)
+        assert "?anc($who, Y)" in format_program(program)
+        assert parse_program(format_program(program)) == program
+
+    def test_make_term_coerces_dollar_strings(self):
+        assert make_term("$who") == Parameter("who")
+        assert make_term("who") == Constant("who")
+        assert make_term("Who") == Variable("Who")
+        # a bare "$" is not a parameter name
+        assert make_term("$") == Constant("$")
+
+    def test_atom_parameter_accessors_and_binding(self):
+        atom = Atom("anc", ("$who", "Y"))
+        assert atom.parameters() == (Parameter("who"),)
+        bound = atom.bind_parameters({"who": "john"})
+        assert bound == parse_atom("anc(john, Y)")
+        # unbound parameters are left intact for partial binding
+        two = Atom("sg", ("$left", "$right"))
+        assert two.bind_parameters({"left": 1}).parameters() == (Parameter("right"),)
+
+    def test_program_parameters_goal_first(self):
+        program = parse_program(TEMPLATE_TEXT)
+        assert program.parameters() == (Parameter("who"),)
+
+    def test_validate_rejects_parameters_inside_rules(self):
+        program = parse_program(
+            """
+            ?anc(Y)
+            anc(Y) :- par($who, Y).
+            """
+        )
+        with pytest.raises(ValidationError, match="prepare"):
+            program.validate()
+
+    def test_unbound_goal_parameter_fails_answer_selection(self):
+        session = QuerySession(parse_program(TEMPLATE_TEXT), DATABASE)
+        with pytest.raises(EvaluationError, match=r"\$who"):
+            session.answers()
+
+
+# ----------------------------------------------------------------------
+# Binding-pattern-driven transforms
+# ----------------------------------------------------------------------
+class TestParameterizedTransforms:
+    def test_parameter_counts_as_bound_for_adornment(self):
+        template = adorn_program(parse_program(TEMPLATE_TEXT))
+        concrete = adorn_program(parse_program(CONSTANT_TEXT))
+        assert template.goal_adornment == concrete.goal_adornment == "bf"
+        # the adorned rule sets are identical: the rewrite depends only on
+        # the binding pattern, never on the constant
+        assert template.program.rules == concrete.program.rules
+
+    def test_magic_transform_carries_parameters_into_the_seed(self):
+        transformed = magic_transform(parse_program(TEMPLATE_TEXT))
+        seed = transformed.rules[0]
+        assert seed.head.predicate == "magic_anc__bf"
+        assert seed.head.terms == (Parameter("who"),)
+
+    def test_parameterize_rules_compiles_seeds_to_param_relations(self):
+        transformed = magic_transform(parse_program(TEMPLATE_TEXT))
+        runtime = parameterize_rules(transformed)
+        runtime.validate()  # parameter-free rules
+        seed = runtime.rules[0]
+        assert seed.body[0].predicate == parameter_relation("who")
+        assert seed.head.terms == seed.body[0].terms  # same fresh variable
+        # untouched rules are the very same objects (plans stay valid)
+        for before, after in zip(transformed.rules[1:], runtime.rules[1:]):
+            assert before is after
+
+    def test_parameter_seed_rules_are_ground_facts(self):
+        (rule,) = parameter_seed_rules({"who": "john"})
+        assert rule.is_fact() and rule.head.is_ground()
+        assert rule.head.predicate == parameter_relation("who")
+        assert rule.head.as_fact_tuple() == ("john",)
+
+    def test_propagate_constants_accepts_parameters(self):
+        specialized = PropagateConstants().apply(parse_program(TEMPLATE_TEXT))
+        assert specialized.goal == parse_atom("anc_who(Y)")
+        runtime = parameterize_rules(specialized)
+        runtime.validate()
+
+
+# ----------------------------------------------------------------------
+# PreparedQuery semantics
+# ----------------------------------------------------------------------
+class TestPreparedQuery:
+    @pytest.fixture
+    def template(self):
+        return parse_program(TEMPLATE_TEXT)
+
+    def adhoc(self, constant, transform=None, engine="seminaive"):
+        session = QuerySession(
+            parse_program(CONSTANT_TEXT.replace("john", str(constant))), DATABASE
+        )
+        if transform is not None:
+            session = session.with_transforms(transform)
+        return session.answers(engine)
+
+    def test_parity_with_adhoc_constant_goal_across_engines(self, template):
+        for engine in ("seminaive", "naive", "topdown"):
+            prepared = QuerySession(template, DATABASE).prepare(engine=engine)
+            for constant in ("john", "p1", "p17"):
+                assert prepared.answers(who=constant) == self.adhoc(
+                    constant, engine=engine
+                ), (engine, constant)
+
+    def test_parity_with_adhoc_magic_pipeline(self, template):
+        prepared = (
+            QuerySession(template, DATABASE).with_transforms(MagicSets()).prepare()
+        )
+        for constant in ("john", "p1", "p17", "nobody"):
+            assert prepared.answers(who=constant) == self.adhoc(constant, MagicSets())
+
+    def test_prepare_folds_rewrite_engines(self, template):
+        prepared = QuerySession(template, DATABASE).prepare(engine="magic")
+        assert prepared.default_engine == "seminaive"
+        assert [stage.name for stage in prepared.provenance.stages] == ["magic"]
+        assert prepared.answers(who="john") == self.adhoc("john", MagicSets())
+
+    def test_execute_rejects_rewrite_engines(self, template):
+        prepared = QuerySession(template, DATABASE).prepare()
+        with pytest.raises(EvaluationError, match="rewrites the program per call"):
+            prepared.answers({"who": "john"}, engine="magic")
+
+    def test_binding_validation(self, template):
+        prepared = QuerySession(template, DATABASE).prepare()
+        with pytest.raises(EvaluationError, match=r"missing \$who"):
+            prepared.execute()
+        with pytest.raises(EvaluationError, match=r"unknown \$whom"):
+            prepared.execute(who="john", whom="mary")
+        with pytest.raises(EvaluationError, match="hashable"):
+            prepared.execute(who=["john"])
+
+    def test_plan_compiled_once_and_reused(self, template):
+        prepared = QuerySession(template, DATABASE).prepare()
+        plan = prepared.plan()
+        assert prepared.plan() is plan
+        result = prepared.execute(who="john")
+        assert result.statistics.plans_compiled == 0
+        assert result.statistics.plan_cache_hits == 1
+
+    def test_plan_refreshes_after_database_mutation(self, template):
+        database = parent_forest(40, seed=2)
+        prepared = QuerySession(template, database).prepare()
+        plan = prepared.plan()
+        before = prepared.answers(who="john")
+        database.add_fact("par", ("john", "newchild"))
+        assert prepared.plan() is not plan
+        assert prepared.answers(who="john") == before | {("newchild",)}
+
+    def test_execution_does_not_mutate_the_database(self, template):
+        version = DATABASE.version
+        facts = DATABASE.fact_count()
+        prepared = (
+            QuerySession(template, DATABASE).with_transforms(MagicSets()).prepare()
+        )
+        prepared.execute(who="john")
+        assert DATABASE.version == version
+        assert DATABASE.fact_count() == facts
+
+    def test_binding_pattern_and_parameters(self, template):
+        prepared = QuerySession(template, DATABASE).prepare()
+        assert prepared.parameters == ("who",)
+        assert prepared.binding_pattern == "bf"
+        assert "$who" in prepared.describe()
+
+    def test_prepared_queries_are_cached_per_engine_on_the_session(self, template):
+        session = QuerySession(template, DATABASE)
+        assert session.prepare() is session.prepare()
+        assert session.prepare() is not session.prepare(engine="topdown")
+
+    def test_prepare_works_for_constant_goals_too(self):
+        prepared = QuerySession(parse_program(CONSTANT_TEXT), DATABASE).prepare()
+        assert prepared.parameters == ()
+        assert prepared.answers() == self.adhoc("john")
+
+
+# ----------------------------------------------------------------------
+# execute_many: shared fixpoints
+# ----------------------------------------------------------------------
+class TestExecuteMany:
+    POOL = ("john", "p1", "p2", "p17", "john")
+
+    def test_shared_execution_supported_for_magic_and_plain(self):
+        template = parse_program(TEMPLATE_TEXT)
+        assert QuerySession(template, DATABASE).prepare().supports_shared_execution
+        magic = QuerySession(template, DATABASE).with_transforms(MagicSets()).prepare()
+        assert magic.supports_shared_execution
+
+    def test_shared_execution_rejected_when_parameter_is_projected_away(self):
+        template = parse_program(TEMPLATE_TEXT)
+        specialized = (
+            QuerySession(template, DATABASE)
+            .with_transforms(PropagateConstants())
+            .prepare()
+        )
+        assert not specialized.supports_shared_execution
+        # ... but per-binding execution still answers correctly
+        session = QuerySession(parse_program(CONSTANT_TEXT), DATABASE)
+        assert specialized.answers(who="john") == session.answers()
+
+    @pytest.mark.parametrize("transform", [None, MagicSets()])
+    def test_batch_answers_equal_solo_answers_in_order(self, transform):
+        session = QuerySession(parse_program(TEMPLATE_TEXT), DATABASE)
+        if transform is not None:
+            session = session.with_transforms(transform)
+        prepared = session.prepare()
+        batch = prepared.execute_many([{"who": who} for who in self.POOL])
+        assert batch == [prepared.answers(who=who) for who in self.POOL]
+
+    def test_empty_batch(self):
+        prepared = QuerySession(parse_program(TEMPLATE_TEXT), DATABASE).prepare()
+        assert prepared.execute_many([]) == []
+
+
+# ----------------------------------------------------------------------
+# Answer cursors
+# ----------------------------------------------------------------------
+class TestAnswerCursor:
+    ANSWERS = frozenset({("a",), ("b",), ("c",), ("d",), ("e",)})
+
+    def test_streams_in_stable_sorted_order(self):
+        first = AnswerCursor(self.ANSWERS).fetchall()
+        second = AnswerCursor(self.ANSWERS).fetchall()
+        assert first == second == sorted(self.ANSWERS, key=repr)
+
+    def test_fetchone_fetchmany_fetchall(self):
+        cursor = AnswerCursor(self.ANSWERS, batch_size=2)
+        assert cursor.rowcount == 5
+        assert cursor.fetchone() == ("a",)
+        assert cursor.fetchmany() == [("b",), ("c",)]
+        assert cursor.fetchall() == [("d",), ("e",)]
+        assert cursor.fetchone() is None
+        assert cursor.fetchmany() == []
+
+    def test_iteration_protocol(self):
+        assert list(AnswerCursor(self.ANSWERS)) == sorted(self.ANSWERS, key=repr)
+
+    def test_close(self):
+        cursor = AnswerCursor(self.ANSWERS)
+        cursor.close()
+        with pytest.raises(EvaluationError, match="closed"):
+            cursor.fetchone()
+
+    def test_bound_query_cursor(self):
+        prepared = QuerySession(parse_program(TEMPLATE_TEXT), DATABASE).prepare()
+        bound = prepared.bind(who="john")
+        cursor = bound.cursor(batch_size=3)
+        assert frozenset(cursor.fetchall()) == bound.answers()
+
+
+# ----------------------------------------------------------------------
+# Engine resolution helper
+# ----------------------------------------------------------------------
+class TestResolvePreparedEngine:
+    def test_base_engines_resolve_to_themselves(self):
+        assert resolve_prepared_engine("seminaive") == ("seminaive", ())
+        assert resolve_prepared_engine("topdown") == ("topdown", ())
+
+    def test_rewrite_engines_fold_into_pipeline_stages(self):
+        resolved, stages = resolve_prepared_engine("magic")
+        assert resolved == "seminaive"
+        assert [stage.name for stage in stages] == ["magic"]
+
+    def test_prepared_query_requires_a_goal(self):
+        program = parse_program("anc(X, Y) :- par(X, Y).")
+        with pytest.raises(EvaluationError, match="goal"):
+            PreparedQuery(program, DATABASE)
+
+
+# ----------------------------------------------------------------------
+# Regression tests for review findings
+# ----------------------------------------------------------------------
+class TestSharedExecutionSoundness:
+    def test_parameterized_fact_rules_disable_sharing(self):
+        """A seeded predicate tested against a constant downstream could leak
+        one binding's derivations into another's answers; such templates must
+        fall back to per-binding execution (and then agree with solo runs)."""
+        template = parse_program(
+            """
+            ?p($who, Y)
+            p(X, Y) :- q(X), r(Y).
+            q($who).
+            r(c) :- q(b).
+            """
+        )
+        database = Database({"dummy": []})
+        prepared = QuerySession(template, database).prepare()
+        assert not prepared.supports_shared_execution
+        batch = prepared.execute_many([{"who": "a"}, {"who": "b"}])
+        assert batch == [prepared.answers(who="a"), prepared.answers(who="b")]
+        assert batch[0] == frozenset()            # a alone never derives r(c)
+        assert batch[1] == {("c",)}               # answers project the free Y only
+
+    def test_unknown_pipeline_stages_disable_sharing(self):
+        from repro.datalog.transforms import FunctionTransform
+
+        identity = FunctionTransform("custom-stage", lambda program: program)
+        prepared = (
+            QuerySession(parse_program(TEMPLATE_TEXT), DATABASE)
+            .with_transforms(identity)
+            .prepare()
+        )
+        assert not prepared.supports_shared_execution
+        batch = prepared.execute_many([{"who": "john"}, {"who": "p1"}])
+        assert batch == [prepared.answers(who="john"), prepared.answers(who="p1")]
+
+
+class TestConstantWrappedBindings:
+    def test_constant_values_unwrap_to_domain_values(self):
+        prepared = (
+            QuerySession(parse_program(TEMPLATE_TEXT), DATABASE)
+            .with_transforms(MagicSets())
+            .prepare()
+        )
+        plain = prepared.answers(who="john")
+        assert plain  # non-trivial
+        assert prepared.answers(who=Constant("john")) == plain
+        bound = prepared.bind(who=Constant("john"))
+        assert bound.bindings == {"who": "john"}

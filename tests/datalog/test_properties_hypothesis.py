@@ -6,7 +6,9 @@ from repro.datalog.atoms import Atom
 from repro.datalog.database import Database
 from repro.datalog.engine.base import select_answers
 from repro.datalog.engine.derivation import DerivationAnalyzer
-from repro.datalog.engine.seminaive import evaluate_seminaive
+from repro.datalog.engine.registry import get_engine
+
+evaluate_seminaive = get_engine("seminaive").evaluate
 from repro.datalog.parser import parse_program
 from repro.datalog.pretty import format_program
 from repro.datalog.terms import Constant, Variable

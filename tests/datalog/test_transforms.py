@@ -2,7 +2,9 @@
 
 import pytest
 
-from repro.datalog import Database, evaluate_seminaive, parse_program
+from repro.datalog import Database, get_engine, parse_program
+
+evaluate_seminaive = get_engine("seminaive").evaluate
 from repro.datalog.transforms import (
     adorn_program,
     adornments_used,

@@ -17,7 +17,9 @@ from repro.core.inf_model import check_proposition_3_1
 from repro.core.magic_chain import magic_transform_chain
 from repro.core.propagation import PropagationVerdict, propagate_selection
 from repro.core.workloads import chain_database, cycle_database, layered_anbn_graph, parent_forest
-from repro.datalog import evaluate_seminaive
+from repro.datalog import get_engine
+
+evaluate_seminaive = get_engine("seminaive").evaluate
 from repro.datalog.transforms import magic_transform, propagate_goal_constant
 from repro.languages.cfg_analysis import enumerate_language
 from repro.languages.cfg_properties import is_left_linear, is_right_linear, is_linear

@@ -16,7 +16,9 @@ from repro.core.examples_catalog import program_a, program_b, program_c
 from repro.core.grammar_map import to_grammar
 from repro.core.propagation import PropagationVerdict, propagate_selection
 from repro.core.workloads import cycle_database, labeled_random_graph, parent_forest
-from repro.datalog import evaluate_seminaive
+from repro.datalog import get_engine
+
+evaluate_seminaive = get_engine("seminaive").evaluate
 from repro.datalog.atoms import Atom
 from repro.datalog.terms import Constant, Variable
 from repro.languages.cfg_analysis import cfg_membership
