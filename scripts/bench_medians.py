@@ -9,6 +9,11 @@ the prepared-query traffic experiment (E10): the prepared vs ad-hoc
 medians, the resulting amortization speedup, and the per-path request
 throughput — the numbers the ISSUE's >=3x acceptance gate is about.
 
+When the report contains the E11 join-kernel benchmarks, the medians
+summary additionally grows a ``kernels`` section pairing each workload's
+compiled and interpreted medians with their speedup and the portfolio's
+>=2x gate verdict.
+
 Usage: python scripts/bench_medians.py <pytest-benchmark.json> <out.json>
            [--traffic <traffic-out.json>]
 """
@@ -25,6 +30,9 @@ TRAFFIC_EXTRAS = (
     "test_prepared_execute_many_window",
     "test_service_cached_traffic",
 )
+
+KERNEL_COMPILED_PREFIX = "test_compiled_kernels["
+KERNEL_INTERPRETED_PREFIX = "test_interpreted_match_body["
 
 
 def medians(report: dict) -> dict:
@@ -66,6 +74,36 @@ def traffic_summary(median_map: dict) -> dict:
     return summary
 
 
+def kernels_summary(median_map: dict) -> dict:
+    """The E11 shape: per-workload compiled-vs-interpreted kernel speedups.
+
+    Pairs ``test_compiled_kernels[w]`` with ``test_interpreted_match_body[w]``
+    and reports the per-workload and portfolio ratios the ISSUE's >=2x
+    acceptance gate is about.  Empty when the report has no E11 benchmarks.
+    """
+    workloads: dict = {}
+    for name, entry in median_map.items():
+        if name.startswith(KERNEL_COMPILED_PREFIX) and name.endswith("]"):
+            label = name[len(KERNEL_COMPILED_PREFIX) : -1]
+            workloads.setdefault(label, {})["compiled_seconds"] = entry["median_seconds"]
+        elif name.startswith(KERNEL_INTERPRETED_PREFIX) and name.endswith("]"):
+            label = name[len(KERNEL_INTERPRETED_PREFIX) : -1]
+            workloads.setdefault(label, {})["interpreted_seconds"] = entry["median_seconds"]
+    summary: dict = {"workloads": workloads}
+    compiled_total = interpreted_total = 0.0
+    for label, entry in workloads.items():
+        compiled = entry.get("compiled_seconds")
+        interpreted = entry.get("interpreted_seconds")
+        if compiled and interpreted:
+            entry["speedup"] = interpreted / compiled
+            compiled_total += compiled
+            interpreted_total += interpreted
+    if compiled_total:
+        summary["portfolio_speedup"] = interpreted_total / compiled_total
+        summary["meets_2x_gate"] = summary["portfolio_speedup"] >= 2.0
+    return summary
+
+
 def main(argv) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("source", help="pytest-benchmark JSON report")
@@ -85,9 +123,15 @@ def main(argv) -> int:
         "commit_info": report.get("commit_info", {}),
         "medians": median_map,
     }
+    kernels = kernels_summary(median_map)
+    if kernels["workloads"]:
+        summary["kernels"] = kernels
     with open(arguments.destination, "w", encoding="utf-8") as handle:
         json.dump(summary, handle, indent=2, sort_keys=True)
     print(f"wrote {len(median_map)} medians to {arguments.destination}")
+    ratio = kernels.get("portfolio_speedup")
+    if ratio is not None:
+        print(f"kernel portfolio speedup {ratio:.1f}x (gate >=2x: {kernels['meets_2x_gate']})")
     if arguments.traffic:
         traffic = {
             "machine_info": report.get("machine_info", {}),

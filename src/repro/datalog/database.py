@@ -26,6 +26,32 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional,
 from repro.datalog.atoms import Atom, ground_atom
 
 _EMPTY: Tuple = ()
+_EMPTY_SET: FrozenSet[Tuple] = frozenset()
+
+
+class _MembershipUnion:
+    """``in``-only union of two containers (an overlay's local + base view)."""
+
+    __slots__ = ("_local", "_base")
+
+    def __init__(self, local, base):
+        self._local = local
+        self._base = base
+
+    def __contains__(self, values) -> bool:
+        return values in self._local or values in self._base
+
+
+def _group_facts(facts: Iterable) -> Dict[str, Set[Tuple]]:
+    """Group a mixed fact iterable (Atoms or ``(predicate, values)`` pairs) per predicate."""
+    grouped: Dict[str, Set[Tuple]] = {}
+    for fact in facts:
+        if isinstance(fact, Atom):
+            grouped.setdefault(fact.predicate, set()).add(fact.as_fact_tuple())
+        else:
+            predicate, values = fact
+            grouped.setdefault(predicate, set()).add(tuple(values))
+    return grouped
 
 
 class Database:
@@ -54,9 +80,48 @@ class Database:
         database.add_facts(facts)
         return database
 
+    @classmethod
+    def adopt(cls, relations: Dict[str, Set[Tuple]]) -> "Database":
+        """Wrap already-grouped relation sets *without copying them*.
+
+        The caller cedes ownership: the sets (and the mapping) become the
+        database's internal state and must not be mutated afterwards.  The
+        semi-naive engines use this to turn a round's per-predicate delta
+        buckets into a probe-able database with zero re-tupling.
+        """
+        database = cls()
+        database._relations = relations
+        return database
+
     def copy(self) -> "Database":
-        """Return a deep copy (indexes are rebuilt lazily on the copy)."""
-        return Database({name: set(tuples) for name, tuples in self._relations.items()})
+        """Return a deep copy that keeps the acceleration structures warm.
+
+        The snapshot cache and hash indexes come along (index buckets are
+        copied so later mutations of either side stay independent) instead
+        of being rebuilt lazily from scratch: a bottom-up engine calls
+        ``copy()`` once per evaluation to obtain its working set and then
+        immediately probes the same columns the EDB was already indexed on,
+        so rebuilding would repay the whole indexing cost on every run.
+
+        Concurrency: lock-free readers (:meth:`probe` / :meth:`relation`,
+        e.g. engines reading through a prepared-query overlay while the
+        service's writer copies) lazily *insert* missing entries into
+        ``_indexes``/``_snapshots``, so each dict level is pinned with
+        ``list()``/``dict()`` — single C-level calls, atomic under the GIL —
+        before Python-level iteration.  An entry a reader adds mid-copy is
+        simply absent from the clone and rebuilt there lazily.
+        """
+        clone = Database()
+        clone._relations = {name: set(tuples) for name, tuples in list(self._relations.items())}
+        clone._snapshots = dict(self._snapshots)
+        clone._indexes = {
+            predicate: {
+                position: {value: list(bucket) for value, bucket in index.items()}
+                for position, index in list(positions.items())
+            }
+            for predicate, positions in list(self._indexes.items())
+        }
+        return clone
 
     def overlay(self) -> "OverlayDatabase":
         """An O(1) copy-on-write fork: reads fall through, writes stay local.
@@ -80,6 +145,22 @@ class Database:
             for position, index in indexes.items():
                 if position < len(values):
                     index.setdefault(values[position], []).append(values)
+
+    def _note_added_bulk(self, predicate: str, fresh: Iterable[Tuple]) -> None:
+        """Snapshot/index maintenance for a grouped insert (no version bump).
+
+        Every bulk mutation path (:meth:`add_facts`, :meth:`update`, the
+        overlay's grouped insert) funnels through here so the maintenance
+        rules live in one place; callers bump :attr:`version` themselves,
+        at most once per call.
+        """
+        self._snapshots.pop(predicate, None)
+        indexes = self._indexes.get(predicate)
+        if indexes:
+            for position, index in indexes.items():
+                for values in fresh:
+                    if position < len(values):
+                        index.setdefault(values[position], []).append(values)
 
     def add_fact(self, predicate: str, values: Tuple) -> bool:
         """Add a tuple to a relation; return ``True`` if it was new."""
@@ -105,42 +186,50 @@ class Database:
         bumped exactly once, so a 10k-fact load costs one invalidation
         instead of 10k.
         """
-        grouped: Dict[str, Set[Tuple]] = {}
-        for fact in facts:
-            if isinstance(fact, Atom):
-                grouped.setdefault(fact.predicate, set()).add(fact.as_fact_tuple())
-            else:
-                predicate, values = fact
-                grouped.setdefault(predicate, set()).add(tuple(values))
+        return self._add_grouped(_group_facts(facts))
+
+    def add_relations(self, grouped: Mapping[str, Set[Tuple]]) -> int:
+        """Bulk insert of already-grouped per-predicate tuple sets.
+
+        The engines' round commits hold exactly this shape (predicate ->
+        fresh head tuples), so this skips :meth:`add_facts`' flatten and
+        regroup.  Returns the number of facts that were actually new.
+        """
+        return self._add_grouped(grouped)
+
+    def update(self, other: "Database") -> None:
+        """Add all facts of *other* to this database.
+
+        Grouped per predicate like :meth:`add_facts`: snapshots and live
+        indexes of each touched relation are maintained in one pass and
+        :attr:`version` is bumped at most once per call.  The semi-naive
+        engines run ``working.update(delta)`` every fixpoint round, so a
+        per-fact version bump here would invalidate downstream caches once
+        per derived fact instead of once per round.
+        """
+        self._add_grouped(other._relations)
+
+    def _add_grouped(self, grouped: Mapping[str, Set[Tuple]]) -> int:
+        """Shared grouped insert; input sets are diffed, never retained.
+
+        Empty groups are skipped outright — an engine's round commit passes
+        a bucket per head predicate whether or not anything fired, and a
+        ``setdefault`` would leave phantom empty relations behind.
+        """
         added = 0
         for predicate, tuples in grouped.items():
+            if not tuples:
+                continue
             relation = self._relations.setdefault(predicate, set())
             fresh = tuples - relation
             if not fresh:
                 continue
             relation.update(fresh)
             added += len(fresh)
-            self._snapshots.pop(predicate, None)
-            indexes = self._indexes.get(predicate)
-            if indexes:
-                for position, index in indexes.items():
-                    for values in fresh:
-                        if position < len(values):
-                            index.setdefault(values[position], []).append(values)
+            self._note_added_bulk(predicate, fresh)
         if added:
             self._version += 1
         return added
-
-    def update(self, other: "Database") -> None:
-        """Add all facts of *other* to this database."""
-        for name, tuples in other._relations.items():
-            relation = self._relations.setdefault(name, set())
-            fresh = tuples - relation
-            if not fresh:
-                continue
-            relation.update(fresh)
-            for values in fresh:
-                self._note_added(name, values)
 
     def remove_relation(self, predicate: str) -> None:
         """Drop a relation entirely (no error if absent)."""
@@ -169,6 +258,18 @@ class Database:
             snapshot = frozenset(self._relations.get(predicate, _EMPTY))
             self._snapshots[predicate] = snapshot
         return snapshot
+
+    def relation_view(self, predicate: str):
+        """A live, membership-only view of a relation (no snapshot copy).
+
+        Unlike :meth:`relation` this never materialises a frozenset — it
+        returns the relation's live storage (or an empty set), so a caller
+        that only needs ``values in view`` checks pays O(1) regardless of
+        how recently the relation mutated.  The fixpoint engines dedup each
+        round's firings against this view.  Contract: read-only, and not
+        valid across mutations — re-fetch after any write.
+        """
+        return self._relations.get(predicate, _EMPTY_SET)
 
     def probe(self, predicate: str, position: int, value) -> Sequence[Tuple]:
         """Tuples of *predicate* whose argument at *position* equals *value*.
@@ -241,12 +342,19 @@ class Database:
         )
 
     def rename(self, mapping: Mapping[str, str]) -> "Database":
-        """Return a database with relations renamed according to *mapping*."""
+        """Return a database with relations renamed according to *mapping*.
+
+        Whole relations are moved per predicate (two source relations may
+        merge under one target name) rather than re-added fact by fact.
+        """
         renamed = Database()
         for name, tuples in self._relations.items():
             new_name = mapping.get(name, name)
-            for values in tuples:
-                renamed.add_fact(new_name, values)
+            target = renamed._relations.get(new_name)
+            if target is None:
+                renamed._relations[new_name] = set(tuples)
+            else:
+                target.update(tuples)
         return renamed
 
     # ------------------------------------------------------------------
@@ -311,20 +419,48 @@ class OverlayDatabase(Database):
         return super().add_fact(predicate, values)
 
     def add_facts(self, facts: Iterable) -> int:
-        added = 0
-        for fact in facts:
-            if isinstance(fact, Atom):
-                predicate, values = fact.predicate, fact.as_fact_tuple()
-            else:
-                predicate, values = fact[0], tuple(fact[1])
-            if self.add_fact(predicate, values):
-                added += 1
-        return added
+        return self._add_grouped(_group_facts(facts))
 
     def update(self, other: Database) -> None:
-        for name, tuples in other._relations.items():
-            for values in tuples:
-                self.add_fact(name, values)
+        """Add all facts of *other* to the local side, grouped per predicate.
+
+        Like :meth:`Database.update` this bumps :attr:`version` at most once
+        per call — the engines run ``working.update(delta)`` every fixpoint
+        round over prepared-query overlays, where a per-fact bump would
+        invalidate snapshots once per derived fact.
+        """
+        self._add_grouped(other._relations)
+
+    def _add_grouped(self, grouped: Mapping[str, Set[Tuple]]) -> int:
+        """Grouped insert dropping base duplicates; input sets never retained.
+
+        Like the base implementation, empty groups are skipped so no
+        phantom empty local relations appear.
+        """
+        added = 0
+        for predicate, tuples in grouped.items():
+            if not tuples:
+                continue
+            local = self._relations.get(predicate)
+            fresh = (tuples - local) if local else tuples
+            if fresh and self._base.cardinality(predicate):
+                fresh = {
+                    values
+                    for values in fresh
+                    if not self._base.contains(predicate, values)
+                }
+            if not fresh:
+                # Everything was a base (or local) duplicate: leave no
+                # phantom empty local relation behind.
+                continue
+            if local is None:
+                local = self._relations[predicate] = set()
+            local.update(fresh)
+            added += len(fresh)
+            self._note_added_bulk(predicate, fresh)
+        if added:
+            self._version += 1
+        return added
 
     def remove_relation(self, predicate: str) -> None:
         raise TypeError("an OverlayDatabase cannot remove relations of its base")
@@ -346,6 +482,14 @@ class OverlayDatabase(Database):
             snapshot = (base | local) if base else frozenset(local)
             self._snapshots[predicate] = snapshot
         return snapshot
+
+    def relation_view(self, predicate: str):
+        local = self._relations.get(predicate)
+        if not local:
+            return self._base.relation_view(predicate)
+        if not self._base.cardinality(predicate):
+            return local
+        return _MembershipUnion(local, self._base.relation_view(predicate))
 
     def probe(self, predicate: str, position: int, value) -> Sequence[Tuple]:
         local = self._relations.get(predicate)

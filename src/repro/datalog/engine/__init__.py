@@ -39,6 +39,7 @@ run-time choice.
 # deprecated shim over Database's built-in indexes.
 from repro.datalog.engine.base import EvaluationResult, select_answers
 from repro.datalog.engine.derivation import DerivationAnalyzer, DerivationTree
+from repro.datalog.engine.executor import RuleKernel, StepKernel, compile_rule_kernel
 from repro.datalog.engine.naive import evaluate_naive
 from repro.datalog.engine.planner import (
     JoinPlan,
@@ -75,11 +76,14 @@ __all__ = [
     "JoinPlan",
     "Planner",
     "ProgramPlan",
+    "RuleKernel",
+    "StepKernel",
     "Stratum",
     "TopDownEvaluator",
     "TransformedEngine",
     "available_engines",
     "compile_program_plan",
+    "compile_rule_kernel",
     "engine_descriptions",
     "evaluate_naive",
     "evaluate_seminaive",

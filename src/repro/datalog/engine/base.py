@@ -8,6 +8,11 @@ This module provides:
   indexes (:meth:`repro.datalog.database.Database.probe`), so the engines stay
   far from quadratic behaviour on the benchmark workloads without rebuilding
   indexes at every fixpoint iteration;
+* the shared per-rule evaluators :func:`fire_rule` / :func:`fire_rule_delta`,
+  which dispatch each rule to its compiled slot kernel
+  (:mod:`repro.datalog.engine.executor`) or to the interpreted
+  :func:`match_body` fallback, with identical duplicate accounting on both
+  paths;
 * :func:`select_answers` — the selection described by the goal atom
   (Section 2.1: the output is obtained by performing the selections described
   by the goal on the interpretation of its predicate).
@@ -128,6 +133,101 @@ def match_body(
     yield from extend(0, dict(initial) if initial else {})
 
 
+def fire_rule(plan, rule: Rule, working, bucket, statistics, compiled: bool = True) -> None:
+    """Run one rule over the full model, adding fresh head tuples to *bucket*.
+
+    The single rule evaluator shared by both bottom-up engines' full-model
+    rounds: the compiled slot kernel when the plan has one (and *compiled*
+    is set), the interpreted :func:`match_body` path otherwise.  The caller
+    must not mutate *working* while a round is firing (both engines stage
+    additions in buckets) — that is what makes deduping against the live
+    :meth:`~repro.datalog.database.Database.relation_view` sound, and it
+    must hold identically on both paths so they produce the same statistics.
+    """
+    predicate = rule.head.predicate
+    kernel = plan.kernel(rule) if compiled else None
+    if kernel is not None:
+        before = len(bucket)
+        sink, firings = _dedup_sink(working.relation_view(predicate), bucket)
+        kernel.execute_static(working, sink)
+        statistics.record_batch(predicate, firings(), len(bucket) - before)
+    else:
+        join_plan = plan.join_plan(rule)
+        for substitution in match_body(rule.body, working, order=join_plan.order):
+            statistics.record_firing()
+            values = join_plan.head_values(substitution)
+            is_new = not working.contains(predicate, values) and values not in bucket
+            statistics.record_fact(predicate, is_new)
+            if is_new:
+                bucket.add(values)
+
+
+def _dedup_sink(existing, bucket):
+    """An emit callback filtering kernel firings straight into *bucket*.
+
+    Returns ``(sink, firings)``: the kernel streams every head tuple into
+    ``sink`` (no intermediate list), and ``firings()`` reports how many
+    arrived — the duplicate count the statistics need is the difference
+    against the bucket's growth.
+    """
+    count = 0
+
+    def sink(values):
+        nonlocal count
+        count += 1
+        if values not in existing and values not in bucket:
+            bucket.add(values)
+
+    return sink, lambda: count
+
+
+def fire_rule_delta(
+    plan,
+    rule: Rule,
+    working,
+    delta,
+    delta_predicates,
+    bucket,
+    statistics,
+    compiled: bool = True,
+) -> None:
+    """Run one rule's delta variants (the semi-naive round form of :func:`fire_rule`).
+
+    Each body position whose predicate occurs in *delta_predicates* is
+    matched against *delta* instead of the full model, via the compiled
+    delta kernel or the interpreted variant order.
+    """
+    predicate = rule.head.predicate
+    kernel = plan.kernel(rule) if compiled else None
+    if kernel is not None:
+        existing = working.relation_view(predicate)
+        for position in kernel.delta_positions:
+            if rule.body[position].predicate not in delta_predicates:
+                continue
+            before = len(bucket)
+            sink, firings = _dedup_sink(existing, bucket)
+            kernel.execute_delta(position, working, delta, sink)
+            statistics.record_batch(predicate, firings(), len(bucket) - before)
+    else:
+        join_plan = plan.join_plan(rule)
+        for variant in join_plan.variants:
+            if rule.body[variant.position].predicate not in delta_predicates:
+                continue
+            for substitution in match_body(
+                rule.body,
+                working,
+                delta_position=variant.position,
+                delta_index=delta,
+                order=variant.order,
+            ):
+                statistics.record_firing()
+                values = join_plan.head_values(substitution)
+                is_new = not working.contains(predicate, values) and values not in bucket
+                statistics.record_fact(predicate, is_new)
+                if is_new:
+                    bucket.add(values)
+
+
 def select_answers(goal: Atom, tuples: Iterable[Tuple]) -> FrozenSet[Tuple]:
     """Apply the selection described by *goal* to the tuples of its predicate.
 
@@ -136,34 +236,42 @@ def select_answers(goal: Atom, tuples: Iterable[Tuple]) -> FrozenSet[Tuple]:
     a goal with no variables denotes a boolean query whose positive answer
     is the set containing the empty tuple.
     """
+    # Compile the goal's selection once: constant filters, repeated-variable
+    # equality pairs, and projection positions are all fixed by the goal, so
+    # the per-tuple loop below is pure tuple indexing — no bindings dict.
     positions: List[int] = []
     seen: Dict[Variable, int] = {}
+    constant_checks: List[Tuple[int, object]] = []
+    equality_checks: List[Tuple[int, int]] = []
     for position, term in enumerate(goal.terms):
         if isinstance(term, Parameter):
             raise EvaluationError(
                 f"goal {goal} has unbound parameter ${term.name}; bind it first "
                 "(PreparedQuery.bind / DatalogService.execute)"
             )
-        if isinstance(term, Variable) and term not in seen:
+        if isinstance(term, Constant):
+            constant_checks.append((position, term.value))
+        elif term in seen:
+            equality_checks.append((position, seen[term]))
+        else:
             seen[term] = position
             positions.append(position)
 
+    arity = len(goal.terms)
     answers = set()
     for values in tuples:
-        if len(values) != len(goal.terms):
+        if len(values) != arity:
             continue
-        bindings: Dict[Variable, object] = {}
         ok = True
-        for term, value in zip(goal.terms, values):
-            if isinstance(term, Constant):
-                if term.value != value:
+        for position, expected in constant_checks:
+            if values[position] != expected:
+                ok = False
+                break
+        if ok:
+            for position, first in equality_checks:
+                if values[position] != values[first]:
                     ok = False
                     break
-            else:
-                if term in bindings and bindings[term] != value:
-                    ok = False
-                    break
-                bindings[term] = value
         if ok:
             answers.add(tuple(values[p] for p in positions))
     return frozenset(answers)

@@ -19,12 +19,12 @@ work.
 from __future__ import annotations
 
 import warnings
-from typing import Optional
+from typing import Dict, Optional, Set, Tuple
 
 from repro.datalog.database import Database
 from repro.datalog.engine.base import (
     EvaluationResult,
-    match_body,
+    fire_rule,
     split_rules,
 )
 from repro.datalog.engine.planner import Planner, ProgramPlan, compile_program_plan
@@ -39,6 +39,7 @@ def _evaluate(
     max_iterations: Optional[int] = None,
     planner: Optional[Planner] = None,
     plan: Optional[ProgramPlan] = None,
+    compiled: bool = True,
 ) -> EvaluationResult:
     """Compute the minimum model of *program* over *database* naively.
 
@@ -56,6 +57,12 @@ def _evaluate(
         serves the compiled join/stratification plan.
     plan:
         Optional precompiled plan (the prepared-query path); used as-is.
+    compiled:
+        When true (the default), rules with a compiled slot kernel
+        (:mod:`repro.datalog.engine.executor`) run through it; rules
+        without one — and every rule when ``compiled=False``, which the
+        kernel benchmarks use to time the baseline — run through the
+        interpreted :func:`~repro.datalog.engine.base.match_body` path.
     """
     program.validate()
     statistics = EvaluationStatistics()
@@ -85,21 +92,14 @@ def _evaluate(
                 raise EvaluationError(
                     f"naive evaluation exceeded {max_iterations} iterations"
                 )
-            pending = set()
+            # predicate -> fresh head tuples produced this round.  The round
+            # never mutates `working`, so its live relation view plus this
+            # bucket answer every duplicate check by direct set membership.
+            pending: Dict[str, Set[Tuple]] = {}
             for rule in stratum.rules:
-                join_plan = plan.join_plan(rule)
-                predicate = rule.head.predicate
-                for substitution in match_body(rule.body, working, order=join_plan.order):
-                    statistics.record_firing()
-                    values = join_plan.head_values(substitution)
-                    key = (predicate, values)
-                    is_new = not working.contains(predicate, values) and key not in pending
-                    statistics.record_fact(predicate, is_new)
-                    if is_new:
-                        pending.add(key)
-            for predicate, values in pending:
-                if working.add_fact(predicate, values):
-                    changed = True
+                bucket = pending.setdefault(rule.head.predicate, set())
+                fire_rule(plan, rule, working, bucket, statistics, compiled)
+            changed = working.add_relations(pending) > 0
             if not stratum.recursive:
                 # Every body predicate is already at fixpoint: one pass suffices.
                 break

@@ -28,8 +28,11 @@ O(strata × rules).
 Plans are compiled once per evaluation from the EDB's cardinalities;
 :class:`Planner` additionally memoises them per ``(program, database,
 version)`` so a :class:`~repro.datalog.session.QuerySession` re-running the
-same query (e.g. inside a benchmark loop) pays for planning once.
-``ProgramPlan.describe()`` is the ``EXPLAIN`` surface printed by
+same query (e.g. inside a benchmark loop) pays for planning once.  Each
+plan also carries the compiled slot-based kernels the bottom-up engines
+execute (:mod:`repro.datalog.engine.executor`), so kernel compilation is
+amortised exactly like planning — once per binding pattern for a prepared
+query.  ``ProgramPlan.describe()`` is the ``EXPLAIN`` surface printed by
 ``repro evaluate --explain``.
 """
 
@@ -139,18 +142,26 @@ class Stratum:
 
 @dataclass
 class ProgramPlan:
-    """Strata plus per-rule join plans for one (program, database) pair."""
+    """Strata, per-rule join plans, and compiled kernels for one (program, database) pair."""
 
     program: Program
     strata: Tuple[Stratum, ...]
     plans: Dict[Rule, JoinPlan] = field(default_factory=dict)
+    # rule -> compiled slot-based kernel, or None when the rule cannot be
+    # lowered (see repro.datalog.engine.executor.compile_rule_kernel); the
+    # engines fall back to interpreted match_body for None entries.
+    kernels: Dict[Rule, object] = field(default_factory=dict)
 
     def join_plan(self, rule: Rule) -> JoinPlan:
         """The compiled plan for *rule* (every proper rule has one)."""
         return self.plans[rule]
 
+    def kernel(self, rule: Rule):
+        """The compiled :class:`~repro.datalog.engine.executor.RuleKernel`, or ``None``."""
+        return self.kernels.get(rule)
+
     def describe(self) -> str:
-        """Human-readable EXPLAIN output: strata, then per-rule join orders."""
+        """Human-readable EXPLAIN output: strata, join orders, compiled kernels."""
         rule_count = sum(len(stratum.rules) for stratum in self.strata)
         lines = [f"join plan: {len(self.strata)} strata, {rule_count} rules"]
         for stratum in self.strata:
@@ -160,6 +171,12 @@ class ProgramPlan:
                 plan = self.plans[rule]
                 for line in plan.describe().splitlines():
                     lines.append("  " + line)
+                kernel = self.kernels.get(rule)
+                if kernel is None:
+                    lines.append("    kernel: none (interpreted match_body path)")
+                else:
+                    for line in kernel.describe().splitlines():
+                        lines.append("    " + line)
         return "\n".join(lines)
 
 
@@ -314,13 +331,16 @@ def cardinality_estimates(program: Program, database: Database) -> Dict[str, int
 
 
 def compile_program_plan(program: Program, database: Database) -> ProgramPlan:
-    """Compile strata and per-rule join plans for *program* over *database*."""
+    """Compile strata, per-rule join plans, and slot kernels for *program* over *database*."""
+    from repro.datalog.engine.executor import compile_rule_kernel
+
     proper_rules = tuple(rule for rule in program.rules if not rule.is_fact())
     graph = dependency_graph(program)
     estimates = cardinality_estimates(program, database)
 
     strata: List[Stratum] = []
     plans: Dict[Rule, JoinPlan] = {}
+    kernels: Dict[Rule, object] = {}
     for component in graph.strongly_connected_components():
         rules: List[Rule] = []
         for rule in proper_rules:
@@ -342,8 +362,9 @@ def compile_program_plan(program: Program, database: Database) -> ProgramPlan:
         for rule in rules:
             if rule not in plans:
                 plans[rule] = plan_rule(rule, initial_estimates, estimates, delta_predicates)
+                kernels[rule] = compile_rule_kernel(plans[rule])
         strata.append(Stratum(len(strata), predicates, tuple(rules), recursive))
-    return ProgramPlan(program, tuple(strata), plans)
+    return ProgramPlan(program, tuple(strata), plans, kernels)
 
 
 class Planner:

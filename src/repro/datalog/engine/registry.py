@@ -137,6 +137,12 @@ class FunctionEngine:
     never semantics.  A precompiled ``plan`` is different: it *is*
     semantics (it carries the strata the engine executes), so passing one
     to an engine that cannot honour it raises.
+
+    ``supports_compiled`` marks functions with the compiled-kernel toggle
+    (a ``compiled=`` keyword): the public way to run the interpreted
+    ``match_body`` baseline is ``get_engine("seminaive").evaluate(...,
+    compiled=False)``.  Asking a toggle-less engine for it raises rather
+    than silently timing the wrong thing.
     """
 
     name: str
@@ -144,6 +150,7 @@ class FunctionEngine:
     function: Callable[..., EvaluationResult]
     supports_max_iterations: bool = True
     supports_planner: bool = False
+    supports_compiled: bool = False
 
     def evaluate(
         self,
@@ -153,6 +160,7 @@ class FunctionEngine:
         max_iterations: Optional[int] = None,
         planner=None,
         plan=None,
+        compiled: Optional[bool] = None,
     ) -> EvaluationResult:
         kwargs = {}
         if self.supports_planner and planner is not None:
@@ -163,6 +171,12 @@ class FunctionEngine:
                     f"engine {self.name!r} cannot execute a precompiled plan"
                 )
             kwargs["plan"] = plan
+        if compiled is not None:
+            if not self.supports_compiled:
+                raise EvaluationError(
+                    f"engine {self.name!r} has no compiled/interpreted toggle"
+                )
+            kwargs["compiled"] = compiled
         if self.supports_max_iterations:
             return self.function(program, database, max_iterations=max_iterations, **kwargs)
         if max_iterations is not None:
@@ -201,6 +215,7 @@ class TransformedEngine:
         max_iterations: Optional[int] = None,
         planner=None,
         plan=None,
+        compiled: Optional[bool] = None,
     ) -> EvaluationResult:
         from repro.errors import ValidationError
 
@@ -222,6 +237,9 @@ class TransformedEngine:
         kwargs = {}
         if planner is not None and getattr(delegate, "supports_planner", False):
             kwargs["planner"] = planner
+        if compiled is not None:
+            # The delegate's own toggle check raises if it has none.
+            kwargs["compiled"] = compiled
         return delegate.evaluate(
             rewritten, database, max_iterations=max_iterations, **kwargs
         )
@@ -244,18 +262,20 @@ def _register_builtins() -> None:
         FunctionEngine(
             "naive",
             "naive bottom-up: re-evaluate every rule over the full model until fixpoint"
-            " (stratified, planned joins)",
+            " (stratified, planned joins, compiled kernels)",
             naive_evaluate,
             supports_planner=True,
+            supports_compiled=True,
         )
     )
     register_engine(
         FunctionEngine(
             "seminaive",
             "semi-naive bottom-up: differential fixpoint over per-iteration deltas"
-            " (stratified, planned joins)",
+            " (stratified, planned joins, compiled kernels)",
             seminaive_evaluate,
             supports_planner=True,
+            supports_compiled=True,
         )
     )
     register_engine(

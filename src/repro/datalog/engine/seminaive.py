@@ -22,12 +22,13 @@ Two evaluation-level optimisations come from
 from __future__ import annotations
 
 import warnings
-from typing import Optional
+from typing import Dict, Optional, Set, Tuple
 
 from repro.datalog.database import Database
 from repro.datalog.engine.base import (
     EvaluationResult,
-    match_body,
+    fire_rule,
+    fire_rule_delta,
     split_rules,
 )
 from repro.datalog.engine.planner import Planner, ProgramPlan, compile_program_plan
@@ -42,6 +43,7 @@ def _evaluate(
     max_iterations: Optional[int] = None,
     planner: Optional[Planner] = None,
     plan: Optional[ProgramPlan] = None,
+    compiled: bool = True,
 ) -> EvaluationResult:
     """Compute the minimum model of *program* over *database* semi-naively.
 
@@ -54,6 +56,12 @@ def _evaluate(
     program may additionally carry ground fact rules (per-binding seeds),
     which are loaded before the fixpoint like any other facts.
     ``max_iterations`` bounds the *total* fixpoint rounds across all strata.
+
+    *compiled* selects the rule evaluator: the default runs every rule that
+    has a compiled slot kernel (:mod:`repro.datalog.engine.executor`)
+    through it; rules without one — and all rules when ``compiled=False``,
+    the baseline the kernel benchmarks time against — run through the
+    interpreted :func:`~repro.datalog.engine.base.match_body` path.
     """
     program.validate()
     statistics = EvaluationStatistics()
@@ -88,22 +96,18 @@ def _evaluate(
 
         # Initial round: every stratum rule once, over everything derived so
         # far (lower strata are complete, this stratum's relations may hold
-        # facts loaded from fact rules).
+        # facts loaded from fact rules).  Nothing mutates `working` within a
+        # round, so its live relation view plus the per-predicate bucket
+        # answer every duplicate check by direct set membership — no
+        # contains() round-trips through tuple() coercion per firing, and no
+        # per-round frozenset rebuild on deep recursions with small deltas.
         statistics.record_iteration(label)
         check_budget()
-        delta = Database()
+        delta_sets: Dict[str, Set[Tuple]] = {}
         for rule in stratum.rules:
-            join_plan = plan.join_plan(rule)
-            predicate = rule.head.predicate
-            for substitution in match_body(rule.body, working, order=join_plan.order):
-                statistics.record_firing()
-                values = join_plan.head_values(substitution)
-                is_new = not working.contains(predicate, values) and not delta.contains(
-                    predicate, values
-                )
-                statistics.record_fact(predicate, is_new)
-                if is_new:
-                    delta.add_fact(predicate, values)
+            bucket = delta_sets.setdefault(rule.head.predicate, set())
+            fire_rule(plan, rule, working, bucket, statistics, compiled)
+        delta = Database.adopt({name: bucket for name, bucket in delta_sets.items() if bucket})
         working.update(delta)
 
         if not stratum.recursive:
@@ -113,29 +117,16 @@ def _evaluate(
         while delta.fact_count():
             statistics.record_iteration(label)
             check_budget()
-            next_delta = Database()
+            next_sets: Dict[str, Set[Tuple]] = {}
             delta_predicates = delta.predicates()
             for rule in stratum.rules:
-                join_plan = plan.join_plan(rule)
-                predicate = rule.head.predicate
-                for variant in join_plan.variants:
-                    if rule.body[variant.position].predicate not in delta_predicates:
-                        continue
-                    for substitution in match_body(
-                        rule.body,
-                        working,
-                        delta_position=variant.position,
-                        delta_index=delta,
-                        order=variant.order,
-                    ):
-                        statistics.record_firing()
-                        values = join_plan.head_values(substitution)
-                        is_new = not working.contains(
-                            predicate, values
-                        ) and not next_delta.contains(predicate, values)
-                        statistics.record_fact(predicate, is_new)
-                        if is_new:
-                            next_delta.add_fact(predicate, values)
+                bucket = next_sets.setdefault(rule.head.predicate, set())
+                fire_rule_delta(
+                    plan, rule, working, delta, delta_predicates, bucket, statistics, compiled
+                )
+            next_delta = Database.adopt(
+                {name: bucket for name, bucket in next_sets.items() if bucket}
+            )
             working.update(next_delta)
             delta = next_delta
 

@@ -51,6 +51,21 @@ class EvaluationStatistics:
         else:
             self.plans_compiled += 1
 
+    def record_batch(self, predicate: str, firings: int, new: int) -> None:
+        """Count a whole kernel run at once: *firings* head productions, *new* fresh.
+
+        Equivalent to ``record_firing()`` + ``record_fact(predicate, ...)``
+        per production — the compiled engines accumulate plain integers in
+        their inner loop and settle the counters here, once per rule run.
+        """
+        self.rule_firings += firings
+        self.duplicate_derivations += firings - new
+        if new:
+            self.facts_derived += new
+            self.facts_per_predicate[predicate] = (
+                self.facts_per_predicate.get(predicate, 0) + new
+            )
+
     def record_fact(self, predicate: str, is_new: bool) -> None:
         """Count one produced head fact; duplicates are tracked separately."""
         if is_new:

@@ -193,6 +193,89 @@ class TestAddFacts:
         assert database.fact_count() == 2
         assert database.version == 1
 
+    def test_add_relations_takes_pregrouped_sets_with_one_bump(self):
+        database = Database({"par": [("a", "b")]})
+        assert list(database.probe("par", 0, "a")) == [("a", "b")]  # build the index
+        v0 = database.version
+        added = database.add_relations(
+            {"par": {("a", "c"), ("a", "b")}, "anc": {("a", "c")}}
+        )
+        assert added == 2  # ("a", "b") was a duplicate
+        assert database.version == v0 + 1
+        assert sorted(database.probe("par", 0, "a")) == [("a", "b"), ("a", "c")]
+        assert database.relation("anc") == {("a", "c")}
+
+    def test_adopt_wraps_grouped_sets_without_copying(self):
+        bucket = {("a", "b"), ("b", "c")}
+        database = Database.adopt({"par": bucket})
+        assert database.relation("par") == {("a", "b"), ("b", "c")}
+        assert list(database.probe("par", 0, "a")) == [("a", "b")]
+        assert database.fact_count() == 2
+
+    def test_overlay_update_of_pure_base_duplicates_leaves_no_local_relation(self):
+        base = Database({"par": [("a", "b")]})
+        overlay = base.overlay()
+        overlay.update(Database({"par": [("a", "b")]}))
+        assert overlay._relations == {}  # still pristine: no phantom empty set
+        assert overlay.copy() is not overlay  # pristine fork path still applies
+
+    def test_update_never_retains_the_other_databases_sets(self):
+        delta = Database.adopt({"par": {("x", "y")}})
+        database = Database({"par": [("a", "b")]})
+        database.update(delta)
+        database.add_fact("par", ("p", "q"))
+        assert delta.relation("par") == {("x", "y")}  # untouched by the merge
+
+
+class TestRelationView:
+    def test_view_is_the_live_storage_not_a_snapshot(self):
+        database = Database({"par": [("a", "b")]})
+        view = database.relation_view("par")
+        assert ("a", "b") in view and ("x", "y") not in view
+        database.add_fact("par", ("x", "y"))
+        # Live: the same view sees the new fact without any rebuild.
+        assert ("x", "y") in view
+        assert database.relation_view("missing") == frozenset()
+
+    def test_overlay_view_unions_local_and_base(self):
+        base = Database({"par": [("a", "b")]})
+        overlay = base.overlay()
+        assert overlay.relation_view("par") is base.relation_view("par")
+        overlay.add_fact("par", ("c", "d"))
+        view = overlay.relation_view("par")
+        assert ("a", "b") in view and ("c", "d") in view
+        assert ("x", "y") not in view
+
+    def test_overlay_view_skips_an_empty_base_relation(self):
+        base = Database()
+        overlay = base.overlay()
+        overlay.add_fact("anc", ("a", "b"))
+        view = overlay.relation_view("anc")
+        assert ("a", "b") in view
+
+
+class TestWarmCopy:
+    def test_copy_carries_snapshots_and_indexes(self):
+        database = Database({"par": [("a", "b"), ("a", "c")]})
+        snapshot = database.relation("par")  # warm the snapshot
+        database.probe("par", 0, "a")  # build the index
+        clone = database.copy()
+        # The clone serves the same snapshot object (immutable) and answers
+        # probes without touching the original's structures.
+        assert clone.relation("par") is snapshot
+        assert sorted(clone.probe("par", 0, "a")) == [("a", "b"), ("a", "c")]
+
+    def test_copied_index_buckets_are_independent(self):
+        database = Database({"par": [("a", "b")]})
+        database.probe("par", 0, "a")
+        clone = database.copy()
+        clone.add_fact("par", ("a", "z"))
+        assert sorted(clone.probe("par", 0, "a")) == [("a", "b"), ("a", "z")]
+        assert list(database.probe("par", 0, "a")) == [("a", "b")]
+        database.add_fact("par", ("a", "w"))
+        assert sorted(database.probe("par", 0, "a")) == [("a", "b"), ("a", "w")]
+        assert sorted(clone.probe("par", 0, "a")) == [("a", "b"), ("a", "z")]
+
 
 class TestOverlayDatabase:
     def base(self):

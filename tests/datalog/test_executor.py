@@ -1,0 +1,370 @@
+"""Compiled slot-based join kernels: units, parity, and cross-engine properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.counterexamples import anbn_program
+from repro.core.examples_catalog import (
+    program_a,
+    program_b,
+    program_c,
+    program_d,
+    same_generation_program,
+    section7_transformed,
+)
+from repro.core.workloads import (
+    labeled_random_graph,
+    layered_anbn_graph,
+    parent_forest,
+    same_generation_database,
+)
+from repro.datalog import Database, QuerySession
+from repro.datalog.engine import available_engines, compile_program_plan, get_engine
+from repro.datalog.engine.base import match_body
+from repro.datalog.engine.executor import (
+    PROBE_CONST,
+    PROBE_SCAN,
+    PROBE_SLOT,
+    compile_rule_kernel,
+)
+from repro.datalog.engine.planner import plan_rule
+from repro.datalog.parser import parse_program, parse_rule
+
+# The public compiled/interpreted toggle: registry engines accept compiled=.
+evaluate_naive = get_engine("naive").evaluate
+evaluate_seminaive = get_engine("seminaive").evaluate
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Parameter
+
+
+def kernel_for(text: str, estimates=None, delta_predicates=frozenset()):
+    rule = parse_rule(text)
+    plan = plan_rule(rule, dict(estimates or {}), delta_predicates=delta_predicates)
+    return rule, plan, compile_rule_kernel(plan)
+
+
+def interpreted_heads(rule: Rule, plan, database, delta_position=None, delta=None):
+    """Reference: head tuples via the match_body interpreter, same order spec."""
+    order = plan.order if delta_position is None else next(
+        variant.order for variant in plan.variants if variant.position == delta_position
+    )
+    return sorted(
+        plan.head_values(substitution)
+        for substitution in match_body(
+            rule.body,
+            database,
+            delta_position=delta_position,
+            delta_index=delta,
+            order=order,
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# Compilation units
+# ----------------------------------------------------------------------
+class TestCompilation:
+    def test_registers_numbered_by_first_body_occurrence(self):
+        _, _, kernel = kernel_for("h(Y, X) :- p(X, Y), q(Y, Z).")
+        assert kernel.register_count == 3
+        assert kernel.slot_names == ("X", "Y", "Z")
+        # Head extraction reads slots directly: Y is slot 1, X is slot 0.
+        assert kernel.head_ops == ((True, 1), (True, 0))
+        assert kernel.head([10, 20, 30]) == (20, 10)
+
+    def test_head_constants_are_baked_in(self):
+        _, _, kernel = kernel_for("h(X, c, X) :- p(X, Y).")
+        assert kernel.head_ops == ((True, 0), (False, "c"), (True, 0))
+        assert kernel.head([7, None]) == (7, "c", 7)
+
+    def test_constant_probe_and_residual_checks(self):
+        _, _, kernel = kernel_for("h(X) :- p(c, X, d).")
+        (step,) = kernel.static_steps
+        assert step.probe_kind == PROBE_CONST
+        assert (step.probe_position, step.probe_value) == (0, "c")
+        # The probed column needs no check; the other constant does.
+        assert step.const_checks == ((2, "d"),)
+        assert step.binds == ((1, 0),)
+
+    def test_bound_variable_becomes_slot_probe(self):
+        _, _, kernel = kernel_for("h(X, Y) :- p(X, Z), q(Z, Y).")
+        first, second = kernel.static_steps
+        assert first.probe_kind == PROBE_SCAN
+        assert second.probe_kind == PROBE_SLOT
+        # Z was bound into its slot by the first step and probes q's column 0.
+        assert second.probe_position == 0
+        assert second.probe_slot == first.binds[1][1]
+
+    def test_repeated_variable_in_one_atom_compiles_to_self_check(self):
+        _, _, kernel = kernel_for("h(X) :- p(X, X).")
+        (step,) = kernel.static_steps
+        assert step.self_checks == ((1, 0),)
+        assert step.binds == ((0, 0),)
+
+    def test_delta_variants_share_the_slot_file(self):
+        _, plan, kernel = kernel_for(
+            "anc(X, Y) :- par(X, Z), anc(Z, Y).",
+            {"par": 10, "anc": 50},
+            delta_predicates=frozenset({"anc"}),
+        )
+        assert kernel.delta_positions == (1,)
+        delta_steps = kernel.delta_steps[1]
+        assert delta_steps[0].use_delta and delta_steps[0].predicate == "anc"
+        assert not delta_steps[1].use_delta
+        # Same registers as the static order: Z's slot probes par's column 1.
+        assert delta_steps[1].probe_kind == PROBE_SLOT
+
+    def test_parameter_rules_are_not_compiled(self):
+        rule = parse_rule("h(X) :- p($who, X).")
+        assert any(isinstance(term, Parameter) for atom in rule.body for term in atom.terms)
+        plan = plan_rule(rule, {})
+        assert compile_rule_kernel(plan) is None
+
+    def test_program_plan_records_uncompilable_rules_as_none(self):
+        program = parse_program(
+            """
+            ?h(X)
+            h(X) :- p($who, X).
+            """
+        )
+        plan = compile_program_plan(program, Database({"p": [("a", 1)]}))
+        (rule,) = [rule for rule in program.rules if not rule.is_fact()]
+        assert plan.kernel(rule) is None
+        assert "interpreted match_body path" in plan.describe()
+
+
+# ----------------------------------------------------------------------
+# Execution units
+# ----------------------------------------------------------------------
+class TestExecution:
+    def test_static_run_matches_the_interpreter(self):
+        rule, plan, kernel = kernel_for(
+            "h(X, Y) :- p(X, Z), q(Z, Y).", {"p": 2, "q": 3}
+        )
+        database = Database(
+            {"p": [(1, 2), (3, 4), (5, 2)], "q": [(2, "a"), (4, "b"), (9, "c")]}
+        )
+        assert sorted(kernel.run_static(database)) == interpreted_heads(
+            rule, plan, database
+        )
+
+    def test_duplicate_firings_are_preserved(self):
+        # Two distinct Z witnesses produce the same head: the fixpoint's
+        # duplicate statistics depend on seeing both firings.
+        rule, plan, kernel = kernel_for("h(X) :- p(X, Z).")
+        database = Database({"p": [(1, 2), (1, 3)]})
+        assert sorted(kernel.run_static(database)) == [(1,), (1,)]
+
+    def test_delta_run_matches_the_interpreter(self):
+        rule, plan, kernel = kernel_for(
+            "anc(X, Y) :- par(X, Z), anc(Z, Y).",
+            {"par": 4, "anc": 4},
+            delta_predicates=frozenset({"anc"}),
+        )
+        working = Database(
+            {"par": [(1, 2), (2, 3), (3, 4)], "anc": [(2, 3), (3, 4), (2, 4)]}
+        )
+        delta = Database({"anc": [(3, 4)]})
+        assert sorted(kernel.run_delta(1, working, delta)) == interpreted_heads(
+            rule, plan, working, delta_position=1, delta=delta
+        )
+
+    def test_empty_body_fires_exactly_once(self):
+        rule = parse_rule("h(a, b).")
+        plan = plan_rule(rule, {})
+        kernel = compile_rule_kernel(plan)
+        assert kernel.run_static(Database()) == [("a", "b")]
+
+    def test_arity_mismatched_tuples_are_skipped(self):
+        # A relation holding mixed arities must behave exactly like
+        # match_atom's length guard, on both the scan and the probe path.
+        rule, plan, kernel = kernel_for("h(X, Y) :- p(X, Y).")
+        database = Database({"p": [(1,), (1, 2), (1, 2, 3)]})
+        assert kernel.run_static(database) == [(1, 2)]
+        rule, plan, kernel = kernel_for("h(X) :- p(c, X).")
+        database = Database({"p": [("c",), ("c", 1)]})
+        assert kernel.run_static(database) == [(1,)]
+
+    def test_constant_head_rule(self):
+        rule, plan, kernel = kernel_for("flag(on) :- p(X, X).")
+        assert kernel.run_static(Database({"p": [(1, 1), (2, 3)]})) == [("on",)]
+        assert kernel.run_static(Database({"p": [(2, 3)]})) == []
+
+
+# ----------------------------------------------------------------------
+# Compiled-vs-interpreted parity over the examples catalogue
+# ----------------------------------------------------------------------
+CATALOGUE = [
+    ("program_a", program_a().program, parent_forest(40, seed=5, root_count=3)),
+    ("program_b", program_b().program, parent_forest(40, seed=5, root_count=3)),
+    ("program_c", program_c().program, parent_forest(25, seed=5, root_count=2)),
+    ("program_d", program_d(), parent_forest(40, seed=5, root_count=3)),
+    ("anbn", anbn_program().program, layered_anbn_graph(5, noise_branches=3)),
+    ("section7_magic", section7_transformed(), layered_anbn_graph(5, noise_branches=3)),
+    (
+        "same_generation",
+        same_generation_program().program,
+        same_generation_database(depth=3, branching=2),
+    ),
+    (
+        "random_graph",
+        program_b().program,
+        labeled_random_graph(18, 40, ("par",), seed=9, prefix="john"),
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "label,program,database", CATALOGUE, ids=[entry[0] for entry in CATALOGUE]
+)
+def test_compiled_matches_interpreted_on_catalogue(label, program, database):
+    for evaluate in (evaluate_naive, evaluate_seminaive):
+        compiled = evaluate(program, database, compiled=True)
+        interpreted = evaluate(program, database, compiled=False)
+        assert compiled.idb_facts == interpreted.idb_facts, f"{label} model diverged"
+        assert compiled.answers() == interpreted.answers(), f"{label} answers diverged"
+        # The kernels change how firings are enumerated, never how many: the
+        # hardware-independent cost model must be identical on both paths.
+        assert (
+            compiled.statistics.as_dict() == interpreted.statistics.as_dict()
+        ), f"{label} statistics diverged"
+
+
+def test_catalogue_rules_all_compile():
+    for label, program, database in CATALOGUE:
+        plan = compile_program_plan(program, database)
+        for rule in program.rules:
+            if not rule.is_fact():
+                assert plan.kernel(rule) is not None, f"{label}: {rule} not compiled"
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: every registered engine and both evaluator paths agree
+# ----------------------------------------------------------------------
+edge_tuples = st.tuples(
+    st.integers(min_value=0, max_value=4), st.integers(min_value=0, max_value=4)
+)
+
+
+@st.composite
+def edge_databases(draw):
+    database = Database()
+    for _ in range(draw(st.integers(min_value=1, max_value=14))):
+        database.add_fact(draw(st.sampled_from(["e", "f"])), draw(edge_tuples))
+    return database
+
+
+PROGRAM_POOL = [
+    parse_program(
+        """
+        ?t(X, Y)
+        t(X, Y) :- e(X, Y).
+        t(X, Y) :- t(X, Z), e(Z, Y).
+        """
+    ),
+    parse_program(
+        """
+        ?t(X, Y)
+        t(X, Y) :- e(X, Y).
+        t(X, Y) :- e(X, Z), f(Z, W), t(W, Y).
+        """
+    ),
+    parse_program(
+        """
+        ?s(X, Y)
+        t(X, Y) :- e(X, Y).
+        t(X, Y) :- t(X, Z), t(Z, Y).
+        s(X, Y) :- f(X, Z), t(Z, Y).
+        """
+    ),
+    parse_program(
+        """
+        ?odd(X, Y)
+        odd(X, Y) :- e(X, Z), even(Z, Y).
+        even(X, Y) :- e(X, Z), odd(Z, Y).
+        even(X, Y) :- e(X, Y).
+        """
+    ),
+]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.sampled_from(range(len(PROGRAM_POOL))), edge_databases())
+def test_all_engines_agree_with_kernels_enabled(program_index, database):
+    program = PROGRAM_POOL[program_index]
+    interpreted = evaluate_seminaive(program, database, compiled=False)
+    assert (
+        evaluate_seminaive(program, database, compiled=True).answers()
+        == interpreted.answers()
+    )
+    assert (
+        evaluate_naive(program, database, compiled=True).answers()
+        == interpreted.answers()
+    )
+    for name in available_engines():
+        try:
+            result = get_engine(name).evaluate(program, database)
+        except Exception as error:  # pragma: no cover - only magic can decline
+            from repro.datalog.engine import EngineNotApplicableError
+
+            if isinstance(error, EngineNotApplicableError):
+                continue
+            raise
+        assert result.answers() == interpreted.answers(), name
+
+
+# ----------------------------------------------------------------------
+# EXPLAIN surface
+# ----------------------------------------------------------------------
+def test_zero_derivation_runs_leave_no_phantom_relations():
+    # A rule that fires nothing must not leave an empty IDB relation behind:
+    # both engines' result shape (relations()/repr) must match on empty input.
+    program = PROGRAM_POOL[0]
+    database = Database({"f": [(0, 1)]})  # no "e" facts: t derives nothing
+    naive = evaluate_naive(program, database)
+    seminaive = evaluate_seminaive(program, database)
+    assert naive.idb_facts.relations() == {} == seminaive.idb_facts.relations()
+
+
+def test_compiled_toggle_is_rejected_by_toggle_less_engines():
+    from repro.errors import EvaluationError
+
+    program = PROGRAM_POOL[0]
+    database = Database({"e": [(1, 2)]})
+    with pytest.raises(EvaluationError):
+        get_engine("topdown").evaluate(program, database, compiled=False)
+
+
+def test_magic_engine_forwards_the_toggle_to_its_delegate():
+    program = parse_program(
+        """
+        ?t(1, Y)
+        t(X, Y) :- e(X, Y).
+        t(X, Y) :- t(X, Z), e(Z, Y).
+        """
+    )
+    database = Database({"e": [(1, 2), (2, 3)]})
+    magic = get_engine("magic")
+    assert (
+        magic.evaluate(program, database, compiled=False).answers()
+        == magic.evaluate(program, database).answers()
+    )
+
+
+def test_explain_surfaces_slot_and_probe_compilation():
+    session = QuerySession(program_b().program, parent_forest(30, seed=3))
+    text = session.explain(plans=True)
+    assert "kernel:" in text
+    assert "slots" in text
+    assert "bind" in text
+    assert "delta@" in text
+    # The slot-probe of the recursive body atom must be visible.
+    assert "==s" in text
+
+
+def test_kernel_describe_names_slots_and_head():
+    _, _, kernel = kernel_for("h(Y, X) :- p(X, Y).")
+    text = kernel.describe()
+    assert "2 slots (X=s0, Y=s1)" in text
+    assert "head <s1, s0>" in text
+    assert "scan p" in text
