@@ -1,0 +1,232 @@
+"""Experiment E12 — incremental view maintenance vs from-scratch recomputation.
+
+PR 3's service treated every write as a cache apocalypse: recompute all
+materialized answers.  This experiment measures what
+:mod:`repro.datalog.incremental` saves by *maintaining* the model instead —
+counting for non-recursive strata, Delete-and-Rederive for recursive ones,
+with insertions riding the compiled semi-naive delta kernels.
+
+The portfolio covers the small-delta regimes a live system actually sees:
+
+* **deep TC, single-fact retract** — a 300-edge chain's transitive closure
+  (~45k facts); one maintenance cycle retracts the final edge and re-asserts
+  it.  DRed touches only the ~300 facts reachable through that edge, while a
+  recomputation pays the full fixpoint twice;
+* **wide TC, batch insert** — a dense random graph's closure; one cycle
+  attaches a 3-node appendage and removes it again.  The semi-naive delta
+  seeded from the insertions derives only the appendage's closure rows;
+* **service mixed read/write** — a :class:`DatalogService` driving 90/10
+  read/write traffic over magic-rewritten ancestor queries, once with live
+  materialized views (writes maintain), once without (writes invalidate and
+  reads recompute).
+
+Both maintenance paths are parity-checked against from-scratch evaluation
+before anything is timed.  Acceptance gate
+(``test_incremental_at_least_5x_faster``, also run in the plain suite under
+``--benchmark-disable``): one maintenance cycle must be at least 5x faster
+than the equivalent from-scratch recomputation across the micro portfolio.
+"""
+
+import time
+
+import pytest
+
+from repro.core.workloads import chain_database, labeled_random_graph, parent_forest
+from repro.datalog import Database, DatalogService, MaterializedView, get_engine
+from repro.datalog.engine.planner import Planner
+from repro.datalog.parser import parse_program
+from repro.datalog.transforms import MagicSets
+
+SEMINAIVE = get_engine("seminaive")
+
+TC = parse_program(
+    """
+    ?tc(X, Y)
+    tc(X, Y) :- e(X, Y).
+    tc(X, Y) :- tc(X, Z), e(Z, Y).
+    """
+)
+
+ANC_TEMPLATE = """
+?anc($who, Y)
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- anc(X, Z), par(Z, Y).
+"""
+
+# label -> (database, change batch): one maintenance cycle applies the batch
+# as deletions then re-applies it as insertions (deep_tc) or vice versa
+# (wide_tc), so every timed round starts and ends in the same state.
+DEEP_EDGE = ("e", ("n299", "n300"))
+WIDE_BATCH = [("e", ("w0", 0)), ("e", ("w1", "w0")), ("e", ("w2", "w1"))]
+
+WORKLOADS = {
+    "deep_tc_retract": (chain_database(300, relation="e"), [DEEP_EDGE], "delete_first"),
+    "wide_tc_insert": (
+        labeled_random_graph(60, 240, ("e",), seed=3),
+        WIDE_BATCH,
+        "insert_first",
+    ),
+}
+
+VIEWS = {
+    label: MaterializedView(TC, database)
+    for label, (database, _, _) in WORKLOADS.items()
+}
+
+# Warm planners so the recompute baseline pays evaluation only — the same
+# footing the views get (their plan is compiled once at build time).
+PLANNERS = {label: Planner() for label in WORKLOADS}
+for label, (database, _, _) in WORKLOADS.items():
+    PLANNERS[label].plan(TC, database)
+
+
+def maintenance_cycle(label: str):
+    """One small-delta write cycle, maintained in place (state-preserving)."""
+    database, batch, mode = WORKLOADS[label]
+    view = VIEWS[label]
+    if mode == "delete_first":
+        first = view.apply(deletions=batch)
+        second = view.apply(insertions=batch)
+    else:
+        first = view.apply(insertions=batch)
+        second = view.apply(deletions=batch)
+    return view, first, second
+
+
+def recompute_cycle(label: str):
+    """The same write cycle answered by two from-scratch evaluations."""
+    database, batch, mode = WORKLOADS[label]
+    changed = database.copy()
+    if mode == "delete_first":
+        changed.remove_facts(batch)
+    else:
+        changed.add_facts(batch)
+    first = SEMINAIVE.evaluate(TC, changed, planner=PLANNERS[label])
+    second = SEMINAIVE.evaluate(TC, database, planner=PLANNERS[label])
+    return first, second
+
+
+def test_parity_maintained_vs_recomputed():
+    """The maintained model equals from-scratch evaluation at both cycle ends."""
+    for label, (database, batch, mode) in WORKLOADS.items():
+        view = VIEWS[label]
+        baseline = SEMINAIVE.evaluate(TC, database)
+        assert view.idb_facts() == baseline.idb_facts, label
+        changed = database.copy()
+        if mode == "delete_first":
+            view.apply(deletions=batch)
+            changed.remove_facts(batch)
+        else:
+            view.apply(insertions=batch)
+            changed.add_facts(batch)
+        mid = SEMINAIVE.evaluate(TC, changed)
+        assert view.idb_facts() == mid.idb_facts, label
+        if mode == "delete_first":
+            view.apply(insertions=batch)
+        else:
+            view.apply(deletions=batch)
+        assert view.idb_facts() == baseline.idb_facts, label
+
+
+@pytest.mark.parametrize("label", sorted(WORKLOADS))
+def test_incremental_maintenance(benchmark, label):
+    view, first, second = benchmark(maintenance_cycle, label)
+    benchmark.extra_info["model_facts"] = view.model.fact_count()
+    benchmark.extra_info["overdeleted"] = first.overdeleted + second.overdeleted
+    benchmark.extra_info["rederived"] = first.rederived + second.rederived
+    benchmark.extra_info["derived_added"] = first.derived_added + second.derived_added
+
+
+@pytest.mark.parametrize("label", sorted(WORKLOADS))
+def test_full_recompute(benchmark, record, label):
+    first, second = benchmark(recompute_cycle, label)
+    record(benchmark, "recompute", second.statistics)
+    benchmark.extra_info["model_facts"] = len(second.idb_facts.relation("tc"))
+
+
+# ----------------------------------------------------------------------
+# Service-level mixed read/write traffic (90/10)
+# ----------------------------------------------------------------------
+READS_PER_CYCLE = 36
+WRITES_PER_CYCLE = 4
+BINDING_POOL = ("john", "p1", "p2", "p5", "p8", "p13", "p21", "p34")
+
+
+def build_service(materialize: bool) -> DatalogService:
+    service = DatalogService(parent_forest(400, seed=17, root_count=4))
+    service.register_program("anc", ANC_TEMPLATE, transforms=(MagicSets(),))
+    if materialize:
+        for who in BINDING_POOL:
+            service.materialize("anc", who=who)
+    return service
+
+
+def mixed_traffic(service: DatalogService) -> int:
+    answers = 0
+    write_index = 0
+    for index in range(READS_PER_CYCLE + WRITES_PER_CYCLE):
+        if index % 10 == 9:
+            # 10% writes: attach and detach a fresh leaf under john.
+            fact = ("par", ("john", f"__w{write_index}"))
+            if write_index % 2 == 0:
+                service.add_facts([fact])
+            else:
+                service.remove_facts([("par", ("john", f"__w{write_index - 1}"))])
+            write_index += 1
+        else:
+            answers += len(
+                service.execute("anc", who=BINDING_POOL[index % len(BINDING_POOL)])
+            )
+    return answers
+
+
+def test_parity_service_views_vs_recompute():
+    live = build_service(materialize=True)
+    cold = build_service(materialize=False)
+    assert mixed_traffic(live) == mixed_traffic(cold)
+    for who in BINDING_POOL:
+        assert live.execute("anc", who=who) == cold.execute("anc", who=who)
+
+
+def test_service_mixed_rw_incremental(benchmark):
+    service = build_service(materialize=True)
+    benchmark(mixed_traffic, service)
+    benchmark.extra_info["statistics"] = service.statistics()
+
+
+def test_service_mixed_rw_recompute(benchmark):
+    service = build_service(materialize=False)
+    benchmark(mixed_traffic, service)
+    benchmark.extra_info["statistics"] = service.statistics()
+
+
+# ----------------------------------------------------------------------
+# Acceptance gate: maintenance >=5x faster than recomputation
+# ----------------------------------------------------------------------
+def test_incremental_at_least_5x_faster():
+    """The ISSUE's acceptance gate, measured directly with perf_counter.
+
+    Locally the micro portfolio runs ~30-200x faster maintained; the 5x
+    threshold leaves generous headroom for noisy CI machines.  Best-of-three
+    over the whole portfolio smooths scheduler noise.
+    """
+
+    def best_portfolio_seconds(runner, repeats: int = 3) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            for label in WORKLOADS:
+                runner(label)
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    for label in WORKLOADS:  # warm plans, indexes, and view state
+        maintenance_cycle(label)
+        recompute_cycle(label)
+    maintained_seconds = best_portfolio_seconds(maintenance_cycle)
+    recomputed_seconds = best_portfolio_seconds(recompute_cycle)
+    ratio = recomputed_seconds / maintained_seconds
+    assert ratio >= 5.0, (
+        f"maintained {maintained_seconds * 1e3:.2f} ms vs recomputed "
+        f"{recomputed_seconds * 1e3:.2f} ms: only {ratio:.2f}x"
+    )

@@ -34,6 +34,13 @@ TRAFFIC_EXTRAS = (
 KERNEL_COMPILED_PREFIX = "test_compiled_kernels["
 KERNEL_INTERPRETED_PREFIX = "test_interpreted_match_body["
 
+INCREMENTAL_MAINTAIN_PREFIX = "test_incremental_maintenance["
+INCREMENTAL_RECOMPUTE_PREFIX = "test_full_recompute["
+INCREMENTAL_SERVICE = (
+    "test_service_mixed_rw_incremental",
+    "test_service_mixed_rw_recompute",
+)
+
 
 def medians(report: dict) -> dict:
     """Map each benchmark's name to its median (seconds) and cost-model extras."""
@@ -104,6 +111,44 @@ def kernels_summary(median_map: dict) -> dict:
     return summary
 
 
+def incremental_summary(median_map: dict) -> dict:
+    """The E12 shape: per-workload maintenance-vs-recompute speedups.
+
+    Pairs ``test_incremental_maintenance[w]`` with ``test_full_recompute[w]``
+    and reports the per-workload and portfolio ratios the ISSUE's >=5x
+    acceptance gate is about, plus the mixed read/write service pair.
+    Empty when the report has no E12 benchmarks.
+    """
+    workloads: dict = {}
+    for name, entry in median_map.items():
+        if name.startswith(INCREMENTAL_MAINTAIN_PREFIX) and name.endswith("]"):
+            label = name[len(INCREMENTAL_MAINTAIN_PREFIX) : -1]
+            workloads.setdefault(label, {})["maintained_seconds"] = entry["median_seconds"]
+        elif name.startswith(INCREMENTAL_RECOMPUTE_PREFIX) and name.endswith("]"):
+            label = name[len(INCREMENTAL_RECOMPUTE_PREFIX) : -1]
+            workloads.setdefault(label, {})["recomputed_seconds"] = entry["median_seconds"]
+    summary: dict = {"workloads": workloads}
+    maintained_total = recomputed_total = 0.0
+    for label, entry in workloads.items():
+        maintained = entry.get("maintained_seconds")
+        recomputed = entry.get("recomputed_seconds")
+        if maintained and recomputed:
+            entry["speedup"] = recomputed / maintained
+            maintained_total += maintained
+            recomputed_total += recomputed
+    if maintained_total:
+        summary["portfolio_speedup"] = recomputed_total / maintained_total
+        summary["meets_5x_gate"] = summary["portfolio_speedup"] >= 5.0
+    live, cold = (median_map.get(name) for name in INCREMENTAL_SERVICE)
+    if live and cold and live["median_seconds"]:
+        summary["service_mixed_rw"] = {
+            "incremental_seconds": live["median_seconds"],
+            "recompute_seconds": cold["median_seconds"],
+            "speedup": cold["median_seconds"] / live["median_seconds"],
+        }
+    return summary
+
+
 def main(argv) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("source", help="pytest-benchmark JSON report")
@@ -126,12 +171,21 @@ def main(argv) -> int:
     kernels = kernels_summary(median_map)
     if kernels["workloads"]:
         summary["kernels"] = kernels
+    incremental = incremental_summary(median_map)
+    if incremental["workloads"]:
+        summary["incremental"] = incremental
     with open(arguments.destination, "w", encoding="utf-8") as handle:
         json.dump(summary, handle, indent=2, sort_keys=True)
     print(f"wrote {len(median_map)} medians to {arguments.destination}")
     ratio = kernels.get("portfolio_speedup")
     if ratio is not None:
         print(f"kernel portfolio speedup {ratio:.1f}x (gate >=2x: {kernels['meets_2x_gate']})")
+    ratio = incremental.get("portfolio_speedup")
+    if ratio is not None:
+        print(
+            f"incremental portfolio speedup {ratio:.1f}x "
+            f"(gate >=5x: {incremental['meets_5x_gate']})"
+        )
     if arguments.traffic:
         traffic = {
             "machine_info": report.get("machine_info", {}),

@@ -27,6 +27,7 @@ from __future__ import annotations
 import argparse
 import re
 import sys
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Iterable, List, Optional
@@ -96,6 +97,18 @@ _TRANSFORMS = {
 }
 
 
+def _print_view_result(view) -> None:
+    """Answers + maintenance account of a materialized view (--incremental)."""
+    answers = sorted(view.answers(), key=repr)
+    for answer in answers:
+        _print("(" + ", ".join(str(value) for value in answer) + ")")
+    _print(
+        f"-- {len(answers)} answers; materialized view "
+        f"(maintainable via apply); {view.statistics}"
+    )
+    _print(view.describe())
+
+
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
@@ -163,6 +176,9 @@ def command_evaluate(arguments: argparse.Namespace) -> int:
         if arguments.explain:
             _print(prepared.describe())
             _print()
+        if arguments.incremental:
+            _print_view_result(prepared.materialize(params))
+            return 0
         result = prepared.execute(params, max_iterations=arguments.max_iterations)
         answers = sorted(result.answers(), key=repr)
         for answer in answers:
@@ -176,6 +192,12 @@ def command_evaluate(arguments: argparse.Namespace) -> int:
         raise ValidationError(
             "--param given but the program declares no $parameters in its goal"
         )
+    if arguments.incremental:
+        if arguments.explain:
+            _print(session.explain())
+            _print()
+        _print_view_result(session.materialize())
+        return 0
     if arguments.explain:
         # Explain the plan for what the engine actually evaluates: engines
         # that rewrite the program internally (e.g. ``magic``) run a
@@ -231,16 +253,62 @@ def command_serve_bench(arguments: argparse.Namespace) -> int:
     if not pool:
         raise ValidationError("the facts file is empty; nothing to bind parameters to")
 
+    def bindings_for(index: int) -> Dict[str, object]:
+        return {
+            name: pool[(index + offset) % len(pool)]
+            for offset, name in enumerate(names)
+        }
+
+    materialize_seconds = 0.0
+    if arguments.materialize:
+        materialize_start = time.perf_counter()
+        for index in range(len(pool)):
+            service.materialize("bench", bindings_for(index))
+        materialize_seconds = time.perf_counter() - materialize_start
+
+    # Interleave write operations evenly: every write adds one synthetic
+    # fact to the program's first EDB relation (at that relation's arity),
+    # and every second write retracts the very same tuple, so the retract
+    # half genuinely exercises deletion maintenance and the database ends
+    # the run near its starting size.  With --materialize each write
+    # maintains the live counting/DRed views instead of recomputing.
+    write_predicate = min(program.edb_predicates(), default=None)
+    writes = max(arguments.writes, 0)
+    if writes and write_predicate is None:
+        raise ValidationError("--writes needs a program with at least one EDB predicate")
+    write_arity = program.predicate_arities().get(write_predicate, 2)
+    write_every = max(arguments.requests // writes, 1) if writes else 0
+    write_latencies: List[float] = []
+    write_lock = threading.Lock()
+    # Write ops are serialized and numbered by this counter (not by request
+    # index): under --threads the retract half of a pair must never overtake
+    # its insert, or it degrades to a no-op.
+    write_counter = [0]
+
+    def write() -> None:
+        with write_lock:
+            index = write_counter[0]
+            write_counter[0] += 1
+            pair = index // 2
+            values = (f"__w{pair}",) + (pool[pair % len(pool)],) * (write_arity - 1)
+            fact = (write_predicate, values)
+            started = time.perf_counter()
+            if index % 2 == 0:
+                service.add_facts([fact])
+            else:
+                service.remove_facts([fact])
+            write_latencies.append(time.perf_counter() - started)
+
     latencies: List[float] = [0.0] * arguments.requests
     answer_counts: List[int] = [0] * arguments.requests
 
     def request(index: int) -> None:
-        bindings = {
-            name: pool[(index + offset) % len(pool)]
-            for offset, name in enumerate(names)
-        }
+        if write_every and index % write_every == 0 and index // write_every < writes:
+            write()
         started = time.perf_counter()
-        answers = service.execute("bench", bindings, fresh=arguments.no_cache)
+        answers = service.execute(
+            "bench", bindings_for(index), fresh=arguments.no_cache
+        )
         latencies[index] = time.perf_counter() - started
         answer_counts[index] = len(answers)
 
@@ -263,14 +331,22 @@ def command_serve_bench(arguments: argparse.Namespace) -> int:
            + ", ".join(f"${name}" for name in names) + ")")
     _print(f"transforms : {', '.join(arguments.transform) or '(none)'}; "
            f"engine={arguments.engine}; prepare+plan {compile_seconds * 1e3:.2f} ms (once)")
+    if arguments.materialize:
+        _print(f"views      : {statistics['materialized_views']} bindings kept live "
+               f"(materialized in {materialize_seconds * 1e3:.2f} ms, once)")
     _print(f"traffic    : {arguments.requests} requests, {arguments.threads} threads, "
-           f"{len(pool)} distinct constants")
+           f"{len(pool)} distinct constants, {len(write_latencies)} writes")
     _print(f"wall time  : {wall:.3f} s  ->  {arguments.requests / wall:,.0f} req/s")
     _print(f"latency    : p50 {percentile(0.50) * 1e3:.3f} ms, "
            f"p95 {percentile(0.95) * 1e3:.3f} ms, max {ordered[-1] * 1e3:.3f} ms")
+    if write_latencies:
+        sorted_writes = sorted(write_latencies)
+        _print(f"write lat. : p50 {sorted_writes[len(sorted_writes) // 2] * 1e3:.3f} ms, "
+               f"max {sorted_writes[-1] * 1e3:.3f} ms")
     _print(f"answers    : {sum(answer_counts)} total across all requests")
     _print(f"cache      : {statistics['cache_hits']} hits, "
            f"{statistics['cache_misses']} misses, "
+           f"{statistics['view_hits']} view hits, "
            f"{statistics['executions']} engine executions")
     return 0
 
@@ -356,6 +432,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="bind a goal parameter (repeatable); required once per $parameter "
         "declared by the program, e.g. --param who=john",
     )
+    evaluate.add_argument(
+        "--incremental",
+        action="store_true",
+        help="evaluate into a materialized view (counting + DRed maintenance) "
+        "and report its per-stratum maintenance strategy",
+    )
     evaluate.set_defaults(handler=command_evaluate)
 
     serve_bench = subparsers.add_parser(
@@ -385,6 +467,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument(
         "--no-cache", action="store_true",
         help="bypass the result cache so every request runs the engine",
+    )
+    serve_bench.add_argument(
+        "--writes", type=int, default=0,
+        help="interleave this many write operations (alternating insert/retract "
+        "of synthetic facts) to measure the mixed read/write regime",
+    )
+    serve_bench.add_argument(
+        "--materialize", action="store_true",
+        help="keep a live materialized view per distinct binding; writes then "
+        "maintain the views incrementally instead of invalidating the cache",
     )
     serve_bench.set_defaults(handler=command_serve_bench)
 

@@ -28,7 +28,7 @@ from repro.core.rewrites import finite_language_to_monadic, monadic_program_from
 from repro.datalog.database import Database
 from repro.datalog.program import Program
 from repro.datalog.session import QuerySession
-from repro.errors import ValidationError
+from repro.errors import LanguageAnalysisError, ValidationError
 from repro.languages.approximation import strongly_regular_to_nfa
 from repro.languages.cfg import Grammar
 from repro.languages.cfg_analysis import enumerate_finite_language, is_finite_language
@@ -203,7 +203,29 @@ class SelectionPropagator:
                 f"constructed a {len(dfa.states)}-state DFA and one monadic predicate per state",
             )
         if is_unary_alphabet(grammar):
-            lengths = unary_length_set(grammar, self.unary_sample_bound)
+            # The periodic-set fit is a sampling heuristic: a language whose
+            # period or threshold exceeds the bound makes it fail, so retry
+            # with doubled bounds before giving up on the construction — the
+            # regularity *certificate* above is unaffected either way.
+            lengths = None
+            failure: Optional[LanguageAnalysisError] = None
+            for attempt in range(3):
+                try:
+                    lengths = unary_length_set(
+                        grammar, self.unary_sample_bound << attempt
+                    )
+                    break
+                except LanguageAnalysisError as error:
+                    failure = error
+            if lengths is None:
+                return (
+                    None,
+                    None,
+                    True,
+                    "regularity is certified, but the unary length set did not fit "
+                    f"an ultimately periodic form within the sampling bounds "
+                    f"({failure}); no monadic program was materialised",
+                )
             (terminal,) = {
                 s for p in grammar.productions for s in p.rhs if s in grammar.terminals
             }

@@ -19,6 +19,7 @@ from repro.datalog.engine import (
     register_engine,
     select_answers,
 )
+from repro.datalog.incremental import ApplyReport, MaintenanceStatistics, MaterializedView
 from repro.datalog.parser import parse_atom, parse_facts, parse_program, parse_rule, parse_term
 from repro.datalog.prepared import AnswerCursor, BoundQuery, PreparedQuery
 from repro.datalog.pretty import format_atom, format_database, format_program, format_rule
@@ -30,11 +31,14 @@ from repro.datalog.terms import Constant, Parameter, Term, Variable
 
 __all__ = [
     "AnswerCursor",
+    "ApplyReport",
     "Atom",
     "BoundQuery",
     "Constant",
     "Database",
     "DatalogService",
+    "MaintenanceStatistics",
+    "MaterializedView",
     "DerivationAnalyzer",
     "DerivationTree",
     "Engine",

@@ -231,6 +231,79 @@ class Database:
             self._version += 1
         return added
 
+    def _note_removed_bulk(self, predicate: str, gone: Iterable[Tuple]) -> None:
+        """Snapshot/index maintenance for a grouped removal (no version bump).
+
+        The mirror image of :meth:`_note_added_bulk`: the snapshot is dropped
+        and every live index bucket containing a removed tuple is pruned (a
+        tuple appears at most once per bucket because every insert path diffs
+        against the relation first).  Emptied buckets are deleted so probes
+        for a fully retracted value fall back to the shared empty result.
+        """
+        self._snapshots.pop(predicate, None)
+        indexes = self._indexes.get(predicate)
+        if indexes:
+            for position, index in indexes.items():
+                for values in gone:
+                    if position < len(values):
+                        bucket = index.get(values[position])
+                        if bucket is not None:
+                            try:
+                                bucket.remove(values)
+                            except ValueError:
+                                pass
+                            if not bucket:
+                                del index[values[position]]
+
+    def remove_fact(self, predicate: str, values: Tuple) -> bool:
+        """Remove a tuple from a relation; return ``True`` if it was present."""
+        relation = self._relations.get(predicate)
+        values = tuple(values)
+        if relation is None or values not in relation:
+            return False
+        relation.remove(values)
+        if not relation:
+            del self._relations[predicate]
+        self._version += 1
+        self._note_removed_bulk(predicate, (values,))
+        return True
+
+    def retract(self, predicate: str, values: Tuple) -> bool:
+        """Alias for :meth:`remove_fact` (the IVM layer's vocabulary)."""
+        return self.remove_fact(predicate, values)
+
+    def remove_facts(self, facts: Iterable) -> int:
+        """Bulk removal; returns the number of facts that were actually present.
+
+        The mirror of :meth:`add_facts`: *facts* may mix ground
+        :class:`~repro.datalog.atoms.Atom` objects and ``(predicate, values)``
+        pairs, the snapshots and live indexes of each touched relation are
+        maintained in one pass, and :attr:`version` is bumped exactly once.
+        Relations left empty are dropped entirely (no phantom empty entries).
+        """
+        return self._remove_grouped(_group_facts(facts))
+
+    def _remove_grouped(self, grouped: Mapping[str, Set[Tuple]]) -> int:
+        """Shared grouped removal; input sets are intersected, never retained."""
+        removed = 0
+        for predicate, tuples in grouped.items():
+            if not tuples:
+                continue
+            relation = self._relations.get(predicate)
+            if not relation:
+                continue
+            gone = tuples & relation
+            if not gone:
+                continue
+            relation -= gone
+            if not relation:
+                del self._relations[predicate]
+            removed += len(gone)
+            self._note_removed_bulk(predicate, gone)
+        if removed:
+            self._version += 1
+        return removed
+
     def remove_relation(self, predicate: str) -> None:
         """Drop a relation entirely (no error if absent)."""
         self._version += 1
@@ -464,6 +537,27 @@ class OverlayDatabase(Database):
 
     def remove_relation(self, predicate: str) -> None:
         raise TypeError("an OverlayDatabase cannot remove relations of its base")
+
+    def remove_fact(self, predicate: str, values: Tuple) -> bool:
+        values = tuple(values)
+        if self._base.contains(predicate, values):
+            raise TypeError(
+                f"an OverlayDatabase cannot retract {predicate}{values!r}: the "
+                "fact lives in the base database (materialize() the overlay, "
+                "or retract from the base itself)"
+            )
+        return super().remove_fact(predicate, values)
+
+    def _remove_grouped(self, grouped: Mapping[str, Set[Tuple]]) -> int:
+        for predicate, tuples in grouped.items():
+            for values in tuples:
+                if self._base.contains(predicate, values):
+                    raise TypeError(
+                        f"an OverlayDatabase cannot retract {predicate}{values!r}: "
+                        "the fact lives in the base database (materialize() the "
+                        "overlay, or retract from the base itself)"
+                    )
+        return super()._remove_grouped(grouped)
 
     # ------------------------------------------------------------------
     # Access (union of base and local)

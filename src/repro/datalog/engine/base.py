@@ -93,6 +93,7 @@ def match_body(
     delta_position: Optional[int] = None,
     delta_index=None,
     order: Optional[Sequence[int]] = None,
+    sources: Optional[Sequence] = None,
 ) -> Iterator[Substitution]:
     """Enumerate substitutions that satisfy *body* against the indexed database.
 
@@ -100,7 +101,11 @@ def match_body(
     ``relation``/``probe``.  When ``delta_position`` is given, the atom at
     that position is matched against ``delta_index`` (the per-iteration
     delta) instead of the full database — the standard semi-naive
-    specialisation.
+    specialisation.  *sources*, when given, generalises that to a fully
+    per-position assignment: one ``relation``/``probe`` object per original
+    body position (*index*/``delta_*`` are then ignored) — incremental
+    counting maintenance joins three states (delta / new / old) in one body
+    this way.
 
     *order*, when given, lists original body positions in the sequence the
     join should execute them (a :class:`~repro.datalog.engine.planner.JoinPlan`
@@ -110,15 +115,18 @@ def match_body(
     work done to enumerate them.
     """
     positions = tuple(order) if order is not None else tuple(range(len(body)))
-    sequence = tuple(
-        (
-            body[position],
-            delta_index
-            if (delta_index is not None and position == delta_position)
-            else index,
+    if sources is not None:
+        sequence = tuple((body[position], sources[position]) for position in positions)
+    else:
+        sequence = tuple(
+            (
+                body[position],
+                delta_index
+                if (delta_index is not None and position == delta_position)
+                else index,
+            )
+            for position in positions
         )
-        for position in positions
-    )
 
     def extend(step: int, substitution: Substitution) -> Iterator[Substitution]:
         if step == len(sequence):

@@ -330,8 +330,19 @@ def cardinality_estimates(program: Program, database: Database) -> Dict[str, int
     return estimates
 
 
-def compile_program_plan(program: Program, database: Database) -> ProgramPlan:
-    """Compile strata, per-rule join plans, and slot kernels for *program* over *database*."""
+def compile_program_plan(
+    program: Program, database: Database, *, all_deltas: bool = False
+) -> ProgramPlan:
+    """Compile strata, per-rule join plans, and slot kernels for *program* over *database*.
+
+    With ``all_deltas=True`` every body position of every rule gets a
+    delta-specialised variant (and compiled delta kernel), not just the
+    recursive same-stratum positions.  The evaluation engines never need
+    that — their deltas are always same-stratum — but incremental view
+    maintenance (:mod:`repro.datalog.incremental`) seeds deltas from
+    *external* insertions and deletions, which arrive through EDB and
+    lower-stratum body atoms too.
+    """
     from repro.datalog.engine.executor import compile_rule_kernel
 
     proper_rules = tuple(rule for rule in program.rules if not rule.is_fact())
@@ -353,6 +364,10 @@ def compile_program_plan(program: Program, database: Database) -> ProgramPlan:
         )
         predicates = frozenset(component)
         delta_predicates = predicates if recursive else frozenset()
+        if all_deltas:
+            delta_predicates = frozenset(
+                atom.predicate for rule in rules for atom in rule.body
+            )
         # The stratum's own relations hold (at most) fact-rule facts when its
         # first pass runs, so the static order treats them as near-empty; the
         # delta variants run mid-fixpoint and keep the pessimistic estimate.

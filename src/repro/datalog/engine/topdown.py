@@ -106,6 +106,19 @@ class TopDownEvaluator:
             return table
         active = active | {call}
         predicate = call[0]
+        # Database facts of an IDB predicate are part of B and belong to the
+        # minimum model M(B, H) exactly like rule derivations (the bottom-up
+        # engines start from a copy of the database); seed the call's table
+        # with the matching ones before resolving rules.
+        arity = len(call[1])
+        for values in self.database.relation(predicate):
+            if (
+                len(values) == arity
+                and values not in table
+                and _matches_call(values, call)
+            ):
+                table.add(values)
+                self._changed = True
         for rule in self.program.rules_for(predicate):
             renamed = rule.rename_variables("__td")
             head_binding: Substitution = {}

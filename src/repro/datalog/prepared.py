@@ -492,6 +492,33 @@ class PreparedQuery:
             for bindings in checked
         ]
 
+    def materialize(
+        self,
+        bindings: Optional[Mapping[str, object]] = None,
+        *,
+        compiled: bool = True,
+        **kw_bindings,
+    ):
+        """Bind every parameter and evaluate into a live materialized view.
+
+        The returned :class:`~repro.datalog.incremental.MaterializedView`
+        holds the fully evaluated model for this binding (runtime rules plus
+        the binding's ``__param_*`` seed facts) and stays current under
+        ``view.apply(insertions, deletions)`` — the seed facts ride along as
+        program fact rules, so they are never retractable through the view.
+        :class:`~repro.datalog.service.DatalogService` uses this to keep
+        registered queries live across writes instead of recomputing.
+        """
+        from repro.datalog.incremental import MaterializedView
+
+        merged = dict(bindings or {})
+        merged.update(kw_bindings)
+        checked = self._check_bindings(merged)
+        seeds = parameter_seed_rules(checked)
+        bound_goal = self.goal_template.bind_parameters(checked)
+        program = Program(self._runtime.rules + seeds, bound_goal)
+        return MaterializedView(program, self._database, compiled=compiled)
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------

@@ -51,6 +51,7 @@ from collections import OrderedDict
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from repro.datalog.database import Database
+from repro.datalog.incremental import MaterializedView
 from repro.datalog.parser import parse_program
 from repro.datalog.terms import Constant
 from repro.datalog.prepared import AnswerCursor, PreparedQuery
@@ -91,8 +92,13 @@ class DatalogService:
         self._epoch = 0
         # (name, engine, params, epoch, db version) -> answers, LRU order
         self._cache: "OrderedDict[Tuple, FrozenSet[Tuple]]" = OrderedDict()
+        # (name, normalized params) -> live MaterializedView; maintained
+        # in-place by add_facts/remove_facts instead of being invalidated,
+        # and consulted by execute() before the LRU cache.
+        self._views: Dict[Tuple[str, FrozenSet], MaterializedView] = {}
         self._cache_hits = 0
         self._cache_misses = 0
+        self._view_hits = 0
         self._executions = 0
 
     # ------------------------------------------------------------------
@@ -149,6 +155,8 @@ class DatalogService:
             self._prepared.pop(name, None)
             for key in [key for key in self._cache if key[0] == name]:
                 del self._cache[key]
+            for key in [key for key in self._views if key[0] == name]:
+                del self._views[key]
 
     def registered_queries(self) -> Tuple[str, ...]:
         """Names of all registered queries, sorted."""
@@ -208,9 +216,22 @@ class DatalogService:
         :attr:`Database.version`, so results are never stale: any write
         silently invalidates every cached entry.  ``fresh=True`` bypasses
         the cache (benchmarks).
+
+        A binding previously materialized with :meth:`materialize` is served
+        straight from its live view — writes maintain the view in place, so
+        there is nothing to invalidate and no engine to run.  ``fresh=True``
+        (every cache layer bypassed, the engine really runs) and an explicit
+        *engine* override both skip the view, honouring their contracts.
         """
         bindings = dict(params or {})
         bindings.update(kw_params)
+        if self._views and not fresh and engine is None:
+            view_key = (name, self._normalize_bindings(bindings))
+            with self._lock:
+                view = self._views.get(view_key)
+                if view is not None:
+                    self._view_hits += 1
+                    return view.answers()
         prepared, epoch = self._prepared_entry(name)
         key = self._cache_key(name, prepared, epoch, bindings, engine)
         if not fresh and self._cache_size:
@@ -233,6 +254,14 @@ class DatalogService:
                     self._cache.popitem(last=False)
         return answers
 
+    @staticmethod
+    def _normalize_bindings(bindings: Mapping[str, object]) -> FrozenSet:
+        """Unwrap ``Constant`` values so equivalent bindings share one key."""
+        return frozenset(
+            (key, value.value if isinstance(value, Constant) else value)
+            for key, value in bindings.items()
+        )
+
     def _cache_key(
         self,
         name: str,
@@ -246,10 +275,7 @@ class DatalogService:
         # query's* snapshot (not self._database, which a concurrent write
         # may have swapped) so an answer computed against an old snapshot
         # can only ever be cached under that old snapshot's epoch/version.
-        normalized = frozenset(
-            (key, value.value if isinstance(value, Constant) else value)
-            for key, value in bindings.items()
-        )
+        normalized = self._normalize_bindings(bindings)
         return (
             name,
             engine or prepared.default_engine,
@@ -318,6 +344,72 @@ class DatalogService:
         return AnswerCursor(answers, batch_size)
 
     # ------------------------------------------------------------------
+    # Materialized views
+    # ------------------------------------------------------------------
+    def materialize(
+        self,
+        name: str,
+        params: Optional[Mapping[str, object]] = None,
+        **kw_params,
+    ) -> MaterializedView:
+        """Evaluate one binding of *name* into a live materialized view.
+
+        The view is kept current by :meth:`add_facts` / :meth:`remove_facts`
+        — maintenance instead of invalidation — and :meth:`execute` serves
+        the binding from it from then on.  Materializing the same binding
+        twice returns the existing view.  Answers served from a view are
+        engine-independent (the minimum model is), so the per-query engine
+        choice does not apply to materialized bindings.
+        """
+        bindings = dict(params or {})
+        bindings.update(kw_params)
+        key = (name, self._normalize_bindings(bindings))
+        # The initial evaluation can be expensive, so it runs outside the
+        # service lock (concurrent traffic never waits on a view build).  A
+        # write landing mid-build invalidates the snapshot the build used —
+        # detected by the epoch double-check, which retries on the new one.
+        # Bounded: under a pathological write rate the final attempt builds
+        # while holding the lock, which serializes out the race entirely.
+        for _ in range(3):
+            with self._lock:
+                view = self._views.get(key)
+                if view is not None:
+                    return view
+                prepared, epoch = self._prepared_entry(name)
+            built = prepared.materialize(bindings)
+            with self._lock:
+                view = self._views.get(key)
+                if view is not None:
+                    return view
+                if epoch == self._epoch:
+                    self._views[key] = built
+                    return built
+        with self._lock:
+            view = self._views.get(key)
+            if view is None:
+                view = self._prepared_entry(name)[0].materialize(bindings)
+                self._views[key] = view
+            return view
+
+    def materialized_bindings(self) -> Tuple[Tuple[str, FrozenSet], ...]:
+        """The (query, bindings) pairs currently kept live, sorted."""
+        with self._lock:
+            return tuple(sorted(self._views, key=repr))
+
+    def dematerialize(
+        self,
+        name: str,
+        params: Optional[Mapping[str, object]] = None,
+        **kw_params,
+    ) -> bool:
+        """Drop one binding's live view (it falls back to the LRU cache)."""
+        bindings = dict(params or {})
+        bindings.update(kw_params)
+        key = (name, self._normalize_bindings(bindings))
+        with self._lock:
+            return self._views.pop(key, None) is not None
+
+    # ------------------------------------------------------------------
     # Writes and observability
     # ------------------------------------------------------------------
     def add_facts(self, facts: Iterable) -> int:
@@ -329,15 +421,44 @@ class DatalogService:
         every cached result and every prepared compilation (they recompile
         lazily against the new snapshot).  Writes therefore cost O(data) —
         batch them — but never block or corrupt concurrent reads.
+
+        Materialized views are *maintained*, not invalidated: the same batch
+        is applied incrementally to every live view, so their answers stay
+        current without recomputation (the epoch bump only affects
+        un-materialized entries).
         """
+        batch = list(facts)
         with self._lock:
             fresh = self._database.copy()
-            added = fresh.add_facts(facts)
+            added = fresh.add_facts(batch)
             if added:
                 self._database = fresh
                 self._prepared.clear()
                 self._epoch += 1
+                for view in self._views.values():
+                    view.apply(insertions=batch)
             return added
+
+    def remove_facts(self, facts: Iterable) -> int:
+        """Bulk-retract facts; the write-side mirror of :meth:`add_facts`.
+
+        The current snapshot is copied, the batch removed (single version
+        bump), and the copy atomically swapped in.  Live materialized views
+        absorb the same batch through counting/DRed maintenance; everything
+        else is invalidated by the epoch bump.  Returns the number of facts
+        actually removed.
+        """
+        batch = list(facts)
+        with self._lock:
+            fresh = self._database.copy()
+            removed = fresh.remove_facts(batch)
+            if removed:
+                self._database = fresh
+                self._prepared.clear()
+                self._epoch += 1
+                for view in self._views.values():
+                    view.apply(deletions=batch)
+            return removed
 
     def statistics(self) -> Dict[str, int]:
         """Operational counters: cache behaviour and work performed."""
@@ -349,6 +470,8 @@ class DatalogService:
                 "cache_entries": len(self._cache),
                 "cache_hits": self._cache_hits,
                 "cache_misses": self._cache_misses,
+                "materialized_views": len(self._views),
+                "view_hits": self._view_hits,
                 "write_epoch": self._epoch,
                 "database_version": self._database.version,
                 "database_facts": self._database.fact_count(),

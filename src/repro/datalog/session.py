@@ -182,6 +182,21 @@ class QuerySession:
             self._prepared[engine] = prepared
         return prepared
 
+    def materialize(self, *, compiled: bool = True):
+        """Evaluate once into a live :class:`~repro.datalog.incremental.MaterializedView`.
+
+        The view owns its own copy of the model plus per-fact support counts
+        and stays current under ``view.apply(insertions, deletions)`` — the
+        incremental alternative to re-running :meth:`evaluate` after every
+        write.  The session's transformed program is materialized, so
+        pipeline rewrites (magic sets etc.) are maintained incrementally
+        too.  Parameterized templates must be prepared and bound first
+        (:meth:`PreparedQuery.materialize <repro.datalog.prepared.PreparedQuery.materialize>`).
+        """
+        from repro.datalog.incremental import MaterializedView
+
+        return MaterializedView(self.transformed_program, self._database, compiled=compiled)
+
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------

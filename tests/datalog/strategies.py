@@ -1,0 +1,131 @@
+"""Shared Hypothesis strategies for the Datalog test suites.
+
+One home for the random-input generators that several suites previously
+duplicated: the edge-labeled graph databases and the pool of
+chain/recursive/mutually-recursive programs (``test_executor``,
+``test_planner``, ``test_prepared``, ``test_incremental_differential``), and
+the small mixed-type databases and goal atoms
+(``test_properties_hypothesis``).  Keeping them here means a new engine- or
+maintenance-level property automatically fuzzes the same program shapes every
+other suite does.
+"""
+
+from hypothesis import strategies as st
+
+from repro.datalog.atoms import Atom
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_program
+from repro.datalog.terms import Constant, Variable
+
+# ----------------------------------------------------------------------
+# Small mixed-type databases (relations p/q/r over ints and strings)
+# ----------------------------------------------------------------------
+values = st.one_of(st.integers(min_value=0, max_value=5), st.sampled_from(["a", "b", "c"]))
+tuples2 = st.tuples(values, values)
+relation_names = st.sampled_from(["p", "q", "r"])
+
+
+@st.composite
+def databases(draw):
+    """A database of up to 12 binary facts over relations p, q, r."""
+    database = Database()
+    for _ in range(draw(st.integers(min_value=0, max_value=12))):
+        database.add_fact(draw(relation_names), draw(tuples2))
+    return database
+
+
+@st.composite
+def goal_atoms(draw):
+    """A binary goal atom mixing variables X/Y and constants from the domain."""
+
+    def term():
+        if draw(st.booleans()):
+            return Variable(draw(st.sampled_from(["X", "Y"])))
+        return Constant(draw(values))
+
+    return Atom(draw(relation_names), (term(), term()))
+
+
+# ----------------------------------------------------------------------
+# Edge-labeled graphs (relations e/f over a 5-node domain)
+# ----------------------------------------------------------------------
+edge_tuples = st.tuples(
+    st.integers(min_value=0, max_value=4), st.integers(min_value=0, max_value=4)
+)
+edge_relation_names = st.sampled_from(["e", "f"])
+
+
+@st.composite
+def edge_databases(draw):
+    """A graph database of 1-14 edges over relations e and f."""
+    database = Database()
+    for _ in range(draw(st.integers(min_value=1, max_value=14))):
+        database.add_fact(draw(edge_relation_names), draw(edge_tuples))
+    return database
+
+
+@st.composite
+def edge_fact_batches(draw, max_size: int = 4):
+    """A batch of (predicate, values) pairs over the e/f edge domain.
+
+    The incremental-maintenance harness feeds these as insertion and
+    deletion batches; they deliberately include facts that may already be
+    present (inserts must be idempotent) or absent (deletes of underived
+    facts must be no-ops).
+    """
+    return [
+        (draw(edge_relation_names), draw(edge_tuples))
+        for _ in range(draw(st.integers(min_value=0, max_value=max_size)))
+    ]
+
+
+# The shared pool of recursive program shapes: linear recursion, indirect
+# recursion through a second relation, non-linear recursion feeding a
+# projection, mutual recursion, and linear recursion seeded through a
+# fact-rule-defined relation (f has a program fact but no proper rules —
+# the no-stratum-owns-it case).  Every program is evaluable over an
+# edge_databases() draw, and f/e are exactly the relations the mutation
+# batches touch.
+PROGRAM_POOL = [
+    parse_program(
+        """
+        ?t(X, Y)
+        t(X, Y) :- e(X, Y).
+        t(X, Y) :- t(X, Z), e(Z, Y).
+        """
+    ),
+    parse_program(
+        """
+        ?t(X, Y)
+        t(X, Y) :- e(X, Y).
+        t(X, Y) :- e(X, Z), f(Z, W), t(W, Y).
+        """
+    ),
+    parse_program(
+        """
+        ?s(X, Y)
+        t(X, Y) :- e(X, Y).
+        t(X, Y) :- t(X, Z), t(Z, Y).
+        s(X, Y) :- f(X, Z), t(Z, Y).
+        """
+    ),
+    parse_program(
+        """
+        ?odd(X, Y)
+        odd(X, Y) :- e(X, Z), even(Z, Y).
+        even(X, Y) :- e(X, Z), odd(Z, Y).
+        even(X, Y) :- e(X, Y).
+        """
+    ),
+    parse_program(
+        """
+        ?t(X, Y)
+        f(0, 0).
+        t(X, Y) :- f(X, Y).
+        t(X, Y) :- t(X, Z), e(Z, Y).
+        """
+    ),
+]
+
+program_indexes = st.sampled_from(range(len(PROGRAM_POOL)))
+pool_programs = st.sampled_from(PROGRAM_POOL)

@@ -53,6 +53,24 @@ class TestTransitiveClosure:
 
 class TestFactsAndConstants:
     @pytest.mark.parametrize("engine", ENGINES)
+    def test_database_facts_of_idb_predicates_are_in_the_model(self, engine):
+        # An IDB predicate may also hold database facts; the minimum model of
+        # B ∪ H contains them like any other B fact, so every engine must
+        # answer through them (regression: top-down used to resolve IDB
+        # subgoals through rules only and dropped the database's f tuples).
+        program = parse_program(
+            """
+            ?t(X, Y)
+            f(0, 0).
+            t(X, Y) :- f(X, Y).
+            t(X, Y) :- t(X, Z), e(Z, Y).
+            """
+        )
+        database = Database({"f": [(0, 1)], "e": [(1, 2)]})
+        result = engine(program, database)
+        assert result.answers() == {(0, 0), (0, 1), (0, 2)}
+
+    @pytest.mark.parametrize("engine", ENGINES)
     def test_fact_rules_are_loaded(self, engine):
         program = parse_program(
             """

@@ -240,56 +240,13 @@ def test_catalogue_rules_all_compile():
 
 # ----------------------------------------------------------------------
 # Hypothesis: every registered engine and both evaluator paths agree
+# (strategies shared with the planner/incremental suites)
 # ----------------------------------------------------------------------
-edge_tuples = st.tuples(
-    st.integers(min_value=0, max_value=4), st.integers(min_value=0, max_value=4)
-)
-
-
-@st.composite
-def edge_databases(draw):
-    database = Database()
-    for _ in range(draw(st.integers(min_value=1, max_value=14))):
-        database.add_fact(draw(st.sampled_from(["e", "f"])), draw(edge_tuples))
-    return database
-
-
-PROGRAM_POOL = [
-    parse_program(
-        """
-        ?t(X, Y)
-        t(X, Y) :- e(X, Y).
-        t(X, Y) :- t(X, Z), e(Z, Y).
-        """
-    ),
-    parse_program(
-        """
-        ?t(X, Y)
-        t(X, Y) :- e(X, Y).
-        t(X, Y) :- e(X, Z), f(Z, W), t(W, Y).
-        """
-    ),
-    parse_program(
-        """
-        ?s(X, Y)
-        t(X, Y) :- e(X, Y).
-        t(X, Y) :- t(X, Z), t(Z, Y).
-        s(X, Y) :- f(X, Z), t(Z, Y).
-        """
-    ),
-    parse_program(
-        """
-        ?odd(X, Y)
-        odd(X, Y) :- e(X, Z), even(Z, Y).
-        even(X, Y) :- e(X, Z), odd(Z, Y).
-        even(X, Y) :- e(X, Y).
-        """
-    ),
-]
+from tests.datalog.strategies import PROGRAM_POOL, edge_databases, program_indexes
 
 
 @settings(max_examples=50, deadline=None)
-@given(st.sampled_from(range(len(PROGRAM_POOL))), edge_databases())
+@given(program_indexes, edge_databases())
 def test_all_engines_agree_with_kernels_enabled(program_index, database):
     program = PROGRAM_POOL[program_index]
     interpreted = evaluate_seminaive(program, database, compiled=False)

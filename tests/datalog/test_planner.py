@@ -207,49 +207,14 @@ def test_planned_engines_match_unplanned_reference(label, program, database):
 
 # ----------------------------------------------------------------------
 # Hypothesis: reordering body atoms never changes the model
+# (strategies shared with the executor/incremental suites)
 # ----------------------------------------------------------------------
-edge_tuples = st.tuples(
-    st.integers(min_value=0, max_value=4), st.integers(min_value=0, max_value=4)
-)
-
-
-@st.composite
-def edge_databases(draw):
-    database = Database()
-    for _ in range(draw(st.integers(min_value=1, max_value=14))):
-        database.add_fact(draw(st.sampled_from(["e", "f"])), draw(edge_tuples))
-    return database
-
-
-PROGRAM_POOL = [
-    parse_program(
-        """
-        ?t(X, Y)
-        t(X, Y) :- e(X, Y).
-        t(X, Y) :- t(X, Z), e(Z, Y).
-        """
-    ),
-    parse_program(
-        """
-        ?t(X, Y)
-        t(X, Y) :- e(X, Y).
-        t(X, Y) :- e(X, Z), f(Z, W), t(W, Y).
-        """
-    ),
-    parse_program(
-        """
-        ?s(X, Y)
-        t(X, Y) :- e(X, Y).
-        t(X, Y) :- t(X, Z), t(Z, Y).
-        s(X, Y) :- f(X, Z), t(Z, Y).
-        """
-    ),
-]
+from tests.datalog.strategies import PROGRAM_POOL, edge_databases, program_indexes
 
 
 @settings(max_examples=60, deadline=None)
 @given(
-    st.sampled_from(range(len(PROGRAM_POOL))),
+    program_indexes,
     edge_databases(),
     st.randoms(use_true_random=False),
 )

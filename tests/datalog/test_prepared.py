@@ -1,6 +1,7 @@
 """Prepared parameterized queries: Parameter terms, deferred seeds, execution."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core.workloads import parent_forest
 from repro.datalog import (
@@ -319,6 +320,36 @@ class TestResolvePreparedEngine:
         program = parse_program("anc(X, Y) :- par(X, Y).")
         with pytest.raises(EvaluationError, match="goal"):
             PreparedQuery(program, DATABASE)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: prepared-then-bound equals an ad-hoc constant goal
+# (random graphs from the shared strategy pool)
+# ----------------------------------------------------------------------
+from tests.datalog.strategies import edge_databases
+
+PARAM_TC = parse_program(
+    """
+    ?t($src, Y)
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- t(X, Z), e(Z, Y).
+    """
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_databases(), st.integers(min_value=0, max_value=4))
+def test_prepared_binding_matches_adhoc_constant_goal(database, source):
+    prepared = QuerySession(PARAM_TC, database).prepare()
+    adhoc = PARAM_TC.with_goal(
+        Atom("t", (Constant(source), Variable("Y")))
+    )
+    expected = QuerySession(adhoc, database).answers()
+    assert prepared.answers(src=source) == expected
+    magic = QuerySession(PARAM_TC, database).with_transforms(MagicSets()).prepare()
+    assert magic.answers(src=source) == expected
+    (batched,) = prepared.execute_many([{"src": source}])
+    assert batched == expected
 
 
 # ----------------------------------------------------------------------

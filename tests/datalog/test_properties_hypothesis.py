@@ -16,29 +16,9 @@ from repro.datalog.unify import match_atom, unify_atoms
 
 
 # ----------------------------------------------------------------------
-# Strategies
+# Strategies (shared with the other Datalog suites)
 # ----------------------------------------------------------------------
-values = st.one_of(st.integers(min_value=0, max_value=5), st.sampled_from(["a", "b", "c"]))
-tuples2 = st.tuples(values, values)
-relation_names = st.sampled_from(["p", "q", "r"])
-
-
-@st.composite
-def databases(draw):
-    database = Database()
-    for _ in range(draw(st.integers(min_value=0, max_value=12))):
-        database.add_fact(draw(relation_names), draw(tuples2))
-    return database
-
-
-@st.composite
-def goal_atoms(draw):
-    def term():
-        if draw(st.booleans()):
-            return Variable(draw(st.sampled_from(["X", "Y"])))
-        return Constant(draw(values))
-
-    return Atom(draw(relation_names), (term(), term()))
+from tests.datalog.strategies import databases, goal_atoms, tuples2
 
 
 # ----------------------------------------------------------------------
