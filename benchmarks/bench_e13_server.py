@@ -1,0 +1,372 @@
+"""Experiment E13 — the durable HTTP server under multi-process load.
+
+PR 6 wraps the :class:`~repro.datalog.DatalogService` in a durable asyncio
+HTTP front end (``repro serve``): every acknowledged write hits a checksummed
+write-ahead log before it is applied, snapshots bound replay time, and
+admission control sheds load with ``429`` instead of queueing unboundedly.
+This experiment prices that stack end to end:
+
+* **execute round-trip** — one keep-alive ``/execute`` of the materialized
+  binding against the *subprocess* server (real socket, WAL open,
+  ``--fsync batch``) and against an in-process comparable (same HTTP server
+  on a thread, ``fsync="never"``).  The pair isolates what the process
+  boundary plus durability cost per request;
+* **mixed traffic cycle** — 36 reads / 4 writes (90/10) over one keep-alive
+  connection, the service-level traffic shape E12 established, now paying
+  HTTP parsing, thread-pool dispatch, and WAL appends;
+* **multi-process load** — the headline: ``run_load`` drives the server
+  from 2 genuinely concurrent client processes over real sockets and
+  reports p50/p95/p99 per operation class plus throughput.
+
+Acceptance gates (all also run in the plain suite under
+``--benchmark-disable``):
+
+* **parity before timing** — the server's answers for every source node
+  equal an uninterrupted in-process :class:`DatalogService` run of the same
+  workload;
+* **recovery replay** — ``SIGKILL`` mid-run, restart on the same data
+  directory: the replayed model answers identically and reports the same
+  fact count (the durability contract, measured at the HTTP boundary);
+* **latency** — the subprocess server's p95 read latency under mixed 90/10
+  traffic stays within 3x of the in-process comparable (floored against CI
+  timer noise), so durability never costs an order of magnitude.
+"""
+
+import asyncio
+import http.client
+import json
+import os
+import random
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.datalog import Database, DatalogService
+from repro.datalog.server.durable import DurableDatalogService
+from repro.datalog.server.http import DatalogHTTPServer
+from repro.datalog.server.runner import (
+    MATERIALIZED_SOURCE,
+    WORKLOAD_PROGRAM,
+    percentile,
+    run_load,
+    setup_workload,
+    workload_edges,
+)
+
+SRC_DIR = str(Path(__file__).resolve().parents[1] / "src")
+
+NODES = 24
+SEED = 7
+LOAD_PROCESSES = 2
+LOAD_REQUESTS = 150
+MIXED_READS = 36
+MIXED_WRITES = 4
+#: p95 floor (seconds) for the 3x gate: below this, the comparison measures
+#: scheduler jitter on a busy CI box, not the server.
+LATENCY_FLOOR = 0.002
+
+
+# ----------------------------------------------------------------------
+# Server fixtures: one subprocess server and one in-process comparable
+# ----------------------------------------------------------------------
+def start_subprocess_server(data_dir, *extra):
+    """``repro serve`` as a child process; returns (process, port)."""
+    env = dict(os.environ, PYTHONPATH=SRC_DIR)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", str(data_dir), *extra],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    line = process.stdout.readline()
+    match = re.match(r"READY (\S+) (\d+)", line)
+    assert match, (line, process.stderr.read() if process.poll() is not None else "")
+    return process, int(match.group(2))
+
+
+class InProcessServer:
+    """The same DatalogHTTPServer on an event-loop thread, no durability."""
+
+    def __init__(self, data_dir):
+        self.durable = DurableDatalogService(
+            data_dir, fsync="never", snapshot_every=10_000
+        )
+        self.server = DatalogHTTPServer(self.durable, port=0)
+        self.loop = asyncio.new_event_loop()
+        self._stop = None
+        started = threading.Event()
+
+        async def main():
+            self._stop = asyncio.Event()
+            await self.server.start()
+            started.set()
+            await self.server.serve_until(self._stop)
+
+        def run():
+            asyncio.set_event_loop(self.loop)
+            self.loop.run_until_complete(main())
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+        assert started.wait(10), "in-process server did not start"
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def stop(self) -> None:
+        if self.thread.is_alive():
+            self.loop.call_soon_threadsafe(self._stop.set)
+            self.thread.join(timeout=30)
+        self.loop.close()
+
+
+class KeepAliveClient:
+    """One persistent connection; reconnects once if the server dropped it."""
+
+    def __init__(self, port: int):
+        self._port = port
+        self._conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+
+    def post(self, path: str, body: dict):
+        payload = json.dumps(body)
+        headers = {"Content-Type": "application/json"}
+        try:
+            self._conn.request("POST", path, payload, headers)
+            response = self._conn.getresponse()
+            data = response.read()
+        except (http.client.HTTPException, ConnectionError, OSError):
+            self._conn.close()
+            self._conn = http.client.HTTPConnection(
+                "127.0.0.1", self._port, timeout=30
+            )
+            self._conn.request("POST", path, payload, headers)
+            response = self._conn.getresponse()
+            data = response.read()
+        return response.status, json.loads(data or b"{}")
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+@pytest.fixture(scope="module")
+def live_server(tmp_path_factory):
+    """The system under test: subprocess, durable WAL, batch fsync."""
+    data_dir = tmp_path_factory.mktemp("e13_server") / "data"
+    process, port = start_subprocess_server(
+        data_dir, "--fsync", "batch", "--sync-interval", "0.05"
+    )
+    setup_workload("127.0.0.1", port, nodes=NODES, seed=SEED)
+    yield port
+    process.send_signal(signal.SIGTERM)
+    process.wait(timeout=30)
+
+
+@pytest.fixture(scope="module")
+def inprocess_server(tmp_path_factory):
+    """The comparable: same HTTP stack, same process, no fsync."""
+    handle = InProcessServer(tmp_path_factory.mktemp("e13_inproc") / "data")
+    setup_workload("127.0.0.1", handle.port, nodes=NODES, seed=SEED)
+    yield handle
+    handle.stop()
+
+
+def reference_service() -> DatalogService:
+    """An uninterrupted in-memory run of exactly the fixture workload."""
+    service = DatalogService(Database())
+    service.register_program("reach", WORKLOAD_PROGRAM)
+    service.add_facts(
+        [("edge", tuple(edge)) for edge in workload_edges(NODES, SEED)]
+    )
+    service.materialize("reach", {"src": MATERIALIZED_SOURCE})
+    return service
+
+
+# ----------------------------------------------------------------------
+# Gate: parity before timing
+# ----------------------------------------------------------------------
+def test_parity_server_vs_inprocess_reference(live_server):
+    """Every source node answers identically over HTTP and in memory."""
+    reference = reference_service()
+    client = KeepAliveClient(live_server)
+    try:
+        for i in range(NODES):
+            source = f"n{i}"
+            status, body = client.post(
+                "/execute", {"name": "reach", "params": {"src": source}}
+            )
+            assert status == 200, (source, body)
+            served = {tuple(answer) for answer in body["answers"]}
+            assert served == reference.execute("reach", {"src": source}), source
+    finally:
+        client.close()
+
+
+# ----------------------------------------------------------------------
+# Gate: SIGKILL recovery replays the exact model
+# ----------------------------------------------------------------------
+def test_recovery_replay_restores_exact_model(tmp_path):
+    """Kill -9 after acknowledged writes; the restart must answer identically."""
+    data_dir = tmp_path / "data"
+    process, port = start_subprocess_server(data_dir, "--fsync", "always")
+    client = KeepAliveClient(port)
+    try:
+        setup_workload("127.0.0.1", port, nodes=NODES, seed=SEED)
+        # A post-setup write the snapshotless WAL replay must not lose.
+        assert client.post(
+            "/add_facts", {"facts": [["edge", ["n1", "n17"]]]}
+        ) == (200, {"added": 1})
+        reference = {}
+        for i in range(NODES):
+            status, body = client.post(
+                "/execute", {"name": "reach", "params": {"src": f"n{i}"}}
+            )
+            assert status == 200
+            reference[f"n{i}"] = body["answers"]
+    finally:
+        client.close()
+        process.send_signal(signal.SIGKILL)
+        process.wait(timeout=30)
+
+    restarted, port = start_subprocess_server(data_dir)
+    client = KeepAliveClient(port)
+    try:
+        for source, answers in reference.items():
+            status, body = client.post(
+                "/execute", {"name": "reach", "params": {"src": source}}
+            )
+            assert status == 200
+            assert body["answers"] == answers, source
+    finally:
+        client.close()
+        restarted.send_signal(signal.SIGTERM)
+        assert restarted.wait(timeout=30) == 0
+
+
+# ----------------------------------------------------------------------
+# Mixed 90/10 traffic over one keep-alive connection
+# ----------------------------------------------------------------------
+def mixed_cycle(client: KeepAliveClient, rng: random.Random):
+    """36 reads + 4 writes, state-preserving (the scratch edge is added and
+    removed twice), returning the read latencies."""
+    read_latencies = []
+    write_index = 0
+    for index in range(MIXED_READS + MIXED_WRITES):
+        if index % 10 == 9:
+            path = "/add_facts" if write_index % 2 == 0 else "/remove_facts"
+            status, body = client.post(
+                path, {"facts": [["edge", ["__bench", "__scratch"]]]}
+            )
+            assert status == 200, body
+            write_index += 1
+        else:
+            if rng.random() < 0.5:
+                source = MATERIALIZED_SOURCE
+            else:
+                source = f"n{rng.randrange(NODES)}"
+            start = time.perf_counter()
+            status, body = client.post(
+                "/execute", {"name": "reach", "params": {"src": source}}
+            )
+            read_latencies.append(time.perf_counter() - start)
+            assert status == 200, body
+    return read_latencies
+
+
+def measure_read_p95(port: int, cycles: int = 5) -> float:
+    client = KeepAliveClient(port)
+    try:
+        rng = random.Random(SEED)
+        mixed_cycle(client, rng)  # warm the cache and the connection
+        samples = []
+        for _ in range(cycles):
+            samples.extend(mixed_cycle(client, rng))
+        return percentile(samples, 0.95)
+    finally:
+        client.close()
+
+
+# ----------------------------------------------------------------------
+# Gate: durable server p95 within 3x of the in-process comparable
+# ----------------------------------------------------------------------
+def test_read_p95_within_3x_of_inprocess(live_server, inprocess_server):
+    served_p95 = measure_read_p95(live_server)
+    inprocess_p95 = measure_read_p95(inprocess_server.port)
+    floor = max(inprocess_p95, LATENCY_FLOOR)
+    assert served_p95 <= 3.0 * floor, (
+        f"subprocess p95 {served_p95 * 1e3:.2f} ms vs in-process p95 "
+        f"{inprocess_p95 * 1e3:.2f} ms (floor {floor * 1e3:.2f} ms): "
+        f"{served_p95 / floor:.2f}x exceeds the 3x gate"
+    )
+
+
+# ----------------------------------------------------------------------
+# Timed: per-request round-trips and the mixed cycle
+# ----------------------------------------------------------------------
+def test_server_execute_roundtrip(benchmark, live_server):
+    client = KeepAliveClient(live_server)
+    body = {"name": "reach", "params": {"src": MATERIALIZED_SOURCE}}
+    try:
+        status, answers = client.post("/execute", body)  # warm
+        assert status == 200
+        benchmark(client.post, "/execute", body)
+        benchmark.extra_info["answers"] = len(answers["answers"])
+        benchmark.extra_info["transport"] = "subprocess+wal"
+    finally:
+        client.close()
+
+
+def test_inprocess_execute_roundtrip(benchmark, inprocess_server):
+    client = KeepAliveClient(inprocess_server.port)
+    body = {"name": "reach", "params": {"src": MATERIALIZED_SOURCE}}
+    try:
+        status, answers = client.post("/execute", body)
+        assert status == 200
+        benchmark(client.post, "/execute", body)
+        benchmark.extra_info["answers"] = len(answers["answers"])
+        benchmark.extra_info["transport"] = "thread+no-fsync"
+    finally:
+        client.close()
+
+
+def test_server_mixed_traffic_cycle(benchmark, live_server):
+    client = KeepAliveClient(live_server)
+    rng = random.Random(SEED)
+    try:
+        mixed_cycle(client, rng)  # warm
+        latencies = benchmark(mixed_cycle, client, rng)
+        benchmark.extra_info["reads_per_cycle"] = MIXED_READS
+        benchmark.extra_info["writes_per_cycle"] = MIXED_WRITES
+        benchmark.extra_info["read_p95_seconds"] = percentile(latencies, 0.95)
+    finally:
+        client.close()
+
+
+# ----------------------------------------------------------------------
+# Timed headline: multi-process load over real sockets
+# ----------------------------------------------------------------------
+def test_server_load_bench(benchmark, live_server):
+    """2 client processes x 150 mixed requests; percentiles ride extra_info
+    so ``scripts/bench_medians.py`` can build the ``server`` summary."""
+
+    def one_run():
+        return run_load(
+            "127.0.0.1",
+            live_server,
+            processes=LOAD_PROCESSES,
+            requests_per_process=LOAD_REQUESTS,
+            setup=False,
+            seed=SEED,
+        )
+
+    report = benchmark.pedantic(one_run, rounds=1, iterations=1)
+    assert report.errors == 0, report
+    assert report.processes == LOAD_PROCESSES
+    benchmark.extra_info.update(report.as_dict())

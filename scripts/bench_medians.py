@@ -14,6 +14,11 @@ summary additionally grows a ``kernels`` section pairing each workload's
 compiled and interpreted medians with their speedup and the portfolio's
 >=2x gate verdict.
 
+When the report contains the E13 server benchmarks, the summary grows a
+``server`` section: the durable-subprocess vs in-process execute round-trip
+pair with its overhead ratio and 3x gate verdict, the mixed 90/10 cycle,
+and the multi-process load driver's percentiles and throughput.
+
 Usage: python scripts/bench_medians.py <pytest-benchmark.json> <out.json>
            [--traffic <traffic-out.json>]
 """
@@ -33,6 +38,11 @@ TRAFFIC_EXTRAS = (
 
 KERNEL_COMPILED_PREFIX = "test_compiled_kernels["
 KERNEL_INTERPRETED_PREFIX = "test_interpreted_match_body["
+
+SERVER_ROUNDTRIP = "test_server_execute_roundtrip"
+SERVER_INPROCESS = "test_inprocess_execute_roundtrip"
+SERVER_MIXED = "test_server_mixed_traffic_cycle"
+SERVER_LOAD = "test_server_load_bench"
 
 INCREMENTAL_MAINTAIN_PREFIX = "test_incremental_maintenance["
 INCREMENTAL_RECOMPUTE_PREFIX = "test_full_recompute["
@@ -149,6 +159,38 @@ def incremental_summary(median_map: dict) -> dict:
     return summary
 
 
+def server_summary(median_map: dict) -> dict:
+    """The E13 shape: durable-server overhead and load-driver percentiles.
+
+    Pairs the subprocess round-trip with its in-process comparable (the
+    ISSUE's <=3x latency gate), and lifts the multi-process load report's
+    percentiles/throughput out of ``extra_info``.  Empty when the report
+    has no E13 benchmarks.
+    """
+    summary: dict = {}
+    served = median_map.get(SERVER_ROUNDTRIP)
+    inprocess = median_map.get(SERVER_INPROCESS)
+    if served and inprocess and inprocess["median_seconds"]:
+        ratio = served["median_seconds"] / inprocess["median_seconds"]
+        summary["execute_roundtrip"] = {
+            "server_seconds": served["median_seconds"],
+            "inprocess_seconds": inprocess["median_seconds"],
+            "overhead_ratio": ratio,
+            "meets_3x_gate": ratio <= 3.0,
+        }
+    mixed = median_map.get(SERVER_MIXED)
+    if mixed:
+        summary["mixed_cycle"] = {
+            "median_seconds": mixed["median_seconds"],
+            "extra_info": mixed["extra_info"],
+        }
+    load = median_map.get(SERVER_LOAD)
+    if load:
+        summary["load"] = dict(load["extra_info"])
+        summary["load"]["wall_seconds"] = load["median_seconds"]
+    return summary
+
+
 def main(argv) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("source", help="pytest-benchmark JSON report")
@@ -174,6 +216,9 @@ def main(argv) -> int:
     incremental = incremental_summary(median_map)
     if incremental["workloads"]:
         summary["incremental"] = incremental
+    server = server_summary(median_map)
+    if server:
+        summary["server"] = server
     with open(arguments.destination, "w", encoding="utf-8") as handle:
         json.dump(summary, handle, indent=2, sort_keys=True)
     print(f"wrote {len(median_map)} medians to {arguments.destination}")
@@ -185,6 +230,19 @@ def main(argv) -> int:
         print(
             f"incremental portfolio speedup {ratio:.1f}x "
             f"(gate >=5x: {incremental['meets_5x_gate']})"
+        )
+    roundtrip = server.get("execute_roundtrip")
+    if roundtrip is not None:
+        print(
+            f"server round-trip overhead {roundtrip['overhead_ratio']:.2f}x "
+            f"(gate <=3x: {roundtrip['meets_3x_gate']})"
+        )
+    load = server.get("load")
+    if load is not None:
+        print(
+            f"load driver: {load.get('requests_per_second', 0.0):.0f} req/s, "
+            f"read p95 {load.get('read_p95', 0.0) * 1e3:.2f} ms "
+            f"over {load.get('processes')} processes"
         )
     if arguments.traffic:
         traffic = {

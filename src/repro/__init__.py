@@ -41,9 +41,6 @@ from repro.datalog import (
     Rule,
     Variable,
     available_engines,
-    evaluate_naive,
-    evaluate_seminaive,
-    evaluate_topdown,
     get_engine,
     parse_program,
     parse_rule,
@@ -76,9 +73,6 @@ __all__ = [
     "SelectionPropagator",
     "Variable",
     "available_engines",
-    "evaluate_naive",
-    "evaluate_seminaive",
-    "evaluate_topdown",
     "get_engine",
     "parse_program",
     "parse_rule",

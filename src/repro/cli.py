@@ -9,6 +9,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli evaluate program.dl facts.dl # run the program on a database of facts
     python -m repro.cli evaluate q.dl facts.dl --param who=john   # prepared parameterized query
     python -m repro.cli serve-bench q.dl facts.dl --threads 8     # DatalogService traffic driver
+    python -m repro.cli serve /var/lib/datalog       # durable HTTP server (WAL + snapshots)
+    python -m repro.cli load-bench --port 8080 --processes 4      # multi-process load driver
     python -m repro.cli engines                      # list the registered evaluation engines
     python -m repro.cli bounded  program.dl          # Proposition 8.2 report
 
@@ -351,6 +353,53 @@ def command_serve_bench(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def command_serve(arguments: argparse.Namespace) -> int:
+    """Run the durable HTTP Datalog server until SIGTERM/SIGINT."""
+    # Imported lazily: the server stack (asyncio, WAL, snapshots) is not
+    # needed by any other subcommand.
+    from repro.datalog.server.http import run_server
+
+    run_server(
+        arguments.data_dir,
+        host=arguments.host,
+        port=arguments.port,
+        fsync=arguments.fsync,
+        snapshot_every=arguments.snapshot_every,
+        max_pending_writes=arguments.max_pending_writes,
+        executor_workers=arguments.workers,
+        sync_interval=arguments.sync_interval,
+        cache_size=arguments.cache_size,
+        default_engine=arguments.engine,
+    )
+    return 0
+
+
+def command_load_bench(arguments: argparse.Namespace) -> int:
+    """Drive a running `repro serve` instance with multi-process load."""
+    from repro.datalog.server.runner import run_load
+
+    report = run_load(
+        arguments.host,
+        arguments.port,
+        processes=arguments.processes,
+        requests_per_process=arguments.requests,
+        read_ratio=arguments.read_ratio,
+        materialized_ratio=arguments.materialized_ratio,
+        nodes=arguments.nodes,
+        seed=arguments.seed,
+        setup=not arguments.no_setup,
+    )
+    if arguments.json:
+        import json as _json
+
+        _print(_json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        _print(str(report))
+    if report.errors:
+        return 1
+    return 0
+
+
 def command_engines(arguments: argparse.Namespace) -> int:
     descriptions = engine_descriptions()
     width = max((len(name) for name in descriptions), default=0)
@@ -479,6 +528,80 @@ def build_parser() -> argparse.ArgumentParser:
         "maintain the views incrementally instead of invalidating the cache",
     )
     serve_bench.set_defaults(handler=command_serve_bench)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the durable HTTP Datalog server (WAL + snapshots) until "
+        "SIGTERM; restart recovers the full state from the data directory",
+    )
+    serve.add_argument("data_dir", help="directory for the WAL and snapshots")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="bind port; 0 picks a free one (printed as a READY line)",
+    )
+    serve.add_argument(
+        "--fsync", default="always", choices=("always", "batch", "never"),
+        help="WAL durability policy (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--snapshot-every", type=int, default=1024,
+        help="snapshot + truncate the WAL after this many records",
+    )
+    serve.add_argument(
+        "--max-pending-writes", type=int, default=64,
+        help="admission-control bound; beyond it writes get 429 + Retry-After",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="thread-pool size for engine work (the event loop never blocks)",
+    )
+    serve.add_argument(
+        "--sync-interval", type=float, default=None,
+        help="periodic WAL fsync in seconds (for --fsync batch)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=256, help="LRU result-cache entries"
+    )
+    serve.add_argument(
+        "--engine", default=QuerySession.DEFAULT_ENGINE,
+        help="default execution engine for registered programs",
+    )
+    serve.set_defaults(handler=command_serve)
+
+    load_bench = subparsers.add_parser(
+        "load-bench",
+        help="drive a running `repro serve` instance with N client processes "
+        "over real sockets and report p50/p95/p99 + req/s",
+    )
+    load_bench.add_argument("--host", default="127.0.0.1", help="server address")
+    load_bench.add_argument("--port", type=int, required=True, help="server port")
+    load_bench.add_argument(
+        "--processes", type=int, default=2, help="client processes (default: 2)"
+    )
+    load_bench.add_argument(
+        "--requests", type=int, default=200, help="requests per process"
+    )
+    load_bench.add_argument(
+        "--read-ratio", type=float, default=0.9,
+        help="fraction of requests that are reads (default: 0.9)",
+    )
+    load_bench.add_argument(
+        "--materialized-ratio", type=float, default=0.5,
+        help="fraction of reads that hit the materialized binding",
+    )
+    load_bench.add_argument(
+        "--nodes", type=int, default=24, help="graph size of the fixture workload"
+    )
+    load_bench.add_argument("--seed", type=int, default=1987, help="workload RNG seed")
+    load_bench.add_argument(
+        "--no-setup", action="store_true",
+        help="skip installing the fixture workload (server already prepared)",
+    )
+    load_bench.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    load_bench.set_defaults(handler=command_load_bench)
 
     engines = subparsers.add_parser("engines", help="list the registered evaluation engines")
     engines.set_defaults(handler=command_engines)

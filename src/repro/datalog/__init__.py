@@ -12,9 +12,6 @@ from repro.datalog.engine import (
     ProgramPlan,
     TopDownEvaluator,
     available_engines,
-    evaluate_naive,
-    evaluate_seminaive,
-    evaluate_topdown,
     get_engine,
     register_engine,
     select_answers,
@@ -25,7 +22,11 @@ from repro.datalog.prepared import AnswerCursor, BoundQuery, PreparedQuery
 from repro.datalog.pretty import format_atom, format_database, format_program, format_rule
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule, fact
-from repro.datalog.service import DatalogService, QueryNotRegisteredError
+from repro.datalog.service import (
+    DatalogService,
+    QueryNotRegisteredError,
+    ServiceDrainingError,
+)
 from repro.datalog.session import QuerySession
 from repro.datalog.terms import Constant, Parameter, Term, Variable
 
@@ -52,13 +53,11 @@ __all__ = [
     "QueryNotRegisteredError",
     "QuerySession",
     "Rule",
+    "ServiceDrainingError",
     "Term",
     "TopDownEvaluator",
     "Variable",
     "available_engines",
-    "evaluate_naive",
-    "evaluate_seminaive",
-    "evaluate_topdown",
     "fact",
     "format_atom",
     "format_database",

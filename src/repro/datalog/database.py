@@ -21,12 +21,163 @@ incrementally instead of letting every caller rebuild them:
 
 from __future__ import annotations
 
+import pickle
+import struct
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.datalog.atoms import Atom, ground_atom
 
 _EMPTY: Tuple = ()
 _EMPTY_SET: FrozenSet[Tuple] = frozenset()
+
+
+# ----------------------------------------------------------------------
+# Compact value codec
+#
+# The durable server layer (repro.datalog.server) persists databases in
+# snapshots and write batches in WAL records.  Both need a stable,
+# self-describing byte encoding for the plain Python values that live in
+# relations (and the JSON-ish structures around them).  The codec below is
+# deliberately tiny: one tag byte per value, LEB128 varints for lengths and
+# integers, and a pickle escape hatch for anything exotic so arbitrary
+# hashable constants still round-trip.
+# ----------------------------------------------------------------------
+def _pack_varint(value: int, out: bytearray) -> None:
+    """Append an unsigned LEB128 varint."""
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _unpack_varint(data: bytes, offset: int) -> Tuple[int, int]:
+    """Read an unsigned LEB128 varint; returns (value, new offset)."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise ValueError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+
+
+def pack_value(obj, out: bytearray) -> None:
+    """Append one value to *out*: tag byte + payload.
+
+    Handles ``None``/``bool``/``int``/``float``/``str``/``bytes`` and
+    ``tuple``/``list``/``dict`` containers; anything else is pickled under
+    an escape tag.  Integers use zig-zag varints, so the small ints that
+    dominate real EDBs cost two bytes.
+    """
+    if obj is None:
+        out.append(ord("N"))
+    elif obj is True:
+        out.append(ord("T"))
+    elif obj is False:
+        out.append(ord("F"))
+    elif type(obj) is int:
+        out.append(ord("i"))
+        zigzag = (obj << 1) if obj >= 0 else ((-obj << 1) - 1)
+        _pack_varint(zigzag, out)
+    elif type(obj) is float:
+        out.append(ord("f"))
+        out.extend(struct.pack(">d", obj))
+    elif type(obj) is str:
+        encoded = obj.encode("utf-8")
+        out.append(ord("s"))
+        _pack_varint(len(encoded), out)
+        out.extend(encoded)
+    elif type(obj) is bytes:
+        out.append(ord("b"))
+        _pack_varint(len(obj), out)
+        out.extend(obj)
+    elif type(obj) is tuple or type(obj) is list:
+        out.append(ord("t") if type(obj) is tuple else ord("l"))
+        _pack_varint(len(obj), out)
+        for item in obj:
+            pack_value(item, out)
+    elif type(obj) is dict:
+        out.append(ord("d"))
+        _pack_varint(len(obj), out)
+        for key, value in obj.items():
+            pack_value(key, out)
+            pack_value(value, out)
+    else:
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        out.append(ord("P"))
+        _pack_varint(len(payload), out)
+        out.extend(payload)
+
+
+def unpack_value(data: bytes, offset: int = 0) -> Tuple[object, int]:
+    """Decode one value; returns (value, new offset).  Raises ValueError on garbage."""
+    if offset >= len(data):
+        raise ValueError("truncated value")
+    tag = data[offset]
+    offset += 1
+    if tag == ord("N"):
+        return None, offset
+    if tag == ord("T"):
+        return True, offset
+    if tag == ord("F"):
+        return False, offset
+    if tag == ord("i"):
+        zigzag, offset = _unpack_varint(data, offset)
+        return ((zigzag >> 1) if not zigzag & 1 else -((zigzag + 1) >> 1)), offset
+    if tag == ord("f"):
+        if offset + 8 > len(data):
+            raise ValueError("truncated float")
+        return struct.unpack(">d", data[offset : offset + 8])[0], offset + 8
+    if tag in (ord("s"), ord("b"), ord("P")):
+        length, offset = _unpack_varint(data, offset)
+        if offset + length > len(data):
+            raise ValueError("truncated payload")
+        payload = data[offset : offset + length]
+        offset += length
+        if tag == ord("s"):
+            return payload.decode("utf-8"), offset
+        if tag == ord("b"):
+            return bytes(payload), offset
+        return pickle.loads(payload), offset
+    if tag in (ord("t"), ord("l")):
+        count, offset = _unpack_varint(data, offset)
+        items = []
+        for _ in range(count):
+            item, offset = unpack_value(data, offset)
+            items.append(item)
+        return (tuple(items) if tag == ord("t") else items), offset
+    if tag == ord("d"):
+        count, offset = _unpack_varint(data, offset)
+        mapping = {}
+        for _ in range(count):
+            key, offset = unpack_value(data, offset)
+            value, offset = unpack_value(data, offset)
+            mapping[key] = value
+        return mapping, offset
+    raise ValueError(f"unknown value tag {tag!r}")
+
+
+def encode_obj(obj) -> bytes:
+    """One value as a standalone byte string (the WAL/snapshot payload codec)."""
+    out = bytearray()
+    pack_value(obj, out)
+    return bytes(out)
+
+
+def decode_obj(data: bytes):
+    """Inverse of :func:`encode_obj`; rejects trailing garbage."""
+    value, offset = unpack_value(data, 0)
+    if offset != len(data):
+        raise ValueError(f"{len(data) - offset} trailing bytes after value")
+    return value
 
 
 class _MembershipUnion:
@@ -113,6 +264,13 @@ class Database:
         """
         clone = Database()
         clone._relations = {name: set(tuples) for name, tuples in list(self._relations.items())}
+        # Carry the mutation counter forward: a copy that restarted at 0
+        # would make version-derived observables (e.g. the service's
+        # ``database_version`` statistic, which reads the *current* snapshot
+        # after a copy-and-swap write) jump backwards.  Version-keyed caches
+        # are keyed by object identity as well, so inheriting the counter is
+        # safe.
+        clone._version = self._version
         clone._snapshots = dict(self._snapshots)
         clone._indexes = {
             predicate: {
@@ -406,6 +564,45 @@ class Database:
     def fact_count(self) -> int:
         """Total number of tuples across all relations."""
         return sum(len(tuples) for tuples in self._relations.values())
+
+    # ------------------------------------------------------------------
+    # Serialization (snapshots)
+    # ------------------------------------------------------------------
+    _SERIAL_MAGIC = b"RPDB1"
+
+    def to_bytes(self) -> bytes:
+        """Serialize all relations into a compact, self-contained byte string.
+
+        The format is the value codec above wrapped in a magic header:
+        relations become a ``{name: (tuple, ...)}`` mapping with tuples in a
+        deterministic order, so identical databases always serialize to
+        identical bytes (snapshot checksums stay comparable).  The server's
+        snapshot layer is the intended consumer; ``from_bytes`` restores an
+        equal database with cold acceleration structures.
+        """
+        out = bytearray(self._SERIAL_MAGIC)
+        payload: Dict[str, Tuple] = {
+            name: tuple(sorted(tuples, key=repr))
+            for name, tuples in sorted(self._relations.items())
+            if tuples
+        }
+        pack_value(payload, out)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Database":
+        """Inverse of :meth:`to_bytes`; raises ``ValueError`` on corrupt input."""
+        if not data.startswith(cls._SERIAL_MAGIC):
+            raise ValueError("not a serialized Database (bad magic header)")
+        payload, offset = unpack_value(data, len(cls._SERIAL_MAGIC))
+        if offset != len(data):
+            raise ValueError("trailing bytes after serialized Database")
+        if not isinstance(payload, dict):
+            raise ValueError("corrupt serialized Database payload")
+        database = cls()
+        for name, tuples in payload.items():
+            database._relations[name] = {tuple(values) for values in tuples}
+        return database
 
     def restrict(self, predicates: Iterable[str]) -> "Database":
         """Return a database containing only the named relations."""

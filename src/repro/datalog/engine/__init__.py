@@ -23,24 +23,20 @@ facade, which also composes program transforms::
 
 Custom strategies join via :func:`register_engine`; the bundled ones are
 
-* ``naive`` — full-model fixpoint iteration (:func:`evaluate_naive`);
-* ``seminaive`` — differential fixpoint (:func:`evaluate_seminaive`);
+* ``naive`` — full-model fixpoint iteration;
+* ``seminaive`` — differential fixpoint;
 * ``topdown`` — memoizing top-down resolution (:class:`TopDownEvaluator`);
 * ``magic`` — generalized magic-set rewrite, then semi-naive bottom-up.
 
-The free functions ``evaluate_naive`` / ``evaluate_seminaive`` /
-``evaluate_topdown`` remain exported as backwards-compatible shims; new
-code should go through the registry or a session so the strategy stays a
-run-time choice.
+The registry (or a session) is the only entry point: the legacy
+``evaluate_naive`` / ``evaluate_seminaive`` / ``evaluate_topdown`` free
+functions and the ``RelationIndex`` shim warned as deprecated for three
+releases and have been removed.
 """
 
-# RelationIndex stays importable from repro.datalog.engine.base for
-# backwards compatibility but is deliberately not re-exported here: it is a
-# deprecated shim over Database's built-in indexes.
 from repro.datalog.engine.base import EvaluationResult, select_answers
 from repro.datalog.engine.derivation import DerivationAnalyzer, DerivationTree
 from repro.datalog.engine.executor import RuleKernel, StepKernel, compile_rule_kernel
-from repro.datalog.engine.naive import evaluate_naive
 from repro.datalog.engine.planner import (
     JoinPlan,
     Planner,
@@ -60,9 +56,8 @@ from repro.datalog.engine.registry import (
     register_engine,
     unregister_engine,
 )
-from repro.datalog.engine.seminaive import evaluate_seminaive
 from repro.datalog.engine.stats import EvaluationStatistics
-from repro.datalog.engine.topdown import TopDownEvaluator, evaluate_topdown
+from repro.datalog.engine.topdown import TopDownEvaluator
 
 __all__ = [
     "DerivationAnalyzer",
@@ -85,9 +80,6 @@ __all__ = [
     "compile_program_plan",
     "compile_rule_kernel",
     "engine_descriptions",
-    "evaluate_naive",
-    "evaluate_seminaive",
-    "evaluate_topdown",
     "get_engine",
     "register_engine",
     "select_answers",

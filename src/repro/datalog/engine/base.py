@@ -20,7 +20,6 @@ This module provides:
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -34,42 +33,11 @@ from repro.datalog.unify import Substitution, match_atom
 from repro.errors import EvaluationError
 
 
-class RelationIndex:
-    """Deprecated compatibility shim over :class:`Database`'s built-in indexes.
-
-    Indexes now live inside the database itself and are maintained
-    incrementally on mutation (see :meth:`Database.probe`), so this wrapper
-    only forwards.  New code should pass the :class:`Database` straight to
-    :func:`match_body` / :func:`candidate_tuples`.
-    """
-
-    def __init__(self, database: Database):
-        warnings.warn(
-            "RelationIndex is deprecated: Database maintains its own indexes; "
-            "pass the Database itself to match_body/candidate_tuples",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self._database = database
-
-    def tuples(self, predicate: str) -> FrozenSet[Tuple]:
-        """All tuples of a relation."""
-        return self._database.relation(predicate)
-
-    def relation(self, predicate: str) -> FrozenSet[Tuple]:
-        """Alias matching the :class:`Database` interface."""
-        return self._database.relation(predicate)
-
-    def probe(self, predicate: str, position: int, value) -> Sequence[Tuple]:
-        """Tuples of *predicate* whose argument at *position* equals *value*."""
-        return self._database.probe(predicate, position, value)
-
-
 def candidate_tuples(atom: Atom, index, substitution: Substitution) -> Iterable[Tuple]:
     """Tuples worth matching against *atom* given the bindings accumulated so far.
 
     *index* is anything exposing the :class:`Database` probe interface —
-    normally the database itself, or a legacy :class:`RelationIndex` shim.
+    normally the database itself.
     """
     best: Optional[Tuple[int, object]] = None
     for position, term in enumerate(atom.terms):

@@ -18,7 +18,6 @@ work.
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, Optional, Set, Tuple
 
 from repro.datalog.database import Database
@@ -106,22 +105,3 @@ def _evaluate(
 
     idb_facts = working.restrict(program.idb_predicates())
     return EvaluationResult(program, database, idb_facts, statistics)
-
-
-def evaluate_naive(
-    program: Program,
-    database: Database,
-    max_iterations: Optional[int] = None,
-    planner: Optional[Planner] = None,
-    plan: Optional[ProgramPlan] = None,
-) -> EvaluationResult:
-    """Deprecated free-function shim; use ``get_engine("naive").evaluate``."""
-    warnings.warn(
-        "evaluate_naive() is deprecated; use "
-        "get_engine('naive').evaluate(...) or QuerySession instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _evaluate(
-        program, database, max_iterations=max_iterations, planner=planner, plan=plan
-    )

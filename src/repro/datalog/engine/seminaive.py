@@ -21,7 +21,6 @@ Two evaluation-level optimisations come from
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, Optional, Set, Tuple
 
 from repro.datalog.database import Database
@@ -132,27 +131,3 @@ def _evaluate(
 
     idb_facts = working.restrict(idb_predicates)
     return EvaluationResult(program, database, idb_facts, statistics)
-
-
-def evaluate_seminaive(
-    program: Program,
-    database: Database,
-    max_iterations: Optional[int] = None,
-    planner: Optional[Planner] = None,
-    plan: Optional[ProgramPlan] = None,
-) -> EvaluationResult:
-    """Deprecated free-function shim; use ``get_engine("seminaive").evaluate``.
-
-    The registry (:mod:`repro.datalog.engine.registry`) and the
-    :class:`~repro.datalog.session.QuerySession` facade are the supported
-    entry points; this wrapper only remains so old imports keep working.
-    """
-    warnings.warn(
-        "evaluate_seminaive() is deprecated; use "
-        "get_engine('seminaive').evaluate(...) or QuerySession instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _evaluate(
-        program, database, max_iterations=max_iterations, planner=planner, plan=plan
-    )

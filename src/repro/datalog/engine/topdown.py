@@ -18,7 +18,6 @@ bounded by the finite Herbrand base.
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.datalog.atoms import Atom
@@ -185,19 +184,3 @@ def _evaluate(
     """Build an evaluator, run the goal, return the result (registry entry point)."""
     evaluator = TopDownEvaluator(program, database)
     return evaluator.result(goal, max_iterations=max_iterations)
-
-
-def evaluate_topdown(
-    program: Program,
-    database: Database,
-    goal: Optional[Atom] = None,
-    max_iterations: Optional[int] = None,
-):
-    """Deprecated free-function shim; use ``get_engine("topdown").evaluate``."""
-    warnings.warn(
-        "evaluate_topdown() is deprecated; use "
-        "get_engine('topdown').evaluate(...) or QuerySession instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _evaluate(program, database, goal=goal, max_iterations=max_iterations)

@@ -1,0 +1,44 @@
+"""A deployable, crash-safe network service over :class:`DatalogService`.
+
+The ROADMAP's "millions of users" axis needs more than a thread-safe
+in-process facade: it needs a network surface, persistence, and a recovery
+story.  This package provides all three with nothing beyond the standard
+library:
+
+* :mod:`~repro.datalog.server.wal` — a write-ahead log of length-prefixed,
+  CRC-checksummed records with a configurable fsync policy;
+* :mod:`~repro.datalog.server.snapshot` — atomic point-in-time snapshots of
+  the EDB, the registered programs, and the materialized bindings;
+* :mod:`~repro.datalog.server.durable` — :class:`DurableDatalogService`,
+  which logs every mutation ahead of applying it and recovers a killed
+  server by replaying WAL-after-snapshot (rebuilding materialized views
+  through the PR 5 incremental-maintenance path);
+* :mod:`~repro.datalog.server.http` — an asyncio HTTP/1.1 JSON front end
+  with thread-pool engine dispatch, write-path admission control
+  (429/503 + Retry-After), and graceful drain;
+* :mod:`~repro.datalog.server.metrics` — Prometheus-text ``/metrics`` with
+  request latency histograms and the service counters;
+* :mod:`~repro.datalog.server.runner` — a multi-process load driver over
+  real sockets (``repro load-bench``).
+"""
+
+from repro.datalog.server.durable import DurableDatalogService, ServiceDrainingError
+from repro.datalog.server.http import DatalogHTTPServer, run_server
+from repro.datalog.server.metrics import LatencyHistogram, MetricsRegistry
+from repro.datalog.server.runner import LoadReport, run_load
+from repro.datalog.server.snapshot import SnapshotStore
+from repro.datalog.server.wal import WalRecord, WriteAheadLog
+
+__all__ = [
+    "DatalogHTTPServer",
+    "DurableDatalogService",
+    "LatencyHistogram",
+    "LoadReport",
+    "MetricsRegistry",
+    "ServiceDrainingError",
+    "SnapshotStore",
+    "WalRecord",
+    "WriteAheadLog",
+    "run_load",
+    "run_server",
+]

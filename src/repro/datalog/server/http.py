@@ -1,0 +1,483 @@
+"""Asyncio HTTP/JSON front end for the durable Datalog service (stdlib only).
+
+A deliberately small HTTP/1.1 server on :func:`asyncio.start_server` — no
+third-party framework — that exposes the :class:`DurableDatalogService`
+surface over JSON, keeps engine work off the event loop (a thread pool runs
+every service call), and applies admission control to writes.
+
+Endpoints (JSON request/response unless noted)::
+
+    POST /register      {"name", "source", "transforms"?, "engine"?, "replace"?}
+    POST /prepare       {"name"}                      -> {"parameters": [...]}
+    POST /execute       {"name", "params"?, "engine"?, "fresh"?}
+                                                      -> {"answers": [[...], ...]}
+    POST /execute_many  {"name", "bindings": [{...}, ...]}
+    POST /add_facts     {"facts": [["pred", [v, ...]], ...]} -> {"added": n}
+    POST /remove_facts  {"facts": [...]}              -> {"removed": n}
+    POST /materialize   {"name", "params"?}
+    POST /dematerialize {"name", "params"?}
+    POST /snapshot      {}
+    GET  /statistics                                  -> service + WAL counters
+    GET  /metrics                                     -> Prometheus text format
+    GET  /healthz                                     -> {"status", "draining"}
+
+Backpressure: at most ``max_pending_writes`` write requests may be queued
+or executing at once — beyond that the server answers ``429`` with a
+``Retry-After`` header instead of buffering unboundedly (the WAL fsync is
+the throughput governor; admission control keeps the queue short so write
+latency stays honest).  During drain every write gets ``503``; reads keep
+working until the listener closes.
+
+Shutdown (SIGTERM/SIGINT under :func:`run_server`, or
+:meth:`DatalogHTTPServer.drain_and_close`): stop admitting writes, wait for
+in-flight requests, snapshot + truncate the WAL via ``durable.close()``,
+then stop the listener — a restart after a graceful stop replays nothing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional, Tuple
+
+from repro.datalog.server.durable import DurableDatalogService
+from repro.datalog.server.metrics import MetricsRegistry, MonotonicityError
+from repro.datalog.service import (
+    DatalogService,
+    QueryNotRegisteredError,
+    ServiceDrainingError,
+)
+from repro.errors import ReproError
+
+__all__ = ["DatalogHTTPServer", "run_server"]
+
+_MAX_BODY = 16 * 1024 * 1024  # refuse absurd payloads before buffering them
+_WRITE_ENDPOINTS = frozenset(
+    {"register", "add_facts", "remove_facts", "materialize", "dematerialize", "snapshot"}
+)
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _HttpError(Exception):
+    """Short-circuit a request with a specific status + JSON error body."""
+
+    def __init__(self, status: int, message: str, retry_after: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.retry_after = retry_after
+
+
+def _sorted_answers(answers) -> list:
+    """Frozenset-of-tuples results as a deterministic JSON list-of-lists."""
+    return [list(row) for row in sorted(answers, key=repr)]
+
+
+class DatalogHTTPServer:
+    """One listening socket serving a :class:`DurableDatalogService`."""
+
+    def __init__(
+        self,
+        durable: DurableDatalogService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_pending_writes: int = 64,
+        executor_workers: int = 4,
+        sync_interval: Optional[float] = None,
+    ):
+        self._durable = durable
+        self._host = host
+        self._port = port
+        self._max_pending_writes = max_pending_writes
+        self._sync_interval = sync_interval
+        self.metrics = MetricsRegistry()
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_workers, thread_name_prefix="datalog-http"
+        )
+        # Both counters live on the event-loop thread only — no lock needed.
+        self._pending_writes = 0
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._draining = False
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._sync_task: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+        if self._sync_interval:
+            self._sync_task = asyncio.get_running_loop().create_task(
+                self._sync_periodically()
+            )
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved after :meth:`start` when 0 was requested)."""
+        return self._port
+
+    @property
+    def address(self) -> str:
+        return f"http://{self._host}:{self._port}"
+
+    async def serve_until(self, stop: asyncio.Event) -> None:
+        """Serve until *stop* is set, then drain gracefully."""
+        await stop.wait()
+        await self.drain_and_close()
+
+    async def drain_and_close(self) -> None:
+        """Graceful shutdown: refuse writes, finish in-flight, persist, stop."""
+        if self._draining:
+            return
+        self._draining = True
+        self._durable.begin_drain()
+        if self._sync_task is not None:
+            self._sync_task.cancel()
+        # Let requests already admitted (including queued writes, which were
+        # WAL-logged-or-rejected atomically) run to completion.
+        await self._idle.wait()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(self._executor, self._durable.close)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._executor.shutdown(wait=True)
+
+    async def _sync_periodically(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self._sync_interval)
+            await loop.run_in_executor(self._executor, self._durable.sync)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, headers, body = request
+                keep_alive = headers.get("connection", "keep-alive") != "close"
+                status, payload, extra = await self._dispatch(method, target, body)
+                await self._write_response(writer, status, payload, extra, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        """Parse one HTTP/1.1 request; ``None`` on a cleanly closed connection."""
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None
+            raise
+        except asyncio.LimitOverrunError:
+            raise _HttpError(413, "header block too large") from None
+        request_line, _, header_block = head.partition(b"\r\n")
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise _HttpError(400, "malformed request line")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        for line in header_block.decode("latin-1").split("\r\n"):
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY:
+            raise _HttpError(413, "request body too large")
+        body = await reader.readexactly(length) if length else b""
+        return method, target, headers, body
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: bytes,
+        extra_headers: Dict[str, str],
+        keep_alive: bool,
+    ) -> None:
+        reason = _STATUS_TEXT.get(status, "Unknown")
+        headers = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Length: {len(payload)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        headers.extend(f"{name}: {value}" for name, value in extra_headers.items())
+        writer.write(("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + payload)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        endpoint = target.split("?", 1)[0].lstrip("/") or "healthz"
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        self._inflight += 1
+        self._idle.clear()
+        is_write = endpoint in _WRITE_ENDPOINTS
+        try:
+            try:
+                if is_write:
+                    self._admit_write()
+                    self._pending_writes += 1
+                    try:
+                        result = await self._run(loop, endpoint, method, body)
+                    finally:
+                        self._pending_writes -= 1
+                else:
+                    result = await self._run(loop, endpoint, method, body)
+                payload = json.dumps(result).encode("utf-8")
+                status, extra = 200, {"Content-Type": "application/json"}
+            except _HttpError as exc:
+                status, payload, extra = self._error_response(exc)
+            except (QueryNotRegisteredError,) as exc:
+                status, payload, extra = self._error_response(_HttpError(404, str(exc)))
+            except ServiceDrainingError as exc:
+                status, payload, extra = self._error_response(
+                    _HttpError(503, str(exc), retry_after=1)
+                )
+            except MonotonicityError as exc:
+                status, payload, extra = self._error_response(_HttpError(500, str(exc)))
+            except (ReproError, ValueError, TypeError, KeyError) as exc:
+                status, payload, extra = self._error_response(_HttpError(400, str(exc)))
+            if endpoint == "metrics" and status == 200:
+                # /metrics returns text, not JSON: unwrap the rendered string.
+                payload = result.encode("utf-8")
+                extra = {"Content-Type": "text/plain; version=0.0.4"}
+            self.metrics.observe_request(endpoint, status, loop.time() - start)
+            return status, payload, extra
+        finally:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.set()
+
+    def _admit_write(self) -> None:
+        if self._draining or self._durable.service.draining:
+            raise _HttpError(
+                503, "server is draining; writes are not admitted", retry_after=5
+            )
+        if self._pending_writes >= self._max_pending_writes:
+            raise _HttpError(
+                429,
+                f"write queue full ({self._max_pending_writes} pending)",
+                retry_after=1,
+            )
+
+    def _error_response(self, exc: _HttpError) -> Tuple[int, bytes, Dict[str, str]]:
+        payload = json.dumps({"error": exc.message}).encode("utf-8")
+        extra = {"Content-Type": "application/json"}
+        if exc.retry_after is not None:
+            extra["Retry-After"] = str(exc.retry_after)
+        return exc.status, payload, extra
+
+    async def _run(self, loop, endpoint: str, method: str, body: bytes):
+        handler = getattr(self, f"_endpoint_{endpoint}", None)
+        if handler is None:
+            raise _HttpError(404, f"no such endpoint: /{endpoint}")
+        expected = "GET" if endpoint in ("metrics", "healthz", "statistics") else "POST"
+        if method != expected:
+            raise _HttpError(405, f"/{endpoint} requires {expected}")
+        if expected == "POST":
+            try:
+                request = json.loads(body.decode("utf-8")) if body else {}
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise _HttpError(400, f"invalid JSON body: {exc}") from None
+            if not isinstance(request, dict):
+                raise _HttpError(400, "request body must be a JSON object")
+        else:
+            request = {}
+        # Every service call — even cheap ones — runs on the pool so a slow
+        # engine evaluation can never stall the event loop.
+        return await loop.run_in_executor(self._executor, handler, request)
+
+    # ------------------------------------------------------------------
+    # Endpoints (run on the thread pool)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _required(request: Dict, key: str):
+        try:
+            return request[key]
+        except KeyError:
+            raise _HttpError(400, f"missing required field {key!r}") from None
+
+    @staticmethod
+    def _facts_from_json(raw) -> list:
+        facts = []
+        for item in raw:
+            predicate, values = item
+            facts.append((str(predicate), tuple(values)))
+        return facts
+
+    def _endpoint_register(self, request: Dict) -> Dict:
+        self._durable.register_program(
+            str(self._required(request, "name")),
+            str(self._required(request, "source")),
+            transforms=request.get("transforms", ()),
+            engine=request.get("engine"),
+            replace=bool(request.get("replace", False)),
+        )
+        return {"ok": True}
+
+    def _endpoint_prepare(self, request: Dict) -> Dict:
+        prepared = self._durable.prepare(str(self._required(request, "name")))
+        return {"parameters": sorted(prepared.parameters)}
+
+    def _endpoint_execute(self, request: Dict) -> Dict:
+        answers = self._durable.execute(
+            str(self._required(request, "name")),
+            request.get("params") or {},
+            engine=request.get("engine"),
+            fresh=bool(request.get("fresh", False)),
+        )
+        return {"answers": _sorted_answers(answers)}
+
+    def _endpoint_execute_many(self, request: Dict) -> Dict:
+        results = self._durable.execute_many(
+            str(self._required(request, "name")),
+            list(self._required(request, "bindings")),
+            engine=request.get("engine"),
+        )
+        return {"answers": [_sorted_answers(answers) for answers in results]}
+
+    def _endpoint_add_facts(self, request: Dict) -> Dict:
+        facts = self._facts_from_json(self._required(request, "facts"))
+        return {"added": self._durable.add_facts(facts)}
+
+    def _endpoint_remove_facts(self, request: Dict) -> Dict:
+        facts = self._facts_from_json(self._required(request, "facts"))
+        return {"removed": self._durable.remove_facts(facts)}
+
+    def _endpoint_materialize(self, request: Dict) -> Dict:
+        self._durable.materialize(
+            str(self._required(request, "name")), request.get("params") or {}
+        )
+        return {"ok": True}
+
+    def _endpoint_dematerialize(self, request: Dict) -> Dict:
+        dropped = self._durable.dematerialize(
+            str(self._required(request, "name")), request.get("params") or {}
+        )
+        return {"dropped": dropped}
+
+    def _endpoint_snapshot(self, request: Dict) -> Dict:
+        self._durable.snapshot()
+        return {"ok": True}
+
+    def _endpoint_statistics(self, request: Dict) -> Dict:
+        return self._durable.statistics()
+
+    def _endpoint_metrics(self, request: Dict) -> str:
+        return self.metrics.render(
+            self._durable.statistics(),
+            monotonic_keys=DatalogService.MONOTONIC_STATISTICS,
+            extra_gauges={
+                "http_pending_writes": self._pending_writes,
+                "http_inflight_requests": self._inflight,
+            },
+        )
+
+    def _endpoint_healthz(self, request: Dict) -> Dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "draining": self._draining or self._durable.service.draining,
+            "port": self._port,
+        }
+
+
+async def _serve(server: DatalogHTTPServer, ready_line: bool) -> None:
+    import signal
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover - non-POSIX
+            pass
+    await server.start()
+    if ready_line:
+        # Machine-readable readiness line: the load driver and the benchmark
+        # harness parse this to learn the bound port.
+        print(f"READY {server.host} {server.port}", flush=True)
+    await server.serve_until(stop)
+
+
+def run_server(
+    data_dir,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    fsync: str = "always",
+    snapshot_every: int = 1024,
+    max_pending_writes: int = 64,
+    executor_workers: int = 4,
+    sync_interval: Optional[float] = None,
+    cache_size: int = 256,
+    default_engine: str = "seminaive",
+    ready_line: bool = True,
+) -> None:
+    """Open (recovering) the durable service at *data_dir* and serve it.
+
+    Blocks until SIGTERM/SIGINT, then drains gracefully: refuses new
+    writes, completes in-flight requests, snapshots, truncates the WAL,
+    and closes the listener.
+    """
+    durable = DurableDatalogService(
+        data_dir,
+        fsync=fsync,
+        snapshot_every=snapshot_every,
+        cache_size=cache_size,
+        default_engine=default_engine,
+    )
+    server = DatalogHTTPServer(
+        durable,
+        host=host,
+        port=port,
+        max_pending_writes=max_pending_writes,
+        executor_workers=executor_workers,
+        sync_interval=sync_interval,
+    )
+    try:
+        asyncio.run(_serve(server, ready_line))
+    finally:
+        durable.close()

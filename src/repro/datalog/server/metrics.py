@@ -1,0 +1,195 @@
+"""Prometheus text-format metrics for the Datalog server (stdlib only).
+
+Two sources feed the ``/metrics`` endpoint:
+
+* the service's :meth:`~repro.datalog.service.DatalogService.statistics`
+  snapshot, exported as ``repro_datalog_<key>`` — counters for the keys in
+  :attr:`DatalogService.MONOTONIC_STATISTICS`, gauges for the rest; and
+* the HTTP layer's own request counters and latency histograms,
+  ``repro_http_requests_total{endpoint,status}`` and
+  ``repro_http_request_seconds{endpoint}``.
+
+The registry enforces the monotonicity contract at render time: a counter
+that went backwards since the previous render raises
+:class:`MonotonicityError` instead of being exported, because a regressing
+Prometheus counter silently corrupts every ``rate()`` computed over it.
+The service holds up its side by snapshotting under its lock (see
+``DatalogService.statistics``); the assertion here is the tripwire that
+would catch a future regression.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = ["DEFAULT_BUCKETS", "LatencyHistogram", "MetricsRegistry", "MonotonicityError"]
+
+#: Histogram bucket upper bounds in seconds — spans sub-millisecond cache
+#: hits through multi-second cold materializations.
+DEFAULT_BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+)
+
+
+class MonotonicityError(RuntimeError):
+    """A statistics counter decreased between two ``/metrics`` renders."""
+
+
+class LatencyHistogram:
+    """A fixed-bucket latency histogram (thread-safe, cumulative on render)."""
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS):
+        self._bounds: Tuple[float, ...] = tuple(sorted(buckets))
+        if not self._bounds:
+            raise ValueError("at least one bucket bound is required")
+        # counts[i] is the number of observations in (bounds[i-1], bounds[i]];
+        # the final slot is the +Inf overflow bucket.
+        self._counts = [0] * (len(self._bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    @property
+    def bounds(self) -> Tuple[float, ...]:
+        return self._bounds
+
+    def observe(self, seconds: float) -> None:
+        index = bisect_left(self._bounds, seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += seconds
+            self._count += 1
+
+    def snapshot(self) -> Tuple[List[int], float, int]:
+        """``(cumulative bucket counts incl. +Inf, sum, count)``."""
+        with self._lock:
+            counts = list(self._counts)
+            total_sum = self._sum
+            total = self._count
+        cumulative: List[int] = []
+        running = 0
+        for value in counts:
+            running += value
+            cumulative.append(running)
+        return cumulative, total_sum, total
+
+
+def _format_float(value: float) -> str:
+    """Prometheus-friendly numbers: integers bare, floats via repr."""
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+class MetricsRegistry:
+    """Request accounting plus the statistics exporter behind ``/metrics``."""
+
+    def __init__(self, namespace: str = "repro"):
+        self._namespace = namespace
+        self._lock = threading.Lock()
+        self._requests: Dict[Tuple[str, str], int] = {}
+        self._histograms: Dict[str, LatencyHistogram] = {}
+        self._last_monotonic: Dict[str, int] = {}
+
+    def observe_request(self, endpoint: str, status: int, seconds: float) -> None:
+        """Record one finished HTTP request."""
+        key = (endpoint, str(status))
+        with self._lock:
+            self._requests[key] = self._requests.get(key, 0) + 1
+            histogram = self._histograms.get(endpoint)
+            if histogram is None:
+                histogram = self._histograms.setdefault(endpoint, LatencyHistogram())
+        histogram.observe(seconds)
+
+    def check_monotonic(
+        self, statistics: Mapping[str, int], keys: Iterable[str]
+    ) -> None:
+        """Assert the monotonic *keys* of *statistics* never regressed.
+
+        Remembers the highest value seen per key; raises
+        :class:`MonotonicityError` naming the offending counter otherwise.
+        """
+        with self._lock:
+            for key in keys:
+                if key not in statistics:
+                    continue
+                value = statistics[key]
+                previous = self._last_monotonic.get(key)
+                if previous is not None and value < previous:
+                    raise MonotonicityError(
+                        f"statistics counter {key!r} went backwards: "
+                        f"{previous} -> {value}"
+                    )
+                self._last_monotonic[key] = value
+
+    def render(
+        self,
+        statistics: Mapping[str, int],
+        monotonic_keys: Iterable[str] = (),
+        extra_gauges: Optional[Mapping[str, float]] = None,
+    ) -> str:
+        """The full Prometheus text exposition (version 0.0.4)."""
+        monotonic = tuple(monotonic_keys)
+        self.check_monotonic(statistics, monotonic)
+        monotonic_set = set(monotonic)
+        ns = self._namespace
+        lines: List[str] = []
+        for key in sorted(statistics):
+            kind = "counter" if key in monotonic_set else "gauge"
+            metric = f"{ns}_datalog_{key}"
+            lines.append(f"# HELP {metric} DatalogService statistic {key!r}.")
+            lines.append(f"# TYPE {metric} {kind}")
+            lines.append(f"{metric} {_format_float(float(statistics[key]))}")
+        for key in sorted(extra_gauges or {}):
+            metric = f"{ns}_{key}"
+            lines.append(f"# HELP {metric} Server gauge {key!r}.")
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_format_float(float(extra_gauges[key]))}")
+        with self._lock:
+            requests = dict(self._requests)
+            histograms = dict(self._histograms)
+        if requests:
+            metric = f"{ns}_http_requests_total"
+            lines.append(f"# HELP {metric} HTTP requests served, by endpoint and status.")
+            lines.append(f"# TYPE {metric} counter")
+            for (endpoint, status), count in sorted(requests.items()):
+                lines.append(
+                    f'{metric}{{endpoint="{_escape_label(endpoint)}",'
+                    f'status="{status}"}} {count}'
+                )
+        if histograms:
+            metric = f"{ns}_http_request_seconds"
+            lines.append(f"# HELP {metric} HTTP request latency, by endpoint.")
+            lines.append(f"# TYPE {metric} histogram")
+            for endpoint, histogram in sorted(histograms.items()):
+                label = _escape_label(endpoint)
+                cumulative, total_sum, total = histogram.snapshot()
+                for bound, count in zip(histogram.bounds, cumulative):
+                    lines.append(
+                        f'{metric}_bucket{{endpoint="{label}",'
+                        f'le="{_format_float(bound)}"}} {count}'
+                    )
+                lines.append(
+                    f'{metric}_bucket{{endpoint="{label}",le="+Inf"}} {cumulative[-1]}'
+                )
+                lines.append(f'{metric}_sum{{endpoint="{label}"}} {repr(total_sum)}')
+                lines.append(f'{metric}_count{{endpoint="{label}"}} {total}')
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,317 @@
+"""Multi-process load driver for the Datalog HTTP server.
+
+Spawns N client *processes* (not threads — the point is to drive the server
+from genuinely concurrent peers over real sockets) that issue a mixed
+workload against a running server:
+
+* **reads** — ``/execute`` of a registered reachability query with a random
+  ``$src`` binding; a configurable fraction targets the binding that was
+  materialized during setup, so the live-view fast path sees traffic too;
+* **writes** — single-edge ``/add_facts`` / ``/remove_facts`` batches, which
+  exercise the WAL, the epoch bump, and incremental view maintenance.
+
+Each worker records one wall-clock latency sample per request; the parent
+merges the samples and reports p50/p95/p99 per operation class plus overall
+throughput.  ``429`` responses (admission control) are retried after the
+server's ``Retry-After`` hint and counted, so a backpressured run degrades
+to lower throughput instead of failing.
+
+This module is the engine behind ``repro load-bench`` and the E13
+benchmark; it only needs ``http.client`` and ``multiprocessing``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import multiprocessing as mp
+import queue
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "LoadReport",
+    "run_load",
+    "setup_workload",
+    "workload_edges",
+    "WORKLOAD_PROGRAM",
+]
+
+#: The fixture query the driver registers: reachability over ``edge`` facts,
+#: parameterized by source node.
+WORKLOAD_PROGRAM = """\
+?reach($src, Y)
+reach(X, Y) :- edge(X, Y).
+reach(X, Y) :- reach(X, Z), edge(Z, Y).
+"""
+
+MATERIALIZED_SOURCE = "n0"
+
+
+class _Client:
+    """A keep-alive JSON client over one ``http.client`` connection."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    def request(self, method: str, path: str, body: Optional[dict] = None):
+        payload = json.dumps(body).encode("utf-8") if body is not None else b""
+        headers = {"Content-Type": "application/json"} if body is not None else {}
+        try:
+            self._conn.request(method, path, payload, headers)
+            response = self._conn.getresponse()
+            data = response.read()
+        except (http.client.HTTPException, ConnectionError, OSError):
+            # One reconnect per failure: the server may have dropped an idle
+            # keep-alive connection.
+            self._conn.close()
+            self._conn.request(method, path, payload, headers)
+            response = self._conn.getresponse()
+            data = response.read()
+        retry_after = response.getheader("Retry-After")
+        return response.status, data, retry_after
+
+    def post(self, path: str, body: dict):
+        return self.request("POST", path, body)
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+def workload_edges(nodes: int = 24, seed: int = 7) -> List[List[str]]:
+    """The fixture graph: a ring over ``nodes`` plus ``nodes`` random chords."""
+    rng = random.Random(seed)
+    edges = [[f"n{i}", f"n{(i + 1) % nodes}"] for i in range(nodes)]
+    edges += [
+        [f"n{rng.randrange(nodes)}", f"n{rng.randrange(nodes)}"]
+        for _ in range(nodes)
+    ]
+    return edges
+
+
+def setup_workload(host: str, port: int, *, nodes: int = 24, seed: int = 7) -> None:
+    """Register the fixture program, load a graph, materialize one binding."""
+    client = _Client(host, port)
+    try:
+        status, data, _ = client.post(
+            "/register",
+            {"name": "reach", "source": WORKLOAD_PROGRAM, "replace": True},
+        )
+        if status != 200:
+            raise RuntimeError(f"workload setup failed: register -> {status} {data!r}")
+        edges = workload_edges(nodes, seed)
+        status, data, _ = client.post(
+            "/add_facts", {"facts": [["edge", edge] for edge in edges]}
+        )
+        if status != 200:
+            raise RuntimeError(f"workload setup failed: add_facts -> {status} {data!r}")
+        status, data, _ = client.post(
+            "/materialize", {"name": "reach", "params": {"src": MATERIALIZED_SOURCE}}
+        )
+        if status != 200:
+            raise RuntimeError(
+                f"workload setup failed: materialize -> {status} {data!r}"
+            )
+    finally:
+        client.close()
+
+
+def _worker(
+    host: str,
+    port: int,
+    requests: int,
+    read_ratio: float,
+    materialized_ratio: float,
+    nodes: int,
+    seed: int,
+    results: "mp.Queue",
+) -> None:
+    """One client process: issue *requests* mixed operations, report samples."""
+    rng = random.Random(seed)
+    client = _Client(host, port)
+    reads: List[float] = []
+    writes: List[float] = []
+    errors = 0
+    rejected = 0
+    try:
+        for i in range(requests):
+            if rng.random() < read_ratio:
+                if rng.random() < materialized_ratio:
+                    source = MATERIALIZED_SOURCE
+                else:
+                    source = f"n{rng.randrange(nodes)}"
+                path, body, bucket = (
+                    "/execute",
+                    {"name": "reach", "params": {"src": source}},
+                    reads,
+                )
+            else:
+                edge = [f"n{rng.randrange(nodes)}", f"n{rng.randrange(nodes)}"]
+                endpoint = "/add_facts" if rng.random() < 0.7 else "/remove_facts"
+                path, body, bucket = (endpoint, {"facts": [["edge", edge]]}, writes)
+            for _attempt in range(4):
+                start = time.perf_counter()
+                status, _data, retry_after = client.post(path, body)
+                elapsed = time.perf_counter() - start
+                if status == 429:
+                    rejected += 1
+                    time.sleep(min(float(retry_after or 0.05), 0.25))
+                    continue
+                bucket.append(elapsed)
+                if status != 200:
+                    errors += 1
+                break
+            else:
+                errors += 1
+    finally:
+        client.close()
+        results.put(
+            {"reads": reads, "writes": writes, "errors": errors, "rejected": rejected}
+        )
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """The *q*-quantile (0..1) of *samples* by nearest-rank; 0.0 when empty."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[index]
+
+
+@dataclass
+class LoadReport:
+    """Merged result of one load run (all latencies in seconds)."""
+
+    processes: int
+    requests_per_process: int
+    duration: float
+    read_latencies: List[float] = field(repr=False)
+    write_latencies: List[float] = field(repr=False)
+    errors: int = 0
+    rejected: int = 0
+
+    @property
+    def total_requests(self) -> int:
+        return len(self.read_latencies) + len(self.write_latencies)
+
+    @property
+    def requests_per_second(self) -> float:
+        return self.total_requests / self.duration if self.duration > 0 else 0.0
+
+    def percentiles(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for kind, samples in (
+            ("read", self.read_latencies),
+            ("write", self.write_latencies),
+        ):
+            for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+                out[f"{kind}_{label}"] = percentile(samples, q)
+        return out
+
+    def as_dict(self) -> Dict:
+        summary = {
+            "processes": self.processes,
+            "requests_per_process": self.requests_per_process,
+            "total_requests": self.total_requests,
+            "duration_seconds": self.duration,
+            "requests_per_second": self.requests_per_second,
+            "errors": self.errors,
+            "rejected_429": self.rejected,
+            "reads": len(self.read_latencies),
+            "writes": len(self.write_latencies),
+        }
+        summary.update(self.percentiles())
+        return summary
+
+    def __str__(self) -> str:
+        p = self.percentiles()
+        return (
+            f"{self.processes} process(es) x {self.requests_per_process} requests: "
+            f"{self.total_requests} ok in {self.duration:.2f}s "
+            f"({self.requests_per_second:.0f} req/s), "
+            f"read p50/p95/p99 = {p['read_p50'] * 1e3:.2f}/"
+            f"{p['read_p95'] * 1e3:.2f}/{p['read_p99'] * 1e3:.2f} ms, "
+            f"write p50/p95/p99 = {p['write_p50'] * 1e3:.2f}/"
+            f"{p['write_p95'] * 1e3:.2f}/{p['write_p99'] * 1e3:.2f} ms, "
+            f"errors={self.errors}, 429s={self.rejected}"
+        )
+
+
+def run_load(
+    host: str,
+    port: int,
+    *,
+    processes: int = 2,
+    requests_per_process: int = 200,
+    read_ratio: float = 0.9,
+    materialized_ratio: float = 0.5,
+    nodes: int = 24,
+    seed: int = 1987,
+    setup: bool = True,
+    worker_timeout: float = 120.0,
+) -> LoadReport:
+    """Drive a running server with *processes* concurrent client processes.
+
+    With ``setup=True`` (default) the fixture workload is installed first;
+    pass ``False`` to drive a server whose state is already prepared.
+    Worker processes are real OS processes connected over real sockets, so
+    the measured latencies include the full network + parse + dispatch path.
+    """
+    if processes < 1:
+        raise ValueError("processes must be >= 1")
+    if setup:
+        setup_workload(host, port, nodes=nodes, seed=seed)
+    # fork (where available) keeps workers cheap and avoids re-importing
+    # __main__, which spawn requires to be a real file.
+    methods = mp.get_all_start_methods()
+    context = mp.get_context("fork" if "fork" in methods else "spawn")
+    results: "mp.Queue" = context.Queue()
+    workers = [
+        context.Process(
+            target=_worker,
+            args=(
+                host,
+                port,
+                requests_per_process,
+                read_ratio,
+                materialized_ratio,
+                nodes,
+                seed + 101 * (index + 1),
+                results,
+            ),
+        )
+        for index in range(processes)
+    ]
+    start = time.perf_counter()
+    for worker in workers:
+        worker.start()
+    merged: List[Dict] = []
+    try:
+        for _ in workers:
+            # Drain results before join: a worker blocks on queue flush
+            # otherwise.  The timeout turns a wedged worker into an error
+            # instead of a hung driver.
+            merged.append(results.get(timeout=worker_timeout))
+    except queue.Empty:
+        for worker in workers:
+            if worker.is_alive():
+                worker.terminate()
+        raise RuntimeError(
+            f"load worker produced no result within {worker_timeout}s "
+            f"({len(merged)}/{len(workers)} reported)"
+        ) from None
+    for worker in workers:
+        worker.join()
+    duration = time.perf_counter() - start
+    return LoadReport(
+        processes=processes,
+        requests_per_process=requests_per_process,
+        duration=duration,
+        read_latencies=[s for part in merged for s in part["reads"]],
+        write_latencies=[s for part in merged for s in part["writes"]],
+        errors=sum(part["errors"] for part in merged),
+        rejected=sum(part["rejected"] for part in merged),
+    )

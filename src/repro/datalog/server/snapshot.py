@@ -1,0 +1,90 @@
+"""Atomic point-in-time snapshots of a durable service's full state.
+
+A snapshot bounds recovery time: instead of replaying every write since the
+beginning of time, a restarted server loads the latest snapshot and replays
+only the WAL records appended after it.  One snapshot captures
+
+* the EDB (``Database.to_bytes`` — the compact codec, not pickle),
+* the registered programs (source text + transform names + engine, exactly
+  what re-registration needs), and
+* the materialized bindings, so recovery rebuilds every live view through
+  the incremental-maintenance path.
+
+Write protocol: encode, checksum, write to a temp file in the same
+directory, fsync, ``os.replace`` over the real name, fsync the directory.
+A crash at any point leaves either the old snapshot or the new one —
+never a torn file.  Loading verifies magic + CRC and returns ``None`` for
+a missing or corrupt snapshot (recovery then starts from an empty state
+and the WAL).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Optional
+
+from repro.datalog.database import decode_obj, encode_obj
+
+_MAGIC = b"RPSNAP1\n"
+_CRC = struct.Struct(">I")
+
+SNAPSHOT_NAME = "snapshot.bin"
+
+
+class SnapshotStore:
+    """Reads and atomically writes the single-snapshot file of a data dir."""
+
+    def __init__(self, data_dir):
+        self._directory = os.fspath(data_dir)
+        self._path = os.path.join(self._directory, SNAPSHOT_NAME)
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def exists(self) -> bool:
+        return os.path.exists(self._path)
+
+    def write(self, state: dict) -> None:
+        """Atomically persist *state* (a plain dict in codec-friendly types)."""
+        payload = encode_obj(state)
+        blob = _MAGIC + _CRC.pack(zlib.crc32(payload)) + payload
+        temp_path = self._path + ".tmp"
+        with open(temp_path, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, self._path)
+        self._fsync_directory()
+
+    def load(self) -> Optional[dict]:
+        """The latest intact snapshot state, or ``None`` (missing/corrupt)."""
+        try:
+            with open(self._path, "rb") as handle:
+                blob = handle.read()
+        except FileNotFoundError:
+            return None
+        if not blob.startswith(_MAGIC) or len(blob) < len(_MAGIC) + _CRC.size:
+            return None
+        (checksum,) = _CRC.unpack_from(blob, len(_MAGIC))
+        payload = blob[len(_MAGIC) + _CRC.size :]
+        if zlib.crc32(payload) != checksum:
+            return None
+        try:
+            state = decode_obj(payload)
+        except Exception:
+            return None
+        return state if isinstance(state, dict) else None
+
+    def _fsync_directory(self) -> None:
+        """Persist the rename itself (POSIX requires fsyncing the directory)."""
+        try:
+            fd = os.open(self._directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform without dir fds
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)

@@ -1,0 +1,236 @@
+"""Write-ahead log: length-prefixed, checksummed records on an append-only file.
+
+Every mutation the durable service accepts is encoded as one record and
+appended — and optionally fsynced — *before* it is applied to the in-memory
+service, so an acknowledged write can always be replayed after a crash.
+
+Record framing (all integers big-endian)::
+
+    +----+----------------+-----------------+------------------+
+    | WR | length (u32)   | crc32 (u32)     | payload (length) |
+    +----+----------------+-----------------+------------------+
+
+The payload is one value in the compact codec of
+:mod:`repro.datalog.database` (``encode_obj`` / ``decode_obj``) — in
+practice a ``{"kind": ..., ...}`` dict.  A torn tail (truncated header,
+truncated payload, or checksum mismatch — what a ``kill -9`` mid-write
+leaves behind) ends replay cleanly at the last intact record; opening the
+log for append repairs the file by truncating the corrupt tail.
+
+fsync policy (``fsync=``):
+
+* ``"always"`` — fsync after every append: an acknowledged write survives
+  power loss.  The durability contract the recovery tests assume.
+* ``"batch"`` — flush to the OS after every append, fsync only on
+  :meth:`sync` (the HTTP server calls it on a timer and on drain): bounded
+  data loss on power failure, no loss on process crash.
+* ``"never"`` — flush to the OS only; fastest, loses only on power failure
+  (the OS still has the bytes when the process dies).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.datalog.database import decode_obj, encode_obj
+
+_MAGIC = b"WR"
+_HEADER = struct.Struct(">2sII")  # magic, payload length, payload crc32
+
+FSYNC_POLICIES = ("always", "batch", "never")
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One replayed record: its sequence number (0-based) and decoded payload."""
+
+    sequence: int
+    payload: object
+
+
+class WriteAheadLog:
+    """An append-only record log with checksummed framing and tail repair.
+
+    Thread-safe: appends are serialized by an internal lock, so concurrent
+    writers (the service's write hook runs under the service lock, registry
+    operations under the durable lock) can never interleave partial records.
+    """
+
+    def __init__(self, path, *, fsync: str = "always"):
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}")
+        self._path = os.fspath(path)
+        self._fsync = fsync
+        self._lock = threading.Lock()
+        self._record_count, valid_bytes = self._scan()
+        # Open for append, repairing any torn tail first: a record written
+        # after a truncation would otherwise be unreachable garbage.
+        self._repair(valid_bytes)
+        self._file = open(self._path, "ab")
+        self._appended_since_sync = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def fsync_policy(self) -> str:
+        return self._fsync
+
+    @property
+    def record_count(self) -> int:
+        """Number of intact records currently in the log."""
+        with self._lock:
+            return self._record_count
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def append(self, payload: object) -> int:
+        """Encode, frame, and append one record; returns its sequence number.
+
+        The record is durable per the fsync policy when this returns —
+        callers apply the mutation only afterwards (write-*ahead* logging).
+        """
+        body = encode_obj(payload)
+        frame = _HEADER.pack(_MAGIC, len(body), zlib.crc32(body)) + body
+        with self._lock:
+            self._file.write(frame)
+            self._file.flush()
+            if self._fsync == "always":
+                os.fsync(self._file.fileno())
+            else:
+                self._appended_since_sync += 1
+            sequence = self._record_count
+            self._record_count += 1
+            return sequence
+
+    def sync(self) -> None:
+        """fsync pending appends (a no-op under ``always`` with nothing pending)."""
+        with self._lock:
+            if self._appended_since_sync or self._fsync != "always":
+                self._file.flush()
+                os.fsync(self._file.fileno())
+                self._appended_since_sync = 0
+
+    def truncate(self) -> None:
+        """Drop every record (called after a snapshot has captured them)."""
+        with self._lock:
+            self._file.seek(0)
+            self._file.truncate()
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._record_count = 0
+            self._appended_since_sync = 0
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.flush()
+                os.fsync(self._file.fileno())
+                self._file.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    @classmethod
+    def replay(cls, path) -> Tuple[List[WalRecord], bool]:
+        """Decode all intact records of the file at *path*.
+
+        Returns ``(records, tail_corrupt)``: replay stops at the first
+        truncated or checksum-failing record, and ``tail_corrupt`` reports
+        whether such a torn tail was present (a missing file is just an
+        empty, intact log).  Never raises on corrupt data — a crashed
+        server must always be able to come back up.
+        """
+        records: List[WalRecord] = []
+        path = os.fspath(path)
+        if not os.path.exists(path):
+            return records, False
+        with open(path, "rb") as handle:
+            data = handle.read()
+        offset = 0
+        while offset < len(data):
+            record, next_offset = cls._decode_one(data, offset)
+            if record is None:
+                return records, True
+            records.append(WalRecord(len(records), record))
+            offset = next_offset
+        return records, False
+
+    @classmethod
+    def iter_records(cls, path) -> Iterator[WalRecord]:
+        """Iterate intact records, silently stopping at a torn tail."""
+        records, _ = cls.replay(path)
+        return iter(records)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _decode_one(data: bytes, offset: int) -> Tuple[Optional[object], int]:
+        """Decode the record at *offset*; ``(None, offset)`` when torn/corrupt."""
+        if offset + _HEADER.size > len(data):
+            return None, offset
+        magic, length, checksum = _HEADER.unpack_from(data, offset)
+        if magic != _MAGIC:
+            return None, offset
+        start = offset + _HEADER.size
+        end = start + length
+        if end > len(data):
+            return None, offset
+        body = data[start:end]
+        if zlib.crc32(body) != checksum:
+            return None, offset
+        try:
+            payload = decode_obj(body)
+        except Exception:
+            # A checksum collision over garbage, or a pickle payload that no
+            # longer imports — treat either as a torn tail rather than dying.
+            return None, offset
+        return payload, end
+
+    def _scan(self) -> Tuple[int, int]:
+        """Count intact records and the byte length of the valid prefix."""
+        if not os.path.exists(self._path):
+            return 0, 0
+        with open(self._path, "rb") as handle:
+            data = handle.read()
+        offset = 0
+        count = 0
+        while offset < len(data):
+            record, next_offset = self._decode_one(data, offset)
+            if record is None:
+                break
+            count += 1
+            offset = next_offset
+        return count, offset
+
+    def _repair(self, valid_bytes: int) -> None:
+        """Truncate a torn tail so appends continue from the last good record."""
+        if not os.path.exists(self._path):
+            # Create the file eagerly so `replay` on a live log never races
+            # a first append's implicit creation.
+            with open(self._path, "wb"):
+                pass
+            return
+        if os.path.getsize(self._path) > valid_bytes:
+            with open(self._path, "r+b") as handle:
+                handle.truncate(valid_bytes)
+                handle.flush()
+                os.fsync(handle.fileno())

@@ -48,7 +48,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from repro.datalog.database import Database
 from repro.datalog.incremental import MaterializedView
@@ -64,6 +64,14 @@ class QueryNotRegisteredError(EvaluationError):
     """Raised when a service is asked for a query name it does not know."""
 
 
+class ServiceDrainingError(EvaluationError):
+    """Raised for writes arriving after :meth:`DatalogService.begin_drain`.
+
+    The HTTP layer maps this to ``503 + Retry-After`` so clients retry
+    against the replacement server instead of losing the write silently.
+    """
+
+
 class DatalogService:
     """Thread-safe registry + prepared-query executor + bounded result cache."""
 
@@ -73,6 +81,7 @@ class DatalogService:
         *,
         cache_size: int = 256,
         default_engine: str = "seminaive",
+        write_hook: Optional[Callable[[str, List], None]] = None,
     ):
         if cache_size < 0:
             raise ValueError("cache_size must be non-negative")
@@ -80,6 +89,14 @@ class DatalogService:
         self._default_engine = default_engine
         self._cache_size = cache_size
         self._lock = threading.RLock()
+        # Called as hook(kind, batch) under the service lock *before* a
+        # write batch is applied — the durability layer's write-ahead
+        # point.  A hook exception aborts the write (nothing is applied,
+        # nothing swapped), so "logged" strictly precedes "visible".
+        self._write_hook = write_hook
+        # While draining (graceful shutdown), writes are refused so the
+        # durability layer can reach a quiescent point; reads keep working.
+        self._draining = False
         # name -> (template program, pipeline, default engine name)
         self._programs: Dict[str, Tuple[Program, Pipeline, str]] = {}
         # name -> (PreparedQuery, epoch it was compiled under); the tuple is
@@ -429,6 +446,9 @@ class DatalogService:
         """
         batch = list(facts)
         with self._lock:
+            self._check_writable()
+            if self._write_hook is not None:
+                self._write_hook("add_facts", batch)
             fresh = self._database.copy()
             added = fresh.add_facts(batch)
             if added:
@@ -450,6 +470,9 @@ class DatalogService:
         """
         batch = list(facts)
         with self._lock:
+            self._check_writable()
+            if self._write_hook is not None:
+                self._write_hook("remove_facts", batch)
             fresh = self._database.copy()
             removed = fresh.remove_facts(batch)
             if removed:
@@ -460,8 +483,74 @@ class DatalogService:
                     view.apply(deletions=batch)
             return removed
 
+    # ------------------------------------------------------------------
+    # Durability hooks and drain
+    # ------------------------------------------------------------------
+    def set_write_hook(self, hook: Optional[Callable[[str, List], None]]) -> None:
+        """Install (or clear) the write-ahead hook.
+
+        The hook is invoked as ``hook(kind, batch)`` — ``kind`` is
+        ``"add_facts"`` or ``"remove_facts"`` — under the service lock,
+        strictly before the batch is applied or the new snapshot swapped
+        in.  Raising from the hook aborts the write: this is the contract
+        the WAL layer (:mod:`repro.datalog.server.wal`) builds on, since a
+        write acknowledged to a client must already be on disk.
+        """
+        with self._lock:
+            self._write_hook = hook
+
+    def begin_drain(self) -> None:
+        """Stop admitting writes; in-flight and future reads keep working.
+
+        Returns once no write is mid-apply (the drain flag is set under the
+        same lock every write holds while applying), so afterwards the
+        database snapshot is quiescent and safe to persist.
+        """
+        with self._lock:
+            self._draining = True
+
+    def end_drain(self) -> None:
+        """Re-admit writes (a drain that turned out not to be a shutdown)."""
+        with self._lock:
+            self._draining = False
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def _check_writable(self) -> None:
+        if self._draining:
+            raise ServiceDrainingError(
+                "service is draining for shutdown; writes are not admitted"
+            )
+
+    #: Statistics keys that are monotonically non-decreasing over a
+    #: service's lifetime.  :meth:`statistics` takes its snapshot under the
+    #: service lock — the same lock every counter increment and every write
+    #: holds — so a single snapshot is internally consistent (no tearing:
+    #: you can never observe a bumped ``write_epoch`` with the pre-write
+    #: ``database_version``), and across snapshots these keys never go
+    #: backwards.  The ``/metrics`` endpoint asserts this
+    #: (:class:`repro.datalog.server.metrics.MetricsRegistry`), because a
+    #: Prometheus counter that regresses corrupts every rate() over it.
+    MONOTONIC_STATISTICS = (
+        "executions",
+        "cache_hits",
+        "cache_misses",
+        "view_hits",
+        "write_epoch",
+        "database_version",
+    )
+
     def statistics(self) -> Dict[str, int]:
-        """Operational counters: cache behaviour and work performed."""
+        """Operational counters: cache behaviour and work performed.
+
+        The dict is a point-in-time snapshot taken under the service lock,
+        so its values are mutually consistent; see
+        :attr:`MONOTONIC_STATISTICS` for the keys that additionally never
+        decrease across calls (gauges like ``cache_entries`` or
+        ``database_facts`` legitimately go both ways).
+        """
         with self._lock:
             return {
                 "registered_queries": len(self._programs),

@@ -173,31 +173,30 @@ def test_parity_holds_via_direct_registry_calls(label, program, database):
 
 
 # ----------------------------------------------------------------------
-# Deprecated shims
+# Removed shims
 # ----------------------------------------------------------------------
-class TestDeprecatedShims:
-    def test_evaluate_free_functions_warn(self, family_database):
+class TestShimsRemoved:
+    """The PR 3 deprecation shims warned for three releases and are gone."""
+
+    def test_evaluate_free_functions_are_gone(self):
+        import repro.datalog
+        import repro.datalog.engine
         import repro.datalog.engine.naive as naive_module
         import repro.datalog.engine.seminaive as seminaive_module
         import repro.datalog.engine.topdown as topdown_module
 
-        program = program_a().program
-        for shim in (
-            naive_module.evaluate_naive,
-            seminaive_module.evaluate_seminaive,
-            topdown_module.evaluate_topdown,
-        ):
-            with pytest.warns(DeprecationWarning, match="deprecated"):
-                result = shim(program, family_database)
-            assert result.answers() == {("mary",), ("sue",), ("tim",)}
+        assert not hasattr(naive_module, "evaluate_naive")
+        assert not hasattr(seminaive_module, "evaluate_seminaive")
+        assert not hasattr(topdown_module, "evaluate_topdown")
+        for namespace in (repro.datalog, repro.datalog.engine):
+            for name in ("evaluate_naive", "evaluate_seminaive", "evaluate_topdown"):
+                assert not hasattr(namespace, name)
+                assert name not in namespace.__all__
 
-    def test_relation_index_warns_but_still_forwards(self, family_database):
-        from repro.datalog.engine.base import RelationIndex
+    def test_relation_index_is_gone(self):
+        import repro.datalog.engine.base as base_module
 
-        with pytest.warns(DeprecationWarning, match="RelationIndex"):
-            index = RelationIndex(family_database)
-        assert index.relation("par") == family_database.relation("par")
-        assert list(index.probe("par", 0, "john")) == [("john", "mary")]
+        assert not hasattr(base_module, "RelationIndex")
 
     def test_registry_engines_do_not_warn(self, family_database):
         import warnings

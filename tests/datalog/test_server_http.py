@@ -1,0 +1,365 @@
+"""End-to-end tests of the asyncio HTTP server: protocol, backpressure,
+drain, metrics, the multi-process load driver, and kill -9 recovery."""
+
+import asyncio
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.datalog.server.durable import DurableDatalogService
+from repro.datalog.server.http import DatalogHTTPServer
+from repro.datalog.server.runner import run_load
+
+SRC_DIR = str(Path(__file__).resolve().parents[2] / "src")
+
+REACH = """\
+?reach($src, Y)
+reach(X, Y) :- edge(X, Y).
+reach(X, Y) :- reach(X, Z), edge(Z, Y).
+"""
+
+
+class ServerHandle:
+    """A DatalogHTTPServer running on a dedicated event-loop thread."""
+
+    def __init__(self, data_dir, **server_kwargs):
+        self.durable = DurableDatalogService(
+            data_dir, fsync="never", snapshot_every=10_000
+        )
+        self.server = DatalogHTTPServer(self.durable, port=0, **server_kwargs)
+        self.loop = asyncio.new_event_loop()
+        self._stop = None
+        started = threading.Event()
+
+        async def main():
+            self._stop = asyncio.Event()
+            await self.server.start()
+            started.set()
+            await self.server.serve_until(self._stop)
+
+        def run():
+            asyncio.set_event_loop(self.loop)
+            self.loop.run_until_complete(main())
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+        assert started.wait(10), "server did not start"
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def stop(self) -> None:
+        if self.thread.is_alive():
+            self.loop.call_soon_threadsafe(self._stop.set)
+            self.thread.join(timeout=30)
+        self.loop.close()
+
+    # One-shot request helpers (fresh connection per call keeps tests simple).
+    def post(self, path, body):
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=30)
+        try:
+            conn.request(
+                "POST", path, json.dumps(body), {"Content-Type": "application/json"}
+            )
+            response = conn.getresponse()
+            return response.status, json.loads(response.read() or b"{}"), response
+        finally:
+            conn.close()
+
+    def get(self, path):
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=30)
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            return response.status, response.read().decode(), response
+        finally:
+            conn.close()
+
+
+@pytest.fixture
+def server(tmp_path):
+    handle = ServerHandle(tmp_path / "data")
+    yield handle
+    handle.stop()
+
+
+def install_reach(handle):
+    status, body, _ = handle.post("/register", {"name": "reach", "source": REACH})
+    assert status == 200, body
+    status, body, _ = handle.post(
+        "/add_facts",
+        {"facts": [["edge", ["a", "b"]], ["edge", ["b", "c"]], ["edge", ["c", "d"]]]},
+    )
+    assert (status, body) == (200, {"added": 3})
+
+
+# ----------------------------------------------------------------------
+# Protocol happy path and error mapping
+# ----------------------------------------------------------------------
+class TestEndpoints:
+    def test_register_execute_write_cycle(self, server):
+        install_reach(server)
+        status, body, _ = server.post(
+            "/execute", {"name": "reach", "params": {"src": "a"}}
+        )
+        assert (status, body) == (200, {"answers": [["b"], ["c"], ["d"]]})
+        status, body, _ = server.post(
+            "/remove_facts", {"facts": [["edge", ["c", "d"]]]}
+        )
+        assert (status, body) == (200, {"removed": 1})
+        status, body, _ = server.post(
+            "/execute", {"name": "reach", "params": {"src": "a"}}
+        )
+        assert body == {"answers": [["b"], ["c"]]}
+
+    def test_execute_many_and_prepare(self, server):
+        install_reach(server)
+        status, body, _ = server.post("/prepare", {"name": "reach"})
+        assert (status, body) == (200, {"parameters": ["src"]})
+        status, body, _ = server.post(
+            "/execute_many",
+            {"name": "reach", "bindings": [{"src": "a"}, {"src": "c"}, {"src": "zzz"}]},
+        )
+        assert body == {"answers": [[["b"], ["c"], ["d"]], [["d"]], []]}
+
+    def test_materialize_and_dematerialize(self, server):
+        install_reach(server)
+        status, body, _ = server.post(
+            "/materialize", {"name": "reach", "params": {"src": "a"}}
+        )
+        assert (status, body) == (200, {"ok": True})
+        status, body, _ = server.get("/statistics")
+        assert json.loads(body)["materialized_views"] == 1
+        status, body, _ = server.post(
+            "/dematerialize", {"name": "reach", "params": {"src": "a"}}
+        )
+        assert (status, body) == (200, {"dropped": True})
+
+    def test_healthz_and_statistics(self, server):
+        status, body, _ = server.get("/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok" and payload["draining"] is False
+        install_reach(server)
+        status, body, _ = server.get("/statistics")
+        stats = json.loads(body)
+        assert stats["database_facts"] == 3
+        assert stats["wal_records"] == 2  # register + one batch
+        assert "snapshots_taken" in stats
+
+    def test_error_mapping(self, server):
+        status, body, _ = server.post("/execute", {"name": "missing"})
+        assert status == 404 and "missing" in body["error"]
+        status, body, _ = server.post("/register", {"name": "x"})
+        assert status == 400 and "source" in body["error"]
+        status, body, _ = server.post("/no_such_endpoint", {})
+        assert status == 404
+        status, _, _ = server.get("/execute")
+        assert status == 405
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+        try:
+            conn.request(
+                "POST", "/execute", b"{not json", {"Content-Type": "application/json"}
+            )
+            response = conn.getresponse()
+            assert response.status == 400
+            assert "invalid JSON" in json.loads(response.read())["error"]
+        finally:
+            conn.close()
+        status, body, _ = server.post(
+            "/register", {"name": "bad", "source": REACH, "transforms": ["bogus"]}
+        )
+        assert status == 400 and "unknown transform" in body["error"]
+
+    def test_keep_alive_serves_multiple_requests(self, server):
+        install_reach(server)
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+        try:
+            for _ in range(3):
+                conn.request(
+                    "POST",
+                    "/execute",
+                    json.dumps({"name": "reach", "params": {"src": "a"}}),
+                    {"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                assert response.status == 200
+                assert json.loads(response.read())["answers"]
+        finally:
+            conn.close()
+
+
+# ----------------------------------------------------------------------
+# Backpressure and drain
+# ----------------------------------------------------------------------
+class TestAdmissionControl:
+    def test_write_queue_full_yields_429_with_retry_after(self, tmp_path):
+        handle = ServerHandle(tmp_path / "data", max_pending_writes=0)
+        try:
+            status, body, response = handle.post(
+                "/add_facts", {"facts": [["edge", ["a", "b"]]]}
+            )
+            assert status == 429
+            assert "write queue full" in body["error"]
+            assert response.getheader("Retry-After") == "1"
+            # Reads are not admission-controlled.
+            assert handle.get("/healthz")[0] == 200
+        finally:
+            handle.stop()
+
+    def test_drain_rejects_writes_serves_reads(self, server):
+        install_reach(server)
+        server.durable.begin_drain()
+        try:
+            status, body, response = server.post(
+                "/add_facts", {"facts": [["edge", ["x", "y"]]]}
+            )
+            assert status == 503
+            assert response.getheader("Retry-After") is not None
+            status, body, _ = server.post(
+                "/execute", {"name": "reach", "params": {"src": "a"}}
+            )
+            assert status == 200 and body["answers"]
+            status, body, _ = server.get("/healthz")
+            assert json.loads(body)["draining"] is True
+        finally:
+            server.durable.service.end_drain()
+
+    def test_graceful_stop_snapshots_state(self, tmp_path):
+        handle = ServerHandle(tmp_path / "data")
+        install_reach(handle)
+        handle.stop()
+        assert os.path.getsize(tmp_path / "data" / "wal.log") == 0
+        recovered = DurableDatalogService(tmp_path / "data")
+        assert recovered.recovery.snapshot_loaded
+        assert recovered.execute("reach", {"src": "a"}) == frozenset(
+            {("b",), ("c",), ("d",)}
+        )
+        recovered.close()
+
+
+# ----------------------------------------------------------------------
+# Metrics endpoint
+# ----------------------------------------------------------------------
+class TestMetricsEndpoint:
+    def test_prometheus_text_exposition(self, server):
+        install_reach(server)
+        server.post("/execute", {"name": "reach", "params": {"src": "a"}})
+        server.post("/execute", {"name": "reach", "params": {"src": "a"}})
+        status, text, response = server.get("/metrics")
+        assert status == 200
+        assert response.getheader("Content-Type").startswith("text/plain")
+        assert "# TYPE repro_datalog_executions counter" in text
+        assert "# TYPE repro_datalog_database_facts gauge" in text
+        assert re.search(
+            r'repro_http_requests_total\{endpoint="execute",status="200"\} 2', text
+        )
+        assert 'repro_http_request_seconds_bucket{endpoint="execute",le="+Inf"}' in text
+        assert "repro_http_pending_writes 0" in text
+
+    def test_counters_stay_monotonic_across_writes_and_scrapes(self, server):
+        install_reach(server)
+        for step in range(3):
+            server.post("/execute", {"name": "reach", "params": {"src": "a"}})
+            server.post("/add_facts", {"facts": [["edge", ["n", str(step)]]]})
+            status, _, _ = server.get("/metrics")
+            assert status == 200  # a regression would surface as 500
+
+
+# ----------------------------------------------------------------------
+# Multi-process load driver
+# ----------------------------------------------------------------------
+class TestLoadDriver:
+    def test_run_load_two_processes_over_real_sockets(self, server):
+        report = run_load(
+            "127.0.0.1", server.port, processes=2, requests_per_process=25
+        )
+        assert report.processes == 2
+        assert report.errors == 0
+        assert report.total_requests + report.rejected >= 50
+        assert len(report.read_latencies) > len(report.write_latencies)
+        summary = report.as_dict()
+        assert summary["read_p95"] >= summary["read_p50"] > 0
+        assert summary["requests_per_second"] > 0
+        assert "read_p99" in summary and "write_p99" in summary
+
+
+# ----------------------------------------------------------------------
+# kill -9 the real subprocess server, restart, demand the exact model
+# ----------------------------------------------------------------------
+class TestKillAndRestart:
+    def start_server(self, data_dir, *extra):
+        env = dict(os.environ, PYTHONPATH=SRC_DIR)
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", str(data_dir), *extra],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        line = process.stdout.readline()
+        match = re.match(r"READY (\S+) (\d+)", line)
+        assert match, (line, process.stderr.read() if process.poll() is not None else "")
+        return process, int(match.group(2))
+
+    def request(self, port, method, path, body=None):
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            payload = json.dumps(body) if body is not None else None
+            conn.request(
+                method, path, payload, {"Content-Type": "application/json"}
+            )
+            response = conn.getresponse()
+            return response.status, json.loads(response.read() or b"{}")
+        finally:
+            conn.close()
+
+    def test_sigkill_then_restart_recovers_exact_model(self, tmp_path):
+        data_dir = tmp_path / "data"
+        process, port = self.start_server(data_dir, "--fsync", "always")
+        try:
+            assert self.request(
+                port, "POST", "/register", {"name": "reach", "source": REACH}
+            )[0] == 200
+            assert self.request(
+                port,
+                "POST",
+                "/add_facts",
+                {"facts": [["edge", ["a", "b"]], ["edge", ["b", "c"]]]},
+            ) == (200, {"added": 2})
+            assert self.request(
+                port, "POST", "/materialize", {"name": "reach", "params": {"src": "a"}}
+            )[0] == 200
+            assert self.request(
+                port, "POST", "/remove_facts", {"facts": [["edge", ["b", "c"]]]}
+            ) == (200, {"removed": 1})
+            _, reference = self.request(
+                port, "POST", "/execute", {"name": "reach", "params": {"src": "a"}}
+            )
+            _, stats = self.request(port, "GET", "/statistics")
+        finally:
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=30)
+
+        restarted, port = self.start_server(data_dir)
+        try:
+            _, recovered = self.request(
+                port, "POST", "/execute", {"name": "reach", "params": {"src": "a"}}
+            )
+            _, recovered_stats = self.request(port, "GET", "/statistics")
+            assert recovered == reference
+            assert recovered_stats["database_facts"] == stats["database_facts"]
+            assert recovered_stats["materialized_views"] == 1
+            assert recovered_stats["registered_queries"] == 1
+        finally:
+            restarted.send_signal(signal.SIGTERM)
+            assert restarted.wait(timeout=30) == 0

@@ -1,0 +1,330 @@
+"""DurableDatalogService: crash recovery, snapshots, drain, and replay laws.
+
+The central property: a server killed at any point — mid-run without a
+close, with a torn WAL tail, or in the window between snapshot write and
+WAL truncation — restarts with exactly the state every acknowledged write
+produced, including registered programs and live materialized views.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog import Database, DatalogService, ServiceDrainingError
+from repro.datalog.server.durable import (
+    WAL_NAME,
+    DurableDatalogService,
+    resolve_transforms,
+)
+from repro.datalog.server.wal import WriteAheadLog
+from repro.errors import EvaluationError
+from tests.datalog.strategies import edge_fact_batches
+
+REACH = """\
+?reach($src, Y)
+reach(X, Y) :- edge(X, Y).
+reach(X, Y) :- reach(X, Z), edge(Z, Y).
+"""
+
+TRANS = """\
+?t(X, Y)
+t(X, Y) :- e(X, Y).
+t(X, Y) :- t(X, Z), e(Z, Y).
+"""
+
+
+def make_durable(directory, **kwargs):
+    kwargs.setdefault("snapshot_every", 10_000)  # never auto-snapshot unless asked
+    return DurableDatalogService(directory, **kwargs)
+
+
+def model(service) -> dict:
+    """The observable state recovery must reproduce exactly."""
+    database = service.service.database
+    return {
+        "facts": {
+            name: database.relation(name) for name in sorted(database.predicates())
+        },
+        "programs": service.registered_queries(),
+        "views": service.materialized_bindings(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Basic recovery
+# ----------------------------------------------------------------------
+class TestRecovery:
+    def test_fresh_directory_starts_empty(self, tmp_path):
+        service = make_durable(tmp_path)
+        assert service.recovery.wal_records_replayed == 0
+        assert not service.recovery.snapshot_loaded
+        assert service.registered_queries() == ()
+        service.close()
+
+    def test_crash_without_close_recovers_exact_state(self, tmp_path):
+        service = make_durable(tmp_path)
+        service.register_program("reach", REACH)
+        service.add_facts([("edge", ("a", "b")), ("edge", ("b", "c"))])
+        service.materialize("reach", {"src": "a"})
+        service.add_facts([("edge", ("c", "d"))])
+        service.remove_facts([("edge", ("b", "c"))])
+        expected = model(service)
+        answers = service.execute("reach", {"src": "a"})
+        del service  # crash: no close(), no snapshot
+
+        recovered = make_durable(tmp_path)
+        assert recovered.recovery.wal_records_replayed == 5
+        assert not recovered.recovery.snapshot_loaded
+        assert model(recovered) == expected
+        assert recovered.execute("reach", {"src": "a"}) == answers
+        recovered.close()
+
+    def test_clean_close_snapshots_and_truncates_wal(self, tmp_path):
+        service = make_durable(tmp_path)
+        service.register_program("reach", REACH)
+        service.add_facts([("edge", (1, 2))])
+        expected = model(service)
+        service.close()
+        assert os.path.getsize(tmp_path / WAL_NAME) == 0
+
+        recovered = make_durable(tmp_path)
+        assert recovered.recovery.snapshot_loaded
+        assert recovered.recovery.wal_records_replayed == 0
+        assert model(recovered) == expected
+        recovered.close()
+
+    def test_register_with_transforms_and_engine_survives(self, tmp_path):
+        service = make_durable(tmp_path)
+        service.register_program(
+            "reach", REACH, transforms=["magic"], engine="seminaive"
+        )
+        service.add_facts([("edge", (1, 2)), ("edge", (2, 3))])
+        answers = service.execute("reach", {"src": 1})
+        del service
+
+        recovered = make_durable(tmp_path)
+        assert recovered.execute("reach", {"src": 1}) == answers
+        assert recovered._program_specs["reach"]["transforms"] == ["magic"]
+        assert recovered._program_specs["reach"]["engine"] == "seminaive"
+        recovered.close()
+
+    def test_replace_register_last_wins_on_replay(self, tmp_path):
+        service = make_durable(tmp_path)
+        service.register_program("q", REACH)
+        service.register_program("q", TRANS, replace=True)
+        with pytest.raises(ValueError, match="replace"):
+            service.register_program("q", REACH)
+        del service
+
+        recovered = make_durable(tmp_path)
+        assert recovered._program_specs["q"]["source"] == TRANS
+        recovered.close()
+
+    def test_dematerialize_survives_crash(self, tmp_path):
+        service = make_durable(tmp_path)
+        service.register_program("reach", REACH)
+        service.add_facts([("edge", (1, 2))])
+        service.materialize("reach", {"src": 1})
+        assert service.dematerialize("reach", {"src": 1}) is True
+        del service
+
+        recovered = make_durable(tmp_path)
+        assert recovered.materialized_bindings() == ()
+        recovered.close()
+
+    def test_torn_wal_tail_is_dropped_and_reported(self, tmp_path):
+        service = make_durable(tmp_path)
+        service.register_program("reach", REACH)
+        service.add_facts([("edge", (1, 2))])
+        del service
+        with open(tmp_path / WAL_NAME, "ab") as handle:
+            handle.write(b"WR\x00\x00\x00")  # torn mid-header, as kill -9 leaves
+
+        recovered = make_durable(tmp_path)
+        assert recovered.recovery.wal_tail_corrupt
+        assert recovered.recovery.wal_records_replayed == 2
+        assert recovered.execute("reach", {"src": 1}) == frozenset({(2,)})
+        recovered.close()
+
+    def test_crash_between_snapshot_and_wal_truncate_is_idempotent(self, tmp_path):
+        """The dangerous window: snapshot persisted, WAL not yet truncated.
+        Replaying the full WAL over the snapshot that already contains its
+        effects must land on the same state (final-write-wins semantics)."""
+        service = make_durable(tmp_path)
+        service.register_program("reach", REACH)
+        service.add_facts([("edge", (1, 2)), ("edge", (2, 3))])
+        service.materialize("reach", {"src": 1})
+        service.remove_facts([("edge", (2, 3))])
+        expected = model(service)
+        # Simulate the torn snapshot(): state written, truncate never ran.
+        service._snapshot_store.write(service._capture_state())
+        del service
+
+        recovered = make_durable(tmp_path)
+        assert recovered.recovery.snapshot_loaded
+        assert recovered.recovery.wal_records_replayed == 4  # full, stale WAL
+        assert model(recovered) == expected
+        recovered.close()
+
+
+# ----------------------------------------------------------------------
+# Snapshot policy
+# ----------------------------------------------------------------------
+class TestSnapshotPolicy:
+    def test_auto_snapshot_truncates_wal(self, tmp_path):
+        service = DurableDatalogService(tmp_path, snapshot_every=3)
+        service.register_program("reach", REACH)  # record 1
+        service.add_facts([("edge", (1, 2))])  # record 2
+        assert service.statistics()["snapshots_taken"] == 0
+        service.add_facts([("edge", (2, 3))])  # record 3 -> snapshot
+        stats = service.statistics()
+        assert stats["snapshots_taken"] == 1
+        assert stats["wal_records"] == 0
+        expected = model(service)
+        del service
+
+        recovered = make_durable(tmp_path)
+        assert recovered.recovery.snapshot_loaded
+        assert model(recovered) == expected
+        recovered.close()
+
+    def test_explicit_snapshot(self, tmp_path):
+        service = make_durable(tmp_path)
+        service.register_program("reach", REACH)
+        service.add_facts([("edge", (1, 2))])
+        service.snapshot()
+        assert service.statistics()["wal_records"] == 0
+        service.add_facts([("edge", (2, 3))])
+        expected = model(service)
+        del service
+
+        recovered = make_durable(tmp_path)
+        assert recovered.recovery.snapshot_loaded
+        assert recovered.recovery.wal_records_replayed == 1
+        assert model(recovered) == expected
+        recovered.close()
+
+
+# ----------------------------------------------------------------------
+# Drain and close semantics
+# ----------------------------------------------------------------------
+class TestDrainAndClose:
+    def test_drain_refuses_writes_but_serves_reads(self, tmp_path):
+        service = make_durable(tmp_path)
+        service.register_program("reach", REACH)
+        service.add_facts([("edge", (1, 2))])
+        service.begin_drain()
+        with pytest.raises(ServiceDrainingError):
+            service.add_facts([("edge", (9, 9))])
+        with pytest.raises(ServiceDrainingError):
+            service.register_program("other", TRANS)
+        with pytest.raises(ServiceDrainingError):
+            service.materialize("reach", {"src": 1})
+        assert service.execute("reach", {"src": 1}) == frozenset({(2,)})
+        service.service.end_drain()
+        service.add_facts([("edge", (2, 3))])
+        service.close()
+
+    def test_operations_after_close_raise(self, tmp_path):
+        service = make_durable(tmp_path)
+        service.close()
+        service.close()  # idempotent
+        with pytest.raises(EvaluationError, match="closed"):
+            service.add_facts([("edge", (1, 2))])
+
+    def test_context_manager_closes(self, tmp_path):
+        with make_durable(tmp_path) as service:
+            service.register_program("reach", REACH)
+        assert os.path.getsize(tmp_path / WAL_NAME) == 0
+
+    def test_unknown_transform_is_rejected_before_logging(self, tmp_path):
+        service = make_durable(tmp_path)
+        with pytest.raises(EvaluationError, match="unknown transform"):
+            service.register_program("q", REACH, transforms=["bogus"])
+        assert service.statistics()["wal_records"] == 0
+        service.close()
+
+    def test_resolve_transforms_round_trip(self):
+        stages = resolve_transforms(["magic", "rectify", "constants"])
+        assert [type(stage).__name__ for stage in stages] == [
+            "MagicSets",
+            "Rectify",
+            "PropagateConstants",
+        ]
+
+
+# ----------------------------------------------------------------------
+# Property: kill at any WAL record == uninterrupted prefix
+# ----------------------------------------------------------------------
+@st.composite
+def interleaved_operations(draw):
+    """A random mixed sequence of add/remove batches over the e/f domain."""
+    operations = []
+    for _ in range(draw(st.integers(min_value=1, max_value=6))):
+        kind = draw(st.sampled_from(["add_facts", "remove_facts"]))
+        operations.append((kind, draw(edge_fact_batches(max_size=3))))
+    return operations
+
+
+@settings(max_examples=25, deadline=None)
+@given(operations=interleaved_operations(), data=st.data())
+def test_kill_at_any_wal_record_recovers_the_acknowledged_prefix(
+    tmp_path_factory, operations, data
+):
+    """Run a random interleaving of write batches, crash after an arbitrary
+    acknowledged record, restart — the recovered model must equal an
+    uninterrupted in-memory run of exactly the acknowledged operations.
+
+    ``fsync="always"`` makes every acknowledged record durable, so cutting
+    the WAL at any *record boundary* simulates every possible kill point
+    (mid-record kills are the torn-tail tests' territory — the boundary
+    before the torn record is what survives).
+    """
+    directory = tmp_path_factory.mktemp("durable")
+    service = DurableDatalogService(directory, snapshot_every=10_000)
+    service.register_program("t", TRANS)
+    applied = []
+    for kind, batch in operations:
+        if kind == "add_facts":
+            service.add_facts(batch)
+        else:
+            service.remove_facts(batch)
+        applied.append((kind, batch))
+    del service  # crash
+
+    # Choose the kill point: keep the first `survivors` WAL records.
+    records, tail_corrupt = WriteAheadLog.replay(directory / WAL_NAME)
+    assert not tail_corrupt
+    assert len(records) == 1 + len(applied)  # register + one per batch
+    survivors = data.draw(
+        st.integers(min_value=1, max_value=len(records)), label="survivors"
+    )
+    if survivors < len(records):
+        # Byte offset of the cut: re-frame the surviving records.
+        kept = 0
+        offset = 0
+        with open(directory / WAL_NAME, "rb") as handle:
+            blob = handle.read()
+        while kept < survivors:
+            _, offset = WriteAheadLog._decode_one(blob, offset)
+            kept += 1
+        with open(directory / WAL_NAME, "r+b") as handle:
+            handle.truncate(offset)
+
+    recovered = DurableDatalogService(directory, snapshot_every=10_000)
+    assert recovered.recovery.wal_records_replayed == survivors
+
+    # The reference: an uninterrupted in-memory run of the surviving ops.
+    reference = DatalogService(Database())
+    reference.register_program("t", TRANS)
+    for kind, batch in applied[: survivors - 1]:
+        getattr(reference, kind)(batch)
+
+    recovered_db = recovered.service.database
+    reference_db = reference.database
+    assert {
+        name: recovered_db.relation(name) for name in recovered_db.predicates()
+    } == {name: reference_db.relation(name) for name in reference_db.predicates()}
+    assert recovered.execute("t", {}) == reference.execute("t", {})
+    recovered.close()

@@ -1,0 +1,262 @@
+"""WAL framing/repair, snapshot atomicity, the compact codec, and metrics."""
+
+import os
+import struct
+
+import pytest
+
+from repro.datalog.database import Database, decode_obj, encode_obj
+from repro.datalog.server.metrics import (
+    LatencyHistogram,
+    MetricsRegistry,
+    MonotonicityError,
+)
+from repro.datalog.server.snapshot import SNAPSHOT_NAME, SnapshotStore
+from repro.datalog.server.wal import WriteAheadLog
+
+
+# ----------------------------------------------------------------------
+# Compact codec + Database serialization
+# ----------------------------------------------------------------------
+class TestCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            2**63,
+            -(2**40),
+            3.25,
+            "",
+            "hello",
+            "naïve ünïcode",
+            b"\x00\xffbytes",
+            (),
+            (1, "two", (3.0, None)),
+            [1, [2, [3]]],
+            {"kind": "add_facts", "facts": [("e", (1, 2))]},
+            {"nested": {"deep": [True, False, None]}},
+        ],
+    )
+    def test_round_trip(self, value):
+        assert decode_obj(encode_obj(value)) == value
+
+    def test_tuples_and_lists_stay_distinct(self):
+        assert decode_obj(encode_obj((1, 2))) == (1, 2)
+        assert isinstance(decode_obj(encode_obj((1, 2))), tuple)
+        assert isinstance(decode_obj(encode_obj([1, 2])), list)
+
+    def test_database_round_trip(self):
+        database = Database()
+        database.add_fact("e", (1, 2))
+        database.add_fact("e", ("x", "y"))
+        database.add_fact("f", (3,))
+        restored = Database.from_bytes(database.to_bytes())
+        assert restored.relation("e") == database.relation("e")
+        assert restored.relation("f") == database.relation("f")
+        assert restored.fact_count() == database.fact_count()
+
+    def test_database_serialization_is_deterministic(self):
+        first = Database()
+        second = Database()
+        for fact in [("a", "b"), ("b", "c"), ("c", "a")]:
+            first.add_fact("e", fact)
+        for fact in [("c", "a"), ("a", "b"), ("b", "c")]:
+            second.add_fact("e", fact)
+        assert first.to_bytes() == second.to_bytes()
+
+    def test_from_bytes_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Database.from_bytes(b"not a database")
+        with pytest.raises(ValueError):
+            Database.from_bytes(Database().to_bytes() + b"trailing")
+
+
+# ----------------------------------------------------------------------
+# Write-ahead log
+# ----------------------------------------------------------------------
+class TestWriteAheadLog:
+    def test_append_replay_round_trip(self, tmp_path):
+        path = tmp_path / "wal.log"
+        payloads = [{"kind": "add_facts", "facts": [("e", (i, i + 1))]} for i in range(5)]
+        with WriteAheadLog(path) as wal:
+            sequences = [wal.append(payload) for payload in payloads]
+        assert sequences == [0, 1, 2, 3, 4]
+        records, tail_corrupt = WriteAheadLog.replay(path)
+        assert not tail_corrupt
+        assert [record.payload for record in records] == payloads
+        assert [record.sequence for record in records] == sequences
+
+    def test_missing_file_is_an_empty_intact_log(self, tmp_path):
+        records, tail_corrupt = WriteAheadLog.replay(tmp_path / "nope.log")
+        assert records == [] and not tail_corrupt
+
+    def test_truncated_payload_tail_stops_replay(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append({"n": 1})
+            wal.append({"n": 2})
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) - 3)
+        records, tail_corrupt = WriteAheadLog.replay(path)
+        assert [record.payload for record in records] == [{"n": 1}]
+        assert tail_corrupt
+
+    def test_truncated_header_tail_stops_replay(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append({"n": 1})
+        with open(path, "ab") as handle:
+            handle.write(b"WR\x00")  # half a header, as a torn write leaves
+        records, tail_corrupt = WriteAheadLog.replay(path)
+        assert [record.payload for record in records] == [{"n": 1}]
+        assert tail_corrupt
+
+    def test_corrupt_checksum_stops_replay(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append({"n": 1})
+            first_end = os.path.getsize(path)
+            wal.append({"n": 2})
+        with open(path, "r+b") as handle:
+            handle.seek(first_end + struct.calcsize(">2sII") + 1)
+            byte = handle.read(1)
+            handle.seek(-1, os.SEEK_CUR)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        records, tail_corrupt = WriteAheadLog.replay(path)
+        assert [record.payload for record in records] == [{"n": 1}]
+        assert tail_corrupt
+
+    def test_open_repairs_torn_tail_and_appends_continue(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append({"n": 1})
+        with open(path, "ab") as handle:
+            handle.write(b"\x01\x02garbage")
+        wal = WriteAheadLog(path)
+        assert wal.record_count == 1
+        wal.append({"n": 2})
+        wal.close()
+        records, tail_corrupt = WriteAheadLog.replay(path)
+        assert [record.payload for record in records] == [{"n": 1}, {"n": 2}]
+        assert not tail_corrupt
+
+    def test_truncate_drops_all_records(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append({"n": 1})
+            wal.truncate()
+            assert wal.record_count == 0
+            wal.append({"n": 2})
+        records, _ = WriteAheadLog.replay(path)
+        assert [record.payload for record in records] == [{"n": 2}]
+
+    def test_batch_policy_counts_pending_until_sync(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log", fsync="batch")
+        wal.append({"n": 1})
+        assert wal._appended_since_sync == 1
+        wal.sync()
+        assert wal._appended_since_sync == 0
+        wal.close()
+
+    def test_rejects_unknown_fsync_policy(self, tmp_path):
+        with pytest.raises(ValueError, match="fsync"):
+            WriteAheadLog(tmp_path / "wal.log", fsync="sometimes")
+
+
+# ----------------------------------------------------------------------
+# Snapshots
+# ----------------------------------------------------------------------
+class TestSnapshotStore:
+    def test_write_load_round_trip(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        state = {"database": b"\x00\x01", "programs": {"q": {"source": "?p(X)\n"}}}
+        store.write(state)
+        assert store.load() == state
+        assert not os.path.exists(store.path + ".tmp")
+
+    def test_missing_snapshot_loads_none(self, tmp_path):
+        assert SnapshotStore(tmp_path).load() is None
+
+    def test_corrupt_crc_loads_none(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.write({"n": 1})
+        with open(store.path, "r+b") as handle:
+            handle.seek(-1, os.SEEK_END)
+            byte = handle.read(1)
+            handle.seek(-1, os.SEEK_END)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        assert store.load() is None
+
+    def test_bad_magic_loads_none(self, tmp_path):
+        path = tmp_path / SNAPSHOT_NAME
+        path.write_bytes(b"NOTASNAP" + b"\x00" * 16)
+        assert SnapshotStore(tmp_path).load() is None
+
+    def test_rewrite_replaces_atomically(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.write({"generation": 1})
+        store.write({"generation": 2})
+        assert store.load() == {"generation": 2}
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_histogram_buckets_are_cumulative(self):
+        histogram = LatencyHistogram(buckets=(0.001, 0.01, 0.1))
+        for value in (0.0005, 0.005, 0.05, 0.5):
+            histogram.observe(value)
+        cumulative, total_sum, count = histogram.snapshot()
+        assert cumulative == [1, 2, 3, 4]
+        assert count == 4
+        assert total_sum == pytest.approx(0.5555)
+
+    def test_render_exposes_counters_and_histograms(self):
+        registry = MetricsRegistry()
+        registry.observe_request("execute", 200, 0.002)
+        registry.observe_request("execute", 404, 0.001)
+        text = registry.render(
+            {"executions": 3, "cache_entries": 1}, monotonic_keys=("executions",)
+        )
+        assert "# TYPE repro_datalog_executions counter" in text
+        assert "# TYPE repro_datalog_cache_entries gauge" in text
+        assert 'repro_http_requests_total{endpoint="execute",status="200"} 1' in text
+        assert 'repro_http_requests_total{endpoint="execute",status="404"} 1' in text
+        assert 'le="+Inf"} 2' in text
+        assert text.endswith("\n")
+
+    def test_monotonic_regression_is_rejected(self):
+        registry = MetricsRegistry()
+        registry.render({"executions": 5}, monotonic_keys=("executions",))
+        registry.render({"executions": 5}, monotonic_keys=("executions",))
+        with pytest.raises(MonotonicityError, match="executions"):
+            registry.render({"executions": 4}, monotonic_keys=("executions",))
+
+    def test_service_counters_never_regress_under_writes(self):
+        """The end-to-end monotonicity contract: statistics() across a write
+        sequence (including the copy-and-swap database replacement) never
+        moves any MONOTONIC_STATISTICS key backwards."""
+        from repro.datalog import DatalogService
+
+        service = DatalogService(Database())
+        service.register_program(
+            "reach",
+            "?reach($src, Y)\n"
+            "reach(X, Y) :- edge(X, Y).\n"
+            "reach(X, Y) :- reach(X, Z), edge(Z, Y).\n",
+        )
+        registry = MetricsRegistry()
+        keys = DatalogService.MONOTONIC_STATISTICS
+        registry.check_monotonic(service.statistics(), keys)
+        for step in range(5):
+            service.add_facts([("edge", (step, step + 1))])
+            service.execute("reach", {"src": 0})
+            service.execute("reach", {"src": 0})  # cache hit
+            registry.check_monotonic(service.statistics(), keys)
+            service.remove_facts([("edge", (step, step + 1))])
+            registry.check_monotonic(service.statistics(), keys)

@@ -162,3 +162,60 @@ class TestEvaluateAndBounded:
         output = capsys.readouterr().out
         assert "True" in output
         assert "par par" in output
+
+
+class TestServeAndLoadBench:
+    def test_load_bench_drives_a_live_server(self, tmp_path, capsys):
+        import asyncio
+        import threading
+
+        from repro.datalog.server import DatalogHTTPServer, DurableDatalogService
+
+        durable = DurableDatalogService(
+            tmp_path / "data", fsync="never", snapshot_every=10_000
+        )
+        server = DatalogHTTPServer(durable, port=0)
+        loop = asyncio.new_event_loop()
+        started = threading.Event()
+        stop_holder = {}
+
+        async def serve():
+            stop_holder["stop"] = asyncio.Event()
+            await server.start()
+            started.set()
+            await server.serve_until(stop_holder["stop"])
+
+        thread = threading.Thread(
+            target=lambda: (asyncio.set_event_loop(loop), loop.run_until_complete(serve())),
+            daemon=True,
+        )
+        thread.start()
+        assert started.wait(10)
+        try:
+            assert main(
+                [
+                    "load-bench",
+                    "--port", str(server.port),
+                    "--processes", "2",
+                    "--requests", "15",
+                    "--json",
+                ]
+            ) == 0
+            import json
+
+            report = json.loads(capsys.readouterr().out)
+            assert report["processes"] == 2
+            assert report["errors"] == 0
+            assert report["read_p95"] >= report["read_p50"] > 0
+        finally:
+            loop.call_soon_threadsafe(stop_holder["stop"].set)
+            thread.join(timeout=30)
+            loop.close()
+
+    def test_load_bench_requires_port(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["load-bench"])
+
+    def test_serve_validates_fsync_choice(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", str(tmp_path), "--fsync", "sometimes"])
