@@ -41,6 +41,13 @@ _EMPTY_SET: FrozenSet[Tuple] = frozenset()
 # deliberately tiny: one tag byte per value, LEB128 varints for lengths and
 # integers, and a pickle escape hatch for anything exotic so arbitrary
 # hashable constants still round-trip.
+#
+# Trust boundary: ``pickle.loads`` on attacker-controlled bytes is code
+# execution, and a CRC is integrity, not authentication.  Callers decoding
+# bytes they did not just produce in-process — the server's WAL replay and
+# snapshot load — pass ``allow_pickle=False``, which refuses both to emit
+# and to decode the escape tag; the pickle path stays available (the
+# default) for in-process round-trips of exotic constants.
 # ----------------------------------------------------------------------
 def _pack_varint(value: int, out: bytearray) -> None:
     """Append an unsigned LEB128 varint."""
@@ -69,13 +76,14 @@ def _unpack_varint(data: bytes, offset: int) -> Tuple[int, int]:
         shift += 7
 
 
-def pack_value(obj, out: bytearray) -> None:
+def pack_value(obj, out: bytearray, *, allow_pickle: bool = True) -> None:
     """Append one value to *out*: tag byte + payload.
 
     Handles ``None``/``bool``/``int``/``float``/``str``/``bytes`` and
     ``tuple``/``list``/``dict`` containers; anything else is pickled under
-    an escape tag.  Integers use zig-zag varints, so the small ints that
-    dominate real EDBs cost two bytes.
+    an escape tag (rejected with ``ValueError`` when ``allow_pickle`` is
+    false).  Integers use zig-zag varints, so the small ints that dominate
+    real EDBs cost two bytes.
     """
     if obj is None:
         out.append(ord("N"))
@@ -103,22 +111,35 @@ def pack_value(obj, out: bytearray) -> None:
         out.append(ord("t") if type(obj) is tuple else ord("l"))
         _pack_varint(len(obj), out)
         for item in obj:
-            pack_value(item, out)
+            pack_value(item, out, allow_pickle=allow_pickle)
     elif type(obj) is dict:
         out.append(ord("d"))
         _pack_varint(len(obj), out)
         for key, value in obj.items():
-            pack_value(key, out)
-            pack_value(value, out)
+            pack_value(key, out, allow_pickle=allow_pickle)
+            pack_value(value, out, allow_pickle=allow_pickle)
     else:
+        if not allow_pickle:
+            raise ValueError(
+                f"cannot encode a {type(obj).__name__} value without the "
+                "pickle escape hatch (allow_pickle=False); use only "
+                "None/bool/int/float/str/bytes and tuple/list/dict"
+            )
         payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
         out.append(ord("P"))
         _pack_varint(len(payload), out)
         out.extend(payload)
 
 
-def unpack_value(data: bytes, offset: int = 0) -> Tuple[object, int]:
-    """Decode one value; returns (value, new offset).  Raises ValueError on garbage."""
+def unpack_value(
+    data: bytes, offset: int = 0, *, allow_pickle: bool = True
+) -> Tuple[object, int]:
+    """Decode one value; returns (value, new offset).  Raises ValueError on garbage.
+
+    With ``allow_pickle=False`` the ``P`` escape tag is rejected instead of
+    reaching ``pickle.loads`` — required when *data* comes from outside the
+    process (see the trust-boundary note above).
+    """
     if offset >= len(data):
         raise ValueError("truncated value")
     tag = data[offset]
@@ -146,35 +167,39 @@ def unpack_value(data: bytes, offset: int = 0) -> Tuple[object, int]:
             return payload.decode("utf-8"), offset
         if tag == ord("b"):
             return bytes(payload), offset
+        if not allow_pickle:
+            raise ValueError(
+                "refusing to unpickle an embedded payload (allow_pickle=False)"
+            )
         return pickle.loads(payload), offset
     if tag in (ord("t"), ord("l")):
         count, offset = _unpack_varint(data, offset)
         items = []
         for _ in range(count):
-            item, offset = unpack_value(data, offset)
+            item, offset = unpack_value(data, offset, allow_pickle=allow_pickle)
             items.append(item)
         return (tuple(items) if tag == ord("t") else items), offset
     if tag == ord("d"):
         count, offset = _unpack_varint(data, offset)
         mapping = {}
         for _ in range(count):
-            key, offset = unpack_value(data, offset)
-            value, offset = unpack_value(data, offset)
+            key, offset = unpack_value(data, offset, allow_pickle=allow_pickle)
+            value, offset = unpack_value(data, offset, allow_pickle=allow_pickle)
             mapping[key] = value
         return mapping, offset
     raise ValueError(f"unknown value tag {tag!r}")
 
 
-def encode_obj(obj) -> bytes:
+def encode_obj(obj, *, allow_pickle: bool = True) -> bytes:
     """One value as a standalone byte string (the WAL/snapshot payload codec)."""
     out = bytearray()
-    pack_value(obj, out)
+    pack_value(obj, out, allow_pickle=allow_pickle)
     return bytes(out)
 
 
-def decode_obj(data: bytes):
+def decode_obj(data: bytes, *, allow_pickle: bool = True):
     """Inverse of :func:`encode_obj`; rejects trailing garbage."""
-    value, offset = unpack_value(data, 0)
+    value, offset = unpack_value(data, 0, allow_pickle=allow_pickle)
     if offset != len(data):
         raise ValueError(f"{len(data) - offset} trailing bytes after value")
     return value
@@ -570,15 +595,17 @@ class Database:
     # ------------------------------------------------------------------
     _SERIAL_MAGIC = b"RPDB1"
 
-    def to_bytes(self) -> bytes:
+    def to_bytes(self, *, allow_pickle: bool = True) -> bytes:
         """Serialize all relations into a compact, self-contained byte string.
 
         The format is the value codec above wrapped in a magic header:
         relations become a ``{name: (tuple, ...)}`` mapping with tuples in a
         deterministic order, so identical databases always serialize to
         identical bytes (snapshot checksums stay comparable).  The server's
-        snapshot layer is the intended consumer; ``from_bytes`` restores an
-        equal database with cold acceleration structures.
+        snapshot layer is the intended consumer — it passes
+        ``allow_pickle=False`` so persisted bytes never embed pickles;
+        ``from_bytes`` restores an equal database with cold acceleration
+        structures.
         """
         out = bytearray(self._SERIAL_MAGIC)
         payload: Dict[str, Tuple] = {
@@ -586,15 +613,17 @@ class Database:
             for name, tuples in sorted(self._relations.items())
             if tuples
         }
-        pack_value(payload, out)
+        pack_value(payload, out, allow_pickle=allow_pickle)
         return bytes(out)
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "Database":
+    def from_bytes(cls, data: bytes, *, allow_pickle: bool = True) -> "Database":
         """Inverse of :meth:`to_bytes`; raises ``ValueError`` on corrupt input."""
         if not data.startswith(cls._SERIAL_MAGIC):
             raise ValueError("not a serialized Database (bad magic header)")
-        payload, offset = unpack_value(data, len(cls._SERIAL_MAGIC))
+        payload, offset = unpack_value(
+            data, len(cls._SERIAL_MAGIC), allow_pickle=allow_pickle
+        )
         if offset != len(data):
             raise ValueError("trailing bytes after serialized Database")
         if not isinstance(payload, dict):

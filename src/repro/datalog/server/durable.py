@@ -7,9 +7,15 @@ Layering::
                   WriteAheadLog  SnapshotStore        (on disk, one data dir)
 
 Every mutation — fact batches, program registrations, view materializations
-— is appended to the WAL *before* it is applied (fact batches through the
-service's write hook, which runs under the service lock strictly ahead of
-the apply; registry operations through this class's own mutation lock).
+— is acknowledged only after both the WAL append and the in-memory apply
+succeeded.  Fact batches log *before* they apply (the service's write hook
+runs under the service lock strictly ahead of the apply, and a hook failure
+aborts the write).  Registry operations (``register_program``,
+``materialize``, ``dematerialize``) apply *before* they log: every way the
+operation can be rejected — parse error, missing goal, unknown query,
+draining — surfaces to the caller with nothing written, so replay can never
+trip over a request the live server refused.  Both orders are serialized by
+the mutation lock, so the WAL order always equals the apply order.
 Periodically, and on clean shutdown, the full state (EDB bytes + program
 sources + materialized bindings) is snapshotted atomically and the WAL is
 truncated.
@@ -18,6 +24,9 @@ Recovery (``DurableDatalogService(data_dir)`` on a directory with state)
 loads the latest intact snapshot, replays every intact WAL record in order,
 and rebuilds each materialized view — so a server killed at any byte
 offset restarts with exactly the model every acknowledged write produced.
+A record that no longer applies (e.g. a log written by a buggy or newer
+version) is skipped and reported on :attr:`RecoveryReport.skipped` rather
+than aborting startup — one bad record must never brick the data directory.
 Replay tolerates a WAL that overlaps the snapshot (the crash window between
 snapshot write and WAL truncation): every operation is idempotent and
 replayed in order, so the final state is determined by each key's last
@@ -89,13 +98,17 @@ class RecoveryReport:
     wal_tail_corrupt: bool
     programs_recovered: int
     views_rebuilt: int
+    #: Human-readable descriptions of snapshot entries or WAL records that
+    #: failed to apply and were skipped (empty on a healthy recovery).
+    skipped: Tuple[str, ...] = ()
 
     def __str__(self) -> str:
         source = "snapshot + WAL" if self.snapshot_loaded else "WAL only"
         tail = " (torn tail truncated)" if self.wal_tail_corrupt else ""
+        skipped = f", {len(self.skipped)} unreplayable skipped" if self.skipped else ""
         return (
             f"recovered from {source}: {self.wal_records_replayed} record(s) "
-            f"replayed{tail}, {self.programs_recovered} program(s), "
+            f"replayed{tail}{skipped}, {self.programs_recovered} program(s), "
             f"{self.views_rebuilt} view(s) rebuilt"
         )
 
@@ -143,29 +156,49 @@ class DurableDatalogService:
     def _recover(self, cache_size: int, default_engine: str) -> RecoveryReport:
         state = self._snapshot_store.load()
         database = (
-            Database.from_bytes(state["database"])
+            Database.from_bytes(state["database"], allow_pickle=False)
             if state is not None
             else Database()
         )
         self._service = DatalogService(
             database, cache_size=cache_size, default_engine=default_engine
         )
+        # Startup must never fail on persisted state the live server would
+        # have rejected (or that a newer/older version wrote): anything that
+        # does not apply is skipped and reported, not raised — a single bad
+        # entry must not brick the data directory.
+        skipped: List[str] = []
         if state is not None:
             for name, spec in state.get("programs", {}).items():
-                self._apply_register(
-                    name, spec["source"], spec.get("transforms", ()), spec.get("engine")
-                )
+                try:
+                    self._apply_register(
+                        name,
+                        spec["source"],
+                        spec.get("transforms", ()),
+                        spec.get("engine"),
+                    )
+                except Exception as exc:
+                    skipped.append(f"snapshot program {name!r}: {exc}")
             for view in state.get("views", ()):
-                self._service.materialize(view["name"], view["params"])
+                try:
+                    self._service.materialize(view["name"], view["params"])
+                except Exception as exc:
+                    skipped.append(f"snapshot view {view.get('name')!r}: {exc}")
         records, tail_corrupt = WriteAheadLog.replay(self._wal_path)
+        replayed = 0
         for record in records:
-            self._apply_record(record.payload)
+            try:
+                self._apply_record(record.payload)
+                replayed += 1
+            except Exception as exc:
+                skipped.append(f"WAL record {record.sequence}: {exc}")
         return RecoveryReport(
             snapshot_loaded=state is not None,
-            wal_records_replayed=len(records),
+            wal_records_replayed=replayed,
             wal_tail_corrupt=tail_corrupt,
             programs_recovered=len(self._program_specs),
             views_rebuilt=len(self._service.materialized_bindings()),
+            skipped=tuple(skipped),
         )
 
     def _apply_record(self, payload) -> None:
@@ -257,7 +290,7 @@ class DurableDatalogService:
         accepted here.
         """
         names = [str(t) for t in transforms]
-        resolve_transforms(names)  # validate before logging
+        resolve_transforms(names)  # reject unknown transform names up front
         with self._mutate_lock:
             self._check_open()
             if not replace and name in self._program_specs:
@@ -268,6 +301,10 @@ class DurableDatalogService:
                 raise ServiceDrainingError(
                     "service is draining for shutdown; writes are not admitted"
                 )
+            # Apply before logging: a rejected registration (parse error,
+            # missing goal) must leave no WAL record behind, or the next
+            # restart would refuse to come up replaying it.
+            self._apply_register(name, source, names, engine)
             self._log(
                 {
                     "kind": "register",
@@ -277,7 +314,6 @@ class DurableDatalogService:
                     "engine": engine,
                 }
             )
-            self._apply_register(name, source, names, engine)
             self._maybe_snapshot()
 
     def add_facts(self, facts: Iterable) -> int:
@@ -304,8 +340,11 @@ class DurableDatalogService:
                 raise ServiceDrainingError(
                     "service is draining for shutdown; writes are not admitted"
                 )
-            self._log({"kind": "materialize", "name": name, "params": normalized})
+            # Apply before logging: materializing an unregistered query (or
+            # a binding the prepared query rejects) raises here with nothing
+            # written, so replay never sees a record the server refused.
             view = self._service.materialize(name, normalized)
+            self._log({"kind": "materialize", "name": name, "params": normalized})
             self._maybe_snapshot()
             return view
 
@@ -315,9 +354,14 @@ class DurableDatalogService:
         normalized = self._normalize_params(merged)
         with self._mutate_lock:
             self._check_open()
-            self._log({"kind": "dematerialize", "name": name, "params": normalized})
             dropped = self._service.dematerialize(name, normalized)
-            self._maybe_snapshot()
+            if dropped:
+                # A no-op drop is not a mutation; logging it would only
+                # lengthen replay.
+                self._log(
+                    {"kind": "dematerialize", "name": name, "params": normalized}
+                )
+                self._maybe_snapshot()
             return dropped
 
     # ------------------------------------------------------------------
@@ -380,7 +424,7 @@ class DurableDatalogService:
             for name, binding in self._service.materialized_bindings()
         ]
         return {
-            "database": self._service.database.to_bytes(),
+            "database": self._service.database.to_bytes(allow_pickle=False),
             "programs": {
                 name: dict(spec) for name, spec in self._program_specs.items()
             },

@@ -25,13 +25,16 @@ Backpressure: at most ``max_pending_writes`` write requests may be queued
 or executing at once — beyond that the server answers ``429`` with a
 ``Retry-After`` header instead of buffering unboundedly (the WAL fsync is
 the throughput governor; admission control keeps the queue short so write
-latency stays honest).  During drain every write gets ``503``; reads keep
-working until the listener closes.
+latency stays honest).  During drain every write gets ``503``; in-flight
+reads still complete, each with ``Connection: close``.
 
 Shutdown (SIGTERM/SIGINT under :func:`run_server`, or
-:meth:`DatalogHTTPServer.drain_and_close`): stop admitting writes, wait for
-in-flight requests, snapshot + truncate the WAL via ``durable.close()``,
-then stop the listener — a restart after a graceful stop replays nothing.
+:meth:`DatalogHTTPServer.drain_and_close`): stop admitting writes, close
+the listener so no new connection can start, let in-flight requests finish
+(each open keep-alive connection is answered at most once more, with
+``Connection: close``, so sustained read traffic cannot starve the drain),
+sever idle connections, then snapshot + truncate the WAL via
+``durable.close()`` — a restart after a graceful stop replays nothing.
 """
 
 from __future__ import annotations
@@ -112,6 +115,9 @@ class DatalogHTTPServer:
         self._idle = asyncio.Event()
         self._idle.set()
         self._draining = False
+        # Open connections' writers; drain severs the ones parked in a
+        # keep-alive read, which would otherwise never quiesce on their own.
+        self._connections: set = set()
         self._server: Optional[asyncio.base_events.Server] = None
         self._sync_task: Optional[asyncio.Task] = None
 
@@ -154,13 +160,22 @@ class DatalogHTTPServer:
         self._durable.begin_drain()
         if self._sync_task is not None:
             self._sync_task.cancel()
+        # Stop admitting new connections *before* waiting for quiescence —
+        # and each existing connection gets at most one more response (the
+        # handler closes keep-alive connections while draining) — so
+        # sustained read traffic cannot starve the idle event forever.
+        if self._server is not None:
+            self._server.close()
         # Let requests already admitted (including queued writes, which were
         # WAL-logged-or-rejected atomically) run to completion.
         await self._idle.wait()
+        # Connections parked between requests never reach the dispatch path
+        # again; sever them so their handlers exit.
+        for writer in list(self._connections):
+            writer.close()
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(self._executor, self._durable.close)
         if self._server is not None:
-            self._server.close()
             await self._server.wait_closed()
         self._executor.shutdown(wait=True)
 
@@ -176,20 +191,34 @@ class DatalogHTTPServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._connections.add(writer)
         try:
             while True:
-                request = await self._read_request(reader)
+                try:
+                    request = await self._read_request(reader)
+                except _HttpError as exc:
+                    # Malformed framing (bad request line, oversized header
+                    # block, unparsable Content-Length): answer properly and
+                    # close — the byte stream is no longer trustworthy.
+                    status, payload, extra = self._error_response(exc)
+                    await self._write_response(writer, status, payload, extra, False)
+                    break
                 if request is None:
                     break
                 method, target, headers, body = request
                 keep_alive = headers.get("connection", "keep-alive") != "close"
                 status, payload, extra = await self._dispatch(method, target, body)
+                # During drain each connection gets at most one more
+                # response; re-check after dispatch so a drain that started
+                # mid-request still cuts the connection over.
+                keep_alive = keep_alive and not self._draining
                 await self._write_response(writer, status, payload, extra, keep_alive)
                 if not keep_alive:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         finally:
+            self._connections.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -219,7 +248,13 @@ class DatalogHTTPServer:
                 continue
             name, _, value = line.partition(":")
             headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
+        raw_length = headers.get("content-length", "0") or "0"
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise _HttpError(400, f"invalid Content-Length: {raw_length!r}") from None
+        if length < 0:
+            raise _HttpError(400, f"invalid Content-Length: {raw_length!r}")
         if length > _MAX_BODY:
             raise _HttpError(413, "request body too large")
         body = await reader.readexactly(length) if length else b""

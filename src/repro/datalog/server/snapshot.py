@@ -4,7 +4,10 @@ A snapshot bounds recovery time: instead of replaying every write since the
 beginning of time, a restarted server loads the latest snapshot and replays
 only the WAL records appended after it.  One snapshot captures
 
-* the EDB (``Database.to_bytes`` — the compact codec, not pickle),
+* the EDB (``Database.to_bytes`` — the compact codec with the pickle
+  escape hatch disabled in both directions, so loading a tampered
+  snapshot can never execute code; a corrupt or unreadable file just
+  loads as ``None``),
 * the registered programs (source text + transform names + engine, exactly
   what re-registration needs), and
 * the materialized bindings, so recovery rebuilds every live view through
@@ -49,7 +52,7 @@ class SnapshotStore:
 
     def write(self, state: dict) -> None:
         """Atomically persist *state* (a plain dict in codec-friendly types)."""
-        payload = encode_obj(state)
+        payload = encode_obj(state, allow_pickle=False)
         blob = _MAGIC + _CRC.pack(zlib.crc32(payload)) + payload
         temp_path = self._path + ".tmp"
         with open(temp_path, "wb") as handle:
@@ -73,7 +76,7 @@ class SnapshotStore:
         if zlib.crc32(payload) != checksum:
             return None
         try:
-            state = decode_obj(payload)
+            state = decode_obj(payload, allow_pickle=False)
         except Exception:
             return None
         return state if isinstance(state, dict) else None

@@ -12,7 +12,14 @@ Record framing (all integers big-endian)::
 
 The payload is one value in the compact codec of
 :mod:`repro.datalog.database` (``encode_obj`` / ``decode_obj``) — in
-practice a ``{"kind": ..., ...}`` dict.  A torn tail (truncated header,
+practice a ``{"kind": ..., ...}`` dict.  The codec's pickle escape hatch
+is disabled in both directions: appends reject values that would need it
+(a write fails fast with ``ValueError`` instead of persisting bytes replay
+would have to unpickle), and replay never calls ``pickle.loads`` — a
+hand-crafted pickle record in a tampered log reads as a torn tail, not as
+code execution.  A CRC is integrity, not authentication; whoever can write
+the data directory already owns the database *contents*, but must not own
+the process.  A torn tail (truncated header,
 truncated payload, or checksum mismatch — what a ``kill -9`` mid-write
 leaves behind) ends replay cleanly at the last intact record; opening the
 log for append repairs the file by truncating the corrupt tail.
@@ -101,7 +108,7 @@ class WriteAheadLog:
         The record is durable per the fsync policy when this returns —
         callers apply the mutation only afterwards (write-*ahead* logging).
         """
-        body = encode_obj(payload)
+        body = encode_obj(payload, allow_pickle=False)
         frame = _HEADER.pack(_MAGIC, len(body), zlib.crc32(body)) + body
         with self._lock:
             self._file.write(frame)
@@ -198,10 +205,11 @@ class WriteAheadLog:
         if zlib.crc32(body) != checksum:
             return None, offset
         try:
-            payload = decode_obj(body)
+            payload = decode_obj(body, allow_pickle=False)
         except Exception:
-            # A checksum collision over garbage, or a pickle payload that no
-            # longer imports — treat either as a torn tail rather than dying.
+            # A checksum collision over garbage, or a planted pickle record
+            # (never unpickled) — treat either as a torn tail rather than
+            # dying.
             return None, offset
         return payload, end
 

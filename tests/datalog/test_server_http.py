@@ -199,6 +199,70 @@ class TestEndpoints:
 
 
 # ----------------------------------------------------------------------
+# Malformed framing gets an HTTP error, not a dropped connection
+# ----------------------------------------------------------------------
+class TestProtocolErrors:
+    @staticmethod
+    def raw_exchange(port, data):
+        """Send raw bytes, reading concurrently until the server closes.
+
+        Reading in parallel matters: the server may answer (and reset the
+        connection) while the request is still being sent — a sequential
+        send-then-read would lose the response to the RST.
+        """
+        import socket
+
+        received = []
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+
+            def drain():
+                try:
+                    while chunk := sock.recv(4096):
+                        received.append(chunk)
+                except OSError:
+                    pass
+
+            reader = threading.Thread(target=drain)
+            reader.start()
+            try:
+                sock.sendall(data)
+            except OSError:
+                pass  # server answered and reset mid-send; the reader has it
+            reader.join(timeout=10)
+        return b"".join(received)
+
+    def test_malformed_request_line_gets_400(self, server):
+        response = self.raw_exchange(server.port, b"GARBAGE\r\n\r\n")
+        assert response.startswith(b"HTTP/1.1 400 ")
+        assert b"malformed request line" in response
+        # The server is still healthy afterwards.
+        assert server.get("/healthz")[0] == 200
+
+    def test_non_numeric_content_length_gets_400(self, server):
+        response = self.raw_exchange(
+            server.port,
+            b"POST /healthz HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+        )
+        assert response.startswith(b"HTTP/1.1 400 ")
+        assert b"Content-Length" in response
+
+    def test_negative_content_length_gets_400(self, server):
+        response = self.raw_exchange(
+            server.port,
+            b"POST /healthz HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+        )
+        assert response.startswith(b"HTTP/1.1 400 ")
+
+    def test_oversized_header_block_gets_413(self, server):
+        request = (
+            b"GET /healthz HTTP/1.1\r\nX-Junk: " + b"a" * (128 * 1024) + b"\r\n\r\n"
+        )
+        response = self.raw_exchange(server.port, request)
+        assert response.startswith(b"HTTP/1.1 413 ")
+        assert b"header block too large" in response
+
+
+# ----------------------------------------------------------------------
 # Backpressure and drain
 # ----------------------------------------------------------------------
 class TestAdmissionControl:
@@ -233,6 +297,59 @@ class TestAdmissionControl:
             assert json.loads(body)["draining"] is True
         finally:
             server.durable.service.end_drain()
+
+    def test_shutdown_severs_idle_keep_alive_connections(self, tmp_path):
+        """A connection parked between keep-alive requests must not stall
+        the drain: the server severs it once in-flight work finished."""
+        handle = ServerHandle(tmp_path / "data")
+        conn = http.client.HTTPConnection("127.0.0.1", handle.port, timeout=10)
+        try:
+            conn.request("GET", "/healthz")
+            assert conn.getresponse().read()  # connection now idle, held open
+            handle.stop()
+            assert not handle.thread.is_alive()
+        finally:
+            conn.close()
+
+    def test_shutdown_completes_under_sustained_keep_alive_reads(self, tmp_path):
+        """Reads hammering over keep-alive connections must not starve the
+        drain: each open connection is answered at most once more (with
+        Connection: close) and the listener refuses replacements."""
+        handle = ServerHandle(tmp_path / "data")
+        stop_flag = threading.Event()
+        served = []
+
+        def hammer():
+            conn = http.client.HTTPConnection("127.0.0.1", handle.port, timeout=5)
+            try:
+                while not stop_flag.is_set():
+                    try:
+                        conn.request("GET", "/healthz")
+                        response = conn.getresponse()
+                        response.read()
+                        served.append(response.status)
+                    except Exception:
+                        conn.close()
+                        conn = http.client.HTTPConnection(
+                            "127.0.0.1", handle.port, timeout=5
+                        )
+            finally:
+                conn.close()
+
+        threads = [threading.Thread(target=hammer, daemon=True) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        try:
+            deadline = threading.Event()
+            while len(served) < 10 and not deadline.wait(0.01):
+                pass  # let real traffic flow before draining
+            handle.stop()  # would hang (and fail the join) if reads starve it
+            assert not handle.thread.is_alive()
+        finally:
+            stop_flag.set()
+            for thread in threads:
+                thread.join(timeout=10)
+        assert len(served) >= 10
 
     def test_graceful_stop_snapshots_state(self, tmp_path):
         handle = ServerHandle(tmp_path / "data")

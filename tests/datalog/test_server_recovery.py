@@ -11,14 +11,19 @@ import os
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.datalog import Database, DatalogService, ServiceDrainingError
+from repro.datalog import (
+    Database,
+    DatalogService,
+    QueryNotRegisteredError,
+    ServiceDrainingError,
+)
 from repro.datalog.server.durable import (
     WAL_NAME,
     DurableDatalogService,
     resolve_transforms,
 )
 from repro.datalog.server.wal import WriteAheadLog
-from repro.errors import EvaluationError
+from repro.errors import EvaluationError, ParseError
 from tests.datalog.strategies import edge_fact_batches
 
 REACH = """\
@@ -165,6 +170,82 @@ class TestRecovery:
         assert recovered.recovery.snapshot_loaded
         assert recovered.recovery.wal_records_replayed == 4  # full, stale WAL
         assert model(recovered) == expected
+        recovered.close()
+
+
+# ----------------------------------------------------------------------
+# Rejected operations must never reach the WAL (a logged record that fails
+# to apply would otherwise brick the data directory on restart)
+# ----------------------------------------------------------------------
+class TestRejectedOperationsAreNotLogged:
+    def test_register_with_invalid_source_leaves_no_record(self, tmp_path):
+        service = make_durable(tmp_path)
+        with pytest.raises(ParseError):
+            service.register_program("bad", "this is not datalog (((")
+        assert service.statistics()["wal_records"] == 0
+        del service  # crash without close
+
+        recovered = make_durable(tmp_path)  # must not raise
+        assert recovered.recovery.skipped == ()
+        assert recovered.registered_queries() == ()
+        recovered.close()
+
+    def test_register_without_goal_leaves_no_record(self, tmp_path):
+        service = make_durable(tmp_path)
+        with pytest.raises(EvaluationError, match="no goal"):
+            service.register_program("goalless", "p(X) :- q(X).\n")
+        assert service.statistics()["wal_records"] == 0
+        service.close()
+
+    def test_materialize_of_unknown_query_leaves_no_record(self, tmp_path):
+        service = make_durable(tmp_path)
+        with pytest.raises(QueryNotRegisteredError):
+            service.materialize("ghost", {"src": 1})
+        assert service.statistics()["wal_records"] == 0
+        del service  # crash without close
+
+        recovered = make_durable(tmp_path)  # must not raise
+        assert recovered.recovery.skipped == ()
+        recovered.close()
+
+    def test_noop_dematerialize_is_not_logged(self, tmp_path):
+        service = make_durable(tmp_path)
+        assert service.dematerialize("ghost", {"src": 1}) is False
+        assert service.statistics()["wal_records"] == 0
+        service.close()
+
+    def test_exotic_fact_values_are_rejected_at_write_time(self, tmp_path):
+        """Values outside the codec's native types must fail the write (the
+        WAL refuses the pickle escape hatch), not poison recovery."""
+        service = make_durable(tmp_path)
+        service.register_program("reach", REACH)
+        with pytest.raises(ValueError, match="pickle"):
+            service.add_facts([("edge", (1 + 2j, "x"))])
+        assert service.statistics()["wal_records"] == 1  # just the register
+        assert service.service.database.fact_count() == 0  # write aborted
+        service.close()
+
+    def test_recovery_skips_and_reports_unreplayable_records(self, tmp_path):
+        """A WAL written by a buggy or newer server (e.g. pre-fix logs of
+        rejected requests) must not brick the directory: bad records are
+        skipped and reported, everything else replays."""
+        service = make_durable(tmp_path)
+        service.register_program("reach", REACH)
+        service.add_facts([("edge", (1, 2))])
+        del service  # crash without close
+
+        with WriteAheadLog(tmp_path / WAL_NAME) as wal:
+            wal.append({"kind": "materialize", "name": "ghost", "params": {}})
+            wal.append({"kind": "frobnicate"})
+            wal.append({"kind": "add_facts", "facts": [("edge", (2, 3))]})
+
+        recovered = make_durable(tmp_path)
+        assert recovered.recovery.wal_records_replayed == 3
+        assert len(recovered.recovery.skipped) == 2
+        assert "ghost" in recovered.recovery.skipped[0]
+        assert "frobnicate" in recovered.recovery.skipped[1]
+        assert "skipped" in str(recovered.recovery)
+        assert recovered.execute("reach", {"src": 1}) == frozenset({(2,), (3,)})
         recovered.close()
 
 

@@ -74,6 +74,18 @@ class TestCodec:
         with pytest.raises(ValueError):
             Database.from_bytes(Database().to_bytes() + b"trailing")
 
+    def test_pickle_escape_hatch_is_opt_out(self):
+        """In-process round-trips may pickle exotic values; decoding with
+        allow_pickle=False refuses both to emit and to read the escape tag."""
+        exotic = 1 + 2j  # not a codec-native type, picklable
+        assert decode_obj(encode_obj(exotic)) == exotic
+        with pytest.raises(ValueError, match="pickle"):
+            encode_obj(exotic, allow_pickle=False)
+        with pytest.raises(ValueError, match="unpickle"):
+            decode_obj(encode_obj(exotic), allow_pickle=False)
+        with pytest.raises(ValueError, match="unpickle"):
+            decode_obj(encode_obj({"nested": (exotic,)}), allow_pickle=False)
+
 
 # ----------------------------------------------------------------------
 # Write-ahead log
@@ -166,6 +178,43 @@ class TestWriteAheadLog:
         with pytest.raises(ValueError, match="fsync"):
             WriteAheadLog(tmp_path / "wal.log", fsync="sometimes")
 
+    def test_append_rejects_payloads_that_would_need_pickle(self, tmp_path):
+        """The WAL never persists bytes that replay would have to unpickle."""
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            with pytest.raises(ValueError, match="pickle"):
+                wal.append({"kind": "add_facts", "facts": [("e", (1 + 2j,))]})
+            assert wal.record_count == 0
+        records, tail_corrupt = WriteAheadLog.replay(path)
+        assert records == [] and not tail_corrupt
+
+    def test_replay_never_unpickles_a_planted_record(self, tmp_path):
+        """A hand-crafted record whose payload is a pickle (what an attacker
+        with write access to the data dir would plant — the CRC is easy to
+        recompute) must read as a torn tail, not execute on load."""
+        import pickle
+        import zlib
+
+        from repro.datalog.database import _pack_varint
+
+        marker = tmp_path / "pwned"
+
+        class Bomb:
+            def __reduce__(self):
+                return (os.mkdir, (str(marker),))
+
+        pickled = pickle.dumps(Bomb())
+        body = bytearray(b"P")
+        _pack_varint(len(pickled), body)
+        body.extend(pickled)
+        frame = struct.pack(">2sII", b"WR", len(body), zlib.crc32(bytes(body)))
+        path = tmp_path / "wal.log"
+        path.write_bytes(frame + bytes(body))
+
+        records, tail_corrupt = WriteAheadLog.replay(path)
+        assert records == [] and tail_corrupt
+        assert not marker.exists()
+
 
 # ----------------------------------------------------------------------
 # Snapshots
@@ -201,6 +250,12 @@ class TestSnapshotStore:
         store.write({"generation": 1})
         store.write({"generation": 2})
         assert store.load() == {"generation": 2}
+
+    def test_write_rejects_state_that_would_need_pickle(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        with pytest.raises(ValueError, match="pickle"):
+            store.write({"value": 1 + 2j})
+        assert not store.exists()
 
 
 # ----------------------------------------------------------------------
