@@ -12,7 +12,9 @@ throughput — the numbers the ISSUE's >=3x acceptance gate is about.
 When the report contains the E11 join-kernel benchmarks, the medians
 summary additionally grows a ``kernels`` section pairing each workload's
 compiled and interpreted medians with their speedup and the portfolio's
->=2x gate verdict.
+>=2x gate verdict.  When it also contains the columnar-kernel benchmarks,
+a ``columnar`` section pairs each workload's columnar and tuple-kernel
+medians and reports the wide/deep transitive-closure >=3x gate verdict.
 
 When the report contains the E13 server benchmarks, the summary grows a
 ``server`` section: the durable-subprocess vs in-process execute round-trip
@@ -38,6 +40,8 @@ TRAFFIC_EXTRAS = (
 
 KERNEL_COMPILED_PREFIX = "test_compiled_kernels["
 KERNEL_INTERPRETED_PREFIX = "test_interpreted_match_body["
+KERNEL_COLUMNAR_PREFIX = "test_columnar_kernels["
+COLUMNAR_GATE_LABELS = ("wide_tc", "deep_tc")
 
 SERVER_ROUNDTRIP = "test_server_execute_roundtrip"
 SERVER_INPROCESS = "test_inprocess_execute_roundtrip"
@@ -118,6 +122,41 @@ def kernels_summary(median_map: dict) -> dict:
     if compiled_total:
         summary["portfolio_speedup"] = interpreted_total / compiled_total
         summary["meets_2x_gate"] = summary["portfolio_speedup"] >= 2.0
+    return summary
+
+
+def columnar_summary(median_map: dict) -> dict:
+    """The PR 7 shape: columnar batch kernels vs the compiled tuple kernels.
+
+    Pairs ``test_columnar_kernels[w]`` with ``test_compiled_kernels[w]``
+    per workload, and reports the wide/deep transitive-closure pair's
+    ratio against the ISSUE's >=3x acceptance gate.  Empty when the report
+    has no columnar benchmarks.
+    """
+    workloads: dict = {}
+    for name, entry in median_map.items():
+        if name.startswith(KERNEL_COLUMNAR_PREFIX) and name.endswith("]"):
+            label = name[len(KERNEL_COLUMNAR_PREFIX) : -1]
+            workloads.setdefault(label, {})["columnar_seconds"] = entry["median_seconds"]
+        elif name.startswith(KERNEL_COMPILED_PREFIX) and name.endswith("]"):
+            label = name[len(KERNEL_COMPILED_PREFIX) : -1]
+            workloads.setdefault(label, {})["tuple_seconds"] = entry["median_seconds"]
+    workloads = {
+        label: entry for label, entry in workloads.items() if "columnar_seconds" in entry
+    }
+    summary: dict = {"workloads": workloads}
+    gate_columnar = gate_tuple = 0.0
+    for label, entry in workloads.items():
+        columnar = entry.get("columnar_seconds")
+        tuple_side = entry.get("tuple_seconds")
+        if columnar and tuple_side:
+            entry["speedup"] = tuple_side / columnar
+            if label in COLUMNAR_GATE_LABELS:
+                gate_columnar += columnar
+                gate_tuple += tuple_side
+    if gate_columnar:
+        summary["wide_deep_tc_speedup"] = gate_tuple / gate_columnar
+        summary["meets_3x_gate"] = summary["wide_deep_tc_speedup"] >= 3.0
     return summary
 
 
@@ -213,6 +252,9 @@ def main(argv) -> int:
     kernels = kernels_summary(median_map)
     if kernels["workloads"]:
         summary["kernels"] = kernels
+    columnar = columnar_summary(median_map)
+    if columnar["workloads"]:
+        summary["columnar"] = columnar
     incremental = incremental_summary(median_map)
     if incremental["workloads"]:
         summary["incremental"] = incremental
@@ -225,6 +267,12 @@ def main(argv) -> int:
     ratio = kernels.get("portfolio_speedup")
     if ratio is not None:
         print(f"kernel portfolio speedup {ratio:.1f}x (gate >=2x: {kernels['meets_2x_gate']})")
+    ratio = columnar.get("wide_deep_tc_speedup")
+    if ratio is not None:
+        print(
+            f"columnar wide/deep TC speedup {ratio:.1f}x "
+            f"(gate >=3x: {columnar['meets_3x_gate']})"
+        )
     ratio = incremental.get("portfolio_speedup")
     if ratio is not None:
         print(

@@ -1,0 +1,46 @@
+"""Columnar interned relations and vectorized batch kernels.
+
+The tuple layout (:class:`repro.datalog.database.Database`) stores every
+relation as a ``set`` of Python tuples and every kernel probe touches one
+tuple at a time.  This package is the Soufflé/DuckDB-style alternative:
+
+* :class:`~repro.datalog.columnar.interning.InternTable` — constants
+  interned to dense ints (and back), round-trippable for every
+  codec-native value;
+* :class:`~repro.datalog.columnar.relation.ColumnarRelation` — one
+  predicate at one arity as parallel ``array('q')`` columns with lazy
+  per-position hash indexes over the int codes and a packed-int row-key
+  set for O(1) membership;
+* :class:`~repro.datalog.columnar.store.ColumnarStore` — the per-database
+  columnar mirror, built lazily per predicate and maintained
+  incrementally by the database's mutation hooks;
+* :mod:`~repro.datalog.columnar.batch` — the batch fixpoint: the PR 4
+  :class:`~repro.datalog.engine.executor.RuleKernel` step programs
+  lowered to whole-column hash joins with int-set dedup.
+
+The tuple layout stays the source of truth — ``layout="columnar"`` on a
+:class:`~repro.datalog.database.Database` turns the mirror on and routes
+eligible bottom-up evaluations through the batch path, with the tuple
+kernels as the differential baseline and the fallback for programs the
+batch path cannot take (parameters, adapter sources, interpreted mode).
+"""
+
+from repro.datalog.columnar.interning import InternTable
+from repro.datalog.columnar.relation import (
+    KEY_BITS,
+    ColumnarRelation,
+    arity_of_key,
+    pack_codes,
+    unpack_key,
+)
+from repro.datalog.columnar.store import ColumnarStore
+
+__all__ = [
+    "InternTable",
+    "ColumnarRelation",
+    "ColumnarStore",
+    "KEY_BITS",
+    "pack_codes",
+    "unpack_key",
+    "arity_of_key",
+]

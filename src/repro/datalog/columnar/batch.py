@@ -1,0 +1,859 @@
+"""Vectorized batch evaluation: RuleKernel step programs over whole columns.
+
+The PR 4 tuple kernels (:mod:`repro.datalog.engine.executor`) probe one
+tuple at a time: every candidate pays a Python-level loop iteration, a
+tuple hash for dedup and a closure call per firing.  This module reuses
+the *same* compiled step programs — probe column, equality checks, bind
+list, head extraction — but runs each step over the entire intermediate
+batch at once:
+
+* a **batch** is a set of parallel Python lists of intern codes, one per
+  bound slot;
+* a non-leaf step hash-joins the whole batch against the step's columnar
+  parts (grouped index probes, cross-products as list comprehensions);
+* the **leaf step is fused with head extraction**: because packed row
+  keys are positional 32-bit lanes (:func:`~repro.datalog.columnar.relation.pack_codes`),
+  a head key decomposes into ``carried_part(batch row) + leaf_part(matched
+  row)``, so the innermost loop emits ready-packed int keys directly;
+* dedup is pure C-speed int-set algebra: ``fresh = emitted - bucket -
+  existing`` against the per-predicate packed-key sets.
+
+Statistics parity with the tuple path is structural, not accidental: a
+rule's firing count is the number of complete body matches — a
+join-order- and batch-order-invariant multiset — and the per-round
+"new" count is the bucket's growth, which only depends on the round's
+start state.  The fixpoint drivers below mirror the tuple engines' loops
+(`seminaive`/`naive`) line for line, so ``EvaluationStatistics`` come
+out identical and the differential harness can assert full equality.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.datalog.columnar.relation import KEY_BITS, ColumnarRelation, pack_codes
+from repro.datalog.database import Database
+from repro.datalog.engine.base import EvaluationResult, split_rules
+from repro.datalog.engine.executor import PROBE_CONST, PROBE_SCAN, PROBE_SLOT
+from repro.errors import EvaluationError
+
+_KEY_MASK = (1 << KEY_BITS) - 1
+
+
+def plan_supported(plan) -> bool:
+    """Whether every stratum rule has a compiled kernel to lower.
+
+    Rules the tuple path itself cannot compile (un-internable terms such
+    as raw :class:`~repro.datalog.terms.Parameter` atoms) keep the whole
+    evaluation on the tuple fallback — mixing batch and interpreted rules
+    in one fixpoint would mean maintaining two working sets in lockstep.
+    """
+    for stratum in plan.strata:
+        for rule in stratum.rules:
+            if plan.kernel(rule) is None:
+                return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Lowered step programs
+# ----------------------------------------------------------------------
+class _BatchStep:
+    """A non-leaf step: join the batch against one atom's columnar parts."""
+
+    __slots__ = (
+        "use_delta",
+        "predicate",
+        "arity",
+        "probe_kind",
+        "probe_position",
+        "probe_code",
+        "probe_slot",
+        "const_checks",
+        "self_checks",
+        "slot_checks",
+        "carry_slots",
+        "binds",
+    )
+
+    def __init__(self, step, table, bound):
+        self.use_delta = step.use_delta
+        self.predicate = step.predicate
+        self.arity = step.arity
+        self.probe_kind = step.probe_kind
+        self.probe_position = step.probe_position
+        self.probe_code = (
+            table.intern(step.probe_value) if step.probe_kind == PROBE_CONST else -1
+        )
+        self.probe_slot = step.probe_slot
+        self.const_checks = tuple((pos, table.intern(v)) for pos, v in step.const_checks)
+        self.self_checks = step.self_checks
+        self.slot_checks = step.slot_checks
+        self.carry_slots = tuple(sorted(bound))
+        self.binds = step.binds
+
+
+class _BatchLeaf:
+    """The final step fused with head extraction: emits packed head keys.
+
+    The head key of a firing is ``base_key + Σ slot·weight (carried) +
+    Σ column·weight (leaf-bound)`` — pure int arithmetic per matched row,
+    no tuple is ever built for a duplicate.
+    """
+
+    __slots__ = (
+        "use_delta",
+        "predicate",
+        "arity",
+        "probe_kind",
+        "probe_position",
+        "probe_code",
+        "probe_slot",
+        "const_checks",
+        "self_checks",
+        "slot_checks",
+        "base_key",
+        "carry_weights",
+        "leaf_weights",
+        "identity",
+    )
+
+    def __init__(self, step, table, head_ops, single_step):
+        self.use_delta = step.use_delta
+        self.predicate = step.predicate
+        self.arity = step.arity
+        self.probe_kind = step.probe_kind
+        self.probe_position = step.probe_position
+        self.probe_code = (
+            table.intern(step.probe_value) if step.probe_kind == PROBE_CONST else -1
+        )
+        self.probe_slot = step.probe_slot
+        self.const_checks = tuple((pos, table.intern(v)) for pos, v in step.const_checks)
+        self.self_checks = step.self_checks
+        self.slot_checks = step.slot_checks
+
+        head_arity = len(head_ops)
+        weights = [1 << (KEY_BITS * (head_arity - 1 - j)) for j in range(head_arity)]
+        bind_position = {slot: pos for pos, slot in step.binds}
+        base = head_arity << (KEY_BITS * head_arity)
+        carried: Dict[int, int] = {}
+        leaf: Dict[int, int] = {}
+        for j, (is_slot, payload) in enumerate(head_ops):
+            if not is_slot:
+                base += table.intern(payload) * weights[j]
+            elif payload in bind_position:
+                position = bind_position[payload]
+                leaf[position] = leaf.get(position, 0) + weights[j]
+            else:
+                carried[payload] = carried.get(payload, 0) + weights[j]
+        self.base_key = base
+        self.carry_weights = tuple(carried.items())
+        self.leaf_weights = tuple(leaf.items())
+        # Copy rules (head = the scanned row, verbatim): the emitted keys
+        # are exactly the part's packed-key set, so the whole run is set
+        # algebra with no per-row work at all.
+        self.identity = (
+            single_step
+            and step.probe_kind == PROBE_SCAN
+            and not step.const_checks
+            and not step.self_checks
+            and not step.slot_checks
+            and not carried
+            and head_arity == step.arity
+            and base == head_arity << (KEY_BITS * head_arity)
+            and len(leaf) == head_arity
+            and all(leaf.get(j) == weights[j] for j in range(head_arity))
+        )
+
+
+class _BatchSequence:
+    """One lowered execution order: non-leaf steps, the fused leaf, or a ground key."""
+
+    __slots__ = ("steps", "leaf", "ground_key")
+
+    def __init__(self, steps, leaf, ground_key=None):
+        self.steps = steps
+        self.leaf = leaf
+        self.ground_key = ground_key
+
+
+def lower_sequence(kernel, steps, table) -> _BatchSequence:
+    """Lower one of a kernel's step sequences against an intern table."""
+    if not steps:
+        # Empty body (fires exactly once): validation guarantees a ground head.
+        key = len(kernel.head_ops)
+        for _, payload in kernel.head_ops:
+            key = (key << KEY_BITS) | table.intern(payload)
+        return _BatchSequence((), None, ground_key=key)
+    bound: Set[int] = set()
+    lowered: List[_BatchStep] = []
+    for step in steps[:-1]:
+        lowered.append(_BatchStep(step, table, bound))
+        bound.update(slot for _, slot in step.binds)
+    leaf = _BatchLeaf(steps[-1], table, kernel.head_ops, single_step=len(steps) == 1)
+    return _BatchSequence(tuple(lowered), leaf)
+
+
+class BatchKernel:
+    """The columnar lowering of one :class:`~repro.datalog.engine.executor.RuleKernel`.
+
+    Lowered sequences bake intern codes in, so they are cached per intern
+    table (the cache holds a strong reference to each table, keeping the
+    ``id()`` key valid); the static order and every delta variant share
+    the tuple kernel's slot numbering.
+    """
+
+    __slots__ = ("kernel", "head_arity", "_lowered")
+
+    _MAX_TABLES = 8
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.head_arity = len(kernel.head_ops)
+        self._lowered: Dict[int, Tuple] = {}
+
+    def sequences(self, table):
+        """(static sequence, {body position: delta sequence}) for *table*."""
+        entry = self._lowered.get(id(table))
+        if entry is None or entry[0] is not table:
+            if len(self._lowered) >= self._MAX_TABLES:
+                self._lowered.clear()
+            static = lower_sequence(self.kernel, self.kernel.static_steps, table)
+            deltas = {
+                position: lower_sequence(self.kernel, steps, table)
+                for position, steps in self.kernel.delta_steps.items()
+            }
+            entry = (table, static, deltas)
+            self._lowered[id(table)] = entry
+        return entry[1], entry[2]
+
+
+# ----------------------------------------------------------------------
+# The working set
+# ----------------------------------------------------------------------
+class _BatchWorking:
+    """The fixpoint's columnar working set: base parts + locally derived rows.
+
+    The input database's columnar mirror provides the (read-only) base
+    parts; everything derived during evaluation lands in local
+    :class:`ColumnarRelation` groups, so the input is never mutated and
+    nothing is decoded back to tuples until the final IDB extraction.
+    """
+
+    __slots__ = ("database", "table", "local", "_parts")
+
+    def __init__(self, database):
+        self.database = database
+        self.table = database.columnar_store().table
+        self.local: Dict[str, Dict[int, ColumnarRelation]] = {}
+        self._parts: Dict[Tuple[str, int], Tuple[ColumnarRelation, ...]] = {}
+
+    def parts(self, predicate: str, arity: int) -> Tuple[ColumnarRelation, ...]:
+        """All parts of *predicate* at *arity*, base chain first, local last.
+
+        Stable within a round (parts grow in place; the cache entry is only
+        invalidated when a predicate's first local group appears), which is
+        what makes dedup against the live key sets sound — exactly the
+        tuple engines' relation_view contract.
+        """
+        cached = self._parts.get((predicate, arity))
+        if cached is None:
+            groups = [
+                group
+                for group in self.database.columnar_parts(predicate)
+                if group.arity == arity
+            ]
+            local = self.local.get(predicate)
+            if local is not None:
+                group = local.get(arity)
+                if group is not None:
+                    groups.append(group)
+            cached = self._parts[(predicate, arity)] = tuple(groups)
+        return cached
+
+    def key_sets(self, predicate: str, arity: int) -> List[set]:
+        return [group.keys for group in self.parts(predicate, arity)]
+
+    def local_group(self, predicate: str, arity: int) -> ColumnarRelation:
+        local = self.local.setdefault(predicate, {})
+        group = local.get(arity)
+        if group is None:
+            group = local[arity] = ColumnarRelation(arity)
+            self._parts.pop((predicate, arity), None)
+        return group
+
+    def add_fact_row(self, predicate: str, values: Tuple) -> bool:
+        """Intern and add one ground fact (the fact-rule loading path)."""
+        codes = [self.table.intern(value) for value in values]
+        key = pack_codes(codes)
+        for keys in self.key_sets(predicate, len(values)):
+            if key in keys:
+                return False
+        self.local_group(predicate, len(values)).extend_columns(
+            tuple([code] for code in codes), (key,)
+        )
+        return True
+
+
+# ----------------------------------------------------------------------
+# Step execution
+# ----------------------------------------------------------------------
+def _static_row_filter(columns, const_checks, self_checks):
+    """A per-row predicate for the batch-independent checks (or ``None``)."""
+    if not const_checks and not self_checks:
+        return None
+
+    def ok(row: int) -> bool:
+        for position, code in const_checks:
+            if columns[position][row] != code:
+                return False
+        for position, other in self_checks:
+            if columns[position][row] != columns[other][row]:
+                return False
+        return True
+
+    return ok
+
+
+def _step_parts(step, working: _BatchWorking, delta):
+    if not step.use_delta:
+        return working.parts(step.predicate, step.arity)
+    groups = delta.get(step.predicate) if delta else None
+    if not groups:
+        return ()
+    group = groups.get(step.arity)
+    return (group,) if group is not None else ()
+
+
+def _run_step(step: _BatchStep, parts, cols, n: int):
+    """Join the batch against one atom; returns the next (cols, n)."""
+    out: Dict[int, list] = {slot: [] for slot in step.carry_slots}
+    for _, slot in step.binds:
+        out[slot] = []
+    total = 0
+    probe_kind = step.probe_kind
+    for part in parts:
+        columns = part.columns
+        row_ok = _static_row_filter(columns, step.const_checks, step.self_checks)
+        if probe_kind == PROBE_SLOT:
+            index_get = part.index(step.probe_position).get
+            probe_col = cols[step.probe_slot]
+            carries = [(out[slot], cols[slot]) for slot in step.carry_slots]
+            bind_cols = [(out[slot], columns[pos]) for pos, slot in step.binds]
+            check_cols = [(columns[pos], cols[slot]) for pos, slot in step.slot_checks]
+            for i in range(n):
+                rows = index_get(probe_col[i])
+                if rows is None:
+                    continue
+                if row_ok is not None:
+                    rows = [r for r in rows if row_ok(r)]
+                if check_cols:
+                    for column, batch_col in check_cols:
+                        expected = batch_col[i]
+                        rows = [r for r in rows if column[r] == expected]
+                        if not rows:
+                            break
+                if not rows:
+                    continue
+                k = len(rows)
+                total += k
+                for dst, src in carries:
+                    if k == 1:
+                        dst.append(src[i])
+                    else:
+                        dst.extend([src[i]] * k)
+                for dst, column in bind_cols:
+                    dst.extend([column[r] for r in rows])
+        else:
+            if probe_kind == PROBE_CONST:
+                rows = part.index(step.probe_position).get(step.probe_code)
+                if not rows:
+                    continue
+            else:
+                rows = range(len(part))
+            if row_ok is not None:
+                rows = [r for r in rows if row_ok(r)]
+                if not rows:
+                    continue
+            if step.slot_checks:
+                # Candidates are batch-independent but the checks are not:
+                # fall back to a per-batch-row filter pass.
+                carries = [(out[slot], cols[slot]) for slot in step.carry_slots]
+                bind_cols = [(out[slot], columns[pos]) for pos, slot in step.binds]
+                check_cols = [(columns[pos], cols[slot]) for pos, slot in step.slot_checks]
+                for i in range(n):
+                    survivors = rows
+                    for column, batch_col in check_cols:
+                        expected = batch_col[i]
+                        survivors = [r for r in survivors if column[r] == expected]
+                        if not survivors:
+                            break
+                    if not survivors:
+                        continue
+                    k = len(survivors)
+                    total += k
+                    for dst, src in carries:
+                        if k == 1:
+                            dst.append(src[i])
+                        else:
+                            dst.extend([src[i]] * k)
+                    for dst, column in bind_cols:
+                        dst.extend([column[r] for r in survivors])
+            else:
+                # Pure cross product: batch rows × candidate rows.
+                k = len(rows)
+                total += n * k
+                for slot in step.carry_slots:
+                    src = cols[slot]
+                    out[slot].extend([value for value in src for _ in range(k)])
+                for pos, slot in step.binds:
+                    column = columns[pos]
+                    values = [column[r] for r in rows]
+                    out[slot].extend(values * n)
+    return out, total
+
+
+def _leaf_keys_for_rows(leaf: _BatchLeaf, columns, rows):
+    """The leaf-part key contribution of each matched row."""
+    weights = leaf.leaf_weights
+    if not weights:
+        return [0] * len(rows)
+    if len(weights) == 1:
+        position, weight = weights[0]
+        column = columns[position]
+        if weight == 1:
+            return [column[r] for r in rows]
+        return [column[r] * weight for r in rows]
+    keys = [0] * len(rows)
+    for position, weight in weights:
+        column = columns[position]
+        keys = [key + column[r] * weight for key, r in zip(keys, rows)]
+    return keys
+
+
+def _run_leaf(leaf: _BatchLeaf, parts, cols, n: int, bucket: set, existing_sets):
+    """Fused leaf join + head emission + dedup; returns (firings, new)."""
+    total = 0
+    if leaf.identity:
+        emitted: set = set()
+        for part in parts:
+            total += len(part.keys)
+            emitted |= part.keys
+        fresh = emitted
+    else:
+        carry_weights = leaf.carry_weights
+        base = leaf.base_key
+        if not carry_weights:
+            carry_keys = None
+        elif len(carry_weights) == 1:
+            slot, weight = carry_weights[0]
+            source = cols[slot]
+            if weight == 1:
+                carry_keys = [base + value for value in source]
+            else:
+                carry_keys = [base + value * weight for value in source]
+        else:
+            carry_keys = [base] * n
+            for slot, weight in carry_weights:
+                source = cols[slot]
+                carry_keys = [
+                    key + value * weight for key, value in zip(carry_keys, source)
+                ]
+
+        out_keys: List[int] = []
+        probe_kind = leaf.probe_kind
+        for part in parts:
+            columns = part.columns
+            row_ok = _static_row_filter(columns, leaf.const_checks, leaf.self_checks)
+            if probe_kind == PROBE_SLOT and not leaf.slot_checks:
+                # The hot join shape: probe the index per batch row and emit
+                # ready-packed keys in one comprehension per hit.  The inner
+                # loops are specialised for the dominant head shapes — a
+                # function call or a generic weight walk per probe hit is
+                # exactly the per-firing overhead this module exists to kill.
+                index_get = part.index(leaf.probe_position).get
+                probe_col = cols[leaf.probe_slot]
+                extend = out_keys.extend
+                leaf_weights = leaf.leaf_weights
+                if row_ok is None and len(leaf_weights) == 1:
+                    position, weight = leaf_weights[0]
+                    column = columns[position]
+                    if carry_keys is None:
+                        if weight == 1:
+                            for i in range(n):
+                                rows = index_get(probe_col[i])
+                                if rows is not None:
+                                    total += len(rows)
+                                    extend([base + column[r] for r in rows])
+                        else:
+                            for i in range(n):
+                                rows = index_get(probe_col[i])
+                                if rows is not None:
+                                    total += len(rows)
+                                    extend([base + column[r] * weight for r in rows])
+                    elif weight == 1:
+                        for i in range(n):
+                            rows = index_get(probe_col[i])
+                            if rows is not None:
+                                total += len(rows)
+                                carry = carry_keys[i]
+                                extend([carry + column[r] for r in rows])
+                    else:
+                        for i in range(n):
+                            rows = index_get(probe_col[i])
+                            if rows is not None:
+                                total += len(rows)
+                                carry = carry_keys[i]
+                                extend([carry + column[r] * weight for r in rows])
+                elif row_ok is None and len(leaf_weights) == 2:
+                    (pos_a, weight_a), (pos_b, weight_b) = leaf_weights
+                    column_a = columns[pos_a]
+                    column_b = columns[pos_b]
+                    for i in range(n):
+                        rows = index_get(probe_col[i])
+                        if rows is not None:
+                            total += len(rows)
+                            carry = base if carry_keys is None else carry_keys[i]
+                            extend(
+                                [
+                                    carry
+                                    + column_a[r] * weight_a
+                                    + column_b[r] * weight_b
+                                    for r in rows
+                                ]
+                            )
+                elif row_ok is None and not leaf_weights:
+                    # Existence-style leaf: every hit re-emits the carry key
+                    # (each match is still a distinct firing).
+                    for i in range(n):
+                        rows = index_get(probe_col[i])
+                        if rows is not None:
+                            k = len(rows)
+                            total += k
+                            carry = base if carry_keys is None else carry_keys[i]
+                            if k == 1:
+                                out_keys.append(carry)
+                            else:
+                                extend([carry] * k)
+                else:
+                    for i in range(n):
+                        rows = index_get(probe_col[i])
+                        if rows is None:
+                            continue
+                        if row_ok is not None:
+                            rows = [r for r in rows if row_ok(r)]
+                            if not rows:
+                                continue
+                        leaf_keys = _leaf_keys_for_rows(leaf, columns, rows)
+                        total += len(leaf_keys)
+                        carry = base if carry_keys is None else carry_keys[i]
+                        extend([carry + key for key in leaf_keys])
+            elif probe_kind != PROBE_SLOT and not leaf.slot_checks:
+                # Batch-independent candidates: one cross with the carries.
+                if probe_kind == PROBE_CONST:
+                    rows = part.index(leaf.probe_position).get(leaf.probe_code)
+                    if not rows:
+                        continue
+                else:
+                    rows = range(len(part))
+                if row_ok is not None:
+                    rows = [r for r in rows if row_ok(r)]
+                    if not rows:
+                        continue
+                leaf_keys = _leaf_keys_for_rows(leaf, columns, rows)
+                if carry_keys is None:
+                    total += n * len(leaf_keys)
+                    out_keys.extend([base + key for key in leaf_keys])
+                else:
+                    total += len(carry_keys) * len(leaf_keys)
+                    out_keys.extend(
+                        [carry + key for carry in carry_keys for key in leaf_keys]
+                    )
+            else:
+                # Slot checks at the leaf: per-batch-row filtering.
+                if probe_kind == PROBE_SLOT:
+                    index_get = part.index(leaf.probe_position).get
+                    probe_col = cols[leaf.probe_slot]
+                    candidates = None
+                else:
+                    if probe_kind == PROBE_CONST:
+                        candidates = part.index(leaf.probe_position).get(leaf.probe_code)
+                        if not candidates:
+                            continue
+                    else:
+                        candidates = range(len(part))
+                    if row_ok is not None:
+                        candidates = [r for r in candidates if row_ok(r)]
+                        if not candidates:
+                            continue
+                check_cols = [(columns[pos], cols[slot]) for pos, slot in leaf.slot_checks]
+                for i in range(n):
+                    if candidates is None:
+                        rows = index_get(probe_col[i])
+                        if rows is None:
+                            continue
+                        if row_ok is not None:
+                            rows = [r for r in rows if row_ok(r)]
+                    else:
+                        rows = candidates
+                    for column, batch_col in check_cols:
+                        expected = batch_col[i]
+                        rows = [r for r in rows if column[r] == expected]
+                        if not rows:
+                            break
+                    if not rows:
+                        continue
+                    leaf_keys = _leaf_keys_for_rows(leaf, columns, rows)
+                    total += len(leaf_keys)
+                    carry = base if carry_keys is None else carry_keys[i]
+                    out_keys.extend([carry + key for key in leaf_keys])
+        fresh = set(out_keys)
+
+    # `difference` (unlike `-=`, which always walks its argument) picks the
+    # cheaper side to iterate — on deep recursions the fresh set is tiny and
+    # the accumulated key sets are the whole model, so this is the difference
+    # between O(round) and O(model) dedup per round.
+    if bucket:
+        fresh = fresh.difference(bucket)
+    for keys in existing_sets:
+        if keys and fresh:
+            fresh = fresh.difference(keys)
+    new = len(fresh)
+    if new:
+        bucket |= fresh
+    return total, new
+
+
+def _run_sequence(sequence: _BatchSequence, working, delta, bucket, existing_sets):
+    """Run one lowered order to completion; returns (firings, new)."""
+    if sequence.leaf is None:
+        # Empty body: exactly one firing of the ground head key.
+        key = sequence.ground_key
+        if key not in bucket and not any(key in keys for keys in existing_sets):
+            bucket.add(key)
+            return 1, 1
+        return 1, 0
+    cols: Dict[int, list] = {}
+    n = 1
+    for step in sequence.steps:
+        cols, n = _run_step(step, _step_parts(step, working, delta), cols, n)
+        if not n:
+            return 0, 0
+    leaf = sequence.leaf
+    return _run_leaf(leaf, _step_parts(leaf, working, delta), cols, n, bucket, existing_sets)
+
+
+# ----------------------------------------------------------------------
+# Rule firing (the batch counterparts of base.fire_rule / fire_rule_delta)
+# ----------------------------------------------------------------------
+def _fire_static(batch: BatchKernel, working, bucket, statistics) -> None:
+    predicate = batch.kernel.rule.head.predicate
+    static, _ = batch.sequences(working.table)
+    existing = working.key_sets(predicate, batch.head_arity)
+    firings, new = _run_sequence(static, working, None, bucket, existing)
+    statistics.record_batch(predicate, firings, new)
+
+
+def _fire_delta(
+    batch: BatchKernel, rule, working, delta, delta_predicates, bucket, statistics
+) -> None:
+    predicate = rule.head.predicate
+    _, variants = batch.sequences(working.table)
+    existing = working.key_sets(predicate, batch.head_arity)
+    for position in batch.kernel.delta_positions:
+        if rule.body[position].predicate not in delta_predicates:
+            continue
+        firings, new = _run_sequence(
+            variants[position], working, delta, bucket, existing
+        )
+        statistics.record_batch(predicate, firings, new)
+
+
+def _commit(working: _BatchWorking, buckets, head_arities, build_delta: bool):
+    """Unpack each bucket's fresh keys into columns and append them.
+
+    Returns ``(delta groups, total added)``; the delta groups feed the
+    next semi-naive round (``build_delta=False`` for the naive engine,
+    which re-scans the full model instead).
+    """
+    delta: Dict[str, Dict[int, ColumnarRelation]] = {}
+    added = 0
+    for predicate, bucket in buckets.items():
+        if not bucket:
+            continue
+        keys_list = list(bucket)
+        arities = head_arities.get(predicate)
+        per_arity: Dict[int, List[int]] = {}
+        if arities is not None and len(arities) == 1:
+            (arity,) = arities
+            per_arity[arity] = keys_list
+        else:
+            for key in keys_list:
+                arity = (key.bit_length() - 1) // KEY_BITS if key else 0
+                per_arity.setdefault(arity, []).append(key)
+        groups: Dict[int, ColumnarRelation] = {}
+        for arity, keys in per_arity.items():
+            columns = [
+                [(key >> shift) & _KEY_MASK for key in keys]
+                for shift in (KEY_BITS * (arity - 1 - j) for j in range(arity))
+            ]
+            working.local_group(predicate, arity).extend_columns(columns, keys)
+            if build_delta:
+                group = ColumnarRelation(arity)
+                group.extend_columns(columns, keys)
+                groups[arity] = group
+        if build_delta and groups:
+            delta[predicate] = groups
+        added += len(keys_list)
+    return delta, added
+
+
+def _decode_idb(working: _BatchWorking, database, idb_predicates) -> Database:
+    """The derived IDB relations decoded back to plain value tuples.
+
+    Mirrors the tuple engines' ``working.restrict(idb_predicates)``: the
+    input database's relations under IDB names ride along, and only
+    non-empty relations appear.
+    """
+    values = working.table.values()
+    relations: Dict[str, Set[Tuple]] = {}
+    for predicate in idb_predicates:
+        tuples = set(database.relation(predicate))
+        local = working.local.get(predicate)
+        if local:
+            for group in local.values():
+                if group.arity == 0:
+                    if group.keys:
+                        tuples.add(())
+                else:
+                    tuples.update(
+                        zip(*[map(values.__getitem__, column) for column in group.columns])
+                    )
+        if tuples:
+            relations[predicate] = tuples
+    return Database.adopt(relations)
+
+
+# ----------------------------------------------------------------------
+# Fixpoint drivers (mirror engine/seminaive.py and engine/naive.py)
+# ----------------------------------------------------------------------
+def _load_facts_seminaive(program, working, statistics):
+    fact_rules, _ = split_rules(program)
+    for rule in fact_rules:
+        statistics.record_firing()
+        is_new = working.add_fact_row(rule.head.predicate, rule.head.as_fact_tuple())
+        statistics.record_fact(rule.head.predicate, is_new)
+
+
+def _stratum_kernels(plan, stratum):
+    return [(rule, plan.kernel(rule).batch_kernel()) for rule in stratum.rules]
+
+
+def _head_arities(plan) -> Dict[str, Set[int]]:
+    arities: Dict[str, Set[int]] = {}
+    for stratum in plan.strata:
+        for rule in stratum.rules:
+            arities.setdefault(rule.head.predicate, set()).add(len(rule.head.terms))
+    return arities
+
+
+def evaluate_seminaive(
+    program, database, plan, statistics, max_iterations: Optional[int]
+) -> EvaluationResult:
+    """The semi-naive fixpoint over columnar state (statistics-identical).
+
+    Dispatches to the NumPy vector lane when the program's head relations
+    fit 64-bit packed keys (see :mod:`repro.datalog.columnar.vector`);
+    otherwise runs the packed-bigint lane below, which handles any arity.
+    """
+    from repro.datalog.columnar import vector
+
+    if vector.supported(plan, database.columnar_store().table, program):
+        return vector.evaluate_seminaive(
+            program, database, plan, statistics, max_iterations
+        )
+    idb_predicates = program.idb_predicates()
+    working = _BatchWorking(database)
+    _load_facts_seminaive(program, working, statistics)
+
+    def check_budget() -> None:
+        if max_iterations is not None and statistics.iterations > max_iterations:
+            raise EvaluationError(
+                f"semi-naive evaluation exceeded {max_iterations} iterations"
+            )
+
+    head_arities = _head_arities(plan)
+    for stratum in plan.strata:
+        statistics.record_stratum()
+        label = stratum.label
+        kernels = _stratum_kernels(plan, stratum)
+
+        statistics.record_iteration(label)
+        check_budget()
+        buckets: Dict[str, set] = {}
+        for rule, batch in kernels:
+            bucket = buckets.setdefault(rule.head.predicate, set())
+            _fire_static(batch, working, bucket, statistics)
+        delta, added = _commit(working, buckets, head_arities, build_delta=True)
+
+        if not stratum.recursive:
+            continue
+
+        while added:
+            statistics.record_iteration(label)
+            check_budget()
+            buckets = {}
+            delta_predicates = set(delta)
+            for rule, batch in kernels:
+                bucket = buckets.setdefault(rule.head.predicate, set())
+                _fire_delta(
+                    batch, rule, working, delta, delta_predicates, bucket, statistics
+                )
+            delta, added = _commit(working, buckets, head_arities, build_delta=True)
+
+    idb_facts = _decode_idb(working, database, idb_predicates)
+    return EvaluationResult(program, database, idb_facts, statistics)
+
+
+def evaluate_naive(
+    program, database, plan, statistics, max_iterations: Optional[int]
+) -> EvaluationResult:
+    """The naive fixpoint over columnar state (statistics-identical).
+
+    Same lane dispatch as :func:`evaluate_seminaive`.
+    """
+    from repro.datalog.columnar import vector
+
+    if vector.supported(plan, database.columnar_store().table, program):
+        return vector.evaluate_naive(
+            program, database, plan, statistics, max_iterations
+        )
+    working = _BatchWorking(database)
+    fact_rules, _ = split_rules(program)
+    for rule in fact_rules:
+        is_new = working.add_fact_row(rule.head.predicate, rule.head.as_fact_tuple())
+        statistics.record_firing()
+        statistics.record_fact(rule.head.predicate, is_new)
+
+    head_arities = _head_arities(plan)
+    for stratum in plan.strata:
+        statistics.record_stratum()
+        kernels = _stratum_kernels(plan, stratum)
+        changed = True
+        while changed:
+            statistics.record_iteration(stratum.label)
+            if max_iterations is not None and statistics.iterations > max_iterations:
+                raise EvaluationError(
+                    f"naive evaluation exceeded {max_iterations} iterations"
+                )
+            buckets: Dict[str, set] = {}
+            for rule, batch in kernels:
+                bucket = buckets.setdefault(rule.head.predicate, set())
+                _fire_static(batch, working, bucket, statistics)
+            _, added = _commit(working, buckets, head_arities, build_delta=False)
+            changed = added > 0
+            if not stratum.recursive:
+                break
+
+    idb_facts = _decode_idb(working, database, program.idb_predicates())
+    return EvaluationResult(program, database, idb_facts, statistics)

@@ -1,0 +1,45 @@
+"""Deferred decoding of columnar results back into value tuples.
+
+The batch lanes finish an evaluation holding derived rows as intern-code
+columns.  Materialising those into Python value tuples costs a dict/zip
+pass over the whole model — often a third of a short evaluation — yet
+many callers never read ``idb_facts`` at all (they re-evaluate, or read
+only ``statistics``).  :class:`LazyDecodedDatabase` keeps the existing
+``EvaluationResult`` contract (``idb_facts`` *is* a
+:class:`~repro.datalog.database.Database`) while paying for decoding only
+on first access: the relations mapping is produced by a thunk the first
+time any reader touches ``_relations``.
+
+Every public ``Database`` operation begins by reading ``self._relations``
+(a data-descriptor property here), so materialisation is transparent to
+equality checks, snapshots, copies, probes, and mutation alike.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Set, Tuple
+
+from repro.datalog.database import Database
+
+
+class LazyDecodedDatabase(Database):
+    """A database whose relation sets decode from columns on first read."""
+
+    @property
+    def _relations(self) -> Dict[str, Set[Tuple]]:
+        thunk = self.__dict__.get("_decode_thunk")
+        if thunk is not None:
+            self.__dict__["_decode_thunk"] = None
+            self.__dict__["_relations_store"] = thunk()
+        return self.__dict__["_relations_store"]
+
+    @_relations.setter
+    def _relations(self, value: Dict[str, Set[Tuple]]) -> None:
+        self.__dict__["_relations_store"] = value
+
+    @classmethod
+    def defer(cls, thunk: Callable[[], Dict[str, Set[Tuple]]]) -> "LazyDecodedDatabase":
+        """Wrap *thunk* (returning adopt-style relation sets) lazily."""
+        database = cls()
+        database.__dict__["_decode_thunk"] = thunk
+        return database

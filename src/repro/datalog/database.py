@@ -230,10 +230,27 @@ def _group_facts(facts: Iterable) -> Dict[str, Set[Tuple]]:
     return grouped
 
 
+#: Storage layouts a :class:`Database` can advertise.  ``tuple`` is the
+#: classic dict-of-sets layout; ``columnar`` additionally maintains an
+#: interned columnar mirror (:mod:`repro.datalog.columnar`) and signals
+#: the bottom-up engines to evaluate through the batch kernels.  The
+#: tuple relations stay the source of truth in both layouts, so every
+#: existing contract — snapshots, indexes, ``probe()``,
+#: ``relation_view()``, overlays — holds unchanged.
+LAYOUTS = ("tuple", "columnar")
+
+
 class Database:
     """A mutable finite structure: predicate name -> set of tuples."""
 
-    def __init__(self, relations: Optional[Mapping[str, Iterable[Tuple]]] = None):
+    def __init__(
+        self,
+        relations: Optional[Mapping[str, Iterable[Tuple]]] = None,
+        *,
+        layout: str = "tuple",
+    ):
+        if layout not in LAYOUTS:
+            raise ValueError(f"unknown layout {layout!r}; expected one of {LAYOUTS}")
         self._relations: Dict[str, Set[Tuple]] = {}
         # predicate -> cached frozenset snapshot (dropped on mutation)
         self._snapshots: Dict[str, FrozenSet[Tuple]] = {}
@@ -242,6 +259,9 @@ class Database:
         # bumped on every mutation; lets caches (e.g. QuerySession results)
         # detect that the data changed underneath them
         self._version = 0
+        self._layout = layout
+        # lazily built columnar mirror (repro.datalog.columnar.ColumnarStore)
+        self._columnar = None
         if relations:
             for name, tuples in relations.items():
                 self._relations[name] = {tuple(t) for t in tuples}
@@ -287,8 +307,13 @@ class Database:
         before Python-level iteration.  An entry a reader adds mid-copy is
         simply absent from the clone and rebuilt there lazily.
         """
-        clone = Database()
+        clone = Database(layout=self._layout)
         clone._relations = {name: set(tuples) for name, tuples in list(self._relations.items())}
+        if self._columnar is not None:
+            # Share the intern table so codes stay stable across copies
+            # (append-only, so the clone can never reassign them); the
+            # clone re-encodes relations lazily on first columnar use.
+            clone._columnar = self._columnar.fork(clone)
         # Carry the mutation counter forward: a copy that restarted at 0
         # would make version-derived observables (e.g. the service's
         # ``database_version`` statistic, which reads the *current* snapshot
@@ -317,6 +342,36 @@ class Database:
         return OverlayDatabase(self)
 
     # ------------------------------------------------------------------
+    # Layout / columnar mirror
+    # ------------------------------------------------------------------
+    @property
+    def layout(self) -> str:
+        """The storage layout this database advertises (``tuple``/``columnar``)."""
+        return self._layout
+
+    def with_layout(self, layout: str) -> "Database":
+        """A deep copy of this database under another layout."""
+        if layout not in LAYOUTS:
+            raise ValueError(f"unknown layout {layout!r}; expected one of {LAYOUTS}")
+        clone = self.copy()
+        clone._layout = layout
+        if layout == "tuple":
+            clone._columnar = None
+        return clone
+
+    def columnar_store(self):
+        """The interned columnar mirror (built lazily, maintained on mutation)."""
+        if self._columnar is None:
+            from repro.datalog.columnar.store import ColumnarStore
+
+            self._columnar = ColumnarStore(self)
+        return self._columnar
+
+    def columnar_parts(self, predicate: str):
+        """Columnar arity groups backing *predicate* (base-to-local order)."""
+        return self.columnar_store().parts(predicate)
+
+    # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def _note_added(self, predicate: str, values: Tuple) -> None:
@@ -328,6 +383,8 @@ class Database:
             for position, index in indexes.items():
                 if position < len(values):
                     index.setdefault(values[position], []).append(values)
+        if self._columnar is not None:
+            self._columnar.note_added(predicate, (values,))
 
     def _note_added_bulk(self, predicate: str, fresh: Iterable[Tuple]) -> None:
         """Snapshot/index maintenance for a grouped insert (no version bump).
@@ -344,6 +401,8 @@ class Database:
                 for values in fresh:
                     if position < len(values):
                         index.setdefault(values[position], []).append(values)
+        if self._columnar is not None:
+            self._columnar.note_added(predicate, fresh)
 
     def add_fact(self, predicate: str, values: Tuple) -> bool:
         """Add a tuple to a relation; return ``True`` if it was new."""
@@ -437,6 +496,10 @@ class Database:
                                 pass
                             if not bucket:
                                 del index[values[position]]
+        if self._columnar is not None:
+            # Columnar groups are append-only; a retraction drops the
+            # predicate's encoding and the next columnar use re-encodes.
+            self._columnar.invalidate(predicate)
 
     def remove_fact(self, predicate: str, values: Tuple) -> bool:
         """Remove a tuple from a relation; return ``True`` if it was present."""
@@ -493,6 +556,8 @@ class Database:
         self._relations.pop(predicate, None)
         self._snapshots.pop(predicate, None)
         self._indexes.pop(predicate, None)
+        if self._columnar is not None:
+            self._columnar.invalidate(predicate)
 
     # ------------------------------------------------------------------
     # Access
@@ -707,6 +772,31 @@ class OverlayDatabase(Database):
     def base(self) -> Database:
         """The database this overlay reads through to."""
         return self._base
+
+    @property
+    def layout(self) -> str:
+        """Overlays inherit the base's layout (the engines key off this)."""
+        return self._base.layout
+
+    def columnar_store(self):
+        """The overlay's local mirror, interning through the base's table.
+
+        Sharing the base's :class:`~repro.datalog.columnar.InternTable`
+        is what lets a prepared query's seed facts intern through the
+        overlay: their codes land in the same space as the base EDB's, so
+        batch joins across base and local parts compare plain ints.
+        """
+        if self._columnar is None:
+            from repro.datalog.columnar.store import ColumnarStore
+
+            self._columnar = ColumnarStore(self, table=self._base.columnar_store().table)
+        return self._columnar
+
+    def columnar_parts(self, predicate: str):
+        base_parts = self._base.columnar_parts(predicate)
+        if not self._relations.get(predicate):
+            return base_parts
+        return base_parts + self.columnar_store().parts(predicate)
 
     # ------------------------------------------------------------------
     # Mutation (local side only)

@@ -250,6 +250,7 @@ class RuleKernel:
         "_head_builder",
         "_static_runner",
         "_delta_runners",
+        "_batch",
     )
 
     def __init__(
@@ -273,11 +274,26 @@ class RuleKernel:
             position: _compile_steps(steps, self._head_builder)
             for position, steps in delta_steps.items()
         }
+        self._batch = None
 
     @property
     def delta_positions(self) -> Tuple[int, ...]:
         """Original body positions that have a compiled delta variant."""
         return tuple(self.delta_steps)
+
+    def batch_kernel(self):
+        """The columnar lowering of this kernel's step programs.
+
+        Same steps, same slot numbering, same delta variants — but each
+        step runs over a whole batch of intern-code columns instead of one
+        tuple at a time (see :mod:`repro.datalog.columnar.batch`).  Built
+        lazily so tuple-layout evaluations never pay for it.
+        """
+        if self._batch is None:
+            from repro.datalog.columnar.batch import BatchKernel
+
+            self._batch = BatchKernel(self)
+        return self._batch
 
     def execute_static(self, database, emit: Callable[[Tuple], None]) -> None:
         """Stream the static order's head-value firings into *emit*.

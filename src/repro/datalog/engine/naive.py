@@ -65,14 +65,9 @@ def _evaluate(
     """
     program.validate()
     statistics = EvaluationStatistics()
-    working = database.copy()
 
-    fact_rules, _ = split_rules(program)
-    for rule in fact_rules:
-        is_new = working.add_fact(rule.head.predicate, rule.head.as_fact_tuple())
-        statistics.record_firing()
-        statistics.record_fact(rule.head.predicate, is_new)
-
+    # Plan first (it reads the *input* database, not the working copy) so a
+    # columnar-layout database can take the batch path before any tuple work.
     if plan is not None:
         statistics.record_plan(cache_hit=True)
     elif planner is not None:
@@ -80,6 +75,20 @@ def _evaluate(
     else:
         plan = compile_program_plan(program, database)
         statistics.record_plan(cache_hit=False)
+
+    if compiled and getattr(database, "layout", "tuple") == "columnar":
+        from repro.datalog.columnar.batch import evaluate_naive, plan_supported
+
+        if plan_supported(plan):
+            return evaluate_naive(program, database, plan, statistics, max_iterations)
+
+    working = database.copy()
+
+    fact_rules, _ = split_rules(program)
+    for rule in fact_rules:
+        is_new = working.add_fact(rule.head.predicate, rule.head.as_fact_tuple())
+        statistics.record_firing()
+        statistics.record_fact(rule.head.predicate, is_new)
 
     for stratum in plan.strata:
         statistics.record_stratum()

@@ -183,8 +183,8 @@ class ProgramPlan:
 # ----------------------------------------------------------------------
 # Ordering heuristic
 # ----------------------------------------------------------------------
-def _probe_hint(atom: Atom, bound: Set[Variable]) -> Optional[str]:
-    """How :func:`candidate_tuples` will probe *atom* under *bound*, if at all.
+def _probe_position(atom: Atom, bound: Set[Variable]) -> Optional[int]:
+    """The position :func:`candidate_tuples` will probe under *bound*, if any.
 
     Mirrors its search exactly: the first argument (in term order) that is a
     constant or an already-bound variable is the probe column.  Parameter
@@ -193,13 +193,44 @@ def _probe_hint(atom: Atom, bound: Set[Variable]) -> Optional[str]:
     is what lets a prepared query reuse one plan for every binding.
     """
     for position, term in enumerate(atom.terms):
-        if isinstance(term, Constant):
-            return f"{atom.predicate}[{position}]={term.value}"
-        if isinstance(term, Parameter):
-            return f"{atom.predicate}[{position}]=${term.name}"
+        if isinstance(term, (Constant, Parameter)):
+            return position
         if isinstance(term, Variable) and term in bound:
-            return f"{atom.predicate}[{position}]={term.name}"
+            return position
     return None
+
+
+def _probe_hint(atom: Atom, bound: Set[Variable]) -> Optional[str]:
+    """Human-readable probe description for EXPLAIN output, if probeable."""
+    position = _probe_position(atom, bound)
+    if position is None:
+        return None
+    term = atom.terms[position]
+    if isinstance(term, Constant):
+        return f"{atom.predicate}[{position}]={term.value}"
+    if isinstance(term, Parameter):
+        return f"{atom.predicate}[{position}]=${term.name}"
+    return f"{atom.predicate}[{position}]={term.name}"
+
+
+def _probe_estimate(
+    atom: Atom,
+    position: Optional[int],
+    cardinality: int,
+    column_stats: Optional[Dict[str, Dict[int, int]]],
+) -> int:
+    """Expected rows per probe hit: cardinality over the column's distincts.
+
+    Without column statistics (tuple layout, or an IDB relation that has no
+    columns yet) the estimate stays the whole-relation cardinality — the
+    pre-columnar behaviour.
+    """
+    if position is None or not column_stats:
+        return cardinality
+    distinct = column_stats.get(atom.predicate, {}).get(position, 0)
+    if distinct <= 0:
+        return cardinality
+    return max(1, cardinality // distinct)
 
 
 def order_body(
@@ -207,14 +238,18 @@ def order_body(
     estimates: Dict[str, int],
     bound: Optional[Set[Variable]] = None,
     first: Optional[int] = None,
+    column_stats: Optional[Dict[str, Dict[int, int]]] = None,
 ) -> Tuple[int, ...]:
     """Greedy join order over *body*: probeable atoms first, smallest next.
 
     At every step the next atom is the one minimising
-    ``(not probeable, cardinality estimate, unbound variable count, original
+    ``(not probeable, row estimate, unbound variable count, original
     position)`` given the variables bound so far; *first* pins an atom to
-    the front (the semi-naive delta atom).  Returns original body positions
-    in execution order.
+    the front (the semi-naive delta atom).  The row estimate is the
+    relation cardinality, refined for probeable atoms by *column_stats*
+    (per-position distinct counts from a columnar-layout database) to the
+    expected rows per probe hit.  Returns original body positions in
+    execution order.
     """
     bound_vars: Set[Variable] = set(bound) if bound else set()
     order: List[int] = []
@@ -228,11 +263,13 @@ def order_body(
 
         def cost(position: int) -> Tuple[int, int, int, int]:
             atom = body[position]
-            probeable = _probe_hint(atom, bound_vars) is not None
+            probe_position = _probe_position(atom, bound_vars)
+            cardinality = estimates.get(atom.predicate, 0)
+            estimate = _probe_estimate(atom, probe_position, cardinality, column_stats)
             unbound = sum(1 for v in atom.variables() if v not in bound_vars)
             return (
-                0 if probeable else 1,
-                estimates.get(atom.predicate, 0),
+                0 if probe_position is not None else 1,
+                estimate,
                 unbound,
                 position,
             )
@@ -249,6 +286,7 @@ def _steps_for(
     order: Tuple[int, ...],
     estimates: Dict[str, int],
     delta_position: Optional[int] = None,
+    column_stats: Optional[Dict[str, Dict[int, int]]] = None,
 ) -> Tuple[AtomStep, ...]:
     """Annotate an ordering with the access path each step will use."""
     bound: Set[Variable] = set()
@@ -259,8 +297,10 @@ def _steps_for(
         if position == delta_position:
             steps.append(AtomStep(position, atom, "delta", None, estimate))
         else:
+            probe_position = _probe_position(atom, bound)
             hint = _probe_hint(atom, bound)
             access = "probe" if hint is not None else "scan"
+            estimate = _probe_estimate(atom, probe_position, estimate, column_stats)
             steps.append(AtomStep(position, atom, access, hint, estimate))
         bound.update(atom.variables())
     return tuple(steps)
@@ -271,6 +311,7 @@ def plan_rule(
     initial_estimates: Dict[str, int],
     steady_estimates: Optional[Dict[str, int]] = None,
     delta_predicates: FrozenSet[str] = frozenset(),
+    column_stats: Optional[Dict[str, Dict[int, int]]] = None,
 ) -> JoinPlan:
     """Compile the :class:`JoinPlan` for one rule.
 
@@ -283,13 +324,17 @@ def plan_rule(
     """
     if steady_estimates is None:
         steady_estimates = initial_estimates
-    order = order_body(rule.body, initial_estimates)
-    steps = _steps_for(rule.body, order, initial_estimates)
+    order = order_body(rule.body, initial_estimates, column_stats=column_stats)
+    steps = _steps_for(rule.body, order, initial_estimates, column_stats=column_stats)
     variants = []
     for position, atom in enumerate(rule.body):
         if atom.predicate in delta_predicates:
-            variant_order = order_body(rule.body, steady_estimates, first=position)
-            variant_steps = _steps_for(rule.body, variant_order, steady_estimates, position)
+            variant_order = order_body(
+                rule.body, steady_estimates, first=position, column_stats=column_stats
+            )
+            variant_steps = _steps_for(
+                rule.body, variant_order, steady_estimates, position, column_stats
+            )
             variants.append(DeltaVariant(position, variant_order, variant_steps))
     head_spec = tuple(
         (term, None) if isinstance(term, Variable) else (None, term.value)
@@ -330,6 +375,30 @@ def cardinality_estimates(program: Program, database: Database) -> Dict[str, int
     return estimates
 
 
+def column_statistics(
+    program: Program, database: Database
+) -> Optional[Dict[str, Dict[int, int]]]:
+    """Per-position distinct-code counts for a columnar-layout database.
+
+    Tuple-layout databases return ``None`` — their plans are chosen exactly
+    as before this statistic existed, so plan shapes (and EXPLAIN output)
+    only change where the columnar mirror actually provides the numbers.
+    Only EDB predicates report: IDB relations have no columns at plan time.
+    """
+    if getattr(database, "layout", "tuple") != "columnar":
+        return None
+    idb = program.idb_predicates()
+    store = database.columnar_store()
+    stats: Dict[str, Dict[int, int]] = {}
+    for predicate in program.predicates():
+        if predicate in idb:
+            continue
+        distincts = store.column_distincts(predicate)
+        if distincts:
+            stats[predicate] = distincts
+    return stats or None
+
+
 def compile_program_plan(
     program: Program, database: Database, *, all_deltas: bool = False
 ) -> ProgramPlan:
@@ -348,6 +417,7 @@ def compile_program_plan(
     proper_rules = tuple(rule for rule in program.rules if not rule.is_fact())
     graph = dependency_graph(program)
     estimates = cardinality_estimates(program, database)
+    column_stats = column_statistics(program, database)
 
     strata: List[Stratum] = []
     plans: Dict[Rule, JoinPlan] = {}
@@ -376,7 +446,9 @@ def compile_program_plan(
             initial_estimates[predicate] = 0
         for rule in rules:
             if rule not in plans:
-                plans[rule] = plan_rule(rule, initial_estimates, estimates, delta_predicates)
+                plans[rule] = plan_rule(
+                    rule, initial_estimates, estimates, delta_predicates, column_stats
+                )
                 kernels[rule] = compile_rule_kernel(plans[rule])
         strata.append(Stratum(len(strata), predicates, tuple(rules), recursive))
     return ProgramPlan(program, tuple(strata), plans, kernels)

@@ -66,6 +66,24 @@ def _evaluate(
     statistics = EvaluationStatistics()
     idb_predicates = program.idb_predicates()
 
+    # The plan resolves first (it reads the *input* database, never the
+    # working copy, so hoisting it above fact loading changes nothing) so
+    # that a columnar-layout database can route the whole evaluation
+    # through the batch kernels before any tuple-side work happens.
+    if plan is not None:
+        statistics.record_plan(cache_hit=True)
+    elif planner is not None:
+        plan = planner.plan(program, database, statistics=statistics)
+    else:
+        plan = compile_program_plan(program, database)
+        statistics.record_plan(cache_hit=False)
+
+    if compiled and getattr(database, "layout", "tuple") == "columnar":
+        from repro.datalog.columnar.batch import evaluate_seminaive, plan_supported
+
+        if plan_supported(plan):
+            return evaluate_seminaive(program, database, plan, statistics, max_iterations)
+
     working = database.copy()
 
     fact_rules, _ = split_rules(program)
@@ -74,14 +92,6 @@ def _evaluate(
         statistics.record_firing()
         is_new = working.add_fact(rule.head.predicate, values)
         statistics.record_fact(rule.head.predicate, is_new)
-
-    if plan is not None:
-        statistics.record_plan(cache_hit=True)
-    elif planner is not None:
-        plan = planner.plan(program, database, statistics=statistics)
-    else:
-        plan = compile_program_plan(program, database)
-        statistics.record_plan(cache_hit=False)
 
     def check_budget() -> None:
         if max_iterations is not None and statistics.iterations > max_iterations:

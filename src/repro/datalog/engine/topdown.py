@@ -161,15 +161,23 @@ class TopDownEvaluator:
             yield substitution
             return
         atom = body[position]
+        # Both branches iterate in sorted order so the resolution trace —
+        # and with it the firing/duplicate counters — depends only on the
+        # program, goal, and fact *content*.  Raw set/index order varies
+        # with hash-table layout, which `Database.copy()` does not preserve
+        # (a copied set may re-chain collisions), so an unsorted walk makes
+        # statistics differ between a database and its own copy.
         if atom.predicate in self._idb:
             call = _call_of(atom, substitution)
-            answers = set(self._solve(call, active))
+            answers = sorted(self._solve(call, active), key=repr)
             for values in answers:
                 extended = match_atom(atom, values, substitution)
                 if extended is not None:
                     yield from self._solve_body(body, position + 1, extended, active)
         else:
-            for values in candidate_tuples(atom, self.database, substitution):
+            for values in sorted(
+                candidate_tuples(atom, self.database, substitution), key=repr
+            ):
                 extended = match_atom(atom, values, substitution)
                 if extended is not None:
                     yield from self._solve_body(body, position + 1, extended, active)

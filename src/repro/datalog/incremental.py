@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.datalog.atoms import Atom
+from repro.datalog.columnar.relation import arity_of_key, pack_codes, unpack_key
 from repro.datalog.database import Database, OverlayDatabase, _group_facts
 from repro.datalog.engine.base import (
     fire_rule,
@@ -289,7 +290,18 @@ class MaterializedView:
             for stratum in self._plan.strata
             for predicate in stratum.predicates
         )
-        self._counts: Dict[str, Dict[Tuple, int]] = {
+        # Derivation counts for counting predicates.  Over a columnar-layout
+        # model the keys are packed intern-code ints (arity-seeded, so mixed
+        # arities share a dict safely) instead of value tuples — the count
+        # table then stores one machine int per fact and never re-hashes
+        # tuple contents on the per-firing increments; keys decode back to
+        # tuples only at the support()/support_counts() boundaries.
+        self._intern = (
+            self._model.columnar_store().table
+            if self._model.layout == "columnar"
+            else None
+        )
+        self._counts: Dict[str, Dict[object, int]] = {
             predicate: {} for predicate in self._counting_predicates
         }
         self.statistics = EvaluationStatistics()
@@ -348,6 +360,20 @@ class MaterializedView:
         """
         return Database({name: set(tuples) for name, tuples in self._base.items() if tuples})
 
+    def _count_key(self, values: Tuple):
+        """The _counts key for one head tuple (packed int when columnar)."""
+        if self._intern is None:
+            return values
+        intern = self._intern.intern
+        return pack_codes([intern(value) for value in values])
+
+    def _count_values(self, key) -> Tuple:
+        """Decode a _counts key back to the head value tuple."""
+        if self._intern is None:
+            return key
+        value = self._intern.value
+        return tuple(value(code) for code in unpack_key(key, arity_of_key(key)))
+
     def support(self, predicate: str, values: Tuple) -> int:
         """How many supports a fact currently has.
 
@@ -362,7 +388,7 @@ class MaterializedView:
         values = tuple(values)
         based = int(values in self._base.get(predicate, _EMPTY_SET))
         if predicate in self._counting_predicates:
-            return self._counts[predicate].get(values, 0) + based
+            return self._counts[predicate].get(self._count_key(values), 0) + based
         asserted = based + int(
             values in self._program_facts.get(predicate, _EMPTY_SET)
         )
@@ -377,7 +403,10 @@ class MaterializedView:
                 f"{predicate!r} is not maintained by counting (recursive strata "
                 "use Delete-and-Rederive and keep no derivation counts)"
             )
-        return dict(self._counts[predicate])
+        return {
+            self._count_values(key): count
+            for key, count in self._counts[predicate].items()
+        }
 
     def answers(self, goal: Optional[Atom] = None) -> FrozenSet[Tuple]:
         """The goal's answers over the maintained model (always current).
@@ -425,7 +454,8 @@ class MaterializedView:
             if predicate in self._counting_predicates:
                 counts = self._counts[predicate]
                 for values in tuples:
-                    counts[values] = counts.get(values, 0) + 1
+                    key = self._count_key(values)
+                    counts[key] = counts.get(key, 0) + 1
             model.add_relations({predicate: set(tuples)})
         for stratum in self._plan.strata:
             self.statistics.record_stratum()
@@ -457,9 +487,11 @@ class MaterializedView:
                     join_plan.head_values(substitution)
                     for substitution in match_body(rule.body, model, order=join_plan.order)
                 )
+            count_key = self._count_key
             for values in heads:
                 firings += 1
-                counts[values] = counts.get(values, 0) + 1
+                key = count_key(values)
+                counts[key] = counts.get(key, 0) + 1
                 if values not in present and values not in bucket:
                     bucket.add(values)
                     fresh += 1
@@ -650,12 +682,13 @@ class MaterializedView:
             counts = self._counts[predicate]
             bucket = candidates.setdefault(predicate, set())
             for values, count in per_head.items():
-                remaining = counts.get(values, 0) - count
+                key = self._count_key(values)
+                remaining = counts.get(key, 0) - count
                 self.maintenance.count_decrements += count
                 if remaining > 0:
-                    counts[values] = remaining
+                    counts[key] = remaining
                 else:
-                    counts.pop(values, None)
+                    counts.pop(key, None)
                     bucket.add(values)
         for predicate, tuples in candidates.items():
             counts = self._counts[predicate]
@@ -664,7 +697,7 @@ class MaterializedView:
             leaving = {
                 values
                 for values in tuples
-                if counts.get(values, 0) == 0
+                if counts.get(self._count_key(values), 0) == 0
                 and values not in base
                 and values not in pinned
                 and model.contains(predicate, values)
@@ -923,7 +956,8 @@ class MaterializedView:
             present = model.relation_view(predicate)
             bucket = buckets.setdefault(predicate, set())
             for values, count in per_head.items():
-                counts[values] = counts.get(values, 0) + count
+                key = self._count_key(values)
+                counts[key] = counts.get(key, 0) + count
                 self.maintenance.count_increments += count
                 if values not in present and values not in bucket:
                     bucket.add(values)

@@ -542,6 +542,16 @@ class PreparedQuery:
     ) -> EvaluationResult:
         engine_object = self._resolve_engine(engine)
         seeds = parameter_seed_rules(bindings)
+        if getattr(self._database, "layout", "tuple") == "columnar":
+            # Intern the seed constants through the *shared* base table now,
+            # not inside the engine: every binding's overlay forks the same
+            # append-only table, so codes assigned here stay stable across
+            # bindings and concurrent executions take the intern lock for a
+            # handful of already-present values at most.
+            table = self._database.columnar_store().table
+            for rule in seeds:
+                for value in rule.head.as_fact_tuple():
+                    table.intern(value)
         exec_program = Program(self._runtime.rules + seeds, bound_goal)
         if getattr(engine_object, "supports_planner", False):
             return engine_object.evaluate(

@@ -125,7 +125,97 @@ PROGRAM_POOL = [
         t(X, Y) :- t(X, Z), e(Z, Y).
         """
     ),
+    # Self-join shape: Z threads through THREE body atoms (t, e, f), so one
+    # batch of candidate bindings joins against two more relations on the
+    # same column before reaching the head.  Batch kernels dedup candidate
+    # rows between such probes; nothing else in the pool repeats a variable
+    # across more than two atoms, so this is the shape that fuzzes it.
+    parse_program(
+        """
+        ?t(X, Y)
+        t(X, Y) :- e(X, Y).
+        t(X, Y) :- t(X, Z), e(X, Z), f(Z, Y).
+        """
+    ),
 ]
 
 program_indexes = st.sampled_from(range(len(PROGRAM_POOL)))
 pool_programs = st.sampled_from(PROGRAM_POOL)
+
+
+# ----------------------------------------------------------------------
+# Wider-arity EDBs over a larger mixed domain (columnar differential)
+# ----------------------------------------------------------------------
+# The columnar lanes split by head arity (<=2 rows ride the vector lane,
+# 3-4 the packed-bigint lane), so the differential harness needs EDBs
+# whose programs exercise both — plus a domain big and mixed enough that
+# intern codes stop being tiny consecutive ints.
+wide_values = st.one_of(
+    st.integers(min_value=0, max_value=30),
+    st.sampled_from(["u", "v", "w", "deep", "wide"]),
+)
+
+
+@st.composite
+def wide_databases(draw):
+    """An EDB mixing arities: binary e, ternary g, quaternary h."""
+    database = Database()
+    for _ in range(draw(st.integers(min_value=1, max_value=10))):
+        database.add_fact("e", (draw(wide_values), draw(wide_values)))
+    for _ in range(draw(st.integers(min_value=0, max_value=8))):
+        database.add_fact(
+            "g", (draw(wide_values), draw(wide_values), draw(wide_values))
+        )
+    for _ in range(draw(st.integers(min_value=0, max_value=6))):
+        database.add_fact("h", tuple(draw(wide_values) for _ in range(4)))
+    return database
+
+
+@st.composite
+def wide_fact_batches(draw, max_size: int = 4):
+    """Insertion/deletion batches over the wide-arity e/g/h domain."""
+    batch = []
+    for _ in range(draw(st.integers(min_value=0, max_value=max_size))):
+        predicate = draw(st.sampled_from(["e", "g", "h"]))
+        arity = {"e": 2, "g": 3, "h": 4}[predicate]
+        batch.append((predicate, tuple(draw(wide_values) for _ in range(arity))))
+    return batch
+
+
+# Recursive programs whose heads carry arity 3 and 4 (packed-bigint lane)
+# alongside binary projections (vector lane), including a cross-arity join
+# with a repeated variable inside one atom (h(Y, Z, W, W)).
+WIDE_PROGRAM_POOL = [
+    parse_program(
+        """
+        ?j(X, Y, Z)
+        j(X, Y, Z) :- g(X, Y, Z).
+        j(X, Y, Z) :- j(X, Y, W), e(W, Z).
+        """
+    ),
+    parse_program(
+        """
+        ?k(A, B, C, D)
+        k(A, B, C, D) :- h(A, B, C, D).
+        k(A, B, C, D) :- k(A, B, C, W), e(W, D).
+        """
+    ),
+    parse_program(
+        """
+        ?p(X, W)
+        p(X, W) :- g(X, Y, Z), h(Y, Z, W, W).
+        p(X, W) :- p(X, Z), e(Z, W).
+        """
+    ),
+    parse_program(
+        """
+        ?q(X, Z)
+        wide(X, Y, Z, Z) :- g(X, Y, Z).
+        wide(X, Y, Z, W) :- wide(X, Y, Z, V), e(V, W).
+        q(X, W) :- wide(X, Y, Z, W), e(X, Y).
+        """
+    ),
+]
+
+wide_programs = st.sampled_from(WIDE_PROGRAM_POOL)
+wide_program_indexes = st.sampled_from(range(len(WIDE_PROGRAM_POOL)))

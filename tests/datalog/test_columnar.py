@@ -1,0 +1,240 @@
+"""Unit tests for the columnar layout's building blocks.
+
+Mirrors the :mod:`tests.datalog.test_database` coverage one level down:
+:class:`InternTable` round-trips and ordering stability,
+:class:`ColumnarRelation` append/index/key semantics, packed-key helpers,
+the :class:`ColumnarStore` lifecycle behind ``layout="columnar"`` (lazy
+encoding, mutation maintenance, invalidation on retraction, copy/overlay
+sharing), and the lazily decoded result databases the vector lane returns.
+"""
+
+import pytest
+
+from repro.datalog.columnar import (
+    KEY_BITS,
+    ColumnarRelation,
+    InternTable,
+    arity_of_key,
+    pack_codes,
+    unpack_key,
+)
+from repro.datalog.columnar.decode import LazyDecodedDatabase
+from repro.datalog.database import Database
+
+
+class TestInternTable:
+    def test_round_trips_mixed_value_kinds(self):
+        table = InternTable()
+        constants = ["a", 7, -3, 2.5, None, b"bytes", ("pair", 1), True]
+        codes = [table.intern(value) for value in constants]
+        assert codes == list(range(len(constants)))
+        for value, code in zip(constants, codes):
+            assert table.value(code) == value
+            assert table.lookup(value) == code
+            assert value in table
+
+    def test_interning_is_idempotent(self):
+        table = InternTable()
+        assert table.intern("x") == table.intern("x") == 0
+        assert len(table) == 1
+
+    def test_equal_values_share_a_code_like_set_membership(self):
+        # The tuple layout stores facts in sets where 1 == True == 1.0;
+        # the table must key codes the same way or columnar membership
+        # would be stricter than tuple membership.
+        table = InternTable()
+        assert table.intern(1) == table.intern(True) == table.intern(1.0)
+        assert table.value(0) == 1  # first-seen representative wins
+
+    def test_lookup_of_unseen_value_is_none(self):
+        assert InternTable().lookup("missing") is None
+
+    def test_intern_many_preserves_order(self):
+        table = InternTable()
+        assert table.intern_many(["b", "a", "b"]) == [0, 1, 0]
+        assert table.values() == ["b", "a"]
+
+    def test_codes_stay_stable_across_database_copy(self):
+        database = Database({"e": [("a", "b"), ("b", "c")]}).with_layout("columnar")
+        table = database.columnar_store().table
+        database.columnar_parts("e")  # encode: assigns codes
+        before = {value: table.lookup(value) for value in ("a", "b", "c")}
+        clone = database.copy()
+        clone.add_fact("e", ("c", "d"))
+        clone.columnar_parts("e")
+        # The clone shares the table; old codes never move, new values append.
+        assert clone.columnar_store().table is table
+        after = {value: table.lookup(value) for value in ("a", "b", "c")}
+        assert after == before
+        assert table.lookup("d") == len(before)
+
+
+class TestPackedKeys:
+    def test_pack_unpack_round_trip(self):
+        for codes in [(), (0,), (5,), (1, 2), (7, 0, 9), (1, 2, 3, 4)]:
+            key = pack_codes(codes)
+            assert arity_of_key(key) == len(codes)
+            assert unpack_key(key, len(codes)) == tuple(codes)
+
+    def test_arity_seed_prevents_cross_arity_collisions(self):
+        # Without the seed, (5,) and (0, 5) would pack identically.
+        assert pack_codes((5,)) != pack_codes((0, 5))
+        assert pack_codes(()) != pack_codes((0,))
+
+    def test_keys_occupy_disjoint_32_bit_lanes(self):
+        key = pack_codes((3, 4))
+        assert key == (2 << (2 * KEY_BITS)) | (3 << KEY_BITS) | 4
+
+
+class TestColumnarRelation:
+    def test_append_rows_dedups_and_counts_new(self):
+        part = ColumnarRelation(2)
+        assert part.append_rows([(1, 2), (3, 4), (1, 2)]) == 2
+        assert len(part) == 2
+        assert (1, 2) in part and (3, 4) in part and (2, 1) not in part
+        assert part.row(0) == (1, 2) and part.row(1) == (3, 4)
+
+    def test_index_built_lazily_and_maintained_on_append(self):
+        part = ColumnarRelation(2)
+        part.append_rows([(1, 2), (1, 3)])
+        index = part.index(0)
+        assert index == {1: [0, 1]}
+        part.append_rows([(1, 4), (5, 6)])
+        assert part.index(0) is index  # maintained in place, not rebuilt
+        assert index == {1: [0, 1, 2], 5: [3]}
+        assert part.index(1) == {2: [0], 3: [1], 4: [2], 6: [3]}
+
+    def test_distinct_counts_track_mutation(self):
+        part = ColumnarRelation(2)
+        part.append_rows([(1, 2), (1, 3), (4, 3)])
+        assert part.distinct(0) == 2
+        assert part.distinct(1) == 2
+        part.append_rows([(9, 9)])
+        assert part.distinct(0) == 3
+
+    def test_extend_columns_trusts_pre_deduped_input(self):
+        part = ColumnarRelation(2)
+        part.append_rows([(1, 2)])
+        part.index(0)  # build, so the bulk append must maintain it
+        keys = [pack_codes((3, 4)), pack_codes((5, 6))]
+        part.extend_columns(([3, 5], [4, 6]), keys)
+        assert len(part) == 3
+        assert (3, 4) in part and (5, 6) in part
+        assert part.index(0) == {1: [0], 3: [1], 5: [2]}
+
+    def test_zero_arity_relation_holds_at_most_the_empty_row(self):
+        part = ColumnarRelation(0)
+        assert len(part) == 0
+        assert part.append_rows([()]) == 1
+        assert len(part) == 1
+        assert part.append_rows([()]) == 0
+
+
+class TestColumnarStoreLifecycle:
+    def test_layout_round_trip_and_validation(self):
+        database = Database({"e": [(1, 2)]})
+        assert database.layout == "tuple"
+        columnar = database.with_layout("columnar")
+        assert columnar.layout == "columnar"
+        assert columnar == database  # layout is invisible to equality
+        assert columnar.with_layout("tuple").layout == "tuple"
+        with pytest.raises(ValueError, match="unknown layout"):
+            database.with_layout("rowgroup")
+
+    def test_parts_encode_lazily_and_group_by_arity(self):
+        database = Database({"m": [(1,), (1, 2), (3, 4)]}).with_layout("columnar")
+        store = database.columnar_store()
+        assert not store.encoded("m")
+        parts = database.columnar_parts("m")
+        assert store.encoded("m")
+        assert sorted(part.arity for part in parts) == [1, 2]
+        by_arity = {part.arity: part for part in parts}
+        assert len(by_arity[1]) == 1 and len(by_arity[2]) == 2
+
+    def test_encoded_predicate_is_maintained_on_add_fact(self):
+        database = Database({"e": [("a", "b")]}).with_layout("columnar")
+        (part,) = database.columnar_parts("e")
+        database.add_fact("e", ("b", "c"))
+        assert len(part) == 2  # same part object, appended in place
+        table = database.columnar_store().table
+        assert part.row(1) == (table.lookup("b"), table.lookup("c"))
+
+    def test_unencoded_predicates_ignore_mutation_hooks(self):
+        database = Database({"e": [("a", "b")]}).with_layout("columnar")
+        database.add_fact("e", ("b", "c"))  # never encoded: hook is a no-op
+        assert not database.columnar_store().encoded("e")
+        (part,) = database.columnar_parts("e")
+        assert len(part) == 2
+
+    def test_retraction_invalidates_and_reencodes(self):
+        database = Database({"e": [("a", "b"), ("b", "c")]}).with_layout("columnar")
+        database.columnar_parts("e")
+        store = database.columnar_store()
+        database.remove_relation("e")
+        assert not store.encoded("e")
+        database.add_fact("e", ("x", "y"))
+        (part,) = database.columnar_parts("e")
+        assert len(part) == 1
+        # Codes for retracted values survive: the table is append-only.
+        assert store.table.lookup("a") is not None
+
+    def test_column_distincts_report_the_dominant_arity_group(self):
+        database = Database(
+            {"m": [(1, 2), (1, 3), (9,)], "empty": []}
+        ).with_layout("columnar")
+        store = database.columnar_store()
+        assert store.column_distincts("m") == {0: 1, 1: 2}
+        assert store.column_distincts("empty") == {}
+
+
+class TestColumnarOverlay:
+    def test_overlay_inherits_layout_and_shares_the_intern_table(self):
+        base = Database({"e": [("a", "b")]}).with_layout("columnar")
+        overlay = base.overlay()
+        assert overlay.layout == "columnar"
+        assert overlay.columnar_store().table is base.columnar_store().table
+
+    def test_overlay_parts_append_local_groups_after_base(self):
+        base = Database({"e": [("a", "b")]}).with_layout("columnar")
+        base.columnar_parts("e")
+        overlay = base.overlay()
+        assert overlay.columnar_parts("e") == base.columnar_parts("e")
+        overlay.add_fact("e", ("b", "c"))
+        parts = overlay.columnar_parts("e")
+        assert len(parts) == 2
+        assert parts[0] is base.columnar_parts("e")[0]
+        table = base.columnar_store().table
+        assert parts[1].row(0) == (table.lookup("b"), table.lookup("c"))
+        # The base mirror never sees the overlay's local facts.
+        assert len(base.columnar_parts("e")[0]) == 1
+
+    def test_seed_codes_land_in_the_base_code_space(self):
+        base = Database({"e": [("a", "b")]}).with_layout("columnar")
+        base.columnar_parts("e")
+        overlay = base.overlay()
+        overlay.add_fact("seed", ("a",))
+        (part,) = overlay.columnar_parts("seed")
+        # "a" reuses the code the base assigned — no per-overlay domains.
+        assert part.row(0) == (base.columnar_store().table.lookup("a"),)
+
+
+class TestLazyDecodedDatabase:
+    def test_thunk_runs_once_on_first_read(self):
+        calls = []
+
+        def decode():
+            calls.append(1)
+            return {"t": {("a", "b")}}
+
+        database = LazyDecodedDatabase.defer(decode)
+        assert not calls
+        assert database.relation("t") == {("a", "b")}
+        assert database.relation("t") == {("a", "b")}
+        assert calls == [1]
+
+    def test_behaves_as_a_database_after_decoding(self):
+        database = LazyDecodedDatabase.defer(lambda: {"t": {(1, 2)}})
+        assert database == Database({"t": [(1, 2)]})
+        assert database.fact_count() == 1
+        database.add_fact("t", (3, 4))
+        assert database.relation("t") == {(1, 2), (3, 4)}
