@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Context-insensitive Andersen points-to analysis as a Datalog workload.
+
+Program analysis is the classic industrial use of stratified Datalog: the
+four inclusion rules below *are* the analysis, and the engine's fixpoint
+machinery replaces the hand-written worklist solver.  The script runs the
+analysis over a synthetic program (allocations, copies, field stores and
+loads), reports the points-to relation it computes, then uses the new
+language features to summarize it — an aggregate counts each variable's
+points-to set, and stratified negation finds the variables the analysis
+proves reference nothing at all.
+"""
+
+from repro.datalog import get_engine
+from repro.datalog.parser import parse_program
+from repro.datalog.workloads import POINTS_TO, points_to_input
+
+SUMMARY = """
+var(V) :- assign(V, U).
+var(U) :- assign(V, U).
+var(V) :- alloc(V, H).
+var(U) :- store(U, V).
+var(V) :- store(U, V).
+var(V) :- load(V, U).
+var(U) :- load(V, U).
+ptsize(V, count<H>) :- pt(V, H).
+empty(V) :- var(V), not points(V).
+points(V) :- pt(V, H).
+"""
+
+
+def main() -> None:
+    database = points_to_input(40, 260, seed=11)
+    for relation in ("alloc", "assign", "store", "load"):
+        print(f"{relation:>7}: {database.cardinality(relation):>4} statements")
+
+    engine = get_engine("seminaive")
+    analysis = parse_program(POINTS_TO + SUMMARY)
+    analysis.validate()
+    result = engine.evaluate(analysis, database)
+
+    pt = result.relation("pt")
+    hpt = result.relation("hpt")
+    print(f"\npoints-to facts: {len(pt)}  heap points-to facts: {len(hpt)}")
+    print(
+        f"statistics: {result.statistics.facts_derived} facts derived in "
+        f"{result.statistics.iterations} iterations, "
+        f"{result.statistics.strata} strata"
+    )
+
+    sizes = dict(result.relation("ptsize"))
+    widest = sorted(sizes, key=lambda v: (-sizes[v], v))[:5]
+    print("\nwidest points-to sets:")
+    for variable in widest:
+        targets = sorted(h for v, h in pt if v == variable)
+        shown = ", ".join(targets[:6]) + (", ..." if len(targets) > 6 else "")
+        print(f"  {variable:<4} -> {sizes[variable]:>3} objects  {{{shown}}}")
+
+    empty = sorted(v for (v,) in result.relation("empty"))
+    print(f"\nvariables proven to point nowhere: {len(empty)}")
+    print("  " + ", ".join(empty[:12]) + (", ..." if len(empty) > 12 else ""))
+
+
+if __name__ == "__main__":
+    main()

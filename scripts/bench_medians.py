@@ -48,6 +48,11 @@ SERVER_INPROCESS = "test_inprocess_execute_roundtrip"
 SERVER_MIXED = "test_server_mixed_traffic_cycle"
 SERVER_LOAD = "test_server_load_bench"
 
+GRAPH_WORKLOAD_PREFIX = "test_graph_workload["
+GRAPH_GATE_COMPILED_PREFIX = "test_graph_workload_gate_compiled["
+GRAPH_GATE_INTERPRETED_PREFIX = "test_graph_workload_interpreted["
+GRAPH_COLUMNAR_PREFIX = "test_graph_workload_columnar["
+
 INCREMENTAL_MAINTAIN_PREFIX = "test_incremental_maintenance["
 INCREMENTAL_RECOMPUTE_PREFIX = "test_full_recompute["
 INCREMENTAL_SERVICE = (
@@ -160,6 +165,58 @@ def columnar_summary(median_map: dict) -> dict:
     return summary
 
 
+def graph_summary(median_map: dict) -> dict:
+    """The E14 shape: graph-analytics medians and the kernel gate.
+
+    Lifts the timed portfolio (``test_graph_workload[w]``) with its
+    cost-model extras, pairs the gate instances' compiled and interpreted
+    medians, mirrors the columnar lanes, and reports the >=2x gate the
+    ISSUE's acceptance criterion is about.  Empty when the report has no
+    E14 benchmarks.
+    """
+    workloads: dict = {}
+    for name, entry in median_map.items():
+        if name.startswith(GRAPH_WORKLOAD_PREFIX) and name.endswith("]"):
+            label = name[len(GRAPH_WORKLOAD_PREFIX) : -1]
+            workloads[label] = {
+                "median_seconds": entry["median_seconds"],
+                "extra_info": entry["extra_info"],
+            }
+    gates: dict = {}
+    for name, entry in median_map.items():
+        if name.startswith(GRAPH_GATE_COMPILED_PREFIX) and name.endswith("]"):
+            label = name[len(GRAPH_GATE_COMPILED_PREFIX) : -1]
+            gates.setdefault(label, {})["compiled_seconds"] = entry["median_seconds"]
+        elif name.startswith(GRAPH_GATE_INTERPRETED_PREFIX) and name.endswith("]"):
+            label = name[len(GRAPH_GATE_INTERPRETED_PREFIX) : -1]
+            gates.setdefault(label, {})["interpreted_seconds"] = entry["median_seconds"]
+    summary: dict = {"workloads": workloads, "gate_workloads": gates}
+    compiled_total = interpreted_total = 0.0
+    for label, entry in gates.items():
+        compiled = entry.get("compiled_seconds")
+        interpreted = entry.get("interpreted_seconds")
+        if compiled and interpreted:
+            entry["speedup"] = interpreted / compiled
+            compiled_total += compiled
+            interpreted_total += interpreted
+    if compiled_total:
+        summary["gate_speedup"] = interpreted_total / compiled_total
+        summary["meets_2x_gate"] = summary["gate_speedup"] >= 2.0
+    columnar: dict = {}
+    for name, entry in median_map.items():
+        if name.startswith(GRAPH_COLUMNAR_PREFIX) and name.endswith("]"):
+            label = name[len(GRAPH_COLUMNAR_PREFIX) : -1]
+            columnar[label] = {"columnar_seconds": entry["median_seconds"]}
+            timed = workloads.get(label)
+            if timed and timed["median_seconds"]:
+                columnar[label]["speedup"] = (
+                    timed["median_seconds"] / entry["median_seconds"]
+                )
+    if columnar:
+        summary["columnar_workloads"] = columnar
+    return summary
+
+
 def incremental_summary(median_map: dict) -> dict:
     """The E12 shape: per-workload maintenance-vs-recompute speedups.
 
@@ -258,6 +315,9 @@ def main(argv) -> int:
     incremental = incremental_summary(median_map)
     if incremental["workloads"]:
         summary["incremental"] = incremental
+    graph = graph_summary(median_map)
+    if graph["workloads"] or graph["gate_workloads"]:
+        summary["graph"] = graph
     server = server_summary(median_map)
     if server:
         summary["server"] = server
@@ -272,6 +332,12 @@ def main(argv) -> int:
         print(
             f"columnar wide/deep TC speedup {ratio:.1f}x "
             f"(gate >=3x: {columnar['meets_3x_gate']})"
+        )
+    ratio = graph.get("gate_speedup")
+    if ratio is not None:
+        print(
+            f"graph-analytics kernel speedup {ratio:.1f}x "
+            f"(gate >=2x: {graph['meets_2x_gate']})"
         )
     ratio = incremental.get("portfolio_speedup")
     if ratio is not None:

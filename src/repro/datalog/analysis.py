@@ -5,8 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Set, Tuple
 
+from repro.datalog.atoms import NegatedAtom
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
+from repro.datalog.terms import Aggregate
+from repro.errors import UnstratifiableProgramError
 
 
 @dataclass(frozen=True)
@@ -151,10 +154,89 @@ def predicate_usage(program: Program) -> Dict[str, int]:
 def stratification(program: Program) -> List[FrozenSet[str]]:
     """Predicate strata in dependency (bottom-up) order.
 
-    Pure Datalog has no negation, so every program is trivially stratified;
-    the strata returned here are the SCCs of the dependency graph in
+    The strata returned here are the SCCs of the dependency graph in
     topological order, which the semi-naive engine can evaluate one at a
-    time.
+    time.  Negated and aggregate-rule body atoms contribute ordinary
+    dependency edges too, so for a stratified program (see
+    :func:`check_stratified`) this order closes every negated or
+    aggregated predicate strictly before its readers fire.
     """
     graph = dependency_graph(program)
     return graph.strongly_connected_components()
+
+
+def negative_dependency_edges(program: Program) -> Dict[Tuple[str, str], str]:
+    """Dependency edges that must cross a stratum boundary, with their reason.
+
+    An edge ``(p, q)`` is *negative* when some rule with head ``p`` either
+    negates ``q`` in its body (reason ``"negation"``) or has an aggregate
+    head term and uses ``q`` in its body (reason ``"aggregation"`` — the
+    aggregate is a function of ``q``'s closed extension, so the whole body
+    must be strictly lower).  When both apply, negation wins as the label.
+    """
+    edges: Dict[Tuple[str, str], str] = {}
+    for rule in program.rules:
+        head = rule.head.predicate
+        has_aggregate = any(isinstance(term, Aggregate) for term in rule.head.terms)
+        for atom in rule.body:
+            if isinstance(atom, NegatedAtom):
+                edges[(head, atom.predicate)] = "negation"
+            elif has_aggregate:
+                edges.setdefault((head, atom.predicate), "aggregation")
+    return edges
+
+
+def _cycle_through(graph: DependencyGraph, component: FrozenSet[str], source: str, target: str) -> List[str]:
+    """A predicate cycle ``source -> target -> ... -> source`` inside *component*.
+
+    BFS from *target* back to *source*, restricted to the component (both
+    endpoints of a negative intra-component edge lie in one SCC, so such a
+    path always exists).
+    """
+    if target == source:
+        return [source, source]
+    parents: Dict[str, str] = {}
+    frontier = [target]
+    seen = {target}
+    while frontier:
+        node = frontier.pop(0)
+        for successor in sorted(graph.successors(node)):
+            if successor not in component or successor in seen:
+                continue
+            parents[successor] = node
+            if successor == source:
+                path = [source]
+                while path[-1] != target:
+                    path.append(parents[path[-1]])
+                path.reverse()
+                return [source] + path
+            seen.add(successor)
+            frontier.append(successor)
+    return [source, target, source]  # unreachable for a genuine SCC
+
+
+def check_stratified(program: Program) -> None:
+    """Raise :class:`UnstratifiableProgramError` on a cycle through negation.
+
+    A program is stratified when no dependency cycle passes through a
+    negated body literal or through the body of an aggregate rule.  The
+    diagnostic names the offending cycle and the edge that poisons it.
+    """
+    negative = negative_dependency_edges(program)
+    if not negative:
+        return
+    graph = dependency_graph(program)
+    component_of: Dict[str, FrozenSet[str]] = {}
+    for component in graph.strongly_connected_components():
+        for node in component:
+            component_of[node] = component
+    for (source, target), reason in sorted(negative.items()):
+        component = component_of.get(source)
+        if component is None or target not in component:
+            continue
+        cycle = " -> ".join(_cycle_through(graph, component, source, target))
+        raise UnstratifiableProgramError(
+            f"program is not stratifiable: dependency cycle {cycle} passes "
+            f"through {reason} on edge {source} -> {target}; negated and "
+            "aggregated predicates must be fully computed in a lower stratum"
+        )

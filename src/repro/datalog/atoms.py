@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Tuple
 
-from repro.datalog.terms import Constant, Parameter, Term, Variable, make_term
+from repro.datalog.terms import Aggregate, Constant, Parameter, Term, Variable, make_term
 
 
 @dataclass(frozen=True)
@@ -34,9 +34,17 @@ class Atom:
         return all(isinstance(t, Constant) for t in self.terms)
 
     def variables(self) -> Tuple[Variable, ...]:
-        """Variables occurring in the atom, in order of first occurrence."""
+        """Variables occurring in the atom, in order of first occurrence.
+
+        The variable inside an :class:`~repro.datalog.terms.Aggregate` head
+        term counts as an occurrence: safety then falls out of the ordinary
+        head-variable check (the aggregated variable must be bound by a
+        positive body atom).
+        """
         seen = []
         for term in self.terms:
+            if isinstance(term, Aggregate):
+                term = term.variable
             if isinstance(term, Variable) and term not in seen:
                 seen.append(term)
         return tuple(seen)
@@ -73,18 +81,23 @@ class Atom:
                 return value if isinstance(value, Constant) else Constant(value)
             return term
 
-        return Atom(self.predicate, tuple(bind(t) for t in self.terms))
+        return type(self)(self.predicate, tuple(bind(t) for t in self.terms))
 
     def substitute(self, substitution: Mapping[Variable, Term]) -> "Atom":
         """Apply a substitution (a mapping from variables to terms)."""
-        new_terms = tuple(
-            substitution.get(t, t) if isinstance(t, Variable) else t for t in self.terms
-        )
-        return Atom(self.predicate, new_terms)
+
+        def apply(term: Term) -> Term:
+            if isinstance(term, Variable):
+                return substitution.get(term, term)
+            if isinstance(term, Aggregate):
+                return Aggregate(term.op, substitution.get(term.variable, term.variable))
+            return term
+
+        return type(self)(self.predicate, tuple(apply(t) for t in self.terms))
 
     def rename_predicate(self, new_name: str) -> "Atom":
         """Return a copy of the atom with a different predicate symbol."""
-        return Atom(new_name, self.terms)
+        return type(self)(new_name, self.terms)
 
     def as_fact_tuple(self) -> Tuple:
         """Return the tuple of constant values of a ground atom."""
@@ -100,6 +113,25 @@ class Atom:
 
     def __repr__(self) -> str:
         return f"Atom({self.predicate!r}, {self.terms!r})"
+
+
+class NegatedAtom(Atom):
+    """A negated body literal ``not r(u1, ..., ua)``.
+
+    Structurally an :class:`Atom` (same predicate/terms access, so the
+    planner, kernels, and matchers can treat it uniformly), but a distinct
+    type: the dataclass-generated equality is class-sensitive, so
+    ``NegatedAtom("p", ts) != Atom("p", ts)``, and transforms that rebuild
+    atoms via ``type(self)(...)`` preserve the negation.  Negated literals
+    are only legal in rule bodies; under stratified semantics they are
+    evaluated as complement against the fully closed lower strata.
+    """
+
+    def __str__(self) -> str:
+        return f"not {super().__str__()}"
+
+    def __repr__(self) -> str:
+        return f"NegatedAtom({self.predicate!r}, {self.terms!r})"
 
 
 def ground_atom(predicate: str, values: Iterable) -> Atom:

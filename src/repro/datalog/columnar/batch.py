@@ -166,6 +166,60 @@ class _BatchLeaf:
         )
 
 
+class _BatchAntiStep:
+    """An anti-join filter: drop batch rows whose packed key is present.
+
+    The negated literal is fully bound when it runs (planned orders place
+    it behind the positives that bind it), so per batch row the step packs
+    one key — ``base_key`` (arity tag + interned constants) plus the bound
+    slots' codes at their positional weights — and keeps the row iff the
+    key is absent from every part of the negated predicate's relation,
+    which is fully closed (lower stratum or EDB).
+    """
+
+    __slots__ = ("predicate", "arity", "base_key", "slot_weights")
+
+    def __init__(self, step, table):
+        self.predicate = step.predicate
+        self.arity = step.arity
+        arity = step.arity
+        weights = [1 << (KEY_BITS * (arity - 1 - j)) for j in range(arity)]
+        base = arity << (KEY_BITS * arity)
+        slot_weights: Dict[int, int] = {}
+        for j, (is_slot, payload) in enumerate(step.anti_ops):
+            if is_slot:
+                slot_weights[payload] = slot_weights.get(payload, 0) + weights[j]
+            else:
+                base += table.intern(payload) * weights[j]
+        self.base_key = base
+        self.slot_weights = tuple(slot_weights.items())
+
+
+class _EmitLeaf:
+    """A synthetic leaf for orders that end on an anti step.
+
+    The fused :class:`_BatchLeaf` emits head keys while joining the last
+    *positive* atom; when trailing anti filters follow that join, fusion is
+    off the table — every head variable is already carried in the batch, so
+    this leaf just packs one head key per surviving row.
+    """
+
+    __slots__ = ("base_key", "carry_weights")
+
+    def __init__(self, head_ops, table):
+        head_arity = len(head_ops)
+        weights = [1 << (KEY_BITS * (head_arity - 1 - j)) for j in range(head_arity)]
+        base = head_arity << (KEY_BITS * head_arity)
+        carried: Dict[int, int] = {}
+        for j, (is_slot, payload) in enumerate(head_ops):
+            if is_slot:
+                carried[payload] = carried.get(payload, 0) + weights[j]
+            else:
+                base += table.intern(payload) * weights[j]
+        self.base_key = base
+        self.carry_weights = tuple(carried.items())
+
+
 class _BatchSequence:
     """One lowered execution order: non-leaf steps, the fused leaf, or a ground key."""
 
@@ -186,11 +240,25 @@ def lower_sequence(kernel, steps, table) -> _BatchSequence:
             key = (key << KEY_BITS) | table.intern(payload)
         return _BatchSequence((), None, ground_key=key)
     bound: Set[int] = set()
-    lowered: List[_BatchStep] = []
+    lowered: List[object] = []
+    if steps[-1].anti:
+        # The order ends on an anti filter: no positive join to fuse head
+        # emission into, so lower every step and emit from the carries.
+        for step in steps:
+            if step.anti:
+                lowered.append(_BatchAntiStep(step, table))
+            else:
+                lowered.append(_BatchStep(step, table, bound))
+                bound.update(slot for _, slot in step.binds)
+        return _BatchSequence(tuple(lowered), _EmitLeaf(kernel.head_ops, table))
+    single = len(steps) == 1
     for step in steps[:-1]:
-        lowered.append(_BatchStep(step, table, bound))
-        bound.update(slot for _, slot in step.binds)
-    leaf = _BatchLeaf(steps[-1], table, kernel.head_ops, single_step=len(steps) == 1)
+        if step.anti:
+            lowered.append(_BatchAntiStep(step, table))
+        else:
+            lowered.append(_BatchStep(step, table, bound))
+            bound.update(slot for _, slot in step.binds)
+    leaf = _BatchLeaf(steps[-1], table, kernel.head_ops, single_step=single)
     return _BatchSequence(tuple(lowered), leaf)
 
 
@@ -624,6 +692,72 @@ def _run_leaf(leaf: _BatchLeaf, parts, cols, n: int, bucket: set, existing_sets)
     return total, new
 
 
+def _run_anti_step(step: _BatchAntiStep, working, cols, n: int):
+    """Filter the batch by absence from the negated relation; next (cols, n)."""
+    # Anti always reads the working set, never the delta: the negated
+    # predicate is closed below this stratum, so it has no delta.
+    key_sets = working.key_sets(step.predicate, step.arity)
+    base = step.base_key
+    slot_weights = step.slot_weights
+    keep: List[int] = []
+    if len(slot_weights) == 1:
+        (slot, weight), = slot_weights
+        column = cols[slot]
+        for i in range(n):
+            key = base + column[i] * weight
+            for keys in key_sets:
+                if key in keys:
+                    break
+            else:
+                keep.append(i)
+    else:
+        for i in range(n):
+            key = base
+            for slot, weight in slot_weights:
+                key += cols[slot][i] * weight
+            for keys in key_sets:
+                if key in keys:
+                    break
+            else:
+                keep.append(i)
+    if len(keep) == n:
+        return cols, n
+    if not keep:
+        return cols, 0
+    filtered = {slot: [column[i] for i in keep] for slot, column in cols.items()}
+    return filtered, len(keep)
+
+
+def _run_emit_leaf(leaf: _EmitLeaf, cols, n: int, bucket: set, existing_sets):
+    """Emit one head key per surviving row (orders ending on an anti step)."""
+    base = leaf.base_key
+    carry_weights = leaf.carry_weights
+    if not carry_weights:
+        fresh = {base} if n else set()
+    elif len(carry_weights) == 1:
+        slot, weight = carry_weights[0]
+        source = cols[slot]
+        if weight == 1:
+            fresh = {base + value for value in source}
+        else:
+            fresh = {base + value * weight for value in source}
+    else:
+        keys = [base] * n
+        for slot, weight in carry_weights:
+            source = cols[slot]
+            keys = [key + value * weight for key, value in zip(keys, source)]
+        fresh = set(keys)
+    if bucket:
+        fresh = fresh.difference(bucket)
+    for keys in existing_sets:
+        if keys and fresh:
+            fresh = fresh.difference(keys)
+    new = len(fresh)
+    if new:
+        bucket |= fresh
+    return n, new
+
+
 def _run_sequence(sequence: _BatchSequence, working, delta, bucket, existing_sets):
     """Run one lowered order to completion; returns (firings, new)."""
     if sequence.leaf is None:
@@ -636,10 +770,15 @@ def _run_sequence(sequence: _BatchSequence, working, delta, bucket, existing_set
     cols: Dict[int, list] = {}
     n = 1
     for step in sequence.steps:
-        cols, n = _run_step(step, _step_parts(step, working, delta), cols, n)
+        if type(step) is _BatchAntiStep:
+            cols, n = _run_anti_step(step, working, cols, n)
+        else:
+            cols, n = _run_step(step, _step_parts(step, working, delta), cols, n)
         if not n:
             return 0, 0
     leaf = sequence.leaf
+    if type(leaf) is _EmitLeaf:
+        return _run_emit_leaf(leaf, cols, n, bucket, existing_sets)
     return _run_leaf(leaf, _step_parts(leaf, working, delta), cols, n, bucket, existing_sets)
 
 

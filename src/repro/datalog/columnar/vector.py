@@ -36,6 +36,8 @@ try:  # NumPy is an optional accelerator, never a hard dependency.
 except ImportError:  # pragma: no cover - exercised only on numpy-less installs
     np = None
 
+from repro.datalog.atoms import NegatedAtom
+from repro.datalog.columnar.batch import _BatchAntiStep, _EmitLeaf
 from repro.datalog.columnar.decode import LazyDecodedDatabase
 from repro.datalog.columnar.relation import KEY_BITS, ColumnarRelation, pack_codes
 from repro.datalog.database import Database
@@ -69,6 +71,11 @@ def supported(plan, table, program) -> bool:
         for rule in stratum.rules:
             if len(rule.head.terms) > 2:
                 return False
+            for atom in rule.body:
+                # Anti-join keys are packed the same way as head keys, so a
+                # negated literal's arity is bounded like a head's.
+                if isinstance(atom, NegatedAtom) and len(atom.terms) > 2:
+                    return False
     return True
 
 
@@ -551,6 +558,65 @@ def _run_leaf(leaf, parts, cols, n: int, head_arity: int):
     return (emitted[0] if len(emitted) == 1 else np.concatenate(emitted)), firings
 
 
+def _run_anti_step(step, working, cols, n: int):
+    """Filter the batch by absence from the negated relation; next (cols, n).
+
+    Membership goes through the dense bitmap when the negated relation has
+    one (O(batch) gather, no hashing) and through sorted-key
+    ``searchsorted`` otherwise.  The relation is closed below this stratum,
+    so reading the bitmap (or building it now) is sound — it cannot grow.
+    """
+    arity = step.arity
+    keys = np.full(n, step.base_key - (arity << (KEY_BITS * arity)), dtype=np.int64)
+    for slot, weight in step.slot_weights:
+        if weight == 1:
+            keys += cols[slot]
+        else:
+            keys += cols[slot] * weight
+    member = working.membership(step.predicate, arity)
+    if member is not None:
+        # The bitmap's domain was sized when it was built; later strata may
+        # intern new constants, so probe codes can exceed ``base_dim``.
+        # Those rows are definitively absent — the relation is closed, so
+        # every code it holds predates the bitmap — and must not be
+        # gathered (they would alias in-domain slots or index out of range).
+        seen, base_dim, _ = member
+        if arity == 2:
+            lane_hi = keys >> KEY_BITS
+            lane_lo = keys & _KEY_MASK
+            in_range = (lane_hi < base_dim) & (lane_lo < base_dim)
+            compact = np.where(in_range, lane_hi * base_dim + lane_lo, 0)
+        else:
+            in_range = keys < base_dim
+            compact = np.where(in_range, keys, 0)
+        mask = ~(in_range & seen[compact])
+    else:
+        present = np.zeros(n, dtype=bool)
+        for part in working.parts(step.predicate, arity):
+            if _part_len(part) == 0:
+                continue
+            present |= _in_sorted(keys, _part_keys_sorted(part))
+        mask = ~present
+    kept = int(mask.sum())
+    if kept == n:
+        return cols, n
+    if kept == 0:
+        return cols, 0
+    filtered = {slot: column[mask] for slot, column in cols.items()}
+    return filtered, kept
+
+
+def _run_emit_leaf(leaf, cols, n: int, head_arity: int):
+    """Emit one head key per surviving row (orders ending on an anti step)."""
+    keys = np.full(n, _unseed(leaf.base_key, head_arity), dtype=np.int64)
+    for slot, weight in leaf.carry_weights:
+        if weight == 1:
+            keys += cols[slot]
+        else:
+            keys += cols[slot] * weight
+    return keys, n
+
+
 def _run_sequence(sequence, working, delta, head_arity: int):
     """Run one lowered order; returns (emitted keys ndarray | None, firings)."""
     if sequence.leaf is None:
@@ -559,10 +625,15 @@ def _run_sequence(sequence, working, delta, head_arity: int):
     cols: Dict[int, object] = {}
     n = 1
     for step in sequence.steps:
-        cols, n = _run_step(step, _step_parts(step, working, delta), cols, n)
+        if type(step) is _BatchAntiStep:
+            cols, n = _run_anti_step(step, working, cols, n)
+        else:
+            cols, n = _run_step(step, _step_parts(step, working, delta), cols, n)
         if not n:
             return None, 0
     leaf = sequence.leaf
+    if type(leaf) is _EmitLeaf:
+        return _run_emit_leaf(leaf, cols, n, head_arity)
     return _run_leaf(leaf, _step_parts(leaf, working, delta), cols, n, head_arity)
 
 

@@ -23,12 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.datalog.atoms import Atom
+from repro.datalog.atoms import Atom, NegatedAtom
 from repro.datalog.database import Database
 from repro.datalog.engine.stats import EvaluationStatistics
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
-from repro.datalog.terms import Constant, Parameter, Variable
+from repro.datalog.terms import Aggregate, Constant, Parameter, Variable
 from repro.datalog.unify import Substitution, match_atom
 from repro.errors import EvaluationError
 
@@ -62,6 +62,7 @@ def match_body(
     delta_index=None,
     order: Optional[Sequence[int]] = None,
     sources: Optional[Sequence] = None,
+    positive_positions: Optional[frozenset] = None,
 ) -> Iterator[Substitution]:
     """Enumerate substitutions that satisfy *body* against the indexed database.
 
@@ -81,13 +82,34 @@ def match_body(
     position, whatever the execution order.  Reordering never changes the
     set of substitutions produced — conjunction is commutative — only the
     work done to enumerate them.
+
+    A :class:`~repro.datalog.atoms.NegatedAtom` is checked as an anti-join:
+    once its variables are bound, the step passes iff the ground tuple is
+    *absent* from its source (the complement of a relation closed in a
+    lower stratum).  Without an explicit *order*, negated literals are
+    deferred behind the positive atoms so safety guarantees they run fully
+    bound.  ``positive_positions`` (and the delta position) name original
+    body positions matched positively even when negated — incremental
+    maintenance enumerates signed deltas *at* negated positions that way.
     """
-    positions = tuple(order) if order is not None else tuple(range(len(body)))
+    if order is not None:
+        positions = tuple(order)
+    else:
+        positions = tuple(
+            position
+            for position, atom in enumerate(body)
+            if not isinstance(atom, NegatedAtom)
+        ) + tuple(
+            position
+            for position, atom in enumerate(body)
+            if isinstance(atom, NegatedAtom)
+        )
     if sources is not None:
-        sequence = tuple((body[position], sources[position]) for position in positions)
+        sequence = tuple((position, body[position], sources[position]) for position in positions)
     else:
         sequence = tuple(
             (
+                position,
                 body[position],
                 delta_index
                 if (delta_index is not None and position == delta_position)
@@ -100,7 +122,26 @@ def match_body(
         if step == len(sequence):
             yield substitution
             return
-        atom, source = sequence[step]
+        position, atom, source = sequence[step]
+        if isinstance(atom, NegatedAtom) and not (
+            position == delta_position
+            or (positive_positions is not None and position in positive_positions)
+        ):
+            values = []
+            for term in atom.terms:
+                if isinstance(term, Constant):
+                    values.append(term.value)
+                else:
+                    bound = substitution.get(term)
+                    if not isinstance(bound, Constant):
+                        raise EvaluationError(
+                            f"negated literal {atom} reached with {term} unbound; "
+                            "the join order must bind every negated variable first"
+                        )
+                    values.append(bound.value)
+            if not source.contains(atom.predicate, tuple(values)):
+                yield from extend(step + 1, substitution)
+            return
         for values in candidate_tuples(atom, source, substitution):
             extended = match_atom(atom, values, substitution)
             if extended is not None:
@@ -202,6 +243,80 @@ def fire_rule_delta(
                 statistics.record_fact(predicate, is_new)
                 if is_new:
                     bucket.add(values)
+
+
+def is_aggregate_rule(rule: Rule) -> bool:
+    """True if the rule's head contains an aggregate term."""
+    return any(isinstance(term, Aggregate) for term in rule.head.terms)
+
+
+def split_aggregate_rules(rules: Iterable[Rule]) -> Tuple[Tuple[Rule, ...], Tuple[Rule, ...]]:
+    """Split rules into (plain, aggregate) — aggregates fire at stratum close."""
+    plain = tuple(rule for rule in rules if not is_aggregate_rule(rule))
+    aggregate = tuple(rule for rule in rules if is_aggregate_rule(rule))
+    return plain, aggregate
+
+
+def _apply_aggregate(op: str, values: FrozenSet) -> object:
+    """Apply one aggregate operator to a group's distinct value set."""
+    if op == "count":
+        return len(values)
+    try:
+        if op == "sum":
+            return sum(values)
+        if op == "min":
+            return min(values)
+        return max(values)
+    except TypeError as exc:
+        raise EvaluationError(
+            f"aggregate {op} over incompatible values "
+            f"{sorted(values, key=repr)!r}: {exc}"
+        ) from exc
+
+
+def fire_aggregate_rule(plan, rule: Rule, working, bucket, statistics) -> None:
+    """Run one aggregate rule against its fully-closed body relations.
+
+    Stratification guarantees every body predicate is closed when this
+    runs (aggregate-rule body edges are negative dependency edges), so the
+    rule fires exactly once per stratum — on the stratum's first pass, in
+    both bottom-up engines, via this one routine, which is what keeps the
+    statistics identical across engines and kernel paths (aggregate rules
+    never compile to kernels; the whole columnar plan falls back too).
+
+    Grouping is by the non-aggregate head positions; the aggregate is
+    computed over the *distinct* bindings of the aggregated variable per
+    group, so the result depends only on the minimum model — not on join
+    order, duplicates, or engine choice.
+    """
+    predicate = rule.head.predicate
+    join_plan = plan.join_plan(rule)
+    agg_position = next(
+        position
+        for position, term in enumerate(rule.head.terms)
+        if isinstance(term, Aggregate)
+    )
+    aggregate: Aggregate = rule.head.terms[agg_position]
+    key_spec = tuple(
+        (term, None) if isinstance(term, Variable) else (None, getattr(term, "value", None))
+        for position, term in enumerate(rule.head.terms)
+        if position != agg_position
+    )
+    groups: Dict[Tuple, set] = {}
+    for substitution in match_body(rule.body, working, order=join_plan.order):
+        statistics.record_firing()
+        key = tuple(
+            substitution[variable].value if variable is not None else constant
+            for variable, constant in key_spec
+        )
+        groups.setdefault(key, set()).add(substitution[aggregate.variable].value)
+    for key, group_values in groups.items():
+        result = _apply_aggregate(aggregate.op, group_values)
+        values = key[:agg_position] + (result,) + key[agg_position:]
+        is_new = not working.contains(predicate, values) and values not in bucket
+        statistics.record_fact(predicate, is_new)
+        if is_new:
+            bucket.add(values)
 
 
 def select_answers(goal: Atom, tuples: Iterable[Tuple]) -> FrozenSet[Tuple]:

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.datalog.atoms import NegatedAtom
 from repro.datalog.rules import Rule
 from repro.datalog.terms import Constant, Variable
 
@@ -69,6 +70,8 @@ class StepKernel:
         "slot_checks",
         "self_checks",
         "binds",
+        "anti",
+        "anti_ops",
     )
 
     def __init__(
@@ -83,6 +86,8 @@ class StepKernel:
         slot_checks: Tuple[Tuple[int, int], ...],
         self_checks: Tuple[Tuple[int, int], ...],
         binds: Tuple[Tuple[int, int], ...],
+        anti: bool = False,
+        anti_ops: Tuple[Tuple[bool, object], ...] = (),
     ):
         self.atom = atom
         self.predicate = atom.predicate
@@ -96,9 +101,20 @@ class StepKernel:
         self.slot_checks = slot_checks
         self.self_checks = self_checks
         self.binds = binds
+        # Anti steps (negated literals) run fully bound: ``anti_ops`` builds
+        # the ground value tuple — one (is_slot, payload) pair per argument —
+        # and the step passes iff the tuple is absent from the relation.
+        self.anti = anti
+        self.anti_ops = anti_ops
 
     def describe(self) -> str:
         """One EXPLAIN line: source, probe, checks, and slot writes."""
+        if self.anti:
+            args = ", ".join(
+                f"s{payload}" if is_slot else repr(payload)
+                for is_slot, payload in self.anti_ops
+            )
+            return f"anti-join {self.predicate}({args})"
         source = "delta " if self.use_delta else ""
         if self.probe_kind == PROBE_CONST:
             access = f"probe {source}{self.predicate}[{self.probe_position}]=={self.probe_value!r}"
@@ -185,6 +201,25 @@ def _compile_step(
     self_checks = step.self_checks
     binds = step.binds
     is_leaf = continuation is None
+
+    if step.anti:
+        anti_ops = step.anti_ops
+
+        def run_anti(database, delta, slots, emit):
+            # Membership test against the working database (the negated
+            # predicate's relation is fully closed — it lives in a strictly
+            # lower stratum or the EDB — so ``contains`` is the complement).
+            values = tuple(
+                slots[payload] if is_slot else payload for is_slot, payload in anti_ops
+            )
+            if database.contains(predicate, values):
+                return
+            if is_leaf:
+                emit(head_builder(slots))
+            else:
+                continuation(database, delta, slots, emit)
+
+        return run_anti
 
     def run(database, delta, slots, emit):
         source = delta if use_delta else database
@@ -352,18 +387,41 @@ def _compile_sequence(
     order: Sequence[int],
     registers: Dict[Variable, int],
     delta_position: Optional[int],
-) -> Tuple[StepKernel, ...]:
+) -> Optional[Tuple[StepKernel, ...]]:
     """Lower one execution order into compiled steps under the shared slots.
 
     The probe column mirrors :func:`~repro.datalog.engine.base.candidate_tuples`
     exactly — the first argument (in term order) that is a constant or an
     already-bound variable — so the compiled access path is the one the
     planner's ``probe``/``scan`` annotations promised.
+
+    A negated literal compiles to an *anti step* (fully-bound membership
+    test against the complement) — unless it is the delta position, in
+    which case it is matched positively against the signed delta (the
+    incremental maintenance pass enumerates negated-position deltas that
+    way).  Returns ``None`` if an anti step would run with an unbound
+    variable (planned orders never do this; a hand-built order might).
     """
     bound: set = set()
     steps: List[StepKernel] = []
     for position in order:
         atom = rule.body[position]
+        if isinstance(atom, NegatedAtom) and position != delta_position:
+            anti_ops: List[Tuple[bool, object]] = []
+            for term in atom.terms:
+                if isinstance(term, Constant):
+                    anti_ops.append((False, term.value))
+                elif term in bound:
+                    anti_ops.append((True, registers[term]))
+                else:
+                    return None
+            steps.append(
+                StepKernel(
+                    atom, False, PROBE_SCAN, -1, None, -1, (), (), (), (),
+                    anti=True, anti_ops=tuple(anti_ops),
+                )
+            )
+            continue
         probe_kind = PROBE_SCAN
         probe_position = -1
         probe_value = None
@@ -441,10 +499,14 @@ def compile_rule_kernel(plan) -> Optional[RuleKernel]:
         else:
             head_ops.append((False, term.value))
     static_steps = _compile_sequence(rule, plan.order, registers, None)
-    delta_steps = {
-        variant.position: _compile_sequence(rule, variant.order, registers, variant.position)
-        for variant in plan.variants
-    }
+    if static_steps is None:
+        return None
+    delta_steps = {}
+    for variant in plan.variants:
+        steps = _compile_sequence(rule, variant.order, registers, variant.position)
+        if steps is None:
+            return None
+        delta_steps[variant.position] = steps
     slot_names = tuple(
         name for name, _ in sorted(
             ((variable.name, index) for variable, index in registers.items()),

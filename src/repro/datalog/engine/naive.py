@@ -23,7 +23,9 @@ from typing import Dict, Optional, Set, Tuple
 from repro.datalog.database import Database
 from repro.datalog.engine.base import (
     EvaluationResult,
+    fire_aggregate_rule,
     fire_rule,
+    split_aggregate_rules,
     split_rules,
 )
 from repro.datalog.engine.planner import Planner, ProgramPlan, compile_program_plan
@@ -92,6 +94,8 @@ def _evaluate(
 
     for stratum in plan.strata:
         statistics.record_stratum()
+        plain_rules, aggregate_rules = split_aggregate_rules(stratum.rules)
+        first_round = True
         changed = True
         while changed:
             changed = False
@@ -104,9 +108,17 @@ def _evaluate(
             # never mutates `working`, so its live relation view plus this
             # bucket answer every duplicate check by direct set membership.
             pending: Dict[str, Set[Tuple]] = {}
-            for rule in stratum.rules:
+            for rule in plain_rules:
                 bucket = pending.setdefault(rule.head.predicate, set())
                 fire_rule(plan, rule, working, bucket, statistics, compiled)
+            if first_round:
+                # Aggregate rules read only closed lower strata — one firing
+                # per stratum, on the first round, exactly as the semi-naive
+                # engine does it (shared routine, identical statistics).
+                for rule in aggregate_rules:
+                    bucket = pending.setdefault(rule.head.predicate, set())
+                    fire_aggregate_rule(plan, rule, working, bucket, statistics)
+                first_round = False
             changed = working.add_relations(pending) > 0
             if not stratum.recursive:
                 # Every body predicate is already at fixpoint: one pass suffices.

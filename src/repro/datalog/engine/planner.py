@@ -42,12 +42,12 @@ import weakref
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from repro.datalog.analysis import dependency_graph
-from repro.datalog.atoms import Atom
+from repro.datalog.analysis import dependency_graph, negative_dependency_edges
+from repro.datalog.atoms import Atom, NegatedAtom
 from repro.datalog.database import Database
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
-from repro.datalog.terms import Constant, Parameter, Variable
+from repro.datalog.terms import Aggregate, Constant, Parameter, Variable
 
 
 @dataclass(frozen=True)
@@ -57,8 +57,10 @@ class AtomStep:
     ``access`` is the access path predicted at plan time: ``"probe"`` when
     the atom has a constant or an already-bound variable (so the database's
     hash index applies), ``"scan"`` for a full-relation scan, ``"delta"``
-    when the atom is matched against the per-iteration delta.  ``estimate``
-    is the relation cardinality the choice was based on.
+    when the atom is matched against the per-iteration delta, ``"anti"``
+    for a negated literal checked as an anti-join (a membership test
+    against the closed lower-stratum relation).  ``estimate`` is the
+    relation cardinality the choice was based on.
     """
 
     position: int
@@ -70,6 +72,8 @@ class AtomStep:
     def describe(self) -> str:
         if self.access == "delta":
             return f"{self.atom} [delta]"
+        if self.access == "anti":
+            return f"{self.atom} [anti-join {self.atom.predicate}, ~{self.estimate} rows]"
         if self.access == "probe":
             return f"{self.atom} [probe {self.probe_hint}, ~{self.estimate} rows]"
         return f"{self.atom} [scan {self.atom.predicate}, ~{self.estimate} rows]"
@@ -163,10 +167,17 @@ class ProgramPlan:
     def describe(self) -> str:
         """Human-readable EXPLAIN output: strata, join orders, compiled kernels."""
         rule_count = sum(len(stratum.rules) for stratum in self.strata)
+        negative = negative_dependency_edges(self.program)
         lines = [f"join plan: {len(self.strata)} strata, {rule_count} rules"]
         for stratum in self.strata:
             kind = "recursive" if stratum.recursive else "single pass"
             lines.append(f"stratum {stratum.index + 1}: {stratum.label} [{kind}]")
+            for (source, target), reason in sorted(negative.items()):
+                if source in stratum.predicates:
+                    lines.append(
+                        f"  negative edge: {source} -> {target} [{reason}; "
+                        f"{target} closed in a lower stratum]"
+                    )
             for rule in stratum.rules:
                 plan = self.plans[rule]
                 for line in plan.describe().splitlines():
@@ -263,10 +274,18 @@ def order_body(
 
         def cost(position: int) -> Tuple[int, int, int, int]:
             atom = body[position]
+            unbound = sum(1 for v in atom.variables() if v not in bound_vars)
+            if isinstance(atom, NegatedAtom):
+                # A fully-bound negated literal is a free filter — run it as
+                # soon as possible (tier 0, below any positive estimate).  An
+                # unbound one goes to tier 2: never before the positives, so
+                # by safety every anti step executes fully bound.
+                if unbound == 0:
+                    return (0, -1, 0, position)
+                return (2, estimates.get(atom.predicate, 0), unbound, position)
             probe_position = _probe_position(atom, bound_vars)
             cardinality = estimates.get(atom.predicate, 0)
             estimate = _probe_estimate(atom, probe_position, cardinality, column_stats)
-            unbound = sum(1 for v in atom.variables() if v not in bound_vars)
             return (
                 0 if probe_position is not None else 1,
                 estimate,
@@ -296,6 +315,8 @@ def _steps_for(
         estimate = estimates.get(atom.predicate, 0)
         if position == delta_position:
             steps.append(AtomStep(position, atom, "delta", None, estimate))
+        elif isinstance(atom, NegatedAtom):
+            steps.append(AtomStep(position, atom, "anti", None, estimate))
         else:
             probe_position = _probe_position(atom, bound)
             hint = _probe_hint(atom, bound)
@@ -337,7 +358,14 @@ def plan_rule(
             )
             variants.append(DeltaVariant(position, variant_order, variant_steps))
     head_spec = tuple(
-        (term, None) if isinstance(term, Variable) else (None, term.value)
+        (term, None)
+        if isinstance(term, Variable)
+        # Aggregate head slots are filled by the stratum-close aggregate
+        # routine, never by head_values — a placeholder keeps plan
+        # compilation total.
+        else (None, None)
+        if isinstance(term, Aggregate)
+        else (None, term.value)
         for term in rule.head.terms
     )
     return JoinPlan(rule, order, steps, tuple(variants), head_spec)

@@ -26,8 +26,10 @@ from typing import Dict, Optional, Set, Tuple
 from repro.datalog.database import Database
 from repro.datalog.engine.base import (
     EvaluationResult,
+    fire_aggregate_rule,
     fire_rule,
     fire_rule_delta,
+    split_aggregate_rules,
     split_rules,
 )
 from repro.datalog.engine.planner import Planner, ProgramPlan, compile_program_plan
@@ -112,10 +114,17 @@ def _evaluate(
         # per-round frozenset rebuild on deep recursions with small deltas.
         statistics.record_iteration(label)
         check_budget()
+        plain_rules, aggregate_rules = split_aggregate_rules(stratum.rules)
         delta_sets: Dict[str, Set[Tuple]] = {}
-        for rule in stratum.rules:
+        for rule in plain_rules:
             bucket = delta_sets.setdefault(rule.head.predicate, set())
             fire_rule(plan, rule, working, bucket, statistics, compiled)
+        # Aggregate rules fire exactly once, here: stratification forces
+        # their whole bodies into strictly lower (closed) strata, so the
+        # stratum's own fixpoint cannot change what they derive.
+        for rule in aggregate_rules:
+            bucket = delta_sets.setdefault(rule.head.predicate, set())
+            fire_aggregate_rule(plan, rule, working, bucket, statistics)
         delta = Database.adopt({name: bucket for name, bucket in delta_sets.items() if bucket})
         working.update(delta)
 
@@ -128,7 +137,7 @@ def _evaluate(
             check_budget()
             next_sets: Dict[str, Set[Tuple]] = {}
             delta_predicates = delta.predicates()
-            for rule in stratum.rules:
+            for rule in plain_rules:
                 bucket = next_sets.setdefault(rule.head.predicate, set())
                 fire_rule_delta(
                     plan, rule, working, delta, delta_predicates, bucket, statistics, compiled

@@ -20,12 +20,17 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from repro.datalog.atoms import Atom
+from repro.datalog.atoms import Atom, NegatedAtom
 from repro.datalog.database import Database
-from repro.datalog.engine.base import EvaluationResult, candidate_tuples
+from repro.datalog.engine.base import (
+    EvaluationResult,
+    _apply_aggregate,
+    candidate_tuples,
+    is_aggregate_rule,
+)
 from repro.datalog.engine.stats import EvaluationStatistics
 from repro.datalog.program import Program
-from repro.datalog.terms import Constant, Variable
+from repro.datalog.terms import Aggregate, Constant, Variable
 from repro.datalog.unify import Substitution, match_atom
 from repro.errors import EvaluationError
 
@@ -58,6 +63,15 @@ class TopDownEvaluator:
         self._idb = program.idb_predicates()
         self._tables: Dict[Call, Set[Tuple]] = {}
         self._changed = False
+        # Full calls (all positions free) that have been run to their own
+        # nested fixpoint.  Negated subgoals and aggregate-rule bodies read
+        # only such *saturated* tables: tables here only ever grow, so a
+        # complement or aggregate taken over a still-growing table could
+        # persist facts that later turn false.  Stratification makes the
+        # nested fixpoint sound — a saturated predicate sits in a strictly
+        # lower stratum than every reader, so saturation never re-enters an
+        # active call of the reader's stratum.
+        self._saturated: Set[Call] = set()
 
     # ------------------------------------------------------------------
     def query(
@@ -125,6 +139,11 @@ class TopDownEvaluator:
             for term, bound in zip(renamed.head.terms, call[1]):
                 if bound is None:
                     continue
+                if isinstance(term, Aggregate):
+                    # A bound aggregate position constrains the aggregate's
+                    # *result*; groups are computed in full and filtered
+                    # against the call pattern afterwards.
+                    continue
                 if isinstance(term, Constant):
                     if term.value != bound:
                         consistent = False
@@ -137,7 +156,17 @@ class TopDownEvaluator:
                     head_binding[term] = Constant(bound)
             if not consistent:
                 continue
-            for substitution in self._solve_body(renamed.body, 0, head_binding, active):
+            if is_aggregate_rule(renamed):
+                self._solve_aggregate(renamed, call, table, head_binding)
+                continue
+            # Negated literals run as ground complement checks, so they are
+            # deferred behind the positive atoms (safety then guarantees
+            # their variables are bound when reached); the reorder is
+            # deterministic, keeping the statistics reproducible.
+            body = tuple(
+                atom for atom in renamed.body if not isinstance(atom, NegatedAtom)
+            ) + tuple(atom for atom in renamed.body if isinstance(atom, NegatedAtom))
+            for substitution in self._solve_body(body, 0, head_binding, active):
                 self.statistics.record_firing()
                 head = renamed.head.substitute(substitution)
                 if not head.is_ground():
@@ -150,17 +179,106 @@ class TopDownEvaluator:
                     self._changed = True
         return table
 
+    def _saturate(self, predicate: str, arity: int) -> Set[Tuple]:
+        """The fully-closed table of *predicate* (nested fixpoint, memoized)."""
+        call: Call = (predicate, (None,) * arity)
+        if call in self._saturated:
+            return self._tables.setdefault(call, set())
+        outer_changed = self._changed
+        while True:
+            self._changed = False
+            self._solve(call, set())
+            if not self._changed:
+                break
+            outer_changed = True
+        self._changed = outer_changed
+        self._saturated.add(call)
+        return self._tables.setdefault(call, set())
+
+    def _negation_passes(self, atom: Atom, substitution: Substitution) -> bool:
+        """Ground complement check for a negated literal (must be fully bound)."""
+        values: List[object] = []
+        for term in atom.terms:
+            if isinstance(term, Constant):
+                values.append(term.value)
+            else:
+                bound = substitution.get(term)
+                if not isinstance(bound, Constant):
+                    raise EvaluationError(
+                        f"negated literal {atom} reached with {term} unbound"
+                    )
+                values.append(bound.value)
+        ground = tuple(values)
+        if atom.predicate in self._idb:
+            if ground in self._saturate(atom.predicate, len(atom.terms)):
+                return False
+            # Saturated tables are seeded from the database too, so the
+            # EDB-side check below is only needed for pure-EDB predicates —
+            # but it is harmless and keeps the two branches symmetric.
+        return not self.database.contains(atom.predicate, ground)
+
+    def _solve_aggregate(
+        self, rule, call: Call, table: Set[Tuple], head_binding: Substitution
+    ) -> None:
+        """Fire one aggregate rule for *call*, reading only saturated tables.
+
+        Stratification puts the whole body strictly below the head, so the
+        groups computed here are final.  Grouping is by the non-aggregate
+        head positions (pre-bound positions restrict to those groups, which
+        is sound — groups are independent); the aggregate is taken over the
+        distinct bindings of the aggregated variable, and a bound aggregate
+        position filters the finished group results.
+        """
+        predicate = call[0]
+        agg_position = next(
+            position
+            for position, term in enumerate(rule.head.terms)
+            if isinstance(term, Aggregate)
+        )
+        aggregate: Aggregate = rule.head.terms[agg_position]
+        key_spec = tuple(
+            term
+            for position, term in enumerate(rule.head.terms)
+            if position != agg_position
+        )
+        body = tuple(
+            atom for atom in rule.body if not isinstance(atom, NegatedAtom)
+        ) + tuple(atom for atom in rule.body if isinstance(atom, NegatedAtom))
+        groups: Dict[Tuple, Set] = {}
+        for substitution in self._solve_body(body, 0, head_binding, set(), closed=True):
+            self.statistics.record_firing()
+            key = tuple(
+                substitution[term].value if isinstance(term, Variable) else term.value
+                for term in key_spec
+            )
+            groups.setdefault(key, set()).add(substitution[aggregate.variable].value)
+        for key in sorted(groups, key=repr):
+            result = _apply_aggregate(aggregate.op, groups[key])
+            values = key[:agg_position] + (result,) + key[agg_position:]
+            if not _matches_call(values, call):
+                continue
+            is_new = values not in table
+            self.statistics.record_fact(predicate, is_new)
+            if is_new:
+                table.add(values)
+                self._changed = True
+
     def _solve_body(
         self,
         body: Tuple[Atom, ...],
         position: int,
         substitution: Substitution,
         active: Set[Call],
+        closed: bool = False,
     ):
         if position == len(body):
             yield substitution
             return
         atom = body[position]
+        if isinstance(atom, NegatedAtom):
+            if self._negation_passes(atom, substitution):
+                yield from self._solve_body(body, position + 1, substitution, active, closed)
+            return
         # Both branches iterate in sorted order so the resolution trace —
         # and with it the firing/duplicate counters — depends only on the
         # program, goal, and fact *content*.  Raw set/index order varies
@@ -168,19 +286,26 @@ class TopDownEvaluator:
         # (a copied set may re-chain collisions), so an unsorted walk makes
         # statistics differ between a database and its own copy.
         if atom.predicate in self._idb:
-            call = _call_of(atom, substitution)
-            answers = sorted(self._solve(call, active), key=repr)
+            if closed:
+                # Aggregate-rule bodies read only saturated tables — the
+                # aggregate must be a function of the final extension.
+                answers = sorted(
+                    self._saturate(atom.predicate, len(atom.terms)), key=repr
+                )
+            else:
+                call = _call_of(atom, substitution)
+                answers = sorted(self._solve(call, active), key=repr)
             for values in answers:
                 extended = match_atom(atom, values, substitution)
                 if extended is not None:
-                    yield from self._solve_body(body, position + 1, extended, active)
+                    yield from self._solve_body(body, position + 1, extended, active, closed)
         else:
             for values in sorted(
                 candidate_tuples(atom, self.database, substitution), key=repr
             ):
                 extended = match_atom(atom, values, substitution)
                 if extended is not None:
-                    yield from self._solve_body(body, position + 1, extended, active)
+                    yield from self._solve_body(body, position + 1, extended, active, closed)
 
 
 def _evaluate(

@@ -39,7 +39,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.datalog.atoms import Atom
+from repro.datalog.atoms import Atom, NegatedAtom
 from repro.datalog.columnar.relation import arity_of_key, pack_codes, unpack_key
 from repro.datalog.database import Database, OverlayDatabase, _group_facts
 from repro.datalog.engine.base import (
@@ -58,6 +58,7 @@ from repro.datalog.engine.planner import (
 from repro.datalog.engine.stats import EvaluationStatistics
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
+from repro.datalog.terms import Aggregate
 from repro.datalog.unify import match_atom
 from repro.errors import EvaluationError
 
@@ -95,6 +96,9 @@ class _SetSource:
             if position < len(values) and values[position] == value
         ]
 
+    def contains(self, predicate: str, values: Tuple) -> bool:
+        return predicate == self._predicate and values in self._tuples
+
 
 class _UnionSource:
     """The *pre-deletion* state: the live model plus the removed tuples."""
@@ -125,6 +129,11 @@ class _UnionSource:
             return base
         return list(base) + matches
 
+    def contains(self, predicate: str, values: Tuple) -> bool:
+        if values in self._extra.get(predicate, _EMPTY_SET):
+            return True
+        return self._model.contains(predicate, values)
+
 
 class _ExcludeSource:
     """The *pre-insertion* state: the live model minus the added tuples."""
@@ -148,6 +157,67 @@ class _ExcludeSource:
         if not excluded:
             return base
         return [values for values in base if values not in excluded]
+
+    def contains(self, predicate: str, values: Tuple) -> bool:
+        if values in self._excluded.get(predicate, _EMPTY_SET):
+            return False
+        return self._model.contains(predicate, values)
+
+
+class _PriorSource:
+    """The *pre-batch* state: the live model minus added plus removed tuples.
+
+    The unified signed pass (programs with negation) mutates the model as it
+    sweeps the strata in order, tracking net changes in *added*/*removed*;
+    this adapter synthesizes the state every predicate had before the batch.
+    A fact recorded in both dicts was present before and after (removed then
+    restored); membership therefore checks *removed* first.
+    """
+
+    __slots__ = ("_model", "_added", "_removed")
+
+    def __init__(
+        self,
+        model: Database,
+        added: Mapping[str, Set[Tuple]],
+        removed: Mapping[str, Set[Tuple]],
+    ):
+        self._model = model
+        self._added = added
+        self._removed = removed
+
+    def relation(self, predicate: str):
+        relation = self._model.relation(predicate)
+        added = self._added.get(predicate)
+        removed = self._removed.get(predicate)
+        if added:
+            relation = [values for values in relation if values not in added]
+        if removed:
+            return list(relation) + list(removed)
+        return relation
+
+    def probe(self, predicate: str, position: int, value) -> Sequence[Tuple]:
+        base = self._model.probe(predicate, position, value)
+        added = self._added.get(predicate)
+        if added:
+            base = [values for values in base if values not in added]
+        removed = self._removed.get(predicate)
+        if removed:
+            extra = [
+                values
+                for values in removed
+                if position < len(values) and values[position] == value
+            ]
+            if extra:
+                return list(base) + extra
+        return base
+
+    def contains(self, predicate: str, values: Tuple) -> bool:
+        if values in self._removed.get(predicate, _EMPTY_SET):
+            return True
+        if values in self._added.get(predicate, _EMPTY_SET):
+            return False
+        return self._model.contains(predicate, values)
 
 
 # ----------------------------------------------------------------------
@@ -246,6 +316,14 @@ class MaterializedView:
                 "cannot materialize a parameterized template; prepare the query "
                 "and bind it first (PreparedQuery.materialize)"
             )
+        for rule in program.rules:
+            if any(isinstance(term, Aggregate) for term in rule.head.terms):
+                raise EvaluationError(
+                    f"cannot materialize a program with aggregate rules: "
+                    f"{rule} — aggregate results are not incrementally "
+                    "maintainable; re-evaluate the program instead"
+                )
+        self._negated = any(rule.negated_body() for rule in program.rules)
         self._program = program
         self._compiled = compiled
         # The model is an independent deep copy: maintenance retracts facts,
@@ -264,6 +342,17 @@ class MaterializedView:
         self._plan: ProgramPlan = compile_program_plan(
             program, self._model, all_deltas=True
         )
+        if self._negated:
+            for stratum in self._plan.strata:
+                if stratum.recursive and any(
+                    rule.negated_body() for rule in stratum.rules
+                ):
+                    raise EvaluationError(
+                        "cannot materialize a program with negation in a "
+                        f"recursive stratum ({stratum.label}): "
+                        "Delete-and-Rederive is only sound for positive "
+                        "recursion — evaluate such programs from scratch"
+                    )
         self._rules_by_head: Dict[str, List[Rule]] = {}
         for stratum in self._plan.strata:
             for rule in stratum.rules:
@@ -577,14 +666,259 @@ class MaterializedView:
         :attr:`maintenance`.
         """
         report = ApplyReport()
-        removed = self._apply_deletions(_group_facts(deletions), report)
-        if removed:
-            self._propagate_deletions(removed, report)
-        added = self._apply_insertions(_group_facts(insertions), report)
-        if added:
-            self._propagate_insertions(added, report)
+        if self._negated:
+            # Negation couples the polarities — deleting q(a) can *gain*
+            # firings of rules with ``not q(..)`` — so the two-phase positive
+            # path below is replaced by one signed stratum-ordered sweep.
+            self._apply_signed(
+                _group_facts(insertions), _group_facts(deletions), report
+            )
+        else:
+            removed = self._apply_deletions(_group_facts(deletions), report)
+            if removed:
+                self._propagate_deletions(removed, report)
+            added = self._apply_insertions(_group_facts(insertions), report)
+            if added:
+                self._propagate_insertions(added, report)
         self.maintenance.absorb(report)
         return report
+
+    # -- signed maintenance (programs with negated literals) ------------
+    def _apply_signed(
+        self,
+        insert_groups: Dict[str, Set[Tuple]],
+        delete_groups: Dict[str, Set[Tuple]],
+        report: ApplyReport,
+    ) -> None:
+        """One stratum-ordered sweep carrying both polarities of net change.
+
+        Base bookkeeping first (deletions before insertions, so a fact both
+        deleted and inserted ends up present), then each stratum settles
+        against the accumulated net ``added``/``removed`` model changes:
+        counting strata take a telescoped signed tally
+        (:meth:`_signed_counting`); recursive strata — positive-only, the
+        constructor rejects recursive negation — run DRed for the removals
+        and the semi-naive delta fixpoint for the additions.
+        """
+        model = self._model
+        net_removed: Dict[str, Set[Tuple]] = {}
+        net_added: Dict[str, Set[Tuple]] = {}
+        for predicate, tuples in delete_groups.items():
+            base = self._base.get(predicate)
+            if not base:
+                continue
+            actually = tuples & base
+            if not actually:
+                continue
+            base -= actually
+            report.base_deleted += len(actually)
+            net_removed[predicate] = set(actually)
+        for predicate, tuples in insert_groups.items():
+            base = self._base.setdefault(predicate, set())
+            fresh = tuples - base
+            if not fresh:
+                continue
+            base.update(fresh)
+            report.base_inserted += len(fresh)
+            lost = net_removed.get(predicate)
+            if lost:
+                # Deleted and re-inserted in one batch: no net change.
+                reasserted = fresh & lost
+                if reasserted:
+                    lost -= reasserted
+                    fresh = fresh - reasserted
+                    if not lost:
+                        net_removed.pop(predicate, None)
+            if fresh:
+                net_added[predicate] = set(fresh)
+
+        # Net *model* changes, accumulated stratum by stratum.  Base
+        # insertions enter the model immediately (presence by assertion);
+        # base retractions of stratum-owned predicates are deferred to their
+        # stratum (the fact may remain derivable), everything else leaves now.
+        added: Dict[str, Set[Tuple]] = {}
+        removed: Dict[str, Set[Tuple]] = {}
+        own_retractions: Dict[str, Set[Tuple]] = {}
+        for predicate, tuples in net_added.items():
+            entering = {
+                values for values in tuples if not model.contains(predicate, values)
+            }
+            if entering:
+                model.add_relations({predicate: set(entering)})
+                added[predicate] = entering
+        base_entered = sum(len(tuples) for tuples in added.values())
+        for predicate, tuples in net_removed.items():
+            if predicate in self._stratified_predicates:
+                own_retractions[predicate] = set(tuples)
+                continue
+            pinned = self._program_facts.get(predicate, _EMPTY_SET)
+            gone = {
+                values
+                for values in tuples
+                if values not in pinned and model.contains(predicate, values)
+            }
+            if gone:
+                model.remove_facts((predicate, values) for values in gone)
+                removed[predicate] = gone
+
+        for stratum in self._plan.strata:
+            body_predicates = {
+                atom.predicate for rule in stratum.rules for atom in rule.body
+            }
+            incoming_added = {
+                predicate: added[predicate]
+                for predicate in body_predicates
+                if added.get(predicate)
+            }
+            incoming_removed = {
+                predicate: removed[predicate]
+                for predicate in body_predicates
+                if removed.get(predicate)
+            }
+            own = {
+                predicate: own_retractions[predicate]
+                for predicate in stratum.predicates
+                if own_retractions.get(predicate)
+            }
+            if not incoming_added and not incoming_removed and not own:
+                continue
+            if stratum.recursive:
+                # Insertions first: once the additions are propagated the
+                # model is closed under the stratum's rules, so the DRed
+                # rederivation fixpoint can only *restore* overdeleted facts
+                # — it cannot invent new ones that would escape the change
+                # record.  DRed itself is sound against the already-updated
+                # model: overdeletion against a superset of the old state
+                # only overshoots, and rederivation checks the live model.
+                if incoming_added:
+                    self._recursive_insert(stratum, incoming_added, added, report)
+                if incoming_removed or own:
+                    self._dred_delete(stratum, incoming_removed, own, removed, report)
+            else:
+                self._signed_counting(
+                    stratum, incoming_added, incoming_removed, own, added, removed, report
+                )
+            # Keep the net change sets disjoint and exact: a fact recorded
+            # on both sides within one batch (added then removed, or removed
+            # then restored) is no net change at all, and leaving it in both
+            # sets would poison the pre-batch state synthesized by
+            # _PriorSource and the downstream signed tallies.
+            for predicate in set(added) & set(removed):
+                both = added[predicate] & removed[predicate]
+                if both:
+                    added[predicate] -= both
+                    removed[predicate] -= both
+
+        report.derived_added += (
+            sum(len(tuples) for tuples in added.values()) - base_entered
+        )
+        report.derived_removed += sum(
+            len(tuples)
+            for predicate, tuples in removed.items()
+            if predicate in self._stratified_predicates
+        )
+
+    def _signed_counting(
+        self,
+        stratum: Stratum,
+        incoming_added: Dict[str, Set[Tuple]],
+        incoming_removed: Dict[str, Set[Tuple]],
+        own_retractions: Dict[str, Set[Tuple]],
+        added: Dict[str, Set[Tuple]],
+        removed: Dict[str, Set[Tuple]],
+        report: ApplyReport,
+    ) -> None:
+        """Signed counting maintenance for one non-recursive stratum.
+
+        The telescoped delta decomposition, with both polarities in one
+        sweep: for the delta at body position ``i``, earlier positions read
+        the new state (the live model), later positions read the pre-batch
+        state (:class:`_PriorSource`), and position ``i`` enumerates a delta
+        set with a sign.  A negated literal swaps the polarity — facts
+        *removed* from its relation gain complement matches, added facts
+        lose them — and is matched positively against the delta set
+        (``positive_positions``).  The caller keeps the change sets disjoint
+        and exact, so each tally term is the textbook signed delta.
+        """
+        model = self._model
+        report.rounds += 1
+        prior = _PriorSource(model, added, removed)
+        tallies: Dict[str, Dict[Tuple, int]] = {}
+        for rule in stratum.rules:
+            join_plan = self._plan.join_plan(rule)
+            body = rule.body
+            for position, atom in enumerate(body):
+                negated = isinstance(atom, NegatedAtom)
+                if negated:
+                    gained = incoming_removed.get(atom.predicate)
+                    lost = incoming_added.get(atom.predicate)
+                else:
+                    gained = incoming_added.get(atom.predicate)
+                    lost = incoming_removed.get(atom.predicate)
+                for delta_set, sign in ((gained, 1), (lost, -1)):
+                    if not delta_set:
+                        continue
+                    sources: List = [
+                        model if other < position else prior
+                        for other in range(len(body))
+                    ]
+                    sources[position] = _SetSource(atom.predicate, delta_set)
+                    per_head = tallies.setdefault(rule.head.predicate, {})
+                    for substitution in match_body(
+                        body,
+                        None,
+                        order=self._variant_order(join_plan, position),
+                        sources=sources,
+                        positive_positions=frozenset((position,)),
+                    ):
+                        values = join_plan.head_values(substitution)
+                        per_head[values] = per_head.get(values, 0) + sign
+        # Settle the counters, then move facts in or out of the model.
+        candidates: Dict[str, Set[Tuple]] = {
+            predicate: set(tuples) for predicate, tuples in own_retractions.items()
+        }
+        entering: Dict[str, Set[Tuple]] = {}
+        for predicate, per_head in tallies.items():
+            counts = self._counts[predicate]
+            bucket = candidates.setdefault(predicate, set())
+            enter = entering.setdefault(predicate, set())
+            for values, delta_count in per_head.items():
+                if not delta_count:
+                    continue
+                key = self._count_key(values)
+                new_count = counts.get(key, 0) + delta_count
+                if delta_count > 0:
+                    self.maintenance.count_increments += delta_count
+                else:
+                    self.maintenance.count_decrements += -delta_count
+                if new_count > 0:
+                    counts[key] = new_count
+                    enter.add(values)
+                else:
+                    counts.pop(key, None)
+                    bucket.add(values)
+        for predicate, tuples in candidates.items():
+            counts = self._counts[predicate]
+            base = self._base.get(predicate, _EMPTY_SET)
+            pinned = self._program_facts.get(predicate, _EMPTY_SET)
+            leaving = {
+                values
+                for values in tuples
+                if counts.get(self._count_key(values), 0) == 0
+                and values not in base
+                and values not in pinned
+                and model.contains(predicate, values)
+            }
+            if leaving:
+                model.remove_facts((predicate, values) for values in leaving)
+                removed.setdefault(predicate, set()).update(leaving)
+        for predicate, tuples in entering.items():
+            fresh = {
+                values for values in tuples if not model.contains(predicate, values)
+            }
+            if fresh:
+                model.add_relations({predicate: set(fresh)})
+                added.setdefault(predicate, set()).update(fresh)
 
     # -- deletions ------------------------------------------------------
     def _apply_deletions(
@@ -757,11 +1091,22 @@ class MaterializedView:
                 bucket = next_over.setdefault(predicate, set())
 
                 def collect(values: Tuple) -> None:
+                    # Only model facts can be overdeleted.  The guard also
+                    # keeps the cascade sound in the signed path, where the
+                    # model already holds this batch's insertions: a join of
+                    # a new-state fact with an old-state deleted fact can
+                    # produce a "phantom" head that existed in neither state,
+                    # and recording it as removed would poison the signed
+                    # tallies downstream.  A fact absent from the model was
+                    # not in the old stratum extension either (nothing below
+                    # removes stratum facts), so skipping it loses no real
+                    # overdeletion candidates.
                     if (
                         values not in seen
                         and values not in bucket
                         and values not in pinned_base
                         and values not in pinned_rules
+                        and model.contains(predicate, values)
                     ):
                         bucket.add(values)
 

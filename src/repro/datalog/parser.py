@@ -21,10 +21,10 @@ import re
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
-from repro.datalog.atoms import Atom
+from repro.datalog.atoms import Atom, NegatedAtom
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
-from repro.datalog.terms import Constant, Parameter, Term, Variable
+from repro.datalog.terms import AGGREGATE_OPS, Aggregate, Constant, Parameter, Term, Variable
 from repro.errors import ParseError
 
 _TOKEN_PATTERN = re.compile(
@@ -37,6 +37,8 @@ _TOKEN_PATTERN = re.compile(
   | (?P<COMMA>,)
   | (?P<PERIOD>\.)
   | (?P<QUERY>\?)
+  | (?P<LANGLE><)
+  | (?P<RANGLE>>)
   | (?P<STRING>"[^"]*"|'[^']*')
   | (?P<NUMBER>-?\d+)
   | (?P<PARAM>\$[A-Za-z_][A-Za-z0-9_]*)
@@ -125,6 +127,16 @@ class _Parser:
         if token.kind == "IDENT":
             if token.text[0].isupper() or token.text[0] == "_":
                 return Variable(token.text)
+            if token.text in AGGREGATE_OPS and self._accept("LANGLE"):
+                inner = self._expect("IDENT")
+                if not (inner.text[0].isupper() or inner.text[0] == "_"):
+                    raise ParseError(
+                        f"aggregate {token.text}<...> needs a variable, found {inner.text!r}",
+                        inner.line,
+                        inner.column,
+                    )
+                self._expect("RANGLE")
+                return Aggregate(token.text, Variable(inner.text))
             return Constant(token.text)
         raise ParseError(f"expected a term but found {token.text!r}", token.line, token.column)
 
@@ -140,15 +152,34 @@ class _Parser:
                 self._expect("RPAREN")
         return Atom(predicate, tuple(terms))
 
+    def parse_literal(self) -> Atom:
+        """A body literal: an atom, or ``not atom`` (a :class:`NegatedAtom`).
+
+        ``not`` followed by ``(`` keeps its old reading as a predicate named
+        ``not`` — only ``not <ident>`` introduces a negated literal.
+        """
+        token = self._peek()
+        if token is not None and token.kind == "IDENT" and token.text == "not":
+            after = (
+                self._tokens[self._index + 1]
+                if self._index + 1 < len(self._tokens)
+                else None
+            )
+            if after is not None and after.kind == "IDENT":
+                self._next()
+                atom = self.parse_atom()
+                return NegatedAtom(atom.predicate, atom.terms)
+        return self.parse_atom()
+
     def parse_rule(self) -> Rule:
         head = self.parse_atom()
         body: List[Atom] = []
         if self._accept("IMPLIES"):
             token = self._peek()
             if token is not None and token.kind == "IDENT":
-                body.append(self.parse_atom())
+                body.append(self.parse_literal())
                 while self._accept("COMMA"):
-                    body.append(self.parse_atom())
+                    body.append(self.parse_literal())
         self._accept("PERIOD")
         return Rule(head, tuple(body))
 

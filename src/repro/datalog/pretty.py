@@ -4,11 +4,11 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.datalog.atoms import Atom
+from repro.datalog.atoms import Atom, NegatedAtom
 from repro.datalog.database import Database
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
-from repro.datalog.terms import Constant, Parameter, Term, Variable
+from repro.datalog.terms import Aggregate, Constant, Parameter, Term, Variable
 
 
 def format_term(term: Term) -> str:
@@ -17,6 +17,8 @@ def format_term(term: Term) -> str:
         return term.name
     if isinstance(term, Parameter):
         return f"${term.name}"
+    if isinstance(term, Aggregate):
+        return f"{term.op}<{format_term(term.variable)}>"
     value = term.value
     if isinstance(value, str):
         if value and (value[0].isupper() or value[0] == "_" or not value.isidentifier()):
@@ -26,10 +28,11 @@ def format_term(term: Term) -> str:
 
 
 def format_atom(atom: Atom) -> str:
-    """Render an atom."""
+    """Render an atom (negated body literals get their ``not`` prefix)."""
+    prefix = "not " if isinstance(atom, NegatedAtom) else ""
     if not atom.terms:
-        return atom.predicate
-    return f"{atom.predicate}({', '.join(format_term(t) for t in atom.terms)})"
+        return prefix + atom.predicate
+    return f"{prefix}{atom.predicate}({', '.join(format_term(t) for t in atom.terms)})"
 
 
 def format_rule(rule: Rule) -> str:

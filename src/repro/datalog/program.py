@@ -11,9 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
-from repro.datalog.atoms import Atom
+from repro.datalog.atoms import Atom, NegatedAtom
 from repro.datalog.rules import Rule
-from repro.datalog.terms import Constant, Parameter, Variable
+from repro.datalog.terms import AGGREGATE_OPS, Aggregate, Constant, Parameter, Variable
 from repro.errors import ValidationError
 
 
@@ -155,7 +155,43 @@ class Program:
         (which :meth:`repro.datalog.session.QuerySession.prepare` does).
         """
         self.predicate_arities()
+        uses_negation = False
+        uses_aggregates = False
         for rule in self.rules:
+            if isinstance(rule.head, NegatedAtom):
+                raise ValidationError(
+                    f"rule {rule} has a negated head; negation is only legal "
+                    "in rule bodies"
+                )
+            aggregates = [t for t in rule.head.terms if isinstance(t, Aggregate)]
+            if aggregates:
+                uses_aggregates = True
+                if len(aggregates) > 1:
+                    raise ValidationError(
+                        f"rule {rule} has {len(aggregates)} aggregate head terms; "
+                        "at most one is allowed"
+                    )
+                (aggregate,) = aggregates
+                if aggregate.op not in AGGREGATE_OPS:
+                    raise ValidationError(
+                        f"rule {rule} uses unknown aggregate operator "
+                        f"{aggregate.op!r}; expected one of {', '.join(AGGREGATE_OPS)}"
+                    )
+                if aggregate.variable in (
+                    t for t in rule.head.terms if isinstance(t, Variable)
+                ):
+                    raise ValidationError(
+                        f"rule {rule} uses {aggregate.variable} both as a group-by "
+                        "head variable and as the aggregated variable"
+                    )
+            for atom in rule.body:
+                if any(isinstance(t, Aggregate) for t in atom.terms):
+                    raise ValidationError(
+                        f"rule {rule} uses an aggregate term in its body; "
+                        "aggregates are only legal in rule heads"
+                    )
+            if rule.negated_body():
+                uses_negation = True
             rule.check_safe()
             if rule.parameters():
                 raise ValidationError(
@@ -163,10 +199,22 @@ class Program:
                     "(QuerySession.prepare or DatalogService.prepare) instead of "
                     "evaluating the template directly"
                 )
-        if self.goal is not None and self.goal.predicate not in self.idb_predicates():
-            raise ValidationError(
-                f"goal predicate {self.goal.predicate} is not defined by any rule"
-            )
+        if self.goal is not None:
+            if isinstance(self.goal, NegatedAtom):
+                raise ValidationError("the goal atom cannot be negated")
+            if any(isinstance(t, Aggregate) for t in self.goal.terms):
+                raise ValidationError(
+                    "the goal atom cannot contain aggregate terms; query the "
+                    "aggregate rule's head predicate instead"
+                )
+            if self.goal.predicate not in self.idb_predicates():
+                raise ValidationError(
+                    f"goal predicate {self.goal.predicate} is not defined by any rule"
+                )
+        if uses_negation or uses_aggregates:
+            from repro.datalog.analysis import check_stratified
+
+            check_stratified(self)
 
     # ------------------------------------------------------------------
     # Functional updates
@@ -187,7 +235,7 @@ class Program:
         """Consistently rename predicate symbols according to *mapping*."""
 
         def rename_atom(atom: Atom) -> Atom:
-            return Atom(mapping.get(atom.predicate, atom.predicate), atom.terms)
+            return atom.rename_predicate(mapping.get(atom.predicate, atom.predicate))
 
         new_rules = tuple(
             Rule(rename_atom(rule.head), tuple(rename_atom(a) for a in rule.body))

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Tuple
 
-from repro.datalog.atoms import Atom
+from repro.datalog.atoms import Atom, NegatedAtom
 from repro.datalog.terms import Constant, Parameter, Term, Variable
 from repro.errors import UnsafeRuleError
 
@@ -67,17 +67,46 @@ class Rule:
         """Predicate symbols occurring in the body, with duplicates."""
         return tuple(atom.predicate for atom in self.body)
 
+    def positive_body(self) -> Tuple[Atom, ...]:
+        """The non-negated body atoms."""
+        return tuple(atom for atom in self.body if not isinstance(atom, NegatedAtom))
+
+    def negated_body(self) -> Tuple[Atom, ...]:
+        """The negated body atoms."""
+        return tuple(atom for atom in self.body if isinstance(atom, NegatedAtom))
+
     def is_safe(self) -> bool:
-        """A rule is safe (range restricted) if every head variable occurs in the body."""
-        body_vars = set()
-        for atom in self.body:
-            body_vars.update(atom.variables())
-        return all(var in body_vars for var in self.head.variables())
+        """A rule is safe (range restricted) if every head variable — including
+        aggregated ones — and every variable of a negated body literal occurs
+        in a *positive* body atom."""
+        positive_vars = set()
+        for atom in self.positive_body():
+            positive_vars.update(atom.variables())
+        if not all(var in positive_vars for var in self.head.variables()):
+            return False
+        for atom in self.negated_body():
+            if not all(var in positive_vars for var in atom.variables()):
+                return False
+        return True
 
     def check_safe(self) -> None:
         """Raise :class:`UnsafeRuleError` if the rule is not safe."""
-        if not self.is_safe():
-            raise UnsafeRuleError(f"rule {self} has head variables not bound in its body")
+        if self.is_safe():
+            return
+        positive_vars = set()
+        for atom in self.positive_body():
+            positive_vars.update(atom.variables())
+        for atom in self.negated_body():
+            loose = [var for var in atom.variables() if var not in positive_vars]
+            if loose:
+                names = ", ".join(var.name for var in loose)
+                raise UnsafeRuleError(
+                    f"rule {self} is unsafe: negated literal {atom} uses "
+                    f"variable(s) {names} not bound by any positive body atom"
+                )
+        raise UnsafeRuleError(
+            f"rule {self} has head variables not bound by a positive body atom"
+        )
 
     def substitute(self, substitution: Mapping[Variable, Term]) -> "Rule":
         """Apply a substitution to head and body."""

@@ -160,6 +160,12 @@ class DatalogService:
                 )
         if template.goal is None:
             raise EvaluationError(f"query {name!r} has no goal")
+        # Reject invalid templates at the registration boundary — unsafe
+        # rules, inconsistent arities, unstratifiable negation/aggregation —
+        # with the same diagnostics every other surface produces.  The
+        # durable layer applies before it logs, so a registration refused
+        # here leaves no WAL record behind.
+        template.validate()
         pipeline = (
             transforms if isinstance(transforms, Pipeline) else Pipeline(transforms)
         )

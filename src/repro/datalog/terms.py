@@ -74,7 +74,33 @@ class Parameter:
         return f"Parameter({self.name!r})"
 
 
-Term = Union[Variable, Constant, Parameter]
+#: Aggregate operators accepted in rule heads (``degree(X, count<Y>)``).
+AGGREGATE_OPS = ("count", "sum", "min", "max")
+
+
+@dataclass(frozen=True, order=True)
+class Aggregate:
+    """An aggregate head term, e.g. ``count<Y>`` or ``min<D>``.
+
+    ``op`` is one of :data:`AGGREGATE_OPS` and ``variable`` the aggregated
+    variable, which must be bound by a positive body atom (safety).  The
+    rule's remaining head terms form the *group key*; the aggregate is
+    computed over the **distinct** bindings of ``variable`` per group, so
+    the result is a function of the minimum model alone — independent of
+    join order, engine, and duplicate derivations.
+    """
+
+    op: str
+    variable: Variable
+
+    def __str__(self) -> str:
+        return f"{self.op}<{self.variable}>"
+
+    def __repr__(self) -> str:
+        return f"Aggregate({self.op!r}, {self.variable!r})"
+
+
+Term = Union[Variable, Constant, Parameter, Aggregate]
 
 
 def is_variable(term: Term) -> bool:
@@ -100,7 +126,7 @@ def make_term(value) -> Term:
     starting with ``$`` become parameters; anything else becomes a
     constant.  Existing terms are returned unchanged.
     """
-    if isinstance(value, (Variable, Constant, Parameter)):
+    if isinstance(value, (Variable, Constant, Parameter, Aggregate)):
         return value
     if isinstance(value, str) and value:
         if value[0].isupper() or value[0] == "_":

@@ -17,7 +17,7 @@ from typing import List
 from repro.datalog.atoms import Atom
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
-from repro.datalog.terms import Constant, Parameter
+from repro.datalog.terms import Aggregate, Constant, Parameter
 from repro.datalog.transforms.adornment import (
     AdornedProgram,
     adorn_program,
@@ -50,6 +50,25 @@ def magic_transform(program: Program) -> Program:
         raise ValidationError("magic sets require a goal")
     if not any(isinstance(term, (Constant, Parameter)) for term in program.goal.terms):
         raise ValidationError("magic sets require a goal with at least one bound argument")
+    # Magic guards change which instantiations a rule fires for; under a
+    # negated literal or an aggregate head that changes the *model*, not
+    # just the work (the complement/aggregate must see the full extension).
+    # Goal-reachable rules with either therefore refuse the rewrite —
+    # callers (the ``magic`` registry engine) treat the ValidationError as
+    # "engine not applicable" and fall back cleanly.
+    from repro.datalog.analysis import relevant_rules
+
+    for rule in relevant_rules(program):
+        if rule.negated_body():
+            raise ValidationError(
+                f"magic sets do not support negation: rule {rule} is "
+                "goal-reachable and has a negated body literal"
+            )
+        if any(isinstance(term, Aggregate) for term in rule.head.terms):
+            raise ValidationError(
+                f"magic sets do not support aggregates: rule {rule} is "
+                "goal-reachable and has an aggregate head term"
+            )
 
     adorned: AdornedProgram = adorn_program(program)
     idb_adorned = adorned.program.idb_predicates()

@@ -1,0 +1,46 @@
+"""Graph-analytics workloads: EDB generators plus a program portfolio.
+
+The package pairs scalable, seeded graph generators (:mod:`.graphs`) with
+the Datalog programs that consume them (:mod:`.programs`).  Benchmarks
+(``benchmarks/bench_e14_graph_analytics.py``), the differential tests, and
+the negation walkthrough in ``docs/negation.md`` all draw from here so
+every surface measures the same workloads.
+"""
+
+from repro.datalog.workloads.graphs import (
+    add_ordering,
+    add_successors,
+    grid,
+    points_to_input,
+    preferential_attachment,
+    random_graph,
+)
+from repro.datalog.workloads.programs import (
+    DEGREE,
+    POINTS_TO,
+    PORTFOLIO,
+    REACHABILITY,
+    SAME_GENERATION,
+    SHORTEST_PATH,
+    TRIANGLE,
+    UNREACHABLE,
+    parse_workload,
+)
+
+__all__ = [
+    "add_ordering",
+    "add_successors",
+    "grid",
+    "points_to_input",
+    "preferential_attachment",
+    "random_graph",
+    "DEGREE",
+    "POINTS_TO",
+    "PORTFOLIO",
+    "REACHABILITY",
+    "SAME_GENERATION",
+    "SHORTEST_PATH",
+    "TRIANGLE",
+    "UNREACHABLE",
+    "parse_workload",
+]

@@ -1,0 +1,197 @@
+"""Graph-analytics EDB generators at social-graph scale.
+
+The generators produce the database families the E14 benchmarks run on:
+preferential-attachment graphs (the heavy-tailed degree distribution of
+social networks), regular grids (long shortest paths, many same-length
+alternatives), uniform random digraphs, and synthetic points-to inputs for
+the context-insensitive Andersen analysis.  All of them are deterministic
+for a given seed and sized by *edge count*, because the engines' work is
+proportional to edges, not nodes.
+
+Conventions shared by every generator:
+
+* nodes are the integers ``0 .. node_count-1`` and every node gets a
+  ``node(i)`` fact (so negation-based programs like *unreachable* have a
+  safe positive domain to range over);
+* edges are ``edge(u, v)`` facts (self-loops are allowed in the random
+  family, absent in grids);
+* ``source(0)`` marks the canonical origin for reachability/shortest-path
+  programs (node 0 is the first, maximally connected node of a
+  preferential-attachment graph, so the reachable set is large).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.datalog.database import Database
+
+__all__ = [
+    "preferential_attachment",
+    "grid",
+    "random_graph",
+    "points_to_input",
+    "add_successors",
+    "add_ordering",
+]
+
+
+def _base(node_count: int, *, layout: str = "tuple") -> Database:
+    database = Database(layout=layout)
+    database.add_relations({"node": {(i,) for i in range(node_count)}})
+    database.add_relations({"source": {(0,)}})
+    return database
+
+
+def preferential_attachment(
+    node_count: int,
+    edges_per_node: int = 4,
+    seed: int = 0,
+    *,
+    layout: str = "tuple",
+) -> Database:
+    """A Barabási–Albert-style digraph: new nodes attach to popular ones.
+
+    Each arriving node emits *edges_per_node* edges whose targets are drawn
+    from the existing endpoint pool (so attachment probability is
+    proportional to current degree).  Edge count is
+    ``~ (node_count - 1) * edges_per_node`` before deduplication; the
+    degree distribution is heavy-tailed like real social graphs, which
+    makes the transitive closure wavefront wide early.
+    """
+    rng = random.Random(seed)
+    database = _base(node_count, layout=layout)
+    edges = set()
+    # Endpoint pool: every edge appends both ends, so the draw is
+    # degree-proportional (the standard trick, no explicit weights).
+    pool = [0]
+    for node in range(1, node_count):
+        for _ in range(edges_per_node):
+            target = pool[rng.randrange(len(pool))]
+            # Orient old -> new so early hubs (and source(0)) reach the
+            # bulk of the graph; attachment statistics are unaffected.
+            if target != node:
+                edges.add((target, node))
+            pool.append(target)
+        pool.append(node)
+    database.add_relations({"edge": edges})
+    return database
+
+
+def grid(
+    width: int,
+    height: int,
+    *,
+    layout: str = "tuple",
+) -> Database:
+    """A directed ``width x height`` grid: edges go right and down.
+
+    Node ``(x, y)`` is the integer ``y * width + x``.  Shortest paths from
+    the corner ``source(0)`` have length ``x + y`` with many alternatives,
+    which is exactly the regime where the min-aggregate shortest-path
+    program does nontrivial work.
+    """
+    database = _base(width * height, layout=layout)
+    edges = set()
+    for y in range(height):
+        for x in range(width):
+            node = y * width + x
+            if x + 1 < width:
+                edges.add((node, node + 1))
+            if y + 1 < height:
+                edges.add((node, node + width))
+    database.add_relations({"edge": edges})
+    return database
+
+
+def random_graph(
+    node_count: int,
+    edge_count: int,
+    seed: int = 0,
+    *,
+    layout: str = "tuple",
+) -> Database:
+    """A uniform random digraph with exactly *edge_count* distinct edges."""
+    if edge_count > node_count * node_count:
+        raise ValueError(
+            f"cannot place {edge_count} distinct edges on {node_count} nodes"
+        )
+    rng = random.Random(seed)
+    database = _base(node_count, layout=layout)
+    edges = set()
+    while len(edges) < edge_count:
+        edges.add((rng.randrange(node_count), rng.randrange(node_count)))
+    database.add_relations({"edge": edges})
+    return database
+
+
+def add_successors(database: Database, limit: int) -> Database:
+    """Add ``succ(i, i+1)`` facts for ``1 <= i < limit`` (in place).
+
+    The successor relation is the arithmetic the shortest-path program
+    needs: hop counts are data, not built-ins, and *limit* bounds the
+    distance domain (and with it the ``dist`` fixpoint's depth).
+    """
+    database.add_relations({"succ": {(i, i + 1) for i in range(1, limit)}})
+    return database
+
+
+def add_ordering(database: Database, node_count: int) -> Database:
+    """Add ``lt(i, j)`` facts for all ``i < j`` below *node_count* (in place).
+
+    The triangle program uses the strict order to pick one canonical
+    rotation per 3-cycle.  The relation is quadratic in *node_count*, so
+    only attach it to the small graphs the triangle workload runs on.
+    """
+    database.add_relations(
+        {"lt": {(i, j) for i in range(node_count) for j in range(i + 1, node_count)}}
+    )
+    return database
+
+
+def points_to_input(
+    variable_count: int,
+    statement_count: int,
+    seed: int = 0,
+    *,
+    heap_count: Optional[int] = None,
+    layout: str = "tuple",
+) -> Database:
+    """A synthetic input for context-insensitive Andersen points-to.
+
+    Emits the four statement relations of the classical formulation over
+    variables ``v0..`` and heap objects ``h0..``:
+
+    * ``alloc(v, h)`` — ``v = new h`` (20% of statements),
+    * ``assign(v, u)`` — ``v = u`` (40%),
+    * ``store(u, v)`` — ``u.f = v`` (20%),
+    * ``load(v, u)`` — ``v = u.f`` (20%).
+
+    The proportions follow the shape of real points-to benchmark suites:
+    copies dominate, and every heap object is allocated somewhere, so the
+    analysis's fixpoint is driven by copy/load/store propagation.
+    """
+    rng = random.Random(seed)
+    heaps = heap_count if heap_count is not None else max(variable_count // 4, 1)
+    alloc, assign, store, load = set(), set(), set(), set()
+    variables = [f"v{i}" for i in range(variable_count)]
+    objects = [f"h{i}" for i in range(heaps)]
+    # Ground every heap object in some allocation site first.
+    for index, heap in enumerate(objects):
+        alloc.add((variables[index % variable_count], heap))
+    for _ in range(max(statement_count - heaps, 0)):
+        kind = rng.random()
+        if kind < 0.2:
+            alloc.add((rng.choice(variables), rng.choice(objects)))
+        elif kind < 0.6:
+            assign.add((rng.choice(variables), rng.choice(variables)))
+        elif kind < 0.8:
+            store.add((rng.choice(variables), rng.choice(variables)))
+        else:
+            load.add((rng.choice(variables), rng.choice(variables)))
+    database = Database(layout=layout)
+    database.add_relations(
+        {"alloc": alloc, "assign": assign, "store": store, "load": load}
+    )
+    return database

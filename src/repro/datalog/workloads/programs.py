@@ -1,0 +1,104 @@
+"""The graph-analytics program portfolio for the E14 workloads.
+
+Each entry is a plain Datalog source string plus a ``parse_*`` helper, so
+benchmarks, tests, and docs all evaluate the *same* text the manual shows.
+The portfolio spans the language surface this subsystem added:
+
+* ``REACHABILITY`` — the linear-recursive baseline every engine handles;
+* ``UNREACHABLE`` — stratified negation over a recursive stratum;
+* ``SAME_GENERATION`` — nonlinear recursion (bushy joins);
+* ``SHORTEST_PATH`` — recursion feeding a ``min`` aggregate, with hop
+  arithmetic supplied by a ``succ`` EDB relation (see
+  :func:`repro.datalog.workloads.graphs.add_successors`);
+* ``DEGREE`` / ``TRIANGLE`` — ``count`` aggregates, grouped and global;
+* ``POINTS_TO`` — the four-rule context-insensitive Andersen analysis.
+"""
+
+from __future__ import annotations
+
+from repro.datalog.parser import parse_program
+from repro.datalog.program import Program
+
+__all__ = [
+    "REACHABILITY",
+    "UNREACHABLE",
+    "SAME_GENERATION",
+    "SHORTEST_PATH",
+    "DEGREE",
+    "TRIANGLE",
+    "POINTS_TO",
+    "PORTFOLIO",
+    "parse_workload",
+]
+
+REACHABILITY = """
+reach(Y) :- source(X), edge(X, Y).
+reach(Z) :- reach(Y), edge(Y, Z).
+"""
+
+# `reach` closes in a lower stratum; the complement ranges over the finite
+# `node` domain, which keeps the negated rule safe.
+UNREACHABLE = REACHABILITY + """
+unreach(X) :- node(X), not reach(X).
+"""
+
+SAME_GENERATION = """
+sg(X, X) :- node(X).
+sg(X, Y) :- edge(P, X), sg(P, Q), edge(Q, Y).
+"""
+
+# Distances are data: succ(D, D2) bounds the hop domain, and the min
+# aggregate collapses the dist fixpoint to one optimum per node.
+SHORTEST_PATH = """
+dist(Y, 1) :- source(X), edge(X, Y).
+dist(Z, D2) :- dist(Y, D), edge(Y, Z), succ(D, D2).
+shortest(Y, min<D>) :- dist(Y, D).
+"""
+
+DEGREE = """
+degree(X, count<Y>) :- edge(X, Y).
+"""
+
+# Each directed 3-cycle appears once, rotated so its least node leads
+# (lt is the strict order on nodes, an EDB relation — see add_ordering).
+# Aggregates count *distinct bindings of one variable* per group, so the
+# summaries are: per-apex triangle support (distinct middle vertices) and
+# the global count of nodes that lead some triangle.
+TRIANGLE = """
+tri(X, Y, Z) :- edge(X, Y), edge(Y, Z), edge(Z, X), lt(X, Y), lt(X, Z).
+tri_support(X, count<Y>) :- tri(X, Y, Z).
+tri_apexes(count<X>) :- tri(X, Y, Z).
+"""
+
+# Andersen's inclusion-based points-to, context-insensitive: allocation
+# seeds, copies propagate, and heap points-to (hpt) routes loads through
+# stores.  pt and hpt are mutually recursive — one big stratum.
+POINTS_TO = """
+pt(V, H) :- alloc(V, H).
+pt(V, H) :- assign(V, U), pt(U, H).
+hpt(H1, H2) :- store(U, V), pt(U, H1), pt(V, H2).
+pt(V, H2) :- load(V, U), pt(U, H1), hpt(H1, H2).
+"""
+
+PORTFOLIO = {
+    "reachability": REACHABILITY,
+    "unreachable": UNREACHABLE,
+    "same_generation": SAME_GENERATION,
+    "shortest_path": SHORTEST_PATH,
+    "degree": DEGREE,
+    "triangle": TRIANGLE,
+    "points_to": POINTS_TO,
+}
+
+
+def parse_workload(name: str) -> Program:
+    """Parse (and validate) a portfolio program by name."""
+    try:
+        source = PORTFOLIO[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; expected one of {sorted(PORTFOLIO)}"
+        ) from None
+    program = parse_program(source)
+    program.validate()
+    return program

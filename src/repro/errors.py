@@ -29,6 +29,16 @@ class UnsafeRuleError(ValidationError):
     """Raised when a rule has head variables that do not occur in its body."""
 
 
+class UnstratifiableProgramError(ValidationError):
+    """Raised when a program has a dependency cycle through negation or aggregation.
+
+    Stratified semantics require every negated (or aggregated) body
+    predicate to be fully closed before the rules that read it fire; a
+    cycle through such an edge makes that impossible.  The message names
+    the offending cycle and the edge kind.
+    """
+
+
 class EvaluationError(ReproError):
     """Raised when evaluation of a program over a database fails."""
 

@@ -144,6 +144,77 @@ pool_programs = st.sampled_from(PROGRAM_POOL)
 
 
 # ----------------------------------------------------------------------
+# Stratified negation / aggregate programs over the same e/f edge domain
+# ----------------------------------------------------------------------
+# Every program is stratified and safe: negated variables are bound by a
+# positive IDB domain predicate (n collects edge endpoints), and negation
+# and aggregation always read strata that close below them.  The shapes:
+# complement of a recursive closure, binary non-edge over the closure,
+# grouped count, min over a join, a global count over a negation stratum,
+# and sum guarded by negation on the second EDB relation.
+STRATIFIED_PROGRAM_POOL = [
+    parse_program(
+        """
+        ?u(X)
+        n(X) :- e(X, Y).
+        n(Y) :- e(X, Y).
+        r(Y) :- e(0, Y).
+        r(Y) :- r(X), e(X, Y).
+        u(X) :- n(X), not r(X).
+        """
+    ),
+    parse_program(
+        """
+        ?nt(X, Y)
+        n(X) :- e(X, Y).
+        n(Y) :- e(X, Y).
+        t(X, Y) :- e(X, Y).
+        t(X, Y) :- t(X, Z), e(Z, Y).
+        nt(X, Y) :- n(X), n(Y), not t(X, Y).
+        """
+    ),
+    parse_program(
+        """
+        ?d(X, C)
+        d(X, count<Y>) :- e(X, Y).
+        """
+    ),
+    parse_program(
+        """
+        ?m(X, M)
+        j(X, Y) :- e(X, Z), f(Z, Y).
+        m(X, min<Y>) :- j(X, Y).
+        """
+    ),
+    parse_program(
+        """
+        ?c(C)
+        n(X) :- e(X, Y).
+        n(Y) :- e(X, Y).
+        r(Y) :- e(0, Y).
+        r(Y) :- r(X), e(X, Y).
+        u(X) :- n(X), not r(X).
+        c(count<X>) :- u(X).
+        """
+    ),
+    parse_program(
+        """
+        ?s(X, S)
+        live(X) :- e(X, Y), not f(X, Y).
+        s(X, sum<Y>) :- e(X, Y), live(X).
+        """
+    ),
+]
+
+#: The pool entries a MaterializedView accepts: negation over strata that
+#: close below (aggregate heads are rejected at view construction).
+STRATIFIED_VIEW_POOL = STRATIFIED_PROGRAM_POOL[:2]
+
+stratified_programs = st.sampled_from(STRATIFIED_PROGRAM_POOL)
+stratified_view_programs = st.sampled_from(STRATIFIED_VIEW_POOL)
+
+
+# ----------------------------------------------------------------------
 # Wider-arity EDBs over a larger mixed domain (columnar differential)
 # ----------------------------------------------------------------------
 # The columnar lanes split by head arity (<=2 rows ride the vector lane,

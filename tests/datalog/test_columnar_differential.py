@@ -33,6 +33,8 @@ from tests.datalog.strategies import (
     edge_databases,
     edge_fact_batches,
     pool_programs,
+    stratified_programs,
+    stratified_view_programs,
     wide_databases,
     wide_fact_batches,
     wide_programs,
@@ -68,6 +70,19 @@ def test_columnar_matches_tuple_binary_pool(program, database):
 @settings(max_examples=40, deadline=None)
 @given(wide_programs, wide_databases())
 def test_columnar_matches_tuple_wide_pool(program, database):
+    assert_same_observables(program, database)
+
+
+@settings(max_examples=40, deadline=None)
+@given(stratified_programs, edge_databases())
+def test_columnar_matches_tuple_stratified_pool(program, database):
+    """Anti-join kernels and aggregate fallback under the columnar layout.
+
+    The stratified pool drives the batch/vector anti-join lanes (negated
+    literals) and the planner's tuple-path fallback (aggregate heads);
+    both must be observationally identical to the tuple baseline for every
+    applicable engine.
+    """
     assert_same_observables(program, database)
 
 
@@ -124,6 +139,32 @@ def test_packed_lane_matches_tuple_when_vector_lane_disabled(program, database):
 
 
 @settings(max_examples=25, deadline=None)
+@given(stratified_programs, edge_databases())
+def test_packed_lane_anti_join_matches_tuple(program, database):
+    """Negated literals normally hit the vector anti lane on binary heads;
+    force the packed-bigint lane and the oracle must still hold."""
+    original = vector.supported
+    vector.supported = lambda *args: False
+    try:
+        assert_same_observables(program, database)
+    finally:
+        vector.supported = original
+
+
+@settings(max_examples=25, deadline=None)
+@given(stratified_programs, edge_databases())
+def test_vector_anti_fallback_dedup_matches_tuple(program, database):
+    """Zero bitmap budget pushes the vector anti-join through its
+    sorted-membership fallback; the oracle must still hold."""
+    original = vector._BITMAP_DOMAIN_MAX
+    vector._BITMAP_DOMAIN_MAX = 0
+    try:
+        assert_same_observables(program, database)
+    finally:
+        vector._BITMAP_DOMAIN_MAX = original
+
+
+@settings(max_examples=25, deadline=None)
 @given(pool_programs, edge_databases())
 def test_vector_fallback_dedup_matches_tuple(program, database):
     """Shrink the dense-bitmap budget to zero so the vector lane takes its
@@ -166,6 +207,21 @@ def test_incremental_columnar_matches_tuple_binary(program, database, data):
     tuple_view = MaterializedView(program, database)
     assert_views_agree(columnar_view, tuple_view)
     for insertions, deletions in data.draw(mutation_sequences(edge_fact_batches())):
+        columnar_view.apply(insertions=insertions, deletions=deletions)
+        tuple_view.apply(insertions=insertions, deletions=deletions)
+        assert_views_agree(columnar_view, tuple_view)
+
+
+@settings(max_examples=20, deadline=None)
+@given(stratified_view_programs, edge_databases(), st.data())
+def test_incremental_columnar_matches_tuple_stratified(program, database, data):
+    """A columnar-layout negation view walks the same model as a tuple one."""
+    columnar_view = MaterializedView(program, database.with_layout("columnar"))
+    tuple_view = MaterializedView(program, database)
+    assert_views_agree(columnar_view, tuple_view)
+    for insertions, deletions in data.draw(
+        mutation_sequences(edge_fact_batches(), max_steps=3)
+    ):
         columnar_view.apply(insertions=insertions, deletions=deletions)
         tuple_view.apply(insertions=insertions, deletions=deletions)
         assert_views_agree(columnar_view, tuple_view)

@@ -180,6 +180,48 @@ class TestEndpoints:
         )
         assert status == 400 and "unknown transform" in body["error"]
 
+    def test_register_rejects_invalid_programs_without_wal_record(self, server):
+        """Unsafe or unstratifiable programs get a 400 with the same
+        diagnostic every other surface prints, and — because the durable
+        layer applies before it logs — leave no WAL record behind."""
+        install_reach(server)
+        records_before = server.durable._wal.record_count
+        status, body, _ = server.post(
+            "/register",
+            {"name": "win", "source": "?win(X)\nwin(X) :- move(X, Y), not win(Y)."},
+        )
+        assert status == 400
+        assert "not stratifiable" in body["error"]
+        assert "win -> win" in body["error"]
+        status, body, _ = server.post(
+            "/register",
+            {"name": "loose", "source": "?u(X)\nu(X) :- n(X), not r(X, Z)."},
+        )
+        assert status == 400 and "unsafe" in body["error"]
+        assert server.durable._wal.record_count == records_before
+        status, body, _ = server.get("/statistics")
+        assert json.loads(body)["registered_queries"] == 1
+
+    def test_register_accepts_stratified_negation_and_aggregates(self, server):
+        source = """
+        ?u(X)
+        n(X) :- edge(X, Y).
+        n(Y) :- edge(X, Y).
+        r(Y) :- edge(a, Y).
+        r(Y) :- r(X), edge(X, Y).
+        u(X) :- n(X), not r(X).
+        """
+        status, body, _ = server.post(
+            "/register", {"name": "unreach", "source": source}
+        )
+        assert status == 200, body
+        server.post(
+            "/add_facts",
+            {"facts": [["edge", ["a", "b"]], ["edge", ["c", "d"]]]},
+        )
+        status, body, _ = server.post("/execute", {"name": "unreach"})
+        assert (status, body) == (200, {"answers": [["a"], ["c"], ["d"]]})
+
     def test_keep_alive_serves_multiple_requests(self, server):
         install_reach(server)
         conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
