@@ -29,7 +29,12 @@ Acceptance gates (all also run in the plain suite under
   fact count (the durability contract, measured at the HTTP boundary);
 * **latency** — the subprocess server's p95 read latency under mixed 90/10
   traffic stays within 3x of the in-process comparable (floored against CI
-  timer noise), so durability never costs an order of magnitude.
+  timer noise), so durability never costs an order of magnitude;
+* **deadline guardrail** — a deliberately unbounded query (full transitive
+  closure of a 500-node ring) submitted with a 50 ms request deadline is
+  shed with ``408`` at its next cooperative checkpoint, while concurrent
+  well-behaved reads keep their p95 within the same 3x bound — a runaway
+  query cannot capture the server.
 """
 
 import asyncio
@@ -305,6 +310,105 @@ def test_read_p95_within_3x_of_inprocess(live_server, inprocess_server):
         f"{inprocess_p95 * 1e3:.2f} ms (floor {floor * 1e3:.2f} ms): "
         f"{served_p95 / floor:.2f}x exceeds the 3x gate"
     )
+
+
+# ----------------------------------------------------------------------
+# Gate: a 50ms deadline sheds the runaway query, reads stay fast
+# ----------------------------------------------------------------------
+RUNAWAY_PROGRAM = """\
+?tc(X, Y)
+tc(X, Y) :- link(X, Y).
+tc(X, Y) :- tc(X, Z), link(Z, Y).
+"""
+RUNAWAY_NODES = 500  # full TC = 250k facts, ~1s: far beyond a 50ms deadline
+DEADLINE = 0.05
+#: p95 floor (seconds) for the guardrail's 3x bound.  While the runaway
+#: burns its 50ms budget it holds the GIL between checkpoints, so a cheap
+#: cached read (~2ms unloaded) waits behind interpreter timeslices
+#: (sys.getswitchinterval() is 5ms); the gate asserts reads stay in
+#: single-digit milliseconds — not seconds — under attack, not that the
+#: GIL went away.
+GUARDRAIL_FLOOR = 0.005
+
+
+def test_deadline_guardrail_sheds_runaway_reads_stay_fast(tmp_path):
+    """The runaway query returns 408 at ~the deadline; concurrent reads of
+    the ordinary workload keep p95 within the same 3x bound as unloaded."""
+    process, port = start_subprocess_server(tmp_path / "data", "--fsync", "batch")
+    try:
+        setup_workload("127.0.0.1", port, nodes=NODES, seed=SEED)
+        client = KeepAliveClient(port)
+        try:
+            status, body = client.post(
+                "/register", {"name": "tc", "source": RUNAWAY_PROGRAM}
+            )
+            assert status == 200, body
+            status, body = client.post(
+                "/add_facts",
+                {
+                    "facts": [
+                        ["link", [f"n{i}", f"n{(i + 1) % RUNAWAY_NODES}"]]
+                        for i in range(RUNAWAY_NODES)
+                    ]
+                },
+            )
+            assert status == 200, body
+        finally:
+            client.close()
+
+        def read_p95(requests: int) -> float:
+            reader = KeepAliveClient(port)
+            try:
+                rng = random.Random(SEED)
+                samples = []
+                for _ in range(requests):
+                    source = f"n{rng.randrange(NODES)}"
+                    start = time.perf_counter()
+                    status, body = reader.post(
+                        "/execute", {"name": "reach", "params": {"src": source}}
+                    )
+                    samples.append(time.perf_counter() - start)
+                    assert status == 200, body
+                return percentile(samples, 0.95)
+            finally:
+                reader.close()
+
+        read_p95(20)  # warm the cache and the interpreter
+        baseline_p95 = read_p95(100)
+
+        shed = []
+
+        def hammer():
+            heavy = KeepAliveClient(port)
+            try:
+                for _ in range(6):
+                    status, body = heavy.post(
+                        "/execute",
+                        {"name": "tc", "fresh": True, "timeout": DEADLINE},
+                    )
+                    shed.append((status, body.get("error", "")))
+            finally:
+                heavy.close()
+
+        runaway = threading.Thread(target=hammer)
+        runaway.start()
+        loaded_p95 = read_p95(100)
+        runaway.join(timeout=60)
+        assert not runaway.is_alive(), "runaway client never finished"
+
+        # Every runaway attempt was shed with 408 at a checkpoint.
+        assert shed and all(status == 408 for status, _ in shed), shed
+        assert all("deadline" in error for _, error in shed), shed
+
+        floor = max(baseline_p95, GUARDRAIL_FLOOR)
+        assert loaded_p95 <= 3.0 * floor, (
+            f"read p95 under runaway load {loaded_p95 * 1e3:.2f} ms vs "
+            f"unloaded {baseline_p95 * 1e3:.2f} ms (floor {floor * 1e3:.2f} ms): "
+            f"{loaded_p95 / floor:.2f}x exceeds the 3x guardrail"
+        )
+    finally:
+        process.send_signal(signal.SIGTERM)
+        process.wait(timeout=30)
 
 
 # ----------------------------------------------------------------------

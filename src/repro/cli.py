@@ -179,9 +179,13 @@ def command_evaluate(arguments: argparse.Namespace) -> int:
             _print(prepared.describe())
             _print()
         if arguments.incremental:
-            _print_view_result(prepared.materialize(params))
+            _print_view_result(prepared.materialize(params, timeout=arguments.timeout))
             return 0
-        result = prepared.execute(params, max_iterations=arguments.max_iterations)
+        result = prepared.execute(
+            params,
+            max_iterations=arguments.max_iterations,
+            timeout=arguments.timeout,
+        )
         answers = sorted(result.answers(), key=repr)
         for answer in answers:
             _print("(" + ", ".join(str(value) for value in answer) + ")")
@@ -198,7 +202,7 @@ def command_evaluate(arguments: argparse.Namespace) -> int:
         if arguments.explain:
             _print(session.explain())
             _print()
-        _print_view_result(session.materialize())
+        _print_view_result(session.materialize(timeout=arguments.timeout))
         return 0
     if arguments.explain:
         # Explain the plan for what the engine actually evaluates: engines
@@ -221,7 +225,11 @@ def command_evaluate(arguments: argparse.Namespace) -> int:
                 "no join plan to show"
             )
         _print()
-    result = session.evaluate(engine=arguments.engine, max_iterations=arguments.max_iterations)
+    result = session.evaluate(
+        engine=arguments.engine,
+        max_iterations=arguments.max_iterations,
+        timeout=arguments.timeout,
+    )
     answers = sorted(result.answers(), key=repr)
     for answer in answers:
         _print("(" + ", ".join(str(value) for value in answer) + ")")
@@ -370,6 +378,8 @@ def command_serve(arguments: argparse.Namespace) -> int:
         sync_interval=arguments.sync_interval,
         cache_size=arguments.cache_size,
         default_engine=arguments.engine,
+        request_timeout=arguments.request_timeout,
+        slow_query_threshold=arguments.slow_query_threshold,
     )
     return 0
 
@@ -466,6 +476,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="abort fixpoint iteration after this many rounds",
+    )
+    evaluate.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline for the evaluation; past it the engine "
+        "aborts at its next cooperative checkpoint with a timeout error",
     )
     evaluate.add_argument(
         "--explain",
@@ -566,6 +584,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--engine", default=QuerySession.DEFAULT_ENGINE,
         help="default execution engine for registered programs",
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=None, metavar="SECONDS",
+        help="deadline for engine-running requests; past it the evaluation "
+        "aborts cooperatively and the client gets 408 (a request body's "
+        "\"timeout\" field can tighten but never loosen this)",
+    )
+    serve.add_argument(
+        "--slow-query-threshold", type=float, default=1.0, metavar="SECONDS",
+        help="log + count requests slower than this (default: %(default)s)",
     )
     serve.set_defaults(handler=command_serve)
 

@@ -16,6 +16,12 @@ from repro.datalog.engine import (
     register_engine,
     select_answers,
 )
+from repro.datalog.guard import (
+    CancellationToken,
+    ExecutionGuard,
+    ResourceBudget,
+    build_guard,
+)
 from repro.datalog.incremental import ApplyReport, MaintenanceStatistics, MaterializedView
 from repro.datalog.parser import parse_atom, parse_facts, parse_program, parse_rule, parse_term
 from repro.datalog.prepared import AnswerCursor, BoundQuery, PreparedQuery
@@ -35,9 +41,11 @@ __all__ = [
     "ApplyReport",
     "Atom",
     "BoundQuery",
+    "CancellationToken",
     "Constant",
     "Database",
     "DatalogService",
+    "ExecutionGuard",
     "MaintenanceStatistics",
     "MaterializedView",
     "DerivationAnalyzer",
@@ -52,12 +60,14 @@ __all__ = [
     "ProgramPlan",
     "QueryNotRegisteredError",
     "QuerySession",
+    "ResourceBudget",
     "Rule",
     "ServiceDrainingError",
     "Term",
     "TopDownEvaluator",
     "Variable",
     "available_engines",
+    "build_guard",
     "fact",
     "format_atom",
     "format_database",

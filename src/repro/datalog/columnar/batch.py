@@ -897,25 +897,30 @@ def _head_arities(plan) -> Dict[str, Set[int]]:
 
 
 def evaluate_seminaive(
-    program, database, plan, statistics, max_iterations: Optional[int]
+    program, database, plan, statistics, max_iterations: Optional[int], guard=None
 ) -> EvaluationResult:
     """The semi-naive fixpoint over columnar state (statistics-identical).
 
     Dispatches to the NumPy vector lane when the program's head relations
     fit 64-bit packed keys (see :mod:`repro.datalog.columnar.vector`);
     otherwise runs the packed-bigint lane below, which handles any arity.
+    An armed *guard* is checkpointed at every round boundary and between
+    kernel batches, so even a single enormous round stays cancellable; the
+    working state is lane-private, so aborts leave *database* untouched.
     """
     from repro.datalog.columnar import vector
 
     if vector.supported(plan, database.columnar_store().table, program):
         return vector.evaluate_seminaive(
-            program, database, plan, statistics, max_iterations
+            program, database, plan, statistics, max_iterations, guard=guard
         )
     idb_predicates = program.idb_predicates()
     working = _BatchWorking(database)
     _load_facts_seminaive(program, working, statistics)
 
     def check_budget() -> None:
+        if guard is not None:
+            guard.checkpoint(statistics)
         if max_iterations is not None and statistics.iterations > max_iterations:
             raise EvaluationError(
                 f"semi-naive evaluation exceeded {max_iterations} iterations"
@@ -931,6 +936,8 @@ def evaluate_seminaive(
         check_budget()
         buckets: Dict[str, set] = {}
         for rule, batch in kernels:
+            if guard is not None:
+                guard.checkpoint(statistics)
             bucket = buckets.setdefault(rule.head.predicate, set())
             _fire_static(batch, working, bucket, statistics)
         delta, added = _commit(working, buckets, head_arities, build_delta=True)
@@ -944,6 +951,8 @@ def evaluate_seminaive(
             buckets = {}
             delta_predicates = set(delta)
             for rule, batch in kernels:
+                if guard is not None:
+                    guard.checkpoint(statistics)
                 bucket = buckets.setdefault(rule.head.predicate, set())
                 _fire_delta(
                     batch, rule, working, delta, delta_predicates, bucket, statistics
@@ -955,17 +964,18 @@ def evaluate_seminaive(
 
 
 def evaluate_naive(
-    program, database, plan, statistics, max_iterations: Optional[int]
+    program, database, plan, statistics, max_iterations: Optional[int], guard=None
 ) -> EvaluationResult:
     """The naive fixpoint over columnar state (statistics-identical).
 
-    Same lane dispatch as :func:`evaluate_seminaive`.
+    Same lane dispatch — and same guard checkpoints — as
+    :func:`evaluate_seminaive`.
     """
     from repro.datalog.columnar import vector
 
     if vector.supported(plan, database.columnar_store().table, program):
         return vector.evaluate_naive(
-            program, database, plan, statistics, max_iterations
+            program, database, plan, statistics, max_iterations, guard=guard
         )
     working = _BatchWorking(database)
     fact_rules, _ = split_rules(program)
@@ -981,12 +991,16 @@ def evaluate_naive(
         changed = True
         while changed:
             statistics.record_iteration(stratum.label)
+            if guard is not None:
+                guard.checkpoint(statistics)
             if max_iterations is not None and statistics.iterations > max_iterations:
                 raise EvaluationError(
                     f"naive evaluation exceeded {max_iterations} iterations"
                 )
             buckets: Dict[str, set] = {}
             for rule, batch in kernels:
+                if guard is not None:
+                    guard.checkpoint(statistics)
                 bucket = buckets.setdefault(rule.head.predicate, set())
                 _fire_static(batch, working, bucket, statistics)
             _, added = _commit(working, buckets, head_arities, build_delta=False)

@@ -777,7 +777,7 @@ def _stratum_kernels(plan, stratum, table):
 
 
 def evaluate_seminaive(
-    program, database, plan, statistics, max_iterations: Optional[int]
+    program, database, plan, statistics, max_iterations: Optional[int], guard=None
 ) -> EvaluationResult:
     idb_predicates = program.idb_predicates()
     working = _VectorWorking(database)
@@ -790,6 +790,8 @@ def evaluate_seminaive(
     working.seal_facts()
 
     def check_budget() -> None:
+        if guard is not None:
+            guard.checkpoint(statistics)
         if max_iterations is not None and statistics.iterations > max_iterations:
             raise EvaluationError(
                 f"semi-naive evaluation exceeded {max_iterations} iterations"
@@ -804,6 +806,8 @@ def evaluate_seminaive(
         check_budget()
         buckets: Dict[Tuple[str, int], List] = {}
         for rule, batch in kernels:
+            if guard is not None:
+                guard.checkpoint(statistics)
             _fire_static(batch, working, buckets, statistics)
         delta, added = _commit(working, buckets, build_delta=True)
 
@@ -816,6 +820,8 @@ def evaluate_seminaive(
             buckets = {}
             delta_predicates = set(delta)
             for rule, batch in kernels:
+                if guard is not None:
+                    guard.checkpoint(statistics)
                 _fire_delta(
                     batch, rule, working, delta, delta_predicates, buckets, statistics
                 )
@@ -826,7 +832,7 @@ def evaluate_seminaive(
 
 
 def evaluate_naive(
-    program, database, plan, statistics, max_iterations: Optional[int]
+    program, database, plan, statistics, max_iterations: Optional[int], guard=None
 ) -> EvaluationResult:
     working = _VectorWorking(database)
 
@@ -843,12 +849,16 @@ def evaluate_naive(
         changed = True
         while changed:
             statistics.record_iteration(stratum.label)
+            if guard is not None:
+                guard.checkpoint(statistics)
             if max_iterations is not None and statistics.iterations > max_iterations:
                 raise EvaluationError(
                     f"naive evaluation exceeded {max_iterations} iterations"
                 )
             buckets: Dict[Tuple[str, int], List] = {}
             for rule, batch in kernels:
+                if guard is not None:
+                    guard.checkpoint(statistics)
                 _fire_static(batch, working, buckets, statistics)
             _, added = _commit(working, buckets, build_delta=False)
             changed = added > 0

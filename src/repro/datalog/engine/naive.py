@@ -41,6 +41,7 @@ def _evaluate(
     planner: Optional[Planner] = None,
     plan: Optional[ProgramPlan] = None,
     compiled: bool = True,
+    guard=None,
 ) -> EvaluationResult:
     """Compute the minimum model of *program* over *database* naively.
 
@@ -64,6 +65,10 @@ def _evaluate(
         without one — and every rule when ``compiled=False``, which the
         kernel benchmarks use to time the baseline — run through the
         interpreted :func:`~repro.datalog.engine.base.match_body` path.
+    guard:
+        Optional armed :class:`~repro.datalog.guard.ExecutionGuard`,
+        checkpointed at every round boundary; aborts leave *database*
+        untouched (evaluation runs over a working copy).
     """
     program.validate()
     statistics = EvaluationStatistics()
@@ -82,7 +87,9 @@ def _evaluate(
         from repro.datalog.columnar.batch import evaluate_naive, plan_supported
 
         if plan_supported(plan):
-            return evaluate_naive(program, database, plan, statistics, max_iterations)
+            return evaluate_naive(
+                program, database, plan, statistics, max_iterations, guard=guard
+            )
 
     working = database.copy()
 
@@ -100,6 +107,8 @@ def _evaluate(
         while changed:
             changed = False
             statistics.record_iteration(stratum.label)
+            if guard is not None:
+                guard.checkpoint(statistics)
             if max_iterations is not None and statistics.iterations > max_iterations:
                 raise EvaluationError(
                     f"naive evaluation exceeded {max_iterations} iterations"

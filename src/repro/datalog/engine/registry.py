@@ -33,21 +33,24 @@ from typing import Callable, Dict, Optional, Protocol, Tuple, runtime_checkable
 from repro.datalog.database import Database
 from repro.datalog.engine.base import EvaluationResult
 from repro.datalog.program import Program
-from repro.errors import EvaluationError, ReproError
+from repro.errors import (
+    EngineNotApplicableError,
+    EngineNotFoundError,
+    EvaluationError,
+)
 
-
-class EngineNotFoundError(ReproError):
-    """Raised when :func:`get_engine` is asked for an unknown engine name."""
-
-
-class EngineNotApplicableError(ReproError):
-    """Raised when an engine's program rewrite rejects the input program.
-
-    This is the one error class :meth:`QuerySession.compare` treats as "this
-    engine simply does not apply here" (e.g. magic sets on a goal without
-    constants).  Anything else an engine raises — including an invalid
-    *rewritten* program — is a genuine failure and propagates.
-    """
+__all__ = [
+    "Engine",
+    "EngineNotApplicableError",
+    "EngineNotFoundError",
+    "FunctionEngine",
+    "TransformedEngine",
+    "available_engines",
+    "engine_descriptions",
+    "get_engine",
+    "register_engine",
+    "unregister_engine",
+]
 
 
 @runtime_checkable
@@ -143,6 +146,12 @@ class FunctionEngine:
     ``match_body`` baseline is ``get_engine("seminaive").evaluate(...,
     compiled=False)``.  Asking a toggle-less engine for it raises rather
     than silently timing the wrong thing.
+
+    ``supports_guard`` marks functions that accept a ``guard=`` keyword (an
+    armed :class:`~repro.datalog.guard.ExecutionGuard`) and call its
+    checkpoints cooperatively.  Like ``max_iterations``, a guard is a safety
+    valve: passing one to an engine that would ignore it raises instead of
+    silently running unbounded.
     """
 
     name: str
@@ -151,6 +160,7 @@ class FunctionEngine:
     supports_max_iterations: bool = True
     supports_planner: bool = False
     supports_compiled: bool = False
+    supports_guard: bool = False
 
     def evaluate(
         self,
@@ -161,6 +171,7 @@ class FunctionEngine:
         planner=None,
         plan=None,
         compiled: Optional[bool] = None,
+        guard=None,
     ) -> EvaluationResult:
         kwargs = {}
         if self.supports_planner and planner is not None:
@@ -177,6 +188,13 @@ class FunctionEngine:
                     f"engine {self.name!r} has no compiled/interpreted toggle"
                 )
             kwargs["compiled"] = compiled
+        if guard is not None:
+            if not self.supports_guard:
+                # Silently dropping a guard would run the query unbounded.
+                raise EvaluationError(
+                    f"engine {self.name!r} does not support cooperative guards"
+                )
+            kwargs["guard"] = guard
         if self.supports_max_iterations:
             return self.function(program, database, max_iterations=max_iterations, **kwargs)
         if max_iterations is not None:
@@ -207,6 +225,11 @@ class TransformedEngine:
         """Forward a planner exactly when the delegate engine can use one."""
         return bool(getattr(get_engine(self.delegate), "supports_planner", False))
 
+    @property
+    def supports_guard(self) -> bool:
+        """Forward a guard exactly when the delegate engine honours one."""
+        return bool(getattr(get_engine(self.delegate), "supports_guard", False))
+
     def evaluate(
         self,
         program: Program,
@@ -216,6 +239,7 @@ class TransformedEngine:
         planner=None,
         plan=None,
         compiled: Optional[bool] = None,
+        guard=None,
     ) -> EvaluationResult:
         from repro.errors import ValidationError
 
@@ -240,17 +264,23 @@ class TransformedEngine:
         if compiled is not None:
             # The delegate's own toggle check raises if it has none.
             kwargs["compiled"] = compiled
+        if guard is not None:
+            # The delegate's own support check raises if it ignores guards.
+            kwargs["guard"] = guard
         return delegate.evaluate(
             rewritten, database, max_iterations=max_iterations, **kwargs
         )
 
 
 def _topdown(
-    program: Program, database: Database, max_iterations: Optional[int] = None
+    program: Program,
+    database: Database,
+    max_iterations: Optional[int] = None,
+    guard=None,
 ) -> EvaluationResult:
     from repro.datalog.engine.topdown import _evaluate
 
-    return _evaluate(program, database, max_iterations=max_iterations)
+    return _evaluate(program, database, max_iterations=max_iterations, guard=guard)
 
 
 def _register_builtins() -> None:
@@ -266,6 +296,7 @@ def _register_builtins() -> None:
             naive_evaluate,
             supports_planner=True,
             supports_compiled=True,
+            supports_guard=True,
         )
     )
     register_engine(
@@ -276,6 +307,7 @@ def _register_builtins() -> None:
             seminaive_evaluate,
             supports_planner=True,
             supports_compiled=True,
+            supports_guard=True,
         )
     )
     register_engine(
@@ -283,6 +315,7 @@ def _register_builtins() -> None:
             "topdown",
             "memoizing top-down: tabled resolution exploring only goal-reachable subqueries",
             _topdown,
+            supports_guard=True,
         )
     )
     register_engine(

@@ -45,6 +45,7 @@ def _evaluate(
     planner: Optional[Planner] = None,
     plan: Optional[ProgramPlan] = None,
     compiled: bool = True,
+    guard=None,
 ) -> EvaluationResult:
     """Compute the minimum model of *program* over *database* semi-naively.
 
@@ -63,6 +64,12 @@ def _evaluate(
     through it; rules without one — and all rules when ``compiled=False``,
     the baseline the kernel benchmarks time against — run through the
     interpreted :func:`~repro.datalog.engine.base.match_body` path.
+
+    *guard*, when supplied (an armed
+    :class:`~repro.datalog.guard.ExecutionGuard`), is checkpointed at every
+    fixpoint round boundary: a deadline, budget, or cancellation abort
+    raises its typed error with the input database untouched (evaluation
+    runs over a working copy).
     """
     program.validate()
     statistics = EvaluationStatistics()
@@ -84,7 +91,9 @@ def _evaluate(
         from repro.datalog.columnar.batch import evaluate_seminaive, plan_supported
 
         if plan_supported(plan):
-            return evaluate_seminaive(program, database, plan, statistics, max_iterations)
+            return evaluate_seminaive(
+                program, database, plan, statistics, max_iterations, guard=guard
+            )
 
     working = database.copy()
 
@@ -96,6 +105,8 @@ def _evaluate(
         statistics.record_fact(rule.head.predicate, is_new)
 
     def check_budget() -> None:
+        if guard is not None:
+            guard.checkpoint(statistics)
         if max_iterations is not None and statistics.iterations > max_iterations:
             raise EvaluationError(
                 f"semi-naive evaluation exceeded {max_iterations} iterations"

@@ -55,10 +55,16 @@ def _matches_call(values: Tuple, call: Call) -> bool:
 class TopDownEvaluator:
     """Tabled top-down evaluation of a Datalog program."""
 
-    def __init__(self, program: Program, database: Database):
+    def __init__(self, program: Program, database: Database, guard=None):
         program.validate()
         self.program = program
         self.database = database
+        # Armed ExecutionGuard (or None): checkpointed at every outer
+        # fixpoint round and at every rule-resolution step inside _solve,
+        # so even a single monster iteration stays cancellable.  Tables are
+        # evaluator-private — an abort discards them with the database
+        # untouched.
+        self.guard = guard
         self.statistics = EvaluationStatistics()
         self._idb = program.idb_predicates()
         self._tables: Dict[Call, Set[Tuple]] = {}
@@ -86,6 +92,8 @@ class TopDownEvaluator:
         while True:
             self._changed = False
             self.statistics.iterations += 1
+            if self.guard is not None:
+                self.guard.checkpoint(self.statistics)
             if max_iterations is not None and self.statistics.iterations - start > max_iterations:
                 raise EvaluationError(
                     f"top-down evaluation exceeded {max_iterations} iterations"
@@ -133,6 +141,8 @@ class TopDownEvaluator:
                 table.add(values)
                 self._changed = True
         for rule in self.program.rules_for(predicate):
+            if self.guard is not None:
+                self.guard.checkpoint(self.statistics)
             renamed = rule.rename_variables("__td")
             head_binding: Substitution = {}
             consistent = True
@@ -313,7 +323,8 @@ def _evaluate(
     database: Database,
     goal: Optional[Atom] = None,
     max_iterations: Optional[int] = None,
+    guard=None,
 ):
     """Build an evaluator, run the goal, return the result (registry entry point)."""
-    evaluator = TopDownEvaluator(program, database)
+    evaluator = TopDownEvaluator(program, database, guard=guard)
     return evaluator.result(goal, max_iterations=max_iterations)

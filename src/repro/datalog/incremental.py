@@ -300,7 +300,7 @@ class MaterializedView:
     there; recursive strata fall back to DRed, which needs no counts.
     """
 
-    def __init__(self, program, database: Database, *, compiled: bool = True):
+    def __init__(self, program, database: Database, *, compiled: bool = True, guard=None):
         inner = getattr(program, "program", None)
         if not isinstance(program, Program):
             if isinstance(inner, Program):
@@ -399,7 +399,14 @@ class MaterializedView:
         # serves every materialized read through answers(), so repeat reads
         # between writes must be O(1), not a select over the full relation.
         self._answers_cache: Optional[Tuple[int, FrozenSet[Tuple]]] = None
+        # The guard covers only the initial build: an abort there discards
+        # this half-constructed object with the caller's database untouched
+        # (the model is a private copy).  Maintenance sweeps mutate the model
+        # in place, so they must run to completion — interrupting one would
+        # leave the view corrupt — hence the guard is disarmed after _build.
+        self._guard = guard
         self._build()
+        self._guard = None
         # Goal-directed join orders for the rederivation check: the head is
         # fully bound there, so the greedy planner can start from the most
         # selective probe instead of the static (head-free) order — on a deep
@@ -557,8 +564,12 @@ class MaterializedView:
         """One full pass over a non-recursive stratum, counting every firing."""
         model = self._model
         self.statistics.record_iteration(stratum.label)
+        if self._guard is not None:
+            self._guard.checkpoint(self.statistics)
         buckets: Dict[str, Set[Tuple]] = {}
         for rule in stratum.rules:
+            if self._guard is not None:
+                self._guard.checkpoint(self.statistics)
             predicate = rule.head.predicate
             counts = self._counts[predicate]
             present = model.relation_view(predicate)
@@ -591,6 +602,8 @@ class MaterializedView:
         """Standard semi-naive fixpoint for one recursive stratum."""
         model = self._model
         self.statistics.record_iteration(stratum.label)
+        if self._guard is not None:
+            self._guard.checkpoint(self.statistics)
         delta_sets: Dict[str, Set[Tuple]] = {}
         for rule in stratum.rules:
             bucket = delta_sets.setdefault(rule.head.predicate, set())
@@ -624,6 +637,8 @@ class MaterializedView:
                 report.rounds += 1
             if label is not None:
                 self.statistics.record_iteration(label)
+            if self._guard is not None:
+                self._guard.checkpoint(self.statistics)
             delta_database = Database.adopt(
                 {name: set(bucket) for name, bucket in delta.items() if bucket}
             )

@@ -41,6 +41,7 @@ from repro.datalog.database import Database
 from repro.datalog.engine.base import EvaluationResult
 from repro.datalog.engine.planner import ProgramPlan, compile_program_plan
 from repro.datalog.engine.registry import get_engine
+from repro.datalog.guard import build_guard
 from repro.datalog.program import Program
 from repro.datalog.terms import Constant, Parameter
 from repro.datalog.transforms.parameters import (
@@ -191,18 +192,42 @@ class BoundQuery:
         return self._goal
 
     def execute(
-        self, *, engine: Optional[str] = None, max_iterations: Optional[int] = None
+        self,
+        *,
+        engine: Optional[str] = None,
+        max_iterations: Optional[int] = None,
+        timeout=None,
+        budget=None,
+        cancellation=None,
     ) -> EvaluationResult:
         """Run the engine with this binding's seed facts; return the full result."""
         return self._prepared._execute_bound(
-            self._bindings, self._goal, engine=engine, max_iterations=max_iterations
+            self._bindings,
+            self._goal,
+            engine=engine,
+            max_iterations=max_iterations,
+            timeout=timeout,
+            budget=budget,
+            cancellation=cancellation,
         )
 
     def answers(
-        self, *, engine: Optional[str] = None, max_iterations: Optional[int] = None
+        self,
+        *,
+        engine: Optional[str] = None,
+        max_iterations: Optional[int] = None,
+        timeout=None,
+        budget=None,
+        cancellation=None,
     ) -> FrozenSet[Tuple]:
         """Just the goal answers (the common traffic path)."""
-        return self.execute(engine=engine, max_iterations=max_iterations).answers()
+        return self.execute(
+            engine=engine,
+            max_iterations=max_iterations,
+            timeout=timeout,
+            budget=budget,
+            cancellation=cancellation,
+        ).answers()
 
     def cursor(
         self,
@@ -210,10 +235,20 @@ class BoundQuery:
         engine: Optional[str] = None,
         max_iterations: Optional[int] = None,
         batch_size: int = 256,
+        timeout=None,
+        budget=None,
+        cancellation=None,
     ) -> AnswerCursor:
         """A streaming cursor over this binding's answers."""
         return AnswerCursor(
-            self.answers(engine=engine, max_iterations=max_iterations), batch_size
+            self.answers(
+                engine=engine,
+                max_iterations=max_iterations,
+                timeout=timeout,
+                budget=budget,
+                cancellation=cancellation,
+            ),
+            batch_size,
         )
 
     def __repr__(self) -> str:
@@ -411,12 +446,21 @@ class PreparedQuery:
         *,
         engine: Optional[str] = None,
         max_iterations: Optional[int] = None,
+        timeout=None,
+        budget=None,
+        cancellation=None,
         **kw_bindings,
     ) -> EvaluationResult:
         """``bind(...)`` + run in one call; bindings may be a mapping or kwargs."""
         merged = dict(bindings or {})
         merged.update(kw_bindings)
-        return self.bind(**merged).execute(engine=engine, max_iterations=max_iterations)
+        return self.bind(**merged).execute(
+            engine=engine,
+            max_iterations=max_iterations,
+            timeout=timeout,
+            budget=budget,
+            cancellation=cancellation,
+        )
 
     def answers(
         self,
@@ -424,11 +468,20 @@ class PreparedQuery:
         *,
         engine: Optional[str] = None,
         max_iterations: Optional[int] = None,
+        timeout=None,
+        budget=None,
+        cancellation=None,
         **kw_bindings,
     ) -> FrozenSet[Tuple]:
         """The goal answers for one binding."""
         return self.execute(
-            bindings, engine=engine, max_iterations=max_iterations, **kw_bindings
+            bindings,
+            engine=engine,
+            max_iterations=max_iterations,
+            timeout=timeout,
+            budget=budget,
+            cancellation=cancellation,
+            **kw_bindings,
         ).answers()
 
     def uses_shared_fixpoint(
@@ -452,6 +505,9 @@ class PreparedQuery:
         *,
         engine: Optional[str] = None,
         max_iterations: Optional[int] = None,
+        timeout=None,
+        budget=None,
+        cancellation=None,
     ) -> List[FrozenSet[Tuple]]:
         """Answers for a batch of bindings, in input order.
 
@@ -459,11 +515,16 @@ class PreparedQuery:
         are loaded into *one* fixpoint and each binding's answers are
         selected from the shared model afterwards — the per-binding cost
         collapses to a selection.  Otherwise each binding runs individually.
+
+        A *timeout*/*budget*/*cancellation* guard covers the whole batch as
+        one unit of work: one shared deadline, one fact/round budget —
+        matching how the service admits a batch as a single request.
         """
         checked = [self._check_bindings(bindings) for bindings in bindings_list]
         if not checked:
             return []
         engine_object = self._resolve_engine(engine)
+        guard = build_guard(timeout, budget, cancellation)
         if self.uses_shared_fixpoint(len(checked), engine):
             seeds: Dict[object, None] = {}
             for bindings in checked:
@@ -472,11 +533,15 @@ class PreparedQuery:
             shared_program = Program(
                 self._runtime.rules + tuple(seeds), self._runtime.goal
             )
+            kwargs = {}
+            if guard is not None:
+                kwargs["guard"] = guard
             result = engine_object.evaluate(
                 shared_program,
                 self._database.overlay(),
                 max_iterations=max_iterations,
                 plan=self.plan(),
+                **kwargs,
             )
             return [
                 result.answers(self.goal_template.bind_parameters(bindings))
@@ -488,6 +553,7 @@ class PreparedQuery:
                 self.goal_template.bind_parameters(bindings),
                 engine=engine,
                 max_iterations=max_iterations,
+                guard=guard,
             ).answers()
             for bindings in checked
         ]
@@ -497,6 +563,9 @@ class PreparedQuery:
         bindings: Optional[Mapping[str, object]] = None,
         *,
         compiled: bool = True,
+        timeout=None,
+        budget=None,
+        cancellation=None,
         **kw_bindings,
     ):
         """Bind every parameter and evaluate into a live materialized view.
@@ -517,7 +586,12 @@ class PreparedQuery:
         seeds = parameter_seed_rules(checked)
         bound_goal = self.goal_template.bind_parameters(checked)
         program = Program(self._runtime.rules + seeds, bound_goal)
-        return MaterializedView(program, self._database, compiled=compiled)
+        return MaterializedView(
+            program,
+            self._database,
+            compiled=compiled,
+            guard=build_guard(timeout, budget, cancellation),
+        )
 
     # ------------------------------------------------------------------
     # Internals
@@ -539,8 +613,14 @@ class PreparedQuery:
         *,
         engine: Optional[str] = None,
         max_iterations: Optional[int] = None,
+        timeout=None,
+        budget=None,
+        cancellation=None,
+        guard=None,
     ) -> EvaluationResult:
         engine_object = self._resolve_engine(engine)
+        if guard is None:
+            guard = build_guard(timeout, budget, cancellation)
         seeds = parameter_seed_rules(bindings)
         if getattr(self._database, "layout", "tuple") == "columnar":
             # Intern the seed constants through the *shared* base table now,
@@ -553,15 +633,19 @@ class PreparedQuery:
                 for value in rule.head.as_fact_tuple():
                     table.intern(value)
         exec_program = Program(self._runtime.rules + seeds, bound_goal)
+        kwargs = {}
+        if guard is not None:
+            kwargs["guard"] = guard
         if getattr(engine_object, "supports_planner", False):
             return engine_object.evaluate(
                 exec_program,
                 self._database.overlay(),
                 max_iterations=max_iterations,
                 plan=self.plan(),
+                **kwargs,
             )
         return engine_object.evaluate(
-            exec_program, self._database, max_iterations=max_iterations
+            exec_program, self._database, max_iterations=max_iterations, **kwargs
         )
 
     def __repr__(self) -> str:

@@ -125,13 +125,18 @@ class DurableDatalogService:
         snapshot_on_close: bool = True,
         cache_size: int = 256,
         default_engine: str = "seminaive",
+        default_timeout: Optional[float] = None,
+        faults=None,
     ):
         if snapshot_every < 1:
             raise ValueError("snapshot_every must be positive")
         self._data_dir = os.fspath(data_dir)
         os.makedirs(self._data_dir, exist_ok=True)
         self._wal_path = os.path.join(self._data_dir, WAL_NAME)
-        self._snapshot_store = SnapshotStore(self._data_dir)
+        # `faults` (a ScriptedFaults plan) reaches every disk seam of this
+        # data directory; recovery reads are deliberately exempt — chaos
+        # tests crash the writer, then recover with a clean instance.
+        self._snapshot_store = SnapshotStore(self._data_dir, faults=faults)
         self._snapshot_every = snapshot_every
         self._snapshot_on_close = snapshot_on_close
         self._snapshots_taken = 0
@@ -144,16 +149,21 @@ class DurableDatalogService:
         # the persistable description of the registry (snapshots store it).
         self._program_specs: Dict[str, Dict] = {}
 
-        self.recovery = self._recover(cache_size, default_engine)
+        self.recovery = self._recover(cache_size, default_engine, default_timeout)
         # Only after replay is the log opened for append (repairing any torn
         # tail) and the write-ahead hook armed.
-        self._wal = WriteAheadLog(self._wal_path, fsync=fsync)
+        self._wal = WriteAheadLog(self._wal_path, fsync=fsync, faults=faults)
         self._service.set_write_hook(self._log_fact_batch)
 
     # ------------------------------------------------------------------
     # Recovery
     # ------------------------------------------------------------------
-    def _recover(self, cache_size: int, default_engine: str) -> RecoveryReport:
+    def _recover(
+        self,
+        cache_size: int,
+        default_engine: str,
+        default_timeout: Optional[float] = None,
+    ) -> RecoveryReport:
         state = self._snapshot_store.load()
         database = (
             Database.from_bytes(state["database"], allow_pickle=False)
@@ -161,7 +171,10 @@ class DurableDatalogService:
             else Database()
         )
         self._service = DatalogService(
-            database, cache_size=cache_size, default_engine=default_engine
+            database,
+            cache_size=cache_size,
+            default_engine=default_engine,
+            default_timeout=default_timeout,
         )
         # Startup must never fail on persisted state the live server would
         # have rejected (or that a newer/older version wrote): anything that

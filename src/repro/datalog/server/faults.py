@@ -1,0 +1,195 @@
+"""Deterministic fault injection for the durability layer's file operations.
+
+Crash-consistency bugs hide in the failure paths nobody exercises: the
+fsync that fails after the write succeeded, the write the disk accepted
+half of, the I/O call that stalls long enough for a deadline to pass.
+This module lets tests script those failures *exactly* — the Nth fsync of
+the WAL fails, the 3rd snapshot write is torn in half — so the chaos suite
+can assert, deterministically and repeatably, that the recovered model
+always equals the acknowledged prefix.
+
+Seams (consulted by :mod:`~repro.datalog.server.wal` and
+:mod:`~repro.datalog.server.snapshot` when constructed with ``faults=``):
+
+======================  ====================================================
+``wal.append``          the buffered write of one framed record
+``wal.fsync``           the per-append fsync (``fsync="always"``)
+``wal.sync``            the batched :meth:`WriteAheadLog.sync` fsync
+``wal.truncate``        the post-snapshot log reset
+``snapshot.write``      the temp-file write of the snapshot blob
+``snapshot.fsync``      the temp-file fsync before the rename
+``snapshot.replace``    the atomic ``os.replace`` installing the snapshot
+======================  ====================================================
+
+Fault kinds:
+
+* ``"fail"`` — raise :class:`FaultInjected` instead of performing the op;
+* ``"partial"`` — perform only a prefix of a write (``fraction`` of the
+  payload bytes), then raise: the torn-record case.  On non-write seams it
+  degenerates to ``"fail"``;
+* ``"delay"`` — sleep ``delay`` seconds, then perform the op normally:
+  slow I/O for deadline tests, not a failure.
+
+The injected error is an :class:`OSError` subclass, so production code
+paths treat it exactly like a real disk error — no test-only branches.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+FAULT_KINDS = ("fail", "partial", "delay")
+
+#: Every seam the durability layer consults, for validation and docs.
+SEAMS = (
+    "wal.append",
+    "wal.fsync",
+    "wal.sync",
+    "wal.truncate",
+    "snapshot.write",
+    "snapshot.fsync",
+    "snapshot.replace",
+)
+
+
+class FaultInjected(OSError):
+    """The scripted disk failure, raised at the scripted seam and call index."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scripted fault: the *index*-th call (0-based) of seam *op*.
+
+    ``fraction`` (``"partial"`` only) is the prefix of the payload actually
+    written before the failure; ``delay`` (``"delay"`` only) is the sleep
+    in seconds before the op proceeds.
+    """
+
+    op: str
+    index: int
+    kind: str = "fail"
+    fraction: float = 0.5
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.op not in SEAMS:
+            raise ValueError(f"unknown fault seam {self.op!r}; seams: {SEAMS}")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; kinds: {FAULT_KINDS}")
+        if self.index < 0:
+            raise ValueError(f"index must be non-negative, got {self.index}")
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {self.fraction}")
+        if self.delay < 0:
+            raise ValueError(f"delay must be non-negative, got {self.delay}")
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """The record of one fault that actually fired (for test assertions)."""
+
+    op: str
+    index: int
+    kind: str
+
+
+class ScriptedFaults:
+    """A deterministic fault plan the durability layer consults per file op.
+
+    Construct with the :class:`Fault` list, hand the object to
+    :class:`~repro.datalog.server.wal.WriteAheadLog`,
+    :class:`~repro.datalog.server.snapshot.SnapshotStore`, or
+    :class:`~repro.datalog.server.durable.DurableDatalogService` via their
+    ``faults=`` parameter.  Each seam keeps its own 0-based call counter;
+    a :class:`Fault` fires when its seam's counter equals its index.
+    Thread-safe: counters are read and bumped under one lock, so a fault
+    fires exactly once even under concurrent writers.
+    """
+
+    def __init__(self, faults: Iterable[Fault] = ()):
+        self._plan: Dict[Tuple[str, int], Fault] = {}
+        for fault in faults:
+            key = (fault.op, fault.index)
+            if key in self._plan:
+                raise ValueError(
+                    f"duplicate fault for {fault.op!r} call #{fault.index}"
+                )
+            self._plan[key] = fault
+        self._counters: Dict[str, int] = {}
+        self._injected: List[InjectedFault] = []
+        self._lock = threading.Lock()
+
+    @property
+    def injected(self) -> Tuple[InjectedFault, ...]:
+        """Every fault that has fired so far, in firing order."""
+        with self._lock:
+            return tuple(self._injected)
+
+    def calls(self, op: str) -> int:
+        """How many times seam *op* has been consulted."""
+        with self._lock:
+            return self._counters.get(op, 0)
+
+    def _next(self, op: str) -> Optional[Fault]:
+        with self._lock:
+            index = self._counters.get(op, 0)
+            self._counters[op] = index + 1
+            fault = self._plan.get((op, index))
+            if fault is not None:
+                self._injected.append(InjectedFault(op, index, fault.kind))
+            return fault
+
+    def check(self, op: str) -> None:
+        """Consult seam *op* for a non-write operation (fsync, replace...).
+
+        Raises :class:`FaultInjected` for scripted ``fail``/``partial``
+        faults, sleeps through ``delay`` faults, and returns normally
+        otherwise — the caller then performs the real operation.
+        """
+        fault = self._next(op)
+        if fault is None:
+            return
+        if fault.kind == "delay":
+            time.sleep(fault.delay)
+            return
+        raise FaultInjected(f"injected {fault.kind} fault at {op} call #{fault.index}")
+
+    def filter_write(self, op: str, payload: bytes) -> bytes:
+        """Consult seam *op* for a write of *payload*; return what to write.
+
+        Returns the full payload normally (after any scripted delay).  For a
+        ``"partial"`` fault it raises :class:`PartialWrite`; the caller
+        writes its ``torn`` prefix to the file and then raises its
+        ``error`` — split this way so the torn bytes genuinely reach the
+        file before the failure propagates.
+        """
+        fault = self._next(op)
+        if fault is None:
+            return payload
+        if fault.kind == "delay":
+            time.sleep(fault.delay)
+            return payload
+        if fault.kind == "partial":
+            torn = payload[: int(len(payload) * fault.fraction)]
+            raise PartialWrite(op, fault.index, torn)
+        raise FaultInjected(f"injected fail fault at {op} call #{fault.index}")
+
+
+class PartialWrite(Exception):
+    """Internal control flow for ``"partial"`` faults: carries the torn prefix.
+
+    Raised by :meth:`ScriptedFaults.filter_write`; the seam's caller writes
+    ``self.torn`` to the file and then raises :attr:`error` — so the disk
+    really holds a torn record when the error surfaces, exactly like a
+    crash mid-write.
+    """
+
+    def __init__(self, op: str, index: int, torn: bytes):
+        super().__init__(f"partial write at {op} call #{index}")
+        self.torn = torn
+        self.error = FaultInjected(
+            f"injected partial-write fault at {op} call #{index}"
+        )

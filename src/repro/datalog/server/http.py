@@ -21,6 +21,16 @@ Endpoints (JSON request/response unless noted)::
     GET  /metrics                                     -> Prometheus text format
     GET  /healthz                                     -> {"status", "draining"}
 
+Deadlines: engine-running endpoints (``/execute``, ``/execute_many``)
+honor a per-request deadline — the server's ``request_timeout`` default,
+tightened by an optional ``"timeout"`` field in the request body.  A
+deadline miss aborts the evaluation at its next cooperative checkpoint
+(database, views, and WAL untouched) and answers ``408``; an exhausted
+resource budget answers ``503`` with ``Retry-After``.  A client that
+disconnects mid-query has its evaluation cancelled the same cooperative
+way, so abandoned queries stop consuming executor threads.  Requests
+slower than ``slow_query_threshold`` are logged and counted.
+
 Backpressure: at most ``max_pending_writes`` write requests may be queued
 or executing at once — beyond that the server answers ``429`` with a
 ``Retry-After`` header instead of buffering unboundedly (the WAL fsync is
@@ -41,9 +51,11 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Tuple
 
+from repro.datalog.guard import CancellationToken, ResourceBudget
 from repro.datalog.server.durable import DurableDatalogService
 from repro.datalog.server.metrics import MetricsRegistry, MonotonicityError
 from repro.datalog.service import (
@@ -51,7 +63,9 @@ from repro.datalog.service import (
     QueryNotRegisteredError,
     ServiceDrainingError,
 )
-from repro.errors import ReproError
+from repro.errors import BudgetExceeded, QueryCancelled, QueryTimeout, ReproError
+
+logger = logging.getLogger("repro.datalog.server")
 
 __all__ = ["DatalogHTTPServer", "run_server"]
 
@@ -59,12 +73,22 @@ _MAX_BODY = 16 * 1024 * 1024  # refuse absurd payloads before buffering them
 _WRITE_ENDPOINTS = frozenset(
     {"register", "add_facts", "remove_facts", "materialize", "dematerialize", "snapshot"}
 )
+# Endpoints that run engine evaluation: these get a per-request deadline
+# (server default, tightened by a "timeout" field in the body) and a
+# cancellation token the disconnect watchdog trips when the client goes
+# away mid-query.
+_ENGINE_ENDPOINTS = frozenset({"execute", "execute_many"})
+# How often the watchdog polls the connection for client departure; engine
+# loops observe the token at their next checkpoint, so total reaction time
+# is this poll interval plus one checkpoint interval.
+_DISCONNECT_POLL = 0.05
 
 _STATUS_TEXT = {
     200: "OK",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
@@ -99,12 +123,23 @@ class DatalogHTTPServer:
         max_pending_writes: int = 64,
         executor_workers: int = 4,
         sync_interval: Optional[float] = None,
+        request_timeout: Optional[float] = None,
+        slow_query_threshold: float = 1.0,
     ):
+        if request_timeout is not None and request_timeout < 0:
+            raise ValueError("request_timeout must be non-negative")
+        if slow_query_threshold < 0:
+            raise ValueError("slow_query_threshold must be non-negative")
         self._durable = durable
         self._host = host
         self._port = port
         self._max_pending_writes = max_pending_writes
         self._sync_interval = sync_interval
+        # Default deadline for engine endpoints; a request's own "timeout"
+        # field can only tighten it (the tighter of the two wins).
+        self._request_timeout = request_timeout
+        self._slow_query_threshold = slow_query_threshold
+        self._slow_queries = 0
         self.metrics = MetricsRegistry()
         self._executor = ThreadPoolExecutor(
             max_workers=executor_workers, thread_name_prefix="datalog-http"
@@ -207,7 +242,9 @@ class DatalogHTTPServer:
                     break
                 method, target, headers, body = request
                 keep_alive = headers.get("connection", "keep-alive") != "close"
-                status, payload, extra = await self._dispatch(method, target, body)
+                status, payload, extra = await self._dispatch(
+                    method, target, body, reader, writer
+                )
                 # During drain each connection gets at most one more
                 # response; re-check after dispatch so a drain that started
                 # mid-request still cuts the connection over.
@@ -282,7 +319,12 @@ class DatalogHTTPServer:
     # Dispatch
     # ------------------------------------------------------------------
     async def _dispatch(
-        self, method: str, target: str, body: bytes
+        self,
+        method: str,
+        target: str,
+        body: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
     ) -> Tuple[int, bytes, Dict[str, str]]:
         endpoint = target.split("?", 1)[0].lstrip("/") or "healthz"
         loop = asyncio.get_running_loop()
@@ -296,17 +338,34 @@ class DatalogHTTPServer:
                     self._admit_write()
                     self._pending_writes += 1
                     try:
-                        result = await self._run(loop, endpoint, method, body)
+                        result = await self._run(
+                            loop, endpoint, method, body, reader, writer
+                        )
                     finally:
                         self._pending_writes -= 1
                 else:
-                    result = await self._run(loop, endpoint, method, body)
+                    result = await self._run(
+                        loop, endpoint, method, body, reader, writer
+                    )
                 payload = json.dumps(result).encode("utf-8")
                 status, extra = 200, {"Content-Type": "application/json"}
             except _HttpError as exc:
                 status, payload, extra = self._error_response(exc)
             except (QueryNotRegisteredError,) as exc:
                 status, payload, extra = self._error_response(_HttpError(404, str(exc)))
+            # Abort errors before their ReproError base: a deadline is the
+            # client's fault (408), an exhausted budget is load shedding
+            # (503 + Retry-After invites a retry when the server is less
+            # loaded), and a disconnect cancellation gets a best-effort 503
+            # nobody is usually left to read.
+            except QueryTimeout as exc:
+                status, payload, extra = self._error_response(_HttpError(408, str(exc)))
+            except BudgetExceeded as exc:
+                status, payload, extra = self._error_response(
+                    _HttpError(503, str(exc), retry_after=1)
+                )
+            except QueryCancelled as exc:
+                status, payload, extra = self._error_response(_HttpError(503, str(exc)))
             except ServiceDrainingError as exc:
                 status, payload, extra = self._error_response(
                     _HttpError(503, str(exc), retry_after=1)
@@ -315,11 +374,29 @@ class DatalogHTTPServer:
                 status, payload, extra = self._error_response(_HttpError(500, str(exc)))
             except (ReproError, ValueError, TypeError, KeyError) as exc:
                 status, payload, extra = self._error_response(_HttpError(400, str(exc)))
+            except Exception as exc:  # noqa: BLE001 - last-resort mapping
+                # Anything unmapped is a server bug, but the client still
+                # deserves a well-formed 500 and the connection must survive
+                # to log it — never let a request kill the handler task.
+                logger.exception("unhandled error in /%s", endpoint)
+                status, payload, extra = self._error_response(
+                    _HttpError(500, f"internal error: {type(exc).__name__}")
+                )
             if endpoint == "metrics" and status == 200:
                 # /metrics returns text, not JSON: unwrap the rendered string.
                 payload = result.encode("utf-8")
                 extra = {"Content-Type": "text/plain; version=0.0.4"}
-            self.metrics.observe_request(endpoint, status, loop.time() - start)
+            elapsed = loop.time() - start
+            if elapsed >= self._slow_query_threshold:
+                self._slow_queries += 1
+                logger.warning(
+                    "slow request: /%s took %.3fs (status %d, threshold %.3fs)",
+                    endpoint,
+                    elapsed,
+                    status,
+                    self._slow_query_threshold,
+                )
+            self.metrics.observe_request(endpoint, status, elapsed)
             return status, payload, extra
         finally:
             self._inflight -= 1
@@ -345,7 +422,7 @@ class DatalogHTTPServer:
             extra["Retry-After"] = str(exc.retry_after)
         return exc.status, payload, extra
 
-    async def _run(self, loop, endpoint: str, method: str, body: bytes):
+    async def _run(self, loop, endpoint: str, method: str, body: bytes, reader, writer):
         handler = getattr(self, f"_endpoint_{endpoint}", None)
         if handler is None:
             raise _HttpError(404, f"no such endpoint: /{endpoint}")
@@ -361,9 +438,73 @@ class DatalogHTTPServer:
                 raise _HttpError(400, "request body must be a JSON object")
         else:
             request = {}
-        # Every service call — even cheap ones — runs on the pool so a slow
-        # engine evaluation can never stall the event loop.
-        return await loop.run_in_executor(self._executor, handler, request)
+        watchdog = None
+        if endpoint in _ENGINE_ENDPOINTS:
+            # Reserved keys carry the guard inputs to the handler; the
+            # engine observes them at its next cooperative checkpoint, so
+            # the evaluation thread unwinds at a safe point with nothing
+            # mutated — the pool thread is never killed.
+            request["_timeout"] = self._deadline_for(request.pop("timeout", None))
+            request["_budget"] = self._budget_for(request.pop("budget", None))
+            cancellation = CancellationToken()
+            request["_cancellation"] = cancellation
+            watchdog = loop.create_task(
+                self._watch_disconnect(reader, writer, cancellation)
+            )
+        try:
+            # Every service call — even cheap ones — runs on the pool so a
+            # slow engine evaluation can never stall the event loop.
+            return await loop.run_in_executor(self._executor, handler, request)
+        finally:
+            if watchdog is not None:
+                watchdog.cancel()
+
+    def _deadline_for(self, requested) -> Optional[float]:
+        """The effective per-request timeout: server default, client-tightened."""
+        if requested is None:
+            return self._request_timeout
+        if isinstance(requested, bool) or not isinstance(requested, (int, float)):
+            raise _HttpError(400, f"timeout must be a number, got {requested!r}")
+        if requested < 0:
+            raise _HttpError(400, f"timeout must be non-negative, got {requested!r}")
+        if self._request_timeout is None:
+            return float(requested)
+        return min(float(requested), self._request_timeout)
+
+    @staticmethod
+    def _budget_for(raw) -> Optional[ResourceBudget]:
+        """A request's ``"budget"`` object as a ResourceBudget (or ``None``)."""
+        if raw is None:
+            return None
+        if not isinstance(raw, dict):
+            raise _HttpError(400, "budget must be a JSON object")
+        allowed = {"timeout", "max_facts", "max_rounds"}
+        unknown = set(raw) - allowed
+        if unknown:
+            raise _HttpError(
+                400, f"unknown budget field(s): {', '.join(sorted(unknown))}"
+            )
+        try:
+            return ResourceBudget(**raw)
+        except (TypeError, ValueError) as exc:
+            raise _HttpError(400, f"invalid budget: {exc}") from None
+
+    async def _watch_disconnect(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        cancellation: CancellationToken,
+    ) -> None:
+        """Cancel the engine run when the client departs mid-request.
+
+        Polls the connection while the handler runs on the pool thread;
+        a vanished client has no use for the answer, so its query should
+        stop consuming the executor.  Cancelled by ``_run`` as soon as the
+        handler finishes.
+        """
+        while not (reader.at_eof() or writer.is_closing()):
+            await asyncio.sleep(_DISCONNECT_POLL)
+        cancellation.cancel()
 
     # ------------------------------------------------------------------
     # Endpoints (run on the thread pool)
@@ -403,6 +544,9 @@ class DatalogHTTPServer:
             request.get("params") or {},
             engine=request.get("engine"),
             fresh=bool(request.get("fresh", False)),
+            timeout=request.get("_timeout"),
+            budget=request.get("_budget"),
+            cancellation=request.get("_cancellation"),
         )
         return {"answers": _sorted_answers(answers)}
 
@@ -411,6 +555,9 @@ class DatalogHTTPServer:
             str(self._required(request, "name")),
             list(self._required(request, "bindings")),
             engine=request.get("engine"),
+            timeout=request.get("_timeout"),
+            budget=request.get("_budget"),
+            cancellation=request.get("_cancellation"),
         )
         return {"answers": [_sorted_answers(answers) for answers in results]}
 
@@ -448,6 +595,7 @@ class DatalogHTTPServer:
             extra_gauges={
                 "http_pending_writes": self._pending_writes,
                 "http_inflight_requests": self._inflight,
+                "http_slow_queries": self._slow_queries,
             },
         )
 
@@ -489,6 +637,8 @@ def run_server(
     sync_interval: Optional[float] = None,
     cache_size: int = 256,
     default_engine: str = "seminaive",
+    request_timeout: Optional[float] = None,
+    slow_query_threshold: float = 1.0,
     ready_line: bool = True,
 ) -> None:
     """Open (recovering) the durable service at *data_dir* and serve it.
@@ -496,6 +646,13 @@ def run_server(
     Blocks until SIGTERM/SIGINT, then drains gracefully: refuses new
     writes, completes in-flight requests, snapshots, truncates the WAL,
     and closes the listener.
+
+    ``request_timeout`` bounds every engine-running request (execute,
+    execute_many): past the deadline the evaluation aborts at its next
+    cooperative checkpoint and the client gets ``408``.  A request body's
+    ``"timeout"`` field can tighten (never loosen) the bound.  Requests
+    slower than ``slow_query_threshold`` seconds are logged on the
+    ``repro.datalog.server`` logger and counted in ``/metrics``.
     """
     durable = DurableDatalogService(
         data_dir,
@@ -511,6 +668,8 @@ def run_server(
         max_pending_writes=max_pending_writes,
         executor_workers=executor_workers,
         sync_interval=sync_interval,
+        request_timeout=request_timeout,
+        slow_query_threshold=slow_query_threshold,
     )
     try:
         asyncio.run(_serve(server, ready_line))

@@ -12,9 +12,11 @@ workload against a running server:
 
 Each worker records one wall-clock latency sample per request; the parent
 merges the samples and reports p50/p95/p99 per operation class plus overall
-throughput.  ``429`` responses (admission control) are retried after the
-server's ``Retry-After`` hint and counted, so a backpressured run degrades
-to lower throughput instead of failing.
+throughput.  Retryable responses — ``429`` (admission control) and ``503``
+(draining or an exhausted budget) — are retried with capped exponential
+backoff seeded by the server's ``Retry-After`` hint and counted, so a
+backpressured run degrades to lower throughput instead of failing; socket
+timeouts are counted separately from hard errors.
 
 This module is the engine behind ``repro load-bench`` and the E13
 benchmark; it only needs ``http.client`` and ``multiprocessing``.
@@ -48,6 +50,32 @@ reach(X, Y) :- reach(X, Z), edge(Z, Y).
 """
 
 MATERIALIZED_SOURCE = "n0"
+
+#: Statuses worth retrying: admission control (429) and temporary
+#: unavailability (503 — draining, or a shed query).  Everything else is
+#: either success or a real error the retry loop must not mask.
+RETRYABLE_STATUSES = frozenset({429, 503})
+
+_MAX_ATTEMPTS = 4
+_BACKOFF_BASE = 0.05
+_BACKOFF_CAP = 0.25
+
+
+def _backoff_delay(attempt: int, retry_after, rng: random.Random) -> float:
+    """The sleep before retry *attempt* (0-based): capped exponential + jitter.
+
+    The server's ``Retry-After`` hint overrides the exponential schedule
+    when present (still capped); the jitter spreads concurrent workers so
+    they do not retry in lockstep against the same full queue.
+    """
+    if retry_after:
+        try:
+            base = float(retry_after)
+        except ValueError:
+            base = _BACKOFF_BASE * (2**attempt)
+    else:
+        base = _BACKOFF_BASE * (2**attempt)
+    return min(base, _BACKOFF_CAP) * (0.5 + rng.random() / 2)
 
 
 class _Client:
@@ -135,6 +163,8 @@ def _worker(
     writes: List[float] = []
     errors = 0
     rejected = 0
+    retries = 0
+    timeouts = 0
     try:
         for i in range(requests):
             if rng.random() < read_ratio:
@@ -151,13 +181,22 @@ def _worker(
                 edge = [f"n{rng.randrange(nodes)}", f"n{rng.randrange(nodes)}"]
                 endpoint = "/add_facts" if rng.random() < 0.7 else "/remove_facts"
                 path, body, bucket = (endpoint, {"facts": [["edge", edge]]}, writes)
-            for _attempt in range(4):
+            for attempt in range(_MAX_ATTEMPTS):
                 start = time.perf_counter()
-                status, _data, retry_after = client.post(path, body)
+                try:
+                    status, _data, retry_after = client.post(path, body)
+                except TimeoutError:
+                    # The socket deadline fired (both the original request
+                    # and the reconnect retry): the sample is abandoned, not
+                    # an error — the server may still answer eventually.
+                    timeouts += 1
+                    break
                 elapsed = time.perf_counter() - start
-                if status == 429:
-                    rejected += 1
-                    time.sleep(min(float(retry_after or 0.05), 0.25))
+                if status in RETRYABLE_STATUSES:
+                    if status == 429:
+                        rejected += 1
+                    retries += 1
+                    time.sleep(_backoff_delay(attempt, retry_after, rng))
                     continue
                 bucket.append(elapsed)
                 if status != 200:
@@ -168,7 +207,14 @@ def _worker(
     finally:
         client.close()
         results.put(
-            {"reads": reads, "writes": writes, "errors": errors, "rejected": rejected}
+            {
+                "reads": reads,
+                "writes": writes,
+                "errors": errors,
+                "rejected": rejected,
+                "retries": retries,
+                "timeouts": timeouts,
+            }
         )
 
 
@@ -192,6 +238,10 @@ class LoadReport:
     write_latencies: List[float] = field(repr=False)
     errors: int = 0
     rejected: int = 0
+    #: Retry attempts made against retryable statuses (429 + 503).
+    retries: int = 0
+    #: Requests abandoned because the client socket deadline fired.
+    timeouts: int = 0
 
     @property
     def total_requests(self) -> int:
@@ -220,6 +270,8 @@ class LoadReport:
             "requests_per_second": self.requests_per_second,
             "errors": self.errors,
             "rejected_429": self.rejected,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
             "reads": len(self.read_latencies),
             "writes": len(self.write_latencies),
         }
@@ -236,7 +288,8 @@ class LoadReport:
             f"{p['read_p95'] * 1e3:.2f}/{p['read_p99'] * 1e3:.2f} ms, "
             f"write p50/p95/p99 = {p['write_p50'] * 1e3:.2f}/"
             f"{p['write_p95'] * 1e3:.2f}/{p['write_p99'] * 1e3:.2f} ms, "
-            f"errors={self.errors}, 429s={self.rejected}"
+            f"errors={self.errors}, 429s={self.rejected}, "
+            f"retries={self.retries}, timeouts={self.timeouts}"
         )
 
 
@@ -314,4 +367,6 @@ def run_load(
         write_latencies=[s for part in merged for s in part["writes"]],
         errors=sum(part["errors"] for part in merged),
         rejected=sum(part["rejected"] for part in merged),
+        retries=sum(part.get("retries", 0) for part in merged),
+        timeouts=sum(part.get("timeouts", 0) for part in merged),
     )

@@ -39,9 +39,14 @@ SNAPSHOT_NAME = "snapshot.bin"
 class SnapshotStore:
     """Reads and atomically writes the single-snapshot file of a data dir."""
 
-    def __init__(self, data_dir):
+    def __init__(self, data_dir, *, faults=None):
         self._directory = os.fspath(data_dir)
         self._path = os.path.join(self._directory, SNAPSHOT_NAME)
+        # Optional ScriptedFaults plan (repro.datalog.server.faults); every
+        # write-path file op consults its seam first.  All scripted failures
+        # strike before `os.replace`, i.e. before the old snapshot is
+        # touched — exactly the window the atomic protocol protects.
+        self._faults = faults
 
     @property
     def path(self) -> str:
@@ -51,14 +56,35 @@ class SnapshotStore:
         return os.path.exists(self._path)
 
     def write(self, state: dict) -> None:
-        """Atomically persist *state* (a plain dict in codec-friendly types)."""
+        """Atomically persist *state* (a plain dict in codec-friendly types).
+
+        Any failure — real or injected — before ``os.replace`` leaves the
+        previous snapshot untouched; a stale temp file is harmless (the
+        next write overwrites it, and loads never look at it).
+        """
         payload = encode_obj(state, allow_pickle=False)
         blob = _MAGIC + _CRC.pack(zlib.crc32(payload)) + payload
         temp_path = self._path + ".tmp"
+        data = blob
+        if self._faults is not None:
+            from repro.datalog.server.faults import PartialWrite
+
+            try:
+                data = self._faults.filter_write("snapshot.write", blob)
+            except PartialWrite as partial:
+                # Land the torn prefix in the temp file — a crash mid-write —
+                # then surface the error.  The live snapshot is untouched.
+                with open(temp_path, "wb") as handle:
+                    handle.write(partial.torn)
+                raise partial.error from None
         with open(temp_path, "wb") as handle:
-            handle.write(blob)
+            handle.write(data)
             handle.flush()
+            if self._faults is not None:
+                self._faults.check("snapshot.fsync")
             os.fsync(handle.fileno())
+        if self._faults is not None:
+            self._faults.check("snapshot.replace")
         os.replace(temp_path, self._path)
         self._fsync_directory()
 

@@ -69,11 +69,15 @@ class WriteAheadLog:
     operations under the durable lock) can never interleave partial records.
     """
 
-    def __init__(self, path, *, fsync: str = "always"):
+    def __init__(self, path, *, fsync: str = "always", faults=None):
         if fsync not in FSYNC_POLICIES:
             raise ValueError(f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}")
         self._path = os.fspath(path)
         self._fsync = fsync
+        # Optional ScriptedFaults plan (repro.datalog.server.faults): when
+        # set, every write/fsync/truncate consults its seam first, so the
+        # chaos tests can script the exact disk failure they need.
+        self._faults = faults
         self._lock = threading.Lock()
         self._record_count, valid_bytes = self._scan()
         # Open for append, repairing any torn tail first: a record written
@@ -81,6 +85,14 @@ class WriteAheadLog:
         self._repair(valid_bytes)
         self._file = open(self._path, "ab")
         self._appended_since_sync = 0
+        # Byte length of the acknowledged prefix — the rollback point for a
+        # failed append.  Tracked explicitly (not via tell()) so it is
+        # immune to whatever a failed write left the file position at.
+        self._size = valid_bytes
+        # Set when a rollback itself failed: the file may end in bytes that
+        # were never acknowledged, so further appends would land after
+        # garbage and be silently lost to tail repair.  Refuse them instead.
+        self._poisoned = False
 
     # ------------------------------------------------------------------
     # Introspection
@@ -107,37 +119,95 @@ class WriteAheadLog:
 
         The record is durable per the fsync policy when this returns —
         callers apply the mutation only afterwards (write-*ahead* logging).
+
+        Appends are atomic against I/O failure: if the write or its fsync
+        fails (really, or via an injected fault), the file is truncated back
+        to the pre-append offset before the error propagates.  Without the
+        rollback, a record whose fsync failed would still replay — an
+        unacknowledged write resurrected after recovery — and any *later*
+        append would land behind a torn record and be lost to tail repair.
         """
         body = encode_obj(payload, allow_pickle=False)
         frame = _HEADER.pack(_MAGIC, len(body), zlib.crc32(body)) + body
         with self._lock:
-            self._file.write(frame)
-            self._file.flush()
-            if self._fsync == "always":
-                os.fsync(self._file.fileno())
-            else:
+            if self._poisoned:
+                raise OSError(
+                    "write-ahead log is poisoned: a failed append could not "
+                    "be rolled back, so further appends would be unreachable"
+                )
+            try:
+                data = frame
+                if self._faults is not None:
+                    from repro.datalog.server.faults import PartialWrite
+
+                    try:
+                        data = self._faults.filter_write("wal.append", frame)
+                    except PartialWrite as partial:
+                        # Land the torn prefix on disk first — the failure
+                        # must look exactly like a crash mid-write.
+                        self._file.write(partial.torn)
+                        self._file.flush()
+                        raise partial.error from None
+                self._file.write(data)
+                self._file.flush()
+                if self._fsync == "always":
+                    if self._faults is not None:
+                        self._faults.check("wal.fsync")
+                    os.fsync(self._file.fileno())
+            except Exception:
+                self._rollback()
+                raise
+            if self._fsync != "always":
                 self._appended_since_sync += 1
+            self._size += len(frame)
             sequence = self._record_count
             self._record_count += 1
             return sequence
 
+    def _rollback(self) -> None:
+        """Truncate the file back to the acknowledged prefix (lock held)."""
+        try:
+            self._file.truncate(self._size)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+        except OSError:
+            # The log may now end in unacknowledged bytes; refuse further
+            # appends rather than silently losing them to tail repair.
+            self._poisoned = True
+
     def sync(self) -> None:
-        """fsync pending appends (a no-op under ``always`` with nothing pending)."""
+        """fsync pending appends (a no-op under ``always`` with nothing pending).
+
+        A failed sync (real or injected) propagates but keeps the pending
+        counter: the records are intact in the OS buffer, and the next
+        successful :meth:`sync` makes them durable.
+        """
         with self._lock:
             if self._appended_since_sync or self._fsync != "always":
+                if self._faults is not None:
+                    self._faults.check("wal.sync")
                 self._file.flush()
                 os.fsync(self._file.fileno())
                 self._appended_since_sync = 0
 
     def truncate(self) -> None:
-        """Drop every record (called after a snapshot has captured them)."""
+        """Drop every record (called after a snapshot has captured them).
+
+        The fault seam fires *before* any byte is dropped: a failed
+        truncate leaves the log fully intact, which recovery handles
+        (snapshot + replay of records the snapshot already contains is
+        idempotent for fact batches and guarded for registry ops).
+        """
         with self._lock:
+            if self._faults is not None:
+                self._faults.check("wal.truncate")
             self._file.seek(0)
             self._file.truncate()
             self._file.flush()
             os.fsync(self._file.fileno())
             self._record_count = 0
             self._appended_since_sync = 0
+            self._size = 0
 
     def close(self) -> None:
         with self._lock:

@@ -57,19 +57,19 @@ from repro.datalog.terms import Constant
 from repro.datalog.prepared import AnswerCursor, PreparedQuery
 from repro.datalog.program import Program
 from repro.datalog.transforms.pipeline import Pipeline, Transform
-from repro.errors import EvaluationError
+from repro.errors import (
+    EvaluationError,
+    QueryAborted,
+    QueryCancelled,
+    QueryNotRegisteredError,
+    ServiceDrainingError,
+)
 
-
-class QueryNotRegisteredError(EvaluationError):
-    """Raised when a service is asked for a query name it does not know."""
-
-
-class ServiceDrainingError(EvaluationError):
-    """Raised for writes arriving after :meth:`DatalogService.begin_drain`.
-
-    The HTTP layer maps this to ``503 + Retry-After`` so clients retry
-    against the replacement server instead of losing the write silently.
-    """
+__all__ = [
+    "DatalogService",
+    "QueryNotRegisteredError",
+    "ServiceDrainingError",
+]
 
 
 class DatalogService:
@@ -82,11 +82,18 @@ class DatalogService:
         cache_size: int = 256,
         default_engine: str = "seminaive",
         write_hook: Optional[Callable[[str, List], None]] = None,
+        default_timeout: Optional[float] = None,
     ):
         if cache_size < 0:
             raise ValueError("cache_size must be non-negative")
+        if default_timeout is not None and default_timeout < 0:
+            raise ValueError("default_timeout must be non-negative")
         self._database = database if database is not None else Database()
         self._default_engine = default_engine
+        # Wall-clock deadline applied to every execute/execute_many/
+        # materialize call that does not carry its own timeout=; None means
+        # unbounded (the historical behaviour).
+        self._default_timeout = default_timeout
         self._cache_size = cache_size
         self._lock = threading.RLock()
         # Called as hook(kind, batch) under the service lock *before* a
@@ -117,6 +124,11 @@ class DatalogService:
         self._cache_misses = 0
         self._view_hits = 0
         self._executions = 0
+        # Guardrail observability: queries aborted by deadline/budget vs by
+        # explicit cancellation.  Both leave the snapshot, views, and cache
+        # untouched — an aborted run caches nothing.
+        self._timeouts = 0
+        self._cancellations = 0
 
     # ------------------------------------------------------------------
     # Registry
@@ -223,6 +235,21 @@ class DatalogService:
     # ------------------------------------------------------------------
     # Traffic path
     # ------------------------------------------------------------------
+    def _effective_timeout(self, timeout: Optional[float]) -> Optional[float]:
+        """The per-request timeout, falling back to the service default."""
+        return timeout if timeout is not None else self._default_timeout
+
+    def _record_abort(self, error: QueryAborted) -> None:
+        """Count a guardrail abort (timeouts vs cancellations) and re-raise."""
+        with self._lock:
+            if isinstance(error, QueryCancelled):
+                self._cancellations += 1
+            else:
+                # QueryTimeout and BudgetExceeded both count as `timeouts`:
+                # the request hit a resource ceiling, whichever one.
+                self._timeouts += 1
+        raise error
+
     def execute(
         self,
         name: str,
@@ -231,6 +258,9 @@ class DatalogService:
         engine: Optional[str] = None,
         fresh: bool = False,
         max_iterations: Optional[int] = None,
+        timeout: Optional[float] = None,
+        budget=None,
+        cancellation=None,
         **kw_params,
     ) -> FrozenSet[Tuple]:
         """Answers for one request; served from the LRU cache when possible.
@@ -245,6 +275,13 @@ class DatalogService:
         there is nothing to invalidate and no engine to run.  ``fresh=True``
         (every cache layer bypassed, the engine really runs) and an explicit
         *engine* override both skip the view, honouring their contracts.
+
+        *timeout* (falling back to the service's ``default_timeout``),
+        *budget*, and *cancellation* guard the engine run; an abort raises
+        the typed :class:`~repro.errors.QueryAborted` subclass, bumps the
+        ``timeouts``/``cancellations`` counter, and caches nothing — the
+        snapshot, views, and cache are exactly as before the request.
+        Cache and view hits never time out: there is no engine to bound.
         """
         bindings = dict(params or {})
         bindings.update(kw_params)
@@ -265,9 +302,17 @@ class DatalogService:
                     self._cache_hits += 1
                     return cached
                 self._cache_misses += 1
-        answers = prepared.answers(
-            bindings, engine=engine, max_iterations=max_iterations
-        )
+        try:
+            answers = prepared.answers(
+                bindings,
+                engine=engine,
+                max_iterations=max_iterations,
+                timeout=self._effective_timeout(timeout),
+                budget=budget,
+                cancellation=cancellation,
+            )
+        except QueryAborted as error:
+            self._record_abort(error)
         with self._lock:
             self._executions += 1
             if not fresh and self._cache_size:
@@ -314,6 +359,9 @@ class DatalogService:
         *,
         engine: Optional[str] = None,
         max_iterations: Optional[int] = None,
+        timeout: Optional[float] = None,
+        budget=None,
+        cancellation=None,
     ) -> List[FrozenSet[Tuple]]:
         """Answers for a batch of requests, sharing one fixpoint when sound.
 
@@ -322,13 +370,22 @@ class DatalogService:
         its per-binding answers are inserted into the cache afterwards so
         follow-up single requests hit.  The execution counter reflects
         engine work actually done: one for a shared fixpoint, one per
-        binding otherwise.
+        binding otherwise.  A *timeout*/*budget*/*cancellation* guard
+        covers the whole batch as one request; an abort caches nothing.
         """
         materialized = [dict(bindings) for bindings in bindings_list]
         prepared, epoch = self._prepared_entry(name)
-        results = prepared.execute_many(
-            materialized, engine=engine, max_iterations=max_iterations
-        )
+        try:
+            results = prepared.execute_many(
+                materialized,
+                engine=engine,
+                max_iterations=max_iterations,
+                timeout=self._effective_timeout(timeout),
+                budget=budget,
+                cancellation=cancellation,
+            )
+        except QueryAborted as error:
+            self._record_abort(error)
         if materialized:
             engine_runs = (
                 1
@@ -354,6 +411,9 @@ class DatalogService:
         engine: Optional[str] = None,
         batch_size: int = 256,
         max_iterations: Optional[int] = None,
+        timeout: Optional[float] = None,
+        budget=None,
+        cancellation=None,
         **kw_params,
     ) -> AnswerCursor:
         """A streaming cursor over one request's answers (cache-served)."""
@@ -362,6 +422,9 @@ class DatalogService:
             params,
             engine=engine,
             max_iterations=max_iterations,
+            timeout=timeout,
+            budget=budget,
+            cancellation=cancellation,
             **kw_params,
         )
         return AnswerCursor(answers, batch_size)
@@ -373,6 +436,10 @@ class DatalogService:
         self,
         name: str,
         params: Optional[Mapping[str, object]] = None,
+        *,
+        timeout: Optional[float] = None,
+        budget=None,
+        cancellation=None,
         **kw_params,
     ) -> MaterializedView:
         """Evaluate one binding of *name* into a live materialized view.
@@ -383,9 +450,16 @@ class DatalogService:
         twice returns the existing view.  Answers served from a view are
         engine-independent (the minimum model is), so the per-query engine
         choice does not apply to materialized bindings.
+
+        The *timeout*/*budget*/*cancellation* guard covers the initial
+        build only: an abort discards the half-built view (no view is
+        installed, the snapshot untouched) and bumps the abort counters.
+        Once installed, a view's maintenance under writes is never
+        interrupted — it must run to completion to stay consistent.
         """
         bindings = dict(params or {})
         bindings.update(kw_params)
+        effective = self._effective_timeout(timeout)
         key = (name, self._normalize_bindings(bindings))
         # The initial evaluation can be expensive, so it runs outside the
         # service lock (concurrent traffic never waits on a view build).  A
@@ -399,7 +473,15 @@ class DatalogService:
                 if view is not None:
                     return view
                 prepared, epoch = self._prepared_entry(name)
-            built = prepared.materialize(bindings)
+            try:
+                built = prepared.materialize(
+                    bindings,
+                    timeout=effective,
+                    budget=budget,
+                    cancellation=cancellation,
+                )
+            except QueryAborted as error:
+                self._record_abort(error)
             with self._lock:
                 view = self._views.get(key)
                 if view is not None:
@@ -410,7 +492,15 @@ class DatalogService:
         with self._lock:
             view = self._views.get(key)
             if view is None:
-                view = self._prepared_entry(name)[0].materialize(bindings)
+                try:
+                    view = self._prepared_entry(name)[0].materialize(
+                        bindings,
+                        timeout=effective,
+                        budget=budget,
+                        cancellation=cancellation,
+                    )
+                except QueryAborted as error:
+                    self._record_abort(error)
                 self._views[key] = view
             return view
 
@@ -544,6 +634,8 @@ class DatalogService:
         "cache_hits",
         "cache_misses",
         "view_hits",
+        "timeouts",
+        "cancellations",
         "write_epoch",
         "database_version",
     )
@@ -567,6 +659,8 @@ class DatalogService:
                 "cache_misses": self._cache_misses,
                 "materialized_views": len(self._views),
                 "view_hits": self._view_hits,
+                "timeouts": self._timeouts,
+                "cancellations": self._cancellations,
                 "write_epoch": self._epoch,
                 "database_version": self._database.version,
                 "database_facts": self._database.fact_count(),

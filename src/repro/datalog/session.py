@@ -35,6 +35,7 @@ from repro.datalog.engine.registry import (
     available_engines,
     get_engine,
 )
+from repro.datalog.guard import build_guard
 from repro.datalog.prepared import PreparedQuery
 from repro.datalog.program import Program
 from repro.datalog.transforms.pipeline import Pipeline, PipelineOutcome, Transform
@@ -182,7 +183,7 @@ class QuerySession:
             self._prepared[engine] = prepared
         return prepared
 
-    def materialize(self, *, compiled: bool = True):
+    def materialize(self, *, compiled: bool = True, timeout=None, budget=None, cancellation=None):
         """Evaluate once into a live :class:`~repro.datalog.incremental.MaterializedView`.
 
         The view owns its own copy of the model plus per-fact support counts
@@ -192,10 +193,20 @@ class QuerySession:
         pipeline rewrites (magic sets etc.) are maintained incrementally
         too.  Parameterized templates must be prepared and bound first
         (:meth:`PreparedQuery.materialize <repro.datalog.prepared.PreparedQuery.materialize>`).
+
+        *timeout* / *budget* / *cancellation* guard the initial build only
+        (an abort discards the half-built view, this session's database
+        untouched); once constructed, maintenance runs unguarded — see
+        :class:`~repro.datalog.incremental.MaterializedView`.
         """
         from repro.datalog.incremental import MaterializedView
 
-        return MaterializedView(self.transformed_program, self._database, compiled=compiled)
+        return MaterializedView(
+            self.transformed_program,
+            self._database,
+            compiled=compiled,
+            guard=build_guard(timeout, budget, cancellation),
+        )
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -206,6 +217,9 @@ class QuerySession:
         *,
         max_iterations: Optional[int] = None,
         fresh: bool = False,
+        timeout=None,
+        budget=None,
+        cancellation=None,
     ) -> EvaluationResult:
         """Run the transformed program under the named engine.
 
@@ -214,6 +228,14 @@ class QuerySession:
         changes).  Pass ``fresh=True`` to force a re-run regardless
         (benchmarks timing the engine itself should, so the cache does not
         hide the work).
+
+        *timeout* (wall-clock seconds), *budget* (a
+        :class:`~repro.datalog.guard.ResourceBudget`), and *cancellation* (a
+        :class:`~repro.datalog.guard.CancellationToken`) arm a cooperative
+        :class:`~repro.datalog.guard.ExecutionGuard` for this run; an abort
+        raises the typed :class:`~repro.errors.QueryAborted` subclass and
+        caches nothing.  A guarded run that completes is a complete result
+        and caches normally.
         """
         if self._database.version != self._results_version:
             self._results.clear()
@@ -228,6 +250,9 @@ class QuerySession:
             kwargs = {}
             if getattr(resolved, "supports_planner", False):
                 kwargs["planner"] = self._planner
+            guard = build_guard(timeout, budget, cancellation)
+            if guard is not None:
+                kwargs["guard"] = guard
             result = resolved.evaluate(
                 self.transformed_program,
                 self._database,
@@ -243,6 +268,9 @@ class QuerySession:
         *,
         max_iterations: Optional[int] = None,
         fresh: bool = False,
+        timeout=None,
+        budget=None,
+        cancellation=None,
     ) -> FrozenSet[Tuple]:
         """The goal answers under the named engine.
 
@@ -250,7 +278,14 @@ class QuerySession:
         mutations invalidate the cache automatically.  ``fresh=True`` still
         forces a re-run (e.g. for timing).
         """
-        return self.evaluate(engine, max_iterations=max_iterations, fresh=fresh).answers()
+        return self.evaluate(
+            engine,
+            max_iterations=max_iterations,
+            fresh=fresh,
+            timeout=timeout,
+            budget=budget,
+            cancellation=cancellation,
+        ).answers()
 
     def refresh(self) -> "QuerySession":
         """Drop all cached evaluation results unconditionally.

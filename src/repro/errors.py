@@ -43,6 +43,66 @@ class EvaluationError(ReproError):
     """Raised when evaluation of a program over a database fails."""
 
 
+class QueryAborted(EvaluationError):
+    """Base class for guardrail aborts: a query stopped at a checkpoint.
+
+    Every subclass is raised *cooperatively* — the evaluation loops check
+    their :class:`~repro.datalog.guard.ExecutionGuard` at safe points (round
+    boundaries, kernel batches, resolution steps), so an aborted query
+    leaves the database, materialized views, and the WAL exactly as they
+    were before the request started.
+    """
+
+
+class QueryTimeout(QueryAborted):
+    """Raised when a query exceeds its wall-clock deadline.
+
+    The HTTP layer maps this to ``408 Request Timeout``.
+    """
+
+
+class BudgetExceeded(QueryAborted):
+    """Raised when a query exceeds its derived-fact or fixpoint-round budget.
+
+    The HTTP layer maps this to ``503 + Retry-After`` — the query is too
+    expensive for the resources the server is willing to grant it.
+    """
+
+
+class QueryCancelled(QueryAborted):
+    """Raised when a query's :class:`~repro.datalog.guard.CancellationToken`
+    was cancelled (e.g. the HTTP client disconnected mid-request)."""
+
+
+class EngineNotFoundError(ReproError):
+    """Raised when the engine registry is asked for an unknown engine name."""
+
+
+class EngineNotApplicableError(ReproError):
+    """Raised when an engine's program rewrite rejects the input program.
+
+    This is the one error class :meth:`QuerySession.compare` treats as "this
+    engine simply does not apply here" (e.g. magic sets on a goal without
+    constants).  Anything else an engine raises — including an invalid
+    *rewritten* program — is a genuine failure and propagates.
+    """
+
+
+class QueryNotRegisteredError(EvaluationError):
+    """Raised when a service is asked for a query name it does not know.
+
+    The HTTP layer maps this to ``404 Not Found``.
+    """
+
+
+class ServiceDrainingError(EvaluationError):
+    """Raised for writes arriving after :meth:`DatalogService.begin_drain`.
+
+    The HTTP layer maps this to ``503 + Retry-After`` so clients retry
+    against the replacement server instead of losing the write silently.
+    """
+
+
 class LanguageAnalysisError(ReproError):
     """Raised when a language-theoretic analysis cannot be carried out."""
 

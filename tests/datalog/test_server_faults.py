@@ -1,0 +1,230 @@
+"""Deterministic fault injection: seam semantics, WAL append atomicity and
+poisoning, snapshot atomicity, and the durable facade's acknowledged-prefix
+contract under scripted disk failures."""
+
+import os
+
+import pytest
+
+from repro.datalog.server.durable import DurableDatalogService
+from repro.datalog.server.faults import (
+    FAULT_KINDS,
+    SEAMS,
+    Fault,
+    FaultInjected,
+    PartialWrite,
+    ScriptedFaults,
+)
+from repro.datalog.server.snapshot import SnapshotStore
+from repro.datalog.server.wal import WriteAheadLog
+
+
+# ----------------------------------------------------------------------
+# ScriptedFaults semantics
+# ----------------------------------------------------------------------
+class TestScriptedFaults:
+    def test_unknown_seam_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault seam"):
+            Fault("disk.write", 0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault("wal.fsync", 0, kind="explode")
+
+    def test_duplicate_script_entries_rejected(self):
+        with pytest.raises(ValueError, match="duplicate fault"):
+            ScriptedFaults([Fault("wal.fsync", 0), Fault("wal.fsync", 0)])
+
+    def test_fires_exactly_at_scripted_index(self):
+        faults = ScriptedFaults([Fault("wal.fsync", 2)])
+        faults.check("wal.fsync")
+        faults.check("wal.fsync")
+        with pytest.raises(FaultInjected):
+            faults.check("wal.fsync")
+        faults.check("wal.fsync")  # one-shot: later calls pass
+        assert faults.calls("wal.fsync") == 4
+        assert [(f.op, f.index) for f in faults.injected] == [("wal.fsync", 2)]
+
+    def test_seams_are_independent(self):
+        faults = ScriptedFaults([Fault("wal.fsync", 0)])
+        faults.check("snapshot.fsync")  # different seam, different counter
+        with pytest.raises(FaultInjected):
+            faults.check("wal.fsync")
+
+    def test_partial_write_carries_torn_prefix(self):
+        faults = ScriptedFaults([Fault("wal.append", 0, "partial", fraction=0.25)])
+        with pytest.raises(PartialWrite) as excinfo:
+            faults.filter_write("wal.append", b"abcdefgh")
+        assert excinfo.value.torn == b"ab"
+        assert isinstance(excinfo.value.error, FaultInjected)
+
+    def test_delay_returns_payload(self):
+        faults = ScriptedFaults([Fault("wal.append", 0, "delay", delay=0.0)])
+        assert faults.filter_write("wal.append", b"xyz") == b"xyz"
+
+    def test_injected_error_is_oserror(self):
+        # Production code has no test-only branches: the injected failure
+        # must travel the same except clauses a real disk error does.
+        assert issubclass(FaultInjected, OSError)
+
+    def test_registry_constants_cover_docs(self):
+        assert "fail" in FAULT_KINDS and "partial" in FAULT_KINDS
+        assert "wal.append" in SEAMS and "snapshot.replace" in SEAMS
+
+
+# ----------------------------------------------------------------------
+# WAL append atomicity under injected failures
+# ----------------------------------------------------------------------
+class TestWalFaults:
+    def test_failed_fsync_rolls_back_and_log_stays_usable(self, tmp_path):
+        path = tmp_path / "wal.log"
+        faults = ScriptedFaults([Fault("wal.fsync", 1)])
+        wal = WriteAheadLog(path, faults=faults)
+        wal.append({"kind": "a"})
+        with pytest.raises(FaultInjected):
+            wal.append({"kind": "b"})
+        # The failed record must not replay: it was never acknowledged.
+        records, torn = WriteAheadLog.replay(path)
+        assert [r.payload["kind"] for r in records] == ["a"]
+        assert not torn
+        # And the log keeps accepting appends at the right offset.
+        wal.append({"kind": "c"})
+        records, torn = WriteAheadLog.replay(path)
+        assert [r.payload["kind"] for r in records] == ["a", "c"]
+        assert not torn
+        wal.close()
+
+    def test_partial_write_lands_torn_bytes_then_repairs(self, tmp_path):
+        path = tmp_path / "wal.log"
+        faults = ScriptedFaults([Fault("wal.append", 0, "partial", fraction=0.5)])
+        wal = WriteAheadLog(path, faults=faults)
+        with pytest.raises(FaultInjected):
+            wal.append({"kind": "torn"})
+        # Rollback repaired the torn tail eagerly.
+        assert os.path.getsize(path) == 0
+        assert wal.record_count == 0
+        wal.append({"kind": "ok"})
+        records, torn = WriteAheadLog.replay(path)
+        assert [r.payload["kind"] for r in records] == ["ok"] and not torn
+        wal.close()
+
+    def test_failed_sync_keeps_pending_for_retry(self, tmp_path):
+        path = tmp_path / "wal.log"
+        faults = ScriptedFaults([Fault("wal.sync", 0)])
+        wal = WriteAheadLog(path, fsync="batch", faults=faults)
+        wal.append({"kind": "a"})
+        with pytest.raises(FaultInjected):
+            wal.sync()
+        wal.sync()  # retry succeeds; the record was intact all along
+        records, _ = WriteAheadLog.replay(path)
+        assert len(records) == 1
+        wal.close()
+
+    def test_failed_truncate_leaves_log_intact(self, tmp_path):
+        path = tmp_path / "wal.log"
+        faults = ScriptedFaults([Fault("wal.truncate", 0)])
+        wal = WriteAheadLog(path, faults=faults)
+        wal.append({"kind": "a"})
+        with pytest.raises(FaultInjected):
+            wal.truncate()
+        records, _ = WriteAheadLog.replay(path)
+        assert len(records) == 1  # seam fires before any byte is dropped
+        wal.truncate()
+        assert wal.record_count == 0
+        wal.close()
+
+    def test_delay_fault_is_not_a_failure(self, tmp_path):
+        path = tmp_path / "wal.log"
+        faults = ScriptedFaults([Fault("wal.append", 0, "delay", delay=0.01)])
+        wal = WriteAheadLog(path, faults=faults)
+        assert wal.append({"kind": "slow"}) == 0
+        records, _ = WriteAheadLog.replay(path)
+        assert len(records) == 1
+        wal.close()
+
+
+# ----------------------------------------------------------------------
+# Snapshot atomicity under injected failures
+# ----------------------------------------------------------------------
+class TestSnapshotFaults:
+    @pytest.mark.parametrize(
+        "fault",
+        [
+            Fault("snapshot.write", 1, "fail"),
+            Fault("snapshot.write", 1, "partial", fraction=0.3),
+            Fault("snapshot.fsync", 1, "fail"),
+            Fault("snapshot.replace", 1, "fail"),
+        ],
+        ids=["write-fail", "write-partial", "fsync-fail", "replace-fail"],
+    )
+    def test_any_failure_preserves_previous_snapshot(self, tmp_path, fault):
+        store = SnapshotStore(tmp_path, faults=ScriptedFaults([fault]))
+        store.write({"generation": 1})
+        with pytest.raises(FaultInjected):
+            store.write({"generation": 2})
+        assert store.load() == {"generation": 1}
+        store.write({"generation": 3})  # the store stays usable
+        assert store.load() == {"generation": 3}
+
+    def test_failure_on_first_write_means_no_snapshot(self, tmp_path):
+        store = SnapshotStore(
+            tmp_path, faults=ScriptedFaults([Fault("snapshot.fsync", 0)])
+        )
+        with pytest.raises(FaultInjected):
+            store.write({"generation": 1})
+        assert store.load() is None and not store.exists()
+
+
+# ----------------------------------------------------------------------
+# Durable facade: acknowledged-prefix contract under scripted faults
+# ----------------------------------------------------------------------
+class TestDurableFaults:
+    def test_unacknowledged_write_never_recovers(self, tmp_path):
+        faults = ScriptedFaults([Fault("wal.fsync", 1)])
+        service = DurableDatalogService(tmp_path / "d", faults=faults)
+        service.add_facts([("edge", (1, 2))])
+        with pytest.raises(OSError):
+            service.add_facts([("edge", (2, 3))])
+        # Abandon without close (the crash); a fresh instance recovers
+        # exactly the acknowledged prefix.
+        recovered = DurableDatalogService(tmp_path / "d", snapshot_on_close=False)
+        assert sorted(recovered.service.database.relation("edge")) == [(1, 2)]
+        recovered.close()
+
+    def test_failed_writes_do_not_poison_later_ones(self, tmp_path):
+        faults = ScriptedFaults([Fault("wal.append", 0, "partial")])
+        service = DurableDatalogService(tmp_path / "d", faults=faults)
+        with pytest.raises(OSError):
+            service.add_facts([("edge", (1, 2))])
+        service.add_facts([("edge", (7, 8))])
+        recovered = DurableDatalogService(tmp_path / "d", snapshot_on_close=False)
+        assert sorted(recovered.service.database.relation("edge")) == [(7, 8)]
+        recovered.close()
+
+    def test_snapshot_failure_keeps_wal_authoritative(self, tmp_path):
+        faults = ScriptedFaults([Fault("snapshot.replace", 0)])
+        service = DurableDatalogService(
+            tmp_path / "d", faults=faults, snapshot_on_close=False
+        )
+        service.add_facts([("edge", (1, 2))])
+        with pytest.raises(OSError):
+            service.snapshot()
+        recovered = DurableDatalogService(tmp_path / "d", snapshot_on_close=False)
+        assert sorted(recovered.service.database.relation("edge")) == [(1, 2)]
+        recovered.close()
+
+    def test_truncate_failure_replays_idempotently(self, tmp_path):
+        # Crash window: snapshot written, WAL truncation failed.  Replay of
+        # records the snapshot already contains must be idempotent.
+        faults = ScriptedFaults([Fault("wal.truncate", 0)])
+        service = DurableDatalogService(
+            tmp_path / "d", faults=faults, snapshot_on_close=False
+        )
+        service.add_facts([("edge", (5, 6))])
+        with pytest.raises(OSError):
+            service.snapshot()
+        recovered = DurableDatalogService(tmp_path / "d", snapshot_on_close=False)
+        assert sorted(recovered.service.database.relation("edge")) == [(5, 6)]
+        assert recovered.recovery.snapshot_loaded
+        assert recovered.recovery.wal_records_replayed == 1
+        recovered.close()

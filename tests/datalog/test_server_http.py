@@ -522,3 +522,120 @@ class TestKillAndRestart:
         finally:
             restarted.send_signal(signal.SIGTERM)
             assert restarted.wait(timeout=30) == 0
+
+
+# ----------------------------------------------------------------------
+# Request deadlines, budgets, and disconnect cancellation
+# ----------------------------------------------------------------------
+UNBOUND_TC = """\
+?reach(X, Y)
+reach(X, Y) :- edge(X, Y).
+reach(X, Y) :- reach(X, Z), edge(Z, Y).
+"""
+
+
+class TestRequestDeadlines:
+    def test_zero_timeout_returns_408(self, server):
+        install_reach(server)
+        status, body, _ = server.post(
+            "/execute", {"name": "reach", "params": {"src": "a"}, "timeout": 0}
+        )
+        assert status == 408
+        assert "deadline" in body["error"]
+        _, stats, _ = server.get("/statistics")
+        assert json.loads(stats)["timeouts"] == 1
+
+    def test_budget_abort_returns_503_with_retry_after(self, server):
+        install_reach(server)
+        status, body, response = server.post(
+            "/execute",
+            {
+                "name": "reach",
+                "params": {"src": "a"},
+                "fresh": True,
+                "budget": {"max_rounds": 1},
+            },
+        )
+        assert status == 503
+        assert "budget" in body["error"]
+        assert response.getheader("Retry-After") is not None
+
+    def test_bad_guard_fields_are_400(self, server):
+        install_reach(server)
+        status, body, _ = server.post(
+            "/execute",
+            {"name": "reach", "params": {"src": "a"}, "budget": {"max_disk": 1}},
+        )
+        assert status == 400 and "max_disk" in body["error"]
+        status, body, _ = server.post(
+            "/execute", {"name": "reach", "params": {"src": "a"}, "timeout": "fast"}
+        )
+        assert status == 400 and "timeout" in body["error"]
+
+    def test_server_default_timeout_cannot_be_loosened(self, tmp_path):
+        handle = ServerHandle(tmp_path / "data", request_timeout=0)
+        try:
+            install_reach(handle)
+            # No timeout field: the server default applies.
+            status, body, _ = handle.post(
+                "/execute", {"name": "reach", "params": {"src": "a"}}
+            )
+            assert status == 408
+            # A looser request timeout must not override the default.
+            status, body, _ = handle.post(
+                "/execute", {"name": "reach", "params": {"src": "a"}, "timeout": 60}
+            )
+            assert status == 408
+        finally:
+            handle.stop()
+
+    def test_slow_query_counter_in_metrics(self, tmp_path):
+        handle = ServerHandle(tmp_path / "data", slow_query_threshold=0.0)
+        try:
+            install_reach(handle)
+            status, _, _ = handle.post(
+                "/execute", {"name": "reach", "params": {"src": "a"}}
+            )
+            assert status == 200
+            _, metrics, _ = handle.get("/metrics")
+            match = re.search(r"^repro_http_slow_queries (\d+)$", metrics, re.M)
+            assert match and int(match.group(1)) >= 1
+        finally:
+            handle.stop()
+
+    def test_disconnect_cancels_running_query(self, server):
+        # A deliberately heavy query (full transitive closure of a ring) so
+        # the evaluation is still running when the client goes away; the
+        # watchdog must flip the cancellation token and the engine abort at
+        # its next checkpoint.
+        status, _, _ = server.post(
+            "/register", {"name": "tc", "source": UNBOUND_TC}
+        )
+        assert status == 200
+        nodes = 500  # ~1.1s of evaluation: ample room to disconnect first
+        edges = [["edge", [f"n{i}", f"n{(i + 1) % nodes}"]] for i in range(nodes)]
+        status, _, _ = server.post("/add_facts", {"facts": edges})
+        assert status == 200
+
+        import socket
+        import time
+
+        payload = json.dumps({"name": "tc", "fresh": True}).encode()
+        raw = socket.create_connection(("127.0.0.1", server.port), timeout=10)
+        raw.sendall(
+            b"POST /execute HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\n"
+            + f"Content-Length: {len(payload)}\r\n\r\n".encode()
+            + payload
+        )
+        time.sleep(0.1)  # let dispatch start evaluating
+        raw.close()      # the disconnect the watchdog must notice
+
+        deadline = time.time() + 20
+        cancellations = 0
+        while time.time() < deadline:
+            _, stats, _ = server.get("/statistics")
+            cancellations = json.loads(stats)["cancellations"]
+            if cancellations:
+                break
+            time.sleep(0.1)
+        assert cancellations >= 1
