@@ -1,0 +1,207 @@
+"""Experiment E15 — parallel fixpoint evaluation: sharded deltas vs serial.
+
+PR 10 added the parallel evaluation layer: depth-concurrent strata on
+threads and, for the columnar packed-bigint lane, recursive rounds whose
+delta firing is sharded across forked worker processes
+(:mod:`repro.datalog.columnar.shard`).  This experiment measures the
+second — the throughput lever — on the E14 graph families:
+
+* **tc_rand** — pair transitive closure over a random graph: the
+  *decomposable* flagship.  The closure carries its first column
+  unchanged through the recursion, so the shards are closed and each
+  worker retains its own fresh rows as the next round's delta — zero
+  per-round key shipping (owner-computes);
+* **reach_pa** — linear reachability over a preferential-attachment
+  graph (one big recursive stratum; cheap key-set sync, not
+  decomposable);
+* **sg_grid** — nonlinear same-generation on a grid (bushy joins, so
+  each shard's round carries real kernel work; full mirror sync);
+* **points_to** — Andersen points-to on a synthetic program (mutual
+  recursion: pt and hpt share one stratum and one delta).
+
+Each program carries one trivial wide-head rule (``wide3(X, X, X)``),
+which keeps it off the NumPy vector lane: vector rounds are already
+C-speed and sharding cannot amortize a process round-trip against them,
+so ``workers > 1`` deliberately leaves vector-eligible programs serial
+(see :mod:`repro.datalog.columnar.vector`).  "Serial" here is therefore
+the *best available* serial lane for these programs — the compiled
+packed-bigint kernels — not a strawman.
+
+Parity is asserted before anything is timed, and the assertions also run
+in the plain suite under ``--benchmark-disable``: at every worker count
+the model AND the hardware-independent :class:`EvaluationStatistics`
+must be bit-identical to the serial run — the sharded driver replays the
+serial loop's exact bookkeeping, so any divergence is a real bug, not
+nondeterminism to shrug at.
+
+Acceptance gate (``test_two_workers_at_least_1_4x_on_portfolio``): two
+shard workers must beat the serial packed lane by >=1.4x across the gate
+portfolio, best-of-three, pool startup included.  The gate only runs on
+hosts with at least two usable CPU cores — on a single core two worker
+processes time-slice the same core, so every firing costs twice its
+serial wall time and no sharding scheme can win; parity and engagement
+checks run unconditionally regardless.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.datalog.columnar import shard
+from repro.datalog.engine import get_engine
+from repro.datalog.engine.planner import Planner
+from repro.datalog.parser import parse_program
+from repro.datalog.workloads import (
+    PORTFOLIO,
+    grid,
+    points_to_input,
+    preferential_attachment,
+    random_graph,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shard.available(), reason="process sharding requires the fork start method"
+)
+
+SEMINAIVE = get_engine("seminaive")
+
+
+def usable_cores() -> int:
+    """CPU cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+#: One wide-head marker per program: semantically inert (a copy of an EDB
+#: column) but arity 3, which routes the whole program onto the packed
+#: lane where sharding applies.
+WIDE_MARKERS = {
+    "reachability": "wide3(X, X, X) :- source(X).",
+    "same_generation": "wide3(X, X, X) :- node(X).",
+    "points_to": "wide3(V, V, V) :- alloc(V, H).",
+}
+
+TC_PROGRAM = """
+tc(X, Y) :- edge(X, Y).
+tc(X, Y) :- tc(X, Z), edge(Z, Y).
+wide3(X, X, X) :- node(X).
+"""
+
+
+def wide_program(name: str):
+    program = parse_program(PORTFOLIO[name] + WIDE_MARKERS[name])
+    program.validate()
+    return program
+
+
+def tc_program():
+    program = parse_program(TC_PROGRAM)
+    program.validate()
+    return program
+
+
+#: label -> (program, columnar EDB) at timed scale.
+WORKLOADS = {
+    "tc_rand": (
+        tc_program(),
+        random_graph(800, 2000, seed=3).with_layout("columnar"),
+    ),
+    "reach_pa": (
+        wide_program("reachability"),
+        preferential_attachment(20000, 4, seed=0).with_layout("columnar"),
+    ),
+    "sg_grid": (
+        wide_program("same_generation"),
+        grid(18, 18).with_layout("columnar"),
+    ),
+    "points_to": (
+        wide_program("points_to"),
+        points_to_input(120, 1200, seed=5).with_layout("columnar"),
+    ),
+}
+
+WORKER_COUNTS = (1, 2, 4)
+
+PLANNERS = {}
+for label, (program, database) in WORKLOADS.items():
+    PLANNERS[label] = Planner()
+    PLANNERS[label].plan(program, database)
+
+
+def run(label: str, workers: int = 1):
+    program, database = WORKLOADS[label]
+    return SEMINAIVE.evaluate(
+        program, database, planner=PLANNERS[label], workers=workers
+    )
+
+
+def test_sharding_actually_engages():
+    """Every workload routes through the sharded driver at ``workers > 1``.
+
+    Guards the gate against silently timing serial-vs-serial: the wide
+    marker must keep each program off the vector lane, and each plan must
+    stay fully batch-kernel-supported with a recursive stratum.
+    """
+    for label, (program, database) in WORKLOADS.items():
+        plan = PLANNERS[label].plan(program, database)
+        assert shard.applicable(plan, database, program, workers=2), label
+
+
+def test_parity_sharded_vs_serial():
+    """The non-negotiable contract, asserted before anything is timed.
+
+    At every worker count, on every workload: identical model, identical
+    statistics — iterations, firings, duplicates, per-predicate counts.
+    """
+    for label in WORKLOADS:
+        serial = run(label, workers=1)
+        for workers in (2, 3):
+            sharded = run(label, workers=workers)
+            assert sharded.idb_facts == serial.idb_facts, (label, workers)
+            assert sharded.statistics == serial.statistics, (label, workers)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize("label", sorted(WORKLOADS))
+def test_parallel_fixpoint(benchmark, record, label, workers):
+    result = benchmark(run, label, workers)
+    record(benchmark, f"w{workers}", result.statistics)
+    benchmark.extra_info["workers"] = workers
+
+
+@pytest.mark.skipif(
+    usable_cores() < 2,
+    reason="the scaling gate needs >= 2 usable CPU cores: on one core two "
+    "worker processes time-slice the same core, doubling every firing's "
+    "wall cost, so no sharding scheme can show a speedup",
+)
+def test_two_workers_at_least_1_4x_on_portfolio():
+    """The E15 acceptance gate, measured directly with perf_counter.
+
+    Pool startup (fork + warm-up ping per evaluation) is *inside* the
+    timed region — the speedup must survive the honest end-to-end cost.
+    Best-of-three over the whole portfolio smooths scheduler noise, and
+    the check runs in the plain suite under ``--benchmark-disable`` too
+    (on multi-core hosts).
+    """
+
+    def best_portfolio_seconds(workers: int, repeats: int = 3) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            for label in WORKLOADS:
+                run(label, workers=workers)
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    run("tc_rand", workers=2)  # warm plans, interning, and the fork path
+    serial_seconds = best_portfolio_seconds(workers=1)
+    sharded_seconds = best_portfolio_seconds(workers=2)
+    ratio = serial_seconds / sharded_seconds
+    assert ratio >= 1.4, (
+        f"serial {serial_seconds * 1e3:.1f} ms vs 2-worker "
+        f"{sharded_seconds * 1e3:.1f} ms: only {ratio:.2f}x"
+    )

@@ -21,6 +21,12 @@ When the report contains the E13 server benchmarks, the summary grows a
 pair with its overhead ratio and 3x gate verdict, the mixed 90/10 cycle,
 and the multi-process load driver's percentiles and throughput.
 
+When the report contains the E15 parallel-fixpoint benchmarks, the
+summary grows a ``parallel`` section: per-workload medians at each worker
+count, the serial-over-N speedup curves, and the portfolio's 2-worker
+ratio against the >=1.4x acceptance gate (informational on single-core
+runners, where the gate test skips).
+
 Usage: python scripts/bench_medians.py <pytest-benchmark.json> <out.json>
            [--traffic <traffic-out.json>]
 """
@@ -52,6 +58,8 @@ GRAPH_WORKLOAD_PREFIX = "test_graph_workload["
 GRAPH_GATE_COMPILED_PREFIX = "test_graph_workload_gate_compiled["
 GRAPH_GATE_INTERPRETED_PREFIX = "test_graph_workload_interpreted["
 GRAPH_COLUMNAR_PREFIX = "test_graph_workload_columnar["
+
+PARALLEL_PREFIX = "test_parallel_fixpoint["
 
 INCREMENTAL_MAINTAIN_PREFIX = "test_incremental_maintenance["
 INCREMENTAL_RECOMPUTE_PREFIX = "test_full_recompute["
@@ -217,6 +225,50 @@ def graph_summary(median_map: dict) -> dict:
     return summary
 
 
+def parallel_summary(median_map: dict) -> dict:
+    """The E15 shape: sharded-fixpoint speedup curves per workload.
+
+    Groups ``test_parallel_fixpoint[...]`` medians by workload and worker
+    count (the count is recorded in ``extra_info``), derives each
+    workload's serial-over-N speedup, and reports the portfolio's
+    2-worker ratio against the ISSUE's >=1.4x acceptance gate.  On
+    single-core runners the timed pairs still appear but the ratio is
+    expected below 1 (two processes time-slicing one core); the gate
+    test itself skips there, so the verdict here is informational.
+    Empty when the report has no E15 benchmarks.
+    """
+    workloads: dict = {}
+    for name, entry in median_map.items():
+        if not (name.startswith(PARALLEL_PREFIX) and name.endswith("]")):
+            continue
+        workers = entry["extra_info"].get("workers")
+        if workers is None:
+            continue
+        tokens = name[len(PARALLEL_PREFIX) : -1].split("-")
+        label = next((t for t in tokens if not t.isdigit()), tokens[0])
+        workloads.setdefault(label, {})[f"w{workers}_seconds"] = entry[
+            "median_seconds"
+        ]
+    summary: dict = {"workloads": workloads}
+    serial_total = sharded_total = 0.0
+    for label, entry in workloads.items():
+        serial = entry.get("w1_seconds")
+        if not serial:
+            continue
+        for key in sorted(entry):
+            if key in ("w1_seconds",) or not key.endswith("_seconds"):
+                continue
+            entry[f"speedup_{key[:-8]}"] = serial / entry[key]
+        sharded = entry.get("w2_seconds")
+        if sharded:
+            serial_total += serial
+            sharded_total += sharded
+    if sharded_total:
+        summary["portfolio_2worker_speedup"] = serial_total / sharded_total
+        summary["meets_1_4x_gate"] = summary["portfolio_2worker_speedup"] >= 1.4
+    return summary
+
+
 def incremental_summary(median_map: dict) -> dict:
     """The E12 shape: per-workload maintenance-vs-recompute speedups.
 
@@ -321,6 +373,9 @@ def main(argv) -> int:
     server = server_summary(median_map)
     if server:
         summary["server"] = server
+    parallel = parallel_summary(median_map)
+    if parallel["workloads"]:
+        summary["parallel"] = parallel
     with open(arguments.destination, "w", encoding="utf-8") as handle:
         json.dump(summary, handle, indent=2, sort_keys=True)
     print(f"wrote {len(median_map)} medians to {arguments.destination}")
@@ -344,6 +399,12 @@ def main(argv) -> int:
         print(
             f"incremental portfolio speedup {ratio:.1f}x "
             f"(gate >=5x: {incremental['meets_5x_gate']})"
+        )
+    ratio = parallel.get("portfolio_2worker_speedup")
+    if ratio is not None:
+        print(
+            f"parallel portfolio 2-worker speedup {ratio:.2f}x "
+            f"(gate >=1.4x: {parallel['meets_1_4x_gate']})"
         )
     roundtrip = server.get("execute_roundtrip")
     if roundtrip is not None:

@@ -375,6 +375,7 @@ def command_serve(arguments: argparse.Namespace) -> int:
         snapshot_every=arguments.snapshot_every,
         max_pending_writes=arguments.max_pending_writes,
         executor_workers=arguments.workers,
+        engine_workers=arguments.engine_workers,
         sync_interval=arguments.sync_interval,
         cache_size=arguments.cache_size,
         default_engine=arguments.engine,
@@ -575,6 +576,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="thread-pool size for engine work (the event loop never blocks)",
     )
     serve.add_argument(
+        "--engine-workers", type=int, default=None, metavar="N",
+        help="parallel evaluation workers *inside* each engine run "
+        "(depth-concurrent strata + sharded columnar deltas); distinct "
+        "from --workers, which sizes the request-handler thread pool. "
+        "Only engines with the parallel layer use it; others run serial",
+    )
+    serve.add_argument(
         "--sync-interval", type=float, default=None,
         help="periodic WAL fsync in seconds (for --fsync batch)",
     )
@@ -600,7 +608,8 @@ def build_parser() -> argparse.ArgumentParser:
     load_bench = subparsers.add_parser(
         "load-bench",
         help="drive a running `repro serve` instance with N client processes "
-        "over real sockets and report p50/p95/p99 + req/s",
+        "over real sockets and report p50/p95/p99 + req/s (start the server "
+        "with --engine-workers to measure parallel evaluation under load)",
     )
     load_bench.add_argument("--host", default="127.0.0.1", help="server address")
     load_bench.add_argument("--port", type=int, required=True, help="server port")

@@ -897,19 +897,30 @@ def _head_arities(plan) -> Dict[str, Set[int]]:
 
 
 def evaluate_seminaive(
-    program, database, plan, statistics, max_iterations: Optional[int], guard=None
+    program, database, plan, statistics, max_iterations: Optional[int], guard=None,
+    workers: int = 1,
 ) -> EvaluationResult:
     """The semi-naive fixpoint over columnar state (statistics-identical).
 
     Dispatches to the NumPy vector lane when the program's head relations
     fit 64-bit packed keys (see :mod:`repro.datalog.columnar.vector`);
     otherwise runs the packed-bigint lane below, which handles any arity.
+    With ``workers > 1``, programs off the vector lane route through the
+    process-sharded driver (:mod:`repro.datalog.columnar.shard`), which
+    partitions each recursive round's delta across forked workers —
+    vector-eligible programs stay on the (already C-speed) vector lane,
+    serial, where cross-process sharding cannot pay for itself.
     An armed *guard* is checkpointed at every round boundary and between
     kernel batches, so even a single enormous round stays cancellable; the
     working state is lane-private, so aborts leave *database* untouched.
     """
-    from repro.datalog.columnar import vector
+    from repro.datalog.columnar import shard, vector
 
+    if workers > 1 and shard.applicable(plan, database, program, workers):
+        return shard.evaluate_seminaive_sharded(
+            program, database, plan, statistics, max_iterations,
+            guard=guard, workers=workers,
+        )
     if vector.supported(plan, database.columnar_store().table, program):
         return vector.evaluate_seminaive(
             program, database, plan, statistics, max_iterations, guard=guard
@@ -964,12 +975,15 @@ def evaluate_seminaive(
 
 
 def evaluate_naive(
-    program, database, plan, statistics, max_iterations: Optional[int], guard=None
+    program, database, plan, statistics, max_iterations: Optional[int], guard=None,
+    workers: int = 1,
 ) -> EvaluationResult:
     """The naive fixpoint over columnar state (statistics-identical).
 
     Same lane dispatch — and same guard checkpoints — as
-    :func:`evaluate_seminaive`.
+    :func:`evaluate_seminaive`.  ``workers`` is accepted for interface
+    symmetry but the naive lane always runs serial: without deltas there
+    is no small per-round unit of work to shard.
     """
     from repro.datalog.columnar import vector
 

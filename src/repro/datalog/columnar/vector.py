@@ -25,6 +25,12 @@ else — wider heads, a missing NumPy — falls back to the packed lane,
 which is observationally identical.  Statistics parity follows the same
 discipline as the other lanes: firings are counted after all checks, and
 "new" counts are bucket growth against the round-start state.
+
+This lane always runs serial, even under ``workers > 1``: its rounds are
+already C-speed array sweeps, so the per-round pickling and queue latency
+of the process-sharded driver (:mod:`repro.datalog.columnar.shard`) would
+dominate any split — sharding targets the interpreter-bound packed lane,
+i.e. exactly the programs (wide heads) this lane cannot take.
 """
 
 from __future__ import annotations

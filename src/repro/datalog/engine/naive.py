@@ -28,10 +28,52 @@ from repro.datalog.engine.base import (
     split_aggregate_rules,
     split_rules,
 )
+from repro.datalog.engine.parallel import evaluate_strata, resolve_workers
 from repro.datalog.engine.planner import Planner, ProgramPlan, compile_program_plan
 from repro.datalog.engine.stats import EvaluationStatistics
 from repro.datalog.program import Program
 from repro.errors import EvaluationError
+
+
+def _run_stratum(plan, stratum, working, statistics, check_budget, compiled, collect=None):
+    """One stratum's naive fixpoint over *working* (serial core).
+
+    With ``collect`` supplied (the depth-concurrent path, where *working*
+    is a private overlay), every derived tuple is also recorded per
+    predicate so the driver can fold the overlay's additions back into
+    the shared working set.
+    """
+    statistics.record_stratum()
+    plain_rules, aggregate_rules = split_aggregate_rules(stratum.rules)
+    first_round = True
+    changed = True
+    while changed:
+        changed = False
+        statistics.record_iteration(stratum.label)
+        check_budget()
+        # predicate -> fresh head tuples produced this round.  The round
+        # never mutates `working`, so its live relation view plus this
+        # bucket answer every duplicate check by direct set membership.
+        pending: Dict[str, Set[Tuple]] = {}
+        for rule in plain_rules:
+            bucket = pending.setdefault(rule.head.predicate, set())
+            fire_rule(plan, rule, working, bucket, statistics, compiled)
+        if first_round:
+            # Aggregate rules read only closed lower strata — one firing
+            # per stratum, on the first round, exactly as the semi-naive
+            # engine does it (shared routine, identical statistics).
+            for rule in aggregate_rules:
+                bucket = pending.setdefault(rule.head.predicate, set())
+                fire_aggregate_rule(plan, rule, working, bucket, statistics)
+            first_round = False
+        changed = working.add_relations(pending) > 0
+        if collect is not None:
+            for name, bucket in pending.items():
+                if bucket:
+                    collect.setdefault(name, set()).update(bucket)
+        if not stratum.recursive:
+            # Every body predicate is already at fixpoint: one pass suffices.
+            break
 
 
 def _evaluate(
@@ -42,6 +84,7 @@ def _evaluate(
     plan: Optional[ProgramPlan] = None,
     compiled: bool = True,
     guard=None,
+    workers: Optional[int] = None,
 ) -> EvaluationResult:
     """Compute the minimum model of *program* over *database* naively.
 
@@ -69,8 +112,15 @@ def _evaluate(
         Optional armed :class:`~repro.datalog.guard.ExecutionGuard`,
         checkpointed at every round boundary; aborts leave *database*
         untouched (evaluation runs over a working copy).
+    workers:
+        Optional parallelism degree (> 1 runs same-depth strata on
+        concurrent threads; see :mod:`repro.datalog.engine.parallel`).
+        The naive engine has no deltas to shard, so the columnar lane
+        stays serial at any worker count; results and statistics are
+        identical to the serial run regardless.
     """
     program.validate()
+    workers_n = resolve_workers(workers)
     statistics = EvaluationStatistics()
 
     # Plan first (it reads the *input* database, not the working copy) so a
@@ -88,7 +138,8 @@ def _evaluate(
 
         if plan_supported(plan):
             return evaluate_naive(
-                program, database, plan, statistics, max_iterations, guard=guard
+                program, database, plan, statistics, max_iterations,
+                guard=guard, workers=workers_n,
             )
 
     working = database.copy()
@@ -99,39 +150,22 @@ def _evaluate(
         statistics.record_firing()
         statistics.record_fact(rule.head.predicate, is_new)
 
-    for stratum in plan.strata:
-        statistics.record_stratum()
-        plain_rules, aggregate_rules = split_aggregate_rules(stratum.rules)
-        first_round = True
-        changed = True
-        while changed:
-            changed = False
-            statistics.record_iteration(stratum.label)
-            if guard is not None:
-                guard.checkpoint(statistics)
-            if max_iterations is not None and statistics.iterations > max_iterations:
-                raise EvaluationError(
-                    f"naive evaluation exceeded {max_iterations} iterations"
-                )
-            # predicate -> fresh head tuples produced this round.  The round
-            # never mutates `working`, so its live relation view plus this
-            # bucket answer every duplicate check by direct set membership.
-            pending: Dict[str, Set[Tuple]] = {}
-            for rule in plain_rules:
-                bucket = pending.setdefault(rule.head.predicate, set())
-                fire_rule(plan, rule, working, bucket, statistics, compiled)
-            if first_round:
-                # Aggregate rules read only closed lower strata — one firing
-                # per stratum, on the first round, exactly as the semi-naive
-                # engine does it (shared routine, identical statistics).
-                for rule in aggregate_rules:
-                    bucket = pending.setdefault(rule.head.predicate, set())
-                    fire_aggregate_rule(plan, rule, working, bucket, statistics)
-                first_round = False
-            changed = working.add_relations(pending) > 0
-            if not stratum.recursive:
-                # Every body predicate is already at fixpoint: one pass suffices.
-                break
+    def check_budget() -> None:
+        if guard is not None:
+            guard.checkpoint(statistics)
+        if max_iterations is not None and statistics.iterations > max_iterations:
+            raise EvaluationError(
+                f"naive evaluation exceeded {max_iterations} iterations"
+            )
+
+    def run_stratum(stratum, target, stats, check, collect):
+        _run_stratum(plan, stratum, target, stats, check, compiled, collect)
+
+    evaluate_strata(
+        plan, working, statistics, run_stratum, check_budget,
+        guard=guard, max_iterations=max_iterations, workers=workers_n,
+        error_label="naive",
+    )
 
     idb_facts = working.restrict(program.idb_predicates())
     return EvaluationResult(program, database, idb_facts, statistics)

@@ -38,6 +38,7 @@ query.  ``ProgramPlan.describe()`` is the ``EXPLAIN`` surface printed by
 
 from __future__ import annotations
 
+import threading
 import weakref
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
@@ -131,12 +132,21 @@ class JoinPlan:
 
 @dataclass(frozen=True)
 class Stratum:
-    """One strongly connected component of IDB predicates, with its rules."""
+    """One strongly connected component of IDB predicates, with its rules.
+
+    ``depth`` is the stratum's topological depth in the condensation DAG:
+    0 for strata that read only EDB relations, else one more than the
+    deepest stratum any body atom depends on.  Strata sharing a depth have
+    no dependency edges between them (an edge would order them), which is
+    what licenses evaluating them concurrently — see
+    :mod:`repro.datalog.engine.parallel`.
+    """
 
     index: int
     predicates: FrozenSet[str]
     rules: Tuple[Rule, ...]
     recursive: bool
+    depth: int = 0
 
     @property
     def label(self) -> str:
@@ -171,6 +181,11 @@ class ProgramPlan:
         lines = [f"join plan: {len(self.strata)} strata, {rule_count} rules"]
         for stratum in self.strata:
             kind = "recursive" if stratum.recursive else "single pass"
+            # Depth 0 keeps the historical line shape; deeper strata show
+            # where they sit in the condensation DAG (same-depth strata are
+            # the ones a parallel run may evaluate concurrently).
+            if stratum.depth:
+                kind = f"{kind}, depth {stratum.depth}"
             lines.append(f"stratum {stratum.index + 1}: {stratum.label} [{kind}]")
             for (source, target), reason in sorted(negative.items()):
                 if source in stratum.predicates:
@@ -450,6 +465,10 @@ def compile_program_plan(
     strata: List[Stratum] = []
     plans: Dict[Rule, JoinPlan] = {}
     kernels: Dict[Rule, object] = {}
+    # predicate -> depth of the (already built, i.e. lower) stratum holding
+    # it; EDB predicates and rule-less components never enter, so they
+    # contribute depth -1 below and a stratum over pure EDB input sits at 0.
+    stratum_depths: Dict[str, int] = {}
     for component in graph.strongly_connected_components():
         rules: List[Rule] = []
         for rule in proper_rules:
@@ -478,7 +497,18 @@ def compile_program_plan(
                     rule, initial_estimates, estimates, delta_predicates, column_stats
                 )
                 kernels[rule] = compile_rule_kernel(plans[rule])
-        strata.append(Stratum(len(strata), predicates, tuple(rules), recursive))
+        depth = 1 + max(
+            (
+                stratum_depths.get(atom.predicate, -1)
+                for rule in rules
+                for atom in rule.body
+                if atom.predicate not in predicates
+            ),
+            default=-1,
+        )
+        for predicate in predicates:
+            stratum_depths[predicate] = depth
+        strata.append(Stratum(len(strata), predicates, tuple(rules), recursive, depth))
     return ProgramPlan(program, tuple(strata), plans, kernels)
 
 
@@ -504,6 +534,12 @@ class Planner:
         self._cache: Dict[
             Tuple[int, int], Tuple[int, ProgramPlan, "weakref.ref", "weakref.ref"]
         ] = {}
+        # One planner is shared by every engine run of a session/service, and
+        # the service runs engines without holding its own lock — so the LRU
+        # del/re-insert, the eviction scan, and the counters below must never
+        # race (an unlocked eviction scan over .items() can see a concurrent
+        # del and raise "dictionary changed size during iteration").
+        self._lock = threading.Lock()
         self.plans_compiled = 0
         self.cache_hits = 0
 
@@ -512,37 +548,51 @@ class Planner:
 
         When *statistics* (an
         :class:`~repro.datalog.engine.stats.EvaluationStatistics`) is given,
-        the compile/hit is recorded there as well.
+        the compile/hit is recorded there as well.  Thread-safe: concurrent
+        callers may compile the same plan at most once each (compilation
+        deliberately runs outside the lock — plans are immutable and cheap
+        to discard), but the cache structure and the ``plans_compiled`` /
+        ``cache_hits`` counters stay consistent, with one count per call.
         """
         key = (id(program), id(database))
-        entry = self._cache.get(key)
-        if (
-            entry is not None
-            and entry[0] == database.version
-            and entry[2]() is program
-            and entry[3]() is database
-        ):
-            self.cache_hits += 1
-            # Re-insert so eviction order is least-recently-used, not FIFO.
-            del self._cache[key]
-            self._cache[key] = entry
-            if statistics is not None:
-                statistics.record_plan(cache_hit=True)
-            return entry[1]
+        with self._lock:
+            entry = self._cache.get(key)
+            if (
+                entry is not None
+                and entry[0] == database.version
+                and entry[2]() is program
+                and entry[3]() is database
+            ):
+                self.cache_hits += 1
+                # Re-insert so eviction order is least-recently-used, not FIFO.
+                del self._cache[key]
+                self._cache[key] = entry
+                if statistics is not None:
+                    statistics.record_plan(cache_hit=True)
+                return entry[1]
         plan = compile_program_plan(program, database)
-        if len(self._cache) >= self.MAX_ENTRIES:
-            # Engines that rewrite the program per call (e.g. ``magic``) mint
-            # a fresh Program object every evaluation; without a bound those
-            # one-shot entries would accumulate forever.  Drop dead entries
-            # first, then the oldest, so hot pairs survive eviction.
-            for stale in [
-                k for k, (_, _, p, d) in self._cache.items() if p() is None or d() is None
-            ]:
-                del self._cache[stale]
-            while len(self._cache) >= self.MAX_ENTRIES:
-                self._cache.pop(next(iter(self._cache)))
-        self._cache[key] = (database.version, plan, weakref.ref(program), weakref.ref(database))
-        self.plans_compiled += 1
+        with self._lock:
+            if len(self._cache) >= self.MAX_ENTRIES:
+                # Engines that rewrite the program per call (e.g. ``magic``)
+                # mint a fresh Program object every evaluation; without a
+                # bound those one-shot entries would accumulate forever.
+                # Drop dead entries first, then the oldest, so hot pairs
+                # survive eviction.
+                for stale in [
+                    k
+                    for k, (_, _, p, d) in self._cache.items()
+                    if p() is None or d() is None
+                ]:
+                    del self._cache[stale]
+                while len(self._cache) >= self.MAX_ENTRIES:
+                    self._cache.pop(next(iter(self._cache)))
+            self._cache[key] = (
+                database.version,
+                plan,
+                weakref.ref(program),
+                weakref.ref(database),
+            )
+            self.plans_compiled += 1
         if statistics is not None:
             statistics.record_plan(cache_hit=False)
         return plan

@@ -152,6 +152,12 @@ class FunctionEngine:
     checkpoints cooperatively.  Like ``max_iterations``, a guard is a safety
     valve: passing one to an engine that would ignore it raises instead of
     silently running unbounded.
+
+    ``supports_workers`` marks functions that accept a ``workers=`` keyword
+    (the parallel evaluation layer: depth-concurrent strata and sharded
+    columnar deltas).  Requesting ``workers`` from an engine without the
+    layer raises rather than silently running serial — the caller asked
+    for a scaling behaviour, not a hint.
     """
 
     name: str
@@ -161,6 +167,7 @@ class FunctionEngine:
     supports_planner: bool = False
     supports_compiled: bool = False
     supports_guard: bool = False
+    supports_workers: bool = False
 
     def evaluate(
         self,
@@ -172,6 +179,7 @@ class FunctionEngine:
         plan=None,
         compiled: Optional[bool] = None,
         guard=None,
+        workers: Optional[int] = None,
     ) -> EvaluationResult:
         kwargs = {}
         if self.supports_planner and planner is not None:
@@ -195,6 +203,14 @@ class FunctionEngine:
                     f"engine {self.name!r} does not support cooperative guards"
                 )
             kwargs["guard"] = guard
+        if workers is not None:
+            if not self.supports_workers:
+                # Silently running serial would misreport the scaling the
+                # caller explicitly asked for.
+                raise EvaluationError(
+                    f"engine {self.name!r} does not support parallel workers"
+                )
+            kwargs["workers"] = workers
         if self.supports_max_iterations:
             return self.function(program, database, max_iterations=max_iterations, **kwargs)
         if max_iterations is not None:
@@ -230,6 +246,11 @@ class TransformedEngine:
         """Forward a guard exactly when the delegate engine honours one."""
         return bool(getattr(get_engine(self.delegate), "supports_guard", False))
 
+    @property
+    def supports_workers(self) -> bool:
+        """Forward a worker count exactly when the delegate engine scales."""
+        return bool(getattr(get_engine(self.delegate), "supports_workers", False))
+
     def evaluate(
         self,
         program: Program,
@@ -240,6 +261,7 @@ class TransformedEngine:
         plan=None,
         compiled: Optional[bool] = None,
         guard=None,
+        workers: Optional[int] = None,
     ) -> EvaluationResult:
         from repro.errors import ValidationError
 
@@ -267,6 +289,9 @@ class TransformedEngine:
         if guard is not None:
             # The delegate's own support check raises if it ignores guards.
             kwargs["guard"] = guard
+        if workers is not None:
+            # Likewise: the delegate raises if it cannot scale.
+            kwargs["workers"] = workers
         return delegate.evaluate(
             rewritten, database, max_iterations=max_iterations, **kwargs
         )
@@ -297,6 +322,7 @@ def _register_builtins() -> None:
             supports_planner=True,
             supports_compiled=True,
             supports_guard=True,
+            supports_workers=True,
         )
     )
     register_engine(
@@ -308,6 +334,7 @@ def _register_builtins() -> None:
             supports_planner=True,
             supports_compiled=True,
             supports_guard=True,
+            supports_workers=True,
         )
     )
     register_engine(

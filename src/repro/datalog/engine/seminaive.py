@@ -32,10 +32,74 @@ from repro.datalog.engine.base import (
     split_aggregate_rules,
     split_rules,
 )
+from repro.datalog.engine.parallel import evaluate_strata, resolve_workers
 from repro.datalog.engine.planner import Planner, ProgramPlan, compile_program_plan
 from repro.datalog.engine.stats import EvaluationStatistics
 from repro.datalog.program import Program
 from repro.errors import EvaluationError
+
+
+def _run_stratum(plan, stratum, working, statistics, check_budget, compiled, collect=None):
+    """One stratum's semi-naive fixpoint over *working* (serial core).
+
+    With ``collect`` supplied (the depth-concurrent path, where *working*
+    is a private overlay), every derived tuple is also recorded per
+    predicate so the driver can fold the overlay's additions back into
+    the shared working set.
+    """
+    statistics.record_stratum()
+    label = stratum.label
+
+    # Initial round: every stratum rule once, over everything derived so
+    # far (lower strata are complete, this stratum's relations may hold
+    # facts loaded from fact rules).  Nothing mutates `working` within a
+    # round, so its live relation view plus the per-predicate bucket
+    # answer every duplicate check by direct set membership — no
+    # contains() round-trips through tuple() coercion per firing, and no
+    # per-round frozenset rebuild on deep recursions with small deltas.
+    statistics.record_iteration(label)
+    check_budget()
+    plain_rules, aggregate_rules = split_aggregate_rules(stratum.rules)
+    delta_sets: Dict[str, Set[Tuple]] = {}
+    for rule in plain_rules:
+        bucket = delta_sets.setdefault(rule.head.predicate, set())
+        fire_rule(plan, rule, working, bucket, statistics, compiled)
+    # Aggregate rules fire exactly once, here: stratification forces
+    # their whole bodies into strictly lower (closed) strata, so the
+    # stratum's own fixpoint cannot change what they derive.
+    for rule in aggregate_rules:
+        bucket = delta_sets.setdefault(rule.head.predicate, set())
+        fire_aggregate_rule(plan, rule, working, bucket, statistics)
+    delta = Database.adopt({name: bucket for name, bucket in delta_sets.items() if bucket})
+    working.update(delta)
+    if collect is not None:
+        for name, bucket in delta_sets.items():
+            if bucket:
+                collect.setdefault(name, set()).update(bucket)
+
+    if not stratum.recursive:
+        # No rule in this stratum can feed itself: one pass is the fixpoint.
+        return
+
+    while delta.fact_count():
+        statistics.record_iteration(label)
+        check_budget()
+        next_sets: Dict[str, Set[Tuple]] = {}
+        delta_predicates = delta.predicates()
+        for rule in plain_rules:
+            bucket = next_sets.setdefault(rule.head.predicate, set())
+            fire_rule_delta(
+                plan, rule, working, delta, delta_predicates, bucket, statistics, compiled
+            )
+        next_delta = Database.adopt(
+            {name: bucket for name, bucket in next_sets.items() if bucket}
+        )
+        working.update(next_delta)
+        if collect is not None:
+            for name, bucket in next_sets.items():
+                if bucket:
+                    collect.setdefault(name, set()).update(bucket)
+        delta = next_delta
 
 
 def _evaluate(
@@ -46,6 +110,7 @@ def _evaluate(
     plan: Optional[ProgramPlan] = None,
     compiled: bool = True,
     guard=None,
+    workers: Optional[int] = None,
 ) -> EvaluationResult:
     """Compute the minimum model of *program* over *database* semi-naively.
 
@@ -70,8 +135,15 @@ def _evaluate(
     fixpoint round boundary: a deadline, budget, or cancellation abort
     raises its typed error with the input database untouched (evaluation
     runs over a working copy).
+
+    *workers*, when > 1, enables the parallel layer: same-depth strata run
+    concurrently on threads (:mod:`repro.datalog.engine.parallel`), and on
+    the columnar packed-bigint lane recursive rounds are process-sharded
+    (:mod:`repro.datalog.columnar.shard`).  The model and statistics are
+    identical to the serial run at any worker count.
     """
     program.validate()
+    workers_n = resolve_workers(workers)
     statistics = EvaluationStatistics()
     idb_predicates = program.idb_predicates()
 
@@ -92,7 +164,8 @@ def _evaluate(
 
         if plan_supported(plan):
             return evaluate_seminaive(
-                program, database, plan, statistics, max_iterations, guard=guard
+                program, database, plan, statistics, max_iterations,
+                guard=guard, workers=workers_n,
             )
 
     working = database.copy()
@@ -112,52 +185,14 @@ def _evaluate(
                 f"semi-naive evaluation exceeded {max_iterations} iterations"
             )
 
-    for stratum in plan.strata:
-        statistics.record_stratum()
-        label = stratum.label
+    def run_stratum(stratum, target, stats, check, collect):
+        _run_stratum(plan, stratum, target, stats, check, compiled, collect)
 
-        # Initial round: every stratum rule once, over everything derived so
-        # far (lower strata are complete, this stratum's relations may hold
-        # facts loaded from fact rules).  Nothing mutates `working` within a
-        # round, so its live relation view plus the per-predicate bucket
-        # answer every duplicate check by direct set membership — no
-        # contains() round-trips through tuple() coercion per firing, and no
-        # per-round frozenset rebuild on deep recursions with small deltas.
-        statistics.record_iteration(label)
-        check_budget()
-        plain_rules, aggregate_rules = split_aggregate_rules(stratum.rules)
-        delta_sets: Dict[str, Set[Tuple]] = {}
-        for rule in plain_rules:
-            bucket = delta_sets.setdefault(rule.head.predicate, set())
-            fire_rule(plan, rule, working, bucket, statistics, compiled)
-        # Aggregate rules fire exactly once, here: stratification forces
-        # their whole bodies into strictly lower (closed) strata, so the
-        # stratum's own fixpoint cannot change what they derive.
-        for rule in aggregate_rules:
-            bucket = delta_sets.setdefault(rule.head.predicate, set())
-            fire_aggregate_rule(plan, rule, working, bucket, statistics)
-        delta = Database.adopt({name: bucket for name, bucket in delta_sets.items() if bucket})
-        working.update(delta)
-
-        if not stratum.recursive:
-            # No rule in this stratum can feed itself: one pass is the fixpoint.
-            continue
-
-        while delta.fact_count():
-            statistics.record_iteration(label)
-            check_budget()
-            next_sets: Dict[str, Set[Tuple]] = {}
-            delta_predicates = delta.predicates()
-            for rule in plain_rules:
-                bucket = next_sets.setdefault(rule.head.predicate, set())
-                fire_rule_delta(
-                    plan, rule, working, delta, delta_predicates, bucket, statistics, compiled
-                )
-            next_delta = Database.adopt(
-                {name: bucket for name, bucket in next_sets.items() if bucket}
-            )
-            working.update(next_delta)
-            delta = next_delta
+    evaluate_strata(
+        plan, working, statistics, run_stratum, check_budget,
+        guard=guard, max_iterations=max_iterations, workers=workers_n,
+        error_label="semi-naive",
+    )
 
     idb_facts = working.restrict(idb_predicates)
     return EvaluationResult(program, database, idb_facts, statistics)

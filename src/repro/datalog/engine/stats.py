@@ -74,6 +74,31 @@ class EvaluationStatistics:
         else:
             self.duplicate_derivations += 1
 
+    def absorb(self, other: "EvaluationStatistics") -> None:
+        """Fold *other* into this object in place.
+
+        The parallel evaluators give each concurrent stratum its own
+        statistics object and absorb them back in stratum-index order;
+        because every counter is a sum and the per-predicate / per-stratum
+        maps compare order-insensitively, the absorbed totals are identical
+        to what the serial pass would have recorded.
+        """
+        self.iterations += other.iterations
+        self.rule_firings += other.rule_firings
+        self.facts_derived += other.facts_derived
+        self.duplicate_derivations += other.duplicate_derivations
+        self.strata += other.strata
+        self.plans_compiled += other.plans_compiled
+        self.plan_cache_hits += other.plan_cache_hits
+        for predicate, count in other.facts_per_predicate.items():
+            self.facts_per_predicate[predicate] = (
+                self.facts_per_predicate.get(predicate, 0) + count
+            )
+        for stratum, count in other.iterations_per_stratum.items():
+            self.iterations_per_stratum[stratum] = (
+                self.iterations_per_stratum.get(stratum, 0) + count
+            )
+
     def merge(self, other: "EvaluationStatistics") -> "EvaluationStatistics":
         """Combine two statistics objects (used when evaluation is staged)."""
         merged = EvaluationStatistics(

@@ -199,6 +199,7 @@ class BoundQuery:
         timeout=None,
         budget=None,
         cancellation=None,
+        workers: Optional[int] = None,
     ) -> EvaluationResult:
         """Run the engine with this binding's seed facts; return the full result."""
         return self._prepared._execute_bound(
@@ -209,6 +210,7 @@ class BoundQuery:
             timeout=timeout,
             budget=budget,
             cancellation=cancellation,
+            workers=workers,
         )
 
     def answers(
@@ -219,6 +221,7 @@ class BoundQuery:
         timeout=None,
         budget=None,
         cancellation=None,
+        workers: Optional[int] = None,
     ) -> FrozenSet[Tuple]:
         """Just the goal answers (the common traffic path)."""
         return self.execute(
@@ -227,6 +230,7 @@ class BoundQuery:
             timeout=timeout,
             budget=budget,
             cancellation=cancellation,
+            workers=workers,
         ).answers()
 
     def cursor(
@@ -238,6 +242,7 @@ class BoundQuery:
         timeout=None,
         budget=None,
         cancellation=None,
+        workers: Optional[int] = None,
     ) -> AnswerCursor:
         """A streaming cursor over this binding's answers."""
         return AnswerCursor(
@@ -247,6 +252,7 @@ class BoundQuery:
                 timeout=timeout,
                 budget=budget,
                 cancellation=cancellation,
+                workers=workers,
             ),
             batch_size,
         )
@@ -291,8 +297,11 @@ class PreparedQuery:
                 declared.append(parameter.name)
         self._parameter_names: Tuple[str, ...] = tuple(declared)
         self._lock = threading.Lock()
-        self._plan: Optional[ProgramPlan] = None
-        self._plan_version: Optional[int] = None
+        # (plan, database version) published as ONE tuple: concurrent
+        # executors read it lock-free (a single attribute load is atomic
+        # under the GIL), and the pair can never be observed torn the way
+        # two separate attributes could.
+        self._plan_state: Optional[Tuple[ProgramPlan, int]] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -391,13 +400,24 @@ class PreparedQuery:
 
         Plans are correct regardless of data — recompilation only refreshes
         the cardinality estimates the join order is based on.
+
+        Double-checked: the hot path (every execute of a warm prepared
+        query) is one lock-free read of the published ``(plan, version)``
+        pair; only a cold or stale plan takes the lock, and the re-check
+        inside it guarantees each version's plan compiles exactly once no
+        matter how many threads arrive cold — the amortized-once contract
+        of the executions counter.
         """
         version = self._database.version
+        state = self._plan_state
+        if state is not None and state[1] == version:
+            return state[0]
         with self._lock:
-            if self._plan is None or self._plan_version != version:
-                self._plan = compile_program_plan(self._runtime, self._database)
-                self._plan_version = version
-            return self._plan
+            state = self._plan_state
+            if state is None or state[1] != version:
+                state = (compile_program_plan(self._runtime, self._database), version)
+                self._plan_state = state
+            return state[0]
 
     def describe(self) -> str:
         """Human-readable account: pipeline provenance, parameters, plan."""
@@ -449,6 +469,7 @@ class PreparedQuery:
         timeout=None,
         budget=None,
         cancellation=None,
+        workers: Optional[int] = None,
         **kw_bindings,
     ) -> EvaluationResult:
         """``bind(...)`` + run in one call; bindings may be a mapping or kwargs."""
@@ -460,6 +481,7 @@ class PreparedQuery:
             timeout=timeout,
             budget=budget,
             cancellation=cancellation,
+            workers=workers,
         )
 
     def answers(
@@ -471,6 +493,7 @@ class PreparedQuery:
         timeout=None,
         budget=None,
         cancellation=None,
+        workers: Optional[int] = None,
         **kw_bindings,
     ) -> FrozenSet[Tuple]:
         """The goal answers for one binding."""
@@ -481,6 +504,7 @@ class PreparedQuery:
             timeout=timeout,
             budget=budget,
             cancellation=cancellation,
+            workers=workers,
             **kw_bindings,
         ).answers()
 
@@ -508,6 +532,7 @@ class PreparedQuery:
         timeout=None,
         budget=None,
         cancellation=None,
+        workers: Optional[int] = None,
     ) -> List[FrozenSet[Tuple]]:
         """Answers for a batch of bindings, in input order.
 
@@ -536,6 +561,8 @@ class PreparedQuery:
             kwargs = {}
             if guard is not None:
                 kwargs["guard"] = guard
+            if workers is not None:
+                kwargs["workers"] = workers
             result = engine_object.evaluate(
                 shared_program,
                 self._database.overlay(),
@@ -554,6 +581,7 @@ class PreparedQuery:
                 engine=engine,
                 max_iterations=max_iterations,
                 guard=guard,
+                workers=workers,
             ).answers()
             for bindings in checked
         ]
@@ -617,6 +645,7 @@ class PreparedQuery:
         budget=None,
         cancellation=None,
         guard=None,
+        workers: Optional[int] = None,
     ) -> EvaluationResult:
         engine_object = self._resolve_engine(engine)
         if guard is None:
@@ -636,6 +665,10 @@ class PreparedQuery:
         kwargs = {}
         if guard is not None:
             kwargs["guard"] = guard
+        if workers is not None:
+            # Forwarded unconditionally: engines without the parallel layer
+            # must raise rather than silently run serial.
+            kwargs["workers"] = workers
         if getattr(engine_object, "supports_planner", False):
             return engine_object.evaluate(
                 exec_program,

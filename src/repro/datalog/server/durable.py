@@ -126,6 +126,7 @@ class DurableDatalogService:
         cache_size: int = 256,
         default_engine: str = "seminaive",
         default_timeout: Optional[float] = None,
+        engine_workers: Optional[int] = None,
         faults=None,
     ):
         if snapshot_every < 1:
@@ -149,7 +150,9 @@ class DurableDatalogService:
         # the persistable description of the registry (snapshots store it).
         self._program_specs: Dict[str, Dict] = {}
 
-        self.recovery = self._recover(cache_size, default_engine, default_timeout)
+        self.recovery = self._recover(
+            cache_size, default_engine, default_timeout, engine_workers
+        )
         # Only after replay is the log opened for append (repairing any torn
         # tail) and the write-ahead hook armed.
         self._wal = WriteAheadLog(self._wal_path, fsync=fsync, faults=faults)
@@ -163,6 +166,7 @@ class DurableDatalogService:
         cache_size: int,
         default_engine: str,
         default_timeout: Optional[float] = None,
+        engine_workers: Optional[int] = None,
     ) -> RecoveryReport:
         state = self._snapshot_store.load()
         database = (
@@ -175,6 +179,7 @@ class DurableDatalogService:
             cache_size=cache_size,
             default_engine=default_engine,
             default_timeout=default_timeout,
+            workers=engine_workers,
         )
         # Startup must never fail on persisted state the live server would
         # have rejected (or that a newer/older version wrote): anything that

@@ -637,6 +637,7 @@ def run_server(
     sync_interval: Optional[float] = None,
     cache_size: int = 256,
     default_engine: str = "seminaive",
+    engine_workers: Optional[int] = None,
     request_timeout: Optional[float] = None,
     slow_query_threshold: float = 1.0,
     ready_line: bool = True,
@@ -653,6 +654,11 @@ def run_server(
     ``"timeout"`` field can tighten (never loosen) the bound.  Requests
     slower than ``slow_query_threshold`` seconds are logged on the
     ``repro.datalog.server`` logger and counted in ``/metrics``.
+
+    ``engine_workers`` (distinct from ``executor_workers``, the size of the
+    thread pool running request handlers) sets the *evaluation-level*
+    parallelism every engine run uses by default: sharded columnar deltas
+    and depth-concurrent strata.  Answers are identical either way.
     """
     durable = DurableDatalogService(
         data_dir,
@@ -660,6 +666,7 @@ def run_server(
         snapshot_every=snapshot_every,
         cache_size=cache_size,
         default_engine=default_engine,
+        engine_workers=engine_workers,
     )
     server = DatalogHTTPServer(
         durable,

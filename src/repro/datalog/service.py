@@ -51,6 +51,7 @@ from collections import OrderedDict
 from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from repro.datalog.database import Database
+from repro.datalog.engine.registry import get_engine
 from repro.datalog.incremental import MaterializedView
 from repro.datalog.parser import parse_program
 from repro.datalog.terms import Constant
@@ -83,17 +84,25 @@ class DatalogService:
         default_engine: str = "seminaive",
         write_hook: Optional[Callable[[str, List], None]] = None,
         default_timeout: Optional[float] = None,
+        workers: Optional[int] = None,
     ):
         if cache_size < 0:
             raise ValueError("cache_size must be non-negative")
         if default_timeout is not None and default_timeout < 0:
             raise ValueError("default_timeout must be non-negative")
+        if workers is not None and (isinstance(workers, bool) or not isinstance(workers, int) or workers < 1):
+            raise ValueError("workers must be a positive int")
         self._database = database if database is not None else Database()
         self._default_engine = default_engine
         # Wall-clock deadline applied to every execute/execute_many/
         # materialize call that does not carry its own timeout=; None means
         # unbounded (the historical behaviour).
         self._default_timeout = default_timeout
+        # Engine-level parallelism applied to every execute/execute_many
+        # that does not carry its own workers=; None means serial.  Results
+        # are identical either way (the parallel layer's parity contract),
+        # so the answer cache key does not include it.
+        self._workers = workers
         self._cache_size = cache_size
         self._lock = threading.RLock()
         # Called as hook(kind, batch) under the service lock *before* a
@@ -239,6 +248,22 @@ class DatalogService:
         """The per-request timeout, falling back to the service default."""
         return timeout if timeout is not None else self._default_timeout
 
+    def _effective_workers(
+        self, prepared: PreparedQuery, engine: Optional[str], workers: Optional[int]
+    ) -> Optional[int]:
+        """Per-call ``workers`` wins (strict: the engine raises if it cannot
+        scale); the service-wide default is a hint and is dropped silently
+        for engines without the parallel layer, so one knob can front a
+        mixed-engine registry."""
+        if workers is not None:
+            return workers
+        if self._workers is None:
+            return None
+        engine_object = get_engine(engine or prepared.default_engine)
+        if getattr(engine_object, "supports_workers", False):
+            return self._workers
+        return None
+
     def _record_abort(self, error: QueryAborted) -> None:
         """Count a guardrail abort (timeouts vs cancellations) and re-raise."""
         with self._lock:
@@ -261,6 +286,7 @@ class DatalogService:
         timeout: Optional[float] = None,
         budget=None,
         cancellation=None,
+        workers: Optional[int] = None,
         **kw_params,
     ) -> FrozenSet[Tuple]:
         """Answers for one request; served from the LRU cache when possible.
@@ -310,6 +336,7 @@ class DatalogService:
                 timeout=self._effective_timeout(timeout),
                 budget=budget,
                 cancellation=cancellation,
+                workers=self._effective_workers(prepared, engine, workers),
             )
         except QueryAborted as error:
             self._record_abort(error)
@@ -362,6 +389,7 @@ class DatalogService:
         timeout: Optional[float] = None,
         budget=None,
         cancellation=None,
+        workers: Optional[int] = None,
     ) -> List[FrozenSet[Tuple]]:
         """Answers for a batch of requests, sharing one fixpoint when sound.
 
@@ -383,6 +411,7 @@ class DatalogService:
                 timeout=self._effective_timeout(timeout),
                 budget=budget,
                 cancellation=cancellation,
+                workers=self._effective_workers(prepared, engine, workers),
             )
         except QueryAborted as error:
             self._record_abort(error)

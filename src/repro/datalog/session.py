@@ -70,9 +70,12 @@ class QuerySession:
         # Shared join-plan cache: engines that support planning compile each
         # (program, database) plan once and reuse it across repeated queries.
         self._planner = planner if planner is not None else Planner()
-        # (engine name, max_iterations) -> (engine object, result); the engine
-        # object is kept both to pin it alive and to detect replacement.
-        self._results: Dict[Tuple[str, Optional[int]], Tuple[object, EvaluationResult]] = {}
+        # (engine name, max_iterations, workers) -> (engine object, result);
+        # the engine object is kept both to pin it alive and to detect
+        # replacement.
+        self._results: Dict[
+            Tuple[str, Optional[int], Optional[int]], Tuple[object, EvaluationResult]
+        ] = {}
         self._results_version = database.version
         # engine name -> PreparedQuery compiled for this session's pipeline
         self._prepared: Dict[str, PreparedQuery] = {}
@@ -220,14 +223,15 @@ class QuerySession:
         timeout=None,
         budget=None,
         cancellation=None,
+        workers: Optional[int] = None,
     ) -> EvaluationResult:
         """Run the transformed program under the named engine.
 
-        Results are cached per ``(engine, max_iterations)`` and invalidated
-        automatically when the database mutates (its :attr:`~Database.version`
-        changes).  Pass ``fresh=True`` to force a re-run regardless
-        (benchmarks timing the engine itself should, so the cache does not
-        hide the work).
+        Results are cached per ``(engine, max_iterations, workers)`` and
+        invalidated automatically when the database mutates (its
+        :attr:`~Database.version` changes).  Pass ``fresh=True`` to force a
+        re-run regardless (benchmarks timing the engine itself should, so
+        the cache does not hide the work).
 
         *timeout* (wall-clock seconds), *budget* (a
         :class:`~repro.datalog.guard.ResourceBudget`), and *cancellation* (a
@@ -236,12 +240,17 @@ class QuerySession:
         raises the typed :class:`~repro.errors.QueryAborted` subclass and
         caches nothing.  A guarded run that completes is a complete result
         and caches normally.
+
+        *workers*, when > 1, enables the parallel evaluation layer on
+        engines that support it (``supports_workers``); results and
+        statistics are identical to serial at any worker count, but runs
+        are cached separately so benchmarks can time both.
         """
         if self._database.version != self._results_version:
             self._results.clear()
             self._results_version = self._database.version
         resolved = get_engine(engine)
-        key = (engine, max_iterations)
+        key = (engine, max_iterations, workers)
         cached = self._results.get(key)
         # Identity-compare against the engine that produced the cached result,
         # so register_engine(..., replace=True) never serves stale results
@@ -253,6 +262,10 @@ class QuerySession:
             guard = build_guard(timeout, budget, cancellation)
             if guard is not None:
                 kwargs["guard"] = guard
+            if workers is not None:
+                # Forwarded unconditionally: an engine without the parallel
+                # layer must raise, not silently run serial.
+                kwargs["workers"] = workers
             result = resolved.evaluate(
                 self.transformed_program,
                 self._database,
@@ -271,6 +284,7 @@ class QuerySession:
         timeout=None,
         budget=None,
         cancellation=None,
+        workers: Optional[int] = None,
     ) -> FrozenSet[Tuple]:
         """The goal answers under the named engine.
 
@@ -285,6 +299,7 @@ class QuerySession:
             timeout=timeout,
             budget=budget,
             cancellation=cancellation,
+            workers=workers,
         ).answers()
 
     def refresh(self) -> "QuerySession":
